@@ -1,0 +1,78 @@
+"""Ablation — pool gateway geography on vs off.
+
+DESIGN.md: Figure 2/3's asymmetry should be driven by *where pools place
+their gateways*, not by node geography.  The uniform variant gives every
+pool a gateway in each vantage region with equal surfacing preference,
+so blocks surface uniformly across regions; the calibrated variant keeps
+the EA-heavy placement.  The EA first-reception dominance must then be a
+property of the calibrated placement only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from conftest import print_artifact
+
+from repro.analysis.geography import first_reception_shares
+from repro.experiments.presets import small_campaign
+from repro.geo.regions import VANTAGE_REGIONS
+from repro.measurement.campaign import Campaign
+from repro.node.miner import MAINNET_INTER_BLOCK_TIME
+from repro.node.pool import PoolPolicy, PoolSpec
+from repro.workload.mainnet import MAINNET_POOL_SPECS
+
+
+def _uniform_pool_specs() -> tuple[PoolSpec, ...]:
+    """Every pool gets a gateway in each vantage region, equal preference."""
+    return tuple(
+        replace(
+            spec,
+            home_region=VANTAGE_REGIONS[0],
+            extra_gateway_regions=tuple(VANTAGE_REGIONS[1:]),
+            policy=PoolPolicy(
+                empty_block_probability=spec.policy.empty_block_probability,
+                one_miner_fork_probability=spec.policy.one_miner_fork_probability,
+                head_lag=spec.policy.head_lag,
+                # 4 gateways, equal odds of leading.
+                home_gateway_preference=1.0 / len(VANTAGE_REGIONS),
+            ),
+        )
+        for spec in MAINNET_POOL_SPECS
+    )
+
+
+def _run(uniform: bool):
+    config = small_campaign(seed=31)
+    scenario = replace(config.scenario)
+    if uniform:
+        scenario = replace(scenario, pool_specs=_uniform_pool_specs())
+    config = replace(
+        config, scenario=scenario, duration=80 * MAINNET_INTER_BLOCK_TIME
+    )
+    dataset = Campaign(config).run()
+    return first_reception_shares(dataset)
+
+
+def test_ablation_gateway_geography(benchmark):
+    calibrated = _run(uniform=False)
+    uniform = benchmark.pedantic(lambda: _run(uniform=True), rounds=1, iterations=1)
+    rendered = (
+        "calibrated gateways:\n"
+        + calibrated.render()
+        + "\n\nuniform gateways:\n"
+        + uniform.render()
+    )
+    print_artifact(
+        "Ablation — gateway geography drives Figure 2",
+        rendered,
+        {"claim": "EA dominance disappears when gateways are uniform"},
+    )
+    # The calibrated (EA-heavy) placement must give EA a larger share and
+    # a more skewed overall distribution than uniform placement.
+    assert calibrated.shares["EA"] > uniform.shares["EA"]
+    spread_calibrated = max(calibrated.shares.values()) - min(
+        calibrated.shares.values()
+    )
+    spread_uniform = max(uniform.shares.values()) - min(uniform.shares.values())
+    assert spread_calibrated > spread_uniform

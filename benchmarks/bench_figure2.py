@@ -1,0 +1,27 @@
+"""Figure 2 — first new-block observations per vantage.
+
+Paper: EA sees new blocks first ≈40 % of the time; NA about four times
+less; the ordering EA > CE ≈ WE > NA reflects pool gateway geography.
+"""
+
+from __future__ import annotations
+
+from conftest import print_artifact
+
+from repro.analysis.geography import first_reception_shares
+from repro.experiments.registry import get_experiment
+
+
+def test_figure2_first_receptions(benchmark, standard_dataset):
+    result = benchmark(first_reception_shares, standard_dataset)
+    print_artifact(
+        "Figure 2 — First receptions per vantage",
+        result.render(),
+        get_experiment("fig2").paper_values,
+    )
+    shares = result.shares
+    # Shape: EA dominates, NA trails by a multiple — the paper's headline
+    # geographic asymmetry.
+    assert max(shares, key=shares.get) == "EA"
+    assert shares["EA"] > 0.25
+    assert shares["EA"] > 2.0 * shares["NA"]

@@ -1,0 +1,32 @@
+"""Figure 3 — per-pool first receptions across vantages.
+
+Paper: blocks from Asian pools (Sparkpool, F2pool, ...) surface in EA;
+Ethermine/Nanopool blocks surface in Europe — pool gateways are not
+evenly distributed.
+"""
+
+from __future__ import annotations
+
+from conftest import print_artifact
+
+from repro.analysis.geography import pool_first_receptions
+from repro.experiments.registry import get_experiment
+
+
+def test_figure3_pool_geography(benchmark, standard_dataset):
+    result = benchmark(pool_first_receptions, standard_dataset)
+    print_artifact(
+        "Figure 3 — First receptions per pool and vantage",
+        result.render(),
+        get_experiment("fig3").paper_values,
+    )
+    # Shape: EA-based pools surface in EA, European pools in CE/WE.
+    sparkpool = result.pool_shares.get("Sparkpool")
+    assert sparkpool is not None
+    assert max(sparkpool, key=sparkpool.get) == "EA"
+    ethermine = result.pool_shares.get("Ethermine")
+    assert ethermine is not None
+    europe = ethermine.get("CE", 0.0) + ethermine.get("WE", 0.0)
+    assert europe > ethermine.get("EA", 0.0)
+    # Hash-power ordering is visible in the block fractions.
+    assert result.pool_block_fraction["Ethermine"] > 0.15

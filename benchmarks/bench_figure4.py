@@ -1,0 +1,30 @@
+"""Figure 4 — transaction inclusion and commit times.
+
+Paper: median 12-confirmation commit of 189 s (down from 200 s in 2017,
+thanks to Constantinople's shorter inter-block time); curves for 3, 12,
+15 and 36 confirmations.
+"""
+
+from __future__ import annotations
+
+from conftest import print_artifact
+
+from repro.analysis.commit import commit_times
+from repro.experiments.registry import get_experiment
+
+
+def test_figure4_commit_times(benchmark, standard_dataset):
+    result = benchmark(commit_times, standard_dataset)
+    print_artifact(
+        "Figure 4 — Transaction inclusion and commit times",
+        result.render(),
+        get_experiment("fig4").paper_values,
+    )
+    # Shape: the 12-confirmation median sits near inclusion + 12 × 13.3 s,
+    # i.e. in the paper's 150-250 s band, and the curves are ordered.
+    median12 = result.median(12)
+    assert 120.0 < median12 < 280.0
+    assert result.median(3) < median12 < result.median(15)
+    if 36 in result.confirmations:
+        assert result.median(15) < result.median(36)
+    assert result.inclusion.quantile(0.5) < result.median(3)

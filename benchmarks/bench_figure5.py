@@ -1,0 +1,26 @@
+"""Figure 5 — commit delay split by reception ordering.
+
+Paper: 11.54 % of committed transactions were received out of order
+(up from 6.18 % in 2017); out-of-order commits trail in-order ones
+(p50 192 s vs 189 s; p90 325 s vs 292 s).
+"""
+
+from __future__ import annotations
+
+from conftest import print_artifact
+
+from repro.analysis.reordering import reordering_analysis
+from repro.experiments.registry import get_experiment
+
+
+def test_figure5_reordering(benchmark, standard_dataset):
+    result = benchmark(reordering_analysis, standard_dataset)
+    print_artifact(
+        "Figure 5 — Commit delay by reception ordering",
+        result.render(),
+        get_experiment("fig5").paper_values,
+    )
+    # Shape: a noticeable minority of committed txs arrive out of order,
+    # and their upper-quantile commit delays trail the in-order ones.
+    assert 0.01 < result.out_of_order_share < 0.40
+    assert result.out_of_order.quantile(0.9) >= result.in_order.quantile(0.9) * 0.9

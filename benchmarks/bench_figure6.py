@@ -1,0 +1,30 @@
+"""Figure 6 — empty blocks per mining pool.
+
+Paper: 1.45 % of main blocks are empty (2,921 / 201,086); Zhizhu mined
+> 25 % of its blocks empty; Nanopool and Miningpoolhub1 mined none; one
+solo miner mined only empty blocks.
+"""
+
+from __future__ import annotations
+
+from conftest import print_artifact
+
+from repro.analysis.empty_blocks import empty_block_analysis
+from repro.experiments.registry import get_experiment
+
+
+def test_figure6_empty_blocks(benchmark, standard_dataset):
+    result = benchmark(empty_block_analysis, standard_dataset)
+    print_artifact(
+        "Figure 6 — Empty blocks per mining pool",
+        result.render(),
+        get_experiment("fig6").paper_values,
+    )
+    # Shape: a small but non-trivial empty-block share, hugely uneven
+    # across pools, with Zhizhu the per-capita outlier.
+    assert 0.002 < result.empty_fraction < 0.06
+    zhizhu = result.pool("Zhizhu")
+    if zhizhu.total_blocks >= 20:  # below that, 26% empty is within noise of 0
+        assert zhizhu.empty_fraction > 0.10
+    nanopool = result.pool("Nanopool")
+    assert nanopool.empty_blocks == 0

@@ -1,0 +1,29 @@
+"""Figure 7 — consecutive main-chain blocks per pool.
+
+Paper: the top pools routinely mine multi-block runs; Ethermine produced
+four 8-block runs and Sparkpool two 9-block runs in one month — enough
+to temporarily censor transactions for 2-3 minutes.
+"""
+
+from __future__ import annotations
+
+from conftest import print_artifact
+
+from repro.analysis.sequences import sequence_analysis
+from repro.experiments.registry import get_experiment
+
+
+def test_figure7_sequences(benchmark, standard_dataset):
+    result = benchmark(sequence_analysis, standard_dataset)
+    print_artifact(
+        "Figure 7 — Consecutive main-chain blocks per pool",
+        result.render(),
+        get_experiment("fig7").paper_values,
+    )
+    # Shape: the two biggest pools (≈25 % and ≈23 % of hash power) should
+    # show multi-block runs even in a ~500-block window; expected longest
+    # run for share p over n blocks is ≈ ln(n·p)/ln(1/p) ≈ 3-4 here.
+    assert result.max_run.get("Ethermine", 0) >= 2
+    assert result.max_run.get("Sparkpool", 0) >= 2
+    biggest = max(result.max_run.values())
+    assert biggest >= 3

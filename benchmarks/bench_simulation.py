@@ -1,0 +1,34 @@
+"""Simulator throughput — not a paper artifact, but the cost model every
+other bench rests on: how fast does the event engine push a fully loaded
+network?"""
+
+from __future__ import annotations
+
+from conftest import print_artifact
+
+from repro.workload.scenarios import ScenarioConfig, build_scenario
+from repro.workload.transactions import WorkloadConfig
+
+
+def _run_segment() -> int:
+    scenario = build_scenario(
+        ScenarioConfig(
+            seed=41,
+            n_nodes=40,
+            workload=WorkloadConfig(tx_rate=1.0, senders=60),
+            warmup=0.0,
+        )
+    )
+    scenario.start()
+    scenario.run_for(120.0)
+    return scenario.simulator.events_processed
+
+
+def test_simulation_throughput(benchmark):
+    events = benchmark.pedantic(_run_segment, rounds=1, iterations=1)
+    print_artifact(
+        "Simulator throughput (40 nodes, 120 simulated seconds)",
+        f"events processed: {events:,}",
+        {"note": "infrastructure bench, no paper analogue"},
+    )
+    assert events > 10_000

@@ -1,0 +1,28 @@
+"""§III-A — campaign headline statistics.
+
+Paper: 216,656 blocks observed (including forks), 21,960,051 unique
+transactions of which 94 % committed, 13.3 s mean inter-block time.
+"""
+
+from __future__ import annotations
+
+from conftest import print_artifact
+
+from repro.analysis.summary import study_summary
+from repro.experiments.registry import get_experiment
+
+
+def test_summary_headline_statistics(benchmark, standard_dataset):
+    result = benchmark(study_summary, standard_dataset)
+    print_artifact(
+        "§III-A — Campaign headline statistics",
+        result.render(),
+        get_experiment("summary").paper_values,
+    )
+    # Shape: inter-block time near the 13.3 s target; the vast majority
+    # of observed transactions commit; forks are a small block excess.
+    assert 11.0 < result.mean_inter_block < 16.0
+    assert result.committed_share > 0.80
+    assert result.blocks_observed >= result.main_blocks
+    fork_excess = (result.blocks_observed - result.main_blocks) / result.main_blocks
+    assert fork_excess < 0.20

@@ -1,0 +1,41 @@
+"""Benchmark fixtures.
+
+All per-artifact benches analyse the *same* standard campaign (the paper's
+figures all derive from one measurement window), generated once per
+session via the experiment cache.  The benchmarked quantity is the
+analysis itself — the paper's released processing tools — while the
+campaign simulation has its own dedicated bench.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cache import campaign_dataset
+
+
+@pytest.fixture(scope="session")
+def standard_dataset():
+    """The shared standard campaign (~500 blocks).
+
+    Persisted under .repro-cache/ so the EXPERIMENTS.md report generator
+    analyses the exact same campaign the benches printed.
+    """
+    return campaign_dataset("standard", seed=1, use_disk=True)
+
+
+@pytest.fixture(scope="session")
+def small_seed_factory():
+    """Factory for quick ablation campaigns (distinct seeds per variant)."""
+    return lambda seed: campaign_dataset("small", seed)
+
+
+def print_artifact(header: str, rendered: str, paper: dict[str, str]) -> None:
+    """Uniform paper-vs-measured output block for every bench."""
+    print()
+    print("=" * 72)
+    print(header)
+    print("=" * 72)
+    print(rendered)
+    for key, value in paper.items():
+        print(f"    paper: {key} = {value}")

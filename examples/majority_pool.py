@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""What if one pool crossed 50%?
+
+§III-D warns that pool concentration already weakens the 12-block rule at
+~25 % shares.  This example pushes the knob to the limit: rebuild the
+world with a majority pool and measure what happens to single-pool block
+runs, censorship windows and finality — the scenario every permissionless
+chain's security argument assumes away.
+
+Run with::
+
+    python examples/majority_pool.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.censorship import censorship_windows
+from repro.analysis.sequences import (
+    expected_streaks,
+    sequence_analysis,
+)
+from repro.geo.regions import Region
+from repro.measurement.campaign import Campaign, CampaignConfig
+from repro.node.pool import PoolSpec
+from repro.workload import ScenarioConfig, WorkloadConfig
+
+BLOCKS = 250
+
+
+def build_campaign(majority_share: float, seed: int = 17) -> CampaignConfig:
+    fringe_share = (1.0 - majority_share) / 3.0
+    pools = (
+        PoolSpec(
+            name="MajorityPool",
+            hashpower=majority_share,
+            home_region=Region.EASTERN_ASIA,
+        ),
+        PoolSpec(name="Minor-1", hashpower=fringe_share, home_region=Region.NORTH_AMERICA),
+        PoolSpec(name="Minor-2", hashpower=fringe_share, home_region=Region.WESTERN_EUROPE),
+        PoolSpec(name="Minor-3", hashpower=fringe_share, home_region=Region.CENTRAL_EUROPE),
+    )
+    return CampaignConfig(
+        scenario=ScenarioConfig(
+            seed=seed,
+            n_nodes=30,
+            pool_specs=pools,
+            workload=WorkloadConfig(tx_rate=0.8, senders=60),
+            gas_limit=350_000,
+            warmup=60.0,
+        ),
+        duration=BLOCKS * 13.3,
+    )
+
+
+def main() -> None:
+    for share in (0.25, 0.51):
+        print(f"\n=== majority pool at {share:.0%} hash power ===")
+        dataset = Campaign(build_campaign(share)).run()
+        runs = sequence_analysis(dataset)
+        name = "MajorityPool"
+        longest = runs.max_run.get(name, 0)
+        print(f"longest single-pool run: {longest} blocks (of {runs.chain_length})")
+        print(
+            f"theory: E[runs >= 12] per month = "
+            f"{expected_streaks(share, 12, 201_086):,.3f}"
+        )
+        windows = censorship_windows(dataset)
+        if windows.windows:
+            worst = windows.longest()
+            print(
+                f"worst censorship window: {worst.duration:.0f}s "
+                f"({worst.length} blocks, by {worst.pool})"
+            )
+    print(
+        "\nAt 25% a 12-block rewrite is a ~once-per-decade event; at 51% the "
+        "attacker EXPECTS to outrun any constant confirmation rule — "
+        "§III-D's point taken to its limit."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: run a small measurement campaign and print the headline
+results.
+
+This is the five-minute tour of the library: build a simulated Ethereum
+network calibrated to April 2019, deploy the paper's four geographic
+vantage nodes plus the subsidiary default-peer client, run a short
+measurement window, and compute a few of the paper's metrics.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import CampaignConfig, run_campaign
+from repro.analysis import (
+    block_propagation_delays,
+    first_reception_shares,
+    study_summary,
+)
+from repro.workload import ScenarioConfig, WorkloadConfig
+
+
+def main() -> None:
+    # A compact campaign: ~100 blocks, 30 regular nodes, light traffic.
+    config = CampaignConfig(
+        scenario=ScenarioConfig(
+            seed=7,
+            n_nodes=30,
+            workload=WorkloadConfig(tx_rate=1.0, senders=60),
+            gas_limit=520_000,
+            warmup=80.0,
+        ),
+        duration=100 * 13.3,
+    )
+    print("Running campaign (~100 blocks, 5 vantage nodes)...")
+    dataset = run_campaign(config)
+
+    print()
+    print(study_summary(dataset).render())
+
+    print()
+    propagation = block_propagation_delays(dataset)
+    print(
+        f"Block propagation: median "
+        f"{propagation.summary.median * 1000:.0f} ms, "
+        f"p95 {propagation.summary.p95 * 1000:.0f} ms "
+        f"(paper: 74 ms / 211 ms)"
+    )
+
+    print()
+    print(first_reception_shares(dataset).render())
+    print()
+    print(
+        "Next steps: python -m repro.experiments.runner --preset standard "
+        "regenerates every paper table and figure."
+    )
+
+
+if __name__ == "__main__":
+    main()

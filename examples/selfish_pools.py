@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Selfish mining-pool behaviour: does it actually pay?
+
+§III-C3/C5 document two selfish practices — empty-block mining and
+one-miner forks — and argue both are profitable, hence likely to spread.
+This example makes the profitability claim concrete: two pools with
+identical hash power race for a few hundred blocks, one honest and one
+running the one-miner fork policy, and we compare the ETH each collects
+per unit of hash power.
+
+Run with::
+
+    python examples/selfish_pools.py
+"""
+
+from __future__ import annotations
+
+from repro.chain.rewards import ledger_for_chain
+from repro.geo.regions import Region
+from repro.node.pool import PoolPolicy, PoolSpec
+from repro.workload import ScenarioConfig, WorkloadConfig, build_scenario
+
+
+def build_duel(seed: int = 13) -> ScenarioConfig:
+    """Two equal pools; one harvests uncle rewards via one-miner forks."""
+    honest = PoolSpec(
+        name="HonestPool",
+        hashpower=0.40,
+        home_region=Region.WESTERN_EUROPE,
+        policy=PoolPolicy(),
+    )
+    selfish = PoolSpec(
+        name="SelfishPool",
+        hashpower=0.40,
+        home_region=Region.EASTERN_ASIA,
+        # Exaggerated versus mainnet (~1.3%) so a short run shows the
+        # effect clearly; the mechanism is identical.
+        policy=PoolPolicy(one_miner_fork_probability=0.25),
+    )
+    fringe = PoolSpec(
+        name="Fringe",
+        hashpower=0.20,
+        home_region=Region.NORTH_AMERICA,
+        policy=PoolPolicy(),
+    )
+    return ScenarioConfig(
+        seed=seed,
+        n_nodes=24,
+        pool_specs=(honest, selfish, fringe),
+        workload=WorkloadConfig(tx_rate=0.5, senders=40),
+        warmup=20.0,
+    )
+
+
+def main() -> None:
+    scenario = build_scenario(build_duel())
+    blocks = 400
+    print(f"Racing HonestPool vs SelfishPool for ~{blocks} blocks...")
+    scenario.start()
+    scenario.run_for(blocks * scenario.config.inter_block_time)
+
+    tree = scenario.pools[0].primary.tree
+    ledger = ledger_for_chain(tree)
+    wins = scenario.coordinator.wins_by_pool()
+
+    print()
+    print(f"{'pool':<14} {'lottery wins':>12} {'ETH earned':>12} {'ETH/win':>9}")
+    for name in ("HonestPool", "SelfishPool", "Fringe"):
+        earned = ledger.get(name, 0.0)
+        count = wins.get(name, 0)
+        per_win = earned / count if count else 0.0
+        print(f"{name:<14} {count:>12} {earned:>12.2f} {per_win:>9.3f}")
+
+    honest_rate = ledger.get("HonestPool", 0.0) / max(wins.get("HonestPool", 1), 1)
+    selfish_rate = ledger.get("SelfishPool", 0.0) / max(wins.get("SelfishPool", 1), 1)
+    print()
+    if selfish_rate > honest_rate:
+        advantage = 100 * (selfish_rate / honest_rate - 1)
+        print(
+            f"SelfishPool earned {advantage:.1f}% more ETH per lottery win: "
+            "the losing same-height variants were recognized as uncles and "
+            "paid out anyway — the §III-C5 exploit."
+        )
+    else:
+        print(
+            "No advantage this run (short race, heavy variance) — rerun "
+            "with another seed; over a month the edge compounds."
+        )
+    print(
+        "\n§V's proposed fix — reject uncles whose miner already mined the "
+        "main block at that height — would zero out those extra rewards."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so ``pip install -e .`` works in offline
+environments whose setuptools lacks the ``wheel`` package (the PEP-517
+editable path needs ``bdist_wheel``; the legacy path does not).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,61 @@
+"""repro — a reproduction of "Impact of Geo-distribution and Mining Pools
+on Blockchains: A Study of Ethereum" (Silva et al., DSN 2020).
+
+The package provides:
+
+* a deterministic discrete-event simulator of an Ethereum-like network
+  (geo-latency fabric, devp2p gossip, fork-choice chain, mining pools with
+  geo-placed gateways and selfish policies);
+* the paper's measurement toolchain (instrumented vantage nodes, campaign
+  orchestration, persisted data sets);
+* the paper's analysis toolchain (one module per figure/table).
+
+Quickstart::
+
+    from repro import CampaignConfig, run_campaign
+    from repro.analysis import propagation
+
+    dataset = run_campaign(CampaignConfig())
+    result = propagation.block_propagation_delays(dataset)
+    print(result.median, result.p95)
+"""
+
+from repro.errors import (
+    AnalysisError,
+    ChainError,
+    ConfigurationError,
+    DatasetError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    ValidationError,
+)
+from repro.measurement import (
+    Campaign,
+    CampaignConfig,
+    MeasurementDataset,
+    run_campaign,
+)
+from repro.workload import Scenario, ScenarioConfig, WorkloadConfig, build_scenario
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisError",
+    "Campaign",
+    "CampaignConfig",
+    "ChainError",
+    "ConfigurationError",
+    "DatasetError",
+    "MeasurementDataset",
+    "ProtocolError",
+    "ReproError",
+    "Scenario",
+    "ScenarioConfig",
+    "SimulationError",
+    "ValidationError",
+    "WorkloadConfig",
+    "build_scenario",
+    "run_campaign",
+    "__version__",
+]

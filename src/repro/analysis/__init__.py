@@ -1,0 +1,133 @@
+"""Analysis toolchain: one module per paper artifact.
+
+* :mod:`repro.analysis.propagation` — Figure 1 (plus the §III-A1 tx-delay
+  and §III-C3 empty-vs-full claims)
+* :mod:`repro.analysis.redundancy` — Table II
+* :mod:`repro.analysis.geography` — Figures 2 and 3
+* :mod:`repro.analysis.commit` — Figure 4
+* :mod:`repro.analysis.reordering` — Figure 5
+* :mod:`repro.analysis.empty_blocks` — Figure 6
+* :mod:`repro.analysis.forks` — Table III, §III-C5, and the §V uncle rule
+* :mod:`repro.analysis.sequences` — Figure 7 and §III-D
+* :mod:`repro.analysis.censorship` — §III-D temporary-censorship windows
+* :mod:`repro.analysis.decentralization` — §IV concentration metrics
+* :mod:`repro.analysis.summary` — §III-A headline statistics
+"""
+
+from repro.analysis.censorship import (
+    CensorshipResult,
+    CensorshipWindow,
+    censorship_windows,
+    expected_window_duration,
+    summarise_durations,
+)
+from repro.analysis.commit import CommitTimesResult, commit_times
+from repro.analysis.common import block_arrivals, block_miners, pool_order
+from repro.analysis.decentralization import (
+    DecentralizationResult,
+    decentralization_metrics,
+    gini,
+    herfindahl,
+    nakamoto_coefficient,
+)
+from repro.analysis.empty_blocks import EmptyBlockResult, empty_block_analysis
+from repro.analysis.forks import (
+    Fork,
+    ForkResult,
+    OneMinerForkResult,
+    UncleRuleSavings,
+    fork_analysis,
+    one_miner_forks,
+    uncle_rule_savings,
+)
+from repro.analysis.fairness import (
+    FairnessResult,
+    fairness_audit,
+    reward_ledger,
+)
+from repro.analysis.gas import GasUtilizationResult, gas_utilization
+from repro.analysis.geography import (
+    FirstReceptionResult,
+    PoolGeographyResult,
+    first_reception_shares,
+    pool_first_receptions,
+)
+from repro.analysis.propagation import (
+    PropagationResult,
+    TxPropagationResult,
+    block_propagation_delays,
+    empty_vs_full_propagation,
+    transaction_propagation_delays,
+)
+from repro.analysis.redundancy import RedundancyResult, reception_redundancy
+from repro.analysis.reordering import ReorderingResult, reordering_analysis
+from repro.analysis.sequences import (
+    HISTORY_EPOCHS,
+    HistoryStreaks,
+    SequenceResult,
+    expected_streaks,
+    months_to_observe,
+    paper_expected_streaks,
+    run_lengths,
+    sequence_analysis,
+    simulate_history,
+    simulate_history_epochs,
+)
+from repro.analysis.summary import StudySummary, study_summary
+
+__all__ = [
+    "CensorshipResult",
+    "CensorshipWindow",
+    "CommitTimesResult",
+    "DecentralizationResult",
+    "EmptyBlockResult",
+    "FirstReceptionResult",
+    "Fork",
+    "ForkResult",
+    "HistoryStreaks",
+    "OneMinerForkResult",
+    "PoolGeographyResult",
+    "PropagationResult",
+    "RedundancyResult",
+    "ReorderingResult",
+    "SequenceResult",
+    "StudySummary",
+    "UncleRuleSavings",
+    "block_arrivals",
+    "block_miners",
+    "block_propagation_delays",
+    "censorship_windows",
+    "commit_times",
+    "decentralization_metrics",
+    "empty_vs_full_propagation",
+    "expected_window_duration",
+    "FairnessResult",
+    "GasUtilizationResult",
+    "fairness_audit",
+    "gas_utilization",
+    "reward_ledger",
+    "gini",
+    "herfindahl",
+    "nakamoto_coefficient",
+    "summarise_durations",
+    "transaction_propagation_delays",
+    "TxPropagationResult",
+    "empty_block_analysis",
+    "expected_streaks",
+    "first_reception_shares",
+    "fork_analysis",
+    "months_to_observe",
+    "one_miner_forks",
+    "paper_expected_streaks",
+    "pool_first_receptions",
+    "pool_order",
+    "reception_redundancy",
+    "reordering_analysis",
+    "run_lengths",
+    "sequence_analysis",
+    "simulate_history",
+    "simulate_history_epochs",
+    "HISTORY_EPOCHS",
+    "study_summary",
+    "uncle_rule_savings",
+]

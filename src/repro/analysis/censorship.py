@@ -1,0 +1,152 @@
+"""Temporary-censorship windows (§III-D).
+
+A pool mining k consecutive main-chain blocks can refuse to include a
+transaction for the whole wall-clock span of that run — the paper found
+pools "regularly have the opportunity to temporarily censor transactions
+for more than two minutes", with 3-minute events on record.
+
+This module converts a campaign's miner runs into wall-clock censorship
+windows, using the actual block timestamps rather than a nominal
+inter-block time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.common import require_chain, window_canonical_blocks
+from repro.errors import AnalysisError
+from repro.measurement.dataset import MeasurementDataset
+from repro.stats.tables import format_table
+
+
+@dataclass(frozen=True)
+class CensorshipWindow:
+    """One single-pool run of consecutive main-chain blocks.
+
+    Attributes:
+        pool: The run's miner.
+        start_height: Height of the first block of the run.
+        length: Number of consecutive blocks.
+        duration: Wall-clock seconds from the timestamp of the block
+            *before* the run to the run's last block — the span during
+            which no other miner sealed, i.e. the censorable window.
+    """
+
+    pool: str
+    start_height: int
+    length: int
+    duration: float
+
+
+@dataclass(frozen=True)
+class CensorshipResult:
+    """All censorship windows of a campaign.
+
+    Attributes:
+        windows: Every single-pool run of length >= ``min_length``.
+        chain_length: Main-chain blocks considered.
+    """
+
+    windows: tuple[CensorshipWindow, ...]
+    chain_length: int
+
+    def longest(self) -> CensorshipWindow:
+        if not self.windows:
+            raise AnalysisError("no censorship windows found")
+        return max(self.windows, key=lambda w: w.duration)
+
+    def over(self, seconds: float) -> list[CensorshipWindow]:
+        """Windows lasting longer than ``seconds``."""
+        return [w for w in self.windows if w.duration > seconds]
+
+    def per_pool_maxima(self) -> dict[str, float]:
+        maxima: dict[str, float] = {}
+        for window in self.windows:
+            maxima[window.pool] = max(maxima.get(window.pool, 0.0), window.duration)
+        return maxima
+
+    def render(self, top_n: int = 8) -> str:
+        ranked = sorted(self.windows, key=lambda w: -w.duration)[:top_n]
+        rows = [
+            (w.pool, w.length, f"{w.duration:.1f}s", w.start_height) for w in ranked
+        ]
+        table = format_table(
+            headers=["Pool", "Blocks", "Window", "At height"],
+            rows=rows,
+            title="Longest temporary-censorship windows (§III-D)",
+        )
+        over_2min = len(self.over(120.0))
+        return (
+            f"{table}\n"
+            f"windows over two minutes: {over_2min} "
+            f"(in {self.chain_length} main blocks)"
+        )
+
+
+def censorship_windows(
+    dataset: MeasurementDataset, min_length: int = 2
+) -> CensorshipResult:
+    """Extract single-pool censorship windows from a campaign.
+
+    Args:
+        dataset: Campaign output.
+        min_length: Shortest run considered a window (a single block
+            censors only trivially).
+    """
+    require_chain(dataset)
+    chain = window_canonical_blocks(dataset)
+    if len(chain) < 2:
+        raise AnalysisError("need at least two main-chain blocks")
+    windows: list[CensorshipWindow] = []
+    run_start = 0
+    for index in range(1, len(chain) + 1):
+        ended = index == len(chain) or chain[index].miner != chain[run_start].miner
+        if not ended:
+            continue
+        length = index - run_start
+        if length >= min_length:
+            # The window opens at the previous miner's block (or the run's
+            # own first block when the run starts the window).
+            open_time = (
+                chain[run_start - 1].timestamp
+                if run_start > 0
+                else chain[run_start].timestamp
+            )
+            windows.append(
+                CensorshipWindow(
+                    pool=chain[run_start].miner,
+                    start_height=chain[run_start].height,
+                    length=length,
+                    duration=float(chain[index - 1].timestamp - open_time),
+                )
+            )
+        run_start = index
+    return CensorshipResult(windows=tuple(windows), chain_length=len(chain))
+
+
+def expected_window_duration(length: int, inter_block: float = 13.3) -> float:
+    """Expected wall-clock span of a ``length``-block run.
+
+    The run occupies ``length`` inter-block intervals in expectation
+    (including the interval before its first block), so a 9-block run
+    censors for ≈ 2 minutes at 13.3 s blocks — the paper's headline.
+    """
+    if length < 1:
+        raise AnalysisError("length must be positive")
+    return length * inter_block
+
+
+def summarise_durations(result: CensorshipResult) -> dict[str, float]:
+    """Aggregate duration statistics across all windows."""
+    if not result.windows:
+        raise AnalysisError("no censorship windows found")
+    durations = np.array([w.duration for w in result.windows])
+    return {
+        "count": float(durations.size),
+        "median": float(np.median(durations)),
+        "p90": float(np.percentile(durations, 90)),
+        "max": float(durations.max()),
+    }

@@ -1,0 +1,119 @@
+"""Shared plumbing for the analysis modules.
+
+Every analysis consumes a :class:`~repro.measurement.dataset.MeasurementDataset`
+and nothing else — exactly like the paper's offline processing of its
+vantage logs.  This module centralises the recurring index structures:
+first block arrivals per (block, vantage), miner lookup, the measurement
+window filter, and the canonical-chain view restricted to the window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import AnalysisError
+from repro.measurement.dataset import MeasurementDataset
+from repro.measurement.records import ChainBlockRecord
+
+
+@dataclass(frozen=True)
+class BlockArrivals:
+    """First observation time of each block at each primary vantage.
+
+    Attributes:
+        times: ``{block_hash: {vantage: first observation time}}``.
+        heights: ``{block_hash: height}`` as advertised by the messages.
+    """
+
+    times: dict[str, dict[str, float]]
+    heights: dict[str, int]
+
+    def first_observation(self, block_hash: str) -> Optional[tuple[str, float]]:
+        """(vantage, time) of the globally earliest observation, if any."""
+        per_vantage = self.times.get(block_hash)
+        if not per_vantage:
+            return None
+        vantage = min(per_vantage, key=lambda v: (per_vantage[v], v))
+        return vantage, per_vantage[vantage]
+
+
+def block_arrivals(
+    dataset: MeasurementDataset, in_window_only: bool = True
+) -> BlockArrivals:
+    """Index the first block observation per (block, vantage).
+
+    Both direct ``NewBlock`` pushes and hash announcements count as
+    observations, mirroring the paper's Decker-style method.
+    """
+    primary = set(dataset.primary_vantages)
+    start = dataset.measurement_start if in_window_only else float("-inf")
+    times: dict[str, dict[str, float]] = {}
+    heights: dict[str, int] = {}
+    for record in dataset.block_messages:
+        if record.vantage not in primary or record.time < start:
+            continue
+        per_vantage = times.setdefault(record.block_hash, {})
+        previous = per_vantage.get(record.vantage)
+        if previous is None or record.time < previous:
+            per_vantage[record.vantage] = record.time
+        heights.setdefault(record.block_hash, record.height)
+    return BlockArrivals(times=times, heights=heights)
+
+
+def block_miners(dataset: MeasurementDataset) -> dict[str, str]:
+    """Map block hash → producing miner, from the chain snapshot plus any
+    direct block messages (which carry the header)."""
+    miners: dict[str, str] = {
+        block_hash: block.miner for block_hash, block in dataset.chain.blocks.items()
+    }
+    for record in dataset.block_messages:
+        if record.miner and record.block_hash not in miners:
+            miners[record.block_hash] = record.miner
+    return miners
+
+
+def window_blocks(dataset: MeasurementDataset) -> list[ChainBlockRecord]:
+    """All snapshot blocks sealed inside the measurement window."""
+    start = dataset.measurement_start
+    return [
+        block
+        for block in dataset.chain.blocks.values()
+        if block.timestamp >= start
+    ]
+
+
+def window_canonical_blocks(dataset: MeasurementDataset) -> list[ChainBlockRecord]:
+    """Main-chain blocks sealed inside the measurement window, by height."""
+    start = dataset.measurement_start
+    return [
+        block
+        for block in dataset.chain.canonical_blocks
+        if block.timestamp >= start
+    ]
+
+
+def require_chain(dataset: MeasurementDataset) -> None:
+    """Fail fast when the dataset lacks a chain snapshot."""
+    if not dataset.chain.blocks or not dataset.chain.canonical_hashes:
+        raise AnalysisError(
+            "dataset has no chain snapshot; run the campaign to completion"
+        )
+
+
+def pool_order(
+    dataset: MeasurementDataset, top_n: int = 15
+) -> tuple[list[str], set[str]]:
+    """Order pools by main-chain block production, as the paper's figures do.
+
+    Returns:
+        (top pool names, set of remaining pool names).
+    """
+    require_chain(dataset)
+    counts: dict[str, int] = {}
+    for block in window_canonical_blocks(dataset):
+        counts[block.miner] = counts.get(block.miner, 0) + 1
+    ranked = sorted(counts, key=lambda name: (-counts[name], name))
+    top = ranked[:top_n]
+    rest = set(ranked[top_n:])
+    return top, rest

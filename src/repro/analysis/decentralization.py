@@ -1,0 +1,129 @@
+"""Decentralization metrics (§IV context).
+
+The related work the paper builds on quantifies mining centralization:
+Luu et al. found ≈80 % of Ethereum's mining power in fewer than ten
+pools; Gencer et al. showed both Bitcoin and Ethereum have centralized
+mining.  This module computes the standard decentralization metrics over
+a campaign's main chain so those claims can be checked against any
+simulated (or re-parameterised) pool population:
+
+* **top-N share** — fraction of blocks mined by the N biggest producers;
+* **Nakamoto coefficient** — smallest number of producers jointly
+  exceeding half the blocks;
+* **Gini coefficient** and **HHI** of block production.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.common import require_chain, window_canonical_blocks
+from repro.errors import AnalysisError
+from repro.measurement.dataset import MeasurementDataset
+from repro.stats.tables import format_table
+
+
+def gini(values: np.ndarray) -> float:
+    """Gini coefficient of a non-negative sample (0 = equal, →1 = single)."""
+    array = np.sort(np.asarray(values, dtype=float))
+    if array.size == 0:
+        raise AnalysisError("cannot compute Gini of an empty sample")
+    if (array < 0).any():
+        raise AnalysisError("Gini requires non-negative values")
+    total = array.sum()
+    if total == 0:
+        return 0.0
+    ranks = np.arange(1, array.size + 1)
+    return float((2 * (ranks * array).sum()) / (array.size * total) - (
+        array.size + 1
+    ) / array.size)
+
+
+def herfindahl(shares: np.ndarray) -> float:
+    """Herfindahl–Hirschman index of a share vector (sums to 1)."""
+    array = np.asarray(shares, dtype=float)
+    if array.size == 0:
+        raise AnalysisError("cannot compute HHI of an empty share vector")
+    return float((array**2).sum())
+
+
+def nakamoto_coefficient(shares: np.ndarray) -> int:
+    """Smallest number of producers whose shares exceed 50 %."""
+    array = np.sort(np.asarray(shares, dtype=float))[::-1]
+    if array.size == 0:
+        raise AnalysisError("cannot compute Nakamoto coefficient of nothing")
+    cumulative = np.cumsum(array)
+    over = np.flatnonzero(cumulative > 0.5)
+    if over.size == 0:
+        return int(array.size)
+    return int(over[0] + 1)
+
+
+@dataclass(frozen=True)
+class DecentralizationResult:
+    """Decentralization metrics over a campaign's main chain.
+
+    Attributes:
+        producer_shares: ``{miner: share of main blocks}``, descending.
+        top4_share / top10_share: The §I / §IV concentration headlines.
+        nakamoto: Producers needed to control half the blocks.
+        gini_coefficient: Inequality of block production.
+        hhi: Herfindahl–Hirschman index.
+        blocks: Main-chain blocks considered.
+    """
+
+    producer_shares: dict[str, float]
+    top4_share: float
+    top10_share: float
+    nakamoto: int
+    gini_coefficient: float
+    hhi: float
+    blocks: int
+
+    def render(self) -> str:
+        rows = [
+            (name, f"{100 * share:.2f}%")
+            for name, share in list(self.producer_shares.items())[:10]
+        ]
+        table = format_table(
+            headers=["Producer", "Share"],
+            rows=rows,
+            title="Block production concentration (§IV context)",
+        )
+        return (
+            f"{table}\n"
+            f"top-4: {100 * self.top4_share:.1f}%  "
+            f"top-10: {100 * self.top10_share:.1f}%  "
+            f"Nakamoto: {self.nakamoto}  "
+            f"Gini: {self.gini_coefficient:.3f}  HHI: {self.hhi:.3f}"
+        )
+
+
+def decentralization_metrics(dataset: MeasurementDataset) -> DecentralizationResult:
+    """Compute concentration metrics from a campaign's main chain."""
+    require_chain(dataset)
+    blocks = [b for b in window_canonical_blocks(dataset) if b.height > 0]
+    if not blocks:
+        raise AnalysisError("no main-chain blocks inside the measurement window")
+    counts: dict[str, int] = {}
+    for block in blocks:
+        counts[block.miner] = counts.get(block.miner, 0) + 1
+    total = len(blocks)
+    ordered = dict(
+        sorted(
+            ((name, count / total) for name, count in counts.items()),
+            key=lambda item: -item[1],
+        )
+    )
+    shares = np.array(list(ordered.values()))
+    return DecentralizationResult(
+        producer_shares=ordered,
+        top4_share=float(shares[:4].sum()),
+        top10_share=float(shares[:10].sum()),
+        nakamoto=nakamoto_coefficient(shares),
+        gini_coefficient=gini(np.array(list(counts.values()), dtype=float)),
+        hhi=herfindahl(shares),
+        blocks=total,
+    )

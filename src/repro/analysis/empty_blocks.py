@@ -1,0 +1,106 @@
+"""Empty-block mining (Figure 6, §III-C3).
+
+Miners occasionally publish blocks with no transactions: they forfeit the
+fees but keep the (much larger) static reward, start mining the successor
+earlier, and their block propagates faster.  The paper measured 1.45 %
+empty blocks overall, found most pools doing it at least occasionally
+(Zhizhu: > 25 % of its blocks), two major pools never doing it, and one
+solo miner *only* mining empty blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.common import pool_order, require_chain, window_canonical_blocks
+from repro.errors import AnalysisError
+from repro.measurement.dataset import MeasurementDataset
+from repro.stats.figures import format_bar_chart
+
+#: Label for the aggregated fringe, as in Figure 6.
+REMAINING_LABEL = "Remaining pools"
+
+
+@dataclass(frozen=True)
+class PoolEmptyStats:
+    """Per-pool empty-block tally (one bar of Figure 6)."""
+
+    pool: str
+    total_blocks: int
+    empty_blocks: int
+
+    @property
+    def empty_fraction(self) -> float:
+        return self.empty_blocks / self.total_blocks if self.total_blocks else 0.0
+
+
+@dataclass(frozen=True)
+class EmptyBlockResult:
+    """Figure 6 plus the §III-C3 headline numbers.
+
+    Attributes:
+        per_pool: Tallies for the top pools + the aggregated remainder,
+            in block-production order (Figure 6's row order).
+        total_blocks: Main-chain blocks in the measurement window.
+        empty_blocks: Empty main-chain blocks in the window.
+    """
+
+    per_pool: tuple[PoolEmptyStats, ...]
+    total_blocks: int
+    empty_blocks: int
+
+    @property
+    def empty_fraction(self) -> float:
+        return self.empty_blocks / self.total_blocks if self.total_blocks else 0.0
+
+    def pool(self, name: str) -> PoolEmptyStats:
+        for stats in self.per_pool:
+            if stats.pool == name:
+                return stats
+        raise KeyError(name)
+
+    def render(self) -> str:
+        chart = format_bar_chart(
+            {stats.pool: float(stats.empty_blocks) for stats in self.per_pool},
+            title="Figure 6 — Empty blocks per mining pool",
+            unit=" blocks",
+        )
+        return (
+            f"{chart}\n"
+            f"empty blocks: {self.empty_blocks}/{self.total_blocks} "
+            f"({100 * self.empty_fraction:.2f}%)"
+        )
+
+
+def empty_block_analysis(
+    dataset: MeasurementDataset, top_n: int = 15
+) -> EmptyBlockResult:
+    """Compute Figure 6 from a campaign data set."""
+    require_chain(dataset)
+    blocks = window_canonical_blocks(dataset)
+    if not blocks:
+        raise AnalysisError("no main-chain blocks inside the measurement window")
+    top, _rest = pool_order(dataset, top_n=top_n)
+    totals: dict[str, int] = {}
+    empties: dict[str, int] = {}
+    for block in blocks:
+        label = block.miner if block.miner in top else REMAINING_LABEL
+        totals[label] = totals.get(label, 0) + 1
+        if block.is_empty:
+            empties[label] = empties.get(label, 0) + 1
+    ordered = [name for name in top if name in totals]
+    if REMAINING_LABEL in totals:
+        ordered.append(REMAINING_LABEL)
+    per_pool = tuple(
+        PoolEmptyStats(
+            pool=label,
+            total_blocks=totals[label],
+            empty_blocks=empties.get(label, 0),
+        )
+        for label in ordered
+    )
+    return EmptyBlockResult(
+        per_pool=per_pool,
+        total_blocks=len(blocks),
+        empty_blocks=sum(1 for block in blocks if block.is_empty),
+    )

@@ -1,0 +1,329 @@
+"""Blockchain forks (Table III, §III-C4) and one-miner forks (§III-C5).
+
+A fork is a maximal chain of non-canonical blocks rooted at a canonical
+parent.  Table III tallies forks by length and by whether they became
+*recognized* — every block referenced as an uncle by some main-chain
+block.  Uncle validity requires the uncle's parent to be a main-chain
+ancestor, so only the first block of a fork can ever be recognized; the
+paper indeed observed zero recognized forks of length > 1.
+
+§III-C5's one-miner forks are groups of same-height blocks produced by a
+*single* miner: pairs, triples and the occasional larger tuple from pool
+malfunctions.  The paper found the losing variants were rewarded as
+uncles in 98 % of cases and carried an identical transaction set 56 % of
+the time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.common import require_chain, window_blocks
+from repro.measurement.dataset import MeasurementDataset
+from repro.measurement.records import ChainBlockRecord
+from repro.stats.tables import format_table
+
+
+@dataclass(frozen=True)
+class Fork:
+    """One fork: a maximal non-canonical chain.
+
+    Attributes:
+        blocks: The fork's blocks, root (canonical parent's child) first.
+        recognized: True when every block is referenced as an uncle.
+    """
+
+    blocks: tuple[ChainBlockRecord, ...]
+    recognized: bool
+
+    @property
+    def length(self) -> int:
+        return len(self.blocks)
+
+
+@dataclass(frozen=True)
+class ForkResult:
+    """Table III plus the §III-C4 headline shares.
+
+    Attributes:
+        forks: Every fork found in the measurement window.
+        total_blocks: All observed blocks in the window (main + forked).
+        main_blocks: Canonical blocks in the window.
+        recognized_uncle_blocks: Non-canonical blocks referenced as uncles.
+        unrecognized_blocks: Non-canonical blocks never referenced.
+    """
+
+    forks: tuple[Fork, ...]
+    total_blocks: int
+    main_blocks: int
+    recognized_uncle_blocks: int
+    unrecognized_blocks: int
+
+    def by_length(self) -> dict[int, tuple[int, int, int]]:
+        """``{length: (total, recognized, unrecognized)}`` — Table III."""
+        table: dict[int, list[int]] = {}
+        for fork in self.forks:
+            row = table.setdefault(fork.length, [0, 0, 0])
+            row[0] += 1
+            if fork.recognized:
+                row[1] += 1
+            else:
+                row[2] += 1
+        return {length: tuple(row) for length, row in sorted(table.items())}
+
+    @property
+    def main_share(self) -> float:
+        return self.main_blocks / self.total_blocks if self.total_blocks else 0.0
+
+    @property
+    def uncle_share(self) -> float:
+        return (
+            self.recognized_uncle_blocks / self.total_blocks
+            if self.total_blocks
+            else 0.0
+        )
+
+    @property
+    def unrecognized_share(self) -> float:
+        return (
+            self.unrecognized_blocks / self.total_blocks if self.total_blocks else 0.0
+        )
+
+    def render(self) -> str:
+        rows = [
+            (length, total, recognized, unrecognized)
+            for length, (total, recognized, unrecognized) in self.by_length().items()
+        ]
+        table = format_table(
+            headers=["Fork Length", "Total", "Recognized", "Unrecognized"],
+            rows=rows,
+            title="Table III — Fork types and lengths",
+        )
+        return (
+            f"{table}\n"
+            f"main: {100 * self.main_share:.2f}%  "
+            f"uncles: {100 * self.uncle_share:.2f}%  "
+            f"unrecognized: {100 * self.unrecognized_share:.2f}%  "
+            f"(of {self.total_blocks} observed blocks)"
+        )
+
+
+def fork_analysis(dataset: MeasurementDataset) -> ForkResult:
+    """Compute Table III from a campaign data set."""
+    require_chain(dataset)
+    blocks = window_blocks(dataset)
+    canonical = dataset.chain.canonical_set
+    referenced = dataset.chain.referenced_uncles()
+
+    non_canonical = [b for b in blocks if b.block_hash not in canonical]
+    children: dict[str, list[ChainBlockRecord]] = {}
+    for block in non_canonical:
+        children.setdefault(block.parent_hash, []).append(block)
+
+    forks: list[Fork] = []
+    for block in non_canonical:
+        if block.parent_hash not in canonical:
+            continue  # not a fork root
+        # Follow the (rare) non-canonical descendants; on a branch inside
+        # the fork, follow the longest path — fork length is the depth of
+        # the divergence, which is what the paper tallies.
+        chain: list[ChainBlockRecord] = []
+        cursor: ChainBlockRecord | None = block
+        while cursor is not None:
+            chain.append(cursor)
+            descendants = children.get(cursor.block_hash, [])
+            cursor = (
+                max(descendants, key=_subtree_depth_key(children))
+                if descendants
+                else None
+            )
+        recognized = all(b.block_hash in referenced for b in chain)
+        forks.append(Fork(blocks=tuple(chain), recognized=recognized))
+
+    main_count = sum(1 for b in blocks if b.block_hash in canonical)
+    uncle_count = sum(
+        1 for b in non_canonical if b.block_hash in referenced
+    )
+    return ForkResult(
+        forks=tuple(forks),
+        total_blocks=len(blocks),
+        main_blocks=main_count,
+        recognized_uncle_blocks=uncle_count,
+        unrecognized_blocks=len(non_canonical) - uncle_count,
+    )
+
+
+def _subtree_depth_key(children: dict[str, list[ChainBlockRecord]]):
+    def depth(block: ChainBlockRecord) -> int:
+        descendants = children.get(block.block_hash, [])
+        if not descendants:
+            return 1
+        return 1 + max(depth(child) for child in descendants)
+
+    return depth
+
+
+@dataclass(frozen=True)
+class OneMinerForkResult:
+    """§III-C5's one-miner fork statistics.
+
+    Attributes:
+        tuple_counts: ``{tuple size: occurrences}`` (pairs, triples, ...).
+        rewarded_share: Fraction of losing variants referenced as uncles.
+        same_txset_share: Fraction of groups whose variants carry an
+            identical transaction set.
+        share_of_forks: One-miner fork groups / all fork events.
+    """
+
+    tuple_counts: dict[int, int]
+    rewarded_share: float
+    same_txset_share: float
+    share_of_forks: float
+
+    @property
+    def total_groups(self) -> int:
+        return sum(self.tuple_counts.values())
+
+    def render(self) -> str:
+        rows = [(size, count) for size, count in sorted(self.tuple_counts.items())]
+        table = format_table(
+            headers=["Tuple size", "Occurrences"],
+            rows=rows,
+            title="One-miner forks (same miner, same height)",
+        )
+        return (
+            f"{table}\n"
+            f"rewarded as uncles: {100 * self.rewarded_share:.1f}%  "
+            f"identical tx set: {100 * self.same_txset_share:.1f}%  "
+            f"share of all forks: {100 * self.share_of_forks:.1f}%"
+        )
+
+
+@dataclass(frozen=True)
+class UncleRuleSavings:
+    """Effect of the §V proposal: forbid referencing uncles mined by a
+    miner that already produced the main-chain block at the same height.
+
+    Attributes:
+        denied_uncles: Referenced uncles the rule would invalidate.
+        total_referenced_uncles: All referenced uncles in the window.
+        denied_reward_eth: Uncle rewards (ETH) the rule would withhold.
+        wasted_blocks_avoided: Non-canonical same-height-same-miner
+            blocks whose mining the rule deters (the ≈1 % of platform
+            work §V estimates could be saved).
+        total_blocks: All observed blocks in the window.
+    """
+
+    denied_uncles: int
+    total_referenced_uncles: int
+    denied_reward_eth: float
+    wasted_blocks_avoided: int
+    total_blocks: int
+
+    @property
+    def denied_share(self) -> float:
+        if not self.total_referenced_uncles:
+            return 0.0
+        return self.denied_uncles / self.total_referenced_uncles
+
+    @property
+    def work_saved_share(self) -> float:
+        return (
+            self.wasted_blocks_avoided / self.total_blocks
+            if self.total_blocks
+            else 0.0
+        )
+
+    def render(self) -> str:
+        return "\n".join(
+            [
+                "§V uncle-rule proposal — forbid same-height same-miner uncles",
+                f"  referenced uncles denied: {self.denied_uncles}/"
+                f"{self.total_referenced_uncles} "
+                f"({100 * self.denied_share:.1f}%)",
+                f"  uncle rewards withheld:   {self.denied_reward_eth:.2f} ETH",
+                f"  wasted work deterred:     {self.wasted_blocks_avoided} blocks "
+                f"({100 * self.work_saved_share:.2f}% of observed blocks)",
+            ]
+        )
+
+
+def uncle_rule_savings(dataset: MeasurementDataset) -> UncleRuleSavings:
+    """Quantify the §V proposal on a campaign data set."""
+    require_chain(dataset)
+    blocks = window_blocks(dataset)
+    canonical = dataset.chain.canonical_set
+    canonical_miner_by_height = {
+        block.height: block.miner
+        for block in blocks
+        if block.block_hash in canonical
+    }
+    referenced = dataset.chain.referenced_uncles()
+    denied = 0
+    denied_reward = 0.0
+    wasted = 0
+    # Map uncle hash -> height of the including block, for reward maths.
+    including_height: dict[str, int] = {}
+    for block in dataset.chain.canonical_blocks:
+        for uncle_hash in block.uncle_hashes:
+            including_height[uncle_hash] = block.height
+    from repro.chain.rewards import uncle_reward
+
+    for block in blocks:
+        if block.block_hash in canonical:
+            continue
+        main_miner = canonical_miner_by_height.get(block.height)
+        if main_miner != block.miner:
+            continue
+        wasted += 1
+        if block.block_hash in referenced:
+            denied += 1
+            include_at = including_height.get(block.block_hash)
+            if include_at is not None:
+                denied_reward += uncle_reward(block.height, include_at)
+    return UncleRuleSavings(
+        denied_uncles=denied,
+        total_referenced_uncles=len(referenced),
+        denied_reward_eth=denied_reward,
+        wasted_blocks_avoided=wasted,
+        total_blocks=len(blocks),
+    )
+
+
+def one_miner_forks(dataset: MeasurementDataset) -> OneMinerForkResult:
+    """Compute the §III-C5 one-miner fork statistics."""
+    require_chain(dataset)
+    blocks = window_blocks(dataset)
+    canonical = dataset.chain.canonical_set
+    referenced = dataset.chain.referenced_uncles()
+
+    groups: dict[tuple[int, str], list[ChainBlockRecord]] = {}
+    for block in blocks:
+        groups.setdefault((block.height, block.miner), []).append(block)
+    multi = {key: group for key, group in groups.items() if len(group) > 1}
+
+    tuple_counts: dict[int, int] = {}
+    losers = 0
+    losers_rewarded = 0
+    same_txset = 0
+    for group in multi.values():
+        size = len(group)
+        tuple_counts[size] = tuple_counts.get(size, 0) + 1
+        tx_sets = {frozenset(block.tx_hashes) for block in group}
+        if len(tx_sets) == 1:
+            same_txset += 1
+        for block in group:
+            if block.block_hash in canonical:
+                continue
+            losers += 1
+            if block.block_hash in referenced:
+                losers_rewarded += 1
+
+    fork_events = fork_analysis(dataset).forks
+    total_forks = len(fork_events)
+    return OneMinerForkResult(
+        tuple_counts=tuple_counts,
+        rewarded_share=losers_rewarded / losers if losers else 0.0,
+        same_txset_share=same_txset / len(multi) if multi else 0.0,
+        share_of_forks=len(multi) / total_forks if total_forks else 0.0,
+    )

@@ -1,0 +1,90 @@
+"""Block gas utilization (§III-C3's "most blocks are ≈80 % full").
+
+Block fullness matters to the empty-block incentive analysis: fee income
+forfeited by an empty block is proportional to how full blocks usually
+run.  This module measures the utilization distribution of a campaign's
+main chain, counting transactions against the configured gas profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.common import require_chain, window_canonical_blocks
+from repro.errors import AnalysisError
+from repro.measurement.dataset import MeasurementDataset
+
+
+@dataclass(frozen=True)
+class GasUtilizationResult:
+    """Gas utilization over the window's main chain.
+
+    Attributes:
+        mean_utilization: Mean of per-block gas_used/gas_limit.
+        median_utilization: Median of the same ratio.
+        full_block_share: Fraction of blocks above 95 % full.
+        empty_block_share: Fraction with zero gas used.
+        blocks: Main-chain blocks measured.
+    """
+
+    mean_utilization: float
+    median_utilization: float
+    full_block_share: float
+    empty_block_share: float
+    blocks: int
+
+    def render(self) -> str:
+        return "\n".join(
+            [
+                "Block gas utilization (§III-C3 context)",
+                f"  mean={100 * self.mean_utilization:.1f}%  "
+                f"median={100 * self.median_utilization:.1f}%",
+                f"  >95% full: {100 * self.full_block_share:.1f}%  "
+                f"empty: {100 * self.empty_block_share:.1f}%  "
+                f"({self.blocks} blocks)",
+            ]
+        )
+
+
+def gas_utilization(
+    dataset: MeasurementDataset, gas_limit: int
+) -> GasUtilizationResult:
+    """Compute gas utilization from a campaign's import records.
+
+    The chain snapshot stores transaction hashes but not gas, so per-block
+    gas comes from the reference vantage's import records.
+
+    Args:
+        dataset: Campaign output.
+        gas_limit: The scenario's block gas limit.
+
+    Raises:
+        AnalysisError: when no import records cover the window.
+    """
+    require_chain(dataset)
+    if gas_limit <= 0:
+        raise AnalysisError("gas_limit must be positive")
+    canonical = {
+        block.block_hash for block in window_canonical_blocks(dataset)
+        if block.height > 0
+    }
+    reference = dataset.reference_vantage or next(iter(dataset.vantage_regions))
+    gas_by_hash: dict[str, int] = {}
+    for record in dataset.block_imports:
+        if record.vantage != reference or record.block_hash not in canonical:
+            continue
+        gas_by_hash.setdefault(record.block_hash, record.gas_used)
+    if not gas_by_hash:
+        raise AnalysisError("no import records for main-chain blocks")
+    ratios = np.array(
+        [gas / gas_limit for gas in gas_by_hash.values()], dtype=float
+    )
+    return GasUtilizationResult(
+        mean_utilization=float(ratios.mean()),
+        median_utilization=float(np.median(ratios)),
+        full_block_share=float(np.mean(ratios > 0.95)),
+        empty_block_share=float(np.mean(ratios == 0.0)),
+        blocks=int(ratios.size),
+    )

@@ -1,0 +1,156 @@
+"""Geographic impact on block reception (Figures 2 and 3, §III-B).
+
+Figure 2: the share of blocks each vantage observed first.  A uniform
+network would split evenly; the paper measured EA first ≈ 40 % of the
+time and NA about four times less — driven by the pools' gateway
+placement, which Figure 3 breaks down per pool.
+
+The NTP error bars of Figure 2 are reproduced as the share of wins whose
+margin over the runner-up is below the clock-offset envelope (wins that
+could flip under clock error).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.common import block_arrivals, block_miners, pool_order
+from repro.errors import AnalysisError
+from repro.measurement.dataset import MeasurementDataset
+from repro.stats.figures import format_bar_chart, format_stacked_shares
+
+#: Clock-offset bound that holds in 90 % of cases (10 ms, §II).
+NTP_OFFSET_P90 = 0.010
+
+#: Label the figures use for the aggregated small miners.
+REMAINING_LABEL = "Remaining miners"
+
+
+@dataclass(frozen=True)
+class FirstReceptionResult:
+    """Figure 2: first-observation share per vantage.
+
+    Attributes:
+        shares: ``{vantage: fraction of blocks it saw first}``.
+        ambiguous_shares: Fraction of each vantage's wins with a margin
+            below :data:`NTP_OFFSET_P90` (the error-bar analogue).
+        blocks_used: Blocks observed by at least two vantages.
+    """
+
+    shares: dict[str, float]
+    ambiguous_shares: dict[str, float]
+    blocks_used: int
+
+    def render(self) -> str:
+        chart = format_bar_chart(
+            self.shares,
+            title="Figure 2 — First new-block observations per vantage",
+            as_percent=True,
+        )
+        errors = "  ".join(
+            f"{vantage}: ±{100 * self.ambiguous_shares.get(vantage, 0.0):.1f}%"
+            for vantage in self.shares
+        )
+        return f"{chart}\nNTP-ambiguous margins: {errors}"
+
+
+def first_reception_shares(dataset: MeasurementDataset) -> FirstReceptionResult:
+    """Compute Figure 2 from a campaign data set."""
+    dataset.require_vantages(2)
+    arrivals = block_arrivals(dataset)
+    wins: dict[str, int] = {v: 0 for v in dataset.primary_vantages}
+    ambiguous: dict[str, int] = {v: 0 for v in dataset.primary_vantages}
+    blocks_used = 0
+    for per_vantage in arrivals.times.values():
+        if len(per_vantage) < 2:
+            continue
+        blocks_used += 1
+        ordered = sorted(per_vantage.items(), key=lambda item: (item[1], item[0]))
+        winner, best = ordered[0]
+        runner_up = ordered[1][1]
+        wins[winner] = wins.get(winner, 0) + 1
+        if runner_up - best < NTP_OFFSET_P90:
+            ambiguous[winner] = ambiguous.get(winner, 0) + 1
+    if blocks_used == 0:
+        raise AnalysisError("no block was observed by two or more vantages")
+    return FirstReceptionResult(
+        shares={v: wins[v] / blocks_used for v in wins},
+        ambiguous_shares={v: ambiguous[v] / blocks_used for v in ambiguous},
+        blocks_used=blocks_used,
+    )
+
+
+@dataclass(frozen=True)
+class PoolGeographyResult:
+    """Figure 3: per-pool first-observation split across vantages.
+
+    Attributes:
+        pool_shares: ``{pool label: {vantage: share of that pool's blocks
+            first observed there}}`` — each inner dict sums to ~1.
+        pool_block_fraction: ``{pool label: fraction of observed blocks
+            produced by the pool}`` (the percentages in Figure 3's
+            x-axis labels).
+        blocks_used: Blocks with a known miner and >= 2 observations.
+    """
+
+    pool_shares: dict[str, dict[str, float]]
+    pool_block_fraction: dict[str, float]
+    blocks_used: int
+
+    def render(self) -> str:
+        labelled = {
+            f"{pool} ({100 * self.pool_block_fraction.get(pool, 0.0):.2f}%)": shares
+            for pool, shares in self.pool_shares.items()
+        }
+        return format_stacked_shares(
+            labelled,
+            title="Figure 3 — First observations per mining pool and vantage",
+        )
+
+
+def pool_first_receptions(
+    dataset: MeasurementDataset, top_n: int = 15
+) -> PoolGeographyResult:
+    """Compute Figure 3 from a campaign data set."""
+    dataset.require_vantages(2)
+    arrivals = block_arrivals(dataset)
+    miners = block_miners(dataset)
+    top, _rest = pool_order(dataset, top_n=top_n)
+    vantages = dataset.primary_vantages
+
+    def label_for(miner: str) -> str:
+        return miner if miner in top else REMAINING_LABEL
+
+    win_counts: dict[str, dict[str, int]] = {}
+    block_counts: dict[str, int] = {}
+    blocks_used = 0
+    for block_hash, per_vantage in arrivals.times.items():
+        miner = miners.get(block_hash)
+        if miner is None or len(per_vantage) < 2:
+            continue
+        blocks_used += 1
+        label = label_for(miner)
+        winner = min(per_vantage, key=lambda v: (per_vantage[v], v))
+        win_counts.setdefault(label, {v: 0 for v in vantages})[winner] += 1
+        block_counts[label] = block_counts.get(label, 0) + 1
+    if blocks_used == 0:
+        raise AnalysisError("no attributable block observations")
+
+    ordered_labels = [name for name in top if name in win_counts]
+    if REMAINING_LABEL in win_counts:
+        ordered_labels.append(REMAINING_LABEL)
+    pool_shares = {
+        label: {
+            vantage: win_counts[label][vantage] / block_counts[label]
+            for vantage in vantages
+        }
+        for label in ordered_labels
+    }
+    pool_block_fraction = {
+        label: block_counts[label] / blocks_used for label in ordered_labels
+    }
+    return PoolGeographyResult(
+        pool_shares=pool_shares,
+        pool_block_fraction=pool_block_fraction,
+        blocks_used=blocks_used,
+    )

@@ -1,0 +1,62 @@
+"""Blockchain data model: transactions, blocks, fork choice, validation,
+rewards and the nonce-aware mempool."""
+
+from repro.chain.block import (
+    DEFAULT_GAS_LIMIT,
+    EMPTY_BLOCK_SIZE,
+    GENESIS_PARENT_HASH,
+    Block,
+    header_only_size,
+    make_genesis,
+)
+from repro.chain.difficulty import (
+    BYZANTIUM_BOMB_DELAY,
+    CONSTANTINOPLE_BOMB_DELAY,
+    DifficultyConfig,
+    bomb_component,
+    next_difficulty,
+)
+from repro.chain.forkchoice import MAX_UNCLE_DEPTH, BlockTree
+from repro.chain.mempool import Mempool
+from repro.chain.rewards import (
+    BLOCK_REWARD_ETH,
+    RewardEvent,
+    block_rewards,
+    ledger_for_chain,
+    uncle_reward,
+)
+from repro.chain.transaction import DEFAULT_TX_SIZE, Transaction
+from repro.chain.validation import (
+    ValidationConfig,
+    validate_block,
+    validate_transaction,
+    validation_delay,
+)
+
+__all__ = [
+    "BLOCK_REWARD_ETH",
+    "BYZANTIUM_BOMB_DELAY",
+    "Block",
+    "BlockTree",
+    "CONSTANTINOPLE_BOMB_DELAY",
+    "DEFAULT_GAS_LIMIT",
+    "DEFAULT_TX_SIZE",
+    "DifficultyConfig",
+    "EMPTY_BLOCK_SIZE",
+    "GENESIS_PARENT_HASH",
+    "MAX_UNCLE_DEPTH",
+    "Mempool",
+    "RewardEvent",
+    "Transaction",
+    "ValidationConfig",
+    "block_rewards",
+    "bomb_component",
+    "header_only_size",
+    "ledger_for_chain",
+    "make_genesis",
+    "next_difficulty",
+    "uncle_reward",
+    "validate_block",
+    "validate_transaction",
+    "validation_delay",
+]

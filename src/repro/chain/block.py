@@ -1,0 +1,130 @@
+"""Block data model.
+
+Blocks carry the subset of Ethereum header fields the study needs: height,
+parent link, miner identity, difficulty, timestamp, gas usage, uncle
+references and the transaction body.  Sizes are approximated from content
+so the bandwidth model penalises full blocks versus empty blocks — the
+propagation advantage §III-C3 identifies as an incentive for empty-block
+mining.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from repro.chain.transaction import Transaction
+
+#: Encoded size of an empty block (header + RLP scaffolding), bytes.
+EMPTY_BLOCK_SIZE = 540
+
+#: Gas limit of April-2019 mainnet blocks.
+DEFAULT_GAS_LIMIT = 8_000_000
+
+#: Hash of the synthetic genesis block's (absent) parent.
+GENESIS_PARENT_HASH = "0x" + "00" * 16
+
+
+def _block_hash(miner: str, height: int, parent_hash: str, salt: int) -> str:
+    """Deterministic block hash.
+
+    ``salt`` distinguishes multiple blocks a single miner produces at the
+    same height (the one-miner forks of §III-C5).
+    """
+    digest = hashlib.blake2b(
+        f"block/{miner}/{height}/{parent_hash}/{salt}".encode("utf-8"),
+        digest_size=16,
+    ).hexdigest()
+    return "0x" + digest
+
+
+@dataclass(frozen=True)
+class Block:
+    """An Ethereum-style block.
+
+    Attributes:
+        height: Block number; genesis is 0.
+        parent_hash: Hash of the parent block.
+        miner: Identifier of the producing miner or mining pool.
+        difficulty: Mining difficulty of this block.
+        timestamp: True simulated time at which the block was sealed.
+        transactions: Included transactions, in execution order.
+        uncle_hashes: Hashes of referenced uncle blocks (max 2).
+        gas_limit: Block gas limit.
+        salt: Disambiguates same-miner same-height blocks.
+        block_hash: Unique identifier, derived deterministically.
+    """
+
+    height: int
+    parent_hash: str
+    miner: str
+    difficulty: float
+    timestamp: float
+    transactions: tuple[Transaction, ...] = ()
+    uncle_hashes: tuple[str, ...] = ()
+    gas_limit: int = DEFAULT_GAS_LIMIT
+    salt: int = 0
+    block_hash: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if self.height < 0:
+            raise ValueError(f"height must be non-negative, got {self.height!r}")
+        if len(self.uncle_hashes) > 2:
+            raise ValueError("a block may reference at most two uncles")
+        if not self.block_hash:
+            object.__setattr__(
+                self,
+                "block_hash",
+                _block_hash(self.miner, self.height, self.parent_hash, self.salt),
+            )
+        # Blocks are immutable, so derived quantities that would otherwise
+        # be recomputed on every send/validate are cached up front.
+        object.__setattr__(
+            self, "_gas_used", sum(tx.gas_used for tx in self.transactions)
+        )
+        object.__setattr__(
+            self,
+            "_size_bytes",
+            EMPTY_BLOCK_SIZE + sum(tx.size_bytes for tx in self.transactions),
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the block includes no transactions (§III-C3)."""
+        return not self.transactions
+
+    @property
+    def gas_used(self) -> int:
+        """Total gas consumed by the included transactions."""
+        return self._gas_used  # type: ignore[attr-defined]
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate encoded size: header plus transaction payloads."""
+        return self._size_bytes  # type: ignore[attr-defined]
+
+    @property
+    def tx_hashes(self) -> tuple[str, ...]:
+        return tuple(tx.tx_hash for tx in self.transactions)
+
+    def __repr__(self) -> str:
+        kind = "empty " if self.is_empty else ""
+        return (
+            f"Block(#{self.height} {kind}by={self.miner} "
+            f"hash={self.block_hash[:10]}…)"
+        )
+
+
+def make_genesis(difficulty: float = 1.0, timestamp: float = 0.0) -> Block:
+    """Create the canonical genesis block shared by every node in a run."""
+    return Block(
+        height=0,
+        parent_hash=GENESIS_PARENT_HASH,
+        miner="genesis",
+        difficulty=difficulty,
+        timestamp=timestamp,
+    )
+
+
+def header_only_size(block: Block) -> int:
+    """Size of a header-only message for ``block`` (announcement follow-up)."""
+    return EMPTY_BLOCK_SIZE

@@ -1,0 +1,105 @@
+"""Difficulty adjustment, including the "difficulty bomb".
+
+Implements the Byzantium/Constantinople difficulty rule (EIP-100 family)
+in simplified continuous form:
+
+* the parent difficulty is nudged up when blocks arrive faster than the
+  9-second uncle-aware target window and down when slower, in steps of
+  ``parent_difficulty / 2048``;
+* an exponential *bomb* term doubles every 100,000 blocks past a fake-block
+  offset.  Constantinople (EIP-1234, Feb 2019) pushed the bomb 5,000,000
+  blocks back, which is the change the paper credits for the inter-block
+  time dropping from 14.3 s to 13.3 s (§III-C1).
+
+The simulator's mining lottery operates on hash-power shares, so absolute
+difficulty only matters relatively: fork choice compares summed difficulty,
+and the bomb lets the ablation bench reproduce the pre/post-Constantinople
+inter-block-time shift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Difficulty adjustment quotient (Ethereum constant).
+ADJUSTMENT_QUOTIENT = 2048
+
+#: Lower bound of the adjustment factor (Ethereum constant).
+MIN_ADJUSTMENT = -99
+
+#: Blocks between bomb doublings (Ethereum constant: 100,000).
+BOMB_PERIOD = 100_000
+
+#: Bomb delay after EIP-1234 (Constantinople): 5,000,000 blocks.
+CONSTANTINOPLE_BOMB_DELAY = 5_000_000
+
+#: Bomb delay after EIP-649 (Byzantium): 3,000,000 blocks.
+BYZANTIUM_BOMB_DELAY = 3_000_000
+
+
+@dataclass(frozen=True)
+class DifficultyConfig:
+    """Parameters of the difficulty rule.
+
+    Attributes:
+        bomb_delay: Fake-block offset subtracted from the height before the
+            bomb exponent is computed (EIP-649/1234 delays).
+        minimum_difficulty: Floor below which difficulty never falls.
+        uncle_target_window: Seconds per adjustment step in the EIP-100
+            rule (9 s on mainnet).
+    """
+
+    bomb_delay: int = CONSTANTINOPLE_BOMB_DELAY
+    minimum_difficulty: float = 131_072.0
+    uncle_target_window: float = 9.0
+
+    def __post_init__(self) -> None:
+        if self.minimum_difficulty <= 0:
+            raise ConfigurationError("minimum difficulty must be positive")
+        if self.uncle_target_window <= 0:
+            raise ConfigurationError("uncle target window must be positive")
+
+
+def bomb_component(height: int, config: DifficultyConfig) -> float:
+    """The exponential bomb term at ``height`` under ``config``."""
+    fake_height = max(height - config.bomb_delay, 0)
+    exponent = fake_height // BOMB_PERIOD - 2
+    if exponent < 0:
+        return 0.0
+    return float(2**exponent)
+
+
+def next_difficulty(
+    parent_difficulty: float,
+    parent_timestamp: float,
+    timestamp: float,
+    height: int,
+    parent_has_uncles: bool = False,
+    config: DifficultyConfig | None = None,
+) -> float:
+    """Difficulty of a block at ``height`` following the given parent.
+
+    Args:
+        parent_difficulty: Difficulty of the parent block.
+        parent_timestamp: Seal time of the parent.
+        timestamp: Seal time of the new block; must exceed the parent's.
+        height: Height of the new block.
+        parent_has_uncles: EIP-100 adds one window of slack when the
+            parent references uncles.
+        config: Rule parameters; defaults to post-Constantinople mainnet.
+    """
+    cfg = config or DifficultyConfig()
+    if timestamp <= parent_timestamp:
+        timestamp = parent_timestamp + 1e-3
+    uncle_bonus = 2 if parent_has_uncles else 1
+    adjustment = max(
+        uncle_bonus - int((timestamp - parent_timestamp) / cfg.uncle_target_window),
+        MIN_ADJUSTMENT,
+    )
+    difficulty = parent_difficulty + parent_difficulty / ADJUSTMENT_QUOTIENT * (
+        adjustment
+    )
+    difficulty += bomb_component(height, cfg)
+    return max(difficulty, cfg.minimum_difficulty)

@@ -1,0 +1,224 @@
+"""Block tree and heaviest-chain fork choice.
+
+Each node keeps a :class:`BlockTree`: every block it has accepted, indexed
+by hash, with cumulative (total) difficulty.  The canonical head is the
+leaf with the highest total difficulty — Ethereum's pre-merge rule — with
+first-arrival as the tie break, which is what Geth does and what makes two
+same-height blocks race geographically (§III-B).
+
+The tree also implements uncle candidacy (referencing forks within seven
+generations) so miners can harvest uncle rewards, including the one-miner
+fork exploitation the paper documents in §III-C5.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.chain.block import Block, make_genesis
+from repro.errors import ChainError
+
+#: Maximum generation gap between a block and the uncles it may reference.
+MAX_UNCLE_DEPTH = 6
+
+
+class BlockTree:
+    """A tree of blocks with total-difficulty fork choice.
+
+    Args:
+        genesis: Shared genesis block; defaults to :func:`make_genesis`.
+    """
+
+    def __init__(self, genesis: Optional[Block] = None) -> None:
+        self.genesis = genesis or make_genesis()
+        self._blocks: dict[str, Block] = {self.genesis.block_hash: self.genesis}
+        self._children: dict[str, list[str]] = {self.genesis.block_hash: []}
+        self._total_difficulty: dict[str, float] = {
+            self.genesis.block_hash: self.genesis.difficulty
+        }
+        self._arrival_order: dict[str, int] = {self.genesis.block_hash: 0}
+        self._arrivals = 0
+        self.head: Block = self.genesis
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def __contains__(self, block_hash: str) -> bool:
+        return block_hash in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def get(self, block_hash: str) -> Optional[Block]:
+        """Return the block with ``block_hash`` or ``None``."""
+        return self._blocks.get(block_hash)
+
+    def require(self, block_hash: str) -> Block:
+        """Return the block with ``block_hash`` or raise :class:`ChainError`."""
+        block = self._blocks.get(block_hash)
+        if block is None:
+            raise ChainError(f"unknown block {block_hash!r}")
+        return block
+
+    def children_of(self, block_hash: str) -> tuple[str, ...]:
+        """Hashes of the known children of ``block_hash``."""
+        return tuple(self._children.get(block_hash, ()))
+
+    def total_difficulty(self, block_hash: str) -> float:
+        """Cumulative difficulty from genesis to ``block_hash`` inclusive."""
+        value = self._total_difficulty.get(block_hash)
+        if value is None:
+            raise ChainError(f"unknown block {block_hash!r}")
+        return value
+
+    def has_parent(self, block: Block) -> bool:
+        """True when ``block``'s parent is already in the tree."""
+        return block.parent_hash in self._blocks
+
+    # ------------------------------------------------------------------ #
+    # Growth
+    # ------------------------------------------------------------------ #
+
+    def add(self, block: Block) -> bool:
+        """Insert ``block`` and re-run fork choice.
+
+        Returns:
+            True when the canonical head changed.
+
+        Raises:
+            ChainError: if the parent is unknown (callers buffer orphans),
+                the block duplicates an existing hash, or its height is
+                inconsistent with its parent.
+        """
+        if block.block_hash in self._blocks:
+            raise ChainError(f"duplicate block {block.block_hash!r}")
+        parent = self._blocks.get(block.parent_hash)
+        if parent is None:
+            raise ChainError(
+                f"parent {block.parent_hash!r} of {block!r} not in tree"
+            )
+        if block.height != parent.height + 1:
+            raise ChainError(
+                f"{block!r} height {block.height} does not extend parent "
+                f"height {parent.height}"
+            )
+        self._blocks[block.block_hash] = block
+        self._children[block.block_hash] = []
+        self._children[block.parent_hash].append(block.block_hash)
+        self._arrivals += 1
+        self._arrival_order[block.block_hash] = self._arrivals
+        self._total_difficulty[block.block_hash] = (
+            self._total_difficulty[block.parent_hash] + block.difficulty
+        )
+        return self._maybe_reorg(block)
+
+    def _maybe_reorg(self, candidate: Block) -> bool:
+        """Switch the head to ``candidate`` if it is strictly heavier."""
+        head_td = self._total_difficulty[self.head.block_hash]
+        cand_td = self._total_difficulty[candidate.block_hash]
+        if cand_td > head_td:
+            self.head = candidate
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Canonical chain
+    # ------------------------------------------------------------------ #
+
+    def canonical_chain(self) -> list[Block]:
+        """The main chain from genesis to the head, in height order."""
+        chain: list[Block] = []
+        cursor: Optional[Block] = self.head
+        while cursor is not None:
+            chain.append(cursor)
+            cursor = self._blocks.get(cursor.parent_hash)
+        chain.reverse()
+        return chain
+
+    def canonical_hashes(self) -> set[str]:
+        """Set of hashes on the current main chain."""
+        return {block.block_hash for block in self.canonical_chain()}
+
+    def is_canonical(self, block_hash: str) -> bool:
+        """True when ``block_hash`` lies on the current main chain."""
+        self.require(block_hash)
+        cursor: Optional[Block] = self.head
+        target = self._blocks[block_hash]
+        while cursor is not None and cursor.height >= target.height:
+            if cursor.block_hash == block_hash:
+                return True
+            cursor = self._blocks.get(cursor.parent_hash)
+        return False
+
+    def ancestors(self, block_hash: str, max_depth: int) -> Iterator[Block]:
+        """Yield up to ``max_depth`` ancestors of ``block_hash``, parents first."""
+        cursor = self.require(block_hash)
+        for _ in range(max_depth):
+            parent = self._blocks.get(cursor.parent_hash)
+            if parent is None:
+                return
+            yield parent
+            cursor = parent
+
+    def confirmations(self, block_hash: str) -> int:
+        """Number of canonical blocks after ``block_hash`` (0 for the head).
+
+        Raises:
+            ChainError: when the block is not on the main chain.
+        """
+        if not self.is_canonical(block_hash):
+            raise ChainError(f"{block_hash!r} is not canonical")
+        return self.head.height - self._blocks[block_hash].height
+
+    # ------------------------------------------------------------------ #
+    # Uncles
+    # ------------------------------------------------------------------ #
+
+    def uncle_candidates(self, head_hash: str) -> list[Block]:
+        """Valid uncles for a block extending ``head_hash``.
+
+        A valid uncle of a block at height ``H`` sits at height
+        ``H-6 .. H-1`` and is the child of one of the block's ancestors
+        — i.e. a sibling of an ancestor, never a sibling of the block
+        itself (children of ``head_hash`` are at height ``H`` and are
+        competing blocks, not uncles).  The candidate must not itself be
+        an ancestor nor already referenced on the ancestor path.
+        """
+        head = self.require(head_hash)
+        ancestor_path = [head, *self.ancestors(head_hash, MAX_UNCLE_DEPTH)]
+        ancestor_hashes = {block.block_hash for block in ancestor_path}
+        already_referenced: set[str] = set()
+        for block in ancestor_path:
+            already_referenced.update(block.uncle_hashes)
+        candidates: list[Block] = []
+        # Children of the head itself are excluded: they would share the
+        # new block's height, which the protocol forbids for uncles.
+        for ancestor in ancestor_path[1:]:
+            for child_hash in self._children[ancestor.block_hash]:
+                if child_hash in ancestor_hashes:
+                    continue
+                if child_hash in already_referenced:
+                    continue
+                candidates.append(self._blocks[child_hash])
+        candidates.sort(key=lambda block: (block.height, block.block_hash))
+        return candidates
+
+    def referenced_uncle_hashes(self) -> set[str]:
+        """Hashes referenced as uncles by any block on the main chain."""
+        referenced: set[str] = set()
+        for block in self.canonical_chain():
+            referenced.update(block.uncle_hashes)
+        return referenced
+
+    # ------------------------------------------------------------------ #
+    # Whole-tree iteration (used by analyses and tests)
+    # ------------------------------------------------------------------ #
+
+    def all_blocks(self) -> list[Block]:
+        """Every block in the tree, in insertion order."""
+        return list(self._blocks.values())
+
+    def blocks_at_height(self, height: int) -> list[Block]:
+        """All known blocks (canonical or not) at ``height``."""
+        return [block for block in self._blocks.values() if block.height == height]

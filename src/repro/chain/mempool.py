@@ -1,0 +1,221 @@
+"""Transaction pool with per-sender nonce sequencing.
+
+Mirrors the behaviour that makes transaction reordering matter (§III-C2):
+a transaction whose nonce is ahead of the sender's next expected nonce is
+*parked* (Geth calls this the "queued" region) and only becomes *pending*
+— eligible for inclusion — once every predecessor has been seen.  Miners
+draw from the pending region in descending gas-price order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.chain.transaction import Transaction
+from repro.errors import ValidationError
+
+
+#: Geth's default transaction-pool capacity (``--txpool.globalslots``).
+DEFAULT_MEMPOOL_CAPACITY = 4096
+
+#: When the pool overflows, evict down to this fraction of capacity in
+#: one batch, so the O(n) eviction scan runs rarely.
+EVICTION_LOW_WATER = 0.95
+
+
+class Mempool:
+    """Nonce-aware transaction pool with price-based eviction.
+
+    Like Geth's txpool, capacity is bounded: when the pending region
+    overflows, the cheapest sender *tails* are dropped (never a middle
+    nonce, so the gapless-prefix invariant holds).  On a busy network the
+    pool therefore carries a standing backlog of cheap transactions —
+    which is why real miners never produce naturally empty blocks.
+
+    Attributes:
+        pending: Executable transactions, keyed by hash.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_MEMPOOL_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValidationError(f"capacity must be positive, got {capacity!r}")
+        self.capacity = capacity
+        self.pending: dict[str, Transaction] = {}
+        # sender -> {nonce: tx} transactions waiting on a nonce gap
+        self._queued: dict[str, dict[int, Transaction]] = {}
+        # sender -> next nonce that would be executable
+        self._next_nonce: dict[str, int] = {}
+        self._known_hashes: set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self.pending)
+
+    def __contains__(self, tx_hash: str) -> bool:
+        return tx_hash in self._known_hashes
+
+    @property
+    def queued_count(self) -> int:
+        """Number of transactions parked behind a nonce gap."""
+        return sum(len(by_nonce) for by_nonce in self._queued.values())
+
+    def next_nonce(self, sender: str) -> int:
+        """Next executable nonce expected from ``sender``."""
+        return self._next_nonce.get(sender, 0)
+
+    # ------------------------------------------------------------------ #
+    # Ingestion
+    # ------------------------------------------------------------------ #
+
+    def add(self, tx: Transaction) -> bool:
+        """Insert ``tx``; returns True when it was new (pending or queued).
+
+        Stale transactions (nonce already executed) and duplicates are
+        dropped, as a real node would drop them.
+
+        Raises:
+            ValidationError: for structurally invalid transactions.
+        """
+        if tx.gas_used <= 0:
+            raise ValidationError(f"{tx!r}: gas_used must be positive")
+        if tx.tx_hash in self._known_hashes:
+            return False
+        expected = self._next_nonce.get(tx.sender, 0)
+        if tx.nonce < expected:
+            return False  # stale: already executable/executed
+        self._known_hashes.add(tx.tx_hash)
+        if tx.nonce == expected:
+            self.pending[tx.tx_hash] = tx
+            self._next_nonce[tx.sender] = expected + 1
+            self._promote(tx.sender)
+        else:
+            self._queued.setdefault(tx.sender, {})[tx.nonce] = tx
+        if len(self.pending) > self.capacity:
+            self._evict_overflow()
+        return True
+
+    def _evict_overflow(self) -> None:
+        """Drop the cheapest sender tails until below the low-water mark.
+
+        Only a sender's highest pending nonce is evictable, so pending
+        prefixes stay gapless.  Evicted hashes are forgotten, allowing a
+        resubmission to be accepted later (as in Geth).
+        """
+        target = int(self.capacity * EVICTION_LOW_WATER)
+        while len(self.pending) > target:
+            # Highest pending nonce per sender = the evictable frontier.
+            tail_nonce: dict[str, int] = {}
+            for tx in self.pending.values():
+                current = tail_nonce.get(tx.sender, -1)
+                if tx.nonce > current:
+                    tail_nonce[tx.sender] = tx.nonce
+            tails = sorted(
+                (
+                    tx
+                    for tx in self.pending.values()
+                    if tx.nonce == tail_nonce[tx.sender]
+                ),
+                key=lambda tx: tx.gas_price,
+            )
+            evicted_any = False
+            for tx in tails:
+                if len(self.pending) <= target:
+                    break
+                del self.pending[tx.tx_hash]
+                self._known_hashes.discard(tx.tx_hash)
+                self._next_nonce[tx.sender] = tx.nonce
+                evicted_any = True
+            if not evicted_any:  # pragma: no cover - defensive
+                break
+
+    def _promote(self, sender: str) -> None:
+        """Move queued transactions made executable by a new arrival."""
+        queued = self._queued.get(sender)
+        if not queued:
+            return
+        nonce = self._next_nonce[sender]
+        while nonce in queued:
+            tx = queued.pop(nonce)
+            self.pending[tx.tx_hash] = tx
+            nonce += 1
+        self._next_nonce[sender] = nonce
+        if not queued:
+            del self._queued[sender]
+
+    # ------------------------------------------------------------------ #
+    # Selection / settlement
+    # ------------------------------------------------------------------ #
+
+    def select(self, gas_limit: int, max_count: Optional[int] = None) -> list[Transaction]:
+        """Pick pending transactions for a block, greedy by gas price.
+
+        Per-sender nonce order is preserved: a sender's transactions are
+        taken as a gapless prefix, mirroring Geth's price-sorted heads.
+        """
+        per_sender: dict[str, list[Transaction]] = {}
+        for tx in self.pending.values():
+            per_sender.setdefault(tx.sender, []).append(tx)
+        for txs in per_sender.values():
+            txs.sort(key=lambda tx: tx.nonce, reverse=True)  # pop() yields lowest
+
+        chosen: list[Transaction] = []
+        gas_left = gas_limit
+        heads = {sender: txs[-1] for sender, txs in per_sender.items()}
+        while heads:
+            if max_count is not None and len(chosen) >= max_count:
+                break
+            sender, head = max(
+                heads.items(), key=lambda item: (item[1].gas_price, item[0])
+            )
+            if head.gas_used > gas_left:
+                # This sender's next tx does not fit; its successors cannot
+                # be taken either (nonce order), so drop the whole sender.
+                del heads[sender]
+                continue
+            chosen.append(per_sender[sender].pop())
+            gas_left -= head.gas_used
+            if per_sender[sender]:
+                heads[sender] = per_sender[sender][-1]
+            else:
+                del heads[sender]
+        return chosen
+
+    def remove_included(self, txs: Iterable[Transaction]) -> None:
+        """Drop transactions that a new canonical block included.
+
+        A block may include transactions this node never saw (mined from
+        another node's view); their nonces still advance the sender's
+        account frontier, which evicts any *different* local transaction
+        occupying a now-consumed nonce and unparks queued successors.
+        """
+        included_frontier: dict[str, int] = {}
+        for tx in txs:
+            self.pending.pop(tx.tx_hash, None)
+            queued = self._queued.get(tx.sender)
+            if queued:
+                queued.pop(tx.nonce, None)
+                if not queued:
+                    del self._queued[tx.sender]
+            previous = included_frontier.get(tx.sender, -1)
+            included_frontier[tx.sender] = max(previous, tx.nonce)
+        for sender, max_nonce in included_frontier.items():
+            if self._next_nonce.get(sender, 0) < max_nonce + 1:
+                self._next_nonce[sender] = max_nonce + 1
+            # Evict local txs whose nonce the chain already consumed with
+            # a different transaction.
+            stale = [
+                tx_hash
+                for tx_hash, pending_tx in self.pending.items()
+                if pending_tx.sender == sender and pending_tx.nonce <= max_nonce
+            ]
+            for tx_hash in stale:
+                del self.pending[tx_hash]
+            self._promote(sender)
+
+    def reinject(self, txs: Iterable[Transaction]) -> None:
+        """Return transactions from reorged-out blocks to the pool."""
+        for tx in txs:
+            expected = self._next_nonce.get(tx.sender, 0)
+            if tx.nonce < expected:
+                self._next_nonce[tx.sender] = tx.nonce
+            self._known_hashes.discard(tx.tx_hash)
+            self.add(tx)

@@ -1,0 +1,60 @@
+"""Transaction data model.
+
+A transaction carries the fields the study's analyses depend on: the
+sender, the sender's monotonically increasing nonce (used to detect
+out-of-order receptions, §III-C2), the gas price (miners order by it) and
+an approximate wire size (drives serialisation delay).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+#: Typical encoded transaction size on the 2019 mainnet, bytes.
+DEFAULT_TX_SIZE = 250
+
+
+def _tx_hash(sender: str, nonce: int) -> str:
+    """Deterministic transaction hash from its identity fields.
+
+    Real Ethereum hashes the full signed payload; for the simulator the
+    (sender, nonce) pair is already unique per network run, which is all the
+    dissemination and analysis layers need.
+    """
+    digest = hashlib.blake2b(
+        f"tx/{sender}/{nonce}".encode("utf-8"), digest_size=16
+    ).hexdigest()
+    return "0x" + digest
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """An Ethereum-style transaction.
+
+    Attributes:
+        sender: Account identifier of the originator.
+        nonce: Sender-scoped sequence number; consecutive per sender.
+        gas_price: Fee bid in wei-per-gas; miners sort descending by it.
+        gas_used: Gas the transaction consumes when executed.
+        size_bytes: Encoded size, used by the bandwidth model.
+        created_at: True simulated time at which the sender created it.
+        tx_hash: Unique identifier, derived from ``(sender, nonce)``.
+    """
+
+    sender: str
+    nonce: int
+    gas_price: float = 1.0
+    gas_used: int = 21_000
+    size_bytes: int = DEFAULT_TX_SIZE
+    created_at: float = 0.0
+    tx_hash: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if self.nonce < 0:
+            raise ValueError(f"nonce must be non-negative, got {self.nonce!r}")
+        if not self.tx_hash:
+            object.__setattr__(self, "tx_hash", _tx_hash(self.sender, self.nonce))
+
+    def __repr__(self) -> str:  # keep log lines short
+        return f"Tx({self.sender}#{self.nonce})"

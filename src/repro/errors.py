@@ -1,0 +1,45 @@
+"""Exception hierarchy for the repro library.
+
+All exceptions raised deliberately by this package derive from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` etc.)
+propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was used incorrectly or reached an
+    inconsistent state (e.g. scheduling an event in the past)."""
+
+
+class ConfigurationError(ReproError):
+    """A scenario, node, or campaign configuration is invalid."""
+
+
+class ValidationError(ReproError):
+    """A block or transaction failed protocol validation."""
+
+
+class ChainError(ReproError):
+    """The block tree was asked something impossible (unknown hash,
+    missing parent, etc.)."""
+
+
+class ProtocolError(ReproError):
+    """A peer violated the wire protocol (unknown message, bad payload)."""
+
+
+class DatasetError(ReproError):
+    """A measurement dataset could not be read, written, or is missing
+    the records required by an analysis."""
+
+
+class AnalysisError(ReproError):
+    """An analysis was invoked on data that cannot support it
+    (e.g. no vantage observed any block)."""

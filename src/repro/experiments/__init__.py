@@ -1,0 +1,34 @@
+"""Experiment registry, campaign presets and the artifact runner."""
+
+from repro.experiments.cache import campaign_dataset, clear_memory_cache
+from repro.experiments.presets import (
+    SCALED_NODE_CONFIG,
+    large_campaign,
+    preset,
+    small_campaign,
+    standard_campaign,
+)
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    Experiment,
+    all_experiment_ids,
+    get_experiment,
+)
+from repro.experiments.report import render_report
+from repro.experiments.runner import run_experiment
+
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "SCALED_NODE_CONFIG",
+    "all_experiment_ids",
+    "campaign_dataset",
+    "clear_memory_cache",
+    "get_experiment",
+    "large_campaign",
+    "preset",
+    "render_report",
+    "run_experiment",
+    "small_campaign",
+    "standard_campaign",
+]

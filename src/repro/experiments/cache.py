@@ -1,0 +1,66 @@
+"""Campaign result caching.
+
+All ten experiments analyse the *same* campaign, exactly as the paper's
+figures all derive from one measurement window.  Running the simulation
+once per experiment would waste minutes, so :func:`campaign_dataset`
+memoises datasets per (preset, seed) — in process, and optionally on disk
+as the JSONL format the measurement layer already speaks.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from repro.errors import DatasetError
+from repro.experiments.presets import preset
+from repro.measurement.campaign import Campaign
+from repro.measurement.dataset import MeasurementDataset
+
+_MEMORY_CACHE: dict[tuple[str, int], MeasurementDataset] = {}
+
+#: Default on-disk cache directory (repo-local, git-ignored).
+DEFAULT_CACHE_DIR = Path(".repro-cache")
+
+
+def cache_key(preset_name: str, seed: int) -> str:
+    return f"campaign-{preset_name}-seed{seed}.jsonl"
+
+
+def campaign_dataset(
+    preset_name: str = "standard",
+    seed: int = 1,
+    cache_dir: Optional[Path] = None,
+    use_disk: bool = False,
+) -> MeasurementDataset:
+    """Return the (possibly cached) dataset for a preset campaign.
+
+    Args:
+        preset_name: One of ``small`` / ``standard`` / ``large``.
+        seed: Campaign seed.
+        cache_dir: Directory for the optional disk cache.
+        use_disk: Persist/reuse the dataset as JSONL on disk.
+    """
+    key = (preset_name, seed)
+    dataset = _MEMORY_CACHE.get(key)
+    if dataset is not None:
+        return dataset
+
+    path = (cache_dir or DEFAULT_CACHE_DIR) / cache_key(preset_name, seed)
+    if use_disk and path.exists():
+        try:
+            dataset = MeasurementDataset.load(path)
+        except DatasetError:
+            dataset = None  # corrupt cache: regenerate
+    if dataset is None:
+        dataset = Campaign(preset(preset_name, seed)).run()
+        if use_disk:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            dataset.save(path)
+    _MEMORY_CACHE[key] = dataset
+    return dataset
+
+
+def clear_memory_cache() -> None:
+    """Drop all in-process cached datasets (used by tests)."""
+    _MEMORY_CACHE.clear()

@@ -1,0 +1,69 @@
+"""Experiment runner: regenerate any paper artifact from the command line.
+
+Usage::
+
+    python -m repro.experiments.runner                 # all experiments
+    python -m repro.experiments.runner fig2 table3     # a subset
+    python -m repro.experiments.runner --preset large  # flagship campaign
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from repro.experiments.cache import campaign_dataset
+from repro.experiments.registry import all_experiment_ids, get_experiment
+from repro.measurement.dataset import MeasurementDataset
+
+
+def run_experiment(
+    experiment_id: str, dataset: MeasurementDataset
+) -> str:
+    """Run one experiment and return its rendered artifact + paper values."""
+    experiment = get_experiment(experiment_id)
+    result = experiment.run(dataset)
+    paper = "\n".join(
+        f"    paper: {key} = {value}"
+        for key, value in experiment.paper_values.items()
+    )
+    header = f"[{experiment.experiment_id}] {experiment.title}"
+    rendered = result.render()  # type: ignore[attr-defined]
+    return f"{header}\n{rendered}\n{paper}"
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=[],
+        help="experiment ids (default: all)",
+    )
+    parser.add_argument(
+        "--preset",
+        default="standard",
+        choices=("small", "standard", "large"),
+        help="campaign preset to analyse",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="campaign seed")
+    parser.add_argument(
+        "--disk-cache",
+        action="store_true",
+        help="persist/reuse the campaign dataset under .repro-cache/",
+    )
+    args = parser.parse_args(argv)
+
+    ids = args.experiments or all_experiment_ids()
+    for experiment_id in ids:
+        get_experiment(experiment_id)  # validate before the expensive run
+
+    dataset = campaign_dataset(args.preset, args.seed, use_disk=args.disk_cache)
+    for experiment_id in ids:
+        print(run_experiment(experiment_id, dataset))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,29 @@
+"""Geography: regions, WAN latency model, and NTP clock-offset model."""
+
+from repro.geo.clock import NtpClock, NtpModelConfig, PerfectClock
+from repro.geo.latency import (
+    LatencyModel,
+    LatencyModelConfig,
+    base_latency_seconds,
+)
+from repro.geo.regions import (
+    DEFAULT_NODE_DISTRIBUTION,
+    VANTAGE_REGIONS,
+    Region,
+    RegionProfile,
+    normalized_shares,
+)
+
+__all__ = [
+    "DEFAULT_NODE_DISTRIBUTION",
+    "LatencyModel",
+    "LatencyModelConfig",
+    "NtpClock",
+    "NtpModelConfig",
+    "PerfectClock",
+    "Region",
+    "RegionProfile",
+    "VANTAGE_REGIONS",
+    "base_latency_seconds",
+    "normalized_shares",
+]

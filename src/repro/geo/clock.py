@@ -1,0 +1,101 @@
+"""NTP clock-offset model.
+
+The paper's vantage machines used NTP, which the cited Murta et al. study
+characterises as offset < 10 ms in 90 % of cases and < 100 ms in 99 % of
+cases.  :class:`NtpClock` reproduces that envelope: each clock holds an
+offset drawn from a mixture distribution matching the two quantiles, plus a
+small per-reading dispersion (clock discipline wobble).
+
+Measurement nodes stamp their logs through an :class:`NtpClock`; the
+simulator's true time remains available for ground-truth assertions in
+tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class NtpModelConfig:
+    """Parameters of the NTP offset mixture.
+
+    With the defaults below, |offset| < 10 ms with probability ~0.9 and
+    < 100 ms with probability ~0.99, matching Murta et al. as cited in §II.
+
+    Attributes:
+        p_good: Probability mass of the well-disciplined regime.
+        good_scale: Std-dev (seconds) of the good regime's normal offset.
+        p_fair: Probability mass of the mediocre regime ( < 100 ms ).
+        fair_scale: Std-dev of the mediocre regime.
+        bad_scale: Std-dev of the rare badly-synced regime.
+        reading_noise: Per-reading dispersion around the base offset.
+    """
+
+    p_good: float = 0.90
+    good_scale: float = 0.004
+    p_fair: float = 0.09
+    fair_scale: float = 0.035
+    bad_scale: float = 0.15
+    reading_noise: float = 0.0005
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.p_good <= 1 or not 0 <= self.p_fair <= 1:
+            raise ConfigurationError("mixture probabilities must lie in [0, 1]")
+        if self.p_good + self.p_fair > 1:
+            raise ConfigurationError("p_good + p_fair must not exceed 1")
+
+
+class NtpClock:
+    """A wall clock with an NTP-like offset from true simulated time.
+
+    Args:
+        rng: Random stream; used once for the base offset and per reading
+            for the small residual noise.
+        config: Mixture parameters.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        config: NtpModelConfig | None = None,
+    ) -> None:
+        self._rng = rng
+        self.config = config or NtpModelConfig()
+        self.offset = self._draw_offset()
+
+    def _draw_offset(self) -> float:
+        u = float(self._rng.random())
+        cfg = self.config
+        if u < cfg.p_good:
+            scale = cfg.good_scale
+        elif u < cfg.p_good + cfg.p_fair:
+            scale = cfg.fair_scale
+        else:
+            scale = cfg.bad_scale
+        return float(self._rng.normal(loc=0.0, scale=scale))
+
+    def read(self, true_time: float) -> float:
+        """Return the timestamp this clock would log for ``true_time``."""
+        noise = float(self._rng.normal(loc=0.0, scale=self.config.reading_noise))
+        return true_time + self.offset + noise
+
+    def resync(self) -> None:
+        """Redraw the base offset, modelling an NTP re-synchronisation."""
+        self.offset = self._draw_offset()
+
+
+class PerfectClock:
+    """Drop-in clock with zero offset, for controlled experiments/tests."""
+
+    offset = 0.0
+
+    def read(self, true_time: float) -> float:
+        return true_time
+
+    def resync(self) -> None:  # pragma: no cover - trivial
+        return None

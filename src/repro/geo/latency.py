@@ -1,0 +1,164 @@
+"""Inter-region network latency and bandwidth model.
+
+One-way latencies are half of typical public inter-datacenter RTTs
+(WonderNetwork / cloud-ping style numbers, rounded).  Within a message
+transfer the model composes:
+
+``one_way_latency(jittered) + serialisation_delay(size / bandwidth) + processing``
+
+Jitter is multiplicative log-normal, which matches the heavy right tail of
+real WAN latency samples and produces the long tail visible in the paper's
+Figure 1 histogram.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.geo.regions import Region
+
+#: Base one-way latencies between regions, in milliseconds.  Symmetric.
+#: Eastern-Asia links carry a premium over great-circle estimates:
+#: 2019-era China↔US/EU paths (where most EA hash power sat) ran well
+#: above 200 ms RTT through congested/filtered transit.
+_BASE_LATENCY_MS: dict[tuple[Region, Region], float] = {
+    (Region.NORTH_AMERICA, Region.NORTH_AMERICA): 18.0,
+    (Region.NORTH_AMERICA, Region.SOUTH_AMERICA): 75.0,
+    (Region.NORTH_AMERICA, Region.WESTERN_EUROPE): 45.0,
+    (Region.NORTH_AMERICA, Region.CENTRAL_EUROPE): 55.0,
+    (Region.NORTH_AMERICA, Region.EASTERN_EUROPE): 65.0,
+    (Region.NORTH_AMERICA, Region.EASTERN_ASIA): 100.0,
+    (Region.NORTH_AMERICA, Region.SOUTH_ASIA): 100.0,
+    (Region.NORTH_AMERICA, Region.OCEANIA): 80.0,
+    (Region.SOUTH_AMERICA, Region.SOUTH_AMERICA): 25.0,
+    (Region.SOUTH_AMERICA, Region.WESTERN_EUROPE): 95.0,
+    (Region.SOUTH_AMERICA, Region.CENTRAL_EUROPE): 105.0,
+    (Region.SOUTH_AMERICA, Region.EASTERN_EUROPE): 115.0,
+    (Region.SOUTH_AMERICA, Region.EASTERN_ASIA): 165.0,
+    (Region.SOUTH_AMERICA, Region.SOUTH_ASIA): 170.0,
+    (Region.SOUTH_AMERICA, Region.OCEANIA): 155.0,
+    (Region.WESTERN_EUROPE, Region.WESTERN_EUROPE): 10.0,
+    (Region.WESTERN_EUROPE, Region.CENTRAL_EUROPE): 12.0,
+    (Region.WESTERN_EUROPE, Region.EASTERN_EUROPE): 25.0,
+    (Region.WESTERN_EUROPE, Region.EASTERN_ASIA): 135.0,
+    (Region.WESTERN_EUROPE, Region.SOUTH_ASIA): 90.0,
+    (Region.WESTERN_EUROPE, Region.OCEANIA): 140.0,
+    (Region.CENTRAL_EUROPE, Region.CENTRAL_EUROPE): 8.0,
+    (Region.CENTRAL_EUROPE, Region.EASTERN_EUROPE): 15.0,
+    (Region.CENTRAL_EUROPE, Region.EASTERN_ASIA): 145.0,
+    (Region.CENTRAL_EUROPE, Region.SOUTH_ASIA): 85.0,
+    (Region.CENTRAL_EUROPE, Region.OCEANIA): 145.0,
+    (Region.EASTERN_EUROPE, Region.EASTERN_EUROPE): 12.0,
+    (Region.EASTERN_EUROPE, Region.EASTERN_ASIA): 120.0,
+    (Region.EASTERN_EUROPE, Region.SOUTH_ASIA): 80.0,
+    (Region.EASTERN_EUROPE, Region.OCEANIA): 150.0,
+    (Region.EASTERN_ASIA, Region.EASTERN_ASIA): 20.0,
+    (Region.EASTERN_ASIA, Region.SOUTH_ASIA): 40.0,
+    (Region.EASTERN_ASIA, Region.OCEANIA): 60.0,
+    (Region.SOUTH_ASIA, Region.SOUTH_ASIA): 18.0,
+    (Region.SOUTH_ASIA, Region.OCEANIA): 50.0,
+    (Region.OCEANIA, Region.OCEANIA): 15.0,
+}
+
+
+def base_latency_seconds(a: Region, b: Region) -> float:
+    """One-way base latency between regions ``a`` and ``b`` in seconds."""
+    value = _BASE_LATENCY_MS.get((a, b))
+    if value is None:
+        value = _BASE_LATENCY_MS.get((b, a))
+    if value is None:
+        raise ConfigurationError(f"no latency defined between {a!r} and {b!r}")
+    return value / 1000.0
+
+
+@dataclass(frozen=True)
+class LatencyModelConfig:
+    """Tunable parameters of the latency model.
+
+    Attributes:
+        jitter_sigma: Sigma of the multiplicative log-normal jitter.
+            0 disables jitter entirely (useful in tests).
+        bandwidth_bytes_per_s: Effective per-link throughput used for the
+            serialisation delay of large payloads (blocks).  The paper's
+            vantages had >= 8 Gbps; ordinary peers are slower — the default
+            models a 50 Mbps effective application-level throughput.
+        per_message_overhead: Fixed per-message processing cost in seconds
+            (deserialisation, queueing); applied on reception.
+    """
+
+    jitter_sigma: float = 0.35
+    bandwidth_bytes_per_s: float = 50e6 / 8
+    per_message_overhead: float = 0.002
+    #: Probability that a delivery hits a congested/slow path, and the
+    #: extra multiplier it pays.  This mixture reproduces the long right
+    #: tail of WAN latency (the paper's Figure 1 has p99 ≈ 4× median).
+    tail_probability: float = 0.05
+    tail_multiplier: float = 3.0
+
+
+class LatencyModel:
+    """Samples message delivery delays between regions.
+
+    Args:
+        rng: Random stream for jitter draws.
+        config: Model parameters; defaults match DESIGN.md calibration.
+    """
+
+    #: Jitter draws are generated in batches of this size; per-call scalar
+    #: numpy draws dominate simulation time otherwise.
+    JITTER_BATCH = 8192
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        config: LatencyModelConfig | None = None,
+    ) -> None:
+        self._rng = rng
+        self.config = config or LatencyModelConfig()
+        if self.config.bandwidth_bytes_per_s <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        if self.config.jitter_sigma < 0:
+            raise ConfigurationError("jitter sigma must be non-negative")
+        self._jitter_buffer: list[float] = []
+
+    def _next_jitter(self) -> float:
+        if not self._jitter_buffer:
+            draws = self._rng.lognormal(
+                mean=0.0, sigma=self.config.jitter_sigma, size=self.JITTER_BATCH
+            )
+            if self.config.tail_probability > 0:
+                slow = self._rng.random(self.JITTER_BATCH) < (
+                    self.config.tail_probability
+                )
+                draws[slow] *= self.config.tail_multiplier
+            self._jitter_buffer = draws.tolist()
+        return self._jitter_buffer.pop()
+
+    def delay(self, origin: Region, destination: Region, size_bytes: int = 0) -> float:
+        """Sample the one-way delivery delay for a ``size_bytes`` message.
+
+        The returned delay is always strictly positive so event ordering in
+        the simulator never degenerates to zero-delay loops.
+        """
+        base = base_latency_seconds(origin, destination)
+        if self.config.jitter_sigma > 0:
+            base *= self._next_jitter()
+        serialisation = size_bytes / self.config.bandwidth_bytes_per_s
+        return max(base + serialisation + self.config.per_message_overhead, 1e-6)
+
+    def expected_delay(
+        self, origin: Region, destination: Region, size_bytes: int = 0
+    ) -> float:
+        """Deterministic expected delay (no jitter draw) — used in tests."""
+        base = base_latency_seconds(origin, destination)
+        if self.config.jitter_sigma > 0:
+            base *= float(np.exp(self.config.jitter_sigma**2 / 2.0))
+            base *= 1.0 + self.config.tail_probability * (
+                self.config.tail_multiplier - 1.0
+            )
+        return base + size_bytes / self.config.bandwidth_bytes_per_s + (
+            self.config.per_message_overhead
+        )

@@ -1,0 +1,85 @@
+"""Geographic regions of the simulated network.
+
+The paper deploys vantage nodes in North America, Eastern Asia, Western
+Europe and Central Europe.  We model the Ethereum network over a slightly
+richer set of regions so that "the rest of the network" also has geography;
+the four vantage regions are a subset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Region(str, Enum):
+    """Coarse geographic regions used by the latency model."""
+
+    NORTH_AMERICA = "NA"
+    SOUTH_AMERICA = "SA"
+    WESTERN_EUROPE = "WE"
+    CENTRAL_EUROPE = "CE"
+    EASTERN_EUROPE = "EE"
+    EASTERN_ASIA = "EA"
+    SOUTH_ASIA = "SEA"
+    OCEANIA = "OC"
+
+    @property
+    def display_name(self) -> str:
+        """Human-readable name as used in the paper's figures."""
+        return _DISPLAY_NAMES[self]
+
+
+_DISPLAY_NAMES = {
+    Region.NORTH_AMERICA: "North America",
+    Region.SOUTH_AMERICA: "South America",
+    Region.WESTERN_EUROPE: "Western Europe",
+    Region.CENTRAL_EUROPE: "Central Europe",
+    Region.EASTERN_EUROPE: "Eastern Europe",
+    Region.EASTERN_ASIA: "Eastern Asia",
+    Region.SOUTH_ASIA: "South-East Asia",
+    Region.OCEANIA: "Oceania",
+}
+
+#: The four regions where the paper placed measurement nodes (Table I).
+VANTAGE_REGIONS = (
+    Region.NORTH_AMERICA,
+    Region.EASTERN_ASIA,
+    Region.WESTERN_EUROPE,
+    Region.CENTRAL_EUROPE,
+)
+
+
+@dataclass(frozen=True)
+class RegionProfile:
+    """Share of the overall node population living in a region.
+
+    The default profile below approximates the April-2019 Ethereum node
+    geography reported by ethernodes.org: the network is dominated by
+    North America, Europe and Eastern Asia.
+    """
+
+    region: Region
+    node_share: float
+
+
+#: Approximate geographic distribution of Ethereum peers (ethernodes.org,
+#: spring 2019): US ≈ 40 %, Europe ≈ 30 %, China+Korea+Japan ≈ 20 %, rest ≈ 10 %.
+DEFAULT_NODE_DISTRIBUTION: tuple[RegionProfile, ...] = (
+    RegionProfile(Region.NORTH_AMERICA, 0.38),
+    RegionProfile(Region.WESTERN_EUROPE, 0.17),
+    RegionProfile(Region.CENTRAL_EUROPE, 0.12),
+    RegionProfile(Region.EASTERN_EUROPE, 0.04),
+    RegionProfile(Region.EASTERN_ASIA, 0.20),
+    RegionProfile(Region.SOUTH_ASIA, 0.04),
+    RegionProfile(Region.SOUTH_AMERICA, 0.03),
+    RegionProfile(Region.OCEANIA, 0.02),
+)
+
+
+def normalized_shares(profiles: tuple[RegionProfile, ...]) -> dict[Region, float]:
+    """Return ``{region: share}`` normalised to sum to exactly 1.0."""
+    total = sum(profile.node_share for profile in profiles)
+    if total <= 0:
+        raise ValueError("node distribution must have positive total share")
+    return {profile.region: profile.node_share / total for profile in profiles}

@@ -1,0 +1,45 @@
+"""Measurement toolchain: instrumented vantage nodes, logs, campaigns and
+the persisted data set — the paper's core contribution."""
+
+from repro.measurement.campaign import (
+    DEFAULT_DURATION,
+    DEFAULT_PEER_VANTAGE_NAME,
+    Campaign,
+    CampaignConfig,
+    run_campaign,
+    vantage_name,
+)
+from repro.measurement.dataset import ChainSnapshot, MeasurementDataset
+from repro.measurement.instrumented import InstrumentedNode
+from repro.measurement.logger import MeasurementLog
+from repro.measurement.merge import merge_datasets
+from repro.measurement.records import (
+    BlockImportRecord,
+    BlockMessageRecord,
+    ChainBlockRecord,
+    ConnectionRecord,
+    TxReceptionRecord,
+    record_from_json,
+    record_to_json,
+)
+
+__all__ = [
+    "BlockImportRecord",
+    "BlockMessageRecord",
+    "Campaign",
+    "CampaignConfig",
+    "ChainBlockRecord",
+    "ChainSnapshot",
+    "ConnectionRecord",
+    "DEFAULT_DURATION",
+    "DEFAULT_PEER_VANTAGE_NAME",
+    "InstrumentedNode",
+    "MeasurementDataset",
+    "MeasurementLog",
+    "merge_datasets",
+    "TxReceptionRecord",
+    "record_from_json",
+    "record_to_json",
+    "run_campaign",
+    "vantage_name",
+]

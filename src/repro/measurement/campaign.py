@@ -1,0 +1,200 @@
+"""Measurement campaign orchestration.
+
+A :class:`Campaign` reproduces the paper's §II methodology end-to-end:
+
+1. build a simulated Ethereum world (:mod:`repro.workload.scenarios`);
+2. deploy instrumented vantage nodes in the configured regions (the paper
+   used NA, EA, WE and CE, each with unlimited peers), plus optionally the
+   subsidiary default-peer (25) vantage used for Table II;
+3. run a warm-up so the peer mesh and mempools settle, then a measurement
+   window;
+4. collect every vantage log plus a chain snapshot from the reference
+   vantage into a :class:`~repro.measurement.dataset.MeasurementDataset`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.geo.clock import NtpModelConfig
+from repro.geo.regions import VANTAGE_REGIONS, Region
+from repro.measurement.dataset import ChainSnapshot, MeasurementDataset
+from repro.measurement.instrumented import InstrumentedNode
+from repro.measurement.records import ChainBlockRecord
+from repro.node.config import measurement_node_config
+from repro.workload.scenarios import Scenario, ScenarioConfig, build_scenario
+
+#: Duration (simulated seconds) equivalent to the paper's one-month window,
+#: scaled to the default scenario: 1,000 blocks at 13.3 s.
+DEFAULT_DURATION = 13_300.0
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Configuration of a measurement campaign.
+
+    Attributes:
+        scenario: The simulated-world configuration.
+        duration: Measurement window length in simulated seconds
+            (after warm-up).
+        vantage_regions: Regions to deploy unlimited-peer vantages in;
+            default matches the paper (NA, EA, WE, CE).
+        deploy_default_peer_vantage: Also deploy the subsidiary 25-peer
+            vantage (paper: WE, May 2–9 2019) used for Table II.
+        reference_vantage: Vantage whose final chain is authoritative for
+            fork/empty-block/sequence analyses; defaults to the WE node.
+        ntp: NTP clock model; ``None`` uses the defaults from §II.
+        perfect_clocks: Disable clock error (ground-truth runs in tests).
+    """
+
+    scenario: ScenarioConfig = field(default_factory=ScenarioConfig)
+    duration: float = DEFAULT_DURATION
+    vantage_regions: tuple[Region, ...] = VANTAGE_REGIONS
+    deploy_default_peer_vantage: bool = True
+    reference_vantage: str = ""
+    ntp: Optional[NtpModelConfig] = None
+    perfect_clocks: bool = False
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        if not self.vantage_regions:
+            raise ConfigurationError("at least one vantage region is required")
+
+
+def vantage_name(region: Region) -> str:
+    """Vantage naming convention: the region code (paper's Table I rows)."""
+    return region.value
+
+
+#: Name of the subsidiary default-peer vantage.
+DEFAULT_PEER_VANTAGE_NAME = "WE-default"
+
+
+class Campaign:
+    """A runnable measurement campaign.
+
+    Args:
+        config: Campaign parameters.
+
+    Attributes:
+        scenario: The underlying simulated world (built lazily by
+            :meth:`run` or :meth:`deploy`).
+        vantages: Deployed instrumented nodes, by name.
+    """
+
+    def __init__(self, config: CampaignConfig | None = None) -> None:
+        self.config = config or CampaignConfig()
+        self.scenario: Optional[Scenario] = None
+        self.vantages: dict[str, InstrumentedNode] = {}
+        self._deployed = False
+
+    # ------------------------------------------------------------------ #
+    # Deployment
+    # ------------------------------------------------------------------ #
+
+    def deploy(self) -> None:
+        """Build the world and attach the vantage nodes (idempotent)."""
+        if self._deployed:
+            return
+        self._deployed = True
+        self.scenario = build_scenario(self.config.scenario)
+        network = self.scenario.network
+        for region in self.config.vantage_regions:
+            name = vantage_name(region)
+            if name in self.vantages:
+                raise ConfigurationError(
+                    f"duplicate vantage region {region!r}; deploy at most one "
+                    "vantage per region"
+                )
+            self.vantages[name] = InstrumentedNode(
+                network,
+                region,
+                name=name,
+                config=measurement_node_config(unlimited=True),
+                ntp=self.config.ntp,
+                perfect_clock=self.config.perfect_clocks,
+            )
+        if self.config.deploy_default_peer_vantage:
+            self.vantages[DEFAULT_PEER_VANTAGE_NAME] = InstrumentedNode(
+                network,
+                Region.WESTERN_EUROPE,
+                name=DEFAULT_PEER_VANTAGE_NAME,
+                config=measurement_node_config(unlimited=False),
+                ntp=self.config.ntp,
+                perfect_clock=self.config.perfect_clocks,
+            )
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> MeasurementDataset:
+        """Run warm-up + measurement window; return the collected data set."""
+        self.deploy()
+        assert self.scenario is not None
+        self.scenario.start()
+        for vantage in self.vantages.values():
+            vantage.start()
+        self.scenario.run_warmup()
+        measurement_start = self.scenario.simulator.now
+        self.scenario.run_for(self.config.duration)
+        return self._collect(measurement_start)
+
+    def _reference_name(self) -> str:
+        if self.config.reference_vantage:
+            if self.config.reference_vantage not in self.vantages:
+                raise ConfigurationError(
+                    f"reference vantage {self.config.reference_vantage!r} "
+                    "was not deployed"
+                )
+            return self.config.reference_vantage
+        preferred = vantage_name(Region.WESTERN_EUROPE)
+        if preferred in self.vantages:
+            return preferred
+        return next(iter(self.vantages))
+
+    def _collect(self, measurement_start: float) -> MeasurementDataset:
+        dataset = MeasurementDataset(
+            vantage_regions={
+                name: node.region.value for name, node in self.vantages.items()
+            },
+            default_peer_vantage=(
+                DEFAULT_PEER_VANTAGE_NAME
+                if self.config.deploy_default_peer_vantage
+                else None
+            ),
+            reference_vantage=self._reference_name(),
+            measurement_start=measurement_start,
+        )
+        for node in self.vantages.values():
+            dataset.absorb_log(node.log)
+        dataset.chain = self._snapshot_chain(self.vantages[dataset.reference_vantage])
+        return dataset
+
+    @staticmethod
+    def _snapshot_chain(reference: InstrumentedNode) -> ChainSnapshot:
+        snapshot = ChainSnapshot()
+        for block in reference.tree.all_blocks():
+            snapshot.blocks[block.block_hash] = ChainBlockRecord(
+                block_hash=block.block_hash,
+                height=block.height,
+                parent_hash=block.parent_hash,
+                miner=block.miner,
+                difficulty=block.difficulty,
+                timestamp=block.timestamp,
+                tx_hashes=block.tx_hashes,
+                uncle_hashes=block.uncle_hashes,
+            )
+        snapshot.canonical_hashes = tuple(
+            block.block_hash for block in reference.tree.canonical_chain()
+        )
+        snapshot.head_hash = reference.tree.head.block_hash
+        return snapshot
+
+
+def run_campaign(config: CampaignConfig | None = None) -> MeasurementDataset:
+    """Convenience one-shot: build, run and collect a campaign."""
+    return Campaign(config).run()

@@ -1,0 +1,121 @@
+"""Per-vantage measurement log.
+
+A :class:`MeasurementLog` is the in-memory equivalent of the dedicated
+log file the paper's instrumented Geth wrote: append-only lists of typed
+records plus a duplicate-transaction counter (duplicates are counted, not
+stored, to keep data sets compact).
+"""
+
+from __future__ import annotations
+
+from repro.measurement.records import (
+    BlockImportRecord,
+    BlockMessageRecord,
+    ConnectionRecord,
+    TxReceptionRecord,
+)
+
+
+class MeasurementLog:
+    """Append-only log of one measurement node's observations."""
+
+    def __init__(self, vantage: str) -> None:
+        self.vantage = vantage
+        self.block_messages: list[BlockMessageRecord] = []
+        self.block_imports: list[BlockImportRecord] = []
+        self.tx_receptions: list[TxReceptionRecord] = []
+        self.connections: list[ConnectionRecord] = []
+        #: receptions of already-seen transactions (aggregate only)
+        self.tx_duplicate_count = 0
+        self._seen_txs: set[str] = set()
+
+    # ------------------------------------------------------------------ #
+    # Appenders (called by the instrumented node)
+    # ------------------------------------------------------------------ #
+
+    def log_block_message(
+        self,
+        time: float,
+        block_hash: str,
+        height: int,
+        direct: bool,
+        miner: str,
+        peer_id: int,
+    ) -> None:
+        self.block_messages.append(
+            BlockMessageRecord(
+                vantage=self.vantage,
+                time=time,
+                block_hash=block_hash,
+                height=height,
+                direct=direct,
+                miner=miner,
+                peer_id=peer_id,
+            )
+        )
+
+    def log_block_import(
+        self,
+        time: float,
+        block_hash: str,
+        height: int,
+        parent_hash: str,
+        miner: str,
+        difficulty: float,
+        gas_used: int,
+        tx_hashes: tuple[str, ...],
+        uncle_hashes: tuple[str, ...],
+    ) -> None:
+        self.block_imports.append(
+            BlockImportRecord(
+                vantage=self.vantage,
+                time=time,
+                block_hash=block_hash,
+                height=height,
+                parent_hash=parent_hash,
+                miner=miner,
+                difficulty=difficulty,
+                gas_used=gas_used,
+                tx_hashes=tx_hashes,
+                uncle_hashes=uncle_hashes,
+            )
+        )
+
+    def log_transaction(
+        self, time: float, tx_hash: str, sender: str, nonce: int, peer_id: int
+    ) -> bool:
+        """Log a transaction reception; returns False for duplicates."""
+        if tx_hash in self._seen_txs:
+            self.tx_duplicate_count += 1
+            return False
+        self._seen_txs.add(tx_hash)
+        self.tx_receptions.append(
+            TxReceptionRecord(
+                vantage=self.vantage,
+                time=time,
+                tx_hash=tx_hash,
+                sender=sender,
+                nonce=nonce,
+                peer_id=peer_id,
+            )
+        )
+        return True
+
+    def log_connection(self, time: float, peer_id: int, inbound: bool) -> None:
+        self.connections.append(
+            ConnectionRecord(
+                vantage=self.vantage, time=time, peer_id=peer_id, inbound=inbound
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def __repr__(self) -> str:
+        return (
+            f"MeasurementLog({self.vantage}: "
+            f"{len(self.block_messages)} block msgs, "
+            f"{len(self.tx_receptions)} txs, "
+            f"{len(self.block_imports)} imports)"
+        )

@@ -1,0 +1,84 @@
+"""Merging measurement datasets.
+
+The paper ran its main campaign (April 1 – May 2) and a subsidiary
+default-peer campaign (May 2 – 9) as separate deployments and analysed
+them together.  :func:`merge_datasets` supports that pattern: combine the
+record streams of several campaigns over the *same simulated world*
+(e.g. different windows or extra vantages) into one analysable dataset.
+
+Datasets from unrelated worlds (different seeds/chains) cannot be merged
+meaningfully; the merge refuses when the chains disagree.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import DatasetError
+from repro.measurement.dataset import MeasurementDataset
+
+
+def _chains_compatible(a: MeasurementDataset, b: MeasurementDataset) -> bool:
+    """Two snapshots agree when one's canonical chain prefixes the other's."""
+    shorter, longer = sorted(
+        (a.chain.canonical_hashes, b.chain.canonical_hashes), key=len
+    )
+    return longer[: len(shorter)] == shorter
+
+
+def merge_datasets(datasets: Sequence[MeasurementDataset]) -> MeasurementDataset:
+    """Merge campaigns over the same simulated world into one dataset.
+
+    The result carries the union of all records, the vantage map of every
+    input, the longest chain snapshot, and the *earliest* measurement
+    start (records outside any input's window were never logged anyway).
+
+    Raises:
+        DatasetError: when no datasets are given, or the chain snapshots
+            are incompatible (different worlds).
+    """
+    if not datasets:
+        raise DatasetError("nothing to merge")
+    if len(datasets) == 1:
+        return datasets[0]
+    base = datasets[0]
+    for other in datasets[1:]:
+        if not _chains_compatible(base, other):
+            raise DatasetError(
+                "cannot merge datasets from different simulated worlds "
+                "(canonical chains disagree)"
+            )
+    longest = max(datasets, key=lambda d: len(d.chain.canonical_hashes))
+
+    merged = MeasurementDataset(
+        vantage_regions={},
+        default_peer_vantage=None,
+        reference_vantage=longest.reference_vantage,
+        measurement_start=min(d.measurement_start for d in datasets),
+        chain=longest.chain,
+    )
+    seen_messages: set[tuple] = set()
+    seen_txs: set[tuple[str, str]] = set()
+    for dataset in datasets:
+        merged.vantage_regions.update(dataset.vantage_regions)
+        if dataset.default_peer_vantage and merged.default_peer_vantage is None:
+            merged.default_peer_vantage = dataset.default_peer_vantage
+        for record in dataset.block_messages:
+            key = (record.vantage, record.time, record.block_hash, record.peer_id)
+            if key not in seen_messages:
+                seen_messages.add(key)
+                merged.block_messages.append(record)
+        for record in dataset.tx_receptions:
+            key = (record.vantage, record.tx_hash)
+            if key not in seen_txs:
+                seen_txs.add(key)
+                merged.tx_receptions.append(record)
+        merged.block_imports.extend(dataset.block_imports)
+        merged.connections.extend(dataset.connections)
+        for vantage, count in dataset.tx_duplicate_counts.items():
+            merged.tx_duplicate_counts[vantage] = (
+                merged.tx_duplicate_counts.get(vantage, 0) + count
+            )
+    merged.block_messages.sort(key=lambda r: r.time)
+    merged.tx_receptions.sort(key=lambda r: r.time)
+    return merged

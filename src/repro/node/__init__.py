@@ -1,0 +1,37 @@
+"""Full nodes, miners and mining pools."""
+
+from repro.node.config import (
+    DEFAULT_MAX_PEERS,
+    UNLIMITED_PEERS,
+    NodeConfig,
+    measurement_node_config,
+)
+from repro.node.miner import (
+    MAINNET_INTER_BLOCK_TIME,
+    PRE_CONSTANTINOPLE_INTER_BLOCK_TIME,
+    MiningCoordinator,
+    WinRecord,
+)
+from repro.node.node import ProtocolNode
+from repro.node.pool import (
+    GATEWAY_HANDOFF_OVERHEAD,
+    MiningPool,
+    PoolPolicy,
+    PoolSpec,
+)
+
+__all__ = [
+    "DEFAULT_MAX_PEERS",
+    "GATEWAY_HANDOFF_OVERHEAD",
+    "MAINNET_INTER_BLOCK_TIME",
+    "MiningCoordinator",
+    "MiningPool",
+    "NodeConfig",
+    "PRE_CONSTANTINOPLE_INTER_BLOCK_TIME",
+    "PoolPolicy",
+    "PoolSpec",
+    "ProtocolNode",
+    "UNLIMITED_PEERS",
+    "WinRecord",
+    "measurement_node_config",
+]

@@ -1,0 +1,66 @@
+"""Node configuration.
+
+The paper ran its vantage clients with *unlimited* peers to observe as
+much of the network as possible (§II) and one subsidiary client at Geth's
+default of 25 peers (for Table II).  Regular network nodes get the
+default cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chain.validation import ValidationConfig
+from repro.errors import ConfigurationError
+from repro.p2p.gossip import GossipConfig
+
+#: Geth 1.8 default ``--maxpeers``.
+DEFAULT_MAX_PEERS = 25
+
+#: Stand-in for "unlimited" peers on the measurement nodes.
+UNLIMITED_PEERS = 10_000
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """Behavioural parameters of a protocol node.
+
+    Attributes:
+        max_peers: Connection cap (dial + inbound).
+        target_outbound: Connections the node actively dials
+            (Geth dials ~max_peers/2 and accepts the rest inbound).
+        tx_flush_interval: Seconds between transaction gossip flushes.
+        gossip: Block propagation policy parameters.
+        validation: Block validation cost parameters.
+        fetch_timeout: Seconds after which an unanswered block fetch is
+            retried against another announcer.
+    """
+
+    max_peers: int = DEFAULT_MAX_PEERS
+    target_outbound: int = 13
+    tx_flush_interval: float = 0.5
+    gossip: GossipConfig = field(default_factory=GossipConfig)
+    validation: ValidationConfig = field(default_factory=ValidationConfig)
+    fetch_timeout: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_peers <= 0:
+            raise ConfigurationError("max_peers must be positive")
+        if self.target_outbound <= 0:
+            raise ConfigurationError("target_outbound must be positive")
+        if self.tx_flush_interval <= 0:
+            raise ConfigurationError("tx_flush_interval must be positive")
+        if self.fetch_timeout <= 0:
+            raise ConfigurationError("fetch_timeout must be positive")
+
+
+def measurement_node_config(unlimited: bool = True) -> NodeConfig:
+    """Configuration used by the paper's vantage clients.
+
+    Args:
+        unlimited: True for the main campaign (§II); False reproduces the
+            subsidiary 25-peer client used for Table II.
+    """
+    if unlimited:
+        return NodeConfig(max_peers=UNLIMITED_PEERS, target_outbound=120)
+    return NodeConfig()

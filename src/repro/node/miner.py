@@ -1,0 +1,109 @@
+"""The global mining lottery.
+
+Proof-of-work mining over the whole network is a Poisson process whose
+rate is one block per target inter-block time (13.3 s on the April-2019
+mainnet).  Each win is assigned to a pool with probability equal to its
+hash-power share; the winning pool seals on *its own current view* of the
+chain, which is how stale-head forks — and therefore uncles — arise.
+
+Residual hash power not covered by the configured pools is modelled as a
+fringe of small independent miners ("solo"), each winning so rarely that
+the paper aggregates them as "Remaining miners".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.chain.block import Block
+from repro.errors import ConfigurationError
+from repro.node.pool import MiningPool
+from repro.sim.engine import Simulator
+from repro.sim.process import PoissonProcess
+
+#: Mainnet average inter-block time during the measurement window (§III-A).
+MAINNET_INTER_BLOCK_TIME = 13.3
+
+#: Pre-Constantinople inter-block time the paper compares against (§III-C1).
+PRE_CONSTANTINOPLE_INTER_BLOCK_TIME = 14.3
+
+
+@dataclass(frozen=True)
+class WinRecord:
+    """Ground-truth record of one lottery win (used by tests/analyses)."""
+
+    time: float
+    pool_name: str
+    blocks: tuple[Block, ...]
+
+
+class MiningCoordinator:
+    """Drives the network-wide PoW lottery.
+
+    Args:
+        simulator: The event engine.
+        pools: Participating pools; hash-power shares must sum to <= 1.
+        target_interval: Mean seconds between blocks network-wide.
+
+    Attributes:
+        wins: Ground-truth log of every lottery win.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        pools: list[MiningPool],
+        target_interval: float = MAINNET_INTER_BLOCK_TIME,
+    ) -> None:
+        if not pools:
+            raise ConfigurationError("at least one mining pool is required")
+        if target_interval <= 0:
+            raise ConfigurationError("target interval must be positive")
+        total_power = sum(pool.spec.hashpower for pool in pools)
+        if total_power > 1.0 + 1e-6:
+            raise ConfigurationError(
+                f"pool hash power sums to {total_power:.3f} > 1"
+            )
+        self.simulator = simulator
+        self.pools = pools
+        self.target_interval = target_interval
+        self.wins: list[WinRecord] = []
+        self._rng: np.random.Generator = simulator.rng.stream("mining.lottery")
+        self._weights = np.array([pool.spec.hashpower for pool in pools], dtype=float)
+        self._weights /= self._weights.sum()
+        self._process = PoissonProcess(
+            simulator,
+            rate=1.0 / target_interval,
+            callback=self._on_win,
+            rng=simulator.rng.stream("mining.intervals"),
+        )
+
+    def start(self) -> None:
+        self._process.start()
+
+    def stop(self) -> None:
+        self._process.stop()
+
+    def _on_win(self) -> None:
+        index = int(self._rng.choice(len(self.pools), p=self._weights))
+        pool = self.pools[index]
+        blocks = pool.on_win()
+        self.wins.append(
+            WinRecord(time=self.simulator.now, pool_name=pool.name, blocks=tuple(blocks))
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers
+    # ------------------------------------------------------------------ #
+
+    @property
+    def blocks_sealed(self) -> int:
+        return sum(len(record.blocks) for record in self.wins)
+
+    def wins_by_pool(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for record in self.wins:
+            counts[record.pool_name] = counts.get(record.pool_name, 0) + 1
+        return counts

@@ -1,0 +1,483 @@
+"""The protocol node: a faithful functional model of a Geth 1.8 client.
+
+A :class:`ProtocolNode` keeps a block tree, a mempool and a peer table,
+and implements the eth/63 dissemination behaviour:
+
+* new full blocks are validated (costing simulated time proportional to
+  gas) and then relayed — pushed whole to ``ceil(sqrt(peers))`` peers and
+  announced by hash to the rest;
+* hash announcements trigger a header+body fetch from the announcer;
+* transactions propagate to every peer not known to have them, batched
+  into periodic ``Transactions`` flushes;
+* per-peer known-caches suppress duplicate sends (but duplicate
+  *receptions* still happen and are what Table II measures).
+
+Subclasses hook :meth:`_observe_*` methods to implement instrumentation
+without perturbing protocol behaviour — the paper's requirement that the
+measurement client be indistinguishable from a regular client.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.chain.block import Block
+from repro.chain.forkchoice import BlockTree
+from repro.chain.mempool import Mempool
+from repro.chain.transaction import Transaction
+from repro.chain.validation import validate_block, validation_delay
+from repro.errors import ValidationError
+from repro.geo.regions import Region
+from repro.node.config import NodeConfig
+from repro.p2p.gossip import split_targets
+from repro.p2p.messages import (
+    BlockBodiesMessage,
+    BlockHeadersMessage,
+    GetBlockBodiesMessage,
+    GetBlockHeadersMessage,
+    Message,
+    NewBlockHashesMessage,
+    NewBlockMessage,
+    StatusMessage,
+    TransactionsMessage,
+)
+from repro.p2p.network import Network
+from repro.p2p.node_id import random_node_id
+from repro.p2p.peer import Peer
+
+
+#: Cheap PoW/header sanity check performed before pre-import propagation.
+HEADER_CHECK_DELAY = 0.003
+
+#: Duplicate-triggered direct-push rounds allowed while a block imports.
+MAX_REPROPAGATIONS = 2
+
+
+class ProtocolNode:
+    """A full Ethereum-like node attached to a :class:`Network`.
+
+    Args:
+        network: The fabric to join (registration happens here).
+        region: Geographic region of the node.
+        config: Behavioural parameters; default is a 25-peer Geth.
+        name: Optional human-readable name (measurement nodes, gateways).
+        genesis: Genesis block shared by the run.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        region: Region,
+        config: Optional[NodeConfig] = None,
+        name: Optional[str] = None,
+        genesis: Optional[Block] = None,
+    ) -> None:
+        self.network = network
+        self.simulator = network.simulator
+        self.region = region
+        self.config = config or NodeConfig()
+        self._rng: np.random.Generator = self.simulator.rng.stream(
+            f"node.{len(network)}"
+        )
+        self.node_id = random_node_id(self._rng)
+        self.name = name or f"node-{self.node_id & 0xFFFF:04x}"
+        self.tree = BlockTree(genesis)
+        self.mempool = Mempool()
+        self.peers: dict[int, Peer] = {}
+        #: blocks waiting for their parent, keyed by the missing parent hash
+        self._orphans: dict[str, list[Block]] = {}
+        #: hashes currently being validated/imported
+        self._importing: set[str] = set()
+        #: hashes with an outstanding header/body fetch
+        self._fetching: set[str] = set()
+        #: per-hash count of duplicate-triggered re-propagations
+        self._reprop_counts: dict[str, int] = {}
+        #: per-peer queue of txs awaiting the next gossip flush
+        self._tx_queue: dict[int, list[Transaction]] = {}
+        #: callbacks invoked as fn(new_head) after every head change
+        self.head_listeners: list[Callable[[Block], None]] = []
+        #: True while a debounced transaction-gossip flush is scheduled
+        self._flush_pending = False
+        network.register(self)
+
+    def __repr__(self) -> str:
+        return f"ProtocolNode({self.name}, {self.region.value})"
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        """Dial outbound peers."""
+        self.dial_peers()
+
+    def stop(self) -> None:
+        self._flush_pending = True  # swallow any in-flight flush callbacks
+
+    def dial_peers(self) -> None:
+        """Dial random peers via discovery until the outbound target."""
+        want = min(self.config.target_outbound, self.config.max_peers)
+        missing = want - len(self.peers)
+        if missing <= 0:
+            return
+        for peer_id in self.network.discovery.sample_peers(
+            self.node_id, missing, self._rng
+        ):
+            if len(self.peers) >= self.config.max_peers:
+                break
+            candidate = self.network.member(peer_id)
+            candidate_peers = getattr(candidate, "peers", None)
+            candidate_cap = getattr(
+                getattr(candidate, "config", None), "max_peers", None
+            )
+            if (
+                candidate_peers is not None
+                and candidate_cap is not None
+                and len(candidate_peers) >= candidate_cap
+            ):
+                continue
+            self.network.connect(self.node_id, peer_id)
+
+    # ------------------------------------------------------------------ #
+    # NetworkMember interface
+    # ------------------------------------------------------------------ #
+
+    def on_peer_connected(self, peer_id: int, inbound: bool) -> None:
+        self.peers[peer_id] = Peer(
+            remote_id=peer_id, connected_at=self.simulator.now, inbound=inbound
+        )
+        self._tx_queue.setdefault(peer_id, [])
+        self._observe_connection(peer_id, inbound)
+        # Handshake: advertise our head so freshly joined nodes can sync.
+        self.network.send(
+            self.node_id,
+            peer_id,
+            StatusMessage(
+                head_hash=self.tree.head.block_hash,
+                total_difficulty=self.tree.total_difficulty(
+                    self.tree.head.block_hash
+                ),
+                height=self.tree.head.height,
+            ),
+        )
+
+    def on_peer_disconnected(self, peer_id: int) -> None:
+        self.peers.pop(peer_id, None)
+        self._tx_queue.pop(peer_id, None)
+
+    def deliver(self, sender_id: int, message: Message) -> None:
+        """Dispatch an incoming wire message (NetworkMember interface)."""
+        peer = self.peers.get(sender_id)
+        if peer is None:
+            return  # link torn down while the message was in flight
+        if isinstance(message, NewBlockMessage):
+            self._handle_new_block(peer, message)
+        elif isinstance(message, NewBlockHashesMessage):
+            self._handle_announcement(peer, message)
+        elif isinstance(message, TransactionsMessage):
+            self._handle_transactions(peer, message)
+        elif isinstance(message, GetBlockHeadersMessage):
+            self._handle_get_headers(peer, message)
+        elif isinstance(message, BlockHeadersMessage):
+            self._handle_headers(peer, message)
+        elif isinstance(message, GetBlockBodiesMessage):
+            self._handle_get_bodies(peer, message)
+        elif isinstance(message, BlockBodiesMessage):
+            self._handle_bodies(peer, message)
+        elif isinstance(message, StatusMessage):
+            self._handle_status(peer, message)
+
+    # ------------------------------------------------------------------ #
+    # Observation hooks (instrumentation points; default: no-ops)
+    # ------------------------------------------------------------------ #
+
+    def _observe_block_message(
+        self, peer: Peer, block_hash: str, height: int, direct: bool, miner: str = ""
+    ) -> None:
+        """Called for every incoming NewBlock / announcement entry."""
+
+    def _observe_transactions(self, peer: Peer, txs: tuple[Transaction, ...]) -> None:
+        """Called for every incoming Transactions batch."""
+
+    def _observe_block_import(self, block: Block) -> None:
+        """Called when a block finishes import into the local tree."""
+
+    def _observe_connection(self, peer_id: int, inbound: bool) -> None:
+        """Called on connection establishment."""
+
+    # ------------------------------------------------------------------ #
+    # Blocks: reception
+    # ------------------------------------------------------------------ #
+
+    def _handle_new_block(self, peer: Peer, message: NewBlockMessage) -> None:
+        block = message.block
+        peer.mark_block(block.block_hash)
+        self._observe_block_message(
+            peer, block.block_hash, block.height, direct=True, miner=block.miner
+        )
+        if block.block_hash in self._importing:
+            # Geth 1.8 re-propagates on NewBlock receptions while the
+            # block's TD still exceeds the local head's — i.e. until the
+            # import completes.  Each re-propagation pushes to a fresh
+            # random sqrt-subset of still-unaware peers, which is what
+            # makes direct pushes dominate announcements in Table II.
+            # Real imports outpace the duplicate stream after a couple of
+            # rounds, so the rounds are capped.
+            count = self._reprop_counts.get(block.block_hash, 0)
+            if count < MAX_REPROPAGATIONS:
+                self._reprop_counts[block.block_hash] = count + 1
+                self._propagate_direct(block)
+            return
+        self._consider_block(block)
+
+    def _handle_announcement(self, peer: Peer, message: NewBlockHashesMessage) -> None:
+        for block_hash, height in message.entries:
+            peer.mark_block(block_hash)
+            self._observe_block_message(peer, block_hash, height, direct=False)
+            if self._is_known(block_hash) or block_hash in self._fetching:
+                continue
+            self._fetching.add(block_hash)
+            self.network.send(
+                self.node_id, peer.remote_id, GetBlockHeadersMessage(block_hash)
+            )
+            self._schedule_fetch_timeout(block_hash)
+
+    def _schedule_fetch_timeout(self, block_hash: str) -> None:
+        def expire() -> None:
+            # If the fetch is still outstanding, give up; a later announce
+            # or direct push will retrigger it.
+            self._fetching.discard(block_hash)
+
+        self.simulator.call_later(self.config.fetch_timeout, expire)
+
+    def _handle_get_headers(self, peer: Peer, message: GetBlockHeadersMessage) -> None:
+        block = self.tree.get(message.block_hash)
+        if block is not None:
+            self.network.send(self.node_id, peer.remote_id, BlockHeadersMessage(block))
+
+    def _handle_headers(self, peer: Peer, message: BlockHeadersMessage) -> None:
+        block = message.block
+        if self._is_known(block.block_hash):
+            self._fetching.discard(block.block_hash)
+            return
+        # Header looks new: pull the body from the same peer.
+        self.network.send(
+            self.node_id, peer.remote_id, GetBlockBodiesMessage(block.block_hash)
+        )
+
+    def _handle_get_bodies(self, peer: Peer, message: GetBlockBodiesMessage) -> None:
+        block = self.tree.get(message.block_hash)
+        if block is not None:
+            self.network.send(self.node_id, peer.remote_id, BlockBodiesMessage(block))
+
+    def _handle_bodies(self, peer: Peer, message: BlockBodiesMessage) -> None:
+        self._fetching.discard(message.block.block_hash)
+        peer.mark_block(message.block.block_hash)
+        self._consider_block(message.block)
+
+    def _handle_status(self, peer: Peer, message: StatusMessage) -> None:
+        peer.mark_block(message.head_hash)
+        if message.height > self.tree.head.height and not self._is_known(
+            message.head_hash
+        ):
+            if message.head_hash not in self._fetching:
+                self._fetching.add(message.head_hash)
+                self.network.send(
+                    self.node_id,
+                    peer.remote_id,
+                    GetBlockHeadersMessage(message.head_hash),
+                )
+                self._schedule_fetch_timeout(message.head_hash)
+
+    # ------------------------------------------------------------------ #
+    # Blocks: import
+    # ------------------------------------------------------------------ #
+
+    def _is_known(self, block_hash: str) -> bool:
+        return (
+            block_hash in self.tree
+            or block_hash in self._importing
+            or any(
+                block.block_hash == block_hash
+                for orphans in self._orphans.values()
+                for block in orphans
+            )
+        )
+
+    def _consider_block(self, block: Block) -> None:
+        """Begin importing ``block`` unless it is already known.
+
+        Mirrors Geth 1.8's two-phase handling: after a cheap header check
+        the full block is *propagated* to ``ceil(sqrt(peers))`` peers, and
+        only after full validation is it imported and *announced* to the
+        remaining peers.
+        """
+        if self._is_known(block.block_hash):
+            return
+        if not self.tree.has_parent(block):
+            self._orphans.setdefault(block.parent_hash, []).append(block)
+            self._request_missing_parent(block)
+            return
+        self._importing.add(block.block_hash)
+        self.simulator.call_later(
+            HEADER_CHECK_DELAY, lambda: self._propagate_direct(block)
+        )
+        delay = HEADER_CHECK_DELAY + validation_delay(block, self.config.validation)
+        self.simulator.call_later(delay, lambda: self._finish_import(block))
+
+    def _request_missing_parent(self, block: Block) -> None:
+        parent_hash = block.parent_hash
+        if parent_hash in self._fetching:
+            return
+        # Ask any peer believed to know the child (hence likely the parent).
+        for peer in self.peers.values():
+            if peer.knows_block(block.block_hash):
+                self._fetching.add(parent_hash)
+                self.network.send(
+                    self.node_id, peer.remote_id, GetBlockHeadersMessage(parent_hash)
+                )
+                self._schedule_fetch_timeout(parent_hash)
+                return
+
+    def _finish_import(self, block: Block) -> None:
+        self._importing.discard(block.block_hash)
+        self._reprop_counts.pop(block.block_hash, None)
+        if block.block_hash in self.tree:
+            return
+        if not self.tree.has_parent(block):
+            self._orphans.setdefault(block.parent_hash, []).append(block)
+            return
+        try:
+            validate_block(block, self.tree)
+        except ValidationError:
+            return  # invalid blocks are silently dropped, as in Geth
+        old_head = self.tree.head
+        head_changed = self.tree.add(block)
+        self._observe_block_import(block)
+        self._announce_rest(block)
+        if head_changed:
+            self._on_head_changed(old_head, self.tree.head)
+        self._adopt_orphans(block.block_hash)
+
+    def _adopt_orphans(self, parent_hash: str) -> None:
+        children = self._orphans.pop(parent_hash, None)
+        if not children:
+            return
+        for child in children:
+            self._consider_block(child)
+
+    def _on_head_changed(self, old_head: Block, new_head: Block) -> None:
+        """Settle the mempool after a head switch (including reorgs)."""
+        new_chain = {block.block_hash for block in self.tree.canonical_chain()}
+        # Blocks that fell off the canonical chain: walk the old head up to
+        # the fork point and put their transactions back in the pool.
+        cursor: Optional[Block] = old_head
+        while cursor is not None and cursor.block_hash not in new_chain:
+            self.mempool.reinject(cursor.transactions)
+            cursor = self.tree.get(cursor.parent_hash)
+        fork_point = cursor
+        # Newly canonical blocks: walk the new head down to the fork point
+        # and drop their transactions from the pool.
+        cursor = new_head
+        while cursor is not None and cursor is not fork_point and cursor.height > 0:
+            self.mempool.remove_included(cursor.transactions)
+            cursor = self.tree.get(cursor.parent_hash)
+        for listener in self.head_listeners:
+            listener(new_head)
+
+    # ------------------------------------------------------------------ #
+    # Blocks: emission
+    # ------------------------------------------------------------------ #
+
+    def _propagate_direct(self, block: Block) -> None:
+        """Push the full block to ``ceil(sqrt(peers))`` peers (pre-import)."""
+        candidates = [
+            peer
+            for peer in self.peers.values()
+            if not peer.knows_block(block.block_hash)
+        ]
+        direct, _ = split_targets(candidates, self._rng, self.config.gossip)
+        parent_td = (
+            self.tree.total_difficulty(block.parent_hash)
+            if block.parent_hash in self.tree
+            else 0.0
+        )
+        td = parent_td + block.difficulty
+        for peer in direct:
+            peer.mark_block(block.block_hash)
+            self.network.send(self.node_id, peer.remote_id, NewBlockMessage(block, td))
+
+    def _announce_rest(self, block: Block) -> None:
+        """Announce the hash to every peer still unaware (post-import)."""
+        entries = ((block.block_hash, block.height),)
+        for peer in self.peers.values():
+            if peer.knows_block(block.block_hash):
+                continue
+            peer.mark_block(block.block_hash)
+            self.network.send(
+                self.node_id, peer.remote_id, NewBlockHashesMessage(entries)
+            )
+
+    def inject_block(self, block: Block) -> None:
+        """Import a locally produced block (mining pools publish via this)."""
+        self._consider_block(block)
+
+    # ------------------------------------------------------------------ #
+    # Transactions
+    # ------------------------------------------------------------------ #
+
+    def _handle_transactions(self, peer: Peer, message: TransactionsMessage) -> None:
+        self._observe_transactions(peer, message.transactions)
+        fresh: list[Transaction] = []
+        for tx in message.transactions:
+            peer.mark_tx(tx.tx_hash)
+            if tx.tx_hash in self.mempool:
+                continue
+            if self.mempool.add(tx):
+                fresh.append(tx)
+        if fresh:
+            self._enqueue_tx_gossip(fresh, exclude=peer.remote_id)
+
+    def submit_transaction(self, tx: Transaction) -> None:
+        """Accept a locally submitted transaction (wallet/RPC path)."""
+        if self.mempool.add(tx):
+            self._enqueue_tx_gossip([tx], exclude=None)
+
+    def _enqueue_tx_gossip(
+        self, txs: list[Transaction], exclude: Optional[int]
+    ) -> None:
+        queued_any = False
+        for peer_id, peer in self.peers.items():
+            if peer_id == exclude:
+                continue
+            queue = self._tx_queue.setdefault(peer_id, [])
+            for tx in txs:
+                if not peer.knows_tx(tx.tx_hash):
+                    queue.append(tx)
+                    queued_any = True
+        if queued_any and not self._flush_pending:
+            # Debounced flush: batch whatever accumulates over the next
+            # flush interval into one Transactions message per peer.
+            self._flush_pending = True
+            self.simulator.call_later(
+                self.config.tx_flush_interval, self._flush_tx_queues
+            )
+
+    def _flush_tx_queues(self) -> None:
+        self._flush_pending = False
+        for peer_id, queue in self._tx_queue.items():
+            if not queue:
+                continue
+            peer = self.peers.get(peer_id)
+            if peer is None:
+                queue.clear()
+                continue
+            batch = tuple(tx for tx in queue if not peer.knows_tx(tx.tx_hash))
+            queue.clear()
+            if not batch:
+                continue
+            for tx in batch:
+                peer.mark_tx(tx.tx_hash)
+            self.network.send(self.node_id, peer_id, TransactionsMessage(batch))

@@ -1,0 +1,284 @@
+"""Mining pools: hash power, geo-placed gateways, and selfish policies.
+
+A pool is a single lottery entity (the paper treats pools as atomic miners)
+that publishes blocks through *gateway* nodes placed in one or more
+regions.  Gateways are ordinary protocol nodes; the pool's block server
+hands a sealed block to each gateway after a short distribution delay, and
+the gateways import + relay it like any other block.  Geographic asymmetry
+in Figures 2 and 3 emerges from where each pool's gateways sit.
+
+Selfish policies modelled (both documented by the paper):
+
+* **empty-block mining** (§III-C3): with some per-pool probability a won
+  block is sealed without transactions;
+* **one-miner forks** (§III-C5): with some probability the pool seals
+  *several* same-height variants (identical transaction set 56 % of the
+  time) and publishes them all, harvesting uncle rewards for the losers;
+  rare larger tuples model pool partitions/malfunctions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.chain.block import DEFAULT_GAS_LIMIT, Block
+from repro.chain.difficulty import DifficultyConfig, next_difficulty
+from repro.chain.transaction import Transaction
+from repro.errors import ConfigurationError
+from repro.geo.latency import base_latency_seconds
+from repro.geo.regions import Region
+from repro.node.node import ProtocolNode
+
+
+@dataclass(frozen=True)
+class PoolPolicy:
+    """Behavioural policy of a mining pool.
+
+    Attributes:
+        empty_block_probability: Chance a won block is mined empty.
+        one_miner_fork_probability: Chance a win produces multiple
+            same-height variants instead of one block.
+        same_txset_probability: Given a one-miner fork, chance the
+            variants share an identical transaction set (paper: 56 %).
+        partition_tuple_weights: Distribution of variant-tuple sizes for
+            one-miner forks, ``{tuple_size: weight}``.  The paper saw
+            mostly pairs, 25 triples, one 4-tuple and one 7-tuple.
+        head_lag: Seconds between a gateway head switch and the pool's
+            workers actually mining on the new head (job distribution).
+        home_gateway_preference: Probability a sealed block surfaces
+            through the home gateway first; the remainder is split evenly
+            among secondary gateways.  Models the block-server placement
+            spread visible in Figure 3's mixed per-pool bars.
+    """
+
+    empty_block_probability: float = 0.0
+    one_miner_fork_probability: float = 0.0
+    same_txset_probability: float = 0.56
+    partition_tuple_weights: dict[int, float] = field(
+        default_factory=lambda: {2: 0.970, 3: 0.025, 4: 0.003, 7: 0.002}
+    )
+    head_lag: float = 0.95
+    home_gateway_preference: float = 0.55
+
+    def __post_init__(self) -> None:
+        for name in (
+            "empty_block_probability",
+            "one_miner_fork_probability",
+            "same_txset_probability",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must lie in [0, 1], got {value!r}")
+        if self.head_lag < 0:
+            raise ConfigurationError("head_lag must be non-negative")
+        if not 0.0 <= self.home_gateway_preference <= 1.0:
+            raise ConfigurationError(
+                "home_gateway_preference must lie in [0, 1]"
+            )
+        if not self.partition_tuple_weights:
+            raise ConfigurationError("partition_tuple_weights must not be empty")
+        if any(size < 2 for size in self.partition_tuple_weights):
+            raise ConfigurationError("one-miner fork tuples must have size >= 2")
+
+
+@dataclass(frozen=True)
+class PoolSpec:
+    """Static description of a pool, used by scenario builders.
+
+    Attributes:
+        name: Pool identifier (also used as the block ``miner`` field).
+        hashpower: Fraction of total network hash power in [0, 1].
+        home_region: Region of the pool's primary gateway.
+        extra_gateway_regions: Regions of additional gateways.
+        policy: Selfish-behaviour policy.
+    """
+
+    name: str
+    hashpower: float
+    home_region: Region
+    extra_gateway_regions: tuple[Region, ...] = ()
+    policy: PoolPolicy = field(default_factory=PoolPolicy)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.hashpower <= 1.0:
+            raise ConfigurationError(
+                f"hashpower must lie in (0, 1], got {self.hashpower!r}"
+            )
+
+    @property
+    def gateway_regions(self) -> tuple[Region, ...]:
+        return (self.home_region, *self.extra_gateway_regions)
+
+
+#: Delay for the pool's block server to hand a sealed block to the
+#: *leading* gateway, on top of the home-region→gateway base latency.
+GATEWAY_HANDOFF_OVERHEAD = 0.02
+
+#: Extra delay before the block reaches each non-leading gateway: the
+#: pool's internal replication is slower than its hot path, which is why
+#: a block reliably *surfaces* in the preferred gateway's region first
+#: (the per-pool first-reception separation of Figure 3).
+SECONDARY_GATEWAY_DELAY = 0.25
+
+
+class MiningPool:
+    """A live mining pool bound to its gateway nodes.
+
+    Args:
+        spec: Static pool description.
+        gateways: Protocol nodes acting as the pool's gateways; the first
+            is the primary (its chain view is what the pool mines on).
+        rng: Random stream for the pool's policy decisions.
+        gas_limit: Block gas limit used when sealing.
+        difficulty_config: Difficulty rule (Constantinople by default).
+    """
+
+    def __init__(
+        self,
+        spec: PoolSpec,
+        gateways: list[ProtocolNode],
+        rng: np.random.Generator,
+        gas_limit: int = DEFAULT_GAS_LIMIT,
+        difficulty_config: Optional[DifficultyConfig] = None,
+    ) -> None:
+        if not gateways:
+            raise ConfigurationError(f"pool {spec.name!r} needs at least one gateway")
+        self.spec = spec
+        self.gateways = gateways
+        self.primary = gateways[0]
+        self._rng = rng
+        self.gas_limit = gas_limit
+        self.difficulty_config = difficulty_config or DifficultyConfig()
+        self._simulator = self.primary.simulator
+        self._mining_head: Block = self.primary.tree.head
+        self.primary.head_listeners.append(self._on_gateway_head_change)
+        #: every block this pool sealed, in seal order (ground truth)
+        self.sealed_blocks: list[Block] = []
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def __repr__(self) -> str:
+        return f"MiningPool({self.name}, {self.spec.hashpower:.1%})"
+
+    # ------------------------------------------------------------------ #
+    # Head tracking
+    # ------------------------------------------------------------------ #
+
+    def _on_gateway_head_change(self, new_head: Block) -> None:
+        lag = self.spec.policy.head_lag
+        if lag <= 0:
+            self._mining_head = new_head
+            return
+        self._simulator.call_later(lag, self._refresh_mining_head)
+
+    def _refresh_mining_head(self) -> None:
+        self._mining_head = self.primary.tree.head
+
+    @property
+    def mining_head(self) -> Block:
+        return self._mining_head
+
+    # ------------------------------------------------------------------ #
+    # Sealing
+    # ------------------------------------------------------------------ #
+
+    def on_win(self) -> list[Block]:
+        """Handle a lottery win: seal one or more blocks and publish them."""
+        policy = self.spec.policy
+        variants = 1
+        if float(self._rng.random()) < policy.one_miner_fork_probability:
+            variants = self._draw_tuple_size()
+        blocks = self._seal_variants(variants)
+        base_gateway = self._draw_preferred_gateway()
+        for index, block in enumerate(blocks):
+            self._publish(
+                block,
+                preferred_gateway=(base_gateway + index) % len(self.gateways),
+            )
+        self.sealed_blocks.extend(blocks)
+        return blocks
+
+    def _draw_preferred_gateway(self) -> int:
+        if len(self.gateways) == 1:
+            return 0
+        if float(self._rng.random()) < self.spec.policy.home_gateway_preference:
+            return 0
+        return int(self._rng.integers(1, len(self.gateways)))
+
+    def _draw_tuple_size(self) -> int:
+        sizes = sorted(self.spec.policy.partition_tuple_weights)
+        weights = np.array(
+            [self.spec.policy.partition_tuple_weights[size] for size in sizes],
+            dtype=float,
+        )
+        weights /= weights.sum()
+        return int(self._rng.choice(sizes, p=weights))
+
+    def _seal_variants(self, count: int) -> list[Block]:
+        head = self._mining_head
+        tree = self.primary.tree
+        now = self._simulator.now
+        policy = self.spec.policy
+
+        mine_empty = float(self._rng.random()) < policy.empty_block_probability
+        base_txs: tuple[Transaction, ...] = ()
+        if not mine_empty:
+            base_txs = tuple(self.primary.mempool.select(self.gas_limit))
+
+        uncles = tuple(
+            uncle.block_hash
+            for uncle in tree.uncle_candidates(head.block_hash)[:2]
+        )
+        difficulty = next_difficulty(
+            parent_difficulty=head.difficulty,
+            parent_timestamp=head.timestamp,
+            timestamp=now,
+            height=head.height + 1,
+            parent_has_uncles=bool(head.uncle_hashes),
+            config=self.difficulty_config,
+        )
+
+        same_txset = float(self._rng.random()) < policy.same_txset_probability
+        blocks: list[Block] = []
+        for salt in range(count):
+            txs = base_txs
+            if count > 1 and not same_txset and salt > 0 and base_txs:
+                # Distinct variant: drop a prefix of the selection so the
+                # transaction sets differ (what pools do when their servers
+                # build different templates).
+                drop = 1 + int(self._rng.integers(0, max(len(base_txs) // 2, 1)))
+                txs = base_txs[drop:]
+            blocks.append(
+                Block(
+                    height=head.height + 1,
+                    parent_hash=head.block_hash,
+                    miner=self.name,
+                    difficulty=difficulty,
+                    timestamp=now,
+                    transactions=txs,
+                    uncle_hashes=uncles,
+                    gas_limit=self.gas_limit,
+                    salt=salt,
+                )
+            )
+        return blocks
+
+    def _publish(self, block: Block, preferred_gateway: int) -> None:
+        """Hand ``block`` to every gateway, preferred one first."""
+        order = list(range(len(self.gateways)))
+        order.insert(0, order.pop(preferred_gateway))
+        for rank, gateway_index in enumerate(order):
+            gateway = self.gateways[gateway_index]
+            handoff = base_latency_seconds(self.spec.home_region, gateway.region)
+            if rank == 0:
+                handoff += GATEWAY_HANDOFF_OVERHEAD
+            else:
+                handoff += SECONDARY_GATEWAY_DELAY * rank
+            self._simulator.call_later(
+                handoff, lambda g=gateway, b=block: g.inject_block(b)
+            )

@@ -1,0 +1,64 @@
+"""Geth's block/transaction gossip policy.
+
+Geth 1.8 propagates a newly accepted block by pushing the *full block* to
+``ceil(sqrt(len(peers)))`` randomly chosen peers that do not yet know it,
+and announcing the hash (``NewBlockHashes``) to the rest.  Transactions
+are sent to every peer not known to have them.  These two rules produce
+the redundancy profile of Table II: a default 25-peer node sees a median
+of 7 direct block pushes and 2 announcements per block.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class GossipConfig:
+    """Knobs of the propagation policy.
+
+    Attributes:
+        direct_push_fraction_exponent: Exponent ``e`` such that the number
+            of direct-push targets is ``ceil(n ** e)``; Geth uses 0.5
+            (square root).
+        announce_remainder: Whether the hash is announced to all remaining
+            peers (Geth: yes).
+    """
+
+    direct_push_fraction_exponent: float = 0.5
+    announce_remainder: bool = True
+
+
+def direct_push_count(peer_count: int, config: GossipConfig | None = None) -> int:
+    """Number of peers that receive the full block directly."""
+    if peer_count <= 0:
+        return 0
+    cfg = config or GossipConfig()
+    return min(peer_count, math.ceil(peer_count**cfg.direct_push_fraction_exponent))
+
+
+def split_targets(
+    candidates: Sequence[T],
+    rng: np.random.Generator,
+    config: GossipConfig | None = None,
+) -> tuple[list[T], list[T]]:
+    """Partition ``candidates`` into (direct-push targets, announce targets).
+
+    The direct subset is a uniform random sample of size
+    :func:`direct_push_count`; the remainder receives announcements when
+    :attr:`GossipConfig.announce_remainder` is set.
+    """
+    cfg = config or GossipConfig()
+    count = direct_push_count(len(candidates), cfg)
+    if count == 0:
+        return [], []
+    indices = rng.permutation(len(candidates))
+    direct = [candidates[i] for i in indices[:count]]
+    rest = [candidates[i] for i in indices[count:]] if cfg.announce_remainder else []
+    return direct, rest

@@ -1,0 +1,144 @@
+"""eth/63 wire-protocol message subset.
+
+The study's measurement node logs the messages a 2019 Geth client
+exchanges; we model the subset that carries blocks and transactions:
+
+* ``NewBlock`` — a full block pushed directly (header + body).
+* ``NewBlockHashes`` — light announcements carrying only hashes.
+* ``GetBlockHeaders`` / ``BlockHeaders`` and ``GetBlockBodies`` /
+  ``BlockBodies`` — the fetch path a node follows after an announcement.
+* ``Transactions`` — batches of pending transactions.
+* ``Status`` — handshake carrying the head and total difficulty.
+
+Message sizes approximate the RLP encodings so the bandwidth model can
+penalise full blocks relative to announcements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import ClassVar
+
+from repro.chain.block import EMPTY_BLOCK_SIZE, Block
+from repro.chain.transaction import Transaction
+
+#: Bytes per announced hash entry (hash + number + framing).
+ANNOUNCEMENT_ENTRY_SIZE = 40
+
+#: Fixed framing overhead per message.
+MESSAGE_OVERHEAD = 20
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class of all wire messages."""
+
+    #: Wire name, mirroring devp2p capability message names.
+    kind: ClassVar[str] = "Message"
+
+    @property
+    def size_bytes(self) -> int:
+        return MESSAGE_OVERHEAD
+
+
+@dataclass(frozen=True)
+class StatusMessage(Message):
+    """Handshake: advertises protocol version, head and total difficulty."""
+
+    kind: ClassVar[str] = "Status"
+    head_hash: str
+    total_difficulty: float
+    height: int
+
+    @property
+    def size_bytes(self) -> int:
+        return MESSAGE_OVERHEAD + 60
+
+
+@dataclass(frozen=True)
+class NewBlockMessage(Message):
+    """Direct propagation of a full block (header + body + TD)."""
+
+    kind: ClassVar[str] = "NewBlock"
+    block: Block
+    total_difficulty: float
+
+    @property
+    def size_bytes(self) -> int:
+        return MESSAGE_OVERHEAD + self.block.size_bytes
+
+
+@dataclass(frozen=True)
+class NewBlockHashesMessage(Message):
+    """Light announcement: hashes (and heights) of newly available blocks."""
+
+    kind: ClassVar[str] = "NewBlockHashes"
+    entries: tuple[tuple[str, int], ...]  # (block_hash, height)
+
+    @property
+    def size_bytes(self) -> int:
+        return MESSAGE_OVERHEAD + ANNOUNCEMENT_ENTRY_SIZE * len(self.entries)
+
+
+@dataclass(frozen=True)
+class GetBlockHeadersMessage(Message):
+    """Request for a header by hash (post-announcement fetch)."""
+
+    kind: ClassVar[str] = "GetBlockHeaders"
+    block_hash: str
+
+    @property
+    def size_bytes(self) -> int:
+        return MESSAGE_OVERHEAD + 40
+
+
+@dataclass(frozen=True)
+class BlockHeadersMessage(Message):
+    """Response carrying a block header."""
+
+    kind: ClassVar[str] = "BlockHeaders"
+    block: Block  # header fields only are "used"; body travels in BlockBodies
+
+    @property
+    def size_bytes(self) -> int:
+        return MESSAGE_OVERHEAD + EMPTY_BLOCK_SIZE
+
+
+@dataclass(frozen=True)
+class GetBlockBodiesMessage(Message):
+    """Request for a block body by hash."""
+
+    kind: ClassVar[str] = "GetBlockBodies"
+    block_hash: str
+
+    @property
+    def size_bytes(self) -> int:
+        return MESSAGE_OVERHEAD + 40
+
+
+@dataclass(frozen=True)
+class BlockBodiesMessage(Message):
+    """Response carrying a block body (transactions + uncle headers)."""
+
+    kind: ClassVar[str] = "BlockBodies"
+    block: Block
+
+    @property
+    def size_bytes(self) -> int:
+        return MESSAGE_OVERHEAD + self.block.size_bytes
+
+    @property
+    def block_hash(self) -> str:
+        return self.block.block_hash
+
+
+@dataclass(frozen=True)
+class TransactionsMessage(Message):
+    """A batch of pending transactions."""
+
+    kind: ClassVar[str] = "Transactions"
+    transactions: tuple[Transaction, ...] = field(default=())
+
+    @property
+    def size_bytes(self) -> int:
+        return MESSAGE_OVERHEAD + sum(tx.size_bytes for tx in self.transactions)

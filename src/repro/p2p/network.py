@@ -1,0 +1,159 @@
+"""The network fabric: message routing with geographic latency.
+
+:class:`Network` couples the discrete-event simulator, the latency model
+and the discovery service.  Nodes send messages through
+:meth:`Network.send`; the fabric samples a delivery delay from the
+origin/destination regions and the message size, then schedules
+``destination.deliver(sender_id, message)``.
+
+Connection management is symmetric: :meth:`Network.connect` installs a
+:class:`~repro.p2p.peer.Peer` record on both endpoints.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from repro.errors import ConfigurationError
+from repro.geo.latency import LatencyModel
+from repro.geo.regions import Region
+from repro.p2p.discovery import DiscoveryService
+from repro.p2p.messages import Message
+from repro.sim.engine import Simulator
+
+
+class NetworkMember(Protocol):
+    """Interface a node must implement to live on the network."""
+
+    node_id: int
+    region: Region
+
+    def deliver(self, sender_id: int, message: Message) -> None:
+        """Handle an incoming wire message."""
+
+    def on_peer_connected(self, peer_id: int, inbound: bool) -> None:
+        """A connection to ``peer_id`` was established."""
+
+    def on_peer_disconnected(self, peer_id: int) -> None:
+        """The connection to ``peer_id`` was torn down."""
+
+
+class Network:
+    """Routes messages among registered nodes with geographic delays.
+
+    Args:
+        simulator: The discrete-event engine that owns time.
+        latency: Latency model; defaults to one built from the simulator's
+            ``"network.latency"`` RNG stream.
+
+    Attributes:
+        discovery: The global discovery service nodes register with.
+        messages_sent: Running count of routed messages (all kinds).
+        bytes_sent: Running count of routed payload bytes.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        latency: Optional[LatencyModel] = None,
+    ) -> None:
+        self.simulator = simulator
+        self.latency = latency or LatencyModel(simulator.rng.stream("network.latency"))
+        self.discovery = DiscoveryService()
+        self._members: dict[int, NetworkMember] = {}
+        self._links: set[tuple[int, int]] = set()
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    # ------------------------------------------------------------------ #
+    # Membership
+    # ------------------------------------------------------------------ #
+
+    def register(self, member: NetworkMember) -> None:
+        """Add ``member`` to the fabric and the discovery overlay."""
+        if member.node_id in self._members:
+            raise ConfigurationError(f"node {member.node_id!r} already on network")
+        self._members[member.node_id] = member
+        self.discovery.register(member.node_id, member)
+
+    def member(self, node_id: int) -> NetworkMember:
+        node = self._members.get(node_id)
+        if node is None:
+            raise ConfigurationError(f"node {node_id!r} is not on the network")
+        return node
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def all_members(self) -> list[NetworkMember]:
+        return list(self._members.values())
+
+    # ------------------------------------------------------------------ #
+    # Connections
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _link_key(a: int, b: int) -> tuple[int, int]:
+        return (a, b) if a < b else (b, a)
+
+    def connected(self, a: int, b: int) -> bool:
+        return self._link_key(a, b) in self._links
+
+    def connect(self, dialer_id: int, listener_id: int) -> bool:
+        """Establish a connection; returns False if it already exists."""
+        if dialer_id == listener_id:
+            raise ConfigurationError("a node cannot connect to itself")
+        key = self._link_key(dialer_id, listener_id)
+        if key in self._links:
+            return False
+        dialer = self.member(dialer_id)
+        listener = self.member(listener_id)
+        self._links.add(key)
+        dialer.on_peer_connected(listener_id, inbound=False)
+        listener.on_peer_connected(dialer_id, inbound=True)
+        return True
+
+    def disconnect(self, a: int, b: int) -> None:
+        key = self._link_key(a, b)
+        if key not in self._links:
+            return
+        self._links.discard(key)
+        self.member(a).on_peer_disconnected(b)
+        self.member(b).on_peer_disconnected(a)
+
+    def link_count(self) -> int:
+        return len(self._links)
+
+    # ------------------------------------------------------------------ #
+    # Messaging
+    # ------------------------------------------------------------------ #
+
+    def send(self, sender_id: int, recipient_id: int, message: Message) -> float:
+        """Route ``message``; returns the sampled delivery delay (seconds).
+
+        Messages are only routed over established connections, mirroring
+        devp2p's session semantics.
+        """
+        if not self.connected(sender_id, recipient_id):
+            raise ConfigurationError(
+                f"no connection between {sender_id!r} and {recipient_id!r}"
+            )
+        sender = self.member(sender_id)
+        recipient = self.member(recipient_id)
+        delay = self.latency.delay(
+            sender.region, recipient.region, message.size_bytes
+        )
+        self.messages_sent += 1
+        self.bytes_sent += message.size_bytes
+        self.simulator.call_later(
+            delay, lambda: self._deliver_if_connected(sender_id, recipient_id, message)
+        )
+        return delay
+
+    def _deliver_if_connected(
+        self, sender_id: int, recipient_id: int, message: Message
+    ) -> None:
+        # The link may have been torn down while the message was in flight.
+        if not self.connected(sender_id, recipient_id):
+            return
+        self._members[recipient_id].deliver(sender_id, message)

@@ -1,0 +1,77 @@
+"""Per-connection peer state.
+
+Each side of a connection tracks which block and transaction hashes the
+remote peer is already known to have, exactly as Geth does, so it can
+suppress duplicate sends.  The caps mirror Geth 1.8's ``maxKnownBlocks``
+and ``maxKnownTxs``; eviction is FIFO, which is close enough to Geth's
+random-ish eviction for redundancy statistics (Table II).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+#: Geth 1.8: maximum block hashes remembered per peer.
+MAX_KNOWN_BLOCKS = 1024
+
+#: Geth 1.8: maximum transaction hashes remembered per peer.
+MAX_KNOWN_TXS = 32_768
+
+
+class KnownCache:
+    """A bounded set with FIFO eviction."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity!r}")
+        self.capacity = capacity
+        self._items: OrderedDict[str, None] = OrderedDict()
+
+    def __contains__(self, item: str) -> bool:
+        return item in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def add(self, item: str) -> None:
+        if item in self._items:
+            return
+        self._items[item] = None
+        while len(self._items) > self.capacity:
+            self._items.popitem(last=False)
+
+
+@dataclass
+class Peer:
+    """One endpoint's view of a connection to a remote node.
+
+    Attributes:
+        remote_id: Node identifier of the remote peer.
+        connected_at: True simulated time of connection establishment.
+        inbound: True when the remote dialled us.
+        known_blocks: Block hashes the remote is known to have.
+        known_txs: Transaction hashes the remote is known to have.
+    """
+
+    remote_id: int
+    connected_at: float
+    inbound: bool = False
+    known_blocks: KnownCache = field(
+        default_factory=lambda: KnownCache(MAX_KNOWN_BLOCKS)
+    )
+    known_txs: KnownCache = field(default_factory=lambda: KnownCache(MAX_KNOWN_TXS))
+
+    def mark_block(self, block_hash: str) -> None:
+        """Record that the remote has (or was sent) ``block_hash``."""
+        self.known_blocks.add(block_hash)
+
+    def mark_tx(self, tx_hash: str) -> None:
+        """Record that the remote has (or was sent) ``tx_hash``."""
+        self.known_txs.add(tx_hash)
+
+    def knows_block(self, block_hash: str) -> bool:
+        return block_hash in self.known_blocks
+
+    def knows_tx(self, tx_hash: str) -> bool:
+        return tx_hash in self.known_txs

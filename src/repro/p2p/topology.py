@@ -1,0 +1,125 @@
+"""Overlay topology analysis.
+
+§III-B1 rests on a structural property: Ethereum's neighbour relations
+come from random node identifiers, so the overlay is a geography-blind
+random graph — any geographic bias in block reception must therefore come
+from *sources* (pool gateways), not from the mesh.  This module extracts
+the live overlay as a :mod:`networkx` graph and computes the quantities
+that certify the property: connectivity, degree statistics, diameter,
+and the cross-region mixing ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.p2p.network import Network
+
+
+def overlay_graph(network: Network) -> nx.Graph:
+    """Build the current overlay as an undirected graph.
+
+    Nodes carry a ``region`` attribute; edges are live connections.
+    """
+    graph = nx.Graph()
+    for member in network.all_members():
+        graph.add_node(member.node_id, region=member.region.value)
+    for member in network.all_members():
+        peers = getattr(member, "peers", None)
+        if peers is None:
+            continue
+        for peer_id in peers:
+            if graph.has_node(peer_id):
+                graph.add_edge(member.node_id, peer_id)
+    return graph
+
+
+@dataclass(frozen=True)
+class TopologyReport:
+    """Overlay structure summary.
+
+    Attributes:
+        nodes / edges: Graph size.
+        connected: Whether the overlay is a single component.
+        mean_degree / max_degree: Degree statistics.
+        diameter: Longest shortest path (largest component).
+        intra_region_edge_share: Fraction of edges joining same-region
+            nodes; a geography-blind overlay keeps this near the value
+            expected from region population shares alone.
+        expected_intra_region_share: That expected value.
+    """
+
+    nodes: int
+    edges: int
+    connected: bool
+    mean_degree: float
+    max_degree: int
+    diameter: int
+    intra_region_edge_share: float
+    expected_intra_region_share: float
+
+    @property
+    def geography_blind(self) -> bool:
+        """True when same-region edges are not strongly over-represented."""
+        return self.intra_region_edge_share < 2.0 * (
+            self.expected_intra_region_share
+        ) + 0.05
+
+    def render(self) -> str:
+        return "\n".join(
+            [
+                "Overlay topology (§III-B1's geography-blind mesh)",
+                f"  nodes={self.nodes} edges={self.edges} "
+                f"connected={self.connected} diameter={self.diameter}",
+                f"  degree: mean={self.mean_degree:.1f} max={self.max_degree}",
+                (
+                    f"  same-region edges: {100 * self.intra_region_edge_share:.1f}% "
+                    f"(random expectation "
+                    f"{100 * self.expected_intra_region_share:.1f}%)"
+                ),
+            ]
+        )
+
+
+def analyze_topology(network: Network) -> TopologyReport:
+    """Compute the :class:`TopologyReport` for a live network."""
+    graph = overlay_graph(network)
+    if graph.number_of_nodes() == 0:
+        raise AnalysisError("the network has no members")
+    degrees = np.array([degree for _, degree in graph.degree()])
+    connected = nx.is_connected(graph) if graph.number_of_edges() else False
+    if connected:
+        diameter = nx.diameter(graph)
+    elif graph.number_of_edges():
+        largest = max(nx.connected_components(graph), key=len)
+        diameter = nx.diameter(graph.subgraph(largest))
+    else:
+        diameter = 0
+
+    regions = nx.get_node_attributes(graph, "region")
+    intra = sum(1 for u, v in graph.edges() if regions[u] == regions[v])
+    total_edges = graph.number_of_edges()
+    intra_share = intra / total_edges if total_edges else 0.0
+
+    counts: dict[str, int] = {}
+    for region in regions.values():
+        counts[region] = counts.get(region, 0) + 1
+    population = sum(counts.values())
+    expected = sum(
+        (count / population) ** 2 for count in counts.values()
+    )
+
+    return TopologyReport(
+        nodes=graph.number_of_nodes(),
+        edges=total_edges,
+        connected=connected,
+        mean_degree=float(degrees.mean()) if degrees.size else 0.0,
+        max_degree=int(degrees.max()) if degrees.size else 0,
+        diameter=diameter,
+        intra_region_edge_share=intra_share,
+        expected_intra_region_share=expected,
+    )

@@ -1,0 +1,26 @@
+"""Deterministic discrete-event simulation engine.
+
+Public surface:
+
+* :class:`Simulator` — the event loop, simulated clock and RNG root.
+* :class:`Event` / :class:`EventQueue` — schedulable callbacks.
+* :class:`PeriodicProcess` / :class:`PoissonProcess` — recurring processes.
+* :class:`RngRegistry` / :func:`derive_seed` — namespaced random streams.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.events import DEFAULT_PRIORITY, Event, EventQueue
+from repro.sim.process import PeriodicProcess, PoissonProcess, RecurringProcess
+from repro.sim.rng import RngRegistry, derive_seed
+
+__all__ = [
+    "DEFAULT_PRIORITY",
+    "Event",
+    "EventQueue",
+    "PeriodicProcess",
+    "PoissonProcess",
+    "RecurringProcess",
+    "RngRegistry",
+    "Simulator",
+    "derive_seed",
+]

@@ -1,0 +1,112 @@
+"""Event primitives for the discrete-event simulator.
+
+Events are ordered by ``(time, priority, sequence)`` so that simultaneous
+events fire in a deterministic order: first by explicit priority, then by
+scheduling order.  Determinism of the event order is what makes whole
+simulation runs reproducible from a seed.
+
+The heap stores plain ``(time, priority, sequence, event)`` tuples rather
+than rich objects: tuple comparison is the single hottest operation in a
+large simulation, and native tuples compare several times faster than
+generated dataclass ``__lt__`` methods.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+
+#: Default event priority.  Lower numbers fire first among simultaneous events.
+DEFAULT_PRIORITY = 100
+
+
+class Event:
+    """A scheduled callback handle.
+
+    Attributes:
+        time: Simulated time (seconds) at which the event fires.
+        priority: Tie-break among events with equal ``time``; lower first.
+        sequence: Monotone scheduling counter; final tie-break.
+        callback: Zero-argument callable invoked when the event fires.
+        cancelled: Set by :meth:`cancel`; cancelled events are skipped.
+    """
+
+    __slots__ = ("time", "priority", "sequence", "callback", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        sequence: int,
+        callback: Callable[[], None],
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.sequence = sequence
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the event loop skips it.
+
+        Cancellation is O(1); the event stays in the heap until popped.
+        """
+        self.cancelled = True
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.6f}, prio={self.priority}, {state})"
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` objects.
+
+    Wraps ``heapq`` with a monotone sequence counter so simultaneous events
+    pop in scheduling order, which keeps runs deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        priority: int = DEFAULT_PRIORITY,
+    ) -> Event:
+        """Schedule ``callback`` at simulated ``time`` and return the event."""
+        if time < 0:
+            raise SimulationError(f"cannot schedule event at negative time {time!r}")
+        sequence = next(self._counter)
+        event = Event(time, priority, sequence, callback)
+        heapq.heappush(self._heap, (time, priority, sequence, event))
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next non-cancelled event, or ``None``."""
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[3]
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the firing time of the next live event without popping it."""
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+        if heap:
+            return heap[0][0]
+        return None
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()

@@ -1,0 +1,109 @@
+"""Recurring-process helpers built on top of the simulator.
+
+Two scheduling idioms recur throughout the network model:
+
+* :class:`PeriodicProcess` — fire a callback at a fixed period (e.g. peer
+  table maintenance).
+* :class:`PoissonProcess` — fire at exponentially distributed intervals
+  (e.g. the PoW mining lottery, transaction arrivals).
+
+Both support :meth:`~RecurringProcess.stop` and re-:meth:`~RecurringProcess.start`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+
+
+class RecurringProcess:
+    """Base class for self-rescheduling simulator processes."""
+
+    def __init__(self, simulator: Simulator, callback: Callable[[], None]) -> None:
+        self._simulator = simulator
+        self._callback = callback
+        self._event: Optional[Event] = None
+        self._running = False
+
+    def start(self) -> None:
+        """Begin firing.  Idempotent while already running."""
+        if self._running:
+            return
+        self._running = True
+        self._schedule_next()
+
+    def stop(self) -> None:
+        """Stop firing and cancel any pending occurrence."""
+        self._running = False
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def _next_delay(self) -> float:
+        raise NotImplementedError
+
+    def _schedule_next(self) -> None:
+        if not self._running:
+            return
+        self._event = self._simulator.call_later(self._next_delay(), self._fire)
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        self._callback()
+        self._schedule_next()
+
+
+class PeriodicProcess(RecurringProcess):
+    """Fire ``callback`` every ``period`` seconds of simulated time."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        period: float,
+        callback: Callable[[], None],
+    ) -> None:
+        if period <= 0:
+            raise SimulationError(f"period must be positive, got {period!r}")
+        super().__init__(simulator, callback)
+        self.period = period
+
+    def _next_delay(self) -> float:
+        return self.period
+
+
+class PoissonProcess(RecurringProcess):
+    """Fire ``callback`` at exponentially distributed intervals.
+
+    Args:
+        simulator: Owning simulator.
+        rate: Mean events per simulated second; may be updated live via
+            :attr:`rate` (takes effect from the next interval).
+        callback: Zero-argument callable.
+        rng: Random stream used for interval draws.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        rate: float,
+        callback: Callable[[], None],
+        rng: np.random.Generator,
+    ) -> None:
+        if rate <= 0:
+            raise SimulationError(f"rate must be positive, got {rate!r}")
+        super().__init__(simulator, callback)
+        self.rate = rate
+        self._rng = rng
+
+    def _next_delay(self) -> float:
+        return float(self._rng.exponential(1.0 / self.rate))

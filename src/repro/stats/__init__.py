@@ -1,0 +1,30 @@
+"""Statistics and text rendering helpers."""
+
+from repro.stats.descriptive import (
+    Cdf,
+    Histogram,
+    Summary,
+    percentile,
+    top_fraction_threshold,
+)
+from repro.stats.figures import (
+    format_bar_chart,
+    format_cdf,
+    format_histogram,
+    format_stacked_shares,
+)
+from repro.stats.tables import format_percent, format_table
+
+__all__ = [
+    "Cdf",
+    "Histogram",
+    "Summary",
+    "format_bar_chart",
+    "format_cdf",
+    "format_histogram",
+    "format_percent",
+    "format_stacked_shares",
+    "format_table",
+    "percentile",
+    "top_fraction_threshold",
+]

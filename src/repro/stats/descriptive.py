@@ -1,0 +1,117 @@
+"""Descriptive statistics helpers shared by the analyses.
+
+Thin wrappers over NumPy that (a) validate emptiness explicitly instead
+of emitting NaNs, and (b) express the exact quantities the paper reports
+(medians, "top 10 % / top 1 %" thresholds, empirical CDFs, histogram
+PDFs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+def _as_array(values: object, what: str) -> np.ndarray:
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise AnalysisError(f"cannot summarise empty {what}")
+    return array
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-style summary used across the result tables."""
+
+    count: int
+    mean: float
+    median: float
+    p90: float
+    p95: float
+    p99: float
+    maximum: float
+
+    @classmethod
+    def of(cls, values: object, what: str = "sample") -> "Summary":
+        array = _as_array(values, what)
+        return cls(
+            count=int(array.size),
+            mean=float(array.mean()),
+            median=float(np.median(array)),
+            p90=float(np.percentile(array, 90)),
+            p95=float(np.percentile(array, 95)),
+            p99=float(np.percentile(array, 99)),
+            maximum=float(array.max()),
+        )
+
+
+def percentile(values: object, q: float, what: str = "sample") -> float:
+    """The ``q``-th percentile of ``values`` (q in [0, 100])."""
+    return float(np.percentile(_as_array(values, what), q))
+
+
+def top_fraction_threshold(values: object, fraction: float, what: str = "sample") -> float:
+    """Smallest value of the top ``fraction`` of the sample.
+
+    ``top_fraction_threshold(x, 0.10)`` is the paper's "Top 10 %" column
+    in Table II: the cut-off above which the highest 10 % of
+    observations lie.
+    """
+    if not 0 < fraction < 1:
+        raise AnalysisError(f"fraction must lie in (0, 1), got {fraction!r}")
+    return percentile(values, 100 * (1 - fraction), what)
+
+
+@dataclass(frozen=True)
+class Cdf:
+    """An empirical CDF: ``fraction[i]`` of the sample is <= ``value[i]``."""
+
+    values: np.ndarray
+    fractions: np.ndarray
+
+    @classmethod
+    def of(cls, sample: object, what: str = "sample") -> "Cdf":
+        array = np.sort(_as_array(sample, what))
+        fractions = np.arange(1, array.size + 1, dtype=float) / array.size
+        return cls(values=array, fractions=fractions)
+
+    def quantile(self, q: float) -> float:
+        """Value below which a fraction ``q`` of the sample lies."""
+        if not 0 <= q <= 1:
+            raise AnalysisError(f"quantile must lie in [0, 1], got {q!r}")
+        return float(np.percentile(self.values, q * 100))
+
+    def fraction_at(self, value: float) -> float:
+        """Fraction of the sample <= ``value``."""
+        return float(np.searchsorted(self.values, value, side="right") / self.values.size)
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """A normalised histogram (the paper's Figure 1 'PDF' rendering)."""
+
+    bin_edges: np.ndarray
+    densities: np.ndarray  # fraction of the sample per bin
+
+    @classmethod
+    def of(
+        cls,
+        sample: object,
+        bin_width: float,
+        upper: float | None = None,
+        what: str = "sample",
+    ) -> "Histogram":
+        array = _as_array(sample, what)
+        if bin_width <= 0:
+            raise AnalysisError(f"bin width must be positive, got {bin_width!r}")
+        top = upper if upper is not None else float(array.max()) + bin_width
+        edges = np.arange(0.0, top + bin_width, bin_width)
+        counts, edges = np.histogram(np.clip(array, 0, top), bins=edges)
+        return cls(bin_edges=edges, densities=counts / array.size)
+
+    @property
+    def bin_centers(self) -> np.ndarray:
+        return (self.bin_edges[:-1] + self.bin_edges[1:]) / 2.0

@@ -1,0 +1,109 @@
+"""ASCII figure rendering: bar charts and CDF sketches.
+
+Each reproduced figure is printed as text so the benchmark harness output
+can be compared against the paper without a plotting stack (matplotlib is
+not available offline).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.stats.descriptive import Cdf
+
+#: Width of the bar area in characters.
+BAR_WIDTH = 46
+
+
+def format_bar_chart(
+    data: Mapping[str, float],
+    title: str | None = None,
+    unit: str = "",
+    as_percent: bool = False,
+) -> str:
+    """Horizontal bar chart, one labelled row per entry.
+
+    Args:
+        data: ``{label: value}``, rendered in insertion order.
+        title: Optional heading.
+        unit: Suffix appended to each value.
+        as_percent: Render values as percentages of 1.0.
+    """
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if not data:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    label_width = max(len(label) for label in data)
+    peak = max(data.values()) or 1.0
+    for label, value in data.items():
+        filled = int(round(BAR_WIDTH * value / peak)) if peak > 0 else 0
+        bar = "█" * filled
+        shown = f"{100 * value:.2f}%" if as_percent else f"{value:,.3f}{unit}"
+        lines.append(f"{label.ljust(label_width)} |{bar.ljust(BAR_WIDTH)}| {shown}")
+    return "\n".join(lines)
+
+
+def format_stacked_shares(
+    data: Mapping[str, Mapping[str, float]],
+    title: str | None = None,
+) -> str:
+    """Per-row share breakdown (Figure 3-style): each row sums to ~1.
+
+    Args:
+        data: ``{row_label: {series_label: share}}``.
+    """
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if not data:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    label_width = max(len(label) for label in data)
+    for label, shares in data.items():
+        parts = "  ".join(
+            f"{series}={100 * share:5.1f}%" for series, share in shares.items()
+        )
+        lines.append(f"{label.ljust(label_width)}  {parts}")
+    return "\n".join(lines)
+
+
+def format_cdf(
+    cdf: Cdf,
+    quantiles: Sequence[float] = (0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99),
+    title: str | None = None,
+    unit: str = "s",
+) -> str:
+    """Tabulated CDF at the given quantiles (Figure 4/5-style)."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for q in quantiles:
+        lines.append(f"  p{int(q * 100):02d}: {cdf.quantile(q):10.3f}{unit}")
+    return "\n".join(lines)
+
+
+def format_histogram(
+    bin_centers: np.ndarray,
+    densities: np.ndarray,
+    title: str | None = None,
+    unit: str = "ms",
+    scale: float = 1.0,
+) -> str:
+    """Vertical-bar histogram rendering (Figure 1-style PDF)."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    peak = float(densities.max()) if densities.size else 1.0
+    for center, density in zip(bin_centers, densities):
+        if density == 0:
+            continue
+        filled = int(round(BAR_WIDTH * density / peak)) if peak > 0 else 0
+        lines.append(
+            f"{center * scale:8.1f}{unit} |{'█' * filled:<{BAR_WIDTH}}| "
+            f"{100 * density:.2f}%"
+        )
+    return "\n".join(lines)

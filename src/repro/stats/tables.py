@@ -1,0 +1,59 @@
+"""ASCII table rendering.
+
+The benchmark harness prints each reproduced table with the same rows and
+columns the paper uses, so paper-vs-measured comparison is a side-by-side
+read.  No third-party table library is available offline; this renderer
+covers exactly what the harness needs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    align_right: bool = True,
+) -> str:
+    """Render a monospace table.
+
+    Args:
+        headers: Column names.
+        rows: Cell values; rendered with ``str``; floats get 3 decimals.
+        title: Optional title line above the table.
+        align_right: Right-align every column except the first.
+    """
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:,.3f}"
+        return str(cell)
+
+    rendered = [[render(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for index, cell in enumerate(cells):
+            if index == 0 or not align_right:
+                parts.append(cell.ljust(widths[index]))
+            else:
+                parts.append(cell.rjust(widths[index]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in rendered)
+    return "\n".join(lines)
+
+
+def format_percent(value: float, decimals: int = 2) -> str:
+    """Render a fraction as a percentage string (``0.0145`` → ``1.45%``)."""
+    return f"{100 * value:.{decimals}f}%"

@@ -1,0 +1,32 @@
+"""Workload generation and scenario assembly."""
+
+from repro.workload.mainnet import (
+    DEFAULT_HEAD_LAG,
+    FRINGE_POOL_NAMES,
+    MAINNET_POOL_SPECS,
+    TOP_POOL_NAMES,
+    mainnet_pool_specs,
+    total_hashpower,
+)
+from repro.workload.scenarios import (
+    SCALED_GAS_LIMIT,
+    Scenario,
+    ScenarioConfig,
+    build_scenario,
+)
+from repro.workload.transactions import TransactionWorkload, WorkloadConfig
+
+__all__ = [
+    "DEFAULT_HEAD_LAG",
+    "FRINGE_POOL_NAMES",
+    "MAINNET_POOL_SPECS",
+    "SCALED_GAS_LIMIT",
+    "Scenario",
+    "ScenarioConfig",
+    "TOP_POOL_NAMES",
+    "TransactionWorkload",
+    "WorkloadConfig",
+    "build_scenario",
+    "mainnet_pool_specs",
+    "total_hashpower",
+]

@@ -1,0 +1,186 @@
+"""April-2019 Ethereum mainnet calibration.
+
+Pool hash-power shares are the ones the paper reports in Figure 3
+(parenthesised percentages).  Home regions follow the pools' publicly
+known operating bases in 2019 (Sparkpool/F2pool/Uupool/Zhizhu/HuoBi —
+China; Miningpoolhub — Korea; Ethermine — Austria with global gateways;
+Nanopool/Hiveon/Minerall — Eastern Europe; DwarfPool — Western Europe).
+Empty-block probabilities are calibrated from Figure 6 (Ethermine ≈ 1,191
+empty blocks of its ≈ 50,900; Zhizhu > 25 % empty; Nanopool and
+Miningpoolhub1 zero), and one-miner-fork propensities from §III-C5
+(1,750 pairs + 25 triples + one 4- and one 7-tuple over ≈ 201k wins).
+"""
+
+from __future__ import annotations
+
+from repro.geo.regions import Region
+from repro.node.pool import PoolPolicy, PoolSpec
+
+#: Default pool→worker job distribution lag (seconds).  Calibrated so the
+#: overall stale-block (fork) rate lands near the paper's ≈ 7 %.
+DEFAULT_HEAD_LAG = 0.95
+
+#: One-miner fork rate of the pools that demonstrably practise it.
+_AGGRESSIVE_OMF = 0.013
+#: Background one-miner fork rate (pool partitions, reorg races).
+_BACKGROUND_OMF = 0.004
+
+
+def _policy(
+    empty: float,
+    omf: float = _BACKGROUND_OMF,
+    head_lag: float = DEFAULT_HEAD_LAG,
+) -> PoolPolicy:
+    return PoolPolicy(
+        empty_block_probability=empty,
+        one_miner_fork_probability=omf,
+        head_lag=head_lag,
+    )
+
+
+#: The 15 pools of Figure 3, plus the paper's systematically-empty solo
+#: miner (§III-C3: six blocks, all empty), plus the aggregated fringe.
+MAINNET_POOL_SPECS: tuple[PoolSpec, ...] = (
+    PoolSpec(
+        name="Ethermine",
+        hashpower=0.2532,
+        home_region=Region.CENTRAL_EUROPE,
+        extra_gateway_regions=(Region.WESTERN_EUROPE, Region.EASTERN_ASIA),
+        policy=_policy(empty=0.0234, omf=_AGGRESSIVE_OMF),
+    ),
+    PoolSpec(
+        name="Sparkpool",
+        hashpower=0.2288,
+        home_region=Region.EASTERN_ASIA,
+        extra_gateway_regions=(Region.EASTERN_ASIA,),
+        policy=_policy(empty=0.0130, omf=_AGGRESSIVE_OMF),
+    ),
+    PoolSpec(
+        name="F2pool2",
+        hashpower=0.1275,
+        home_region=Region.EASTERN_ASIA,
+        extra_gateway_regions=(Region.WESTERN_EUROPE,),
+        policy=_policy(empty=0.0137, omf=_AGGRESSIVE_OMF),
+    ),
+    PoolSpec(
+        name="Nanopool",
+        hashpower=0.1210,
+        home_region=Region.EASTERN_EUROPE,
+        extra_gateway_regions=(Region.CENTRAL_EUROPE,),
+        policy=_policy(empty=0.0),
+    ),
+    PoolSpec(
+        name="Miningpoolhub1",
+        hashpower=0.0561,
+        home_region=Region.EASTERN_ASIA,
+        extra_gateway_regions=(Region.WESTERN_EUROPE,),
+        policy=_policy(empty=0.0),
+    ),
+    PoolSpec(
+        name="HuoBi.pro",
+        hashpower=0.0185,
+        home_region=Region.EASTERN_ASIA,
+        extra_gateway_regions=(Region.WESTERN_EUROPE,),
+        policy=_policy(empty=0.008),
+    ),
+    PoolSpec(
+        name="Pandapool",
+        hashpower=0.0182,
+        home_region=Region.EASTERN_ASIA,
+        extra_gateway_regions=(Region.NORTH_AMERICA,),
+        policy=_policy(empty=0.006),
+    ),
+    PoolSpec(
+        name="DwarfPool1",
+        hashpower=0.0174,
+        home_region=Region.WESTERN_EUROPE,
+        policy=_policy(empty=0.004),
+    ),
+    PoolSpec(
+        name="Xnpool",
+        hashpower=0.0134,
+        home_region=Region.EASTERN_ASIA,
+        policy=_policy(empty=0.004),
+    ),
+    PoolSpec(
+        name="Uupool",
+        hashpower=0.0133,
+        home_region=Region.EASTERN_ASIA,
+        policy=_policy(empty=0.004),
+    ),
+    PoolSpec(
+        name="Minerall",
+        hashpower=0.0123,
+        home_region=Region.EASTERN_EUROPE,
+        policy=_policy(empty=0.003),
+    ),
+    PoolSpec(
+        name="Firepool",
+        hashpower=0.0122,
+        home_region=Region.EASTERN_ASIA,
+        policy=_policy(empty=0.020),
+    ),
+    PoolSpec(
+        name="Zhizhu",
+        hashpower=0.0085,
+        home_region=Region.EASTERN_ASIA,
+        policy=_policy(empty=0.26),
+    ),
+    PoolSpec(
+        name="MiningExpress",
+        hashpower=0.0081,
+        home_region=Region.EASTERN_ASIA,
+        policy=_policy(empty=0.025),
+    ),
+    PoolSpec(
+        name="Hiveon",
+        hashpower=0.0077,
+        home_region=Region.EASTERN_EUROPE,
+        policy=_policy(empty=0.003),
+    ),
+    # §III-C3's curious solo miner whose every block was empty.
+    PoolSpec(
+        name="AllEmptyMiner",
+        hashpower=0.0004,
+        home_region=Region.NORTH_AMERICA,
+        policy=_policy(empty=1.0, omf=0.0),
+    ),
+    # The long tail ("Remaining miners", 8.39 % minus the solo above),
+    # split into a few fringe aggregates so "Remaining" has geography too.
+    PoolSpec(
+        name="Fringe-NA",
+        hashpower=0.0300,
+        home_region=Region.NORTH_AMERICA,
+        policy=_policy(empty=0.008),
+    ),
+    PoolSpec(
+        name="Fringe-EU",
+        hashpower=0.0300,
+        home_region=Region.WESTERN_EUROPE,
+        policy=_policy(empty=0.008),
+    ),
+    PoolSpec(
+        name="Fringe-AS",
+        hashpower=0.0234,
+        home_region=Region.EASTERN_ASIA,
+        policy=_policy(empty=0.008),
+    ),
+)
+
+#: Pool names the paper's figures list individually (Figure 3/6 x-axes).
+TOP_POOL_NAMES: tuple[str, ...] = tuple(
+    spec.name for spec in MAINNET_POOL_SPECS[:15]
+)
+
+#: Names aggregated as "Remaining miners" in the figures.
+FRINGE_POOL_NAMES: tuple[str, ...] = ("AllEmptyMiner", "Fringe-NA", "Fringe-EU", "Fringe-AS")
+
+
+def mainnet_pool_specs() -> tuple[PoolSpec, ...]:
+    """The calibrated pool population (shares sum to 1.0 within rounding)."""
+    return MAINNET_POOL_SPECS
+
+
+def total_hashpower() -> float:
+    """Sum of configured shares — should be ≈ 1.0."""
+    return sum(spec.hashpower for spec in MAINNET_POOL_SPECS)

@@ -1,0 +1,239 @@
+"""Synthetic user transaction workload.
+
+Users ("senders") are spread across regions like the node population —
+the paper notes transactions are created in a far more geographically
+dispersed fashion than blocks (§III-A1).  Each workload event is a *burst*
+of one or more consecutive-nonce transactions from one sender, submitted
+through up to two distinct entry nodes in the sender's region.  Bursts
+submitted through different entry points race through the gossip mesh,
+which is precisely the mechanism behind the out-of-order receptions the
+paper quantifies (11.54 % of committed transactions, §III-C2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.chain.transaction import Transaction
+from repro.errors import ConfigurationError
+from repro.node.node import ProtocolNode
+from repro.sim.engine import Simulator
+from repro.sim.process import PoissonProcess
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Parameters of the transaction workload.
+
+    Attributes:
+        tx_rate: Mean transactions per simulated second (network-wide).
+        senders: Number of distinct sender accounts.
+        burst_size_weights: Distribution of burst sizes
+            ``{size: weight}``; bursts of >1 tx may arrive reordered.
+        multi_entry_probability: Chance a burst is split across two entry
+            nodes instead of one (wallets talking to several RPC nodes).
+        intra_burst_gap: Mean seconds between consecutive txs of a burst.
+        gas_price_sigma: Sigma of the log-normal gas-price distribution.
+        gas_profiles: ``(gas_used, weight)`` pairs: plain transfers, token
+            transfers, contract calls.
+        straggler_probability: Chance that, in a split burst, the
+            transactions routed through the secondary entry node are
+            additionally delayed (a lagging wallet or slow RPC edge).
+            Stragglers are what give out-of-order transactions their
+            commit-delay penalty: the early higher-nonce transaction must
+            wait for its delayed predecessor (Figure 5).
+        straggler_mean_delay: Mean extra seconds for straggler txs.
+        dust_fraction: Probability that a burst is *dust* — priced far
+            below the market.  Dust keeps a standing backlog in every
+            mempool (as mainnet's pending pool does), which is why real
+            miners never produce naturally empty blocks; most dust is
+            eventually outbid forever and never commits, matching the
+            paper's ≈6 % of observed-but-uncommitted transactions.
+        dust_price_factor: Multiplier applied to a dust burst's price.
+    """
+
+    tx_rate: float = 2.0
+    senders: int = 200
+    burst_size_weights: dict[int, float] = field(
+        default_factory=lambda: {1: 0.55, 2: 0.22, 3: 0.13, 5: 0.10}
+    )
+    multi_entry_probability: float = 0.55
+    intra_burst_gap: float = 0.05
+    gas_price_sigma: float = 0.6
+    gas_profiles: tuple[tuple[int, float], ...] = (
+        (21_000, 0.60),
+        (52_000, 0.30),
+        (150_000, 0.10),
+    )
+    straggler_probability: float = 0.35
+    straggler_mean_delay: float = 8.0
+    dust_fraction: float = 0.12
+    dust_price_factor: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.tx_rate <= 0:
+            raise ConfigurationError("tx_rate must be positive")
+        if self.senders <= 0:
+            raise ConfigurationError("senders must be positive")
+        if not self.burst_size_weights:
+            raise ConfigurationError("burst_size_weights must not be empty")
+        if any(size < 1 for size in self.burst_size_weights):
+            raise ConfigurationError("burst sizes must be >= 1")
+        if not 0 <= self.multi_entry_probability <= 1:
+            raise ConfigurationError("multi_entry_probability must lie in [0, 1]")
+        if not 0 <= self.dust_fraction <= 1:
+            raise ConfigurationError("dust_fraction must lie in [0, 1]")
+        if not 0 <= self.straggler_probability <= 1:
+            raise ConfigurationError("straggler_probability must lie in [0, 1]")
+        if self.straggler_mean_delay < 0:
+            raise ConfigurationError("straggler_mean_delay must be non-negative")
+        if self.dust_price_factor <= 0:
+            raise ConfigurationError("dust_price_factor must be positive")
+
+    @property
+    def mean_burst_size(self) -> float:
+        total = sum(self.burst_size_weights.values())
+        return (
+            sum(size * weight for size, weight in self.burst_size_weights.items())
+            / total
+        )
+
+
+class TransactionWorkload:
+    """Drives transaction submission into the network.
+
+    Args:
+        simulator: Event engine.
+        entry_nodes: Nodes through which users may submit transactions;
+            each sender is pinned to up to two of them (same region where
+            possible).
+        config: Workload parameters.
+
+    Attributes:
+        submitted: Every transaction injected, in submission order
+            (ground truth for the analyses).
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        entry_nodes: list[ProtocolNode],
+        config: WorkloadConfig | None = None,
+    ) -> None:
+        if not entry_nodes:
+            raise ConfigurationError("workload needs at least one entry node")
+        self.simulator = simulator
+        self.config = config or WorkloadConfig()
+        self._rng: np.random.Generator = simulator.rng.stream("workload.tx")
+        self.submitted: list[Transaction] = []
+        self._next_nonce: dict[str, int] = {}
+        self._sender_entries = self._assign_senders(entry_nodes)
+        burst_rate = self.config.tx_rate / self.config.mean_burst_size
+        self._process = PoissonProcess(
+            simulator,
+            rate=burst_rate,
+            callback=self._emit_burst,
+            rng=simulator.rng.stream("workload.arrivals"),
+        )
+
+    def _assign_senders(
+        self, entry_nodes: list[ProtocolNode]
+    ) -> dict[str, tuple[ProtocolNode, ProtocolNode]]:
+        """Pin each sender to a primary and secondary entry node.
+
+        The secondary is drawn from the same region when one exists, so a
+        sender's traffic is geographically coherent.
+        """
+        by_region: dict[object, list[ProtocolNode]] = {}
+        for node in entry_nodes:
+            by_region.setdefault(node.region, []).append(node)
+        assignment: dict[str, tuple[ProtocolNode, ProtocolNode]] = {}
+        for index in range(self.config.senders):
+            primary = entry_nodes[int(self._rng.integers(0, len(entry_nodes)))]
+            same_region = by_region[primary.region]
+            if len(same_region) > 1:
+                secondary = same_region[int(self._rng.integers(0, len(same_region)))]
+                if secondary is primary:
+                    secondary = same_region[
+                        (same_region.index(primary) + 1) % len(same_region)
+                    ]
+            else:
+                secondary = primary
+            assignment[f"sender-{index:05d}"] = (primary, secondary)
+        return assignment
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        self._process.start()
+
+    def stop(self) -> None:
+        self._process.stop()
+
+    # ------------------------------------------------------------------ #
+    # Emission
+    # ------------------------------------------------------------------ #
+
+    def _draw_burst_size(self) -> int:
+        sizes = sorted(self.config.burst_size_weights)
+        weights = np.array(
+            [self.config.burst_size_weights[size] for size in sizes], dtype=float
+        )
+        weights /= weights.sum()
+        return int(self._rng.choice(sizes, p=weights))
+
+    def _draw_gas_used(self) -> int:
+        weights = np.array([w for _, w in self.config.gas_profiles], dtype=float)
+        weights /= weights.sum()
+        index = int(self._rng.choice(len(self.config.gas_profiles), p=weights))
+        return self.config.gas_profiles[index][0]
+
+    def _emit_burst(self) -> None:
+        sender = f"sender-{int(self._rng.integers(0, self.config.senders)):05d}"
+        primary, secondary = self._sender_entries[sender]
+        size = self._draw_burst_size()
+        split = (
+            size > 1
+            and secondary is not primary
+            and float(self._rng.random()) < self.config.multi_entry_probability
+        )
+        straggle = split and (
+            float(self._rng.random()) < self.config.straggler_probability
+        )
+        gas_price = float(self._rng.lognormal(0.0, self.config.gas_price_sigma))
+        if float(self._rng.random()) < self.config.dust_fraction:
+            gas_price *= self.config.dust_price_factor
+        offset = 0.0
+        for position in range(size):
+            nonce = self._next_nonce.get(sender, 0)
+            self._next_nonce[sender] = nonce + 1
+            tx = Transaction(
+                sender=sender,
+                nonce=nonce,
+                gas_price=gas_price,
+                gas_used=self._draw_gas_used(),
+                created_at=self.simulator.now + offset,
+            )
+            self.submitted.append(tx)
+            via_secondary = split and position % 2 == 1
+            entry = secondary if via_secondary else primary
+            submit_delay = offset
+            if straggle and not via_secondary:
+                # The primary path lags (slow RPC edge): the lower-nonce
+                # txs it carries — including nonce 0 — reach the network
+                # late, so their successors surface first and must then
+                # wait, which is Figure 5's commit penalty.
+                submit_delay += float(
+                    self._rng.exponential(self.config.straggler_mean_delay)
+                )
+            if submit_delay == 0.0:
+                entry.submit_transaction(tx)
+            else:
+                self.simulator.call_later(
+                    submit_delay, lambda n=entry, t=tx: n.submit_transaction(t)
+                )
+            offset += float(self._rng.exponential(self.config.intra_burst_gap))

@@ -1,0 +1,89 @@
+"""Tests for the censorship-window analysis (§III-D)."""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import DatasetBuilder
+
+from repro.analysis.censorship import (
+    censorship_windows,
+    expected_window_duration,
+    summarise_durations,
+)
+from repro.errors import AnalysisError
+
+
+def _chain(miners: list[str]) -> DatasetBuilder:
+    builder = DatasetBuilder(measurement_start=1.0)
+    builder.add_main_chain(miners)
+    return builder
+
+
+def test_single_run_detected():
+    result = censorship_windows(_chain(["A", "B", "B", "B", "A"]).build())
+    assert len(result.windows) == 1
+    window = result.windows[0]
+    assert window.pool == "B"
+    assert window.length == 3
+    assert window.start_height == 2
+
+
+def test_window_duration_spans_from_previous_block():
+    # Blocks at 13.3 * height; run B at heights 2-4: opens at block 1's
+    # timestamp (13.3), closes at block 4's (53.2) → 39.9 seconds.
+    result = censorship_windows(_chain(["A", "B", "B", "B", "A"]).build())
+    assert result.windows[0].duration == pytest.approx(13.3 * 3)
+
+
+def test_min_length_filters_short_runs():
+    result = censorship_windows(_chain(["A", "B", "A", "B"]).build(), min_length=2)
+    assert result.windows == ()
+
+
+def test_run_at_chain_tail_is_counted():
+    result = censorship_windows(_chain(["A", "B", "B"]).build())
+    assert len(result.windows) == 1
+    assert result.windows[0].pool == "B"
+
+
+def test_longest_and_over_helpers():
+    miners = ["A"] * 3 + ["B"] * 10 + ["A"] * 2
+    result = censorship_windows(_chain(miners).build())
+    longest = result.longest()
+    assert longest.pool == "B"
+    assert longest.length == 10
+    assert result.over(120.0) == [longest]  # 10 blocks × 13.3s = 133s
+
+
+def test_per_pool_maxima():
+    miners = ["A", "A", "B", "B", "B", "A", "A", "A", "A"]
+    result = censorship_windows(_chain(miners).build())
+    maxima = result.per_pool_maxima()
+    assert maxima["A"] > maxima["B"]
+
+
+def test_no_windows_longest_raises():
+    result = censorship_windows(_chain(["A", "B", "A"]).build())
+    with pytest.raises(AnalysisError):
+        result.longest()
+
+
+def test_expected_window_duration_matches_paper_headline():
+    """A 9-block run censors for ≈ 2 minutes at 13.3 s blocks (§III-D)."""
+    assert expected_window_duration(9) == pytest.approx(119.7)
+    with pytest.raises(AnalysisError):
+        expected_window_duration(0)
+
+
+def test_summarise_durations():
+    miners = ["A", "A", "B", "B", "B", "C"]
+    stats = summarise_durations(censorship_windows(_chain(miners).build()))
+    assert stats["count"] == 2
+    assert stats["max"] >= stats["median"]
+
+
+def test_render_mentions_two_minutes():
+    miners = ["A"] * 12 + ["B"]
+    rendered = censorship_windows(_chain(miners).build()).render()
+    assert "two minutes" in rendered

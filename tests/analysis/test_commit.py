@@ -1,0 +1,100 @@
+"""Tests for the commit-time analysis (Figure 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import DatasetBuilder
+
+from repro.analysis.commit import (
+    block_observation_times,
+    commit_times,
+    first_tx_observations,
+    inclusion_index,
+)
+from repro.errors import AnalysisError
+
+
+def _commit_dataset() -> DatasetBuilder:
+    """A 15-block chain; tx included in block 1, observed at t=5."""
+    builder = DatasetBuilder()
+    builder.add_block("0xb1", 1, "P0", tx_hashes=("0xtx",))
+    for index in range(2, 16):
+        builder.add_block(f"0xb{index}", index, f"P{index % 3}")
+    builder.observe_tx("WE", "0xtx", 5.0)
+    for index in range(1, 16):
+        builder.observe_block("WE", f"0xb{index}", 13.3 * index + 0.1)
+    return builder
+
+
+def test_first_tx_observations_takes_earliest_across_vantages():
+    builder = DatasetBuilder()
+    builder.observe_tx("WE", "0xt", 5.0)
+    builder.observe_tx("EA", "0xt", 4.0)
+    assert first_tx_observations(builder.build()) == {"0xt": 4.0}
+
+
+def test_inclusion_index_maps_tx_to_first_including_block():
+    builder = DatasetBuilder()
+    builder.add_block("0xb1", 1, "A", tx_hashes=("0xt",))
+    builder.add_block("0xb2", 2, "A", tx_hashes=("0xt",))  # duplicate inclusion
+    index = inclusion_index(builder.build())
+    assert index["0xt"] == "0xb1"
+
+
+def test_block_observation_times_prefer_messages():
+    builder = DatasetBuilder()
+    builder.observe_block("WE", "0xb", 3.0)
+    builder.observe_block("EA", "0xb", 2.0)
+    assert block_observation_times(builder.build())["0xb"] == 2.0
+
+
+def test_inclusion_delay():
+    result = commit_times(_commit_dataset().build())
+    # Tx observed at 5.0; block 1 observed at 13.4 → inclusion 8.4s.
+    assert result.inclusion.quantile(0.5) == pytest.approx(8.4)
+    assert result.txs_used == 1
+
+
+def test_confirmation_delays():
+    result = commit_times(_commit_dataset().build())
+    # 12th confirmation: block 13 observed at 13.3*13 + 0.1.
+    expected = 13.3 * 13 + 0.1 - 5.0
+    assert result.confirmations[12].quantile(0.5) == pytest.approx(expected)
+    assert result.median(12) == pytest.approx(expected)
+
+
+def test_deep_confirmations_skipped_when_chain_too_short():
+    result = commit_times(_commit_dataset().build())
+    assert 36 not in result.confirmations  # chain has only 15 blocks
+    assert 3 in result.confirmations
+
+
+def test_unincluded_txs_ignored():
+    builder = _commit_dataset()
+    builder.observe_tx("WE", "0xorphan-tx", 6.0)
+    result = commit_times(builder.build())
+    assert result.txs_used == 1
+
+
+def test_tx_never_observed_is_excluded():
+    builder = DatasetBuilder()
+    builder.add_block("0xb1", 1, "A", tx_hashes=("0xhidden",))
+    builder.observe_block("WE", "0xb1", 13.4)
+    with pytest.raises(AnalysisError):
+        commit_times(builder.build())
+
+
+def test_negative_delays_clipped_to_zero():
+    builder = DatasetBuilder()
+    builder.add_block("0xb1", 1, "A", tx_hashes=("0xt",))
+    builder.observe_tx("WE", "0xt", 20.0)  # observed after the block (clock skew)
+    builder.observe_block("WE", "0xb1", 13.4)
+    result = commit_times(builder.build())
+    assert result.inclusion.quantile(0.5) == 0.0
+
+
+def test_render_lists_depths():
+    rendered = commit_times(_commit_dataset().build()).render()
+    assert "Figure 4" in rendered
+    assert "12 confirmations" in rendered

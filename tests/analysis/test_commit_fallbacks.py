@@ -1,0 +1,77 @@
+"""Fallback paths of the commit-time plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import DatasetBuilder
+
+from repro.analysis.commit import block_observation_times, commit_times
+from repro.measurement.records import BlockImportRecord
+
+
+def test_block_observation_falls_back_to_import_records():
+    """Blocks fetched during initial sync produce no NewBlock/announce
+    messages; their import time is the only observation."""
+    builder = DatasetBuilder()
+    builder.add_block("0xb1", 1, "A")
+    builder.dataset.block_imports.append(
+        BlockImportRecord(
+            vantage="WE",
+            time=42.0,
+            block_hash="0xb1",
+            height=1,
+            parent_hash="0xgenesis",
+            miner="A",
+            difficulty=100.0,
+            gas_used=0,
+            tx_hashes=(),
+            uncle_hashes=(),
+        )
+    )
+    times = block_observation_times(builder.build())
+    assert times["0xb1"] == 42.0
+
+
+def test_message_observation_wins_over_import():
+    builder = DatasetBuilder()
+    builder.add_block("0xb1", 1, "A")
+    builder.observe_block("WE", "0xb1", 13.4)
+    builder.dataset.block_imports.append(
+        BlockImportRecord(
+            vantage="WE",
+            time=13.6,
+            block_hash="0xb1",
+            height=1,
+            parent_hash="0xgenesis",
+            miner="A",
+            difficulty=100.0,
+            gas_used=0,
+            tx_hashes=(),
+            uncle_hashes=(),
+        )
+    )
+    times = block_observation_times(builder.build())
+    assert times["0xb1"] == 13.4
+
+
+def test_commit_skips_blocks_with_no_observation_at_all():
+    builder = DatasetBuilder()
+    builder.add_block("0xb1", 1, "A", tx_hashes=("0xt",))
+    builder.observe_tx("WE", "0xt", 5.0)
+    # The including block was never observed nor imported at any vantage.
+    with pytest.raises(Exception):
+        commit_times(builder.build())
+
+
+def test_custom_confirmation_depths():
+    builder = DatasetBuilder()
+    builder.add_block("0xb1", 1, "A", tx_hashes=("0xt",))
+    for index in range(2, 8):
+        builder.add_block(f"0xb{index}", index, "A")
+    builder.observe_tx("WE", "0xt", 5.0)
+    for index in range(1, 8):
+        builder.observe_block("WE", f"0xb{index}", 13.3 * index + 0.1)
+    result = commit_times(builder.build(), depths=(1, 5))
+    assert set(result.confirmations) == {1, 5}
+    assert result.median(1) < result.median(5)

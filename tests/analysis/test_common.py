@@ -1,0 +1,99 @@
+"""Tests for the shared analysis plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import DatasetBuilder
+
+from repro.analysis.common import (
+    block_arrivals,
+    block_miners,
+    pool_order,
+    window_blocks,
+    window_canonical_blocks,
+)
+from repro.errors import AnalysisError
+
+
+def test_block_arrivals_keeps_first_observation_per_vantage():
+    builder = DatasetBuilder()
+    builder.observe_block("WE", "0xb", 2.0)
+    builder.observe_block("WE", "0xb", 1.5)  # earlier duplicate
+    builder.observe_block("EA", "0xb", 1.0)
+    arrivals = block_arrivals(builder.build())
+    assert arrivals.times["0xb"] == {"WE": 1.5, "EA": 1.0}
+
+
+def test_block_arrivals_respects_measurement_window():
+    builder = DatasetBuilder(measurement_start=10.0)
+    builder.observe_block("WE", "0xb", 5.0)  # warm-up
+    builder.observe_block("WE", "0xb", 12.0)
+    arrivals = block_arrivals(builder.build())
+    assert arrivals.times["0xb"] == {"WE": 12.0}
+
+
+def test_block_arrivals_excludes_default_peer_vantage():
+    builder = DatasetBuilder(
+        vantages={"WE": "WE", "WE-default": "WE"},
+        default_peer_vantage="WE-default",
+    )
+    builder.observe_block("WE-default", "0xb", 1.0)
+    arrivals = block_arrivals(builder.build())
+    assert "0xb" not in arrivals.times
+
+
+def test_first_observation_breaks_ties_deterministically():
+    builder = DatasetBuilder()
+    builder.observe_block("WE", "0xb", 1.0)
+    builder.observe_block("EA", "0xb", 1.0)
+    arrivals = block_arrivals(builder.build())
+    vantage, time = arrivals.first_observation("0xb")
+    assert vantage == "EA"  # lexicographic tie-break
+    assert time == 1.0
+
+
+def test_first_observation_unknown_block():
+    builder = DatasetBuilder()
+    assert block_arrivals(builder.build()).first_observation("0xz") is None
+
+
+def test_block_miners_prefers_chain_snapshot():
+    builder = DatasetBuilder()
+    builder.add_block("0xb1", 1, "PoolA")
+    builder.observe_block("WE", "0xb1", 1.0, miner="WrongName")
+    builder.observe_block("WE", "0xunseen", 1.0, miner="PoolB")
+    miners = block_miners(builder.build())
+    assert miners["0xb1"] == "PoolA"
+    assert miners["0xunseen"] == "PoolB"
+
+
+def test_window_blocks_filters_by_timestamp():
+    builder = DatasetBuilder(measurement_start=20.0)
+    builder.add_block("0xearly", 1, "A", timestamp=5.0)
+    builder.add_block("0xlate", 2, "A", timestamp=30.0)
+    blocks = window_blocks(builder.build())
+    assert [b.block_hash for b in blocks] == ["0xlate"]
+
+
+def test_window_canonical_excludes_forks():
+    builder = DatasetBuilder()
+    builder.add_block("0xmain", 1, "A")
+    builder.add_block("0xfork", 1, "B", parent_hash="0xgenesis", canonical=False)
+    blocks = window_canonical_blocks(builder.build())
+    assert [b.block_hash for b in blocks] == ["0xgenesis", "0xmain"]
+
+
+def test_pool_order_ranks_by_production():
+    builder = DatasetBuilder()
+    builder.add_main_chain(["A", "B", "A", "A", "C", "B"])
+    top, rest = pool_order(builder.build(), top_n=2)
+    assert top == ["A", "B"]
+    assert rest == {"C", "genesis"}
+
+
+def test_pool_order_requires_chain():
+    from repro.measurement.dataset import MeasurementDataset
+
+    with pytest.raises(AnalysisError):
+        pool_order(MeasurementDataset(vantage_regions={"WE": "WE"}))

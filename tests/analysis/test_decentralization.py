@@ -1,0 +1,86 @@
+"""Tests for the decentralization metrics (§IV context)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from helpers import DatasetBuilder
+
+from repro.analysis.decentralization import (
+    decentralization_metrics,
+    gini,
+    herfindahl,
+    nakamoto_coefficient,
+)
+from repro.errors import AnalysisError
+
+
+def test_gini_equal_distribution_is_zero():
+    assert gini(np.array([5.0, 5.0, 5.0])) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_gini_single_producer_near_one():
+    assert gini(np.array([0.0, 0.0, 0.0, 10.0])) == pytest.approx(0.75)
+
+
+def test_gini_rejects_bad_input():
+    with pytest.raises(AnalysisError):
+        gini(np.array([]))
+    with pytest.raises(AnalysisError):
+        gini(np.array([-1.0, 2.0]))
+
+
+def test_herfindahl_bounds():
+    assert herfindahl(np.array([1.0])) == pytest.approx(1.0)
+    assert herfindahl(np.array([0.5, 0.5])) == pytest.approx(0.5)
+    with pytest.raises(AnalysisError):
+        herfindahl(np.array([]))
+
+
+def test_nakamoto_coefficient():
+    assert nakamoto_coefficient(np.array([0.6, 0.4])) == 1
+    assert nakamoto_coefficient(np.array([0.4, 0.4, 0.2])) == 2
+    assert nakamoto_coefficient(np.array([0.25, 0.25, 0.25, 0.25])) == 3
+
+
+def test_metrics_over_synthetic_chain():
+    builder = DatasetBuilder(measurement_start=1.0)
+    builder.add_main_chain(["A"] * 6 + ["B"] * 3 + ["C"])
+    result = decentralization_metrics(builder.build())
+    assert result.producer_shares["A"] == pytest.approx(0.6)
+    assert result.nakamoto == 1
+    assert result.top4_share == pytest.approx(1.0)
+    assert result.blocks == 10
+
+
+def test_shares_are_descending():
+    builder = DatasetBuilder(measurement_start=1.0)
+    builder.add_main_chain(["B", "A", "A", "C", "A", "B"])
+    result = decentralization_metrics(builder.build())
+    shares = list(result.producer_shares.values())
+    assert shares == sorted(shares, reverse=True)
+
+
+def test_luu_et_al_claim_on_mainnet_calibration():
+    """§IV: ≈80% of Ethereum mining power in fewer than ten pools — true
+    of the calibrated pool specs by construction."""
+    from repro.workload.mainnet import MAINNET_POOL_SPECS
+
+    shares = np.array(sorted((s.hashpower for s in MAINNET_POOL_SPECS), reverse=True))
+    assert shares[:10].sum() > 0.8
+    assert nakamoto_coefficient(shares) <= 3
+
+
+def test_empty_window_raises():
+    builder = DatasetBuilder(measurement_start=1e9)
+    with pytest.raises(AnalysisError):
+        decentralization_metrics(builder.build())
+
+
+def test_render():
+    builder = DatasetBuilder(measurement_start=1.0)
+    builder.add_main_chain(["A", "A", "B"])
+    rendered = decentralization_metrics(builder.build()).render()
+    assert "Nakamoto" in rendered
+    assert "Gini" in rendered

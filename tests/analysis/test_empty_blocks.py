@@ -1,0 +1,74 @@
+"""Tests for the empty-block analysis (Figure 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import DatasetBuilder
+
+from repro.analysis.empty_blocks import REMAINING_LABEL, empty_block_analysis
+from repro.errors import AnalysisError
+from repro.measurement.dataset import MeasurementDataset
+
+
+def test_counts_empty_blocks_per_pool():
+    builder = DatasetBuilder()
+    builder.add_block("0xb1", 1, "Zhizhu")  # empty
+    builder.add_block("0xb2", 2, "Zhizhu", tx_hashes=("0xt1",))
+    builder.add_block("0xb3", 3, "Nanopool", tx_hashes=("0xt2",))
+    builder.add_block("0xb4", 4, "Nanopool", tx_hashes=("0xt3",))
+    result = empty_block_analysis(builder.build())
+    assert result.pool("Zhizhu").empty_blocks == 1
+    assert result.pool("Zhizhu").total_blocks == 2
+    assert result.pool("Nanopool").empty_blocks == 0
+
+
+def test_overall_fraction():
+    builder = DatasetBuilder()
+    builder.add_block("0xb1", 1, "A")
+    builder.add_block("0xb2", 2, "A", tx_hashes=("0xt",))
+    result = empty_block_analysis(builder.build())
+    # Genesis (empty by construction) is in the window at t=0; with
+    # measurement_start=0 it counts as a block. Use fractions of per_pool.
+    assert result.pool("A").empty_fraction == pytest.approx(0.5)
+
+
+def test_forks_excluded_from_figure6():
+    builder = DatasetBuilder()
+    builder.add_block("0xmain", 1, "A", tx_hashes=("0xt",))
+    builder.add_block("0xfork", 1, "B", parent_hash="0xgenesis", canonical=False)
+    result = empty_block_analysis(builder.build())
+    assert all(stats.pool != "B" for stats in result.per_pool)
+
+
+def test_small_pools_grouped():
+    builder = DatasetBuilder()
+    miners = [f"P{i}" for i in range(16)]
+    builder.add_main_chain(miners)
+    result = empty_block_analysis(builder.build(), top_n=3)
+    labels = [stats.pool for stats in result.per_pool]
+    assert REMAINING_LABEL in labels
+    assert len(labels) <= 4
+
+
+def test_empty_window_raises():
+    dataset = MeasurementDataset(vantage_regions={"WE": "WE"})
+    with pytest.raises(AnalysisError):
+        empty_block_analysis(dataset)
+
+
+def test_unknown_pool_lookup_raises():
+    builder = DatasetBuilder()
+    builder.add_block("0xb1", 1, "A", tx_hashes=("0xt",))
+    result = empty_block_analysis(builder.build())
+    with pytest.raises(KeyError):
+        result.pool("Nope")
+
+
+def test_render_shows_counts_and_percentage():
+    builder = DatasetBuilder()
+    builder.add_block("0xb1", 1, "A")
+    builder.add_block("0xb2", 2, "A", tx_hashes=("0xt",))
+    rendered = empty_block_analysis(builder.build()).render()
+    assert "Figure 6" in rendered
+    assert "%" in rendered

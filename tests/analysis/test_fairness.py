@@ -1,0 +1,94 @@
+"""Tests for the reward fairness audit."""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import DatasetBuilder
+
+from repro.analysis.fairness import fairness_audit, reward_ledger
+from repro.chain.rewards import BLOCK_REWARD_ETH
+from repro.errors import AnalysisError
+
+
+def _honest_chain(miners: list[str]) -> DatasetBuilder:
+    builder = DatasetBuilder(measurement_start=1.0)
+    builder.add_main_chain(miners)
+    return builder
+
+
+def test_ledger_counts_block_rewards():
+    ledger = reward_ledger(_honest_chain(["A", "B", "A"]).build())
+    assert ledger["A"] == pytest.approx(2 * BLOCK_REWARD_ETH)
+    assert ledger["B"] == pytest.approx(BLOCK_REWARD_ETH)
+
+
+def test_ledger_includes_uncle_and_nephew_rewards():
+    builder = DatasetBuilder(measurement_start=1.0)
+    builder.add_block("0xmain1", 1, "A")
+    builder.add_block("0xlost", 1, "U", parent_hash="0xgenesis", canonical=False)
+    builder.add_block("0xmain2", 2, "A", uncle_hashes=("0xlost",))
+    ledger = reward_ledger(builder.build())
+    assert ledger["U"] == pytest.approx(7 / 8 * BLOCK_REWARD_ETH)
+    assert ledger["A"] == pytest.approx(
+        2 * BLOCK_REWARD_ETH + BLOCK_REWARD_ETH / 32
+    )
+
+
+def test_one_miner_fork_inflates_income_per_block():
+    """The §III-C5 exploit shows up as ETH/block above the 2-ETH baseline."""
+    builder = DatasetBuilder(measurement_start=1.0)
+    builder.add_block("0xwin", 1, "Selfish")
+    builder.add_block("0xlose", 1, "Selfish", parent_hash="0xgenesis", canonical=False)
+    builder.add_block("0xcite", 2, "Selfish", uncle_hashes=("0xlose",))
+    builder.add_block("0xhonest", 3, "Honest")
+    result = fairness_audit(builder.build())
+    assert result.excess_income_ratio("Selfish") > 1.2
+    assert result.excess_income_ratio("Honest") == pytest.approx(1.0)
+
+
+def test_income_and_block_shares_sum_to_one():
+    result = fairness_audit(_honest_chain(["A", "B", "C", "A"]).build())
+    assert sum(result.income_share.values()) == pytest.approx(1.0)
+    assert sum(result.block_share.values()) == pytest.approx(1.0)
+
+
+def test_lottery_p_value_high_for_fair_draws():
+    miners = (["A"] * 50) + (["B"] * 50)
+    result = fairness_audit(
+        _honest_chain(miners).build(), hashpower={"A": 0.5, "B": 0.5}
+    )
+    assert result.lottery_p_value is not None
+    assert result.lottery_p_value > 0.05
+
+
+def test_lottery_p_value_low_for_skewed_draws():
+    miners = (["A"] * 90) + (["B"] * 10)
+    result = fairness_audit(
+        _honest_chain(miners).build(), hashpower={"A": 0.5, "B": 0.5}
+    )
+    assert result.lottery_p_value is not None
+    assert result.lottery_p_value < 0.01
+
+
+def test_no_hashpower_means_no_p_value():
+    result = fairness_audit(_honest_chain(["A", "B"]).build())
+    assert result.lottery_p_value is None
+
+
+def test_unknown_miner_ratio_raises():
+    result = fairness_audit(_honest_chain(["A"]).build())
+    with pytest.raises(AnalysisError):
+        result.excess_income_ratio("Nope")
+
+
+def test_empty_window_raises():
+    builder = DatasetBuilder(measurement_start=1e9)
+    with pytest.raises(AnalysisError):
+        fairness_audit(builder.build())
+
+
+def test_render():
+    rendered = fairness_audit(_honest_chain(["A", "B"]).build()).render()
+    assert "fairness audit" in rendered
+    assert "ETH/block" in rendered

@@ -1,0 +1,195 @@
+"""Tests for the fork analysis (Table III and §III-C5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import DatasetBuilder
+
+from repro.analysis.forks import fork_analysis, one_miner_forks
+
+
+def test_single_fork_of_length_one():
+    builder = DatasetBuilder()
+    builder.add_block("0xmain1", 1, "A", tx_hashes=("0xt",))
+    builder.add_block("0xfork", 1, "B", parent_hash="0xgenesis", canonical=False)
+    builder.add_block("0xmain2", 2, "A", uncle_hashes=("0xfork",))
+    result = fork_analysis(builder.build())
+    assert result.by_length() == {1: (1, 1, 0)}
+    assert result.recognized_uncle_blocks == 1
+    assert result.unrecognized_blocks == 0
+
+
+def test_unrecognized_fork():
+    builder = DatasetBuilder()
+    builder.add_block("0xmain1", 1, "A")
+    builder.add_block("0xfork", 1, "B", parent_hash="0xgenesis", canonical=False)
+    builder.add_block("0xmain2", 2, "A")  # never references the fork
+    result = fork_analysis(builder.build())
+    assert result.by_length() == {1: (1, 0, 1)}
+    assert result.unrecognized_blocks == 1
+
+
+def test_length_two_fork_counts_once():
+    builder = DatasetBuilder()
+    builder.add_block("0xmain1", 1, "A")
+    builder.add_block("0xmain2", 2, "A")
+    builder.add_block("0xf1", 1, "B", parent_hash="0xgenesis", canonical=False)
+    builder.add_block("0xf2", 2, "B", parent_hash="0xf1", canonical=False)
+    result = fork_analysis(builder.build())
+    assert result.by_length() == {2: (1, 0, 1)}
+
+
+def test_length_two_fork_never_recognized_even_if_root_is_uncle():
+    """Only the fork root can validly become an uncle; the paper observed
+    zero recognized forks of length > 1 and the rule makes it structural."""
+    builder = DatasetBuilder()
+    builder.add_block("0xmain1", 1, "A")
+    builder.add_block("0xf1", 1, "B", parent_hash="0xgenesis", canonical=False)
+    builder.add_block("0xf2", 2, "B", parent_hash="0xf1", canonical=False)
+    builder.add_block("0xmain2", 2, "A", uncle_hashes=("0xf1",))
+    result = fork_analysis(builder.build())
+    (length_two,) = result.by_length().values()
+    assert length_two == (1, 0, 1)
+
+
+def test_share_accounting():
+    builder = DatasetBuilder(measurement_start=1.0)  # exclude genesis
+    builder.add_block("0xmain1", 1, "A")
+    builder.add_block("0xmain2", 2, "A")
+    builder.add_block("0xfork", 1, "B", parent_hash="0xgenesis", canonical=False)
+    result = fork_analysis(builder.build())
+    assert result.total_blocks == 3
+    assert result.main_share == pytest.approx(2 / 3)
+    assert result.unrecognized_share == pytest.approx(1 / 3)
+
+
+def test_no_forks_is_fine():
+    builder = DatasetBuilder()
+    builder.add_main_chain(["A", "B"])
+    result = fork_analysis(builder.build())
+    assert result.forks == ()
+    assert result.by_length() == {}
+
+
+def test_render_table_iii_layout():
+    builder = DatasetBuilder()
+    builder.add_block("0xmain1", 1, "A")
+    builder.add_block("0xfork", 1, "B", parent_hash="0xgenesis", canonical=False)
+    rendered = fork_analysis(builder.build()).render()
+    assert "Table III" in rendered
+    assert "Fork Length" in rendered
+
+
+# ---------------------------------------------------------------------- #
+# One-miner forks
+# ---------------------------------------------------------------------- #
+
+
+def _one_miner_pair(same_txs: bool = True) -> DatasetBuilder:
+    builder = DatasetBuilder()
+    winner_txs = ("0xt1",)
+    loser_txs = ("0xt1",) if same_txs else ("0xt2",)
+    builder.add_block("0xwin", 1, "Pool", tx_hashes=winner_txs)
+    builder.add_block(
+        "0xlose", 1, "Pool", parent_hash="0xgenesis", tx_hashes=loser_txs,
+        canonical=False,
+    )
+    builder.add_block("0xnext", 2, "Pool", uncle_hashes=("0xlose",))
+    return builder
+
+
+def test_one_miner_pair_detected():
+    result = one_miner_forks(_one_miner_pair().build())
+    assert result.tuple_counts == {2: 1}
+    assert result.total_groups == 1
+
+
+def test_one_miner_rewarded_share():
+    result = one_miner_forks(_one_miner_pair().build())
+    assert result.rewarded_share == pytest.approx(1.0)
+
+
+def test_one_miner_same_txset_share():
+    assert one_miner_forks(_one_miner_pair(True).build()).same_txset_share == 1.0
+    assert one_miner_forks(_one_miner_pair(False).build()).same_txset_share == 0.0
+
+
+def test_different_miners_same_height_not_one_miner_fork():
+    builder = DatasetBuilder()
+    builder.add_block("0xa", 1, "PoolA")
+    builder.add_block("0xb", 1, "PoolB", parent_hash="0xgenesis", canonical=False)
+    result = one_miner_forks(builder.build())
+    assert result.tuple_counts == {}
+
+
+def test_triple_counted_as_tuple_size_three():
+    builder = DatasetBuilder()
+    builder.add_block("0xa", 1, "Pool")
+    for salt in range(2):
+        builder.add_block(
+            f"0xv{salt}", 1, "Pool", parent_hash="0xgenesis", canonical=False
+        )
+    result = one_miner_forks(builder.build())
+    assert result.tuple_counts == {3: 1}
+
+
+def test_share_of_forks():
+    builder = _one_miner_pair()
+    # Add an unrelated fork by another miner.
+    builder.add_block("0xother", 2, "Rival", parent_hash="0xwin", canonical=False)
+    result = one_miner_forks(builder.build())
+    assert result.share_of_forks == pytest.approx(0.5)
+
+
+def test_one_miner_render():
+    rendered = one_miner_forks(_one_miner_pair().build()).render()
+    assert "One-miner forks" in rendered
+    assert "rewarded as uncles" in rendered
+
+
+# ---------------------------------------------------------------------- #
+# §V uncle-rule proposal
+# ---------------------------------------------------------------------- #
+
+from repro.analysis.forks import uncle_rule_savings  # noqa: E402
+
+
+def test_uncle_rule_denies_one_miner_uncles():
+    builder = _one_miner_pair()
+    result = uncle_rule_savings(builder.build())
+    assert result.denied_uncles == 1
+    assert result.wasted_blocks_avoided == 1
+    assert result.denied_reward_eth > 0
+
+
+def test_uncle_rule_spares_honest_uncles():
+    builder = DatasetBuilder()
+    builder.add_block("0xmain1", 1, "PoolA")
+    builder.add_block(
+        "0xrival", 1, "PoolB", parent_hash="0xgenesis", canonical=False
+    )
+    builder.add_block("0xmain2", 2, "PoolA", uncle_hashes=("0xrival",))
+    result = uncle_rule_savings(builder.build())
+    assert result.denied_uncles == 0
+    assert result.wasted_blocks_avoided == 0
+    assert result.total_referenced_uncles == 1
+
+
+def test_uncle_rule_reward_uses_decay_schedule():
+    """A one-miner loser referenced 2 heights later earns 6/8 × 2 ETH."""
+    builder = DatasetBuilder()
+    builder.add_block("0xwin", 1, "Pool", tx_hashes=("0xt",))
+    builder.add_block(
+        "0xlose", 1, "Pool", parent_hash="0xgenesis", canonical=False
+    )
+    builder.add_block("0xnext", 2, "Pool")
+    builder.add_block("0xcite", 3, "Pool", uncle_hashes=("0xlose",))
+    result = uncle_rule_savings(builder.build())
+    assert result.denied_reward_eth == pytest.approx(6 / 8 * 2.0)
+
+
+def test_uncle_rule_render():
+    rendered = uncle_rule_savings(_one_miner_pair().build()).render()
+    assert "uncle-rule proposal" in rendered
+    assert "ETH" in rendered

@@ -1,0 +1,85 @@
+"""Tests for the gas-utilization analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import DatasetBuilder
+
+from repro.analysis.gas import gas_utilization
+from repro.errors import AnalysisError
+from repro.measurement.records import BlockImportRecord
+
+
+def _with_imports(gas_values: list[int], gas_limit: int = 100_000):
+    builder = DatasetBuilder()
+    for index, gas in enumerate(gas_values, start=1):
+        builder.add_block(f"0xb{index}", index, "A", tx_hashes=("0xt",) if gas else ())
+        builder.dataset.block_imports.append(
+            BlockImportRecord(
+                vantage="WE",
+                time=13.3 * index,
+                block_hash=f"0xb{index}",
+                height=index,
+                parent_hash=f"0xb{index - 1}" if index > 1 else "0xgenesis",
+                miner="A",
+                difficulty=100.0,
+                gas_used=gas,
+                tx_hashes=("0xt",) if gas else (),
+                uncle_hashes=(),
+            )
+        )
+    return builder.build()
+
+
+def test_utilization_statistics():
+    dataset = _with_imports([80_000, 80_000, 40_000, 0])
+    result = gas_utilization(dataset, gas_limit=100_000)
+    assert result.mean_utilization == pytest.approx(0.5)
+    assert result.median_utilization == pytest.approx(0.6)
+    assert result.empty_block_share == pytest.approx(0.25)
+    assert result.blocks == 4
+
+
+def test_full_block_share():
+    dataset = _with_imports([99_000, 50_000])
+    result = gas_utilization(dataset, gas_limit=100_000)
+    assert result.full_block_share == pytest.approx(0.5)
+
+
+def test_requires_positive_gas_limit():
+    dataset = _with_imports([10_000])
+    with pytest.raises(AnalysisError):
+        gas_utilization(dataset, gas_limit=0)
+
+
+def test_requires_import_records():
+    builder = DatasetBuilder()
+    builder.add_main_chain(["A"])
+    with pytest.raises(AnalysisError):
+        gas_utilization(builder.build(), gas_limit=100_000)
+
+
+def test_only_reference_vantage_counts():
+    dataset = _with_imports([80_000])
+    dataset.block_imports.append(
+        BlockImportRecord(
+            vantage="EA",
+            time=13.3,
+            block_hash="0xb1",
+            height=1,
+            parent_hash="0xgenesis",
+            miner="A",
+            difficulty=100.0,
+            gas_used=0,  # conflicting record at another vantage
+            tx_hashes=(),
+            uncle_hashes=(),
+        )
+    )
+    result = gas_utilization(dataset, gas_limit=100_000)
+    assert result.mean_utilization == pytest.approx(0.8)
+
+
+def test_render():
+    rendered = gas_utilization(_with_imports([50_000]), 100_000).render()
+    assert "gas utilization" in rendered

@@ -1,0 +1,97 @@
+"""Tests for the geographic analyses (Figures 2 and 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import DatasetBuilder
+
+from repro.analysis.geography import (
+    REMAINING_LABEL,
+    first_reception_shares,
+    pool_first_receptions,
+)
+from repro.errors import AnalysisError
+
+
+def _geo_dataset() -> DatasetBuilder:
+    builder = DatasetBuilder()
+    builder.add_main_chain(["PoolEA", "PoolEA", "PoolEU"])
+    # Blocks 1, 2 mined by PoolEA surface in EA; block 3 surfaces in CE.
+    for block, first, second in [
+        ("0xb1", ("EA", 1.00), ("WE", 1.08)),
+        ("0xb2", ("EA", 14.30), ("NA", 14.40)),
+        ("0xb3", ("CE", 27.60), ("EA", 27.72)),
+    ]:
+        builder.observe_block(first[0], block, first[1])
+        builder.observe_block(second[0], block, second[1])
+    return builder
+
+
+def test_first_reception_shares_sum_to_one():
+    result = first_reception_shares(_geo_dataset().build())
+    assert sum(result.shares.values()) == pytest.approx(1.0)
+
+
+def test_first_reception_winner_counts():
+    result = first_reception_shares(_geo_dataset().build())
+    assert result.shares["EA"] == pytest.approx(2 / 3)
+    assert result.shares["CE"] == pytest.approx(1 / 3)
+    assert result.shares["WE"] == 0.0
+    assert result.blocks_used == 3
+
+
+def test_ambiguous_margins_flagged():
+    builder = DatasetBuilder()
+    builder.observe_block("EA", "0xclose", 1.000)
+    builder.observe_block("WE", "0xclose", 1.005)  # within 10ms NTP bound
+    builder.observe_block("EA", "0xclear", 2.000)
+    builder.observe_block("WE", "0xclear", 2.500)
+    result = first_reception_shares(builder.build())
+    assert result.ambiguous_shares["EA"] == pytest.approx(0.5)
+
+
+def test_no_multi_vantage_blocks_raises():
+    builder = DatasetBuilder()
+    builder.observe_block("EA", "0xb", 1.0)
+    with pytest.raises(AnalysisError):
+        first_reception_shares(builder.build())
+
+
+def test_pool_shares_split_per_pool():
+    result = pool_first_receptions(_geo_dataset().build())
+    assert result.pool_shares["PoolEA"]["EA"] == pytest.approx(1.0)
+    assert result.pool_shares["PoolEU"]["CE"] == pytest.approx(1.0)
+
+
+def test_pool_block_fractions():
+    result = pool_first_receptions(_geo_dataset().build())
+    assert result.pool_block_fraction["PoolEA"] == pytest.approx(2 / 3)
+    assert result.pool_block_fraction["PoolEU"] == pytest.approx(1 / 3)
+
+
+def test_small_pools_grouped_as_remaining():
+    builder = DatasetBuilder()
+    miners = [f"Pool{i}" for i in range(16)] + ["Tiny"]
+    builder.add_main_chain(miners)
+    for index in range(1, len(miners) + 1):
+        builder.observe_block("EA", f"0xb{index}", index * 13.3)
+        builder.observe_block("WE", f"0xb{index}", index * 13.3 + 0.05)
+    result = pool_first_receptions(builder.build(), top_n=15)
+    assert REMAINING_LABEL in result.pool_shares
+    assert len(result.pool_shares) == 16  # 15 named + remaining
+
+
+def test_pool_shares_each_sum_to_one():
+    result = pool_first_receptions(_geo_dataset().build())
+    for shares in result.pool_shares.values():
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+
+def test_render_includes_percentages():
+    result = pool_first_receptions(_geo_dataset().build())
+    rendered = result.render()
+    assert "Figure 3" in rendered
+    assert "%" in rendered
+    rendered2 = first_reception_shares(_geo_dataset().build()).render()
+    assert "Figure 2" in rendered2

@@ -1,0 +1,81 @@
+"""Tests for the propagation-delay analysis (Figure 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import DatasetBuilder
+
+from repro.analysis.propagation import block_propagation_delays
+from repro.errors import AnalysisError
+from repro.measurement.dataset import MeasurementDataset
+
+
+def test_delays_measured_from_first_observation():
+    builder = DatasetBuilder()
+    builder.observe_block("EA", "0xb", 1.000)
+    builder.observe_block("WE", "0xb", 1.074)
+    builder.observe_block("NA", "0xb", 1.120)
+    result = block_propagation_delays(builder.build())
+    assert sorted(result.delays.tolist()) == pytest.approx([0.074, 0.120])
+    assert result.blocks_used == 1
+
+
+def test_single_vantage_blocks_are_skipped():
+    builder = DatasetBuilder()
+    builder.observe_block("EA", "0xonly", 1.0)
+    builder.observe_block("EA", "0xboth", 2.0)
+    builder.observe_block("WE", "0xboth", 2.05)
+    result = block_propagation_delays(builder.build())
+    assert result.blocks_used == 1
+
+
+def test_duplicate_receptions_use_earliest():
+    builder = DatasetBuilder()
+    builder.observe_block("EA", "0xb", 1.0)
+    builder.observe_block("WE", "0xb", 1.5)
+    builder.observe_block("WE", "0xb", 1.2)  # earlier re-reception
+    result = block_propagation_delays(builder.build())
+    assert result.delays.tolist() == pytest.approx([0.2])
+
+
+def test_summary_statistics():
+    builder = DatasetBuilder()
+    for index, delay in enumerate([0.050, 0.100, 0.150, 0.200]):
+        builder.observe_block("EA", f"0xb{index}", float(index))
+        builder.observe_block("WE", f"0xb{index}", float(index) + delay)
+    result = block_propagation_delays(builder.build())
+    assert result.summary.median == pytest.approx(0.125)
+    assert result.summary.mean == pytest.approx(0.125)
+
+
+def test_histogram_covers_figure1_range():
+    builder = DatasetBuilder()
+    builder.observe_block("EA", "0xb", 1.0)
+    builder.observe_block("WE", "0xb", 1.074)
+    result = block_propagation_delays(builder.build())
+    assert result.histogram.densities.sum() == pytest.approx(1.0)
+    assert result.histogram.bin_edges[-1] <= 0.55
+
+
+def test_requires_two_vantages():
+    dataset = MeasurementDataset(vantage_regions={"WE": "WE"})
+    with pytest.raises(Exception):
+        block_propagation_delays(dataset)
+
+
+def test_no_shared_blocks_raises():
+    builder = DatasetBuilder()
+    builder.observe_block("EA", "0xa", 1.0)
+    builder.observe_block("WE", "0xb", 1.0)
+    with pytest.raises(AnalysisError):
+        block_propagation_delays(builder.build())
+
+
+def test_render_mentions_median_and_mean():
+    builder = DatasetBuilder()
+    builder.observe_block("EA", "0xb", 1.0)
+    builder.observe_block("WE", "0xb", 1.074)
+    rendered = block_propagation_delays(builder.build()).render()
+    assert "median=74ms" in rendered
+    assert "Figure 1" in rendered

@@ -1,0 +1,108 @@
+"""Tests for the redundancy analysis (Table II)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from helpers import DatasetBuilder
+
+from repro.analysis.redundancy import reception_redundancy
+from repro.errors import AnalysisError
+
+
+def _with_default_vantage() -> DatasetBuilder:
+    return DatasetBuilder(
+        vantages={"WE": "WE", "WE-default": "WE"},
+        default_peer_vantage="WE-default",
+    )
+
+
+def test_counts_split_by_message_type():
+    builder = _with_default_vantage()
+    # Block 0xb: 2 direct pushes + 3 announcements at the default vantage.
+    for time, direct in [(1.0, True), (1.1, True), (1.2, False), (1.3, False), (1.4, False)]:
+        builder.observe_block("WE-default", "0xb", time, direct=direct)
+    result = reception_redundancy(builder.build(), network_size=100)
+    assert result.row("Whole Blocks").average == 2.0
+    assert result.row("Announcements").average == 3.0
+    assert result.row("Both combined").average == 5.0
+    assert result.blocks_counted == 1
+
+
+def test_only_default_vantage_records_count():
+    builder = _with_default_vantage()
+    builder.observe_block("WE-default", "0xb", 1.0, direct=True)
+    builder.observe_block("WE", "0xb", 1.0, direct=True)  # primary: ignored
+    result = reception_redundancy(builder.build(), network_size=100)
+    assert result.row("Both combined").average == 1.0
+
+
+def test_medians_and_top_percentiles():
+    builder = _with_default_vantage()
+    # Three blocks with combined counts 1, 2, 9.
+    builder.observe_block("WE-default", "0xa", 1.0, direct=True)
+    for t in (1.0, 1.1):
+        builder.observe_block("WE-default", "0xb", t, direct=True)
+    for i in range(9):
+        builder.observe_block("WE-default", "0xc", 1.0 + i / 10, direct=True)
+    result = reception_redundancy(builder.build(), network_size=100)
+    assert result.row("Both combined").median == 2.0
+    assert result.row("Both combined").top10 >= 7
+
+
+def test_gossip_optimum_is_log_of_network_size():
+    builder = _with_default_vantage()
+    builder.observe_block("WE-default", "0xb", 1.0, direct=True)
+    result = reception_redundancy(builder.build(), network_size=15_000)
+    assert result.optimal_mean == pytest.approx(math.log(15_000))
+
+
+def test_network_size_defaults_to_observed_peers():
+    builder = _with_default_vantage()
+    builder.observe_block("WE-default", "0xb", 1.0, direct=True)
+    result = reception_redundancy(builder.build())
+    assert result.network_size >= 2
+
+
+def test_missing_default_vantage_raises():
+    builder = DatasetBuilder(default_peer_vantage=None)
+    builder.observe_block("WE", "0xb", 1.0)
+    with pytest.raises(AnalysisError):
+        reception_redundancy(builder.build())
+
+
+def test_no_observations_raises():
+    builder = _with_default_vantage()
+    with pytest.raises(AnalysisError):
+        reception_redundancy(builder.build())
+
+
+def test_warmup_records_ignored():
+    builder = DatasetBuilder(
+        vantages={"WE": "WE", "WE-default": "WE"},
+        default_peer_vantage="WE-default",
+        measurement_start=100.0,
+    )
+    builder.observe_block("WE-default", "0xold", 50.0, direct=True)
+    builder.observe_block("WE-default", "0xnew", 150.0, direct=True)
+    result = reception_redundancy(builder.build(), network_size=10)
+    assert result.blocks_counted == 1
+
+
+def test_render_matches_table_layout():
+    builder = _with_default_vantage()
+    builder.observe_block("WE-default", "0xb", 1.0, direct=True)
+    rendered = reception_redundancy(builder.build(), network_size=100).render()
+    assert "Table II" in rendered
+    assert "Announcements" in rendered
+    assert "Whole Blocks" in rendered
+
+
+def test_unknown_row_lookup_raises():
+    builder = _with_default_vantage()
+    builder.observe_block("WE-default", "0xb", 1.0, direct=True)
+    result = reception_redundancy(builder.build(), network_size=100)
+    with pytest.raises(KeyError):
+        result.row("Nope")

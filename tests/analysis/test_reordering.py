@@ -1,0 +1,114 @@
+"""Tests for the reordering analysis (Figure 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import DatasetBuilder
+
+from repro.analysis.reordering import out_of_order_txs, reordering_analysis
+from repro.errors import AnalysisError
+
+
+def test_out_of_order_detection_per_sender():
+    builder = DatasetBuilder()
+    # nonce 1 arrives before nonce 0 → the early higher-nonce tx is the
+    # out-of-order one (it must wait for its predecessor to commit).
+    builder.observe_tx("WE", "0xt1", 1.0, sender="alice", nonce=1)
+    builder.observe_tx("WE", "0xt0", 2.0, sender="alice", nonce=0)
+    flagged = out_of_order_txs(builder.build(), "WE")
+    assert flagged == {"0xt1"}
+
+
+def test_in_order_txs_not_flagged():
+    builder = DatasetBuilder()
+    builder.observe_tx("WE", "0xt0", 1.0, sender="alice", nonce=0)
+    builder.observe_tx("WE", "0xt1", 2.0, sender="alice", nonce=1)
+    assert out_of_order_txs(builder.build(), "WE") == set()
+
+
+def test_senders_are_independent():
+    builder = DatasetBuilder()
+    builder.observe_tx("WE", "0xa1", 1.0, sender="alice", nonce=1)
+    builder.observe_tx("WE", "0xb0", 2.0, sender="bob", nonce=0)
+    assert out_of_order_txs(builder.build(), "WE") == set()
+
+
+def test_mid_stream_senders_not_spuriously_flagged():
+    """A sender whose history predates the window starts at nonce > 0;
+    its in-order receptions must not be flagged."""
+    builder = DatasetBuilder()
+    builder.observe_tx("WE", "0xa7", 1.0, sender="old", nonce=7)
+    builder.observe_tx("WE", "0xa8", 2.0, sender="old", nonce=8)
+    assert out_of_order_txs(builder.build(), "WE") == set()
+
+
+def test_flagging_is_per_vantage():
+    builder = DatasetBuilder()
+    builder.observe_tx("WE", "0xt1", 1.0, sender="alice", nonce=1)
+    builder.observe_tx("WE", "0xt0", 2.0, sender="alice", nonce=0)
+    builder.observe_tx("EA", "0xt0", 1.0, sender="alice", nonce=0)
+    builder.observe_tx("EA", "0xt1", 2.0, sender="alice", nonce=1)
+    assert out_of_order_txs(builder.build(), "WE") == {"0xt1"}
+    assert out_of_order_txs(builder.build(), "EA") == set()
+
+
+def _commit_chain(builder: DatasetBuilder, tx_block: dict[str, str]) -> None:
+    """Build a 15-block chain; map tx hashes into block 1 or 2."""
+    block_txs: dict[str, list[str]] = {}
+    for tx_hash, block in tx_block.items():
+        block_txs.setdefault(block, []).append(tx_hash)
+    for index in range(1, 16):
+        builder.add_block(
+            f"0xb{index}",
+            index,
+            "P",
+            tx_hashes=tuple(block_txs.get(f"0xb{index}", ())),
+        )
+        builder.observe_block("WE", f"0xb{index}", 13.3 * index + 0.1)
+
+
+def test_reordering_analysis_splits_commit_delays():
+    builder = DatasetBuilder()
+    builder.observe_tx("WE", "0xooo", 1.0, sender="alice", nonce=1)
+    builder.observe_tx("WE", "0xfirst", 2.0, sender="alice", nonce=0)
+    builder.observe_tx("WE", "0xok", 3.0, sender="bob", nonce=0)
+    _commit_chain(
+        builder, {"0xfirst": "0xb1", "0xooo": "0xb2", "0xok": "0xb1"}
+    )
+    result = reordering_analysis(builder.build())
+    # 0xooo (nonce 1, observed before nonce 0) is the flagged one; its
+    # inclusion waited for the predecessor and landed one block later.
+    assert result.out_of_order_share == pytest.approx(1 / 3)
+    expected_ooo = (13.3 * 14 + 0.1) - 1.0  # block2 + 12 confirmations
+    assert result.out_of_order.quantile(0.5) == pytest.approx(expected_ooo)
+
+
+def test_requires_both_classes():
+    builder = DatasetBuilder()
+    builder.observe_tx("WE", "0xok", 3.0, sender="bob", nonce=0)
+    _commit_chain(builder, {"0xok": "0xb1"})
+    with pytest.raises(AnalysisError):
+        reordering_analysis(builder.build())
+
+
+def test_per_vantage_shares_reported():
+    builder = DatasetBuilder()
+    builder.observe_tx("WE", "0xooo", 1.0, sender="alice", nonce=1)
+    builder.observe_tx("WE", "0xfirst", 2.0, sender="alice", nonce=0)
+    builder.observe_tx("WE", "0xok", 3.0, sender="bob", nonce=0)
+    _commit_chain(builder, {"0xfirst": "0xb1", "0xooo": "0xb2", "0xok": "0xb1"})
+    result = reordering_analysis(builder.build())
+    assert set(result.per_vantage_share) == {"NA", "EA", "WE", "CE"}
+    assert result.per_vantage_share["WE"] > 0
+
+
+def test_render_mentions_share():
+    builder = DatasetBuilder()
+    builder.observe_tx("WE", "0xooo", 1.0, sender="alice", nonce=1)
+    builder.observe_tx("WE", "0xfirst", 2.0, sender="alice", nonce=0)
+    builder.observe_tx("WE", "0xok", 3.0, sender="bob", nonce=0)
+    _commit_chain(builder, {"0xfirst": "0xb1", "0xooo": "0xb2", "0xok": "0xb1"})
+    rendered = reordering_analysis(builder.build()).render()
+    assert "Figure 5" in rendered
+    assert "out-of-order" in rendered

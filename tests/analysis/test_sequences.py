@@ -1,0 +1,130 @@
+"""Tests for the sequence/finality analysis (Figure 7, §III-D)."""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import DatasetBuilder
+
+from repro.analysis.sequences import (
+    expected_streaks,
+    months_to_observe,
+    paper_expected_streaks,
+    run_lengths,
+    sequence_analysis,
+    simulate_history,
+)
+from repro.errors import AnalysisError
+
+
+def test_run_lengths_basic():
+    runs = run_lengths(["A", "A", "B", "A", "A", "A"])
+    assert runs == {"A": [2, 3], "B": [1]}
+
+
+def test_run_lengths_single_miner():
+    assert run_lengths(["A"] * 5) == {"A": [5]}
+
+
+def test_run_lengths_empty():
+    assert run_lengths([]) == {}
+
+
+def test_sequence_analysis_over_chain():
+    builder = DatasetBuilder(measurement_start=1.0)
+    builder.add_main_chain(["A", "A", "B", "A"])
+    result = sequence_analysis(builder.build())
+    assert result.max_run["A"] == 2
+    assert result.max_run["B"] == 1
+    assert result.chain_length == 4
+
+
+def test_cdf_points_monotone_to_one():
+    builder = DatasetBuilder(measurement_start=1.0)
+    builder.add_main_chain(["A", "A", "B", "A", "B", "A", "A", "A"])
+    result = sequence_analysis(builder.build())
+    points = result.cdf_points("A")
+    fractions = [fraction for _, fraction in points]
+    assert fractions == sorted(fractions)
+    assert fractions[-1] == pytest.approx(1.0)
+
+
+def test_cdf_points_unknown_pool_raises():
+    builder = DatasetBuilder(measurement_start=1.0)
+    builder.add_main_chain(["A"])
+    with pytest.raises(AnalysisError):
+        sequence_analysis(builder.build()).cdf_points("Nope")
+
+
+def test_empty_window_raises():
+    builder = DatasetBuilder(measurement_start=1e9)
+    with pytest.raises(AnalysisError):
+        sequence_analysis(builder.build())
+
+
+def test_paper_expected_streaks_reproduces_ethermine_arithmetic():
+    """§III-D: 0.259^8 × 201,086 ≈ 4 eight-block streaks per month."""
+    expected = paper_expected_streaks(0.2598, 8, 201_086)
+    assert expected == pytest.approx(4.0, rel=0.3)
+
+
+def test_paper_expected_streaks_sparkpool():
+    """§III-D: Sparkpool's 9-streak should take ≈3 months."""
+    assert months_to_observe(0.2269, 9) == pytest.approx(3.2, rel=0.3)
+
+
+def test_expected_streaks_run_start_correction():
+    assert expected_streaks(0.25, 3, 1000) == pytest.approx(
+        1000 * 0.75 * 0.25**3
+    )
+
+
+def test_streak_theory_input_validation():
+    with pytest.raises(AnalysisError):
+        expected_streaks(0.0, 3, 100)
+    with pytest.raises(AnalysisError):
+        expected_streaks(0.5, 0, 100)
+    with pytest.raises(AnalysisError):
+        paper_expected_streaks(1.0, 3, 100)
+
+
+def test_simulate_history_counts_long_streaks():
+    """With 2019-like shares over millions of blocks, streaks of 10+
+    appear — the paper's whole-history observation."""
+    shares = {"Ethermine": 0.259, "Sparkpool": 0.227, "F2pool": 0.127}
+    result = simulate_history(2_000_000, shares, seed=1)
+    assert result.counts_at_least[10] > 0
+    assert result.counts_at_least[10] >= result.counts_at_least[11]
+    assert result.counts_at_least[11] >= result.counts_at_least[12]
+    assert result.longest >= 10
+    assert result.longest_pool in shares
+
+
+def test_simulate_history_matches_theory_order_of_magnitude():
+    shares = {"Ethermine": 0.259}
+    total = 3_000_000
+    result = simulate_history(total, shares, seed=2, lengths=(8,))
+    expected = expected_streaks(0.259, 8, total)
+    assert result.counts_at_least[8] == pytest.approx(expected, rel=0.25)
+
+
+def test_simulate_history_validation():
+    with pytest.raises(AnalysisError):
+        simulate_history(0, {"A": 0.5})
+    with pytest.raises(AnalysisError):
+        simulate_history(100, {"A": 0.7, "B": 0.7})
+    with pytest.raises(AnalysisError):
+        simulate_history(100, {"A": -0.1})
+
+
+def test_simulate_history_render():
+    rendered = simulate_history(10_000, {"A": 0.3}, seed=0).render()
+    assert "Whole-history streaks" in rendered
+
+
+def test_sequence_render_lists_pools():
+    builder = DatasetBuilder(measurement_start=1.0)
+    builder.add_main_chain(["A", "A", "B", "A"])
+    rendered = sequence_analysis(builder.build()).render(["A", "B"])
+    assert "Figure 7" in rendered
+    assert "A" in rendered

@@ -1,0 +1,55 @@
+"""Tests for the campaign summary analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import DatasetBuilder
+
+from repro.analysis.summary import study_summary
+from repro.errors import AnalysisError
+
+
+def _dataset() -> DatasetBuilder:
+    builder = DatasetBuilder(measurement_start=1.0)
+    builder.add_block("0xb1", 1, "A", tx_hashes=("0xt1",), timestamp=13.3)
+    builder.add_block("0xb2", 2, "A", timestamp=26.6)
+    builder.add_block("0xfork", 1, "B", parent_hash="0xgenesis", canonical=False,
+                      timestamp=13.5)
+    builder.observe_tx("WE", "0xt1", 5.0)
+    builder.observe_tx("WE", "0xt-pending", 6.0)
+    builder.observe_block("WE", "0xb1", 13.4)
+    builder.observe_block("WE", "0xb2", 26.7)
+    return builder
+
+
+def test_block_counts_include_forks():
+    result = study_summary(_dataset().build())
+    assert result.blocks_observed == 3
+    assert result.main_blocks == 2
+
+
+def test_transaction_accounting():
+    result = study_summary(_dataset().build())
+    assert result.unique_txs == 2
+    assert result.committed_txs == 1
+    assert result.committed_share == pytest.approx(0.5)
+
+
+def test_inter_block_times():
+    result = study_summary(_dataset().build())
+    assert result.mean_inter_block == pytest.approx(13.3)
+    assert result.median_inter_block == pytest.approx(13.3)
+
+
+def test_requires_two_main_blocks():
+    builder = DatasetBuilder(measurement_start=1.0)
+    builder.add_block("0xb1", 1, "A")
+    with pytest.raises(AnalysisError):
+        study_summary(builder.build())
+
+
+def test_render_headline_lines():
+    rendered = study_summary(_dataset().build()).render()
+    assert "blocks observed" in rendered
+    assert "unique transactions" in rendered

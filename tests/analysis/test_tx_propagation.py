@@ -1,0 +1,94 @@
+"""Tests for the §III-A1/§III-B1/§III-C3 propagation claims."""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import DatasetBuilder
+
+from repro.analysis.propagation import (
+    empty_vs_full_propagation,
+    transaction_propagation_delays,
+)
+from repro.errors import AnalysisError
+
+
+def test_tx_delays_from_first_observation():
+    builder = DatasetBuilder()
+    builder.observe_tx("EA", "0xt", 1.000)
+    builder.observe_tx("WE", "0xt", 1.030)
+    builder.observe_tx("NA", "0xt", 1.050)
+    result = transaction_propagation_delays(builder.build())
+    assert result.summary.count == 2
+    assert result.summary.maximum == pytest.approx(0.050)
+    assert result.txs_used == 1
+
+
+def test_tx_first_shares_sum_to_one():
+    builder = DatasetBuilder()
+    for index, winner in enumerate(["EA", "WE", "NA", "CE"]):
+        builder.observe_tx(winner, f"0xt{index}", 1.0 + index)
+        other = "EA" if winner != "EA" else "WE"
+        builder.observe_tx(other, f"0xt{index}", 1.5 + index)
+    result = transaction_propagation_delays(builder.build())
+    assert sum(result.first_shares.values()) == pytest.approx(1.0)
+    assert result.max_min_share_ratio == pytest.approx(1.0)
+
+
+def test_tx_single_vantage_observations_skipped():
+    builder = DatasetBuilder()
+    builder.observe_tx("EA", "0xsolo", 1.0)
+    builder.observe_tx("EA", "0xboth", 2.0)
+    builder.observe_tx("WE", "0xboth", 2.1)
+    result = transaction_propagation_delays(builder.build())
+    assert result.txs_used == 1
+
+
+def test_tx_no_shared_observations_raises():
+    builder = DatasetBuilder()
+    builder.observe_tx("EA", "0xt", 1.0)
+    with pytest.raises(AnalysisError):
+        transaction_propagation_delays(builder.build())
+
+
+def test_tx_render():
+    builder = DatasetBuilder()
+    builder.observe_tx("EA", "0xt", 1.0)
+    builder.observe_tx("WE", "0xt", 1.05)
+    rendered = transaction_propagation_delays(builder.build()).render()
+    assert "Transaction propagation" in rendered
+
+
+def _empty_full_dataset() -> DatasetBuilder:
+    builder = DatasetBuilder()
+    builder.add_block("0xempty", 1, "A")  # no txs
+    builder.add_block("0xfull", 2, "A", tx_hashes=("0xt",))
+    builder.observe_block("EA", "0xempty", 13.3)
+    builder.observe_block("WE", "0xempty", 13.34)
+    builder.observe_block("EA", "0xfull", 26.6)
+    builder.observe_block("WE", "0xfull", 26.75)
+    return builder
+
+
+def test_empty_blocks_propagate_faster():
+    empty, full = empty_vs_full_propagation(_empty_full_dataset().build())
+    assert empty.median == pytest.approx(0.04)
+    assert full.median == pytest.approx(0.15)
+    assert empty.median < full.median  # the §III-C3 incentive
+
+
+def test_empty_vs_full_requires_both_classes():
+    builder = DatasetBuilder()
+    builder.add_block("0xfull", 1, "A", tx_hashes=("0xt",))
+    builder.observe_block("EA", "0xfull", 13.3)
+    builder.observe_block("WE", "0xfull", 13.4)
+    with pytest.raises(AnalysisError):
+        empty_vs_full_propagation(builder.build())
+
+
+def test_genesis_not_counted_as_empty_block():
+    builder = _empty_full_dataset()
+    builder.observe_block("EA", "0xgenesis", 0.1)
+    builder.observe_block("WE", "0xgenesis", 0.2)
+    empty, _ = empty_vs_full_propagation(builder.build())
+    assert empty.count == 1  # only 0xempty, not genesis

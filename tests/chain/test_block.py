@@ -1,0 +1,90 @@
+"""Tests for the block model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.block import (
+    EMPTY_BLOCK_SIZE,
+    GENESIS_PARENT_HASH,
+    Block,
+    header_only_size,
+    make_genesis,
+)
+from repro.chain.transaction import Transaction
+
+
+def _block(**overrides) -> Block:
+    defaults = dict(
+        height=1,
+        parent_hash="0xparent",
+        miner="PoolA",
+        difficulty=100.0,
+        timestamp=13.3,
+    )
+    defaults.update(overrides)
+    return Block(**defaults)
+
+
+def test_hash_is_deterministic():
+    assert _block().block_hash == _block().block_hash
+
+
+def test_salt_distinguishes_same_miner_same_height():
+    """The one-miner fork mechanism relies on salted variants."""
+    assert _block(salt=0).block_hash != _block(salt=1).block_hash
+
+
+def test_different_parent_different_hash():
+    assert _block(parent_hash="0xa").block_hash != _block(parent_hash="0xb").block_hash
+
+
+def test_empty_block_properties():
+    block = _block()
+    assert block.is_empty
+    assert block.gas_used == 0
+    assert block.size_bytes == EMPTY_BLOCK_SIZE
+
+
+def test_full_block_size_and_gas():
+    txs = (Transaction("a", 0, gas_used=21_000), Transaction("b", 0, gas_used=50_000))
+    block = _block(transactions=txs)
+    assert not block.is_empty
+    assert block.gas_used == 71_000
+    assert block.size_bytes == EMPTY_BLOCK_SIZE + sum(t.size_bytes for t in txs)
+
+
+def test_tx_hashes_in_order():
+    txs = (Transaction("a", 0), Transaction("a", 1))
+    assert _block(transactions=txs).tx_hashes == (txs[0].tx_hash, txs[1].tx_hash)
+
+
+def test_negative_height_rejected():
+    with pytest.raises(ValueError):
+        _block(height=-1)
+
+
+def test_more_than_two_uncles_rejected():
+    with pytest.raises(ValueError):
+        _block(uncle_hashes=("0xu1", "0xu2", "0xu3"))
+
+
+def test_genesis_shape():
+    genesis = make_genesis()
+    assert genesis.height == 0
+    assert genesis.parent_hash == GENESIS_PARENT_HASH
+    assert genesis.is_empty
+
+
+def test_genesis_is_identical_across_calls():
+    assert make_genesis().block_hash == make_genesis().block_hash
+
+
+def test_header_only_size_is_constant():
+    txs = (Transaction("a", 0),)
+    assert header_only_size(_block(transactions=txs)) == EMPTY_BLOCK_SIZE
+
+
+def test_repr_flags_empty_blocks():
+    assert "empty" in repr(_block())
+    assert "empty" not in repr(_block(transactions=(Transaction("a", 0),)))

@@ -1,0 +1,85 @@
+"""Tests for the difficulty rule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.difficulty import (
+    BYZANTIUM_BOMB_DELAY,
+    CONSTANTINOPLE_BOMB_DELAY,
+    DifficultyConfig,
+    bomb_component,
+    next_difficulty,
+)
+from repro.errors import ConfigurationError
+
+PARENT_DIFFICULTY = 2_000_000.0
+
+
+def test_fast_block_raises_difficulty():
+    result = next_difficulty(PARENT_DIFFICULTY, 100.0, 103.0, height=100)
+    assert result > PARENT_DIFFICULTY
+
+
+def test_slow_block_lowers_difficulty():
+    result = next_difficulty(PARENT_DIFFICULTY, 100.0, 140.0, height=100)
+    assert result < PARENT_DIFFICULTY
+
+
+def test_adjustment_step_is_parent_over_2048():
+    fast = next_difficulty(PARENT_DIFFICULTY, 100.0, 101.0, height=100)
+    assert fast == pytest.approx(PARENT_DIFFICULTY * (1 + 1 / 2048))
+
+
+def test_adjustment_is_floored_at_minus_99():
+    result = next_difficulty(PARENT_DIFFICULTY, 100.0, 100_000.0, height=100)
+    assert result == pytest.approx(PARENT_DIFFICULTY * (1 - 99 / 2048))
+
+
+def test_uncle_parent_gets_extra_window():
+    plain = next_difficulty(PARENT_DIFFICULTY, 100.0, 112.0, height=100)
+    with_uncles = next_difficulty(
+        PARENT_DIFFICULTY, 100.0, 112.0, height=100, parent_has_uncles=True
+    )
+    assert with_uncles > plain
+
+
+def test_non_monotone_timestamp_is_tolerated():
+    result = next_difficulty(PARENT_DIFFICULTY, 100.0, 100.0, height=100)
+    assert result > 0
+
+
+def test_minimum_difficulty_floor():
+    config = DifficultyConfig(minimum_difficulty=131_072.0)
+    result = next_difficulty(131_072.0, 100.0, 10_000.0, height=1, config=config)
+    assert result == 131_072.0
+
+
+def test_bomb_is_zero_before_delay_window():
+    config = DifficultyConfig()
+    assert bomb_component(CONSTANTINOPLE_BOMB_DELAY - 1, config) == 0.0
+
+
+def test_bomb_grows_exponentially_past_delay():
+    config = DifficultyConfig()
+    early = bomb_component(CONSTANTINOPLE_BOMB_DELAY + 300_000, config)
+    late = bomb_component(CONSTANTINOPLE_BOMB_DELAY + 500_000, config)
+    assert late == early * 4  # two doubling periods apart
+
+
+def test_byzantium_bomb_fires_earlier_than_constantinople():
+    """The Constantinople delay (EIP-1234) is what pushed inter-block
+    times back down in Feb 2019 — the effect §III-C1 discusses."""
+    height = BYZANTIUM_BOMB_DELAY + 1_000_000
+    byzantium = bomb_component(height, DifficultyConfig(bomb_delay=BYZANTIUM_BOMB_DELAY))
+    constantinople = bomb_component(
+        height, DifficultyConfig(bomb_delay=CONSTANTINOPLE_BOMB_DELAY)
+    )
+    assert byzantium > constantinople
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(ConfigurationError):
+        DifficultyConfig(minimum_difficulty=0)
+    with pytest.raises(ConfigurationError):
+        DifficultyConfig(uncle_target_window=0)

@@ -1,0 +1,248 @@
+"""Tests for the block tree and fork choice."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.block import Block, make_genesis
+from repro.chain.forkchoice import BlockTree
+from repro.errors import ChainError
+
+
+def _child(parent: Block, miner: str = "A", difficulty: float = 100.0, salt: int = 0, uncles=()) -> Block:
+    return Block(
+        height=parent.height + 1,
+        parent_hash=parent.block_hash,
+        miner=miner,
+        difficulty=difficulty,
+        timestamp=parent.timestamp + 13.3,
+        salt=salt,
+        uncle_hashes=tuple(uncles),
+    )
+
+
+def _chain(tree: BlockTree, length: int, miner: str = "A") -> list[Block]:
+    blocks = []
+    head = tree.head
+    for _ in range(length):
+        block = _child(head, miner=miner)
+        tree.add(block)
+        blocks.append(block)
+        head = block
+    return blocks
+
+
+def test_starts_at_genesis():
+    tree = BlockTree()
+    assert tree.head == tree.genesis
+    assert len(tree) == 1
+
+
+def test_add_extends_head():
+    tree = BlockTree()
+    block = _child(tree.genesis)
+    assert tree.add(block) is True
+    assert tree.head == block
+
+
+def test_add_duplicate_rejected():
+    tree = BlockTree()
+    block = _child(tree.genesis)
+    tree.add(block)
+    with pytest.raises(ChainError):
+        tree.add(block)
+
+
+def test_add_orphan_rejected():
+    tree = BlockTree()
+    stranger = Block(
+        height=5, parent_hash="0xnope", miner="A", difficulty=1.0, timestamp=1.0
+    )
+    with pytest.raises(ChainError):
+        tree.add(stranger)
+
+
+def test_add_wrong_height_rejected():
+    tree = BlockTree()
+    bad = Block(
+        height=7,
+        parent_hash=tree.genesis.block_hash,
+        miner="A",
+        difficulty=1.0,
+        timestamp=1.0,
+    )
+    with pytest.raises(ChainError):
+        tree.add(bad)
+
+
+def test_total_difficulty_accumulates():
+    tree = BlockTree(make_genesis(difficulty=10.0))
+    a = _child(tree.genesis, difficulty=5.0)
+    tree.add(a)
+    b = _child(a, difficulty=7.0)
+    tree.add(b)
+    assert tree.total_difficulty(b.block_hash) == pytest.approx(22.0)
+
+
+def test_total_difficulty_unknown_block_raises():
+    with pytest.raises(ChainError):
+        BlockTree().total_difficulty("0xmissing")
+
+
+def test_heavier_branch_wins_reorg():
+    tree = BlockTree()
+    light = _child(tree.genesis, miner="A", difficulty=100.0)
+    tree.add(light)
+    heavy = _child(tree.genesis, miner="B", difficulty=150.0, salt=1)
+    changed = tree.add(heavy)
+    assert changed is True
+    assert tree.head == heavy
+
+
+def test_equal_difficulty_first_arrival_wins():
+    """Geth keeps the first-seen block on ties — the geographic race."""
+    tree = BlockTree()
+    first = _child(tree.genesis, miner="A")
+    second = _child(tree.genesis, miner="B", salt=1)
+    tree.add(first)
+    changed = tree.add(second)
+    assert changed is False
+    assert tree.head == first
+
+
+def test_canonical_chain_in_height_order():
+    tree = BlockTree()
+    blocks = _chain(tree, 5)
+    chain = tree.canonical_chain()
+    assert [b.height for b in chain] == [0, 1, 2, 3, 4, 5]
+    assert chain[-1] == blocks[-1]
+
+
+def test_is_canonical_distinguishes_fork():
+    tree = BlockTree()
+    main = _chain(tree, 3)
+    fork = _child(main[0], miner="F", salt=9)
+    tree.add(fork)
+    assert tree.is_canonical(main[2].block_hash)
+    assert not tree.is_canonical(fork.block_hash)
+
+
+def test_is_canonical_unknown_raises():
+    with pytest.raises(ChainError):
+        BlockTree().is_canonical("0xmissing")
+
+
+def test_confirmations_count_follow_blocks():
+    tree = BlockTree()
+    blocks = _chain(tree, 6)
+    assert tree.confirmations(blocks[0].block_hash) == 5
+    assert tree.confirmations(blocks[-1].block_hash) == 0
+
+
+def test_confirmations_on_fork_raises():
+    tree = BlockTree()
+    main = _chain(tree, 2)
+    fork = _child(main[0], miner="F", salt=3)
+    tree.add(fork)
+    with pytest.raises(ChainError):
+        tree.confirmations(fork.block_hash)
+
+
+def test_ancestors_stop_at_genesis():
+    tree = BlockTree()
+    blocks = _chain(tree, 3)
+    ancestors = list(tree.ancestors(blocks[-1].block_hash, 10))
+    assert [a.height for a in ancestors] == [2, 1, 0]
+
+
+def test_children_tracking():
+    tree = BlockTree()
+    a = _child(tree.genesis, miner="A")
+    b = _child(tree.genesis, miner="B", salt=1)
+    tree.add(a)
+    tree.add(b)
+    assert set(tree.children_of(tree.genesis.block_hash)) == {
+        a.block_hash,
+        b.block_hash,
+    }
+
+
+def test_uncle_candidates_are_ancestor_siblings_only():
+    """Regression: children of the head itself are competing blocks, not
+    uncles — a block citing one is invalid network-wide."""
+    tree = BlockTree()
+    main = _chain(tree, 3)
+    same_height_as_next = _child(main[-1], miner="F", salt=5)
+    tree.add(same_height_as_next)  # child of head: NOT an uncle candidate
+    fork_lower = _child(main[0], miner="F", salt=6)
+    tree.add(fork_lower)  # sibling of main[1]: valid uncle
+    candidates = tree.uncle_candidates(tree.head.block_hash)
+    hashes = {c.block_hash for c in candidates}
+    assert fork_lower.block_hash in hashes
+    assert same_height_as_next.block_hash not in hashes
+
+
+def test_uncle_candidates_exclude_already_referenced():
+    tree = BlockTree()
+    main = _chain(tree, 2)
+    uncle = _child(main[0], miner="F", salt=7)
+    tree.add(uncle)
+    citing = _child(main[-1], miner="A", uncles=[uncle.block_hash])
+    tree.add(citing)
+    assert uncle.block_hash not in {
+        c.block_hash for c in tree.uncle_candidates(citing.block_hash)
+    }
+
+
+def test_uncle_candidates_respect_depth_window():
+    tree = BlockTree()
+    main = _chain(tree, 1)
+    old_fork = _child(tree.genesis, miner="F", salt=8)
+    tree.add(old_fork)
+    _chain(tree, 9)  # extend far past the uncle window
+    candidates = tree.uncle_candidates(tree.head.block_hash)
+    assert old_fork.block_hash not in {c.block_hash for c in candidates}
+    assert main  # silence unused warning
+
+
+def test_referenced_uncle_hashes_from_main_chain():
+    tree = BlockTree()
+    main = _chain(tree, 2)
+    uncle = _child(main[0], miner="F", salt=4)
+    tree.add(uncle)
+    citing = _child(main[-1], miner="A", uncles=[uncle.block_hash])
+    tree.add(citing)
+    assert tree.referenced_uncle_hashes() == {uncle.block_hash}
+
+
+def test_blocks_at_height():
+    tree = BlockTree()
+    main = _chain(tree, 2)
+    fork = _child(main[0], miner="F", salt=2)
+    tree.add(fork)
+    at_two = tree.blocks_at_height(2)
+    assert {b.block_hash for b in at_two} == {main[1].block_hash, fork.block_hash}
+
+
+def test_contains_and_get():
+    tree = BlockTree()
+    block = _child(tree.genesis)
+    tree.add(block)
+    assert block.block_hash in tree
+    assert tree.get(block.block_hash) == block
+    assert tree.get("0xmissing") is None
+    with pytest.raises(ChainError):
+        tree.require("0xmissing")
+
+
+def test_deep_reorg_switches_whole_branch():
+    tree = BlockTree()
+    main = _chain(tree, 3, miner="A")
+    # Build a heavier parallel branch from genesis.
+    head = tree.genesis
+    for index in range(3):
+        block = _child(head, miner="B", difficulty=200.0, salt=10 + index)
+        tree.add(block)
+        head = block
+    assert tree.head == head
+    assert not tree.is_canonical(main[-1].block_hash)

@@ -1,0 +1,214 @@
+"""Tests for the nonce-aware mempool."""
+
+from __future__ import annotations
+
+from repro.chain.mempool import Mempool
+from repro.chain.transaction import Transaction
+
+
+def tx(sender: str, nonce: int, price: float = 1.0, gas: int = 21_000) -> Transaction:
+    return Transaction(sender, nonce, gas_price=price, gas_used=gas)
+
+
+def test_in_order_txs_become_pending():
+    pool = Mempool()
+    assert pool.add(tx("a", 0))
+    assert pool.add(tx("a", 1))
+    assert len(pool) == 2
+    assert pool.queued_count == 0
+
+
+def test_gapped_tx_is_parked():
+    pool = Mempool()
+    pool.add(tx("a", 2))
+    assert len(pool) == 0
+    assert pool.queued_count == 1
+
+
+def test_gap_fill_promotes_parked_txs():
+    """The mechanism behind §III-C2: out-of-order receptions wait for
+    their predecessors before becoming executable."""
+    pool = Mempool()
+    pool.add(tx("a", 2))
+    pool.add(tx("a", 1))
+    assert len(pool) == 0  # still gapped at nonce 0
+    pool.add(tx("a", 0))
+    assert len(pool) == 3
+    assert pool.queued_count == 0
+
+
+def test_duplicate_tx_ignored():
+    pool = Mempool()
+    assert pool.add(tx("a", 0))
+    assert not pool.add(tx("a", 0))
+    assert len(pool) == 1
+
+
+def test_stale_nonce_dropped():
+    pool = Mempool()
+    pool.add(tx("a", 0))
+    pool.remove_included([tx("a", 0)])
+    assert not pool.add(tx("a", 0))
+
+
+def test_contains_covers_pending_and_queued():
+    pool = Mempool()
+    pending = tx("a", 0)
+    queued = tx("a", 5)
+    pool.add(pending)
+    pool.add(queued)
+    assert pending.tx_hash in pool
+    assert queued.tx_hash in pool
+
+
+def test_next_nonce_tracks_executable_frontier():
+    pool = Mempool()
+    assert pool.next_nonce("a") == 0
+    pool.add(tx("a", 0))
+    pool.add(tx("a", 1))
+    assert pool.next_nonce("a") == 2
+
+
+def test_select_prefers_higher_gas_price():
+    pool = Mempool()
+    pool.add(tx("a", 0, price=1.0))
+    pool.add(tx("b", 0, price=9.0))
+    pool.add(tx("c", 0, price=5.0))
+    chosen = pool.select(gas_limit=42_000)
+    assert [t.sender for t in chosen] == ["b", "c"]
+
+
+def test_select_keeps_per_sender_nonce_order():
+    pool = Mempool()
+    pool.add(tx("a", 0, price=1.0))
+    pool.add(tx("a", 1, price=99.0))  # high price but must follow nonce 0
+    chosen = pool.select(gas_limit=100_000)
+    assert [(t.sender, t.nonce) for t in chosen] == [("a", 0), ("a", 1)]
+
+
+def test_select_respects_gas_limit():
+    pool = Mempool()
+    for index in range(10):
+        pool.add(tx(f"s{index}", 0, gas=21_000))
+    chosen = pool.select(gas_limit=50_000)
+    assert len(chosen) == 2
+
+
+def test_select_respects_max_count():
+    pool = Mempool()
+    for index in range(10):
+        pool.add(tx(f"s{index}", 0))
+    assert len(pool.select(gas_limit=10**9, max_count=3)) == 3
+
+
+def test_select_skips_sender_whose_next_tx_does_not_fit():
+    pool = Mempool()
+    pool.add(tx("big", 0, price=9.0, gas=100_000))
+    pool.add(tx("small", 0, price=1.0, gas=21_000))
+    chosen = pool.select(gas_limit=30_000)
+    assert [t.sender for t in chosen] == ["small"]
+
+
+def test_select_does_not_mutate_pool():
+    pool = Mempool()
+    pool.add(tx("a", 0))
+    pool.select(gas_limit=10**9)
+    assert len(pool) == 1
+
+
+def test_remove_included_clears_pending_and_advances_nonce():
+    pool = Mempool()
+    pool.add(tx("a", 0))
+    pool.add(tx("a", 1))
+    pool.remove_included([tx("a", 0)])
+    assert len(pool) == 1
+    assert pool.next_nonce("a") == 2
+
+
+def test_remove_included_unseen_txs_still_advances_frontier():
+    """A block mined elsewhere may include txs this node never saw."""
+    pool = Mempool()
+    pool.add(tx("a", 0))
+    pool.remove_included([tx("a", 0), tx("a", 1)])
+    assert pool.next_nonce("a") == 2
+    # A late local copy of nonce 1 must now be dropped as stale.
+    assert not pool.add(tx("a", 1))
+
+
+def test_remove_included_promotes_queued_successors():
+    pool = Mempool()
+    pool.add(tx("a", 1))  # parked: nonce 0 missing locally
+    pool.remove_included([tx("a", 0)])  # block provided nonce 0
+    assert len(pool) == 1
+    assert pool.queued_count == 0
+
+
+def test_remove_included_evicts_stale_pending():
+    pool = Mempool()
+    pool.add(tx("a", 0))
+    pool.add(tx("a", 1))
+    # A block includes both (e.g. mined from another node's view).
+    pool.remove_included([tx("a", 0), tx("a", 1)])
+    assert len(pool) == 0
+
+
+def test_reinject_restores_reorged_out_txs():
+    pool = Mempool()
+    pool.add(tx("a", 0))
+    included = pool.select(gas_limit=10**9)
+    pool.remove_included(included)
+    assert len(pool) == 0
+    pool.reinject(included)
+    assert len(pool) == 1
+    assert pool.next_nonce("a") == 1
+
+
+# ---------------------------------------------------------------------- #
+# Capacity / eviction
+# ---------------------------------------------------------------------- #
+
+
+def test_capacity_must_be_positive():
+    import pytest
+    from repro.errors import ValidationError
+
+    with pytest.raises(ValidationError):
+        Mempool(capacity=0)
+
+
+def test_eviction_drops_cheapest_when_over_capacity():
+    pool = Mempool(capacity=10)
+    for index in range(10):
+        pool.add(tx(f"rich{index}", 0, price=10.0))
+    pool.add(tx("poor", 0, price=0.01))
+    pool.add(tx("trigger", 0, price=10.0))
+    assert len(pool) <= 10
+    assert tx("poor", 0).tx_hash not in pool.pending
+
+
+def test_eviction_preserves_gapless_prefixes():
+    pool = Mempool(capacity=10)
+    # One sender with a long cheap chain, others expensive.
+    for nonce in range(6):
+        pool.add(tx("cheap", nonce, price=0.1))
+    for index in range(6):
+        pool.add(tx(f"rich{index}", 0, price=9.0))
+    nonces = sorted(t.nonce for t in pool.pending.values() if t.sender == "cheap")
+    assert nonces == list(range(len(nonces)))  # still a prefix from 0
+
+
+def test_evicted_tx_can_be_resubmitted():
+    pool = Mempool(capacity=4)
+    victim = tx("victim", 0, price=0.01)
+    pool.add(victim)
+    for index in range(5):
+        pool.add(tx(f"rich{index}", 0, price=9.0))
+    assert victim.tx_hash not in pool.pending
+    assert pool.add(victim)  # forgotten, so acceptable again
+
+
+def test_pool_stays_near_capacity_under_flood():
+    pool = Mempool(capacity=50)
+    for index in range(300):
+        pool.add(tx(f"s{index}", 0, price=float(index % 17) + 0.1))
+    assert len(pool) <= 50

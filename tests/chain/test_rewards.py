@@ -1,0 +1,131 @@
+"""Tests for the reward schedule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.block import Block
+from repro.chain.forkchoice import BlockTree
+from repro.chain.rewards import (
+    BLOCK_REWARD_ETH,
+    block_rewards,
+    ledger_for_chain,
+    uncle_reward,
+)
+from repro.errors import ChainError
+
+
+def _child(parent: Block, miner: str = "A", salt: int = 0, uncles=()) -> Block:
+    return Block(
+        height=parent.height + 1,
+        parent_hash=parent.block_hash,
+        miner=miner,
+        difficulty=100.0,
+        timestamp=parent.timestamp + 13.3,
+        salt=salt,
+        uncle_hashes=tuple(uncles),
+    )
+
+
+def test_uncle_reward_decays_linearly():
+    assert uncle_reward(9, 10) == pytest.approx(7 / 8 * BLOCK_REWARD_ETH)
+    assert uncle_reward(6, 10) == pytest.approx(4 / 8 * BLOCK_REWARD_ETH)
+
+
+def test_uncle_reward_outside_window_is_zero():
+    assert uncle_reward(1, 10) == 0.0
+    assert uncle_reward(10, 10) == 0.0
+    assert uncle_reward(12, 10) == 0.0
+
+
+def test_block_reward_event():
+    tree = BlockTree()
+    block = _child(tree.genesis)
+    tree.add(block)
+    events = block_rewards(block, tree)
+    assert len(events) == 1
+    assert events[0].miner == "A"
+    assert events[0].amount_eth == BLOCK_REWARD_ETH
+    assert events[0].kind == "block"
+
+
+def test_uncle_and_nephew_rewards():
+    tree = BlockTree()
+    a = _child(tree.genesis)
+    tree.add(a)
+    uncle = _child(tree.genesis, miner="U", salt=1)
+    tree.add(uncle)
+    citing = _child(a, miner="A", uncles=[uncle.block_hash])
+    tree.add(citing)
+    events = block_rewards(citing, tree)
+    kinds = {event.kind: event for event in events}
+    assert kinds["uncle"].miner == "U"
+    assert kinds["uncle"].amount_eth == pytest.approx(7 / 8 * BLOCK_REWARD_ETH)
+    assert kinds["nephew"].miner == "A"
+    assert kinds["nephew"].amount_eth == pytest.approx(BLOCK_REWARD_ETH / 32)
+
+
+def test_fee_component():
+    tree = BlockTree()
+    from repro.chain.transaction import Transaction
+
+    block = _child(tree.genesis)
+    block = Block(
+        height=1,
+        parent_hash=tree.genesis.block_hash,
+        miner="A",
+        difficulty=100.0,
+        timestamp=13.3,
+        transactions=(Transaction("s", 0, gas_used=100_000),),
+    )
+    tree.add(block)
+    events = block_rewards(block, tree, fee_per_gas_eth=1e-6)
+    fees = [event for event in events if event.kind == "fees"]
+    assert fees and fees[0].amount_eth == pytest.approx(0.1)
+
+
+def test_unknown_uncle_raises():
+    tree = BlockTree()
+    a = _child(tree.genesis)
+    tree.add(a)
+    phantom = Block(
+        height=2,
+        parent_hash=a.block_hash,
+        miner="A",
+        difficulty=100.0,
+        timestamp=26.6,
+        uncle_hashes=("0xghost",),
+    )
+    with pytest.raises(ChainError):
+        block_rewards(phantom, tree)
+
+
+def test_ledger_accumulates_over_chain():
+    tree = BlockTree()
+    head = tree.genesis
+    for index in range(3):
+        block = _child(head, miner="A" if index % 2 == 0 else "B", salt=index)
+        tree.add(block)
+        head = block
+    ledger = ledger_for_chain(tree)
+    assert ledger["A"] == pytest.approx(2 * BLOCK_REWARD_ETH)
+    assert ledger["B"] == pytest.approx(BLOCK_REWARD_ETH)
+
+
+def test_one_miner_fork_pays_double():
+    """§III-C5: a pool mining two same-height variants collects the main
+    reward AND the uncle reward when the loser is later referenced."""
+    tree = BlockTree()
+    winner = _child(tree.genesis, miner="Pool", salt=0)
+    loser = _child(tree.genesis, miner="Pool", salt=1)
+    tree.add(winner)
+    tree.add(loser)
+    citing = _child(winner, miner="Pool", uncles=[loser.block_hash])
+    tree.add(citing)
+    ledger = ledger_for_chain(tree)
+    expected = (
+        2 * BLOCK_REWARD_ETH  # two main blocks
+        + 7 / 8 * BLOCK_REWARD_ETH  # uncle reward for the losing variant
+        + BLOCK_REWARD_ETH / 32  # nephew bonus for citing it
+    )
+    assert ledger["Pool"] == pytest.approx(expected)

@@ -1,0 +1,56 @@
+"""Tests for the transaction model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.transaction import DEFAULT_TX_SIZE, Transaction
+
+
+def test_hash_is_deterministic():
+    assert Transaction("alice", 3).tx_hash == Transaction("alice", 3).tx_hash
+
+
+def test_hash_distinguishes_senders_and_nonces():
+    hashes = {
+        Transaction("alice", 0).tx_hash,
+        Transaction("alice", 1).tx_hash,
+        Transaction("bob", 0).tx_hash,
+    }
+    assert len(hashes) == 3
+
+
+def test_hash_has_hex_prefix():
+    assert Transaction("alice", 0).tx_hash.startswith("0x")
+
+
+def test_defaults():
+    tx = Transaction("alice", 0)
+    assert tx.size_bytes == DEFAULT_TX_SIZE
+    assert tx.gas_used == 21_000
+    assert tx.created_at == 0.0
+
+
+def test_negative_nonce_rejected():
+    with pytest.raises(ValueError):
+        Transaction("alice", -1)
+
+
+def test_explicit_hash_preserved():
+    tx = Transaction("alice", 0, tx_hash="0xcustom")
+    assert tx.tx_hash == "0xcustom"
+
+
+def test_repr_is_compact():
+    assert repr(Transaction("alice", 7)) == "Tx(alice#7)"
+
+
+def test_transactions_are_frozen():
+    tx = Transaction("alice", 0)
+    with pytest.raises(AttributeError):
+        tx.nonce = 5  # type: ignore[misc]
+
+
+def test_equality_by_value():
+    assert Transaction("alice", 0) == Transaction("alice", 0)
+    assert Transaction("alice", 0) != Transaction("alice", 1)

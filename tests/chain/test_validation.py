@@ -1,0 +1,166 @@
+"""Tests for block/transaction validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.block import Block
+from repro.chain.forkchoice import BlockTree
+from repro.chain.transaction import Transaction
+from repro.chain.validation import (
+    ValidationConfig,
+    validate_block,
+    validate_transaction,
+    validation_delay,
+)
+from repro.errors import ValidationError
+
+
+@pytest.fixture()
+def tree() -> BlockTree:
+    return BlockTree()
+
+
+def _child(parent: Block, **overrides) -> Block:
+    fields = dict(
+        height=parent.height + 1,
+        parent_hash=parent.block_hash,
+        miner="A",
+        difficulty=100.0,
+        timestamp=parent.timestamp + 13.3,
+    )
+    fields.update(overrides)
+    return Block(**fields)
+
+
+def test_valid_block_passes(tree):
+    validate_block(_child(tree.genesis), tree)
+
+
+def test_unknown_parent_rejected(tree):
+    block = Block(
+        height=1, parent_hash="0xmissing", miner="A", difficulty=1.0, timestamp=1.0
+    )
+    with pytest.raises(ValidationError):
+        validate_block(block, tree)
+
+
+def test_wrong_height_rejected(tree):
+    block = _child(tree.genesis, height=9)
+    with pytest.raises(ValidationError):
+        validate_block(block, tree)
+
+
+def test_backwards_timestamp_rejected(tree):
+    block = _child(tree.genesis, timestamp=-5.0)
+    with pytest.raises(ValidationError):
+        validate_block(block, tree)
+
+
+def test_gas_over_limit_rejected(tree):
+    txs = tuple(Transaction(f"s{i}", 0, gas_used=1_000_000) for i in range(9))
+    block = _child(tree.genesis, transactions=txs, gas_limit=8_000_000)
+    with pytest.raises(ValidationError):
+        validate_block(block, tree)
+
+
+def test_non_positive_difficulty_rejected(tree):
+    block = _child(tree.genesis, difficulty=0.0)
+    with pytest.raises(ValidationError):
+        validate_block(block, tree)
+
+
+def test_unknown_uncle_rejected(tree):
+    block = _child(tree.genesis, uncle_hashes=("0xghost",))
+    with pytest.raises(ValidationError):
+        validate_block(block, tree)
+
+
+def test_ancestor_as_uncle_rejected(tree):
+    a = _child(tree.genesis)
+    tree.add(a)
+    block = _child(a, uncle_hashes=(a.block_hash,))
+    with pytest.raises(ValidationError):
+        validate_block(block, tree)
+
+
+def test_same_height_uncle_rejected(tree):
+    """Regression for the one-miner fork bug: a block competing at the
+    new block's own height is never a valid uncle."""
+    a = _child(tree.genesis)
+    tree.add(a)
+    parent = _child(a, miner="B", salt=1)
+    tree.add(parent)
+    competitor_at_same_height = _child(parent, miner="C", salt=2)
+    tree.add(competitor_at_same_height)
+    block = _child(parent, uncle_hashes=(competitor_at_same_height.block_hash,), salt=3)
+    with pytest.raises(ValidationError):
+        validate_block(block, tree)
+
+
+def test_valid_uncle_accepted(tree):
+    a = _child(tree.genesis)
+    tree.add(a)
+    fork = _child(tree.genesis, miner="F", salt=1)
+    tree.add(fork)
+    block = _child(a, uncle_hashes=(fork.block_hash,))
+    validate_block(block, tree)
+
+
+def test_too_old_uncle_rejected(tree):
+    old_fork = _child(tree.genesis, miner="F", salt=1)
+    tree.add(old_fork)
+    head = tree.genesis
+    for index in range(8):
+        head_block = _child(head, salt=10 + index)
+        tree.add(head_block)
+        head = head_block
+    block = _child(head, uncle_hashes=(old_fork.block_hash,))
+    with pytest.raises(ValidationError):
+        validate_block(block, tree)
+
+
+def test_duplicate_uncles_rejected(tree):
+    a = _child(tree.genesis)
+    tree.add(a)
+    fork = _child(tree.genesis, miner="F", salt=1)
+    tree.add(fork)
+    block = _child(a, uncle_hashes=(fork.block_hash, fork.block_hash))
+    with pytest.raises(ValidationError):
+        validate_block(block, tree)
+
+
+def test_transaction_field_validation():
+    validate_transaction(Transaction("a", 0))
+    with pytest.raises(ValidationError):
+        validate_transaction(Transaction("a", 0, gas_price=-1.0))
+    with pytest.raises(ValidationError):
+        validate_transaction(Transaction("a", 0, size_bytes=0))
+
+
+def test_validation_delay_scales_with_gas(tree):
+    config = ValidationConfig(seconds_per_gas=1e-6, verify_overhead=0.01)
+    empty = _child(tree.genesis)
+    full = _child(
+        tree.genesis,
+        transactions=(Transaction("a", 0, gas_used=100_000),),
+        salt=1,
+    )
+    assert validation_delay(empty, config) == pytest.approx(0.01)
+    assert validation_delay(full, config) == pytest.approx(0.11)
+
+
+def test_empty_blocks_validate_faster_than_full():
+    """The propagation head-start that §III-C3 says motivates empty-block
+    mining."""
+    empty = Block(height=1, parent_hash="0xp", miner="A", difficulty=1.0, timestamp=1.0)
+    full = Block(
+        height=1,
+        parent_hash="0xp",
+        miner="A",
+        difficulty=1.0,
+        timestamp=1.0,
+        transactions=(Transaction("a", 0, gas_used=2_000_000),),
+        salt=1,
+    )
+    assert validation_delay(empty) < validation_delay(full)

@@ -1,0 +1,31 @@
+"""Shared fixtures.
+
+The expensive fixture is ``small_dataset``: one seconds-scale campaign,
+session-scoped, shared by the integration and analysis smoke tests.
+Unit tests build their own tiny worlds instead.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+# Make tests/helpers.py importable from any test package.
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.experiments.presets import small_campaign
+from repro.measurement.campaign import Campaign
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A complete small campaign dataset (≈30 blocks, 5 vantages)."""
+    return Campaign(small_campaign(seed=11)).run()
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

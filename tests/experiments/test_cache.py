@@ -1,0 +1,48 @@
+"""Tests for campaign dataset caching."""
+
+from __future__ import annotations
+
+from repro.experiments import cache
+from repro.measurement.dataset import MeasurementDataset
+
+
+def test_memory_cache_returns_same_object():
+    cache.clear_memory_cache()
+    a = cache.campaign_dataset("small", seed=21)
+    b = cache.campaign_dataset("small", seed=21)
+    assert a is b
+    cache.clear_memory_cache()
+
+
+def test_different_seed_different_dataset():
+    cache.clear_memory_cache()
+    a = cache.campaign_dataset("small", seed=22)
+    b = cache.campaign_dataset("small", seed=23)
+    assert a is not b
+    cache.clear_memory_cache()
+
+
+def test_disk_cache_round_trip(tmp_path):
+    cache.clear_memory_cache()
+    first = cache.campaign_dataset("small", seed=24, cache_dir=tmp_path, use_disk=True)
+    path = tmp_path / cache.cache_key("small", 24)
+    assert path.exists()
+    cache.clear_memory_cache()
+    second = cache.campaign_dataset(
+        "small", seed=24, cache_dir=tmp_path, use_disk=True
+    )
+    assert isinstance(second, MeasurementDataset)
+    assert second.chain.canonical_hashes == first.chain.canonical_hashes
+    cache.clear_memory_cache()
+
+
+def test_corrupt_disk_cache_regenerates(tmp_path):
+    cache.clear_memory_cache()
+    path = tmp_path / cache.cache_key("small", 25)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("")  # corrupt
+    dataset = cache.campaign_dataset(
+        "small", seed=25, cache_dir=tmp_path, use_disk=True
+    )
+    assert dataset.chain.blocks
+    cache.clear_memory_cache()

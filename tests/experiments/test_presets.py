@@ -1,0 +1,46 @@
+"""Tests for campaign presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.presets import (
+    large_campaign,
+    preset,
+    small_campaign,
+    standard_campaign,
+)
+
+
+def test_presets_scale_up():
+    small = small_campaign()
+    standard = standard_campaign()
+    large = large_campaign()
+    assert small.duration < standard.duration < large.duration
+    assert small.scenario.n_nodes < standard.scenario.n_nodes <= large.scenario.n_nodes
+
+
+def test_preset_lookup():
+    assert preset("small").duration == small_campaign().duration
+    assert preset("large", seed=7).scenario.seed == 7
+
+
+def test_unknown_preset_rejected():
+    with pytest.raises(ConfigurationError):
+        preset("gigantic")
+
+
+def test_presets_deploy_default_peer_vantage():
+    """Table II needs the subsidiary 25-peer vantage in every preset."""
+    for config in (small_campaign(), standard_campaign(), large_campaign()):
+        assert config.deploy_default_peer_vantage
+
+
+def test_presets_use_four_paper_vantages():
+    for config in (small_campaign(), standard_campaign(), large_campaign()):
+        assert len(config.vantage_regions) == 4
+
+
+def test_seed_propagates_to_scenario():
+    assert small_campaign(seed=42).scenario.seed == 42

@@ -1,0 +1,55 @@
+"""Tests for the experiment registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    all_experiment_ids,
+    get_experiment,
+)
+
+
+def test_every_paper_artifact_is_registered():
+    ids = set(all_experiment_ids())
+    assert {
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "table2",
+        "table3",
+        "oneminer",
+        "summary",
+        "txprop",
+        "censorship",
+        "decentralization",
+        "unclerule",
+    } <= ids
+
+
+def test_experiment_ids_are_unique():
+    ids = all_experiment_ids()
+    assert len(ids) == len(set(ids))
+
+
+def test_get_experiment():
+    experiment = get_experiment("fig1")
+    assert "propagation" in experiment.title.lower()
+    assert callable(experiment.run)
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(ConfigurationError):
+        get_experiment("fig99")
+
+
+def test_paper_values_present_for_all():
+    for experiment in EXPERIMENTS:
+        assert experiment.paper_values, experiment.experiment_id
+        assert experiment.title

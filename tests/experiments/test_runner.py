@@ -1,0 +1,34 @@
+"""Tests for the experiments runner CLI module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import main, run_experiment
+
+
+def test_run_experiment_renders_paper_values(small_dataset):
+    output = run_experiment("fig1", small_dataset)
+    assert "[fig1]" in output
+    assert "paper: median = 74 ms" in output
+    assert "Figure 1" in output
+
+
+def test_run_experiment_unknown_id(small_dataset):
+    with pytest.raises(ConfigurationError):
+        run_experiment("fig99", small_dataset)
+
+
+def test_main_validates_before_running():
+    """Unknown experiment ids must fail before the campaign is built."""
+    with pytest.raises(ConfigurationError):
+        main(["definitely-not-an-experiment", "--preset", "large"])
+
+
+def test_main_runs_selected_experiments(capsys):
+    code = main(["summary", "--preset", "small", "--seed", "95"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "[summary]" in out
+    assert "Campaign summary" in out

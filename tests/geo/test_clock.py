@@ -1,0 +1,62 @@
+"""Tests for the NTP clock model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geo.clock import NtpClock, NtpModelConfig, PerfectClock
+
+
+def test_offset_envelope_matches_paper_quantiles():
+    """|offset| < 10ms in ~90% and < 100ms in ~99% of clocks (§II)."""
+    rng = np.random.default_rng(0)
+    offsets = np.array([NtpClock(rng).offset for _ in range(20000)])
+    under_10ms = np.mean(np.abs(offsets) < 0.010)
+    under_100ms = np.mean(np.abs(offsets) < 0.100)
+    assert 0.85 <= under_10ms <= 0.95
+    assert under_100ms >= 0.975
+
+
+def test_offsets_are_centred():
+    rng = np.random.default_rng(1)
+    offsets = np.array([NtpClock(rng).offset for _ in range(5000)])
+    assert abs(offsets.mean()) < 0.005
+
+
+def test_read_applies_offset_plus_small_noise():
+    clock = NtpClock(np.random.default_rng(2))
+    readings = np.array([clock.read(100.0) for _ in range(200)])
+    assert readings.mean() == pytest.approx(100.0 + clock.offset, abs=0.001)
+    assert readings.std() < 0.005
+
+
+def test_read_is_monotone_in_true_time_for_well_synced_clock():
+    clock = NtpClock(
+        np.random.default_rng(3),
+        NtpModelConfig(reading_noise=0.0),
+    )
+    assert clock.read(10.0) < clock.read(20.0)
+
+
+def test_resync_redraws_offset():
+    clock = NtpClock(np.random.default_rng(4))
+    offsets = set()
+    for _ in range(10):
+        offsets.add(clock.offset)
+        clock.resync()
+    assert len(offsets) > 1
+
+
+def test_invalid_mixture_probabilities_rejected():
+    with pytest.raises(ConfigurationError):
+        NtpModelConfig(p_good=0.8, p_fair=0.3)
+    with pytest.raises(ConfigurationError):
+        NtpModelConfig(p_good=1.5)
+
+
+def test_perfect_clock_has_no_error():
+    clock = PerfectClock()
+    assert clock.read(123.456) == 123.456
+    assert clock.offset == 0.0

@@ -1,0 +1,56 @@
+"""Tests for the region model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geo.regions import (
+    DEFAULT_NODE_DISTRIBUTION,
+    VANTAGE_REGIONS,
+    Region,
+    RegionProfile,
+    normalized_shares,
+)
+
+
+def test_vantage_regions_match_paper():
+    assert set(VANTAGE_REGIONS) == {
+        Region.NORTH_AMERICA,
+        Region.EASTERN_ASIA,
+        Region.WESTERN_EUROPE,
+        Region.CENTRAL_EUROPE,
+    }
+
+
+def test_region_values_are_short_codes():
+    assert Region.NORTH_AMERICA.value == "NA"
+    assert Region.EASTERN_ASIA.value == "EA"
+
+
+def test_display_names_cover_every_region():
+    for region in Region:
+        assert region.display_name
+
+
+def test_default_distribution_sums_near_one():
+    total = sum(p.node_share for p in DEFAULT_NODE_DISTRIBUTION)
+    assert abs(total - 1.0) < 1e-9
+
+
+def test_normalized_shares_sum_to_one():
+    profiles = (
+        RegionProfile(Region.NORTH_AMERICA, 2.0),
+        RegionProfile(Region.EASTERN_ASIA, 6.0),
+    )
+    shares = normalized_shares(profiles)
+    assert shares[Region.NORTH_AMERICA] == pytest.approx(0.25)
+    assert shares[Region.EASTERN_ASIA] == pytest.approx(0.75)
+
+
+def test_normalized_shares_rejects_zero_total():
+    with pytest.raises(ValueError):
+        normalized_shares((RegionProfile(Region.OCEANIA, 0.0),))
+
+
+def test_region_is_str_enum():
+    assert Region("NA") is Region.NORTH_AMERICA

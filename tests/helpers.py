@@ -1,0 +1,152 @@
+"""Builders for synthetic measurement datasets.
+
+Analysis unit tests need datasets whose expected outputs are exact, so
+they construct records by hand instead of running a simulation.  The
+:class:`DatasetBuilder` keeps that construction readable: declare a chain,
+declare observations, get a dataset.
+"""
+
+from __future__ import annotations
+
+from repro.measurement.dataset import ChainSnapshot, MeasurementDataset
+from repro.measurement.records import (
+    BlockMessageRecord,
+    ChainBlockRecord,
+    TxReceptionRecord,
+)
+
+GENESIS_HASH = "0xgenesis"
+
+
+class DatasetBuilder:
+    """Fluent builder for hand-crafted measurement datasets."""
+
+    def __init__(
+        self,
+        vantages: dict[str, str] | None = None,
+        default_peer_vantage: str | None = None,
+        measurement_start: float = 0.0,
+    ) -> None:
+        self.dataset = MeasurementDataset(
+            vantage_regions=vantages
+            or {"NA": "NA", "EA": "EA", "WE": "WE", "CE": "CE"},
+            default_peer_vantage=default_peer_vantage,
+            reference_vantage="WE",
+            measurement_start=measurement_start,
+        )
+        self._chain_hashes: list[str] = [GENESIS_HASH]
+        self.dataset.chain = ChainSnapshot(
+            blocks={
+                GENESIS_HASH: ChainBlockRecord(
+                    block_hash=GENESIS_HASH,
+                    height=0,
+                    parent_hash="0x" + "00" * 16,
+                    miner="genesis",
+                    difficulty=1.0,
+                    timestamp=0.0,
+                    tx_hashes=(),
+                    uncle_hashes=(),
+                )
+            },
+            canonical_hashes=(GENESIS_HASH,),
+            head_hash=GENESIS_HASH,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Chain construction
+    # ------------------------------------------------------------------ #
+
+    def add_block(
+        self,
+        block_hash: str,
+        height: int,
+        miner: str,
+        parent_hash: str | None = None,
+        timestamp: float | None = None,
+        tx_hashes: tuple[str, ...] = (),
+        uncle_hashes: tuple[str, ...] = (),
+        canonical: bool = True,
+    ) -> "DatasetBuilder":
+        """Append a block to the snapshot (and main chain if canonical)."""
+        if parent_hash is None:
+            parent_hash = self._chain_hashes[-1]
+        if timestamp is None:
+            timestamp = 13.3 * height
+        record = ChainBlockRecord(
+            block_hash=block_hash,
+            height=height,
+            parent_hash=parent_hash,
+            miner=miner,
+            difficulty=100.0,
+            timestamp=timestamp,
+            tx_hashes=tx_hashes,
+            uncle_hashes=uncle_hashes,
+        )
+        self.dataset.chain.blocks[block_hash] = record
+        if canonical:
+            self._chain_hashes.append(block_hash)
+            self.dataset.chain.canonical_hashes = tuple(self._chain_hashes)
+            self.dataset.chain.head_hash = block_hash
+        return self
+
+    def add_main_chain(
+        self, miners: list[str], txs_per_block: int = 0
+    ) -> "DatasetBuilder":
+        """Add a whole main chain with optional synthetic transactions."""
+        for index, miner in enumerate(miners, start=1):
+            txs = tuple(
+                f"0xtx-{index}-{i}" for i in range(txs_per_block)
+            )
+            self.add_block(f"0xb{index}", index, miner, tx_hashes=txs)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Observations
+    # ------------------------------------------------------------------ #
+
+    def observe_block(
+        self,
+        vantage: str,
+        block_hash: str,
+        time: float,
+        height: int = 1,
+        direct: bool = True,
+        miner: str = "",
+        peer_id: int = 7,
+    ) -> "DatasetBuilder":
+        self.dataset.block_messages.append(
+            BlockMessageRecord(
+                vantage=vantage,
+                time=time,
+                block_hash=block_hash,
+                height=height,
+                direct=direct,
+                miner=miner,
+                peer_id=peer_id,
+            )
+        )
+        return self
+
+    def observe_tx(
+        self,
+        vantage: str,
+        tx_hash: str,
+        time: float,
+        sender: str = "s0",
+        nonce: int = 0,
+        peer_id: int = 7,
+    ) -> "DatasetBuilder":
+        self.dataset.tx_receptions.append(
+            TxReceptionRecord(
+                vantage=vantage,
+                time=time,
+                tx_hash=tx_hash,
+                sender=sender,
+                nonce=nonce,
+                peer_id=peer_id,
+            )
+        )
+        return self
+
+    def build(self) -> MeasurementDataset:
+        return self.dataset

@@ -1,0 +1,146 @@
+"""End-to-end integration tests over one shared small campaign.
+
+These assert the cross-module invariants the unit suites cannot see:
+the peer mesh forms, the chain converges across nodes, the vantage logs
+support every paper analysis, and the dataset survives a save/load
+round trip with analysis results intact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    block_propagation_delays,
+    commit_times,
+    empty_block_analysis,
+    first_reception_shares,
+    fork_analysis,
+    one_miner_forks,
+    pool_first_receptions,
+    reception_redundancy,
+    sequence_analysis,
+    study_summary,
+)
+from repro.measurement.dataset import MeasurementDataset
+
+
+def test_campaign_collects_every_record_kind(small_dataset):
+    assert small_dataset.block_messages
+    assert small_dataset.block_imports
+    assert small_dataset.tx_receptions
+    assert small_dataset.connections
+    assert small_dataset.chain.blocks
+
+
+def test_all_five_vantages_observed_blocks(small_dataset):
+    vantages_seen = {record.vantage for record in small_dataset.block_messages}
+    assert vantages_seen == set(small_dataset.vantages)
+
+
+def test_main_chain_grows_at_roughly_target_rate(small_dataset):
+    summary = study_summary(small_dataset)
+    # 13.3s target; Poisson noise over ~30 blocks is wide but bounded.
+    assert 7.0 < summary.mean_inter_block < 25.0
+
+
+def test_most_observed_txs_commit(small_dataset):
+    summary = study_summary(small_dataset)
+    assert summary.committed_share > 0.5
+
+
+def test_propagation_analysis_runs(small_dataset):
+    result = block_propagation_delays(small_dataset)
+    assert result.summary.median < 1.0  # well under the inter-block time
+    assert result.blocks_used > 10
+
+
+def test_redundancy_analysis_runs(small_dataset):
+    result = reception_redundancy(small_dataset)
+    combined = result.row("Both combined")
+    assert combined.average >= 1.0
+
+
+def test_geography_analysis_runs(small_dataset):
+    result = first_reception_shares(small_dataset)
+    assert sum(result.shares.values()) == pytest.approx(1.0)
+    pools = pool_first_receptions(small_dataset)
+    assert pools.blocks_used > 0
+
+
+def test_commit_analysis_runs(small_dataset):
+    result = commit_times(small_dataset)
+    assert result.txs_used > 0
+    assert result.inclusion.quantile(0.5) > 0
+    if 3 in result.confirmations:
+        assert result.confirmations[3].quantile(0.5) > result.inclusion.quantile(0.5)
+
+
+def test_empty_block_analysis_runs(small_dataset):
+    result = empty_block_analysis(small_dataset)
+    assert result.total_blocks > 10
+
+
+def test_fork_and_sequence_analyses_run(small_dataset):
+    forks = fork_analysis(small_dataset)
+    assert forks.main_share > 0.8
+    one_miner_forks(small_dataset)  # must not raise
+    runs = sequence_analysis(small_dataset)
+    assert runs.chain_length == forks.main_blocks
+
+
+def test_every_vantage_chain_view_converges(small_dataset):
+    """The reference snapshot's canonical prefix must be stable: all
+    canonical hashes below the head's last few blocks are final."""
+    canonical = small_dataset.chain.canonical_hashes
+    assert len(canonical) > 10
+    heights = [small_dataset.chain.blocks[h].height for h in canonical]
+    assert heights == sorted(heights)
+    assert heights == list(range(len(heights)))
+
+
+def test_dataset_round_trip_preserves_analysis_results(small_dataset, tmp_path):
+    path = tmp_path / "dataset.jsonl"
+    small_dataset.save(path)
+    restored = MeasurementDataset.load(path)
+    original = block_propagation_delays(small_dataset)
+    reloaded = block_propagation_delays(restored)
+    assert reloaded.summary.median == pytest.approx(original.summary.median)
+    assert reloaded.blocks_used == original.blocks_used
+
+
+def test_experiment_runner_renders_all(small_dataset):
+    from repro.experiments.registry import EXPERIMENTS
+
+    for experiment in EXPERIMENTS:
+        result = experiment.run(small_dataset)
+        rendered = result.render()
+        assert isinstance(rendered, str) and rendered
+
+
+def test_overlay_is_geography_blind_in_live_campaign():
+    """§III-B1's structural premise holds in a full campaign world."""
+    from repro.experiments.presets import small_campaign
+    from repro.measurement.campaign import Campaign
+    from repro.p2p.topology import analyze_topology
+
+    campaign = Campaign(small_campaign(seed=66))
+    campaign.deploy()
+    assert campaign.scenario is not None
+    campaign.scenario.start()
+    for vantage in campaign.vantages.values():
+        vantage.start()
+    campaign.scenario.run_for(30.0)
+    report = analyze_topology(campaign.scenario.network)
+    assert report.connected
+    assert report.geography_blind
+
+
+def test_gas_utilization_reflects_standing_backlog(small_dataset):
+    from repro.analysis.gas import gas_utilization
+    from repro.experiments.presets import small_campaign
+
+    gas_limit = small_campaign().scenario.gas_limit
+    result = gas_utilization(small_dataset, gas_limit)
+    assert result.mean_utilization > 0.4
+    assert result.blocks > 10

@@ -1,0 +1,51 @@
+"""Smoke tests: the shipped examples must run to completion.
+
+These invoke the example scripts in-process (import-free, via runpy) so
+a broken public API surfaces as a failing test, not a broken README.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run_example(name: str, argv: list[str] | None = None) -> None:
+    script = EXAMPLES / name
+    assert script.exists(), f"missing example {name}"
+    old_argv = sys.argv
+    sys.argv = [str(script), *(argv or [])]
+    try:
+        runpy.run_path(str(script), run_name="__main__")
+    except SystemExit as exit_info:  # geo_vantage_study exits explicitly
+        assert exit_info.code in (0, None)
+    finally:
+        sys.argv = old_argv
+
+
+def test_confirmation_rule_example(capsys):
+    _run_example("confirmation_rule.py")
+    out = capsys.readouterr().out
+    assert "Whole-history lookback" in out
+    assert "Confirmations needed" in out
+
+
+@pytest.mark.slow
+def test_quickstart_example(capsys):
+    _run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "Block propagation" in out
+    assert "Figure 2" in out
+
+
+@pytest.mark.slow
+def test_selfish_pools_example(capsys):
+    _run_example("selfish_pools.py")
+    out = capsys.readouterr().out
+    assert "SelfishPool" in out
+    assert "ETH" in out

@@ -1,0 +1,110 @@
+"""Tests for campaign orchestration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geo.regions import Region
+from repro.measurement.campaign import (
+    DEFAULT_PEER_VANTAGE_NAME,
+    Campaign,
+    CampaignConfig,
+    vantage_name,
+)
+from repro.node.pool import PoolSpec
+from repro.workload.scenarios import ScenarioConfig
+from repro.workload.transactions import WorkloadConfig
+
+
+def _tiny_campaign(**overrides) -> CampaignConfig:
+    scenario = ScenarioConfig(
+        seed=2,
+        n_nodes=8,
+        pool_specs=(
+            PoolSpec(name="A", hashpower=0.7, home_region=Region.EASTERN_ASIA),
+            PoolSpec(name="B", hashpower=0.3, home_region=Region.NORTH_AMERICA),
+        ),
+        workload=WorkloadConfig(tx_rate=0.5, senders=10),
+        warmup=10.0,
+    )
+    defaults = dict(scenario=scenario, duration=150.0, perfect_clocks=True)
+    defaults.update(overrides)
+    return CampaignConfig(**defaults)
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        CampaignConfig(duration=0)
+    with pytest.raises(ConfigurationError):
+        CampaignConfig(vantage_regions=())
+
+
+def test_vantage_name_uses_region_code():
+    assert vantage_name(Region.EASTERN_ASIA) == "EA"
+
+
+def test_deploy_creates_vantages_and_default_peer_node():
+    campaign = Campaign(_tiny_campaign())
+    campaign.deploy()
+    assert set(campaign.vantages) == {"NA", "EA", "WE", "CE", DEFAULT_PEER_VANTAGE_NAME}
+
+
+def test_deploy_without_default_peer_vantage():
+    campaign = Campaign(_tiny_campaign(deploy_default_peer_vantage=False))
+    campaign.deploy()
+    assert DEFAULT_PEER_VANTAGE_NAME not in campaign.vantages
+
+
+def test_deploy_is_idempotent():
+    campaign = Campaign(_tiny_campaign())
+    campaign.deploy()
+    campaign.deploy()
+    assert len(campaign.vantages) == 5
+
+
+def test_duplicate_vantage_region_rejected():
+    config = _tiny_campaign(
+        vantage_regions=(Region.EASTERN_ASIA, Region.EASTERN_ASIA)
+    )
+    with pytest.raises(ConfigurationError):
+        Campaign(config).deploy()
+
+
+def test_run_produces_complete_dataset():
+    dataset = Campaign(_tiny_campaign()).run()
+    assert dataset.measurement_start == pytest.approx(10.0)
+    assert dataset.block_messages
+    assert dataset.tx_receptions
+    assert dataset.block_imports
+    assert dataset.connections
+    assert dataset.chain.blocks
+    assert dataset.chain.canonical_hashes
+    assert dataset.reference_vantage == "WE"
+    assert dataset.default_peer_vantage == DEFAULT_PEER_VANTAGE_NAME
+
+
+def test_reference_vantage_override():
+    dataset = Campaign(_tiny_campaign(reference_vantage="EA")).run()
+    assert dataset.reference_vantage == "EA"
+
+
+def test_unknown_reference_vantage_rejected():
+    campaign = Campaign(_tiny_campaign(reference_vantage="XX"))
+    with pytest.raises(ConfigurationError):
+        campaign.run()
+
+
+def test_chain_snapshot_matches_reference_tree():
+    campaign = Campaign(_tiny_campaign())
+    dataset = campaign.run()
+    reference = campaign.vantages[dataset.reference_vantage]
+    assert len(dataset.chain.blocks) == len(reference.tree)
+    assert dataset.chain.head_hash == reference.tree.head.block_hash
+
+
+def test_determinism_same_seed_same_chain():
+    a = Campaign(_tiny_campaign()).run()
+    b = Campaign(_tiny_campaign()).run()
+    assert a.chain.canonical_hashes == b.chain.canonical_hashes
+    assert len(a.block_messages) == len(b.block_messages)

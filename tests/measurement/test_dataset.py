@@ -1,0 +1,101 @@
+"""Tests for the measurement dataset container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.measurement.dataset import MeasurementDataset
+from repro.measurement.logger import MeasurementLog
+
+from helpers import DatasetBuilder
+
+
+def _dataset_with_data() -> MeasurementDataset:
+    builder = DatasetBuilder(default_peer_vantage=None)
+    builder.add_main_chain(["A", "B", "A"], txs_per_block=2)
+    builder.observe_block("WE", "0xb1", 13.3)
+    builder.observe_block("EA", "0xb1", 13.25)
+    builder.observe_tx("WE", "0xtx-1-0", 5.0)
+    return builder.build()
+
+
+def test_absorb_log_flattens_records():
+    dataset = MeasurementDataset(vantage_regions={"WE": "WE"})
+    log = MeasurementLog("WE")
+    log.log_block_message(1.0, "0xb", 1, True, "A", 1)
+    log.log_transaction(1.0, "0xt", "alice", 0, 1)
+    log.log_transaction(2.0, "0xt", "alice", 0, 2)  # duplicate
+    log.log_connection(0.0, 1, False)
+    dataset.absorb_log(log)
+    assert len(dataset.block_messages) == 1
+    assert len(dataset.tx_receptions) == 1
+    assert len(dataset.connections) == 1
+    assert dataset.tx_duplicate_counts["WE"] == 1
+
+
+def test_primary_vantages_exclude_default_peer_node():
+    dataset = MeasurementDataset(
+        vantage_regions={"WE": "WE", "EA": "EA", "WE-default": "WE"},
+        default_peer_vantage="WE-default",
+    )
+    assert dataset.primary_vantages == ["WE", "EA"]
+
+
+def test_require_vantages():
+    dataset = MeasurementDataset(vantage_regions={"WE": "WE"})
+    dataset.require_vantages(1)
+    with pytest.raises(DatasetError):
+        dataset.require_vantages(2)
+
+
+def test_chain_snapshot_helpers():
+    dataset = _dataset_with_data()
+    chain = dataset.chain
+    assert [block.height for block in chain.canonical_blocks] == [0, 1, 2, 3]
+    assert chain.canonical_set == set(chain.canonical_hashes)
+    assert chain.non_canonical_blocks() == []
+
+
+def test_referenced_uncles():
+    builder = DatasetBuilder()
+    builder.add_block("0xmain1", 1, "A")
+    builder.add_block("0xfork", 1, "B", parent_hash="0xgenesis", canonical=False)
+    builder.add_block("0xmain2", 2, "A", uncle_hashes=("0xfork",))
+    dataset = builder.build()
+    assert dataset.chain.referenced_uncles() == {"0xfork"}
+    assert [b.block_hash for b in dataset.chain.non_canonical_blocks()] == ["0xfork"]
+
+
+def test_save_load_round_trip(tmp_path):
+    dataset = _dataset_with_data()
+    dataset.tx_duplicate_counts["WE"] = 7
+    path = tmp_path / "campaign.jsonl"
+    dataset.save(path)
+    restored = MeasurementDataset.load(path)
+    assert restored.vantage_regions == dataset.vantage_regions
+    assert restored.reference_vantage == dataset.reference_vantage
+    assert restored.block_messages == dataset.block_messages
+    assert restored.tx_receptions == dataset.tx_receptions
+    assert restored.chain.canonical_hashes == dataset.chain.canonical_hashes
+    assert restored.chain.blocks == dataset.chain.blocks
+    assert restored.tx_duplicate_counts == {"WE": 7}
+
+
+def test_load_missing_file_raises(tmp_path):
+    with pytest.raises(DatasetError):
+        MeasurementDataset.load(tmp_path / "nope.jsonl")
+
+
+def test_load_empty_file_raises(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    with pytest.raises(DatasetError):
+        MeasurementDataset.load(path)
+
+
+def test_load_missing_header_raises(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"_type": "ConnectionRecord"}\n')
+    with pytest.raises(DatasetError):
+        MeasurementDataset.load(path)

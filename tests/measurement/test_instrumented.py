@@ -1,0 +1,139 @@
+"""Tests for the instrumented measurement node."""
+
+from __future__ import annotations
+
+from repro.chain.block import Block
+from repro.chain.transaction import Transaction
+from repro.geo.latency import LatencyModel, LatencyModelConfig
+from repro.geo.regions import Region
+from repro.measurement.instrumented import InstrumentedNode
+from repro.node.node import ProtocolNode
+from repro.p2p.network import Network
+from repro.sim.engine import Simulator
+
+
+def _world(seed: int = 0):
+    simulator = Simulator(seed=seed)
+    network = Network(
+        simulator,
+        LatencyModel(simulator.rng.stream("lat"), LatencyModelConfig(jitter_sigma=0.0)),
+    )
+    peer = ProtocolNode(network, Region.EASTERN_ASIA, name="peer")
+    vantage = InstrumentedNode(
+        network, Region.WESTERN_EUROPE, name="WE", perfect_clock=True
+    )
+    network.connect(peer.node_id, vantage.node_id)
+    return simulator, network, peer, vantage
+
+
+def _block(node: ProtocolNode, txs=()) -> Block:
+    head = node.tree.head
+    return Block(
+        height=head.height + 1,
+        parent_hash=head.block_hash,
+        miner="PoolX",
+        difficulty=100.0,
+        timestamp=node.simulator.now,
+        transactions=tuple(txs),
+    )
+
+
+def test_logs_connections():
+    _, _, peer, vantage = _world()
+    assert len(vantage.log.connections) == 1
+    assert vantage.log.connections[0].peer_id == peer.node_id
+
+
+def test_logs_incoming_block_messages():
+    simulator, _, peer, vantage = _world()
+    block = _block(peer)
+    peer.inject_block(block)
+    simulator.run(until=10.0)
+    messages = [
+        record
+        for record in vantage.log.block_messages
+        if record.block_hash == block.block_hash
+    ]
+    assert messages
+    assert messages[0].height == block.height
+
+
+def test_direct_messages_carry_miner_announcements_do_not():
+    simulator, _, peer, vantage = _world()
+    block = _block(peer)
+    peer.inject_block(block)
+    simulator.run(until=10.0)
+    for record in vantage.log.block_messages:
+        if record.direct:
+            assert record.miner == "PoolX"
+        else:
+            assert record.miner == ""
+
+
+def test_logs_block_imports_with_tx_hashes():
+    simulator, _, peer, vantage = _world()
+    tx = Transaction("alice", 0)
+    block = _block(peer, txs=[tx])
+    peer.inject_block(block)
+    simulator.run(until=10.0)
+    imports = [
+        record
+        for record in vantage.log.block_imports
+        if record.block_hash == block.block_hash
+    ]
+    assert imports and imports[0].tx_hashes == (tx.tx_hash,)
+
+
+def test_logs_first_tx_reception():
+    simulator, _, peer, vantage = _world()
+    tx = Transaction("alice", 0)
+    peer.submit_transaction(tx)
+    simulator.run(until=10.0)
+    assert [record.tx_hash for record in vantage.log.tx_receptions] == [tx.tx_hash]
+
+
+def test_vantage_behaviour_is_indistinguishable():
+    """The instrumented node must relay exactly like a regular client:
+    a third node connected only to the vantage still gets the block."""
+    simulator, network, peer, vantage = _world()
+    downstream = ProtocolNode(network, Region.NORTH_AMERICA, name="down")
+    network.connect(vantage.node_id, downstream.node_id)
+    block = _block(peer)
+    peer.inject_block(block)
+    simulator.run(until=20.0)
+    assert block.block_hash in downstream.tree
+
+
+def test_ntp_clock_offsets_logged_timestamps():
+    simulator = Simulator(seed=1)
+    network = Network(
+        simulator,
+        LatencyModel(simulator.rng.stream("lat"), LatencyModelConfig(jitter_sigma=0.0)),
+    )
+    peer = ProtocolNode(network, Region.EASTERN_ASIA)
+    vantage = InstrumentedNode(network, Region.WESTERN_EUROPE, name="WE")
+    network.connect(peer.node_id, vantage.node_id)
+    block = _block(peer)
+    peer.inject_block(block)
+    simulator.run(until=10.0)
+    record = vantage.log.block_messages[0]
+    # Logged time differs from true time by the clock offset (± noise).
+    assert record.time != 0.0
+    assert abs(record.time - vantage.clock.offset) < 10.0
+
+
+def test_ntp_clock_resyncs_periodically():
+    """The clock offset must wander over a campaign rather than bias a
+    vantage for the whole window (ntpd re-syncs every 64-1024s)."""
+    simulator = Simulator(seed=5)
+    network = Network(
+        simulator,
+        LatencyModel(simulator.rng.stream("lat"), LatencyModelConfig(jitter_sigma=0.0)),
+    )
+    vantage = InstrumentedNode(network, Region.WESTERN_EUROPE, name="WE")
+    vantage.start()
+    offsets = {vantage.clock.offset}
+    for _ in range(5):
+        simulator.run(until=simulator.now + 300.0)
+        offsets.add(vantage.clock.offset)
+    assert len(offsets) > 2

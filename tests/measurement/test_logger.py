@@ -1,0 +1,50 @@
+"""Tests for the per-vantage measurement log."""
+
+from __future__ import annotations
+
+from repro.measurement.logger import MeasurementLog
+
+
+def test_block_message_logging():
+    log = MeasurementLog("WE")
+    log.log_block_message(1.0, "0xb", 5, direct=True, miner="A", peer_id=3)
+    assert len(log.block_messages) == 1
+    record = log.block_messages[0]
+    assert record.vantage == "WE"
+    assert record.direct
+
+
+def test_duplicate_txs_counted_not_stored():
+    log = MeasurementLog("WE")
+    assert log.log_transaction(1.0, "0xt", "alice", 0, 3)
+    assert not log.log_transaction(2.0, "0xt", "alice", 0, 4)
+    assert len(log.tx_receptions) == 1
+    assert log.tx_duplicate_count == 1
+
+
+def test_distinct_txs_all_stored():
+    log = MeasurementLog("WE")
+    for index in range(5):
+        assert log.log_transaction(float(index), f"0xt{index}", "alice", index, 3)
+    assert len(log.tx_receptions) == 5
+    assert log.tx_duplicate_count == 0
+
+
+def test_block_import_logging():
+    log = MeasurementLog("WE")
+    log.log_block_import(
+        2.0, "0xb", 5, "0xp", "A", 100.0, 21_000, ("0xt",), ()
+    )
+    assert log.block_imports[0].tx_hashes == ("0xt",)
+
+
+def test_connection_logging():
+    log = MeasurementLog("WE")
+    log.log_connection(0.5, 42, inbound=True)
+    assert log.connections[0].inbound
+
+
+def test_repr_summarises_counts():
+    log = MeasurementLog("WE")
+    log.log_transaction(1.0, "0xt", "alice", 0, 3)
+    assert "1 txs" in repr(log)

@@ -1,0 +1,88 @@
+"""Tests for dataset merging."""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import DatasetBuilder
+
+from repro.errors import DatasetError
+from repro.measurement.merge import merge_datasets
+
+
+def _window(vantage: str, block_time: float, chain_miners: list[str]):
+    builder = DatasetBuilder(vantages={vantage: vantage})
+    builder.add_main_chain(chain_miners)
+    builder.observe_block(vantage, "0xb1", block_time)
+    builder.observe_tx(vantage, "0xt-" + vantage, block_time + 1.0)
+    return builder.build()
+
+
+def test_merge_requires_input():
+    with pytest.raises(DatasetError):
+        merge_datasets([])
+
+
+def test_merge_single_dataset_is_identity():
+    dataset = _window("WE", 13.4, ["A"])
+    assert merge_datasets([dataset]) is dataset
+
+
+def test_merge_unions_vantages_and_records():
+    a = _window("WE", 13.4, ["A", "B"])
+    b = _window("EA", 13.35, ["A", "B"])
+    merged = merge_datasets([a, b])
+    assert set(merged.vantage_regions) == {"WE", "EA"}
+    assert len(merged.block_messages) == 2
+    assert len(merged.tx_receptions) == 2
+
+
+def test_merge_takes_longest_chain():
+    a = _window("WE", 13.4, ["A"])
+    b = _window("EA", 13.35, ["A", "B", "C"])
+    merged = merge_datasets([a, b])
+    assert len(merged.chain.canonical_hashes) == 4  # genesis + 3
+
+
+def test_merge_rejects_different_worlds():
+    a = _window("WE", 13.4, ["A", "B"])
+    other = DatasetBuilder(vantages={"EA": "EA"})
+    other.add_block("0xalien1", 1, "X")
+    other.add_block("0xalien2", 2, "Y")
+    with pytest.raises(DatasetError):
+        merge_datasets([a, other.build()])
+
+
+def test_merge_deduplicates_identical_records():
+    a = _window("WE", 13.4, ["A"])
+    merged = merge_datasets([a, a])
+    assert len(merged.block_messages) == 1
+    assert len(merged.tx_receptions) == 1
+
+
+def test_merge_sorts_records_by_time():
+    a = _window("WE", 99.0, ["A", "B"])
+    b = _window("EA", 13.35, ["A", "B"])
+    merged = merge_datasets([a, b])
+    times = [record.time for record in merged.block_messages]
+    assert times == sorted(times)
+
+
+def test_merge_sums_duplicate_counts():
+    a = _window("WE", 13.4, ["A"])
+    a.tx_duplicate_counts["WE"] = 5
+    b = _window("WE", 14.0, ["A"])
+    b.tx_duplicate_counts["WE"] = 7
+    merged = merge_datasets([a, b])
+    assert merged.tx_duplicate_counts["WE"] == 12
+
+
+def test_merge_enables_cross_campaign_analysis():
+    """A merged two-vantage dataset supports the geographic analysis."""
+    from repro.analysis.geography import first_reception_shares
+
+    a = _window("WE", 13.40, ["A", "B"])
+    b = _window("EA", 13.35, ["A", "B"])
+    merged = merge_datasets([a, b])
+    result = first_reception_shares(merged)
+    assert result.shares["EA"] == 1.0

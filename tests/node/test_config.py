@@ -1,0 +1,48 @@
+"""Tests for node configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.node.config import (
+    DEFAULT_MAX_PEERS,
+    UNLIMITED_PEERS,
+    NodeConfig,
+    measurement_node_config,
+)
+
+
+def test_default_matches_geth():
+    config = NodeConfig()
+    assert config.max_peers == DEFAULT_MAX_PEERS == 25
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        NodeConfig(max_peers=0)
+    with pytest.raises(ConfigurationError):
+        NodeConfig(target_outbound=0)
+    with pytest.raises(ConfigurationError):
+        NodeConfig(tx_flush_interval=0)
+    with pytest.raises(ConfigurationError):
+        NodeConfig(fetch_timeout=0)
+
+
+def test_measurement_config_unlimited():
+    """§II: the main vantages ran with unlimited peers."""
+    config = measurement_node_config(unlimited=True)
+    assert config.max_peers == UNLIMITED_PEERS
+    assert config.target_outbound > DEFAULT_MAX_PEERS
+
+
+def test_measurement_config_default_peer_variant():
+    """The Table II subsidiary client used Geth's default of 25 peers."""
+    config = measurement_node_config(unlimited=False)
+    assert config.max_peers == DEFAULT_MAX_PEERS
+
+
+def test_config_is_frozen():
+    config = NodeConfig()
+    with pytest.raises(AttributeError):
+        config.max_peers = 5  # type: ignore[misc]

@@ -1,0 +1,88 @@
+"""Tests for the global mining lottery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geo.latency import LatencyModel, LatencyModelConfig
+from repro.geo.regions import Region
+from repro.node.miner import MiningCoordinator
+from repro.node.node import ProtocolNode
+from repro.node.pool import MiningPool, PoolSpec
+from repro.p2p.network import Network
+from repro.sim.engine import Simulator
+
+
+def _coordinator(shares: dict[str, float], interval: float = 13.3, seed: int = 0):
+    simulator = Simulator(seed=seed)
+    network = Network(
+        simulator,
+        LatencyModel(simulator.rng.stream("lat"), LatencyModelConfig(jitter_sigma=0.0)),
+    )
+    pools = []
+    for name, share in shares.items():
+        spec = PoolSpec(name=name, hashpower=share, home_region=Region.EASTERN_ASIA)
+        gateway = ProtocolNode(network, Region.EASTERN_ASIA, name=f"gw-{name}")
+        pools.append(
+            MiningPool(spec, [gateway], rng=simulator.rng.stream(f"pool.{name}"))
+        )
+    return simulator, MiningCoordinator(simulator, pools, target_interval=interval)
+
+
+def test_requires_pools():
+    with pytest.raises(ConfigurationError):
+        MiningCoordinator(Simulator(), [], target_interval=10.0)
+
+
+def test_requires_positive_interval():
+    simulator, coordinator = _coordinator({"A": 0.5})
+    with pytest.raises(ConfigurationError):
+        MiningCoordinator(simulator, coordinator.pools, target_interval=0.0)
+
+
+def test_hashpower_over_one_rejected():
+    simulator, coordinator = _coordinator({"A": 0.6})
+    pools = coordinator.pools
+    with pytest.raises(ConfigurationError):
+        MiningCoordinator(simulator, pools * 2, target_interval=10.0)
+
+
+def test_block_rate_matches_target_interval():
+    simulator, coordinator = _coordinator({"A": 1.0}, interval=10.0, seed=3)
+    coordinator.start()
+    simulator.run(until=20_000.0)
+    expected = 20_000 / 10.0
+    assert abs(len(coordinator.wins) - expected) < 4 * np.sqrt(expected)
+
+
+def test_wins_split_by_hashpower():
+    simulator, coordinator = _coordinator({"Big": 0.75, "Small": 0.25}, interval=5.0, seed=4)
+    coordinator.start()
+    simulator.run(until=20_000.0)
+    counts = coordinator.wins_by_pool()
+    total = sum(counts.values())
+    big_share = counts["Big"] / total
+    assert abs(big_share - 0.75) < 0.05
+
+
+def test_win_records_carry_blocks():
+    simulator, coordinator = _coordinator({"A": 1.0}, interval=5.0)
+    coordinator.start()
+    simulator.run(until=100.0)
+    assert coordinator.wins
+    for record in coordinator.wins:
+        assert record.pool_name == "A"
+        assert record.blocks
+    assert coordinator.blocks_sealed >= len(coordinator.wins)
+
+
+def test_stop_halts_lottery():
+    simulator, coordinator = _coordinator({"A": 1.0}, interval=1.0)
+    coordinator.start()
+    simulator.run(until=50.0)
+    count = len(coordinator.wins)
+    coordinator.stop()
+    simulator.run(until=100.0)
+    assert len(coordinator.wins) == count

@@ -1,0 +1,220 @@
+"""Tests for the protocol node's dissemination behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.block import Block
+from repro.chain.transaction import Transaction
+from repro.geo.latency import LatencyModel, LatencyModelConfig
+from repro.geo.regions import Region
+from repro.node.config import NodeConfig
+from repro.node.node import ProtocolNode
+from repro.p2p.network import Network
+from repro.sim.engine import Simulator
+
+
+def _fabric(seed: int = 0) -> Network:
+    simulator = Simulator(seed=seed)
+    latency = LatencyModel(
+        simulator.rng.stream("latency"), LatencyModelConfig(jitter_sigma=0.0)
+    )
+    return Network(simulator, latency)
+
+
+def _node(network: Network, region: Region = Region.NORTH_AMERICA, **cfg) -> ProtocolNode:
+    config = NodeConfig(**cfg) if cfg else NodeConfig()
+    return ProtocolNode(network, region, config=config)
+
+
+def _mesh(network: Network, count: int) -> list[ProtocolNode]:
+    nodes = [_node(network) for _ in range(count)]
+    for i, a in enumerate(nodes):
+        for b in nodes[i + 1 :]:
+            network.connect(a.node_id, b.node_id)
+    return nodes
+
+
+def _block_on(node: ProtocolNode, miner: str = "M", salt: int = 0, txs=()) -> Block:
+    head = node.tree.head
+    return Block(
+        height=head.height + 1,
+        parent_hash=head.block_hash,
+        miner=miner,
+        difficulty=100.0,
+        timestamp=node.simulator.now,
+        transactions=tuple(txs),
+        salt=salt,
+    )
+
+
+def test_injected_block_reaches_all_peers():
+    network = _fabric()
+    nodes = _mesh(network, 5)
+    block = _block_on(nodes[0])
+    nodes[0].inject_block(block)
+    network.simulator.run(until=30.0)
+    for node in nodes:
+        assert block.block_hash in node.tree
+        assert node.tree.head.block_hash == block.block_hash
+
+
+def test_block_propagates_over_multiple_hops():
+    network = _fabric()
+    chain_nodes = [_node(network) for _ in range(6)]
+    for a, b in zip(chain_nodes, chain_nodes[1:]):
+        network.connect(a.node_id, b.node_id)  # a line topology
+    block = _block_on(chain_nodes[0])
+    chain_nodes[0].inject_block(block)
+    network.simulator.run(until=60.0)
+    assert block.block_hash in chain_nodes[-1].tree
+
+
+def test_duplicate_block_not_reimported():
+    network = _fabric()
+    nodes = _mesh(network, 3)
+    block = _block_on(nodes[0])
+    nodes[0].inject_block(block)
+    nodes[0].inject_block(block)  # duplicate injection
+    network.simulator.run(until=30.0)
+    assert len(nodes[0].tree) == 2  # genesis + block
+
+
+def test_orphan_waits_for_parent_then_imports():
+    network = _fabric()
+    node = _node(network)
+    parent = _block_on(node)
+    child = Block(
+        height=2,
+        parent_hash=parent.block_hash,
+        miner="M",
+        difficulty=100.0,
+        timestamp=1.0,
+    )
+    node.inject_block(child)  # arrives before its parent
+    network.simulator.run(until=5.0)
+    assert child.block_hash not in node.tree
+    node.inject_block(parent)
+    network.simulator.run(until=10.0)
+    assert parent.block_hash in node.tree
+    assert child.block_hash in node.tree
+    assert node.tree.head.block_hash == child.block_hash
+
+
+def test_fork_blocks_coexist_and_heaviest_wins():
+    network = _fabric()
+    nodes = _mesh(network, 3)
+    a = _block_on(nodes[0], miner="A", salt=0)
+    b = _block_on(nodes[1], miner="B", salt=1)
+    nodes[0].inject_block(a)
+    nodes[1].inject_block(b)
+    network.simulator.run(until=30.0)
+    for node in nodes:
+        assert a.block_hash in node.tree
+        assert b.block_hash in node.tree
+        assert len(node.tree.blocks_at_height(1)) == 2
+
+
+def test_transaction_gossip_reaches_all_nodes():
+    network = _fabric()
+    nodes = _mesh(network, 4)
+    tx = Transaction("alice", 0)
+    nodes[0].submit_transaction(tx)
+    network.simulator.run(until=30.0)
+    for node in nodes:
+        assert tx.tx_hash in node.mempool
+
+
+def test_transaction_not_echoed_back_forever():
+    network = _fabric()
+    nodes = _mesh(network, 3)
+    nodes[0].submit_transaction(Transaction("alice", 0))
+    network.simulator.run(until=60.0)
+    # Gossip must terminate: queue drains and no events remain.
+    assert network.simulator.pending_events == 0
+
+
+def test_submit_duplicate_transaction_ignored():
+    network = _fabric()
+    node = _node(network)
+    tx = Transaction("alice", 0)
+    node.submit_transaction(tx)
+    node.submit_transaction(tx)
+    assert len(node.mempool) == 1
+
+
+def test_reorg_reinjects_replaced_transactions():
+    network = _fabric()
+    node = _node(network)
+    tx = Transaction("alice", 0)
+    node.submit_transaction(tx)
+    light = _block_on(node, miner="A", salt=0, txs=[tx])
+    node.inject_block(light)
+    network.simulator.run(until=5.0)
+    assert tx.tx_hash not in node.mempool.pending
+    # A heavier competing block without the tx reorgs it out.
+    heavy = Block(
+        height=1,
+        parent_hash=node.tree.genesis.block_hash,
+        miner="B",
+        difficulty=500.0,
+        timestamp=1.0,
+        salt=1,
+    )
+    node.inject_block(heavy)
+    network.simulator.run(until=10.0)
+    assert node.tree.head.block_hash == heavy.block_hash
+    assert tx.tx_hash in node.mempool.pending
+
+
+def test_head_listeners_fire_on_head_change():
+    network = _fabric()
+    node = _node(network)
+    heads: list[str] = []
+    node.head_listeners.append(lambda block: heads.append(block.block_hash))
+    block = _block_on(node)
+    node.inject_block(block)
+    network.simulator.run(until=5.0)
+    assert heads == [block.block_hash]
+
+
+def test_dial_peers_respects_target_outbound():
+    network = _fabric()
+    nodes = [_node(network, target_outbound=3, max_peers=10) for _ in range(12)]
+    for node in nodes:
+        node.start()
+    assert all(len(node.peers) >= 3 for node in nodes)
+
+
+def test_dial_peers_respects_remote_capacity():
+    network = _fabric()
+    hub = _node(network, max_peers=2, target_outbound=1)
+    others = [_node(network, max_peers=10, target_outbound=5) for _ in range(8)]
+    for node in [hub, *others]:
+        node.start()
+    assert len(hub.peers) <= 2
+
+
+def test_status_handshake_triggers_sync():
+    """A freshly joined node pulls the head block it learns via Status."""
+    network = _fabric()
+    veteran = _node(network)
+    block = _block_on(veteran)
+    veteran.inject_block(block)
+    network.simulator.run(until=5.0)
+    newcomer = _node(network)
+    network.connect(newcomer.node_id, veteran.node_id)
+    network.simulator.run(until=30.0)
+    assert block.block_hash in newcomer.tree
+
+
+def test_validation_delay_defers_import():
+    network = _fabric()
+    node = _node(network)
+    txs = [Transaction(f"s{i}", 0, gas_used=200_000) for i in range(8)]
+    block = _block_on(node, txs=txs)
+    node.inject_block(block)
+    network.simulator.run(until=0.01)  # header check not even done
+    assert block.block_hash not in node.tree
+    network.simulator.run(until=5.0)
+    assert block.block_hash in node.tree

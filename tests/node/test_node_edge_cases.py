@@ -1,0 +1,156 @@
+"""Edge-case behaviour of the protocol node's fetch and relay paths."""
+
+from __future__ import annotations
+
+from repro.chain.block import Block
+from repro.geo.latency import LatencyModel, LatencyModelConfig
+from repro.geo.regions import Region
+from repro.node.config import NodeConfig
+from repro.node.node import MAX_REPROPAGATIONS, ProtocolNode
+from repro.p2p.messages import (
+    BlockBodiesMessage,
+    BlockHeadersMessage,
+    GetBlockHeadersMessage,
+    NewBlockHashesMessage,
+    NewBlockMessage,
+)
+from repro.p2p.network import Network
+from repro.sim.engine import Simulator
+
+
+def _fabric(seed: int = 0) -> Network:
+    simulator = Simulator(seed=seed)
+    return Network(
+        simulator,
+        LatencyModel(simulator.rng.stream("lat"), LatencyModelConfig(jitter_sigma=0.0)),
+    )
+
+
+def _pair(network: Network) -> tuple[ProtocolNode, ProtocolNode]:
+    a = ProtocolNode(network, Region.NORTH_AMERICA, name="a")
+    b = ProtocolNode(network, Region.NORTH_AMERICA, name="b")
+    network.connect(a.node_id, b.node_id)
+    return a, b
+
+
+def _block_on(node: ProtocolNode, salt: int = 0) -> Block:
+    head = node.tree.head
+    return Block(
+        height=head.height + 1,
+        parent_hash=head.block_hash,
+        miner="M",
+        difficulty=100.0,
+        timestamp=node.simulator.now,
+        salt=salt,
+    )
+
+
+class Recorder(ProtocolNode):
+    """Counts messages sent through the network for assertions."""
+
+
+def test_announcement_for_known_block_triggers_no_fetch():
+    network = _fabric()
+    a, b = _pair(network)
+    block = _block_on(a)
+    a.inject_block(block)
+    network.simulator.run(until=10.0)
+    sent_before = network.messages_sent
+    # b announces a block a already has: no GetBlockHeaders should follow.
+    a.deliver(
+        b.node_id, NewBlockHashesMessage(entries=((block.block_hash, 1),))
+    )
+    network.simulator.run(until=20.0)
+    new_messages = network.messages_sent - sent_before
+    assert new_messages == 0
+
+
+def test_fetch_timeout_allows_retry():
+    """If the announcer never answers, a later announce re-triggers."""
+    network = _fabric()
+    a, b = _pair(network)
+    phantom_hash = "0xphantom"
+    a.deliver(b.node_id, NewBlockHashesMessage(entries=((phantom_hash, 1),)))
+    assert phantom_hash in a._fetching
+    network.simulator.run(until=a.config.fetch_timeout + 1.0)
+    assert phantom_hash not in a._fetching  # timed out
+    a.deliver(b.node_id, NewBlockHashesMessage(entries=((phantom_hash, 1),)))
+    assert phantom_hash in a._fetching  # retried
+
+
+def test_headers_for_known_block_do_not_refetch_body():
+    network = _fabric()
+    a, b = _pair(network)
+    block = _block_on(a)
+    a.inject_block(block)
+    network.simulator.run(until=10.0)
+    sent_before = network.messages_sent
+    a.deliver(b.node_id, BlockHeadersMessage(block))
+    network.simulator.run(until=20.0)
+    assert network.messages_sent == sent_before
+
+
+def test_bodies_for_unknown_parent_buffered_as_orphan():
+    network = _fabric()
+    a, b = _pair(network)
+    parent = _block_on(a)
+    child = Block(
+        height=2,
+        parent_hash=parent.block_hash,
+        miner="M",
+        difficulty=100.0,
+        timestamp=1.0,
+    )
+    a.deliver(b.node_id, BlockBodiesMessage(child))
+    network.simulator.run(until=5.0)
+    assert child.block_hash not in a.tree
+    a.inject_block(parent)
+    network.simulator.run(until=15.0)
+    assert child.block_hash in a.tree
+
+
+def test_get_headers_for_unknown_hash_is_silent():
+    network = _fabric()
+    a, b = _pair(network)
+    sent_before = network.messages_sent
+    a.deliver(b.node_id, GetBlockHeadersMessage("0xunknown"))
+    network.simulator.run(until=5.0)
+    assert network.messages_sent == sent_before
+
+
+def test_repropagation_capped():
+    """Duplicate NewBlock receptions re-propagate at most
+    MAX_REPROPAGATIONS times while the import is still pending."""
+    network = _fabric()
+    hub = ProtocolNode(network, Region.NORTH_AMERICA, name="hub")
+    spokes = [
+        ProtocolNode(network, Region.NORTH_AMERICA, name=f"s{i}") for i in range(8)
+    ]
+    for spoke in spokes:
+        network.connect(hub.node_id, spoke.node_id)
+    block = _block_on(hub)
+    td = 200.0
+    sent_counts = []
+    for index, spoke in enumerate(spokes[:5]):
+        before = network.messages_sent
+        hub.deliver(spoke.node_id, NewBlockMessage(block, td))
+        network.simulator.run(until=network.simulator.now + 0.004)
+        sent_counts.append(network.messages_sent - before)
+    # First reception schedules import + propagation; the next
+    # MAX_REPROPAGATIONS duplicates push again; further ones are silent.
+    assert sum(1 for c in sent_counts[1:] if c > 0) <= MAX_REPROPAGATIONS
+
+
+def test_message_from_unknown_peer_ignored():
+    network = _fabric()
+    a = ProtocolNode(network, Region.NORTH_AMERICA, name="a")
+    block = Block(
+        height=1,
+        parent_hash=a.tree.genesis.block_hash,
+        miner="M",
+        difficulty=100.0,
+        timestamp=0.0,
+    )
+    a.deliver(999, NewBlockMessage(block, 100.0))  # not a peer
+    network.simulator.run(until=5.0)
+    assert block.block_hash not in a.tree

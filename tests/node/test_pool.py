@@ -1,0 +1,185 @@
+"""Tests for mining pools and their selfish policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chain.transaction import Transaction
+from repro.errors import ConfigurationError
+from repro.geo.latency import LatencyModel, LatencyModelConfig
+from repro.geo.regions import Region
+from repro.node.node import ProtocolNode
+from repro.node.pool import MiningPool, PoolPolicy, PoolSpec
+from repro.p2p.network import Network
+from repro.sim.engine import Simulator
+
+
+def _world(extra_regions=(), policy: PoolPolicy | None = None, seed: int = 0):
+    simulator = Simulator(seed=seed)
+    network = Network(
+        simulator,
+        LatencyModel(simulator.rng.stream("lat"), LatencyModelConfig(jitter_sigma=0.0)),
+    )
+    spec = PoolSpec(
+        name="TestPool",
+        hashpower=0.5,
+        home_region=Region.EASTERN_ASIA,
+        extra_gateway_regions=tuple(extra_regions),
+        policy=policy or PoolPolicy(),
+    )
+    gateways = [
+        ProtocolNode(network, region, name=f"gw{i}")
+        for i, region in enumerate(spec.gateway_regions)
+    ]
+    for i, a in enumerate(gateways):
+        for b in gateways[i + 1 :]:
+            network.connect(a.node_id, b.node_id)
+    pool = MiningPool(spec, gateways, rng=np.random.default_rng(seed), gas_limit=1_000_000)
+    return simulator, network, pool
+
+
+def test_policy_validation():
+    with pytest.raises(ConfigurationError):
+        PoolPolicy(empty_block_probability=1.5)
+    with pytest.raises(ConfigurationError):
+        PoolPolicy(head_lag=-1.0)
+    with pytest.raises(ConfigurationError):
+        PoolPolicy(partition_tuple_weights={})
+    with pytest.raises(ConfigurationError):
+        PoolPolicy(partition_tuple_weights={1: 1.0})
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigurationError):
+        PoolSpec(name="X", hashpower=0.0, home_region=Region.EASTERN_ASIA)
+    with pytest.raises(ConfigurationError):
+        PoolSpec(name="X", hashpower=1.2, home_region=Region.EASTERN_ASIA)
+
+
+def test_pool_requires_gateways():
+    simulator = Simulator()
+    spec = PoolSpec(name="X", hashpower=0.1, home_region=Region.EASTERN_ASIA)
+    with pytest.raises(ConfigurationError):
+        MiningPool(spec, [], rng=np.random.default_rng(0))
+
+
+def test_win_seals_one_block_by_default():
+    simulator, _, pool = _world()
+    blocks = pool.on_win()
+    assert len(blocks) == 1
+    assert blocks[0].miner == "TestPool"
+    assert blocks[0].height == 1
+
+
+def test_sealed_block_reaches_all_gateways():
+    simulator, _, pool = _world(extra_regions=(Region.NORTH_AMERICA,))
+    block = pool.on_win()[0]
+    simulator.run(until=10.0)
+    for gateway in pool.gateways:
+        assert block.block_hash in gateway.tree
+
+
+def test_empty_block_policy():
+    simulator, _, pool = _world(policy=PoolPolicy(empty_block_probability=1.0))
+    pool.primary.submit_transaction(Transaction("alice", 0))
+    simulator.run(until=2.0)
+    block = pool.on_win()[0]
+    assert block.is_empty
+
+
+def test_full_block_includes_mempool_txs():
+    simulator, _, pool = _world(policy=PoolPolicy(empty_block_probability=0.0))
+    tx = Transaction("alice", 0)
+    pool.primary.submit_transaction(tx)
+    simulator.run(until=2.0)
+    block = pool.on_win()[0]
+    assert tx.tx_hash in block.tx_hashes
+
+
+def test_one_miner_fork_seals_multiple_variants():
+    policy = PoolPolicy(
+        one_miner_fork_probability=1.0,
+        partition_tuple_weights={2: 1.0},
+        same_txset_probability=1.0,
+    )
+    simulator, _, pool = _world(policy=policy)
+    blocks = pool.on_win()
+    assert len(blocks) == 2
+    assert blocks[0].height == blocks[1].height
+    assert blocks[0].block_hash != blocks[1].block_hash
+    assert blocks[0].tx_hashes == blocks[1].tx_hashes
+
+
+def test_one_miner_fork_distinct_txsets():
+    policy = PoolPolicy(
+        one_miner_fork_probability=1.0,
+        partition_tuple_weights={2: 1.0},
+        same_txset_probability=0.0,
+    )
+    simulator, _, pool = _world(policy=policy)
+    for index in range(6):
+        pool.primary.submit_transaction(Transaction("alice", index))
+    simulator.run(until=2.0)
+    blocks = pool.on_win()
+    assert blocks[0].tx_hashes != blocks[1].tx_hashes
+
+
+def test_partition_tuple_sizes_follow_weights():
+    policy = PoolPolicy(
+        one_miner_fork_probability=1.0, partition_tuple_weights={7: 1.0}
+    )
+    simulator, _, pool = _world(policy=policy)
+    assert len(pool.on_win()) == 7
+
+
+def test_head_lag_keeps_mining_on_stale_head():
+    """The stale-head window is what produces natural forks (§III-C4)."""
+    policy = PoolPolicy(head_lag=5.0)
+    simulator, _, pool = _world(policy=policy)
+    first = pool.on_win()[0]
+    simulator.run(until=1.0)  # gateway imported, but lag not elapsed
+    assert pool.mining_head.height == 0
+    second = pool.on_win()[0]
+    assert second.height == first.height  # same height: a one-pool fork
+    simulator.run(until=10.0)
+    assert pool.mining_head.height >= 1
+
+
+def test_zero_head_lag_updates_immediately():
+    policy = PoolPolicy(head_lag=0.0)
+    simulator, _, pool = _world(policy=policy)
+    pool.on_win()
+    simulator.run(until=2.0)
+    assert pool.mining_head.height == 1
+
+
+def test_sealed_blocks_ground_truth_log():
+    simulator, _, pool = _world()
+    pool.on_win()
+    simulator.run(until=5.0)
+    pool.on_win()
+    assert len(pool.sealed_blocks) == 2
+
+
+def test_uncles_harvested_when_available():
+    simulator, _, pool = _world(policy=PoolPolicy(head_lag=0.0))
+    from repro.chain.block import Block
+
+    # Create a fork block the pool should reference as uncle.
+    genesis = pool.primary.tree.genesis
+    main = pool.on_win()[0]
+    simulator.run(until=5.0)
+    fork = Block(
+        height=1,
+        parent_hash=genesis.block_hash,
+        miner="Rival",
+        difficulty=100.0,
+        timestamp=0.5,
+        salt=9,
+    )
+    pool.primary.inject_block(fork)
+    simulator.run(until=10.0)
+    citing = pool.on_win()[0]
+    assert fork.block_hash in citing.uncle_hashes
+    assert main.block_hash not in citing.uncle_hashes

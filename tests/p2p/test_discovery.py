@@ -1,0 +1,97 @@
+"""Tests for the discovery overlay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.p2p.discovery import DiscoveryService
+from repro.p2p.node_id import xor_distance
+
+
+def _service(count: int) -> tuple[DiscoveryService, list[int]]:
+    service = DiscoveryService()
+    ids = list(range(1, count + 1))
+    for node_id in ids:
+        service.register(node_id, object())
+    return service, ids
+
+
+def test_register_and_len():
+    service, _ = _service(5)
+    assert len(service) == 5
+
+
+def test_duplicate_registration_rejected():
+    service, _ = _service(1)
+    with pytest.raises(ConfigurationError):
+        service.register(1, object())
+
+
+def test_unregister_is_idempotent():
+    service, _ = _service(2)
+    service.unregister(1)
+    service.unregister(1)
+    assert len(service) == 1
+
+
+def test_lookup_returns_closest_by_xor():
+    service, ids = _service(16)
+    target = 7
+    result = service.lookup(target, k=4)
+    expected = sorted(ids, key=lambda node_id: xor_distance(node_id, target))[:4]
+    assert result == expected
+
+
+def test_lookup_excludes_requested_id():
+    service, _ = _service(8)
+    result = service.lookup(3, k=8, exclude=3)
+    assert 3 not in result
+
+
+def test_sample_peers_never_returns_self():
+    service, _ = _service(30)
+    rng = np.random.default_rng(0)
+    peers = service.sample_peers(own_id=5, count=10, rng=rng)
+    assert 5 not in peers
+
+
+def test_sample_peers_are_distinct():
+    service, _ = _service(30)
+    peers = service.sample_peers(1, 15, np.random.default_rng(1))
+    assert len(peers) == len(set(peers))
+
+
+def test_sample_peers_caps_at_population():
+    service, _ = _service(5)
+    peers = service.sample_peers(1, 50, np.random.default_rng(2))
+    assert len(peers) <= 4  # everyone but self
+
+
+def test_sample_peers_geography_blind():
+    """Peer selection depends only on IDs — uniform over the population."""
+    service = DiscoveryService()
+    population = 60
+    for node_id in range(1, population + 1):
+        service.register(node_id, object())
+    counts = {node_id: 0 for node_id in range(1, population + 1)}
+    rng = np.random.default_rng(3)
+    for _ in range(300):
+        for peer in service.sample_peers(0, 8, rng):
+            counts[peer] += 1
+    values = np.array(list(counts.values()), dtype=float)
+    # No node should be wildly over/under-selected.
+    assert values.min() > values.mean() * 0.3
+    assert values.max() < values.mean() * 3.0
+
+
+def test_node_for_unknown_raises():
+    service, _ = _service(1)
+    with pytest.raises(ConfigurationError):
+        service.node_for(99)
+
+
+def test_all_ids_lists_registered():
+    service, ids = _service(4)
+    assert sorted(service.all_ids()) == ids

@@ -1,0 +1,53 @@
+"""Tests for the gossip split policy."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.p2p.gossip import GossipConfig, direct_push_count, split_targets
+
+
+def test_direct_push_count_is_ceil_sqrt():
+    assert direct_push_count(25) == 5
+    assert direct_push_count(26) == 6
+    assert direct_push_count(1) == 1
+    assert direct_push_count(0) == 0
+
+
+def test_direct_push_count_never_exceeds_peers():
+    assert direct_push_count(2) <= 2
+
+
+def test_custom_exponent():
+    config = GossipConfig(direct_push_fraction_exponent=1.0)
+    assert direct_push_count(10, config) == 10
+
+
+def test_split_partitions_candidates():
+    rng = np.random.default_rng(0)
+    candidates = list(range(25))
+    direct, announce = split_targets(candidates, rng)
+    assert len(direct) == 5
+    assert len(announce) == 20
+    assert set(direct) | set(announce) == set(candidates)
+    assert not set(direct) & set(announce)
+
+
+def test_split_empty_candidates():
+    rng = np.random.default_rng(0)
+    assert split_targets([], rng) == ([], [])
+
+
+def test_split_without_announce_remainder():
+    rng = np.random.default_rng(0)
+    config = GossipConfig(announce_remainder=False)
+    direct, announce = split_targets(list(range(25)), rng, config)
+    assert len(direct) == 5
+    assert announce == []
+
+
+def test_split_direct_subset_is_random():
+    candidates = list(range(25))
+    rng = np.random.default_rng(1)
+    picks = {tuple(sorted(split_targets(candidates, rng)[0])) for _ in range(20)}
+    assert len(picks) > 1

@@ -1,0 +1,89 @@
+"""Tests for wire message sizes and shapes."""
+
+from __future__ import annotations
+
+from repro.chain.block import Block
+from repro.chain.transaction import Transaction
+from repro.p2p.messages import (
+    ANNOUNCEMENT_ENTRY_SIZE,
+    MESSAGE_OVERHEAD,
+    BlockBodiesMessage,
+    BlockHeadersMessage,
+    GetBlockBodiesMessage,
+    GetBlockHeadersMessage,
+    NewBlockHashesMessage,
+    NewBlockMessage,
+    StatusMessage,
+    TransactionsMessage,
+)
+
+
+def _block(txs: int = 0) -> Block:
+    return Block(
+        height=1,
+        parent_hash="0xp",
+        miner="A",
+        difficulty=1.0,
+        timestamp=1.0,
+        transactions=tuple(Transaction(f"s{i}", 0) for i in range(txs)),
+    )
+
+
+def test_new_block_carries_full_payload():
+    message = NewBlockMessage(_block(txs=3), total_difficulty=10.0)
+    assert message.size_bytes == MESSAGE_OVERHEAD + _block(txs=3).size_bytes
+
+
+def test_full_block_is_bigger_than_empty():
+    empty = NewBlockMessage(_block(0), 1.0)
+    full = NewBlockMessage(_block(10), 1.0)
+    assert full.size_bytes > empty.size_bytes
+
+
+def test_announcement_is_much_smaller_than_full_block():
+    """The asymmetry that makes announce+fetch worthwhile."""
+    announce = NewBlockHashesMessage(entries=(("0xb", 1),))
+    full = NewBlockMessage(_block(txs=20), 1.0)
+    assert announce.size_bytes * 10 < full.size_bytes
+
+
+def test_announcement_size_scales_with_entries():
+    one = NewBlockHashesMessage(entries=(("0xa", 1),))
+    two = NewBlockHashesMessage(entries=(("0xa", 1), ("0xb", 2)))
+    assert two.size_bytes - one.size_bytes == ANNOUNCEMENT_ENTRY_SIZE
+
+
+def test_transactions_message_size_sums_payloads():
+    txs = (Transaction("a", 0), Transaction("b", 0))
+    message = TransactionsMessage(txs)
+    assert message.size_bytes == MESSAGE_OVERHEAD + sum(t.size_bytes for t in txs)
+
+
+def test_request_messages_are_small():
+    for message in (
+        GetBlockHeadersMessage("0xb"),
+        GetBlockBodiesMessage("0xb"),
+        StatusMessage("0xh", 1.0, 5),
+    ):
+        assert message.size_bytes < 200
+
+
+def test_bodies_response_carries_block():
+    block = _block(txs=2)
+    message = BlockBodiesMessage(block)
+    assert message.block_hash == block.block_hash
+    assert message.size_bytes > BlockHeadersMessage(block).size_bytes
+
+
+def test_message_kinds_are_distinct():
+    kinds = {
+        NewBlockMessage.kind,
+        NewBlockHashesMessage.kind,
+        TransactionsMessage.kind,
+        GetBlockHeadersMessage.kind,
+        BlockHeadersMessage.kind,
+        GetBlockBodiesMessage.kind,
+        BlockBodiesMessage.kind,
+        StatusMessage.kind,
+    }
+    assert len(kinds) == 8

@@ -1,0 +1,144 @@
+"""Tests for the network fabric."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geo.latency import LatencyModel, LatencyModelConfig
+from repro.geo.regions import Region
+from repro.p2p.messages import Message, StatusMessage
+from repro.p2p.network import Network
+from repro.sim.engine import Simulator
+
+
+class StubNode:
+    """Minimal NetworkMember implementation for fabric tests."""
+
+    def __init__(self, node_id: int, region: Region = Region.NORTH_AMERICA) -> None:
+        self.node_id = node_id
+        self.region = region
+        self.inbox: list[tuple[int, Message]] = []
+        self.connections: list[tuple[int, bool]] = []
+        self.disconnections: list[int] = []
+
+    def deliver(self, sender_id: int, message: Message) -> None:
+        self.inbox.append((sender_id, message))
+
+    def on_peer_connected(self, peer_id: int, inbound: bool) -> None:
+        self.connections.append((peer_id, inbound))
+
+    def on_peer_disconnected(self, peer_id: int) -> None:
+        self.disconnections.append(peer_id)
+
+
+@pytest.fixture()
+def fabric():
+    simulator = Simulator(seed=0)
+    latency = LatencyModel(
+        simulator.rng.stream("latency"), LatencyModelConfig(jitter_sigma=0.0)
+    )
+    network = Network(simulator, latency)
+    a, b = StubNode(1), StubNode(2, Region.EASTERN_ASIA)
+    network.register(a)
+    network.register(b)
+    return simulator, network, a, b
+
+
+def test_register_duplicate_rejected(fabric):
+    _, network, a, _ = fabric
+    with pytest.raises(ConfigurationError):
+        network.register(a)
+
+
+def test_register_adds_to_discovery(fabric):
+    _, network, a, b = fabric
+    assert set(network.discovery.all_ids()) == {a.node_id, b.node_id}
+
+
+def test_connect_notifies_both_sides(fabric):
+    _, network, a, b = fabric
+    assert network.connect(a.node_id, b.node_id)
+    assert a.connections == [(2, False)]  # dialer side: outbound
+    assert b.connections == [(1, True)]  # listener side: inbound
+
+
+def test_connect_is_idempotent(fabric):
+    _, network, a, b = fabric
+    network.connect(a.node_id, b.node_id)
+    assert network.connect(a.node_id, b.node_id) is False
+    assert network.link_count() == 1
+
+
+def test_self_connection_rejected(fabric):
+    _, network, a, _ = fabric
+    with pytest.raises(ConfigurationError):
+        network.connect(a.node_id, a.node_id)
+
+
+def test_send_requires_connection(fabric):
+    _, network, a, b = fabric
+    with pytest.raises(ConfigurationError):
+        network.send(a.node_id, b.node_id, StatusMessage("0xh", 1.0, 0))
+
+
+def test_send_delivers_after_latency(fabric):
+    simulator, network, a, b = fabric
+    network.connect(a.node_id, b.node_id)
+    delay = network.send(a.node_id, b.node_id, StatusMessage("0xh", 1.0, 0))
+    assert delay > 0
+    assert b.inbox == []  # not yet delivered
+    simulator.run()
+    assert len(b.inbox) == 1
+    sender_id, message = b.inbox[0]
+    assert sender_id == a.node_id
+    assert isinstance(message, StatusMessage)
+
+
+def test_larger_messages_take_longer(fabric):
+    simulator, network, a, b = fabric
+
+    class Sized(Message):
+        def __init__(self, size: int) -> None:
+            self._size = size
+
+        @property
+        def size_bytes(self) -> int:
+            return self._size
+
+    network.connect(a.node_id, b.node_id)
+    small = network.send(a.node_id, b.node_id, Sized(10))
+    big = network.send(a.node_id, b.node_id, Sized(10_000_000))
+    assert big > small
+
+
+def test_disconnect_drops_in_flight_messages(fabric):
+    simulator, network, a, b = fabric
+    network.connect(a.node_id, b.node_id)
+    network.send(a.node_id, b.node_id, StatusMessage("0xh", 1.0, 0))
+    network.disconnect(a.node_id, b.node_id)
+    simulator.run()
+    assert b.inbox == []
+    assert b.disconnections == [a.node_id]
+
+
+def test_disconnect_unknown_link_is_noop(fabric):
+    _, network, a, b = fabric
+    network.disconnect(a.node_id, b.node_id)  # no error
+    assert b.disconnections == []
+
+
+def test_traffic_counters(fabric):
+    simulator, network, a, b = fabric
+    network.connect(a.node_id, b.node_id)
+    message = StatusMessage("0xh", 1.0, 0)
+    network.send(a.node_id, b.node_id, message)
+    assert network.messages_sent == 1  # stub nodes send no handshake
+    assert network.bytes_sent == message.size_bytes
+
+
+def test_member_lookup(fabric):
+    _, network, a, _ = fabric
+    assert network.member(a.node_id) is a
+    with pytest.raises(ConfigurationError):
+        network.member(999)

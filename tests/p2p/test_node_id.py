@@ -1,0 +1,63 @@
+"""Tests for node identifiers and the XOR metric."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.p2p.node_id import (
+    NODE_ID_BITS,
+    bucket_index,
+    format_node_id,
+    random_node_id,
+    xor_distance,
+)
+
+
+def test_random_ids_fit_256_bits():
+    rng = np.random.default_rng(0)
+    for _ in range(100):
+        node_id = random_node_id(rng)
+        assert 0 <= node_id < 2**NODE_ID_BITS
+
+
+def test_random_ids_are_distinct():
+    rng = np.random.default_rng(1)
+    ids = {random_node_id(rng) for _ in range(1000)}
+    assert len(ids) == 1000
+
+
+def test_random_ids_deterministic_per_seed():
+    a = random_node_id(np.random.default_rng(7))
+    b = random_node_id(np.random.default_rng(7))
+    assert a == b
+
+
+def test_xor_distance_identity():
+    assert xor_distance(42, 42) == 0
+
+
+def test_xor_distance_symmetry():
+    assert xor_distance(10, 99) == xor_distance(99, 10)
+
+
+def test_xor_distance_triangle_relaxed():
+    """XOR satisfies d(a,c) <= d(a,b) ^ ... actually d(a,c) = d(a,b)^d(b,c)."""
+    a, b, c = 0b1010, 0b0110, 0b0001
+    assert xor_distance(a, c) == xor_distance(a, b) ^ xor_distance(b, c)
+
+
+def test_bucket_index_is_msb_of_distance():
+    assert bucket_index(0, 1) == 0
+    assert bucket_index(0, 2) == 1
+    assert bucket_index(0, 0b1000_0000) == 7
+
+
+def test_bucket_index_equal_ids():
+    assert bucket_index(5, 5) == 0
+
+
+def test_format_node_id_is_short():
+    rng = np.random.default_rng(2)
+    rendered = format_node_id(random_node_id(rng))
+    assert rendered.startswith("0x")
+    assert len(rendered) < 20

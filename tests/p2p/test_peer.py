@@ -1,0 +1,62 @@
+"""Tests for per-connection peer state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.p2p.peer import MAX_KNOWN_BLOCKS, MAX_KNOWN_TXS, KnownCache, Peer
+
+
+def test_known_cache_membership():
+    cache = KnownCache(4)
+    cache.add("a")
+    assert "a" in cache
+    assert "b" not in cache
+
+
+def test_known_cache_add_is_idempotent():
+    cache = KnownCache(4)
+    cache.add("a")
+    cache.add("a")
+    assert len(cache) == 1
+
+
+def test_known_cache_evicts_fifo():
+    cache = KnownCache(3)
+    for item in ("a", "b", "c", "d"):
+        cache.add(item)
+    assert "a" not in cache
+    assert {"b", "c", "d"} <= {x for x in ("b", "c", "d") if x in cache}
+
+
+def test_known_cache_requires_positive_capacity():
+    with pytest.raises(ValueError):
+        KnownCache(0)
+
+
+def test_peer_marks_and_queries_blocks():
+    peer = Peer(remote_id=1, connected_at=0.0)
+    assert not peer.knows_block("0xb")
+    peer.mark_block("0xb")
+    assert peer.knows_block("0xb")
+
+
+def test_peer_marks_and_queries_txs():
+    peer = Peer(remote_id=1, connected_at=0.0)
+    peer.mark_tx("0xt")
+    assert peer.knows_tx("0xt")
+    assert not peer.knows_tx("0xother")
+
+
+def test_peer_default_capacities_match_geth():
+    peer = Peer(remote_id=1, connected_at=0.0)
+    assert peer.known_blocks.capacity == MAX_KNOWN_BLOCKS
+    assert peer.known_txs.capacity == MAX_KNOWN_TXS
+
+
+def test_block_cache_eviction_forgets_old_hashes():
+    peer = Peer(remote_id=1, connected_at=0.0)
+    for index in range(MAX_KNOWN_BLOCKS + 10):
+        peer.mark_block(f"0x{index}")
+    assert not peer.knows_block("0x0")
+    assert peer.knows_block(f"0x{MAX_KNOWN_BLOCKS + 9}")

@@ -1,0 +1,86 @@
+"""Tests for overlay topology analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.geo.latency import LatencyModel, LatencyModelConfig
+from repro.node.config import NodeConfig
+from repro.node.node import ProtocolNode
+from repro.p2p.network import Network
+from repro.p2p.topology import analyze_topology, overlay_graph
+from repro.geo.regions import DEFAULT_NODE_DISTRIBUTION, Region, normalized_shares
+from repro.sim.engine import Simulator
+
+import numpy as np
+
+
+def _network_with_nodes(count: int = 40, seed: int = 0) -> Network:
+    simulator = Simulator(seed=seed)
+    network = Network(
+        simulator,
+        LatencyModel(simulator.rng.stream("lat"), LatencyModelConfig(jitter_sigma=0.0)),
+    )
+    shares = normalized_shares(DEFAULT_NODE_DISTRIBUTION)
+    regions = list(shares)
+    weights = np.array([shares[r] for r in regions])
+    rng = np.random.default_rng(seed)
+    nodes = [
+        ProtocolNode(
+            network,
+            regions[int(rng.choice(len(regions), p=weights))],
+            config=NodeConfig(max_peers=12, target_outbound=6),
+        )
+        for _ in range(count)
+    ]
+    for node in nodes:
+        node.start()
+    return network
+
+
+def test_overlay_graph_shape():
+    network = _network_with_nodes()
+    graph = overlay_graph(network)
+    assert graph.number_of_nodes() == 40
+    assert graph.number_of_edges() > 40  # avg degree > 2
+
+
+def test_overlay_nodes_carry_regions():
+    network = _network_with_nodes()
+    graph = overlay_graph(network)
+    for _, data in graph.nodes(data=True):
+        assert Region(data["region"])
+
+
+def test_overlay_is_connected_with_random_dialing():
+    report = analyze_topology(_network_with_nodes())
+    assert report.connected
+    assert report.diameter <= 6  # small-world mesh
+
+
+def test_degree_statistics():
+    report = analyze_topology(_network_with_nodes())
+    assert 5.0 <= report.mean_degree <= 13.0
+    assert report.max_degree <= 12  # NodeConfig cap
+
+
+def test_overlay_is_geography_blind():
+    """§III-B1: identifier-based peer selection must not cluster regions."""
+    report = analyze_topology(_network_with_nodes(count=60, seed=3))
+    assert report.geography_blind
+    # The intra-region share should sit near the random expectation.
+    assert report.intra_region_edge_share < 0.5
+
+
+def test_empty_network_raises():
+    simulator = Simulator()
+    network = Network(simulator)
+    with pytest.raises(AnalysisError):
+        analyze_topology(network)
+
+
+def test_render():
+    rendered = analyze_topology(_network_with_nodes()).render()
+    assert "Overlay topology" in rendered
+    assert "same-region edges" in rendered

@@ -1,0 +1,242 @@
+"""Property-based tests (hypothesis) on core data structures."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.sequences import run_lengths
+from repro.chain.block import Block, make_genesis
+from repro.chain.forkchoice import BlockTree
+from repro.chain.mempool import Mempool
+from repro.chain.transaction import Transaction
+from repro.p2p.gossip import direct_push_count
+from repro.p2p.peer import KnownCache
+from repro.sim.events import EventQueue
+from repro.stats.descriptive import Cdf, Summary
+
+
+# ---------------------------------------------------------------------- #
+# Event queue
+# ---------------------------------------------------------------------- #
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50))
+def test_event_queue_pops_in_nondecreasing_time_order(times):
+    queue = EventQueue()
+    for time in times:
+        queue.push(time, lambda: None)
+    popped = []
+    while (event := queue.pop()) is not None:
+        popped.append(event.time)
+    assert popped == sorted(popped)
+    assert len(popped) == len(times)
+
+
+# ---------------------------------------------------------------------- #
+# Mempool invariants
+# ---------------------------------------------------------------------- #
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 8)),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_mempool_pending_is_always_gapless_per_sender(arrivals):
+    """Whatever the arrival order, the pending region must hold a gapless
+    nonce prefix per sender — the invariant miners rely on."""
+    pool = Mempool()
+    for sender_index, nonce in arrivals:
+        pool.add(Transaction(f"s{sender_index}", nonce))
+    by_sender: dict[str, list[int]] = {}
+    for tx in pool.pending.values():
+        by_sender.setdefault(tx.sender, []).append(tx.nonce)
+    for nonces in by_sender.values():
+        nonces.sort()
+        assert nonces == list(range(nonces[0], nonces[0] + len(nonces)))
+        assert nonces[0] == 0  # nothing executed yet, so prefixes start at 0
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 2), st.integers(0, 6), st.floats(0.1, 10)),
+        min_size=1,
+        max_size=40,
+    ),
+    st.integers(21_000, 400_000),
+)
+def test_mempool_selection_respects_gas_limit_and_nonce_order(arrivals, gas_limit):
+    pool = Mempool()
+    for sender_index, nonce, price in arrivals:
+        pool.add(Transaction(f"s{sender_index}", nonce, gas_price=price))
+    chosen = pool.select(gas_limit=gas_limit)
+    assert sum(tx.gas_used for tx in chosen) <= gas_limit
+    seen: dict[str, int] = {}
+    for tx in chosen:
+        expected = seen.get(tx.sender, 0)
+        assert tx.nonce == expected
+        seen[tx.sender] = expected + 1
+
+
+# ---------------------------------------------------------------------- #
+# Fork choice invariants
+# ---------------------------------------------------------------------- #
+
+
+@given(st.lists(st.tuples(st.integers(0, 4), st.floats(1, 100)), max_size=30))
+def test_block_tree_head_has_maximal_total_difficulty(extensions):
+    """After arbitrary tree growth, the head is a heaviest leaf and the
+    canonical chain is parent-linked from genesis."""
+    tree = BlockTree(make_genesis())
+    blocks = [tree.genesis]
+    for salt, (parent_index, difficulty) in enumerate(extensions):
+        parent = blocks[parent_index % len(blocks)]
+        block = Block(
+            height=parent.height + 1,
+            parent_hash=parent.block_hash,
+            miner="M",
+            difficulty=float(difficulty),
+            timestamp=parent.timestamp + 1.0,
+            salt=salt,
+        )
+        tree.add(block)
+        blocks.append(block)
+    head_td = tree.total_difficulty(tree.head.block_hash)
+    for block in blocks:
+        assert tree.total_difficulty(block.block_hash) <= head_td + 1e-9
+    chain = tree.canonical_chain()
+    for parent, child in zip(chain, chain[1:]):
+        assert child.parent_hash == parent.block_hash
+        assert child.height == parent.height + 1
+
+
+# ---------------------------------------------------------------------- #
+# Known cache
+# ---------------------------------------------------------------------- #
+
+
+@given(st.lists(st.text(min_size=1, max_size=4), max_size=100), st.integers(1, 20))
+def test_known_cache_never_exceeds_capacity(items, capacity):
+    cache = KnownCache(capacity)
+    for item in items:
+        cache.add(item)
+    assert len(cache) <= capacity
+    # The most recently added item is always retained.
+    if items:
+        assert items[-1] in cache
+
+
+# ---------------------------------------------------------------------- #
+# Gossip policy
+# ---------------------------------------------------------------------- #
+
+
+@given(st.integers(0, 10_000))
+def test_direct_push_count_bounds(peer_count):
+    count = direct_push_count(peer_count)
+    assert 0 <= count <= peer_count
+    if peer_count > 0:
+        assert count >= 1
+        assert (count - 1) ** 2 < peer_count  # ceil(sqrt) tightness
+
+
+# ---------------------------------------------------------------------- #
+# Run lengths
+# ---------------------------------------------------------------------- #
+
+
+@given(st.lists(st.sampled_from(["A", "B", "C"]), max_size=200))
+def test_run_lengths_partition_the_sequence(sequence):
+    runs = run_lengths(sequence)
+    assert sum(sum(lengths) for lengths in runs.values()) == len(sequence)
+    for miner, lengths in runs.items():
+        assert all(length >= 1 for length in lengths)
+        assert sum(lengths) == sequence.count(miner)
+
+
+# ---------------------------------------------------------------------- #
+# Descriptive statistics
+# ---------------------------------------------------------------------- #
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=200,
+    )
+)
+def test_summary_orderings(values):
+    summary = Summary.of(values)
+    assert summary.median <= summary.p90 + 1e-9
+    assert summary.p90 <= summary.p95 + 1e-9
+    assert summary.p95 <= summary.p99 + 1e-9
+    assert summary.p99 <= summary.maximum + 1e-9
+    assert min(values) - 1e-9 <= summary.mean <= summary.maximum + 1e-9
+
+
+@given(
+    st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=200,
+    )
+)
+@settings(max_examples=50)
+def test_cdf_is_a_distribution(values):
+    cdf = Cdf.of(values)
+    assert np.all(np.diff(cdf.values) >= 0)
+    assert np.all(np.diff(cdf.fractions) >= 0)
+    assert cdf.fractions[-1] == 1.0
+    assert cdf.fraction_at(float(np.max(cdf.values))) == 1.0
+
+
+# ---------------------------------------------------------------------- #
+# Censorship windows
+# ---------------------------------------------------------------------- #
+
+
+@given(st.lists(st.sampled_from(["A", "B", "C"]), min_size=2, max_size=100))
+def test_censorship_windows_partition_runs(miners):
+    """Window lengths must equal the >=2 runs of the miner sequence."""
+    from helpers import DatasetBuilder
+
+    from repro.analysis.censorship import censorship_windows
+
+    builder = DatasetBuilder(measurement_start=1.0)
+    builder.add_main_chain(miners)
+    result = censorship_windows(builder.build(), min_length=2)
+    expected_runs = [
+        lengths
+        for pool, lengths_list in run_lengths(miners).items()
+        for lengths in lengths_list
+        if lengths >= 2
+    ]
+    assert sorted(w.length for w in result.windows) == sorted(expected_runs)
+    for window in result.windows:
+        assert window.duration >= 0
+
+
+# ---------------------------------------------------------------------- #
+# Streak theory vs lottery simulation
+# ---------------------------------------------------------------------- #
+
+
+@given(
+    st.floats(min_value=0.15, max_value=0.45),
+    st.integers(min_value=4, max_value=7),
+)
+@settings(max_examples=10, deadline=None)
+def test_streak_theory_matches_lottery(share, length):
+    from repro.analysis.sequences import expected_streaks, simulate_history
+
+    blocks = 300_000
+    result = simulate_history(blocks, {"P": share}, seed=9, lengths=(length,))
+    expected = expected_streaks(share, length, blocks)
+    observed = result.counts_at_least[length]
+    # Poisson-ish tolerance around the closed form.
+    assert abs(observed - expected) < 6 * (expected**0.5 + 1)

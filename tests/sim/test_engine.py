@@ -1,0 +1,119 @@
+"""Tests for the simulator event loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+def test_run_advances_clock_to_each_event():
+    sim = Simulator()
+    seen: list[float] = []
+    sim.schedule(1.0, lambda: seen.append(sim.now))
+    sim.schedule(2.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [1.0, 2.5]
+    assert sim.now == 2.5
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired: list[str] = []
+    sim.schedule(1.0, lambda: fired.append("a"))
+    sim.schedule(5.0, lambda: fired.append("b"))
+    sim.run(until=3.0)
+    assert fired == ["a"]
+    assert sim.now == 3.0  # clock advanced to the horizon
+
+
+def test_run_until_then_continue():
+    sim = Simulator()
+    fired: list[str] = []
+    sim.schedule(1.0, lambda: fired.append("a"))
+    sim.schedule(5.0, lambda: fired.append("b"))
+    sim.run(until=3.0)
+    sim.run(until=10.0)
+    assert fired == ["a", "b"]
+
+
+def test_clock_advances_to_horizon_when_queue_drains():
+    sim = Simulator()
+    sim.run(until=42.0)
+    assert sim.now == 42.0
+
+
+def test_schedule_in_past_raises():
+    sim = Simulator()
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule(1.0, lambda: None)
+
+
+def test_call_later_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.call_later(-1.0, lambda: None)
+
+
+def test_call_later_schedules_relative_to_now():
+    sim = Simulator()
+    times: list[float] = []
+    sim.schedule(2.0, lambda: sim.call_later(3.0, lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [5.0]
+
+
+def test_max_events_limits_firing():
+    sim = Simulator()
+    fired: list[int] = []
+    for index in range(10):
+        sim.schedule(float(index), lambda i=index: fired.append(i))
+    sim.run(max_events=4)
+    assert fired == [0, 1, 2, 3]
+    assert sim.events_processed == 4
+
+
+def test_stop_terminates_run_after_current_event():
+    sim = Simulator()
+    fired: list[str] = []
+    sim.schedule(1.0, lambda: (fired.append("a"), sim.stop()))
+    sim.schedule(2.0, lambda: fired.append("b"))
+    sim.run()
+    assert fired == ["a"]
+    sim.run()  # resumes cleanly
+    assert fired == ["a", "b"]
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+
+    def reenter() -> None:
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.schedule(1.0, reenter)
+    sim.run()
+
+
+def test_events_fired_inside_events_run_same_pass():
+    sim = Simulator()
+    fired: list[str] = []
+    sim.schedule(1.0, lambda: sim.call_later(0.0, lambda: fired.append("child")))
+    sim.run()
+    assert fired == ["child"]
+
+
+def test_pending_events_counts_queue():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending_events == 2
+
+
+def test_rng_streams_are_deterministic_per_seed():
+    a = Simulator(seed=42).rng.stream("x").random(5)
+    b = Simulator(seed=42).rng.stream("x").random(5)
+    assert (a == b).all()

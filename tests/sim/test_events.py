@@ -1,0 +1,97 @@
+"""Tests for the event queue primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import DEFAULT_PRIORITY, EventQueue
+
+
+def test_pop_returns_events_in_time_order():
+    queue = EventQueue()
+    fired: list[str] = []
+    queue.push(3.0, lambda: fired.append("c"))
+    queue.push(1.0, lambda: fired.append("a"))
+    queue.push(2.0, lambda: fired.append("b"))
+    while (event := queue.pop()) is not None:
+        event.callback()
+    assert fired == ["a", "b", "c"]
+
+
+def test_equal_times_fire_in_scheduling_order():
+    queue = EventQueue()
+    order: list[int] = []
+    for index in range(10):
+        queue.push(5.0, lambda i=index: order.append(i))
+    while (event := queue.pop()) is not None:
+        event.callback()
+    assert order == list(range(10))
+
+
+def test_priority_breaks_ties_before_sequence():
+    queue = EventQueue()
+    order: list[str] = []
+    queue.push(1.0, lambda: order.append("late"), priority=DEFAULT_PRIORITY + 1)
+    queue.push(1.0, lambda: order.append("early"), priority=DEFAULT_PRIORITY - 1)
+    while (event := queue.pop()) is not None:
+        event.callback()
+    assert order == ["early", "late"]
+
+
+def test_cancelled_events_are_skipped():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: pytest.fail("cancelled event fired"))
+    event.cancel()
+    assert queue.pop() is None
+
+
+def test_cancel_is_idempotent():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    assert event.cancelled
+
+
+def test_peek_time_returns_next_live_event():
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    assert queue.peek_time() == 1.0
+    first.cancel()
+    assert queue.peek_time() == 2.0
+
+
+def test_peek_time_empty_queue_is_none():
+    assert EventQueue().peek_time() is None
+
+
+def test_negative_time_rejected():
+    queue = EventQueue()
+    with pytest.raises(SimulationError):
+        queue.push(-0.1, lambda: None)
+
+
+def test_len_counts_pending_including_cancelled():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    event.cancel()
+    assert len(queue) == 2  # lazily removed
+
+
+def test_clear_drops_everything():
+    queue = EventQueue()
+    queue.push(1.0, lambda: None)
+    queue.clear()
+    assert queue.pop() is None
+    assert len(queue) == 0
+
+
+def test_event_repr_mentions_state():
+    queue = EventQueue()
+    event = queue.push(1.5, lambda: None)
+    assert "pending" in repr(event)
+    event.cancel()
+    assert "cancelled" in repr(event)

@@ -1,0 +1,103 @@
+"""Tests for periodic and Poisson processes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess, PoissonProcess
+
+
+def test_periodic_fires_at_fixed_period():
+    sim = Simulator()
+    times: list[float] = []
+    process = PeriodicProcess(sim, 2.0, lambda: times.append(sim.now))
+    process.start()
+    sim.run(until=7.0)
+    assert times == [2.0, 4.0, 6.0]
+
+
+def test_periodic_stop_halts_firing():
+    sim = Simulator()
+    times: list[float] = []
+    process = PeriodicProcess(sim, 1.0, lambda: times.append(sim.now))
+    process.start()
+    sim.schedule(2.5, process.stop)
+    sim.run(until=10.0)
+    assert times == [1.0, 2.0]
+
+
+def test_periodic_restart_continues():
+    sim = Simulator()
+    count = [0]
+    process = PeriodicProcess(sim, 1.0, lambda: count.__setitem__(0, count[0] + 1))
+    process.start()
+    sim.run(until=2.5)
+    process.stop()
+    process.start()
+    sim.run(until=5.0)
+    assert count[0] == 4  # 1,2 then 3.5,4.5
+
+
+def test_periodic_start_is_idempotent():
+    sim = Simulator()
+    count = [0]
+    process = PeriodicProcess(sim, 1.0, lambda: count.__setitem__(0, count[0] + 1))
+    process.start()
+    process.start()
+    sim.run(until=3.5)
+    assert count[0] == 3  # not doubled
+
+
+def test_periodic_requires_positive_period():
+    with pytest.raises(SimulationError):
+        PeriodicProcess(Simulator(), 0.0, lambda: None)
+
+
+def test_poisson_mean_rate_statistically():
+    sim = Simulator(seed=5)
+    count = [0]
+    process = PoissonProcess(
+        sim,
+        rate=2.0,
+        callback=lambda: count.__setitem__(0, count[0] + 1),
+        rng=np.random.default_rng(7),
+    )
+    process.start()
+    sim.run(until=5000.0)
+    expected = 2.0 * 5000.0
+    assert abs(count[0] - expected) < 4 * np.sqrt(expected)
+
+
+def test_poisson_requires_positive_rate():
+    with pytest.raises(SimulationError):
+        PoissonProcess(Simulator(), 0.0, lambda: None, np.random.default_rng(0))
+
+
+def test_poisson_stop_cancels_pending():
+    sim = Simulator(seed=5)
+    count = [0]
+    process = PoissonProcess(
+        sim,
+        rate=100.0,
+        callback=lambda: count.__setitem__(0, count[0] + 1),
+        rng=np.random.default_rng(7),
+    )
+    process.start()
+    sim.run(until=1.0)
+    seen = count[0]
+    process.stop()
+    sim.run(until=2.0)
+    assert count[0] == seen
+    assert not process.running
+
+
+def test_running_property_tracks_state():
+    process = PeriodicProcess(Simulator(), 1.0, lambda: None)
+    assert not process.running
+    process.start()
+    assert process.running
+    process.stop()
+    assert not process.running

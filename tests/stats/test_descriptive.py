@@ -1,0 +1,93 @@
+"""Tests for descriptive statistics helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.stats.descriptive import (
+    Cdf,
+    Histogram,
+    Summary,
+    percentile,
+    top_fraction_threshold,
+)
+
+
+def test_summary_of_known_sample():
+    summary = Summary.of(list(range(1, 101)))
+    assert summary.count == 100
+    assert summary.mean == pytest.approx(50.5)
+    assert summary.median == pytest.approx(50.5)
+    assert summary.maximum == 100
+    assert summary.p90 == pytest.approx(90.1)
+
+
+def test_summary_rejects_empty():
+    with pytest.raises(AnalysisError):
+        Summary.of([])
+
+
+def test_percentile_basic():
+    assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+
+def test_top_fraction_threshold_matches_paper_semantics():
+    """'Top 10%' is the value above which the top decile lies."""
+    sample = list(range(1, 101))
+    assert top_fraction_threshold(sample, 0.10) == pytest.approx(90.1)
+    assert top_fraction_threshold(sample, 0.01) == pytest.approx(99.01)
+
+
+def test_top_fraction_threshold_rejects_bad_fraction():
+    with pytest.raises(AnalysisError):
+        top_fraction_threshold([1.0], 0.0)
+    with pytest.raises(AnalysisError):
+        top_fraction_threshold([1.0], 1.0)
+
+
+def test_cdf_quantiles():
+    cdf = Cdf.of([1.0, 2.0, 3.0, 4.0])
+    assert cdf.quantile(0.0) == 1.0
+    assert cdf.quantile(1.0) == 4.0
+    assert cdf.quantile(0.5) == pytest.approx(2.5)
+
+
+def test_cdf_fraction_at():
+    cdf = Cdf.of([1.0, 2.0, 3.0, 4.0])
+    assert cdf.fraction_at(2.0) == pytest.approx(0.5)
+    assert cdf.fraction_at(0.5) == 0.0
+    assert cdf.fraction_at(10.0) == 1.0
+
+
+def test_cdf_quantile_bounds_checked():
+    cdf = Cdf.of([1.0])
+    with pytest.raises(AnalysisError):
+        cdf.quantile(1.5)
+
+
+def test_cdf_fractions_are_monotone():
+    cdf = Cdf.of(np.random.default_rng(0).random(100))
+    assert (np.diff(cdf.fractions) >= 0).all()
+    assert cdf.fractions[-1] == pytest.approx(1.0)
+
+
+def test_histogram_densities_sum_to_one():
+    histogram = Histogram.of([0.1, 0.2, 0.3, 0.9], bin_width=0.5, upper=1.0)
+    assert histogram.densities.sum() == pytest.approx(1.0)
+
+
+def test_histogram_clips_outliers_into_last_bin():
+    histogram = Histogram.of([0.1, 99.0], bin_width=0.5, upper=1.0)
+    assert histogram.densities.sum() == pytest.approx(1.0)
+
+
+def test_histogram_bin_centers():
+    histogram = Histogram.of([0.1], bin_width=0.5, upper=1.0)
+    assert histogram.bin_centers[0] == pytest.approx(0.25)
+
+
+def test_histogram_rejects_bad_bin_width():
+    with pytest.raises(AnalysisError):
+        Histogram.of([1.0], bin_width=0.0)

@@ -1,0 +1,74 @@
+"""Tests for the ASCII figure renderers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stats.descriptive import Cdf, Histogram
+from repro.stats.figures import (
+    format_bar_chart,
+    format_cdf,
+    format_histogram,
+    format_stacked_shares,
+)
+
+
+def test_bar_chart_renders_every_label():
+    chart = format_bar_chart({"EA": 0.4, "NA": 0.1}, title="T")
+    assert chart.splitlines()[0] == "T"
+    assert "EA" in chart and "NA" in chart
+
+
+def test_bar_chart_percent_mode():
+    chart = format_bar_chart({"EA": 0.4}, as_percent=True)
+    assert "40.00%" in chart
+
+
+def test_bar_chart_longest_bar_belongs_to_max():
+    chart = format_bar_chart({"big": 10.0, "small": 1.0})
+    lines = {line.split()[0]: line.count("█") for line in chart.splitlines()}
+    assert lines["big"] > lines["small"]
+
+
+def test_bar_chart_empty_data():
+    assert "(no data)" in format_bar_chart({})
+
+
+def test_stacked_shares_rows():
+    rendered = format_stacked_shares({"PoolA": {"EA": 0.9, "WE": 0.1}})
+    assert "PoolA" in rendered
+    assert "EA= 90.0%" in rendered
+
+
+def test_stacked_shares_empty():
+    assert "(no data)" in format_stacked_shares({})
+
+
+def test_cdf_quantile_table():
+    cdf = Cdf.of(np.arange(1, 101, dtype=float))
+    rendered = format_cdf(cdf, quantiles=(0.5,), unit="s")
+    assert "p50" in rendered
+    assert "50.5" in rendered
+
+
+def test_histogram_skips_empty_bins():
+    histogram = Histogram.of([0.05, 0.06], bin_width=0.05, upper=0.5)
+    rendered = format_histogram(histogram.bin_centers, histogram.densities)
+    assert rendered.count("|") >= 2
+    assert "0.0ms" not in rendered or rendered  # no crash; empty bins skipped
+
+
+def test_histogram_scale_converts_units():
+    histogram = Histogram.of([0.05], bin_width=0.05, upper=0.5)
+    rendered = format_histogram(
+        histogram.bin_centers, histogram.densities, unit="ms", scale=1000.0
+    )
+    assert "ms" in rendered
+    assert "75.0ms" in rendered or "25.0ms" in rendered
+
+
+def test_cdf_custom_quantiles():
+    cdf = Cdf.of(np.arange(100, dtype=float))
+    rendered = format_cdf(cdf, quantiles=(0.25, 0.75))
+    assert "p25" in rendered and "p75" in rendered
+    assert "p50" not in rendered

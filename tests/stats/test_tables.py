@@ -1,0 +1,61 @@
+"""Tests for the table renderer."""
+
+from __future__ import annotations
+
+from repro.stats.tables import format_percent, format_table
+
+
+def test_basic_table_shape():
+    rendered = format_table(
+        headers=["Name", "Value"],
+        rows=[("a", 1), ("bb", 22)],
+    )
+    lines = rendered.splitlines()
+    assert len(lines) == 4  # header + rule + 2 rows
+    assert "Name" in lines[0]
+    assert set(lines[1]) <= {"-", " "}
+
+
+def test_title_is_prepended():
+    rendered = format_table(["H"], [["x"]], title="My Table")
+    assert rendered.splitlines()[0] == "My Table"
+
+
+def test_floats_get_three_decimals():
+    rendered = format_table(["H"], [[1.23456]])
+    assert "1.235" in rendered
+
+
+def test_large_numbers_get_thousands_separator():
+    rendered = format_table(["H"], [[12345.0]])
+    assert "12,345.000" in rendered
+
+
+def test_columns_align():
+    rendered = format_table(
+        headers=["Name", "N"],
+        rows=[("x", 1), ("longer", 100)],
+    )
+    lines = rendered.splitlines()
+    assert len({len(line) for line in lines[0:1]}) == 1
+    # Right-aligned numeric column: the '1' ends where '100' ends.
+    assert lines[2].rstrip().endswith("1")
+    assert lines[3].rstrip().endswith("100")
+
+
+def test_format_percent():
+    assert format_percent(0.0145) == "1.45%"
+    assert format_percent(0.5, decimals=0) == "50%"
+
+
+def test_left_alignment_mode():
+    rendered = format_table(
+        headers=["A", "B"], rows=[("x", "y")], align_right=False
+    )
+    lines = rendered.splitlines()
+    assert lines[2].startswith("x")
+
+
+def test_empty_rows_render_header_only():
+    rendered = format_table(headers=["A"], rows=[])
+    assert len(rendered.splitlines()) == 2  # header + rule

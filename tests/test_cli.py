@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import cache
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig1" in out
+    assert "presets" in out
+
+
+def test_history_command(capsys):
+    assert main(["history", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Whole-history streaks" in out
+    assert "paper observed" in out
+
+
+def test_run_command_saves_dataset(tmp_path, capsys):
+    out_path = tmp_path / "ds.jsonl"
+    assert main(["run", "--preset", "small", "--seed", "91", "--out", str(out_path)]) == 0
+    assert out_path.exists()
+    out = capsys.readouterr().out
+    assert "campaign complete" in out
+
+
+def test_analyze_command_on_saved_dataset(tmp_path, capsys):
+    out_path = tmp_path / "ds.jsonl"
+    main(["run", "--preset", "small", "--seed", "91", "--out", str(out_path)])
+    capsys.readouterr()
+    code = main(["analyze", "fig1", "fig2", "--dataset", str(out_path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Figure 1" in out
+    assert "Figure 2" in out
+
+
+def test_analyze_unknown_experiment_fails_fast():
+    with pytest.raises(Exception):
+        main(["analyze", "fig99", "--preset", "small"])
+
+
+def test_analyze_uses_campaign_cache(capsys):
+    cache.clear_memory_cache()
+    try:
+        assert main(["analyze", "summary", "--preset", "small", "--seed", "92"]) == 0
+        assert ("small", 92) in cache._MEMORY_CACHE
+    finally:
+        cache.clear_memory_cache()
+    out = capsys.readouterr().out
+    assert "Campaign summary" in out

@@ -1,0 +1,99 @@
+"""Tests for the April-2019 mainnet calibration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geo.regions import Region
+from repro.workload.mainnet import (
+    FRINGE_POOL_NAMES,
+    MAINNET_POOL_SPECS,
+    TOP_POOL_NAMES,
+    mainnet_pool_specs,
+    total_hashpower,
+)
+
+
+def _spec(name: str):
+    for spec in MAINNET_POOL_SPECS:
+        if spec.name == name:
+            return spec
+    raise AssertionError(f"no spec named {name}")
+
+
+def test_total_hashpower_is_one():
+    assert total_hashpower() == pytest.approx(1.0, abs=1e-6)
+
+
+def test_top_shares_match_figure3():
+    assert _spec("Ethermine").hashpower == pytest.approx(0.2532)
+    assert _spec("Sparkpool").hashpower == pytest.approx(0.2288)
+    assert _spec("F2pool2").hashpower == pytest.approx(0.1275)
+    assert _spec("Nanopool").hashpower == pytest.approx(0.1210)
+
+
+def test_top_four_hold_majority():
+    """§I: the top four Ethereum pools held ≈70% of capacity."""
+    top4 = sum(spec.hashpower for spec in MAINNET_POOL_SPECS[:4])
+    assert 0.6 < top4 < 0.8
+
+
+def test_fifteen_named_pools_plus_fringe():
+    assert len(TOP_POOL_NAMES) == 15
+    assert set(FRINGE_POOL_NAMES).isdisjoint(TOP_POOL_NAMES)
+    assert {spec.name for spec in MAINNET_POOL_SPECS} == set(TOP_POOL_NAMES) | set(
+        FRINGE_POOL_NAMES
+    )
+
+
+def test_zhizhu_mines_mostly_empty_blocks():
+    """Figure 6: more than 25% of Zhizhu's blocks were empty."""
+    assert _spec("Zhizhu").policy.empty_block_probability > 0.25
+
+
+def test_clean_pools_never_mine_empty():
+    assert _spec("Nanopool").policy.empty_block_probability == 0.0
+    assert _spec("Miningpoolhub1").policy.empty_block_probability == 0.0
+
+
+def test_all_empty_solo_miner_exists():
+    """§III-C3: one miner only ever mined empty blocks."""
+    assert _spec("AllEmptyMiner").policy.empty_block_probability == 1.0
+    assert _spec("AllEmptyMiner").hashpower < 0.001
+
+
+def test_asian_pools_dominate():
+    """The EA dominance behind Figure 2's 40% first receptions."""
+    ea_share = sum(
+        spec.hashpower
+        for spec in MAINNET_POOL_SPECS
+        if spec.home_region == Region.EASTERN_ASIA
+    )
+    assert ea_share > 0.4
+
+
+def test_big_pools_practise_one_miner_forks():
+    assert _spec("Ethermine").policy.one_miner_fork_probability > 0
+    assert _spec("Sparkpool").policy.one_miner_fork_probability > 0
+
+
+def test_expected_empty_share_matches_paper():
+    """Weighted empty-block probability should land near 1.45% (§III-C3)."""
+    expected = sum(
+        spec.hashpower * spec.policy.empty_block_probability
+        for spec in MAINNET_POOL_SPECS
+    )
+    assert 0.010 < expected < 0.020
+
+
+def test_expected_one_miner_fork_rate_matches_paper():
+    """§III-C5: ≈1,777 one-miner fork events over ≈201k wins ⇒ ≈0.9%."""
+    expected = sum(
+        spec.hashpower * spec.policy.one_miner_fork_probability
+        for spec in MAINNET_POOL_SPECS
+    )
+    assert 0.005 < expected < 0.013
+
+
+def test_specs_are_returned_by_factory():
+    assert mainnet_pool_specs() == MAINNET_POOL_SPECS

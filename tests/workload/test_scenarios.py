@@ -1,0 +1,124 @@
+"""Tests for the scenario builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geo.regions import Region
+from repro.node.pool import PoolSpec
+from repro.workload.scenarios import ScenarioConfig, build_scenario
+from repro.workload.transactions import WorkloadConfig
+
+
+def _tiny_config(**overrides) -> ScenarioConfig:
+    defaults = dict(
+        seed=1,
+        n_nodes=6,
+        pool_specs=(
+            PoolSpec(name="A", hashpower=0.6, home_region=Region.EASTERN_ASIA),
+            PoolSpec(name="B", hashpower=0.4, home_region=Region.NORTH_AMERICA),
+        ),
+        workload=WorkloadConfig(tx_rate=0.5, senders=5),
+        warmup=5.0,
+    )
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        ScenarioConfig(n_nodes=1)
+    with pytest.raises(ConfigurationError):
+        ScenarioConfig(inter_block_time=0)
+    with pytest.raises(ConfigurationError):
+        ScenarioConfig(gas_limit=0)
+    with pytest.raises(ConfigurationError):
+        ScenarioConfig(warmup=-1)
+    with pytest.raises(ConfigurationError):
+        ScenarioConfig(pool_specs=())
+
+
+def test_build_creates_expected_population():
+    scenario = build_scenario(_tiny_config())
+    assert len(scenario.regular_nodes) == 6
+    assert len(scenario.pools) == 2
+    # one gateway per configured gateway region
+    assert len(scenario.all_nodes) == 6 + 2
+    assert len(scenario.network) == 8
+
+
+def test_pools_respect_gateway_regions():
+    config = _tiny_config(
+        pool_specs=(
+            PoolSpec(
+                name="Multi",
+                hashpower=1.0,
+                home_region=Region.EASTERN_ASIA,
+                extra_gateway_regions=(Region.NORTH_AMERICA, Region.WESTERN_EUROPE),
+            ),
+        )
+    )
+    scenario = build_scenario(config)
+    regions = [gateway.region for gateway in scenario.pools[0].gateways]
+    assert regions == [
+        Region.EASTERN_ASIA,
+        Region.NORTH_AMERICA,
+        Region.WESTERN_EUROPE,
+    ]
+
+
+def test_pool_by_name():
+    scenario = build_scenario(_tiny_config())
+    assert scenario.pool_by_name("A").name == "A"
+    with pytest.raises(ConfigurationError):
+        scenario.pool_by_name("Nope")
+
+
+def test_workload_disabled_when_none():
+    scenario = build_scenario(_tiny_config(workload=None))
+    assert scenario.workload is None
+    scenario.start()
+    scenario.run_for(50.0)  # must not crash without transactions
+
+
+def test_start_is_idempotent():
+    scenario = build_scenario(_tiny_config())
+    scenario.start()
+    scenario.start()
+    scenario.run_for(20.0)
+    assert scenario.simulator.now >= 20.0
+
+
+def test_run_for_advances_clock():
+    scenario = build_scenario(_tiny_config())
+    scenario.run_for(30.0)  # auto-starts
+    assert scenario.simulator.now == pytest.approx(30.0)
+
+
+def test_run_warmup_uses_configured_duration():
+    scenario = build_scenario(_tiny_config(warmup=7.0))
+    scenario.run_warmup()
+    assert scenario.simulator.now == pytest.approx(7.0)
+
+
+def test_same_seed_same_chain():
+    def chain_hashes(seed: int):
+        scenario = build_scenario(_tiny_config(seed=seed))
+        scenario.start()
+        scenario.run_for(300.0)
+        return [
+            block.block_hash
+            for block in scenario.pools[0].primary.tree.canonical_chain()
+        ]
+
+    assert chain_hashes(7) == chain_hashes(7)
+    assert chain_hashes(7) != chain_hashes(8)
+
+
+def test_mining_produces_blocks_near_target_rate():
+    scenario = build_scenario(_tiny_config(inter_block_time=5.0))
+    scenario.start()
+    scenario.run_for(500.0)
+    wins = len(scenario.coordinator.wins)
+    assert 60 <= wins <= 140  # 100 expected

@@ -1,0 +1,146 @@
+"""Tests for the transaction workload generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geo.latency import LatencyModel, LatencyModelConfig
+from repro.geo.regions import Region
+from repro.node.node import ProtocolNode
+from repro.p2p.network import Network
+from repro.sim.engine import Simulator
+from repro.workload.transactions import TransactionWorkload, WorkloadConfig
+
+
+def _world(config: WorkloadConfig, seed: int = 0, nodes: int = 4):
+    simulator = Simulator(seed=seed)
+    network = Network(
+        simulator,
+        LatencyModel(simulator.rng.stream("lat"), LatencyModelConfig(jitter_sigma=0.0)),
+    )
+    entry_nodes = [
+        ProtocolNode(network, Region.NORTH_AMERICA, name=f"n{i}") for i in range(nodes)
+    ]
+    for i, a in enumerate(entry_nodes):
+        for b in entry_nodes[i + 1 :]:
+            network.connect(a.node_id, b.node_id)
+    workload = TransactionWorkload(simulator, entry_nodes, config)
+    return simulator, entry_nodes, workload
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        WorkloadConfig(tx_rate=0.0)
+    with pytest.raises(ConfigurationError):
+        WorkloadConfig(senders=0)
+    with pytest.raises(ConfigurationError):
+        WorkloadConfig(burst_size_weights={})
+    with pytest.raises(ConfigurationError):
+        WorkloadConfig(burst_size_weights={0: 1.0})
+    with pytest.raises(ConfigurationError):
+        WorkloadConfig(multi_entry_probability=1.5)
+
+
+def test_mean_burst_size():
+    config = WorkloadConfig(burst_size_weights={1: 0.5, 3: 0.5})
+    assert config.mean_burst_size == pytest.approx(2.0)
+
+
+def test_requires_entry_nodes():
+    with pytest.raises(ConfigurationError):
+        TransactionWorkload(Simulator(), [], WorkloadConfig())
+
+
+def test_nonces_are_sequential_per_sender():
+    config = WorkloadConfig(tx_rate=5.0, senders=3)
+    simulator, _, workload = _world(config)
+    workload.start()
+    simulator.run(until=100.0)
+    by_sender: dict[str, list[int]] = {}
+    for tx in workload.submitted:
+        by_sender.setdefault(tx.sender, []).append(tx.nonce)
+    for nonces in by_sender.values():
+        assert nonces == list(range(len(nonces)))
+
+
+def test_tx_rate_statistically_close():
+    config = WorkloadConfig(tx_rate=2.0, senders=50)
+    simulator, _, workload = _world(config, seed=5)
+    workload.start()
+    simulator.run(until=3000.0)
+    count = len(workload.submitted)
+    expected = 2.0 * 3000.0
+    assert abs(count - expected) < 0.15 * expected
+
+
+def test_transactions_enter_the_mempool():
+    config = WorkloadConfig(tx_rate=2.0, senders=5)
+    simulator, entry_nodes, workload = _world(config)
+    workload.start()
+    simulator.run(until=60.0)
+    total_seen = sum(
+        1
+        for tx in workload.submitted
+        if any(tx.tx_hash in node.mempool for node in entry_nodes)
+    )
+    assert total_seen >= len(workload.submitted) * 0.9  # tail still in flight
+
+
+def test_gas_profile_values_used():
+    config = WorkloadConfig(tx_rate=5.0, senders=5)
+    simulator, _, workload = _world(config, seed=2)
+    workload.start()
+    simulator.run(until=200.0)
+    allowed = {gas for gas, _ in config.gas_profiles}
+    assert {tx.gas_used for tx in workload.submitted} <= allowed
+
+
+def test_determinism_per_seed():
+    config = WorkloadConfig(tx_rate=2.0, senders=10)
+
+    def run() -> list[str]:
+        simulator, _, workload = _world(config, seed=9)
+        workload.start()
+        simulator.run(until=100.0)
+        return [tx.tx_hash for tx in workload.submitted]
+
+    assert run() == run()
+
+
+def test_stop_halts_submission():
+    config = WorkloadConfig(tx_rate=5.0, senders=5)
+    simulator, _, workload = _world(config)
+    workload.start()
+    simulator.run(until=50.0)
+    workload.stop()
+    count = len(workload.submitted)
+    simulator.run(until=100.0)
+    assert len(workload.submitted) == count
+
+
+def test_created_at_timestamps_are_within_the_run():
+    """Bursts may overlap (a sender can start a new burst before the
+    previous one drains), so per-sender creation times are only loosely
+    ordered — but they must all fall inside the simulated window."""
+    config = WorkloadConfig(tx_rate=5.0, senders=2)
+    simulator, _, workload = _world(config, seed=4)
+    workload.start()
+    simulator.run(until=200.0)
+    assert workload.submitted
+    for tx in workload.submitted:
+        assert 0.0 <= tx.created_at <= 200.0 + 10.0  # intra-burst tail slack
+
+
+def test_bursts_spread_creation_times():
+    config = WorkloadConfig(
+        tx_rate=5.0,
+        senders=2,
+        burst_size_weights={3: 1.0},
+        intra_burst_gap=0.1,
+    )
+    simulator, _, workload = _world(config, seed=4)
+    workload.start()
+    simulator.run(until=100.0)
+    spreads = {tx.created_at for tx in workload.submitted}
+    assert len(spreads) > len(workload.submitted) / 2  # not all coincident
