@@ -1,11 +1,26 @@
 """Simulator throughput — not a paper artifact, but the cost model every
 other bench rests on: how fast does the event engine push a fully loaded
-network?"""
+network?
+
+Three segments:
+
+* a fixed 40-node/120-simulated-second segment (stable across presets),
+* the full ``standard`` campaign, reported as events/second — the number
+  the mainnet-scale feasibility argument rests on,
+* a profiled ``small`` campaign checking the observability layer's core
+  invariant (per-type counts sum to ``events_processed``) and printing
+  the per-event-type table.
+"""
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from conftest import print_artifact
 
+from repro.experiments.presets import preset
+from repro.measurement.campaign import Campaign
+from repro.stats import format_event_profile
 from repro.workload.scenarios import ScenarioConfig, build_scenario
 from repro.workload.transactions import WorkloadConfig
 
@@ -32,3 +47,47 @@ def test_simulation_throughput(benchmark):
         {"note": "infrastructure bench, no paper analogue"},
     )
     assert events > 10_000
+
+
+def _run_standard_campaign():
+    campaign = Campaign(preset("standard", 1))
+    campaign.run()
+    return campaign
+
+
+def test_standard_campaign_events_per_second(benchmark):
+    """The headline engine number: standard-preset events/second."""
+    campaign = benchmark.pedantic(_run_standard_campaign, rounds=1, iterations=1)
+    metrics = campaign.metrics
+    print_artifact(
+        "Standard campaign throughput",
+        f"events processed: {metrics.events_processed:,}\n"
+        f"event-loop wall:  {metrics.run_wall_seconds:,.2f} s\n"
+        f"events / second:  {metrics.events_per_second:,.0f}",
+        {"note": "engine bench; seed baseline was ~13.9k events/s"},
+    )
+    assert metrics.events_processed > 1_000_000
+    assert metrics.events_per_second > 0
+
+
+def _run_profiled_small_campaign():
+    config = preset("small", 1)
+    config = replace(config, scenario=replace(config.scenario, profile=True))
+    campaign = Campaign(config)
+    campaign.run()
+    return campaign
+
+
+def test_profiled_small_campaign(benchmark):
+    """Profiling overhead bench + the counts-sum-to-total invariant."""
+    campaign = benchmark.pedantic(
+        _run_profiled_small_campaign, rounds=1, iterations=1
+    )
+    metrics = campaign.metrics
+    assert metrics.profiled
+    assert sum(metrics.event_counts.values()) == metrics.events_processed
+    print_artifact(
+        "Profiled small campaign (event-loop observability)",
+        format_event_profile(metrics),
+        {"note": "per-type counts sum to events_processed"},
+    )

@@ -196,19 +196,23 @@ class Mempool:
                 if not queued:
                     del self._queued[tx.sender]
             previous = included_frontier.get(tx.sender, -1)
-            included_frontier[tx.sender] = max(previous, tx.nonce)
+            if tx.nonce > previous:
+                included_frontier[tx.sender] = tx.nonce
+        if not included_frontier:
+            return
+        # Evict local txs whose nonce the chain already consumed with a
+        # different transaction — one scan of the pool for the whole
+        # block, not one per sender (this runs on every block import).
+        stale = [
+            tx_hash
+            for tx_hash, pending_tx in self.pending.items()
+            if pending_tx.nonce <= included_frontier.get(pending_tx.sender, -1)
+        ]
+        for tx_hash in stale:
+            del self.pending[tx_hash]
         for sender, max_nonce in included_frontier.items():
             if self._next_nonce.get(sender, 0) < max_nonce + 1:
                 self._next_nonce[sender] = max_nonce + 1
-            # Evict local txs whose nonce the chain already consumed with
-            # a different transaction.
-            stale = [
-                tx_hash
-                for tx_hash, pending_tx in self.pending.items()
-                if pending_tx.sender == sender and pending_tx.nonce <= max_nonce
-            ]
-            for tx_hash in stale:
-                del self.pending[tx_hash]
             self._promote(sender)
 
     def reinject(self, txs: Iterable[Transaction]) -> None:

@@ -17,7 +17,7 @@ from repro.experiments.presets import preset
 from repro.measurement.campaign import Campaign
 from repro.measurement.dataset import MeasurementDataset
 
-_MEMORY_CACHE: dict[tuple[str, int], MeasurementDataset] = {}
+_MEMORY_CACHE: dict[tuple[str, int, str], MeasurementDataset] = {}
 
 #: Default on-disk cache directory (repo-local, git-ignored).
 DEFAULT_CACHE_DIR = Path(".repro-cache")
@@ -41,17 +41,22 @@ def campaign_dataset(
         cache_dir: Directory for the optional disk cache.
         use_disk: Persist/reuse the dataset as JSONL on disk.
     """
-    key = (preset_name, seed)
+    directory = Path(cache_dir) if cache_dir is not None else DEFAULT_CACHE_DIR
+    # The memory key carries the cache directory so callers using private
+    # directories (e.g. tests with tmp_path) cannot cross-contaminate.
+    key = (preset_name, seed, str(directory))
     dataset = _MEMORY_CACHE.get(key)
     if dataset is not None:
         return dataset
 
-    path = (cache_dir or DEFAULT_CACHE_DIR) / cache_key(preset_name, seed)
+    path = directory / cache_key(preset_name, seed)
     if use_disk and path.exists():
         try:
             dataset = MeasurementDataset.load(path)
-        except DatasetError:
-            dataset = None  # corrupt cache: regenerate
+        except (DatasetError, OSError, ValueError, KeyError, TypeError):
+            # Corrupt or unreadable cache (truncated JSONL raises
+            # JSONDecodeError, a bad record tag KeyError, ...): regenerate.
+            dataset = None
     if dataset is None:
         dataset = Campaign(preset(preset_name, seed)).run()
         if use_disk:

@@ -10,11 +10,15 @@ Usage::
 from __future__ import annotations
 
 import argparse
+from dataclasses import replace
 from typing import Sequence
 
 from repro.experiments.cache import campaign_dataset
+from repro.experiments.presets import preset
 from repro.experiments.registry import all_experiment_ids, get_experiment
+from repro.measurement.campaign import Campaign
 from repro.measurement.dataset import MeasurementDataset
+from repro.stats import format_event_profile
 
 
 def run_experiment(
@@ -52,13 +56,29 @@ def main(argv: Sequence[str] | None = None) -> int:
         action="store_true",
         help="persist/reuse the campaign dataset under .repro-cache/",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the campaign with event-loop profiling (fresh run, "
+        "bypasses the dataset caches) and print the per-event-type table",
+    )
     args = parser.parse_args(argv)
 
     ids = args.experiments or all_experiment_ids()
     for experiment_id in ids:
         get_experiment(experiment_id)  # validate before the expensive run
 
-    dataset = campaign_dataset(args.preset, args.seed, use_disk=args.disk_cache)
+    if args.profile:
+        config = preset(args.preset, args.seed)
+        config = replace(
+            config, scenario=replace(config.scenario, profile=True)
+        )
+        campaign = Campaign(config)
+        dataset = campaign.run()
+        print(format_event_profile(campaign.metrics))
+        print()
+    else:
+        dataset = campaign_dataset(args.preset, args.seed, use_disk=args.disk_cache)
     for experiment_id in ids:
         print(run_experiment(experiment_id, dataset))
         print()

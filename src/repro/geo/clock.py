@@ -59,6 +59,11 @@ class NtpClock:
         config: Mixture parameters.
     """
 
+    #: Reading-noise draws are generated in batches of this size: every
+    #: measurement record costs one reading, and per-call scalar numpy
+    #: draws are ~30x slower than amortised vectorised ones.
+    READING_NOISE_BATCH = 4096
+
     def __init__(
         self,
         rng: np.random.Generator,
@@ -66,6 +71,7 @@ class NtpClock:
     ) -> None:
         self._rng = rng
         self.config = config or NtpModelConfig()
+        self._noise_buffer: list[float] = []
         self.offset = self._draw_offset()
 
     def _draw_offset(self) -> float:
@@ -81,8 +87,15 @@ class NtpClock:
 
     def read(self, true_time: float) -> float:
         """Return the timestamp this clock would log for ``true_time``."""
-        noise = float(self._rng.normal(loc=0.0, scale=self.config.reading_noise))
-        return true_time + self.offset + noise
+        if self.config.reading_noise <= 0:
+            return true_time + self.offset
+        buffer = self._noise_buffer
+        if not buffer:
+            buffer = self._rng.normal(
+                loc=0.0, scale=self.config.reading_noise, size=self.READING_NOISE_BATCH
+            ).tolist()
+            self._noise_buffer = buffer
+        return true_time + self.offset + buffer.pop()
 
     def resync(self) -> None:
         """Redraw the base offset, modelling an NTP re-synchronisation."""

@@ -131,6 +131,17 @@ class Campaign:
     # Execution
     # ------------------------------------------------------------------ #
 
+    @property
+    def metrics(self):
+        """Simulator performance metrics (``None`` before :meth:`deploy`).
+
+        Per-event-type breakdowns require the scenario to have been built
+        with ``ScenarioConfig(profile=True)``.
+        """
+        if self.scenario is None:
+            return None
+        return self.scenario.simulator.metrics
+
     def run(self) -> MeasurementDataset:
         """Run warm-up + measurement window; return the collected data set."""
         self.deploy()

@@ -57,28 +57,53 @@ def merge_datasets(datasets: Sequence[MeasurementDataset]) -> MeasurementDataset
         measurement_start=min(d.measurement_start for d in datasets),
         chain=longest.chain,
     )
-    seen_messages: set[tuple] = set()
+    # Every record stream is deduplicated with a kind-aware key so that
+    # overlapping campaign windows merge idempotently.  The block-message
+    # key includes ``direct``: a NewBlock push and a NewBlockHashes
+    # announcement logged at the same instant from the same peer are two
+    # distinct observations (Table II counts them separately).
+    seen_messages: set[tuple[str, float, str, int, bool]] = set()
+    seen_imports: set[tuple[str, str]] = set()
     seen_txs: set[tuple[str, str]] = set()
+    seen_connections: set[tuple[str, float, int, bool]] = set()
     for dataset in datasets:
         merged.vantage_regions.update(dataset.vantage_regions)
         if dataset.default_peer_vantage and merged.default_peer_vantage is None:
             merged.default_peer_vantage = dataset.default_peer_vantage
         for record in dataset.block_messages:
-            key = (record.vantage, record.time, record.block_hash, record.peer_id)
+            key = (
+                record.vantage,
+                record.time,
+                record.block_hash,
+                record.peer_id,
+                record.direct,
+            )
             if key not in seen_messages:
                 seen_messages.add(key)
                 merged.block_messages.append(record)
+        for record in dataset.block_imports:
+            # A vantage imports a given block exactly once, so the hash
+            # alone identifies the import within a vantage.
+            import_key = (record.vantage, record.block_hash)
+            if import_key not in seen_imports:
+                seen_imports.add(import_key)
+                merged.block_imports.append(record)
         for record in dataset.tx_receptions:
-            key = (record.vantage, record.tx_hash)
-            if key not in seen_txs:
-                seen_txs.add(key)
+            tx_key = (record.vantage, record.tx_hash)
+            if tx_key not in seen_txs:
+                seen_txs.add(tx_key)
                 merged.tx_receptions.append(record)
-        merged.block_imports.extend(dataset.block_imports)
-        merged.connections.extend(dataset.connections)
+        for record in dataset.connections:
+            conn_key = (record.vantage, record.time, record.peer_id, record.inbound)
+            if conn_key not in seen_connections:
+                seen_connections.add(conn_key)
+                merged.connections.append(record)
         for vantage, count in dataset.tx_duplicate_counts.items():
             merged.tx_duplicate_counts[vantage] = (
                 merged.tx_duplicate_counts.get(vantage, 0) + count
             )
     merged.block_messages.sort(key=lambda r: r.time)
+    merged.block_imports.sort(key=lambda r: r.time)
     merged.tx_receptions.sort(key=lambda r: r.time)
+    merged.connections.sort(key=lambda r: r.time)
     return merged

@@ -96,10 +96,26 @@ class ProtocolNode:
         self._reprop_counts: dict[str, int] = {}
         #: per-peer queue of txs awaiting the next gossip flush
         self._tx_queue: dict[int, list[Transaction]] = {}
+        #: peers with a non-empty tx queue (insertion-ordered for
+        #: deterministic flush order); unlimited-peer vantages would
+        #: otherwise scan hundreds of empty queues per flush
+        self._tx_dirty: dict[int, None] = {}
         #: callbacks invoked as fn(new_head) after every head change
         self.head_listeners: list[Callable[[Block], None]] = []
         #: True while a debounced transaction-gossip flush is scheduled
         self._flush_pending = False
+        #: concrete message type -> bound handler; one dict lookup per
+        #: delivered message instead of an isinstance ladder
+        self._handlers: dict[type, Callable[[Peer, Message], None]] = {
+            NewBlockMessage: self._handle_new_block,
+            NewBlockHashesMessage: self._handle_announcement,
+            TransactionsMessage: self._handle_transactions,
+            GetBlockHeadersMessage: self._handle_get_headers,
+            BlockHeadersMessage: self._handle_headers,
+            GetBlockBodiesMessage: self._handle_get_bodies,
+            BlockBodiesMessage: self._handle_bodies,
+            StatusMessage: self._handle_status,
+        }
         network.register(self)
 
     def __repr__(self) -> str:
@@ -166,28 +182,22 @@ class ProtocolNode:
     def on_peer_disconnected(self, peer_id: int) -> None:
         self.peers.pop(peer_id, None)
         self._tx_queue.pop(peer_id, None)
+        self._tx_dirty.pop(peer_id, None)
 
     def deliver(self, sender_id: int, message: Message) -> None:
-        """Dispatch an incoming wire message (NetworkMember interface)."""
+        """Dispatch an incoming wire message (NetworkMember interface).
+
+        Dispatch is a single dict lookup on the concrete message type
+        rather than an ``isinstance`` ladder — this runs once per
+        delivered message.  The table is bound per instance, so subclass
+        handler overrides are honoured.
+        """
         peer = self.peers.get(sender_id)
         if peer is None:
             return  # link torn down while the message was in flight
-        if isinstance(message, NewBlockMessage):
-            self._handle_new_block(peer, message)
-        elif isinstance(message, NewBlockHashesMessage):
-            self._handle_announcement(peer, message)
-        elif isinstance(message, TransactionsMessage):
-            self._handle_transactions(peer, message)
-        elif isinstance(message, GetBlockHeadersMessage):
-            self._handle_get_headers(peer, message)
-        elif isinstance(message, BlockHeadersMessage):
-            self._handle_headers(peer, message)
-        elif isinstance(message, GetBlockBodiesMessage):
-            self._handle_get_bodies(peer, message)
-        elif isinstance(message, BlockBodiesMessage):
-            self._handle_bodies(peer, message)
-        elif isinstance(message, StatusMessage):
-            self._handle_status(peer, message)
+        handler = self._handlers.get(type(message))
+        if handler is not None:
+            handler(peer, message)
 
     # ------------------------------------------------------------------ #
     # Observation hooks (instrumentation points; default: no-ops)
@@ -369,21 +379,35 @@ class ProtocolNode:
             self._consider_block(child)
 
     def _on_head_changed(self, old_head: Block, new_head: Block) -> None:
-        """Settle the mempool after a head switch (including reorgs)."""
-        new_chain = {block.block_hash for block in self.tree.canonical_chain()}
-        # Blocks that fell off the canonical chain: walk the old head up to
-        # the fork point and put their transactions back in the pool.
-        cursor: Optional[Block] = old_head
-        while cursor is not None and cursor.block_hash not in new_chain:
-            self.mempool.reinject(cursor.transactions)
-            cursor = self.tree.get(cursor.parent_hash)
-        fork_point = cursor
-        # Newly canonical blocks: walk the new head down to the fork point
-        # and drop their transactions from the pool.
-        cursor = new_head
-        while cursor is not None and cursor is not fork_point and cursor.height > 0:
-            self.mempool.remove_included(cursor.transactions)
-            cursor = self.tree.get(cursor.parent_hash)
+        """Settle the mempool after a head switch (including reorgs).
+
+        The fork point is found by walking both heads down to their
+        common ancestor, so the cost is proportional to the reorg depth
+        (almost always 1) rather than the full chain length.
+        """
+        tree = self.tree
+        old_branch: list[Block] = []  # fell off the canonical chain
+        new_branch: list[Block] = []  # newly canonical
+        a: Optional[Block] = old_head
+        b: Optional[Block] = new_head
+        while a is not None and b is not None and a.height > b.height:
+            old_branch.append(a)
+            a = tree.get(a.parent_hash)
+        while b is not None and a is not None and b.height > a.height:
+            new_branch.append(b)
+            b = tree.get(b.parent_hash)
+        while a is not None and b is not None and a is not b:
+            old_branch.append(a)
+            a = tree.get(a.parent_hash)
+            new_branch.append(b)
+            b = tree.get(b.parent_hash)
+        # Reorged-out transactions return to the pool; newly included
+        # ones leave it — in the same head-to-fork-point order as the
+        # walks above.
+        for block in old_branch:
+            self.mempool.reinject(block.transactions)
+        for block in new_branch:
+            self.mempool.remove_included(block.transactions)
         for listener in self.head_listeners:
             listener(new_head)
 
@@ -448,16 +472,21 @@ class ProtocolNode:
     def _enqueue_tx_gossip(
         self, txs: list[Transaction], exclude: Optional[int]
     ) -> None:
-        queued_any = False
+        tx_queue = self._tx_queue
+        dirty = self._tx_dirty
         for peer_id, peer in self.peers.items():
             if peer_id == exclude:
                 continue
-            queue = self._tx_queue.setdefault(peer_id, [])
+            queue = tx_queue.setdefault(peer_id, [])
+            knows = peer.knows_tx
+            appended = False
             for tx in txs:
-                if not peer.knows_tx(tx.tx_hash):
+                if not knows(tx.tx_hash):
                     queue.append(tx)
-                    queued_any = True
-        if queued_any and not self._flush_pending:
+                    appended = True
+            if appended:
+                dirty[peer_id] = None
+        if dirty and not self._flush_pending:
             # Debounced flush: batch whatever accumulates over the next
             # flush interval into one Transactions message per peer.
             self._flush_pending = True
@@ -467,17 +496,31 @@ class ProtocolNode:
 
     def _flush_tx_queues(self) -> None:
         self._flush_pending = False
-        for peer_id, queue in self._tx_queue.items():
+        dirty = self._tx_dirty
+        if not dirty:
+            return
+        self._tx_dirty = {}
+        for peer_id in dirty:
+            queue = self._tx_queue.get(peer_id)
             if not queue:
                 continue
             peer = self.peers.get(peer_id)
             if peer is None:
                 queue.clear()
                 continue
-            batch = tuple(tx for tx in queue if not peer.knows_tx(tx.tx_hash))
+            # Single pass: marking while filtering also collapses a tx
+            # queued twice (learned from two different peers between
+            # flushes) into one send.
+            knows = peer.knows_tx
+            mark = peer.mark_tx
+            batch: list[Transaction] = []
+            for tx in queue:
+                tx_hash = tx.tx_hash
+                if not knows(tx_hash):
+                    mark(tx_hash)
+                    batch.append(tx)
             queue.clear()
-            if not batch:
-                continue
-            for tx in batch:
-                peer.mark_tx(tx.tx_hash)
-            self.network.send(self.node_id, peer_id, TransactionsMessage(batch))
+            if batch:
+                self.network.send(
+                    self.node_id, peer_id, TransactionsMessage(tuple(batch))
+                )

@@ -29,9 +29,16 @@ ANNOUNCEMENT_ENTRY_SIZE = 40
 MESSAGE_OVERHEAD = 20
 
 
-@dataclass(frozen=True)
 class Message:
-    """Base class of all wire messages."""
+    """Base class of all wire messages.
+
+    Deliberately *not* a dataclass: a ``frozen=True, slots=True`` base
+    breaks plain subclasses (the slots rebuild leaves the generated
+    ``__setattr__`` closed over the discarded class), and the concrete
+    messages below need an empty ``__slots__`` here to stay dict-free.
+    """
+
+    __slots__ = ()
 
     #: Wire name, mirroring devp2p capability message names.
     kind: ClassVar[str] = "Message"
@@ -41,7 +48,7 @@ class Message:
         return MESSAGE_OVERHEAD
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StatusMessage(Message):
     """Handshake: advertises protocol version, head and total difficulty."""
 
@@ -55,7 +62,7 @@ class StatusMessage(Message):
         return MESSAGE_OVERHEAD + 60
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NewBlockMessage(Message):
     """Direct propagation of a full block (header + body + TD)."""
 
@@ -68,7 +75,7 @@ class NewBlockMessage(Message):
         return MESSAGE_OVERHEAD + self.block.size_bytes
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NewBlockHashesMessage(Message):
     """Light announcement: hashes (and heights) of newly available blocks."""
 
@@ -80,7 +87,7 @@ class NewBlockHashesMessage(Message):
         return MESSAGE_OVERHEAD + ANNOUNCEMENT_ENTRY_SIZE * len(self.entries)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GetBlockHeadersMessage(Message):
     """Request for a header by hash (post-announcement fetch)."""
 
@@ -92,7 +99,7 @@ class GetBlockHeadersMessage(Message):
         return MESSAGE_OVERHEAD + 40
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BlockHeadersMessage(Message):
     """Response carrying a block header."""
 
@@ -104,7 +111,7 @@ class BlockHeadersMessage(Message):
         return MESSAGE_OVERHEAD + EMPTY_BLOCK_SIZE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GetBlockBodiesMessage(Message):
     """Request for a block body by hash."""
 
@@ -116,7 +123,7 @@ class GetBlockBodiesMessage(Message):
         return MESSAGE_OVERHEAD + 40
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BlockBodiesMessage(Message):
     """Response carrying a block body (transactions + uncle headers)."""
 
@@ -132,13 +139,28 @@ class BlockBodiesMessage(Message):
         return self.block.block_hash
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TransactionsMessage(Message):
-    """A batch of pending transactions."""
+    """A batch of pending transactions.
+
+    The wire size is summed once at construction: every routed message
+    reads it (bandwidth model + byte counters), and transaction batches
+    are by far the most numerous message kind in a loaded campaign.
+    """
 
     kind: ClassVar[str] = "Transactions"
     transactions: tuple[Transaction, ...] = field(default=())
+    _size_bytes: int = field(
+        init=False, repr=False, compare=False, default=MESSAGE_OVERHEAD
+    )
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "_size_bytes",
+            MESSAGE_OVERHEAD + sum(tx.size_bytes for tx in self.transactions),
+        )
 
     @property
     def size_bytes(self) -> int:
-        return MESSAGE_OVERHEAD + sum(tx.size_bytes for tx in self.transactions)
+        return self._size_bytes

@@ -22,6 +22,43 @@ from repro.p2p.messages import Message
 from repro.sim.engine import Simulator
 
 
+class DeliveryEvent:
+    """A preallocated in-flight message delivery.
+
+    One of these is scheduled per routed message; a typed ``__slots__``
+    callable is cheaper than the lambda closure it replaced (no function
+    object + cell allocations on the hottest path in the simulator) and
+    lets the profiler attribute event-loop time to concrete wire message
+    kinds instead of one anonymous ``<lambda>`` bucket.
+    """
+
+    __slots__ = ("network", "link_key", "sender_id", "recipient_id", "message")
+
+    def __init__(
+        self,
+        network: "Network",
+        link_key: tuple[int, int],
+        sender_id: int,
+        recipient_id: int,
+        message: Message,
+    ) -> None:
+        self.network = network
+        self.link_key = link_key
+        self.sender_id = sender_id
+        self.recipient_id = recipient_id
+        self.message = message
+
+    @property
+    def profile_label(self) -> str:
+        return f"Network.deliver:{self.message.kind}"
+
+    def __call__(self) -> None:
+        # The link may have been torn down while the message was in flight.
+        network = self.network
+        if self.link_key in network._links:
+            network._members[self.recipient_id].deliver(self.sender_id, self.message)
+
+
 class NetworkMember(Protocol):
     """Interface a node must implement to live on the network."""
 
@@ -134,26 +171,25 @@ class Network:
         Messages are only routed over established connections, mirroring
         devp2p's session semantics.
         """
-        if not self.connected(sender_id, recipient_id):
+        key = (
+            (sender_id, recipient_id)
+            if sender_id < recipient_id
+            else (recipient_id, sender_id)
+        )
+        if key not in self._links:
             raise ConfigurationError(
                 f"no connection between {sender_id!r} and {recipient_id!r}"
             )
-        sender = self.member(sender_id)
-        recipient = self.member(recipient_id)
-        delay = self.latency.delay(
-            sender.region, recipient.region, message.size_bytes
-        )
+        # Links only exist between registered members, so direct indexing
+        # is safe here and skips a per-message lookup-and-raise round.
+        members = self._members
+        sender = members[sender_id]
+        recipient = members[recipient_id]
+        size = message.size_bytes
+        delay = self.latency.delay(sender.region, recipient.region, size)
         self.messages_sent += 1
-        self.bytes_sent += message.size_bytes
+        self.bytes_sent += size
         self.simulator.call_later(
-            delay, lambda: self._deliver_if_connected(sender_id, recipient_id, message)
+            delay, DeliveryEvent(self, key, sender_id, recipient_id, message)
         )
         return delay
-
-    def _deliver_if_connected(
-        self, sender_id: int, recipient_id: int, message: Message
-    ) -> None:
-        # The link may have been torn down while the message was in flight.
-        if not self.connected(sender_id, recipient_id):
-            return
-        self._members[recipient_id].deliver(sender_id, message)

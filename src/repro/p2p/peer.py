@@ -9,7 +9,6 @@ random-ish eviction for redundancy statistics (Table II).
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass, field
 
 #: Geth 1.8: maximum block hashes remembered per peer.
@@ -20,13 +19,19 @@ MAX_KNOWN_TXS = 32_768
 
 
 class KnownCache:
-    """A bounded set with FIFO eviction."""
+    """A bounded set with FIFO eviction.
+
+    Backed by a plain insertion-ordered dict: membership tests on these
+    caches are one of the hottest operations in a gossip-heavy run.
+    """
+
+    __slots__ = ("capacity", "_items")
 
     def __init__(self, capacity: int) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity!r}")
         self.capacity = capacity
-        self._items: OrderedDict[str, None] = OrderedDict()
+        self._items: dict[str, None] = {}
 
     def __contains__(self, item: str) -> bool:
         return item in self._items
@@ -35,14 +40,15 @@ class KnownCache:
         return len(self._items)
 
     def add(self, item: str) -> None:
-        if item in self._items:
+        items = self._items
+        if item in items:
             return
-        self._items[item] = None
-        while len(self._items) > self.capacity:
-            self._items.popitem(last=False)
+        items[item] = None
+        if len(items) > self.capacity:
+            del items[next(iter(items))]
 
 
-@dataclass
+@dataclass(slots=True)
 class Peer:
     """One endpoint's view of a connection to a remote node.
 

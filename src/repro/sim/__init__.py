@@ -6,11 +6,13 @@ Public surface:
 * :class:`Event` / :class:`EventQueue` — schedulable callbacks.
 * :class:`PeriodicProcess` / :class:`PoissonProcess` — recurring processes.
 * :class:`RngRegistry` / :func:`derive_seed` — namespaced random streams.
+* :class:`SimMetrics` / :class:`SimProfile` — opt-in event-loop profiling.
 """
 
 from repro.sim.engine import Simulator
 from repro.sim.events import DEFAULT_PRIORITY, Event, EventQueue
 from repro.sim.process import PeriodicProcess, PoissonProcess, RecurringProcess
+from repro.sim.profile import SimMetrics, SimProfile, event_label
 from repro.sim.rng import RngRegistry, derive_seed
 
 __all__ = [
@@ -21,6 +23,9 @@ __all__ = [
     "PoissonProcess",
     "RecurringProcess",
     "RngRegistry",
+    "SimMetrics",
+    "SimProfile",
     "Simulator",
     "derive_seed",
+    "event_label",
 ]

@@ -5,14 +5,20 @@ registry.  Components schedule callbacks with :meth:`Simulator.schedule`
 (absolute time) or :meth:`Simulator.call_later` (relative delay) and the
 engine drives them in deterministic order until a time horizon or event
 budget is exhausted.
+
+Pass ``profile=True`` (or call :meth:`Simulator.enable_profiling`) to
+collect per-event-type counters, callback timings and the queue-depth
+high-water mark; read them back through :attr:`Simulator.metrics`.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Optional
 
 from repro.errors import SimulationError
 from repro.sim.events import DEFAULT_PRIORITY, Event, EventQueue
+from repro.sim.profile import SimMetrics, SimProfile, event_label
 from repro.sim.rng import RngRegistry
 
 
@@ -21,21 +27,34 @@ class Simulator:
 
     Args:
         seed: Root seed for every RNG stream used in the run.
+        profile: Collect per-event-type counters and timings (adds two
+            clock reads per event; leave off for production campaigns).
 
     Attributes:
         now: Current simulated time in seconds.
         rng: Namespaced RNG registry rooted at ``seed``.
         events_processed: Number of events fired so far.
+        budget_exhausted: True when the most recent :meth:`run` stopped
+            because it hit its ``max_events`` budget (the run was
+            truncated, not drained).
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, profile: bool = False) -> None:
         self.now: float = 0.0
         self.seed = seed
         self.rng = RngRegistry(seed)
         self.events_processed: int = 0
+        self.budget_exhausted: bool = False
+        self.profile: Optional[SimProfile] = SimProfile() if profile else None
+        self._run_wall_seconds: float = 0.0
         self._queue = EventQueue()
         self._running = False
         self._stopped = False
+
+    def enable_profiling(self) -> None:
+        """Turn on per-event-type profiling (idempotent)."""
+        if self.profile is None:
+            self.profile = SimProfile()
 
     # ------------------------------------------------------------------ #
     # Scheduling
@@ -82,8 +101,12 @@ class Simulator:
 
         Args:
             until: Stop once the next event would fire after this time.
-                The clock is advanced to ``until`` when the horizon is hit.
-            max_events: Stop after firing this many events (safety valve).
+                The clock is advanced to ``until`` when the horizon is hit,
+                or when the queue drains naturally before it.  A run
+                truncated by ``max_events`` or :meth:`stop` leaves the
+                clock at the last fired event.
+            max_events: Stop after firing this many events (safety valve);
+                check :attr:`budget_exhausted` to see whether it tripped.
 
         Raises:
             SimulationError: on re-entrant calls to :meth:`run`.
@@ -92,32 +115,86 @@ class Simulator:
             raise SimulationError("Simulator.run is not re-entrant")
         self._running = True
         self._stopped = False
-        fired = 0
+        self.budget_exhausted = False
+        drained = False
+        started = time.perf_counter()
         try:
-            while True:
-                if self._stopped:
-                    break
-                if max_events is not None and fired >= max_events:
-                    break
-                next_time = self._queue.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    self.now = until
-                    break
-                event = self._queue.pop()
-                if event is None:  # races only with cancel(); keep looping
-                    continue
-                self.now = event.time
-                event.callback()
-                fired += 1
-                self.events_processed += 1
+            if self.profile is None:
+                drained = self._run_fast(until, max_events)
+            else:
+                drained = self._run_profiled(until, max_events)
         finally:
             self._running = False
-        if until is not None and self.now < until and self._queue.peek_time() is None:
-            # Queue drained before the horizon: advance the clock anyway so
-            # wall-clock-like measurements (e.g. campaign duration) hold.
+            self._run_wall_seconds += time.perf_counter() - started
+        if until is not None and drained and self.now < until:
+            # Queue drained naturally before the horizon: advance the clock
+            # so wall-clock-like measurements (e.g. campaign duration) hold.
+            # Truncated runs (max_events / stop) deliberately do not
+            # advance — the remaining window was never simulated.
             self.now = until
+
+    def _run_fast(self, until: Optional[float], max_events: Optional[int]) -> bool:
+        """Tight event loop (profiling off); returns True on natural drain."""
+        queue = self._queue
+        fired = 0
+        while True:
+            if self._stopped:
+                return False
+            if max_events is not None and fired >= max_events:
+                self.budget_exhausted = True
+                return False
+            next_time = queue.peek_time()
+            if next_time is None:
+                return True
+            if until is not None and next_time > until:
+                self.now = until
+                return False
+            event = queue.pop()
+            if event is None:  # races only with cancel(); keep looping
+                continue
+            self.now = event.time
+            event.callback()
+            fired += 1
+            self.events_processed += 1
+
+    def _run_profiled(
+        self, until: Optional[float], max_events: Optional[int]
+    ) -> bool:
+        """Instrumented event loop; same semantics as :meth:`_run_fast`."""
+        queue = self._queue
+        profile = self.profile
+        assert profile is not None
+        counts = profile.event_counts
+        seconds = profile.event_seconds
+        fired = 0
+        while True:
+            if self._stopped:
+                return False
+            if max_events is not None and fired >= max_events:
+                self.budget_exhausted = True
+                return False
+            depth = len(queue)
+            if depth > profile.queue_high_water:
+                profile.queue_high_water = depth
+            next_time = queue.peek_time()
+            if next_time is None:
+                return True
+            if until is not None and next_time > until:
+                self.now = until
+                return False
+            event = queue.pop()
+            if event is None:
+                continue
+            self.now = event.time
+            callback = event.callback
+            label = event_label(callback)
+            t0 = time.perf_counter()
+            callback()
+            elapsed = time.perf_counter() - t0
+            counts[label] = counts.get(label, 0) + 1
+            seconds[label] = seconds.get(label, 0.0) + elapsed
+            fired += 1
+            self.events_processed += 1
 
     def stop(self) -> None:
         """Request that :meth:`run` return after the current event."""
@@ -127,3 +204,24 @@ class Simulator:
     def pending_events(self) -> int:
         """Number of events still queued (including cancelled ones)."""
         return len(self._queue)
+
+    @property
+    def metrics(self) -> SimMetrics:
+        """Snapshot of the engine's performance counters.
+
+        Always carries event totals and wall-clock throughput; the
+        per-event-type breakdown and queue high-water mark are populated
+        only when profiling is enabled.
+        """
+        wall = self._run_wall_seconds
+        profile = self.profile
+        return SimMetrics(
+            events_processed=self.events_processed,
+            simulated_seconds=self.now,
+            run_wall_seconds=wall,
+            events_per_second=(self.events_processed / wall) if wall > 0 else 0.0,
+            profiled=profile is not None,
+            event_counts=dict(profile.event_counts) if profile else {},
+            event_seconds=dict(profile.event_seconds) if profile else {},
+            queue_high_water=profile.queue_high_water if profile else None,
+        )

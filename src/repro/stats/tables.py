@@ -57,3 +57,47 @@ def format_table(
 def format_percent(value: float, decimals: int = 2) -> str:
     """Render a fraction as a percentage string (``0.0145`` → ``1.45%``)."""
     return f"{100 * value:.{decimals}f}%"
+
+
+def format_event_profile(metrics) -> str:
+    """Render a :class:`~repro.sim.profile.SimMetrics` snapshot as a table.
+
+    One row per event type (sorted by count, descending) plus summary
+    lines for throughput and the queue high-water mark.  Without
+    profiling enabled only the summary lines are available.
+    """
+    total = metrics.events_processed
+    lines: list[str] = []
+    if metrics.event_counts:
+        rows = []
+        for label in sorted(
+            metrics.event_counts,
+            key=lambda name: (-metrics.event_counts[name], name),
+        ):
+            count = metrics.event_counts[label]
+            seconds = metrics.event_seconds.get(label, 0.0)
+            rows.append(
+                (
+                    label,
+                    f"{count:,}",
+                    format_percent(count / total if total else 0.0, 1),
+                    seconds,
+                    f"{1e6 * seconds / count:.1f}" if count else "-",
+                )
+            )
+        lines.append(
+            format_table(
+                ("event type", "count", "share", "seconds", "us/event"),
+                rows,
+                title="Event-loop profile",
+            )
+        )
+    else:
+        lines.append("Event-loop profile (per-type breakdown requires profile=True)")
+    lines.append(f"events processed : {total:,}")
+    lines.append(f"simulated time   : {metrics.simulated_seconds:,.1f} s")
+    lines.append(f"event-loop wall  : {metrics.run_wall_seconds:,.2f} s")
+    lines.append(f"events / second  : {metrics.events_per_second:,.0f}")
+    if metrics.queue_high_water is not None:
+        lines.append(f"queue high-water : {metrics.queue_high_water:,}")
+    return "\n".join(lines)

@@ -62,6 +62,10 @@ class ScenarioConfig:
         latency: Latency model parameters.
         warmup: Seconds of simulated time to run before measurements are
             considered valid (peer meshes settle, mempools fill).
+        profile: Collect per-event-type counters/timings and the
+            queue-depth high-water mark on the simulator (see
+            :mod:`repro.sim.profile`); read back via
+            ``scenario.simulator.metrics``.
     """
 
     seed: int = 1
@@ -74,6 +78,7 @@ class ScenarioConfig:
     workload: Optional[WorkloadConfig] = field(default_factory=WorkloadConfig)
     latency: LatencyModelConfig = field(default_factory=LatencyModelConfig)
     warmup: float = 30.0
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.n_nodes < 2:
@@ -173,7 +178,7 @@ def _sample_regions(
 def build_scenario(config: ScenarioConfig | None = None) -> Scenario:
     """Construct (but do not start) a scenario from ``config``."""
     cfg = config or ScenarioConfig()
-    simulator = Simulator(seed=cfg.seed)
+    simulator = Simulator(seed=cfg.seed, profile=cfg.profile)
     network = Network(
         simulator,
         latency=LatencyModel(simulator.rng.stream("network.latency"), cfg.latency),

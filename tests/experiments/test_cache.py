@@ -46,3 +46,45 @@ def test_corrupt_disk_cache_regenerates(tmp_path):
     )
     assert dataset.chain.blocks
     cache.clear_memory_cache()
+
+
+def test_garbage_disk_cache_regenerates(tmp_path):
+    """Truncated/garbage JSONL (JSONDecodeError, bad tags) must not leak
+    out of the loader — the campaign regenerates and overwrites it."""
+    cache.clear_memory_cache()
+    path = tmp_path / cache.cache_key("small", 26)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text('{"kind": "not-a-real-record"}\n{truncated garbage')
+    dataset = cache.campaign_dataset(
+        "small", seed=26, cache_dir=tmp_path, use_disk=True
+    )
+    assert dataset.chain.blocks
+    # The regenerated dataset replaced the corrupt file on disk.
+    cache.clear_memory_cache()
+    reloaded = cache.campaign_dataset(
+        "small", seed=26, cache_dir=tmp_path, use_disk=True
+    )
+    assert reloaded.chain.canonical_hashes == dataset.chain.canonical_hashes
+    cache.clear_memory_cache()
+
+
+def test_memory_cache_keys_on_cache_dir(tmp_path):
+    """Datasets loaded from a private cache_dir must not shadow (or be
+    shadowed by) the default-directory entry for the same preset/seed."""
+    cache.clear_memory_cache()
+    stale = tmp_path / cache.cache_key("small", 27)
+    stale.parent.mkdir(parents=True, exist_ok=True)
+    first = cache.campaign_dataset(
+        "small", seed=27, cache_dir=tmp_path, use_disk=True
+    )
+    # Same preset/seed, different directory: a fresh memory entry, not
+    # the tmp_path one.
+    other_dir = tmp_path / "elsewhere"
+    second = cache.campaign_dataset(
+        "small", seed=27, cache_dir=other_dir, use_disk=False
+    )
+    assert first is not second
+    keys = set(cache._MEMORY_CACHE)
+    assert ("small", 27, str(tmp_path)) in keys
+    assert ("small", 27, str(other_dir)) in keys
+    cache.clear_memory_cache()

@@ -8,6 +8,8 @@ would surface.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.experiments.presets import small_campaign
 from repro.measurement.campaign import Campaign
 
@@ -25,10 +27,25 @@ def _fingerprint(dataset) -> tuple:
 def test_same_seed_identical_campaign():
     a = Campaign(small_campaign(seed=55)).run()
     b = Campaign(small_campaign(seed=55)).run()
+    assert a.chain.canonical_hashes == b.chain.canonical_hashes
     assert _fingerprint(a) == _fingerprint(b)
     # Record-level equality, not just counts.
     assert a.block_messages == b.block_messages
     assert a.tx_receptions == b.tx_receptions
+
+
+def test_profiling_does_not_perturb_the_simulation():
+    """Profiling observes the event loop; it must not change its outcome."""
+    plain = Campaign(small_campaign(seed=58)).run()
+    config = small_campaign(seed=58)
+    config = replace(config, scenario=replace(config.scenario, profile=True))
+    campaign = Campaign(config)
+    profiled = campaign.run()
+    assert plain.chain.canonical_hashes == profiled.chain.canonical_hashes
+    assert _fingerprint(plain) == _fingerprint(profiled)
+    metrics = campaign.metrics
+    assert metrics.profiled
+    assert sum(metrics.event_counts.values()) == metrics.events_processed
 
 
 def test_different_seed_different_campaign():

@@ -8,6 +8,7 @@ from helpers import DatasetBuilder
 
 from repro.errors import DatasetError
 from repro.measurement.merge import merge_datasets
+from repro.measurement.records import BlockImportRecord, ConnectionRecord
 
 
 def _window(vantage: str, block_time: float, chain_miners: list[str]):
@@ -58,6 +59,70 @@ def test_merge_deduplicates_identical_records():
     merged = merge_datasets([a, a])
     assert len(merged.block_messages) == 1
     assert len(merged.tx_receptions) == 1
+
+
+def _window_all_streams(vantage: str):
+    """A dataset exercising every record stream the merge deduplicates."""
+    builder = DatasetBuilder(vantages={vantage: vantage})
+    builder.add_main_chain(["A", "B"])
+    builder.observe_block(vantage, "0xb1", 13.4)
+    builder.observe_tx(vantage, "0xt-" + vantage, 14.4)
+    dataset = builder.build()
+    dataset.block_imports.append(
+        BlockImportRecord(
+            vantage=vantage,
+            time=13.9,
+            block_hash="0xb1",
+            height=1,
+            parent_hash="0xgenesis",
+            miner="A",
+            difficulty=100.0,
+            gas_used=0,
+            tx_hashes=(),
+            uncle_hashes=(),
+        )
+    )
+    dataset.connections.append(
+        ConnectionRecord(vantage=vantage, time=0.5, peer_id=7, inbound=False)
+    )
+    dataset.tx_duplicate_counts[vantage] = 3
+    return dataset
+
+
+def test_merge_self_is_idempotent_for_every_stream():
+    """merge_datasets([d, d]) keeps exactly d's records in every stream."""
+    d = _window_all_streams("WE")
+    merged = merge_datasets([d, d])
+    assert len(merged.block_messages) == len(d.block_messages) == 1
+    assert len(merged.block_imports) == len(d.block_imports) == 1
+    assert len(merged.tx_receptions) == len(d.tx_receptions) == 1
+    assert len(merged.connections) == len(d.connections) == 1
+
+
+def test_merge_dedup_key_distinguishes_message_kinds():
+    """A NewBlock push and a NewBlockHashes announcement at the same
+    instant from the same peer are distinct observations — both survive."""
+    builder = DatasetBuilder(vantages={"WE": "WE"})
+    builder.add_main_chain(["A"])
+    builder.observe_block("WE", "0xb1", 13.4, direct=True, peer_id=7)
+    builder.observe_block("WE", "0xb1", 13.4, direct=False, peer_id=7)
+    a = builder.build()
+    merged = merge_datasets([a, a])
+    assert len(merged.block_messages) == 2
+    assert sorted(r.direct for r in merged.block_messages) == [False, True]
+
+
+def test_merge_overlapping_windows_union_without_double_counting():
+    """Two windows sharing some records merge to the union, not the sum."""
+    shared = _window_all_streams("WE")
+    later = DatasetBuilder(vantages={"WE": "WE"})
+    later.add_main_chain(["A", "B"])
+    later.observe_block("WE", "0xb1", 13.4)  # same observation as `shared`
+    later.observe_block("WE", "0xb2", 26.7)  # new observation
+    merged = merge_datasets([shared, later.build()])
+    assert len(merged.block_messages) == 2
+    assert len(merged.block_imports) == 1
+    assert len(merged.connections) == 1
 
 
 def test_merge_sorts_records_by_time():

@@ -76,6 +76,46 @@ def test_max_events_limits_firing():
     assert sim.events_processed == 4
 
 
+def test_max_events_truncation_does_not_advance_clock_to_horizon():
+    """A run cut short by its event budget must not pretend the whole
+    window was simulated: the clock stays at the last fired event."""
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.run(until=100.0, max_events=1)
+    assert sim.now == 1.0
+    assert sim.budget_exhausted
+    sim.run(until=100.0)  # drains naturally -> horizon reached
+    assert sim.now == 100.0
+    assert not sim.budget_exhausted
+
+
+def test_budget_exhausted_reports_truncation():
+    sim = Simulator()
+    for t in range(3):
+        sim.schedule(float(t), lambda: None)
+    sim.run(max_events=2)
+    assert sim.budget_exhausted
+    sim.run()
+    assert not sim.budget_exhausted
+
+
+def test_budget_exhausted_false_on_natural_drain():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run(max_events=10)
+    assert not sim.budget_exhausted
+
+
+def test_stop_does_not_advance_clock_to_horizon():
+    sim = Simulator()
+    sim.schedule(1.0, sim.stop)
+    sim.schedule(50.0, lambda: None)
+    sim.run(until=100.0)
+    assert sim.now == 1.0
+    assert not sim.budget_exhausted
+
+
 def test_stop_terminates_run_after_current_event():
     sim = Simulator()
     fired: list[str] = []

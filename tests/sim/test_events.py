@@ -46,6 +46,15 @@ def test_cancelled_events_are_skipped():
     assert queue.pop() is None
 
 
+def test_pop_skips_cancelled_to_next_live_event():
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: pytest.fail("cancelled event fired"))
+    second = queue.push(2.0, lambda: None)
+    first.cancel()
+    assert queue.pop() is second
+    assert queue.pop() is None
+
+
 def test_cancel_is_idempotent():
     queue = EventQueue()
     event = queue.push(1.0, lambda: None)

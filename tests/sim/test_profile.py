@@ -1,0 +1,123 @@
+"""Tests for opt-in event-loop profiling."""
+
+from __future__ import annotations
+
+from repro.sim.engine import Simulator
+from repro.sim.profile import event_label
+from repro.stats import format_event_profile
+
+
+class _TypedEvent:
+    """A callable event advertising an explicit profile label."""
+
+    profile_label = "Typed.tick"
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def __call__(self) -> None:
+        self.calls += 1
+
+
+def _named_callback() -> None:
+    pass
+
+
+def test_event_label_prefers_profile_label_attribute():
+    assert event_label(_TypedEvent()) == "Typed.tick"
+
+
+def test_event_label_falls_back_to_qualname():
+    assert event_label(_named_callback) == "_named_callback"
+
+
+def test_event_label_strips_locals_noise():
+    def inner() -> None:
+        pass
+
+    label = event_label(inner)
+    assert "<locals>" not in label
+    assert label.endswith("inner")
+
+
+def test_profiling_disabled_by_default():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.profile is None
+    metrics = sim.metrics
+    assert not metrics.profiled
+    assert metrics.event_counts == {}
+    assert metrics.queue_high_water is None
+    assert metrics.events_processed == 1
+
+
+def test_profiled_counts_sum_to_events_processed():
+    sim = Simulator(profile=True)
+    typed = _TypedEvent()
+    for t in range(5):
+        sim.schedule(float(t), typed)
+    for t in range(3):
+        sim.schedule(10.0 + t, _named_callback)
+    sim.run()
+    metrics = sim.metrics
+    assert metrics.profiled
+    assert sim.events_processed == 8
+    assert sum(metrics.event_counts.values()) == metrics.events_processed
+    assert metrics.event_counts["Typed.tick"] == 5
+    assert metrics.event_counts["_named_callback"] == 3
+    assert set(metrics.event_seconds) == set(metrics.event_counts)
+    assert all(s >= 0.0 for s in metrics.event_seconds.values())
+
+
+def test_queue_high_water_tracks_deepest_queue():
+    sim = Simulator(profile=True)
+    for t in range(7):
+        sim.schedule(float(t), lambda: None)
+    sim.run()
+    assert sim.profile is not None
+    assert sim.profile.queue_high_water == 7
+
+
+def test_enable_profiling_is_idempotent_and_late_bindable():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    sim.enable_profiling()
+    profile = sim.profile
+    sim.enable_profiling()
+    assert sim.profile is profile  # idempotent: no counter reset
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    assert sum(sim.metrics.event_counts.values()) == 1  # only post-enable
+
+
+def test_metrics_throughput_fields():
+    sim = Simulator(profile=True)
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    metrics = sim.metrics
+    assert metrics.simulated_seconds == 1.0
+    assert metrics.run_wall_seconds > 0.0
+    assert metrics.events_per_second > 0.0
+
+
+def test_format_event_profile_renders_counts_and_summary():
+    sim = Simulator(profile=True)
+    typed = _TypedEvent()
+    for t in range(4):
+        sim.schedule(float(t), typed)
+    sim.run()
+    text = format_event_profile(sim.metrics)
+    assert "Typed.tick" in text
+    assert "events processed : 4" in text
+    assert "queue high-water" in text
+
+
+def test_format_event_profile_without_profiling():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    text = format_event_profile(sim.metrics)
+    assert "requires profile=True" in text
+    assert "events processed : 1" in text

@@ -50,7 +50,8 @@ def test_analyze_uses_campaign_cache(capsys):
     cache.clear_memory_cache()
     try:
         assert main(["analyze", "summary", "--preset", "small", "--seed", "92"]) == 0
-        assert ("small", 92) in cache._MEMORY_CACHE
+        expected_key = ("small", 92, str(cache.DEFAULT_CACHE_DIR))
+        assert expected_key in cache._MEMORY_CACHE
     finally:
         cache.clear_memory_cache()
     out = capsys.readouterr().out
