@@ -2,25 +2,37 @@
 other bench rests on: how fast does the event engine push a fully loaded
 network?
 
-Three segments:
+Four segments:
 
 * a fixed 40-node/120-simulated-second segment (stable across presets),
 * the full ``standard`` campaign, reported as events/second — the number
   the mainnet-scale feasibility argument rests on,
 * a profiled ``small`` campaign checking the observability layer's core
   invariant (per-type counts sum to ``events_processed``) and printing
-  the per-event-type table.
+  the per-event-type table,
+* a multi-seed parallel fleet sweep vs. the same seeds run sequentially,
+  recording the wall-clock speedup and checking per-seed bit-identity.
+
+The sweep segment scales via environment variables so CI smoke and
+full-size runs share one bench: ``REPRO_SWEEP_PRESET`` (default
+``standard``), ``REPRO_SWEEP_SEEDS`` (default ``4``), and
+``REPRO_SWEEP_JOBS`` (default ``4``).
 """
 
 from __future__ import annotations
 
+import os
+import tempfile
+import time
 from dataclasses import replace
+from pathlib import Path
 
 from conftest import print_artifact
 
+from repro.experiments.fleet import CampaignPool, seed_sweep_jobs
 from repro.experiments.presets import preset
 from repro.measurement.campaign import Campaign
-from repro.stats import format_event_profile
+from repro.stats import format_event_profile, format_fleet_profile
 from repro.workload.scenarios import ScenarioConfig, build_scenario
 from repro.workload.transactions import WorkloadConfig
 
@@ -91,3 +103,71 @@ def test_profiled_small_campaign(benchmark):
         format_event_profile(metrics),
         {"note": "per-type counts sum to events_processed"},
     )
+
+
+_SWEEP_PRESET = os.environ.get("REPRO_SWEEP_PRESET", "standard")
+_SWEEP_SEEDS = tuple(
+    range(1, 1 + int(os.environ.get("REPRO_SWEEP_SEEDS", "4")))
+)
+_SWEEP_JOBS = int(os.environ.get("REPRO_SWEEP_JOBS", "4"))
+
+
+def _sweep_both_ways() -> dict:
+    """Run the same seeds sequentially and as a parallel fleet.
+
+    Sequential datasets are saved through the identical JSONL path the
+    fleet workers use, so bit-identity is checked on the file bytes.
+    """
+    with tempfile.TemporaryDirectory(prefix="repro-sweep-bench-") as tmp:
+        seq_dir = Path(tmp) / "sequential"
+        seq_dir.mkdir()
+        sequential_start = time.perf_counter()
+        for seed in _SWEEP_SEEDS:
+            dataset = Campaign(preset(_SWEEP_PRESET, seed)).run()
+            dataset.save(seq_dir / f"seed{seed}.jsonl")
+        sequential_wall = time.perf_counter() - sequential_start
+
+        fleet_dir = Path(tmp) / "fleet"
+        pool = CampaignPool(jobs=_SWEEP_JOBS, cache_dir=fleet_dir, use_disk=True)
+        parallel_start = time.perf_counter()
+        result = pool.run(seed_sweep_jobs(_SWEEP_PRESET, _SWEEP_SEEDS))
+        parallel_wall = time.perf_counter() - parallel_start
+        result.raise_on_failure()
+
+        identical = all(
+            (seq_dir / f"seed{outcome.job.seed}.jsonl").read_bytes()
+            == outcome.path.read_bytes()
+            for outcome in result.outcomes
+        )
+    return {
+        "sequential_wall": sequential_wall,
+        "parallel_wall": parallel_wall,
+        "speedup": sequential_wall / parallel_wall,
+        "identical": identical,
+        "metrics": result.metrics,
+    }
+
+
+def test_parallel_sweep_speedup(benchmark):
+    """Fleet vs. sequential: the multiprocess scaling record.
+
+    The ≥2.5× wall-clock assertion only applies where it can physically
+    hold (4+ cores and 4+ workers); smaller hosts still check machinery
+    and bit-identity and record the measured ratio.
+    """
+    outcome = benchmark.pedantic(_sweep_both_ways, rounds=1, iterations=1)
+    cores = os.cpu_count() or 1
+    print_artifact(
+        f"Parallel sweep speedup ({len(_SWEEP_SEEDS)}-seed {_SWEEP_PRESET} "
+        f"preset, {_SWEEP_JOBS} workers, {cores} cores)",
+        f"sequential wall : {outcome['sequential_wall']:,.1f} s\n"
+        f"fleet wall      : {outcome['parallel_wall']:,.1f} s\n"
+        f"speedup         : {outcome['speedup']:.2f}x\n"
+        f"bit-identical   : {outcome['identical']}\n"
+        + format_fleet_profile(outcome["metrics"]),
+        {"note": "infrastructure bench, no paper analogue"},
+    )
+    assert outcome["identical"], "fleet datasets diverged from sequential runs"
+    if cores >= 4 and _SWEEP_JOBS >= 4 and len(_SWEEP_SEEDS) >= 4:
+        assert outcome["speedup"] >= 2.5
+

@@ -7,6 +7,10 @@ world with a majority pool and measure what happens to single-pool block
 runs, censorship windows and finality — the scenario every permissionless
 chain's security argument assumes away.
 
+The two share variants are independent campaigns, so they run as an
+ablation grid on the parallel campaign fleet (one worker process per
+variant) instead of back-to-back.
+
 Run with::
 
     python examples/majority_pool.py
@@ -19,12 +23,14 @@ from repro.analysis.sequences import (
     expected_streaks,
     sequence_analysis,
 )
+from repro.experiments.fleet import CampaignJob, CampaignPool
 from repro.geo.regions import Region
-from repro.measurement.campaign import Campaign, CampaignConfig
+from repro.measurement.campaign import CampaignConfig
 from repro.node.pool import PoolSpec
 from repro.workload import ScenarioConfig, WorkloadConfig
 
 BLOCKS = 250
+SHARES = (0.25, 0.51)
 
 
 def build_campaign(majority_share: float, seed: int = 17) -> CampaignConfig:
@@ -53,9 +59,21 @@ def build_campaign(majority_share: float, seed: int = 17) -> CampaignConfig:
 
 
 def main() -> None:
-    for share in (0.25, 0.51):
+    jobs = [
+        CampaignJob(
+            config=build_campaign(share),
+            seed=17,
+            label=f"majority-{round(100 * share)}pct",
+        )
+        for share in SHARES
+    ]
+    pool = CampaignPool(jobs=len(jobs), progress=print)
+    sweep = pool.run(jobs)
+    sweep.raise_on_failure()
+
+    for share, outcome in zip(SHARES, sweep.outcomes):
         print(f"\n=== majority pool at {share:.0%} hash power ===")
-        dataset = Campaign(build_campaign(share)).run()
+        dataset = outcome.dataset
         runs = sequence_analysis(dataset)
         name = "MajorityPool"
         longest = runs.max_run.get(name, 0)

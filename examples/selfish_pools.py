@@ -6,7 +6,13 @@ one-miner forks — and argue both are profitable, hence likely to spread.
 This example makes the profitability claim concrete: two pools with
 identical hash power race for a few hundred blocks, one honest and one
 running the one-miner fork policy, and we compare the ETH each collects
-per unit of hash power.
+per lottery win (distinct height it produced blocks at).
+
+A single short race is noisy, so the duel runs as a multi-seed sweep on
+the parallel campaign fleet: every seed is an independent world, the
+fleet fans them out over worker processes, and the verdict is the mean
+advantage across seeds — the confidence-interval workflow the fleet
+exists for.
 
 Run with::
 
@@ -15,13 +21,19 @@ Run with::
 
 from __future__ import annotations
 
-from repro.chain.rewards import ledger_for_chain
+from repro.analysis.fairness import reward_ledger
+from repro.experiments.fleet import CampaignPool, seed_sweep_jobs
 from repro.geo.regions import Region
+from repro.measurement.campaign import CampaignConfig
+from repro.measurement.dataset import MeasurementDataset
 from repro.node.pool import PoolPolicy, PoolSpec
-from repro.workload import ScenarioConfig, WorkloadConfig, build_scenario
+from repro.workload import ScenarioConfig, WorkloadConfig
+
+BLOCKS = 300
+SEEDS = (13, 14)
 
 
-def build_duel(seed: int = 13) -> ScenarioConfig:
+def build_duel(seed: int = 13) -> CampaignConfig:
     """Two equal pools; one harvests uncle rewards via one-miner forks."""
     honest = PoolSpec(
         name="HonestPool",
@@ -43,48 +55,85 @@ def build_duel(seed: int = 13) -> ScenarioConfig:
         home_region=Region.NORTH_AMERICA,
         policy=PoolPolicy(),
     )
-    return ScenarioConfig(
-        seed=seed,
-        n_nodes=24,
-        pool_specs=(honest, selfish, fringe),
-        workload=WorkloadConfig(tx_rate=0.5, senders=40),
-        warmup=20.0,
+    return CampaignConfig(
+        scenario=ScenarioConfig(
+            seed=seed,
+            n_nodes=24,
+            pool_specs=(honest, selfish, fringe),
+            workload=WorkloadConfig(tx_rate=0.5, senders=40),
+            warmup=20.0,
+        ),
+        duration=BLOCKS * 13.3,
     )
 
 
+def _lottery_wins(dataset: MeasurementDataset) -> dict[str, int]:
+    """Distinct heights each pool produced blocks at — its lottery wins.
+
+    A one-miner fork publishes *several* same-height variants per win, so
+    counting distinct heights (not blocks) keeps the denominator equal
+    between honest and selfish pools of equal hash power.
+    """
+    heights: dict[str, set[int]] = {}
+    for block in dataset.chain.blocks.values():
+        if block.height == 0:
+            continue
+        heights.setdefault(block.miner, set()).add(block.height)
+    return {name: len(won) for name, won in heights.items()}
+
+
+def _rates(dataset: MeasurementDataset) -> dict[str, float]:
+    """ETH per lottery win, per pool."""
+    ledger = reward_ledger(dataset)
+    wins = _lottery_wins(dataset)
+    return {
+        name: ledger.get(name, 0.0) / count
+        for name, count in wins.items()
+        if count
+    }
+
+
 def main() -> None:
-    scenario = build_scenario(build_duel())
-    blocks = 400
-    print(f"Racing HonestPool vs SelfishPool for ~{blocks} blocks...")
-    scenario.start()
-    scenario.run_for(blocks * scenario.config.inter_block_time)
+    print(
+        f"Racing HonestPool vs SelfishPool for ~{BLOCKS} blocks "
+        f"across seeds {SEEDS} (parallel fleet)..."
+    )
+    pool = CampaignPool(jobs=len(SEEDS), progress=print)
+    sweep = pool.run(seed_sweep_jobs(config=build_duel(), seeds=SEEDS, label="duel"))
+    sweep.raise_on_failure()
 
-    tree = scenario.pools[0].primary.tree
-    ledger = ledger_for_chain(tree)
-    wins = scenario.coordinator.wins_by_pool()
+    advantages = []
+    for outcome in sweep.outcomes:
+        dataset = outcome.dataset
+        ledger = reward_ledger(dataset)
+        wins = _lottery_wins(dataset)
+        rates = _rates(dataset)
+        print(f"\n--- seed {outcome.job.seed} ---")
+        print(f"{'pool':<14} {'wins':>8} {'ETH earned':>12} {'ETH/win':>10}")
+        for name in ("HonestPool", "SelfishPool", "Fringe"):
+            print(
+                f"{name:<14} {wins.get(name, 0):>8} "
+                f"{ledger.get(name, 0.0):>12.2f} {rates.get(name, 0.0):>10.3f}"
+            )
+        honest_rate = rates.get("HonestPool", 0.0)
+        selfish_rate = rates.get("SelfishPool", 0.0)
+        if honest_rate > 0:
+            advantages.append(selfish_rate / honest_rate - 1)
 
+    mean_advantage = 100 * sum(advantages) / len(advantages) if advantages else 0.0
     print()
-    print(f"{'pool':<14} {'lottery wins':>12} {'ETH earned':>12} {'ETH/win':>9}")
-    for name in ("HonestPool", "SelfishPool", "Fringe"):
-        earned = ledger.get(name, 0.0)
-        count = wins.get(name, 0)
-        per_win = earned / count if count else 0.0
-        print(f"{name:<14} {count:>12} {earned:>12.2f} {per_win:>9.3f}")
-
-    honest_rate = ledger.get("HonestPool", 0.0) / max(wins.get("HonestPool", 1), 1)
-    selfish_rate = ledger.get("SelfishPool", 0.0) / max(wins.get("SelfishPool", 1), 1)
-    print()
-    if selfish_rate > honest_rate:
-        advantage = 100 * (selfish_rate / honest_rate - 1)
+    if mean_advantage > 0:
         print(
-            f"SelfishPool earned {advantage:.1f}% more ETH per lottery win: "
+            f"Across {len(advantages)} seeds SelfishPool earned "
+            f"{mean_advantage:.1f}% more ETH per lottery win on average: "
             "the losing same-height variants were recognized as uncles and "
             "paid out anyway — the §III-C5 exploit."
         )
     else:
         print(
-            "No advantage this run (short race, heavy variance) — rerun "
-            "with another seed; over a month the edge compounds."
+            "No mean advantage across these seeds (short races, heavy "
+            "variance) — add seeds to the sweep; over a month the edge "
+            "compounds."
         )
     print(
         "\n§V's proposed fix — reject uncles whose miner already mined the "

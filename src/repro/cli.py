@@ -3,6 +3,7 @@
 Subcommands::
 
     repro run       — run a campaign and save the data set as JSONL
+    repro sweep     — run a multi-seed campaign fleet in parallel
     repro analyze   — run experiments against a saved (or fresh) data set
     repro list      — list available experiments and presets
     repro history   — §III-D whole-history streak lookback (no campaign)
@@ -19,15 +20,19 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.analysis.sequences import simulate_history_epochs
-from repro.experiments.cache import campaign_dataset
+from repro.experiments.cache import DEFAULT_CACHE_DIR, campaign_dataset
+from repro.experiments.fleet import run_seed_sweep
 from repro.experiments.presets import preset
 from repro.experiments.registry import (
     EXPERIMENTS,
     all_experiment_ids,
     get_experiment,
 )
+from repro.experiments.result import ensure_renderable
 from repro.measurement.campaign import Campaign
 from repro.measurement.dataset import MeasurementDataset
+from repro.measurement.merge import merge_datasets
+from repro.stats import format_fleet_profile
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -42,6 +47,29 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--preset", default="small", choices=("small", "standard", "large"))
     run.add_argument("--seed", type=int, default=1)
     run.add_argument("--out", type=Path, default=None, help="save data set as JSONL")
+
+    sweep = sub.add_parser(
+        "sweep", help="run a multi-seed campaign fleet in parallel"
+    )
+    sweep.add_argument(
+        "--preset", default="small", choices=("small", "standard", "large")
+    )
+    sweep.add_argument("--seed", type=int, default=1, help="first seed")
+    sweep.add_argument(
+        "--seeds", type=int, default=2, help="number of seeds (seed .. seed+N-1)"
+    )
+    sweep.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: all cores)",
+    )
+    sweep.add_argument(
+        "--cache-dir", type=Path, default=DEFAULT_CACHE_DIR,
+        help="disk cache the workers write per-seed datasets into",
+    )
+    sweep.add_argument(
+        "--merged-out", type=Path, default=None,
+        help="also save the merged multi-seed data set as JSONL",
+    )
 
     analyze = sub.add_parser("analyze", help="run experiments on a data set")
     analyze.add_argument("experiments", nargs="*", help="experiment ids (default: all)")
@@ -75,6 +103,36 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.seeds < 1:
+        print("--seeds must be >= 1")
+        return 2
+    result = run_seed_sweep(
+        args.preset,
+        seeds=range(args.seed, args.seed + args.seeds),
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_disk=True,
+        progress=print,
+    )
+    print(format_fleet_profile(result.metrics))
+    for outcome in result.outcomes:
+        if outcome.ok:
+            blocks = len(outcome.dataset.chain.canonical_hashes) - 1
+            origin = "cache" if outcome.from_cache else "worker"
+            print(
+                f"  seed {outcome.job.seed}: {blocks} main blocks "
+                f"({origin}, {outcome.path})"
+            )
+        else:
+            print(f"  seed {outcome.job.seed}: FAILED — {outcome.error}")
+    if args.merged_out is not None and result.datasets():
+        merged = merge_datasets(result.datasets(), allow_disjoint_worlds=True)
+        merged.save(args.merged_out)
+        print(f"merged data set saved to {args.merged_out}")
+    return 1 if result.failures() else 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     ids = args.experiments or all_experiment_ids()
     for experiment_id in ids:
@@ -88,7 +146,10 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         experiment = get_experiment(experiment_id)
         print(f"\n[{experiment.experiment_id}] {experiment.title}")
         try:
-            print(experiment.run(dataset).render())  # type: ignore[attr-defined]
+            result = ensure_renderable(
+                experiment.run(dataset), experiment.experiment_id
+            )
+            print(result.render())
         except Exception as error:
             failures += 1
             print(f"  analysis failed: {error}")
@@ -113,6 +174,7 @@ def _cmd_history(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "run": _cmd_run,
+    "sweep": _cmd_sweep,
     "analyze": _cmd_analyze,
     "list": _cmd_list,
     "history": _cmd_history,

@@ -43,3 +43,14 @@ class DatasetError(ReproError):
 class AnalysisError(ReproError):
     """An analysis was invoked on data that cannot support it
     (e.g. no vantage observed any block)."""
+
+
+class ExperimentError(ReproError):
+    """An experiment misbehaved as a *component*: its analysis returned
+    something that is not a renderable result (see
+    :mod:`repro.experiments.result`)."""
+
+
+class FleetError(ReproError):
+    """The parallel campaign fleet was misused (bad job spec, zero
+    workers) or could not complete a sweep."""

@@ -1,6 +1,16 @@
-"""Experiment registry, campaign presets and the artifact runner."""
+"""Experiment registry, campaign presets, the artifact runner and the
+parallel campaign fleet."""
 
 from repro.experiments.cache import campaign_dataset, clear_memory_cache
+from repro.experiments.fleet import (
+    CampaignJob,
+    CampaignPool,
+    FleetMetrics,
+    FleetResult,
+    JobOutcome,
+    run_seed_sweep,
+    seed_sweep_jobs,
+)
 from repro.experiments.presets import (
     SCALED_NODE_CONFIG,
     large_campaign,
@@ -15,20 +25,30 @@ from repro.experiments.registry import (
     get_experiment,
 )
 from repro.experiments.report import render_report
+from repro.experiments.result import ExperimentResult, ensure_renderable
 from repro.experiments.runner import run_experiment
 
 __all__ = [
     "EXPERIMENTS",
+    "CampaignJob",
+    "CampaignPool",
     "Experiment",
+    "ExperimentResult",
+    "FleetMetrics",
+    "FleetResult",
+    "JobOutcome",
     "SCALED_NODE_CONFIG",
     "all_experiment_ids",
     "campaign_dataset",
     "clear_memory_cache",
+    "ensure_renderable",
     "get_experiment",
     "large_campaign",
     "preset",
     "render_report",
     "run_experiment",
+    "run_seed_sweep",
+    "seed_sweep_jobs",
     "small_campaign",
     "standard_campaign",
 ]

@@ -5,6 +5,14 @@ figures all derive from one measurement window.  Running the simulation
 once per experiment would waste minutes, so :func:`campaign_dataset`
 memoises datasets per (preset, seed) — in process, and optionally on disk
 as the JSONL format the measurement layer already speaks.
+
+The disk cache is safe under concurrency: datasets are written atomically
+(tmp sibling + ``os.replace``, see ``MeasurementDataset.save``), so the
+parallel campaign fleet's workers can target the same cache directory as
+the parent — and as each other — without a reader ever observing a
+truncated file.  :func:`load_cached_dataset` is the shared tolerant
+loader: a corrupt or missing file reads as "not cached", never as an
+exception.
 """
 
 from __future__ import annotations
@@ -27,11 +35,34 @@ def cache_key(preset_name: str, seed: int) -> str:
     return f"campaign-{preset_name}-seed{seed}.jsonl"
 
 
+def load_cached_dataset(path: Path) -> Optional[MeasurementDataset]:
+    """Load a cached dataset, treating any corruption as a cache miss.
+
+    Truncated JSONL raises ``JSONDecodeError``, a bad record tag
+    ``KeyError``, and so on — all of them mean "regenerate", not "crash",
+    both for :func:`campaign_dataset` and for the fleet's cache-aware
+    scheduler.
+    """
+    if not path.exists():
+        return None
+    try:
+        return MeasurementDataset.load(path)
+    except (DatasetError, OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def store_dataset(dataset: MeasurementDataset, path: Path) -> None:
+    """Persist ``dataset`` at ``path`` atomically, creating parents."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    dataset.save(path)
+
+
 def campaign_dataset(
     preset_name: str = "standard",
     seed: int = 1,
     cache_dir: Optional[Path] = None,
     use_disk: bool = False,
+    dataset: Optional[MeasurementDataset] = None,
 ) -> MeasurementDataset:
     """Return the (possibly cached) dataset for a preset campaign.
 
@@ -40,28 +71,34 @@ def campaign_dataset(
         seed: Campaign seed.
         cache_dir: Directory for the optional disk cache.
         use_disk: Persist/reuse the dataset as JSONL on disk.
+        dataset: An already-materialized dataset for this (preset, seed)
+            — e.g. produced by a fleet worker in another process.  It is
+            adopted into the memory cache (and the disk cache when
+            ``use_disk`` and not yet present) instead of re-running the
+            campaign, so the fleet and the cache share one code path.
     """
     directory = Path(cache_dir) if cache_dir is not None else DEFAULT_CACHE_DIR
     # The memory key carries the cache directory so callers using private
     # directories (e.g. tests with tmp_path) cannot cross-contaminate.
     key = (preset_name, seed, str(directory))
-    dataset = _MEMORY_CACHE.get(key)
+    path = directory / cache_key(preset_name, seed)
+
     if dataset is not None:
+        if use_disk and load_cached_dataset(path) is None:
+            store_dataset(dataset, path)
+        _MEMORY_CACHE[key] = dataset
         return dataset
 
-    path = directory / cache_key(preset_name, seed)
-    if use_disk and path.exists():
-        try:
-            dataset = MeasurementDataset.load(path)
-        except (DatasetError, OSError, ValueError, KeyError, TypeError):
-            # Corrupt or unreadable cache (truncated JSONL raises
-            # JSONDecodeError, a bad record tag KeyError, ...): regenerate.
-            dataset = None
+    cached = _MEMORY_CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    if use_disk:
+        dataset = load_cached_dataset(path)
     if dataset is None:
         dataset = Campaign(preset(preset_name, seed)).run()
         if use_disk:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            dataset.save(path)
+            store_dataset(dataset, path)
     _MEMORY_CACHE[key] = dataset
     return dataset
 

@@ -1,0 +1,529 @@
+"""Parallel campaign fleet: multiprocess seed sweeps and ablation grids.
+
+The paper's workloads that matter statistically — multi-seed confidence
+intervals, ablation benches, pool-share sweeps — are grids of *independent*
+campaigns.  Run sequentially they scale linearly with variant count while
+every core but one idles; the fleet fans them out over a
+:mod:`multiprocessing` worker pool instead.
+
+Design (see DESIGN.md §"Parallel campaign fleet"):
+
+* **Job specs** — a :class:`CampaignJob` names either a preset
+  (``preset_name`` + ``seed``) or an arbitrary
+  :class:`~repro.measurement.campaign.CampaignConfig` ablation variant
+  (``config`` + ``label`` + ``seed``).
+* **Determinism** — a worker runs exactly the code a sequential
+  ``Campaign(config).run()`` would, and ships its dataset back through the
+  existing JSONL serialization, so per-job datasets are bit-identical to
+  sequential execution for the same seeds.
+* **Cache interplay** — with ``use_disk`` the workers write *straight into*
+  the shared disk cache (atomically, tmp + ``os.replace``); jobs already on
+  disk are served by the parent without spawning a worker at all.
+* **Fault tolerance** — a worker that raises (or is killed) is retried
+  ``retries`` times; a job that keeps failing becomes a per-job failure in
+  the :class:`FleetResult` instead of sinking the sweep.
+* **Observability** — throughput counters surface as
+  :class:`FleetMetrics`, rendered by
+  :func:`repro.stats.format_fleet_profile`, mirroring
+  :mod:`repro.sim.profile`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import multiprocessing
+import os
+import re
+import tempfile
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, replace
+from multiprocessing import connection
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+from repro.errors import FleetError
+from repro.experiments.cache import (
+    DEFAULT_CACHE_DIR,
+    cache_key,
+    campaign_dataset,
+    load_cached_dataset,
+    store_dataset,
+)
+from repro.experiments.presets import preset
+from repro.measurement.campaign import Campaign, CampaignConfig
+from repro.measurement.dataset import MeasurementDataset
+from repro.measurement.merge import merge_datasets
+
+_LABEL_PATTERN = re.compile(r"[A-Za-z0-9._-]+")
+
+
+def config_digest(config: CampaignConfig) -> str:
+    """A short stable digest of a campaign configuration.
+
+    Embedded in ablation-job cache filenames so that reusing a label with
+    a *changed* config can never serve a stale dataset.
+    """
+    canonical = json.dumps(
+        dataclasses.asdict(config), sort_keys=True, default=str
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:10]
+
+
+@dataclass(frozen=True)
+class CampaignJob:
+    """One independent campaign in a sweep.
+
+    Exactly one of ``preset_name`` / ``config`` must be given:
+
+    * ``CampaignJob(preset_name="standard", seed=3)`` — a named preset;
+    * ``CampaignJob(config=variant, label="majority-51", seed=3)`` — an
+      arbitrary ablation variant.  ``seed`` overrides the scenario seed
+      embedded in ``config`` so one variant fans out over many seeds.
+
+    Attributes:
+        preset_name: Preset campaign name (``small``/``standard``/``large``).
+        config: Explicit campaign configuration (ablation variants).
+        seed: Campaign seed for this job.
+        label: Display + cache label; required for ``config`` jobs,
+            optional override for preset jobs.  Filesystem-friendly
+            (letters, digits, ``._-``).
+    """
+
+    preset_name: Optional[str] = None
+    config: Optional[CampaignConfig] = None
+    seed: int = 1
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if (self.preset_name is None) == (self.config is None):
+            raise FleetError(
+                "a CampaignJob needs exactly one of preset_name or config"
+            )
+        if self.config is not None and self.label is None:
+            raise FleetError("config jobs need a label for cache/reporting")
+        if self.label is not None and not _LABEL_PATTERN.fullmatch(self.label):
+            raise FleetError(
+                f"job label {self.label!r} is not filesystem-friendly "
+                "(use letters, digits, '.', '_', '-')"
+            )
+        if self.preset_name is not None:
+            preset(self.preset_name, self.seed)  # fail fast on unknown names
+
+    @property
+    def name(self) -> str:
+        """Human-readable job name (label, falling back to the preset)."""
+        label = self.label or self.preset_name
+        assert label is not None
+        return label
+
+    def resolved_config(self) -> CampaignConfig:
+        """The concrete campaign configuration this job runs."""
+        if self.preset_name is not None:
+            return preset(self.preset_name, self.seed)
+        assert self.config is not None
+        return replace(
+            self.config, scenario=replace(self.config.scenario, seed=self.seed)
+        )
+
+    def cache_filename(self) -> str:
+        """Disk-cache filename; preset jobs share :func:`cache_key`'s."""
+        if self.preset_name is not None and self.label is None:
+            return cache_key(self.preset_name, self.seed)
+        digest = config_digest(self.resolved_config())
+        return f"campaign-{self.name}-{digest}-seed{self.seed}.jsonl"
+
+
+@dataclass
+class JobOutcome:
+    """Result of one fleet job (success, cache hit, or failure).
+
+    Attributes:
+        job: The job spec.
+        dataset: The campaign dataset (``None`` on failure).
+        error: Failure description after all retries (``None`` on success).
+        attempts: Worker attempts consumed (0 for a pure cache hit).
+        from_cache: Served from the disk cache without spawning a worker.
+        events_processed: Simulator events the worker processed.
+        wall_seconds: Worker-side campaign wall time.
+        path: Disk-cache path holding the dataset (``None`` unless the
+            fleet ran with ``use_disk``).
+    """
+
+    job: CampaignJob
+    dataset: Optional[MeasurementDataset] = None
+    error: Optional[str] = None
+    attempts: int = 0
+    from_cache: bool = False
+    events_processed: int = 0
+    wall_seconds: float = 0.0
+    path: Optional[Path] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.dataset is not None
+
+
+@dataclass(frozen=True)
+class FleetMetrics:
+    """Immutable sweep-level throughput counters (cf. ``SimMetrics``).
+
+    Attributes:
+        jobs_total: Jobs submitted.
+        jobs_succeeded: Jobs that produced a dataset (cache hits included).
+        jobs_failed: Jobs that failed after all retries.
+        cache_hits: Jobs served from the disk cache without a worker.
+        retries: Worker re-launches after a failed attempt.
+        workers: Concurrent worker-process cap the sweep ran with.
+        wall_seconds: Sweep wall-clock time in the parent.
+        total_events: Simulator events across all workers.
+    """
+
+    jobs_total: int
+    jobs_succeeded: int
+    jobs_failed: int
+    cache_hits: int
+    retries: int
+    workers: int
+    wall_seconds: float
+    total_events: int
+
+    @property
+    def campaigns_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.jobs_succeeded / self.wall_seconds
+
+    @property
+    def events_per_second(self) -> float:
+        """Aggregate simulator throughput across the whole fleet."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.total_events / self.wall_seconds
+
+
+@dataclass
+class FleetResult:
+    """Everything a sweep produced, in job-submission order."""
+
+    outcomes: list[JobOutcome]
+    metrics: FleetMetrics
+
+    def datasets(self) -> list[MeasurementDataset]:
+        """Successful datasets, in job order."""
+        return [o.dataset for o in self.outcomes if o.dataset is not None]
+
+    def failures(self) -> list[JobOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    def raise_on_failure(self) -> None:
+        """Raise :class:`FleetError` summarising any failed jobs."""
+        failed = self.failures()
+        if failed:
+            summary = "; ".join(
+                f"{o.job.name} seed {o.job.seed}: {o.error}" for o in failed
+            )
+            raise FleetError(f"{len(failed)} fleet job(s) failed: {summary}")
+
+    def merged(self) -> MeasurementDataset:
+        """All successful datasets merged for record-stream aggregation."""
+        return merge_datasets(self.datasets(), allow_disjoint_worlds=True)
+
+
+def _write_json_atomic(path: Path, payload: dict) -> None:
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(json.dumps(payload), encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def _fleet_worker(job: CampaignJob, out_path: str, meta_path: str) -> None:
+    """Run one campaign in a child process.
+
+    The dataset travels through the disk (atomic JSONL write at
+    ``out_path``) rather than a pickle pipe so that it takes exactly the
+    same serialization path as the cache, and a crash mid-write can never
+    corrupt a previously complete file.  ``meta_path`` carries the
+    throughput counters (or the traceback on failure).
+    """
+    try:
+        started = time.perf_counter()
+        campaign = Campaign(job.resolved_config())
+        dataset = campaign.run()
+        wall = time.perf_counter() - started
+        store_dataset(dataset, Path(out_path))
+        metrics = campaign.metrics
+        _write_json_atomic(
+            Path(meta_path),
+            {
+                "ok": True,
+                "events_processed": (
+                    metrics.events_processed if metrics is not None else 0
+                ),
+                "wall_seconds": wall,
+            },
+        )
+    except BaseException:
+        _write_json_atomic(
+            Path(meta_path),
+            {"ok": False, "error": traceback.format_exc(limit=8)},
+        )
+        raise SystemExit(1)
+
+
+class CampaignPool:
+    """Fans independent :class:`CampaignJob`\\ s out over worker processes.
+
+    Args:
+        jobs: Concurrent worker cap; defaults to ``os.cpu_count()``.
+        cache_dir: Disk-cache directory (default ``.repro-cache``).
+        use_disk: Serve cached jobs from / persist results to the disk
+            cache (workers write straight into it).
+        retries: Worker re-launches per job after a failed attempt.
+        progress: Callback for one-line progress reports (e.g. ``print``);
+            ``None`` keeps the sweep silent.
+        start_method: ``multiprocessing`` start method; defaults to
+            ``fork`` where available (bit-exact inheritance of the parent
+            interpreter state), else the platform default.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache_dir: Optional[Path] = None,
+        use_disk: bool = False,
+        retries: int = 1,
+        progress: Optional[Callable[[str], None]] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        workers = jobs if jobs is not None else (os.cpu_count() or 1)
+        if workers < 1:
+            raise FleetError("a fleet needs at least one worker")
+        if retries < 0:
+            raise FleetError("retries must be >= 0")
+        self.workers = workers
+        self.cache_dir = (
+            Path(cache_dir) if cache_dir is not None else DEFAULT_CACHE_DIR
+        )
+        self.use_disk = use_disk
+        self.retries = retries
+        self.progress = progress
+        if start_method is None and (
+            "fork" in multiprocessing.get_all_start_methods()
+        ):
+            start_method = "fork"
+        self._context = multiprocessing.get_context(start_method)
+
+    # ------------------------------------------------------------------ #
+    # Sweep execution
+    # ------------------------------------------------------------------ #
+
+    def run(self, jobs: Sequence[CampaignJob]) -> FleetResult:
+        """Run every job; never raises for per-job failures."""
+        jobs = list(jobs)
+        if not jobs:
+            raise FleetError("no jobs to run")
+        started = time.perf_counter()
+        outcomes = [JobOutcome(job=job) for job in jobs]
+        state = _SweepState(total=len(jobs))
+
+        with tempfile.TemporaryDirectory(prefix="repro-fleet-") as spool_dir:
+            spool = Path(spool_dir)
+            pending: deque[int] = deque()
+            for index, job in enumerate(jobs):
+                if self._serve_from_cache(outcomes[index]):
+                    state.cache_hits += 1
+                    state.done += 1
+                    self._report(state, started)
+                else:
+                    pending.append(index)
+
+            running: dict[int, multiprocessing.process.BaseProcess] = {}
+            while pending or running:
+                while pending and len(running) < self.workers:
+                    index = pending.popleft()
+                    running[index] = self._spawn(index, jobs[index], spool)
+                self._wait_any(running)
+                for index in [
+                    i for i, p in running.items() if not p.is_alive()
+                ]:
+                    process = running.pop(index)
+                    process.join()
+                    retry = self._harvest(
+                        outcomes[index], process.exitcode, spool, index, state
+                    )
+                    if retry:
+                        pending.append(index)
+                    else:
+                        state.done += 1
+                        self._report(state, started)
+
+        metrics = FleetMetrics(
+            jobs_total=len(jobs),
+            jobs_succeeded=sum(1 for o in outcomes if o.ok),
+            jobs_failed=sum(1 for o in outcomes if not o.ok),
+            cache_hits=state.cache_hits,
+            retries=state.retries,
+            workers=self.workers,
+            wall_seconds=time.perf_counter() - started,
+            total_events=sum(o.events_processed for o in outcomes),
+        )
+        return FleetResult(outcomes=outcomes, metrics=metrics)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _serve_from_cache(self, outcome: JobOutcome) -> bool:
+        """Cache-aware scheduling: a job already on disk needs no worker."""
+        if not self.use_disk:
+            return False
+        path = self.cache_dir / outcome.job.cache_filename()
+        dataset = load_cached_dataset(path)
+        if dataset is None:
+            return False
+        outcome.dataset = dataset
+        outcome.from_cache = True
+        outcome.path = path
+        self._adopt(outcome.job, dataset)
+        return True
+
+    def _job_paths(self, index: int, job: CampaignJob, spool: Path) -> tuple[Path, Path]:
+        if self.use_disk:
+            out_path = self.cache_dir / job.cache_filename()
+        else:
+            out_path = spool / f"job-{index}.jsonl"
+        return out_path, spool / f"job-{index}.meta.json"
+
+    def _spawn(
+        self, index: int, job: CampaignJob, spool: Path
+    ) -> multiprocessing.process.BaseProcess:
+        out_path, meta_path = self._job_paths(index, job, spool)
+        meta_path.unlink(missing_ok=True)  # clear a previous attempt's report
+        process = self._context.Process(
+            target=_fleet_worker,
+            args=(job, str(out_path), str(meta_path)),
+            name=f"fleet-{job.name}-seed{job.seed}",
+        )
+        process.start()
+        return process
+
+    @staticmethod
+    def _wait_any(
+        running: dict[int, multiprocessing.process.BaseProcess]
+    ) -> None:
+        if running:
+            connection.wait(
+                [p.sentinel for p in running.values()], timeout=1.0
+            )
+
+    def _harvest(
+        self,
+        outcome: JobOutcome,
+        exitcode: Optional[int],
+        spool: Path,
+        index: int,
+        state: "_SweepState",
+    ) -> bool:
+        """Absorb one finished worker; return True when the job must retry."""
+        outcome.attempts += 1
+        out_path, meta_path = self._job_paths(index, outcome.job, spool)
+        meta: dict = {}
+        if meta_path.exists():
+            try:
+                meta = json.loads(meta_path.read_text(encoding="utf-8"))
+            except ValueError:
+                meta = {}
+        error: Optional[str] = None
+        if exitcode == 0 and meta.get("ok"):
+            dataset = load_cached_dataset(out_path)
+            if dataset is not None:
+                outcome.dataset = dataset
+                outcome.error = None
+                outcome.events_processed = int(meta.get("events_processed", 0))
+                outcome.wall_seconds = float(meta.get("wall_seconds", 0.0))
+                outcome.path = out_path if self.use_disk else None
+                self._adopt(outcome.job, dataset)
+                return False
+            error = f"worker wrote an unreadable dataset at {out_path}"
+        elif meta.get("error"):
+            error = str(meta["error"]).strip().splitlines()[-1]
+        else:
+            error = f"worker died with exit code {exitcode}"
+        if outcome.attempts <= self.retries:
+            state.retries += 1
+            return True
+        outcome.error = error
+        return False
+
+    def _adopt(self, job: CampaignJob, dataset: MeasurementDataset) -> None:
+        """Feed a worker-produced preset dataset through the shared cache
+        path so in-process consumers (runner, analyses) reuse it."""
+        if job.preset_name is not None and job.label is None:
+            campaign_dataset(
+                job.preset_name,
+                job.seed,
+                cache_dir=self.cache_dir,
+                use_disk=self.use_disk,
+                dataset=dataset,
+            )
+
+    def _report(self, state: "_SweepState", started: float) -> None:
+        if self.progress is None:
+            return
+        elapsed = max(time.perf_counter() - started, 1e-9)
+        self.progress(
+            f"[fleet] {state.done}/{state.total} jobs "
+            f"({state.cache_hits} cached, {state.retries} retried) | "
+            f"{state.done / elapsed:.2f} campaigns/s"
+        )
+
+
+@dataclass
+class _SweepState:
+    """Mutable progress counters for one :meth:`CampaignPool.run`."""
+
+    total: int
+    done: int = 0
+    cache_hits: int = 0
+    retries: int = 0
+
+
+# ---------------------------------------------------------------------- #
+# Convenience entry points
+# ---------------------------------------------------------------------- #
+
+
+def seed_sweep_jobs(
+    preset_name: Optional[str] = None,
+    seeds: Sequence[int] = (),
+    config: Optional[CampaignConfig] = None,
+    label: Optional[str] = None,
+) -> list[CampaignJob]:
+    """One job per seed for a preset or an explicit config variant."""
+    return [
+        CampaignJob(preset_name=preset_name, config=config, seed=seed, label=label)
+        for seed in seeds
+    ]
+
+
+def run_seed_sweep(
+    preset_name: str,
+    seeds: Sequence[int],
+    jobs: Optional[int] = None,
+    cache_dir: Optional[Path] = None,
+    use_disk: bool = False,
+    retries: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
+) -> FleetResult:
+    """Run a multi-seed sweep of a named preset across worker processes."""
+    pool = CampaignPool(
+        jobs=jobs,
+        cache_dir=cache_dir,
+        use_disk=use_disk,
+        retries=retries,
+        progress=progress,
+    )
+    return pool.run(seed_sweep_jobs(preset_name=preset_name, seeds=seeds))

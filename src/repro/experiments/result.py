@@ -1,0 +1,59 @@
+"""The experiment-result contract.
+
+Every analysis entry point in the registry returns *some* result object
+— a frozen dataclass with the numbers the paper artifact needs — and the
+runner, the CLI and the report generator all finish the job by calling
+``result.render()``.  Historically that call was duck-typed (and hidden
+behind ``# type: ignore[attr-defined]``), so an experiment returning the
+wrong thing surfaced as an ``AttributeError`` deep inside a sweep, long
+after the mistake was made.
+
+This module makes the contract explicit: :class:`ExperimentResult` is a
+runtime-checkable protocol (``render() -> str``), and
+:func:`ensure_renderable` is the single choke point every consumer runs
+a result through before rendering.  A misbehaving experiment now fails
+with an :class:`~repro.errors.ExperimentError` naming the experiment and
+the offending type.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.errors import ExperimentError
+
+
+@runtime_checkable
+class ExperimentResult(Protocol):
+    """What every experiment's ``run`` must return.
+
+    The analysis dataclasses (``PropagationResult``, ``ForkAnalysis``,
+    ``FairnessResult``, ...) satisfy this structurally — no subclassing
+    required; new experiments only need a zero-argument ``render``.
+    """
+
+    def render(self) -> str:  # pragma: no cover - protocol stub
+        """Render the artifact as the paper-vs-measured text block."""
+        ...
+
+
+def ensure_renderable(result: object, experiment_id: str) -> ExperimentResult:
+    """Validate that ``result`` honours the :class:`ExperimentResult` protocol.
+
+    Args:
+        result: Whatever the experiment's ``run`` returned.
+        experiment_id: The registry id, for the error message.
+
+    Returns:
+        ``result`` unchanged, typed as a renderable.
+
+    Raises:
+        ExperimentError: when ``result`` lacks a callable ``render``.
+    """
+    if not isinstance(result, ExperimentResult):
+        raise ExperimentError(
+            f"experiment {experiment_id!r} returned {type(result).__name__}, "
+            "which has no render() method; experiments must return an "
+            "ExperimentResult (see repro.experiments.result)"
+        )
+    return result

@@ -5,6 +5,11 @@ Usage::
     python -m repro.experiments.runner                 # all experiments
     python -m repro.experiments.runner fig2 table3     # a subset
     python -m repro.experiments.runner --preset large  # flagship campaign
+    python -m repro.experiments.runner --seeds 4 --jobs 4   # parallel sweep
+
+With ``--seeds N`` the campaign runs as a multi-seed fleet sweep (seeds
+``seed .. seed+N-1`` fanned out over ``--jobs`` worker processes) and the
+analyses aggregate over the merged multi-seed dataset.
 """
 
 from __future__ import annotations
@@ -14,26 +19,49 @@ from dataclasses import replace
 from typing import Sequence
 
 from repro.experiments.cache import campaign_dataset
+from repro.experiments.fleet import run_seed_sweep
 from repro.experiments.presets import preset
 from repro.experiments.registry import all_experiment_ids, get_experiment
+from repro.experiments.result import ensure_renderable
 from repro.measurement.campaign import Campaign
 from repro.measurement.dataset import MeasurementDataset
-from repro.stats import format_event_profile
+from repro.measurement.merge import merge_datasets
+from repro.stats import format_event_profile, format_fleet_profile
 
 
 def run_experiment(
     experiment_id: str, dataset: MeasurementDataset
 ) -> str:
-    """Run one experiment and return its rendered artifact + paper values."""
+    """Run one experiment and return its rendered artifact + paper values.
+
+    Raises:
+        ExperimentError: when the experiment's analysis returns something
+            that is not renderable (see :mod:`repro.experiments.result`).
+    """
     experiment = get_experiment(experiment_id)
-    result = experiment.run(dataset)
+    result = ensure_renderable(experiment.run(dataset), experiment_id)
     paper = "\n".join(
         f"    paper: {key} = {value}"
         for key, value in experiment.paper_values.items()
     )
     header = f"[{experiment.experiment_id}] {experiment.title}"
-    rendered = result.render()  # type: ignore[attr-defined]
-    return f"{header}\n{rendered}\n{paper}"
+    return f"{header}\n{result.render()}\n{paper}"
+
+
+def sweep_dataset(
+    preset_name: str, first_seed: int, seeds: int, jobs: int | None
+) -> MeasurementDataset:
+    """Run a multi-seed fleet sweep and merge the per-seed datasets."""
+    result = run_seed_sweep(
+        preset_name,
+        seeds=range(first_seed, first_seed + seeds),
+        jobs=jobs,
+        progress=print,
+    )
+    result.raise_on_failure()
+    print(format_fleet_profile(result.metrics))
+    print()
+    return merge_datasets(result.datasets(), allow_disjoint_worlds=True)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -52,6 +80,20 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=1, help="campaign seed")
     parser.add_argument(
+        "--seeds",
+        type=int,
+        default=1,
+        help="number of seeds (seed .. seed+N-1) to sweep; with N > 1 the "
+        "campaigns run as a parallel fleet and analyses aggregate over "
+        "the merged multi-seed dataset",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="fleet worker processes for --seeds (default: all cores)",
+    )
+    parser.add_argument(
         "--disk-cache",
         action="store_true",
         help="persist/reuse the campaign dataset under .repro-cache/",
@@ -63,6 +105,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "bypasses the dataset caches) and print the per-event-type table",
     )
     args = parser.parse_args(argv)
+    if args.seeds < 1:
+        parser.error("--seeds must be >= 1")
 
     ids = args.experiments or all_experiment_ids()
     for experiment_id in ids:
@@ -77,6 +121,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         dataset = campaign.run()
         print(format_event_profile(campaign.metrics))
         print()
+    elif args.seeds > 1:
+        dataset = sweep_dataset(args.preset, args.seed, args.seeds, args.jobs)
     else:
         dataset = campaign_dataset(args.preset, args.seed, use_disk=args.disk_cache)
     for experiment_id in ids:

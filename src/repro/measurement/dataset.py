@@ -14,6 +14,7 @@ open data release.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Optional
@@ -137,7 +138,15 @@ class MeasurementDataset:
     # ------------------------------------------------------------------ #
 
     def save(self, path: str | Path) -> None:
-        """Write the data set as JSONL (header line + one record/line)."""
+        """Write the data set as JSONL (header line + one record/line).
+
+        The write is atomic: records stream into a process-unique ``.tmp``
+        sibling which is ``os.replace``-d over ``path`` only once complete.
+        A concurrent reader therefore sees either the previous complete
+        file or the new complete file, never a truncated one — the
+        property the parallel campaign fleet's shared disk cache relies
+        on (a killed writer leaves only a stale ``.tmp`` behind).
+        """
         path = Path(path)
         header = {
             "_type": "Header",
@@ -149,10 +158,15 @@ class MeasurementDataset:
             "canonical_hashes": list(self.chain.canonical_hashes),
             "head_hash": self.chain.head_hash,
         }
-        with path.open("w", encoding="utf-8") as fh:
-            fh.write(json.dumps(header) + "\n")
-            for record in self._all_records():
-                fh.write(json.dumps(record_to_json(record)) + "\n")
+        tmp_path = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            with tmp_path.open("w", encoding="utf-8") as fh:
+                fh.write(json.dumps(header) + "\n")
+                for record in self._all_records():
+                    fh.write(json.dumps(record_to_json(record)) + "\n")
+            os.replace(tmp_path, path)
+        finally:
+            tmp_path.unlink(missing_ok=True)
 
     def _all_records(self) -> Iterable[object]:
         yield from self.block_messages

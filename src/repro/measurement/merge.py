@@ -26,28 +26,46 @@ def _chains_compatible(a: MeasurementDataset, b: MeasurementDataset) -> bool:
     return longer[: len(shorter)] == shorter
 
 
-def merge_datasets(datasets: Sequence[MeasurementDataset]) -> MeasurementDataset:
+def merge_datasets(
+    datasets: Sequence[MeasurementDataset],
+    allow_disjoint_worlds: bool = False,
+) -> MeasurementDataset:
     """Merge campaigns over the same simulated world into one dataset.
 
     The result carries the union of all records, the vantage map of every
     input, the longest chain snapshot, and the *earliest* measurement
     start (records outside any input's window were never logged anyway).
 
+    Args:
+        datasets: Campaign outputs to merge.
+        allow_disjoint_worlds: Permit merging campaigns from *different*
+            simulated worlds (multi-seed sweeps).  Record-stream analyses
+            (propagation delays, vantage shares, redundancy) then
+            aggregate observations across every seed — block and tx
+            hashes are seed-unique, so streams never collide — while the
+            single chain snapshot is taken from the longest input chain,
+            so chain-derived analyses (forks, sequences, summary) reflect
+            that one world.  See DESIGN.md §"Parallel campaign fleet".
+
     Raises:
         DatasetError: when no datasets are given, or the chain snapshots
-            are incompatible (different worlds).
+            are incompatible (different worlds) and
+            ``allow_disjoint_worlds`` is off.
     """
     if not datasets:
         raise DatasetError("nothing to merge")
     if len(datasets) == 1:
         return datasets[0]
     base = datasets[0]
-    for other in datasets[1:]:
-        if not _chains_compatible(base, other):
-            raise DatasetError(
-                "cannot merge datasets from different simulated worlds "
-                "(canonical chains disagree)"
-            )
+    if not allow_disjoint_worlds:
+        for other in datasets[1:]:
+            if not _chains_compatible(base, other):
+                raise DatasetError(
+                    "cannot merge datasets from different simulated worlds "
+                    "(canonical chains disagree); pass "
+                    "allow_disjoint_worlds=True to aggregate a multi-seed "
+                    "sweep"
+                )
     longest = max(datasets, key=lambda d: len(d.chain.canonical_hashes))
 
     merged = MeasurementDataset(

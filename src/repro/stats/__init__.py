@@ -13,7 +13,12 @@ from repro.stats.figures import (
     format_histogram,
     format_stacked_shares,
 )
-from repro.stats.tables import format_event_profile, format_percent, format_table
+from repro.stats.tables import (
+    format_event_profile,
+    format_fleet_profile,
+    format_percent,
+    format_table,
+)
 
 __all__ = [
     "Cdf",
@@ -22,6 +27,7 @@ __all__ = [
     "format_bar_chart",
     "format_cdf",
     "format_event_profile",
+    "format_fleet_profile",
     "format_histogram",
     "format_percent",
     "format_stacked_shares",

@@ -101,3 +101,25 @@ def format_event_profile(metrics) -> str:
     if metrics.queue_high_water is not None:
         lines.append(f"queue high-water : {metrics.queue_high_water:,}")
     return "\n".join(lines)
+
+
+def format_fleet_profile(metrics) -> str:
+    """Render a :class:`~repro.experiments.fleet.FleetMetrics` snapshot.
+
+    The sweep-level sibling of :func:`format_event_profile`: jobs done,
+    campaign throughput, and the aggregate simulator events/second across
+    every worker process.
+    """
+    lines = [
+        "Fleet profile",
+        f"jobs             : {metrics.jobs_total:,} "
+        f"({metrics.jobs_succeeded:,} ok, {metrics.jobs_failed:,} failed, "
+        f"{metrics.cache_hits:,} cached)",
+        f"workers          : {metrics.workers:,} "
+        f"(retries: {metrics.retries:,})",
+        f"sweep wall       : {metrics.wall_seconds:,.2f} s",
+        f"campaigns / s    : {metrics.campaigns_per_second:,.3f}",
+        f"events / second  : {metrics.events_per_second:,.0f} "
+        "(aggregate across workers)",
+    ]
+    return "\n".join(lines)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import multiprocessing
+
 from repro.experiments import cache
 from repro.measurement.dataset import MeasurementDataset
 
@@ -65,6 +67,82 @@ def test_garbage_disk_cache_regenerates(tmp_path):
         "small", seed=26, cache_dir=tmp_path, use_disk=True
     )
     assert reloaded.chain.canonical_hashes == dataset.chain.canonical_hashes
+    cache.clear_memory_cache()
+
+
+def test_save_is_atomic_and_leaves_no_tmp_sibling(tmp_path, small_dataset):
+    path = tmp_path / "ds.jsonl"
+    small_dataset.save(path)
+    assert path.exists()
+    assert list(tmp_path.glob("*.tmp")) == []
+
+
+def test_interrupted_write_cannot_corrupt_the_cache(tmp_path, small_dataset):
+    """A killed writer leaves only a truncated ``.tmp`` sibling behind;
+    readers of the real path must never see it."""
+    cache.clear_memory_cache()
+    path = tmp_path / cache.cache_key("small", 28)
+    cache.store_dataset(small_dataset, path)
+    # Simulate a writer killed mid-stream: a half-written tmp sibling.
+    stale = path.with_name(f"{path.name}.31337.tmp")
+    stale.write_text('{"_type": "Header", "vantage_regio')
+    loaded = cache.load_cached_dataset(path)
+    assert loaded is not None
+    assert loaded.chain.canonical_hashes == small_dataset.chain.canonical_hashes
+    # And the tolerant loader treats the truncated tmp itself as a miss.
+    assert cache.load_cached_dataset(stale) is None
+    cache.clear_memory_cache()
+
+
+def _hammer_saves(dataset, path: str, rounds: int) -> None:
+    for _ in range(rounds):
+        dataset.save(path)
+
+
+def test_two_processes_writing_one_cache_path_never_corrupt_reads(
+    tmp_path, small_dataset
+):
+    """Two processes repeatedly replacing the same cache file while the
+    parent reads it: every read must parse as a complete dataset."""
+    path = tmp_path / cache.cache_key("small", 29)
+    cache.store_dataset(small_dataset, path)
+    context = multiprocessing.get_context("fork")
+    writers = [
+        context.Process(
+            target=_hammer_saves, args=(small_dataset, str(path), 5)
+        )
+        for _ in range(2)
+    ]
+    for writer in writers:
+        writer.start()
+    expected = small_dataset.chain.canonical_hashes
+    reads = 0
+    while any(writer.is_alive() for writer in writers):
+        loaded = MeasurementDataset.load(path)
+        assert loaded.chain.canonical_hashes == expected
+        reads += 1
+    for writer in writers:
+        writer.join()
+        assert writer.exitcode == 0
+    assert reads > 0
+    assert MeasurementDataset.load(path).chain.canonical_hashes == expected
+
+
+def test_campaign_dataset_adopts_materialized_dataset(tmp_path, small_dataset):
+    """An already-materialized dataset (e.g. from a fleet worker) enters
+    both cache layers without re-running the campaign."""
+    cache.clear_memory_cache()
+    adopted = cache.campaign_dataset(
+        "small", 30, cache_dir=tmp_path, use_disk=True, dataset=small_dataset
+    )
+    assert adopted is small_dataset
+    disk_path = tmp_path / cache.cache_key("small", 30)
+    assert disk_path.exists()
+    # Memory cache serves the adopted object back.
+    assert (
+        cache.campaign_dataset("small", 30, cache_dir=tmp_path, use_disk=True)
+        is small_dataset
+    )
     cache.clear_memory_cache()
 
 

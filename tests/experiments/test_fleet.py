@@ -1,0 +1,200 @@
+"""Tests for the parallel campaign fleet.
+
+The load-bearing guarantees: job specs validate eagerly, a parallel sweep
+is *bit-identical* to sequential execution for the same seeds, a flaky
+worker is retried, a persistently failing job becomes a per-job failure
+without sinking the sweep, and jobs already in the disk cache are served
+without spawning a worker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import ConfigurationError, FleetError
+from repro.experiments import cache
+from repro.experiments.fleet import (
+    CampaignJob,
+    CampaignPool,
+    config_digest,
+    seed_sweep_jobs,
+)
+from repro.experiments.presets import small_campaign
+from repro.geo.regions import Region
+from repro.measurement.campaign import Campaign
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memory_cache():
+    cache.clear_memory_cache()
+    yield
+    cache.clear_memory_cache()
+
+
+# ---------------------------------------------------------------------- #
+# Job specs
+# ---------------------------------------------------------------------- #
+
+
+def test_job_requires_exactly_one_source():
+    with pytest.raises(FleetError):
+        CampaignJob()
+    with pytest.raises(FleetError):
+        CampaignJob(preset_name="small", config=small_campaign(), label="x")
+
+
+def test_config_job_requires_label():
+    with pytest.raises(FleetError):
+        CampaignJob(config=small_campaign())
+
+
+def test_job_rejects_hostile_label():
+    with pytest.raises(FleetError):
+        CampaignJob(config=small_campaign(), label="../escape")
+
+
+def test_job_rejects_unknown_preset_eagerly():
+    with pytest.raises(ConfigurationError):
+        CampaignJob(preset_name="galactic")
+
+
+def test_config_job_seed_overrides_scenario_seed():
+    job = CampaignJob(config=small_campaign(seed=1), label="variant", seed=9)
+    assert job.resolved_config().scenario.seed == 9
+
+
+def test_preset_job_cache_filename_matches_cache_key():
+    job = CampaignJob(preset_name="small", seed=7)
+    assert job.cache_filename() == cache.cache_key("small", 7)
+
+
+def test_config_job_cache_filename_tracks_config_changes():
+    base = small_campaign(seed=1)
+    job = CampaignJob(config=base, label="variant", seed=1)
+    changed = CampaignJob(
+        config=replace(base, duration=base.duration + 13.3),
+        label="variant",
+        seed=1,
+    )
+    assert "variant" in job.cache_filename()
+    assert job.cache_filename() != changed.cache_filename()
+    assert config_digest(base) != config_digest(changed.config)
+
+
+def test_pool_rejects_zero_workers_and_empty_sweeps():
+    with pytest.raises(FleetError):
+        CampaignPool(jobs=0)
+    with pytest.raises(FleetError):
+        CampaignPool(jobs=1).run([])
+
+
+# ---------------------------------------------------------------------- #
+# Parallel/sequential equivalence + cache-aware scheduling
+# ---------------------------------------------------------------------- #
+
+
+@pytest.mark.slow
+def test_parallel_sweep_bit_identical_and_cache_aware(tmp_path):
+    """A 2-worker sweep over seeds {1, 2} of the small preset produces
+    datasets byte-identical (after the JSONL round-trip) to sequential
+    ``Campaign(...).run()`` — and a rerun over the warm cache spawns no
+    workers at all."""
+    seeds = (1, 2)
+    sequential_dir = tmp_path / "sequential"
+    sequential_dir.mkdir()
+    for seed in seeds:
+        dataset = Campaign(small_campaign(seed=seed)).run()
+        dataset.save(sequential_dir / f"seed{seed}.jsonl")
+
+    fleet_dir = tmp_path / "fleet"
+    pool = CampaignPool(jobs=2, cache_dir=fleet_dir, use_disk=True)
+    result = pool.run(seed_sweep_jobs("small", seeds))
+    result.raise_on_failure()
+    assert result.metrics.jobs_succeeded == 2
+    for seed, outcome in zip(seeds, result.outcomes):
+        assert outcome.job.seed == seed
+        sequential_bytes = (sequential_dir / f"seed{seed}.jsonl").read_bytes()
+        assert outcome.path.read_bytes() == sequential_bytes
+
+    rerun = pool.run(seed_sweep_jobs("small", seeds))
+    assert rerun.metrics.cache_hits == 2
+    assert all(o.from_cache and o.attempts == 0 for o in rerun.outcomes)
+    assert [
+        d.chain.canonical_hashes for d in rerun.datasets()
+    ] == [d.chain.canonical_hashes for d in result.datasets()]
+
+
+# ---------------------------------------------------------------------- #
+# Fault tolerance
+# ---------------------------------------------------------------------- #
+
+
+@pytest.mark.slow
+def test_flaky_worker_is_retried_and_sweep_completes(tmp_path, monkeypatch):
+    """A worker that raises on its first attempt is retried; the retry
+    succeeds and the sweep completes.  Failure injection rides on the
+    ``fork`` start method: the patched ``Campaign.run`` and the marker
+    file are both visible inside the worker."""
+    marker = tmp_path / "fail-once"
+    marker.touch()
+    original_run = Campaign.run
+
+    def flaky_run(self):
+        if marker.exists():
+            marker.unlink()
+            raise RuntimeError("injected transient failure")
+        return original_run(self)
+
+    monkeypatch.setattr(Campaign, "run", flaky_run)
+    pool = CampaignPool(jobs=1, retries=1, start_method="fork")
+    result = pool.run([CampaignJob(preset_name="small", seed=31)])
+    outcome = result.outcomes[0]
+    assert outcome.ok
+    assert outcome.attempts == 2
+    assert result.metrics.retries == 1
+    assert result.metrics.jobs_failed == 0
+    assert not marker.exists()
+
+
+def test_persistent_failure_is_reported_without_sinking_the_sweep(tmp_path):
+    """A job that fails on every attempt ends up as a per-job failure;
+    the healthy jobs in the same sweep still complete."""
+    # Duplicate vantage regions fail fast at deploy time, inside the worker.
+    broken = replace(
+        small_campaign(seed=1),
+        vantage_regions=(Region.WESTERN_EUROPE, Region.WESTERN_EUROPE),
+    )
+    progress_lines: list[str] = []
+    pool = CampaignPool(
+        jobs=2, retries=1, cache_dir=tmp_path, progress=progress_lines.append
+    )
+    result = pool.run(
+        [
+            CampaignJob(config=broken, label="broken", seed=1),
+            CampaignJob(preset_name="small", seed=32),
+        ]
+    )
+    failed, healthy = result.outcomes
+    assert not failed.ok
+    assert failed.attempts == 2  # first attempt + one retry
+    assert "duplicate vantage region" in failed.error
+    assert healthy.ok
+    assert result.metrics.jobs_failed == 1
+    assert result.metrics.jobs_succeeded == 1
+    with pytest.raises(FleetError, match="broken"):
+        result.raise_on_failure()
+    assert any("[fleet]" in line for line in progress_lines)
+
+
+def test_adopted_preset_datasets_land_in_the_memory_cache(tmp_path):
+    """Worker-produced preset datasets flow through campaign_dataset, so
+    in-process consumers get them without re-running the campaign."""
+    pool = CampaignPool(jobs=1, cache_dir=tmp_path, use_disk=True)
+    result = pool.run([CampaignJob(preset_name="small", seed=33)])
+    result.raise_on_failure()
+    adopted = cache.campaign_dataset(
+        "small", 33, cache_dir=tmp_path, use_disk=True
+    )
+    assert adopted is result.outcomes[0].dataset

@@ -1,0 +1,43 @@
+"""Tests for the experiment-result protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.registry import Experiment
+from repro.experiments.result import ExperimentResult, ensure_renderable
+from repro.experiments.runner import run_experiment
+
+
+class _Renderable:
+    def render(self) -> str:
+        return "ok"
+
+
+def test_analysis_dataclasses_satisfy_the_protocol_structurally():
+    assert isinstance(_Renderable(), ExperimentResult)
+    assert ensure_renderable(_Renderable(), "fake") .render() == "ok"
+
+
+def test_non_renderable_result_fails_with_a_clear_error():
+    with pytest.raises(ExperimentError, match="fig99.*render"):
+        ensure_renderable({"median": 74}, "fig99")
+
+
+def test_none_result_fails_with_a_clear_error():
+    with pytest.raises(ExperimentError, match="NoneType"):
+        ensure_renderable(None, "fig1")
+
+
+def test_run_experiment_surfaces_misbehaving_experiments(monkeypatch):
+    """A registered experiment whose analysis returns a bare value must
+    fail as ExperimentError, not AttributeError deep in a sweep."""
+    rogue = Experiment(
+        "rogue", "returns a number", {}, lambda dataset: 42
+    )
+    monkeypatch.setattr(
+        "repro.experiments.runner.get_experiment", lambda _id: rogue
+    )
+    with pytest.raises(ExperimentError, match="rogue"):
+        run_experiment("rogue", dataset=None)

@@ -32,3 +32,22 @@ def test_main_runs_selected_experiments(capsys):
     assert code == 0
     assert "[summary]" in out
     assert "Campaign summary" in out
+
+
+def test_main_rejects_nonpositive_seeds():
+    with pytest.raises(SystemExit):
+        main(["summary", "--seeds", "0"])
+
+
+@pytest.mark.slow
+def test_main_multi_seed_sweep_aggregates_over_the_fleet(capsys):
+    """--seeds N runs the campaigns as a parallel fleet and the analyses
+    consume the merged multi-seed dataset."""
+    code = main(
+        ["summary", "--preset", "small", "--seed", "96", "--seeds", "2", "--jobs", "2"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Fleet profile" in out
+    assert "2 ok, 0 failed" in out
+    assert "[summary]" in out

@@ -54,6 +54,33 @@ def test_merge_rejects_different_worlds():
         merge_datasets([a, other.build()])
 
 
+def _alien_world() -> "MeasurementDataset":
+    builder = DatasetBuilder(vantages={"EA": "EA"})
+    builder.add_block("0xalien1", 1, "X")
+    builder.add_block("0xalien2", 2, "Y")
+    builder.observe_block("EA", "0xalien1", 13.5)
+    return builder.build()
+
+
+def test_merge_disjoint_worlds_is_opt_in_for_sweeps():
+    """Multi-seed sweeps merge with allow_disjoint_worlds=True: record
+    streams union across every world (hashes are seed-unique, so nothing
+    collides) and the snapshot comes from the longest input chain."""
+    a = _window("WE", 13.4, ["A"])
+    b = _alien_world()
+    merged = merge_datasets([a, b], allow_disjoint_worlds=True)
+    assert len(merged.block_messages) == 2
+    assert set(merged.vantage_regions) == {"WE", "EA"}
+    # b's chain is longer (genesis + 2 vs genesis + 1).
+    assert merged.chain.canonical_hashes == b.chain.canonical_hashes
+
+
+def test_merge_disjoint_worlds_still_dedups_within_a_world():
+    a = _window("WE", 13.4, ["A"])
+    merged = merge_datasets([a, a, _alien_world()], allow_disjoint_worlds=True)
+    assert len(merged.block_messages) == 2
+
+
 def test_merge_deduplicates_identical_records():
     a = _window("WE", 13.4, ["A"])
     merged = merge_datasets([a, a])

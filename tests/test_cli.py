@@ -56,3 +56,34 @@ def test_analyze_uses_campaign_cache(capsys):
         cache.clear_memory_cache()
     out = capsys.readouterr().out
     assert "Campaign summary" in out
+
+
+@pytest.mark.slow
+def test_sweep_command_runs_parallel_fleet(tmp_path, capsys):
+    cache.clear_memory_cache()
+    try:
+        merged_out = tmp_path / "merged.jsonl"
+        code = main(
+            [
+                "sweep",
+                "--preset", "small",
+                "--seed", "93",
+                "--seeds", "2",
+                "--jobs", "2",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--merged-out", str(merged_out),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Fleet profile" in out
+        assert "2 ok, 0 failed" in out
+        assert merged_out.exists()
+        for seed in (93, 94):
+            assert (tmp_path / "cache" / cache.cache_key("small", seed)).exists()
+    finally:
+        cache.clear_memory_cache()
+
+
+def test_sweep_command_rejects_nonpositive_seeds(capsys):
+    assert main(["sweep", "--preset", "small", "--seeds", "0"]) == 2
