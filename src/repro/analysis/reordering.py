@@ -158,7 +158,7 @@ def reordering_analysis(
     per_vantage = {}
     for vantage in dataset.primary_vantages:
         v_flagged = out_of_order_txs(dataset, vantage)
-        v_committed = [h for h in v_flagged if h in included_in]
+        v_committed = [h for h in sorted(v_flagged) if h in included_in]
         v_seen = sum(
             1
             for record in dataset.tx_receptions

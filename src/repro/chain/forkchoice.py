@@ -188,9 +188,12 @@ class BlockTree:
         head = self.require(head_hash)
         ancestor_path = [head, *self.ancestors(head_hash, MAX_UNCLE_DEPTH)]
         ancestor_hashes = {block.block_hash for block in ancestor_path}
-        already_referenced: set[str] = set()
+        # Membership dict rather than a set: keeps the structure
+        # insertion-ordered so no future iteration can leak hash order
+        # into uncle selection (DET003).
+        already_referenced: dict[str, None] = {}
         for block in ancestor_path:
-            already_referenced.update(block.uncle_hashes)
+            already_referenced.update(dict.fromkeys(block.uncle_hashes))
         candidates: list[Block] = []
         # Children of the head itself are excluded: they would share the
         # new block's height, which the protocol forbids for uncles.
@@ -204,12 +207,17 @@ class BlockTree:
         candidates.sort(key=lambda block: (block.height, block.block_hash))
         return candidates
 
-    def referenced_uncle_hashes(self) -> set[str]:
-        """Hashes referenced as uncles by any block on the main chain."""
-        referenced: set[str] = set()
+    def referenced_uncle_hashes(self) -> tuple[str, ...]:
+        """Hashes referenced as uncles on the main chain, in chain order.
+
+        Returned as an ordered tuple (deduplicated, genesis-side first)
+        rather than a set, so consumers iterating it cannot pick up hash
+        order (DET003); membership tests work the same either way.
+        """
+        referenced: dict[str, None] = {}
         for block in self.canonical_chain():
-            referenced.update(block.uncle_hashes)
-        return referenced
+            referenced.update(dict.fromkeys(block.uncle_hashes))
+        return tuple(referenced)
 
     # ------------------------------------------------------------------ #
     # Whole-tree iteration (used by analyses and tests)

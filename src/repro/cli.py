@@ -7,6 +7,7 @@ Subcommands::
     repro analyze   — run experiments against a saved (or fresh) data set
     repro list      — list available experiments and presets
     repro history   — §III-D whole-history streak lookback (no campaign)
+    repro lint      — determinism & sim-safety static analysis (CI gate)
 
 Installed as the ``repro`` console script; also runnable as
 ``python -m repro.cli``.
@@ -20,6 +21,9 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.analysis.sequences import simulate_history_epochs
+from repro.devtools.lint import add_lint_arguments
+from repro.devtools.lint import execute as execute_lint
+from repro.errors import AnalysisError, DatasetError, ExperimentError
 from repro.experiments.cache import DEFAULT_CACHE_DIR, campaign_dataset
 from repro.experiments.fleet import run_seed_sweep
 from repro.experiments.presets import preset
@@ -84,6 +88,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
     history = sub.add_parser("history", help="whole-history streak lookback")
     history.add_argument("--seed", type=int, default=3)
+
+    lint = sub.add_parser(
+        "lint", help="determinism & sim-safety static analysis"
+    )
+    add_lint_arguments(lint)
 
     return parser
 
@@ -150,7 +159,9 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 experiment.run(dataset), experiment.experiment_id
             )
             print(result.render())
-        except Exception as error:
+        except (AnalysisError, DatasetError, ExperimentError) as error:
+            # Only the deliberate library failures (errors.py) are
+            # reportable; programming errors propagate with a traceback.
             failures += 1
             print(f"  analysis failed: {error}")
         for key, value in experiment.paper_values.items():
@@ -178,6 +189,7 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "list": _cmd_list,
     "history": _cmd_history,
+    "lint": execute_lint,
 }
 
 

@@ -1,0 +1,9 @@
+"""Developer tooling that guards the repo's engineering invariants.
+
+Currently one subsystem: :mod:`repro.devtools.lint`, the determinism &
+sim-safety static-analysis pass that CI runs over ``src/repro``.  The
+package is deliberately stdlib-only — it must import fast and run in
+environments where the scientific stack is absent.
+"""
+
+from __future__ import annotations

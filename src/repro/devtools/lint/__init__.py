@@ -1,0 +1,51 @@
+"""Determinism & sim-safety static analysis (``repro lint``).
+
+An AST-based rule framework that turns the repo's reproducibility
+conventions into CI-gated properties:
+
+========  =========================================================
+DET001    no wall-clock reads in simulation code
+DET002    no ambient RNG (stdlib ``random``, legacy ``numpy.random``)
+DET003    no iteration over unordered sets
+DET004    no ``sum()`` over unordered collections
+SIM001    no sends/schedules ordered by set iteration
+API001    no broad ``except`` / mutable default arguments
+SUP001    suppressions must carry a justification
+SUP002    suppressions must still match a finding (strict mode)
+========  =========================================================
+
+Public API: :func:`lint_paths` / :func:`lint_source` run the analysis,
+:class:`LintConfig` parameterises it, and :func:`main` is the CLI.
+See DESIGN.md §5d for the invariant each rule protects.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.lint.baseline import Baseline
+from repro.devtools.lint.cli import add_lint_arguments, execute, main
+from repro.devtools.lint.config import DEFAULT_WALLCLOCK_ALLOWLIST, LintConfig
+from repro.devtools.lint.context import ModuleContext
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.registry import Rule, all_rules, get_rule, register
+from repro.devtools.lint.reporters import render_json, render_text
+from repro.devtools.lint.runner import LintReport, lint_paths, lint_source
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_WALLCLOCK_ALLOWLIST",
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "ModuleContext",
+    "Rule",
+    "add_lint_arguments",
+    "all_rules",
+    "execute",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "main",
+    "register",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,99 @@
+"""Committed baseline of grandfathered findings.
+
+A baseline lets the linter land with zero tolerance for *new* findings
+while pre-existing ones are burned down: matched findings are reported
+as "baselined" and do not fail the run; baseline entries that no longer
+match anything are "expired" and fail a ``--strict`` run until the
+baseline is regenerated (``repro lint --update-baseline``), so the
+baseline can only ever shrink.
+
+Matching is location-independent — ``(rule, path, stripped source
+line)`` with a count — so unrelated edits that shift line numbers do not
+invalidate entries.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.devtools.lint.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Grandfathered findings keyed by ``(rule, path, snippet)``."""
+
+    counts: Counter[tuple[str, str, str]] = field(default_factory=Counter)
+
+    @classmethod
+    def load(cls, path: Path | None) -> "Baseline":
+        """Read a baseline file; a missing path means an empty baseline.
+
+        Raises:
+            ValueError: when the file exists but is not a valid baseline.
+        """
+        if path is None or not path.exists():
+            return cls()
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            raise ValueError(f"baseline {path} is not valid JSON: {error}")
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise ValueError(f"baseline {path} has no 'entries' list")
+        counts: Counter[tuple[str, str, str]] = Counter()
+        for entry in payload["entries"]:
+            key = (
+                str(entry["rule"]),
+                str(entry["path"]),
+                str(entry.get("snippet", "")),
+            )
+            counts[key] += int(entry.get("count", 1))
+        return cls(counts)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        """Baseline covering exactly ``findings``."""
+        return cls(Counter(finding.baseline_key for finding in findings))
+
+    def save(self, path: Path) -> None:
+        """Write the baseline as stable, diff-friendly JSON."""
+        entries = [
+            {"rule": rule, "path": file_path, "snippet": snippet, "count": count}
+            for (rule, file_path, snippet), count in sorted(self.counts.items())
+        ]
+        payload = {"version": BASELINE_VERSION, "entries": entries}
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def partition(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[dict[str, object]]]:
+        """Split ``findings`` into (new, baselined) and list expired entries.
+
+        Consumes baseline counts finding-by-finding; whatever budget is
+        left afterwards is expired (the grandfathered finding was fixed —
+        the entry must now be dropped from the file).
+        """
+        remaining = Counter(self.counts)
+        new: list[Finding] = []
+        baselined: list[Finding] = []
+        for finding in findings:
+            key = finding.baseline_key
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        expired = [
+            {"rule": rule, "path": file_path, "snippet": snippet, "count": count}
+            for (rule, file_path, snippet), count in sorted(remaining.items())
+            if count > 0
+        ]
+        return new, baselined, expired

@@ -1,0 +1,128 @@
+"""Argument handling shared by ``repro lint`` and ``python -m repro.devtools.lint``.
+
+:func:`add_lint_arguments` configures a (sub)parser; :func:`execute`
+interprets the parsed namespace.  ``repro.cli`` mounts these on its
+``lint`` subcommand so both entry points stay in lockstep.
+
+Exit codes: 0 clean, 1 findings (or strict-mode hygiene failures),
+2 usage errors (missing path, corrupt baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.devtools.lint.baseline import Baseline
+from repro.devtools.lint.config import LintConfig
+from repro.devtools.lint.registry import FRAMEWORK_RULES, all_rules
+from repro.devtools.lint.reporters import render_json, render_text
+from repro.devtools.lint.runner import lint_paths
+
+#: Default baseline location, resolved relative to the invocation cwd.
+DEFAULT_BASELINE = Path("lint-baseline.json")
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to ``parser``."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        default=[Path("src/repro")],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help=f"baseline file (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to cover the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail on unused suppressions and expired baseline entries",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="describe every rule and exit",
+    )
+
+
+def _list_rules() -> int:
+    for rule in all_rules():
+        print(f"{rule.rule_id}  {rule.title}")
+        print(f"    protects: {rule.invariant}")
+        print(f"    fix:      {rule.suggestion}")
+    for rule_id, description in sorted(FRAMEWORK_RULES.items()):
+        print(f"{rule_id}  {description}")
+    print(
+        "\nsuppress with `# repro: noqa[RULE] <reason>` on the offending "
+        "line (or alone on the line above)"
+    )
+    return 0
+
+
+def execute(args: argparse.Namespace) -> int:
+    """Run the lint command described by ``args``."""
+    if args.list_rules:
+        return _list_rules()
+    select = (
+        frozenset(rule.strip() for rule in args.select.split(",") if rule.strip())
+        if args.select
+        else None
+    )
+    config = LintConfig(
+        baseline_path=args.baseline,
+        strict=args.strict,
+        select=select,
+    )
+    try:
+        report = lint_paths(args.paths, config)
+    except FileNotFoundError as error:
+        print(f"repro lint: {error}", file=sys.stderr)
+        return 2
+    except ValueError as error:  # corrupt baseline
+        print(f"repro lint: {error}", file=sys.stderr)
+        return 2
+    if args.update_baseline:
+        Baseline.from_findings(report.findings + report.baselined).save(
+            args.baseline
+        )
+        print(
+            f"baseline updated: {len(report.findings) + len(report.baselined)} "
+            f"entr(ies) written to {args.baseline}"
+        )
+        return 0
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(report, strict=args.strict))
+    return 1 if report.failed(args.strict) else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.devtools.lint``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Determinism & sim-safety static analysis for src/repro.",
+    )
+    add_lint_arguments(parser)
+    return execute(parser.parse_args(argv))

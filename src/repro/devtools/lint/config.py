@@ -1,0 +1,50 @@
+"""Lint-run configuration.
+
+One frozen dataclass threaded from the CLI through the runner into every
+rule, so rules never read global state and tests can exercise any
+configuration without monkey-patching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+#: Modules whose *job* is wall-clock measurement: the engine's throughput
+#: counters, the event-loop profiler, and the fleet's progress/throughput
+#: metrics all time real work in real seconds.  Everything else inside
+#: ``src/repro`` must use ``Simulator.now`` (DET001).
+DEFAULT_WALLCLOCK_ALLOWLIST: tuple[str, ...] = (
+    "repro/sim/engine.py",
+    "repro/sim/profile.py",
+    "repro/experiments/fleet.py",
+)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Settings for one lint run.
+
+    Attributes:
+        wallclock_allowlist: POSIX path suffixes exempt from DET001
+            (modules that legitimately measure wall-clock time).
+        baseline_path: Committed baseline of grandfathered findings;
+            ``None`` means an empty baseline.
+        strict: Also fail on hygiene problems — unused suppressions and
+            expired baseline entries — not just live findings.
+        select: Restrict the run to these rule ids; ``None`` runs all.
+    """
+
+    wallclock_allowlist: tuple[str, ...] = DEFAULT_WALLCLOCK_ALLOWLIST
+    baseline_path: Optional[Path] = None
+    strict: bool = False
+    select: Optional[frozenset[str]] = field(default=None)
+
+    def rule_enabled(self, rule_id: str) -> bool:
+        """True when ``rule_id`` participates in this run."""
+        return self.select is None or rule_id in self.select
+
+    def wallclock_exempt(self, relpath: str) -> bool:
+        """True when ``relpath`` may read the wall clock (DET001)."""
+        return any(relpath.endswith(suffix) for suffix in self.wallclock_allowlist)

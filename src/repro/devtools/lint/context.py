@@ -1,0 +1,77 @@
+"""Per-module lint context handed to every rule.
+
+Parsing and the shared analyses (set-type inference) happen once per
+file here, so each rule's ``check`` stays a thin AST visitor.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.devtools.lint.config import LintConfig
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.settypes import SetTypeIndex
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may need about one source file.
+
+    Attributes:
+        relpath: POSIX path reported in findings.
+        source: Raw module source.
+        tree: Parsed AST.
+        lines: Source split into physical lines.
+        config: The run's :class:`LintConfig`.
+    """
+
+    relpath: str
+    source: str
+    tree: ast.Module
+    lines: list[str]
+    config: LintConfig = field(default_factory=LintConfig)
+    _set_types: Optional[SetTypeIndex] = field(default=None, repr=False)
+
+    @classmethod
+    def from_source(
+        cls,
+        source: str,
+        relpath: str = "<string>",
+        config: Optional[LintConfig] = None,
+    ) -> "ModuleContext":
+        """Parse ``source`` into a context (raises ``SyntaxError``)."""
+        return cls(
+            relpath=relpath,
+            source=source,
+            tree=ast.parse(source, filename=relpath),
+            lines=source.splitlines(),
+            config=config or LintConfig(),
+        )
+
+    @property
+    def set_types(self) -> SetTypeIndex:
+        """Lazily built set-type index shared by the ordering rules."""
+        if self._set_types is None:
+            self._set_types = SetTypeIndex(self.tree)
+        return self._set_types
+
+    def snippet(self, line: int) -> str:
+        """Stripped source text of 1-indexed ``line`` (baseline identity)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(self, rule_id: str, node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` located at ``node``."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            path=self.relpath,
+            line=line,
+            col=col,
+            rule_id=rule_id,
+            message=message,
+            snippet=self.snippet(line),
+        )

@@ -1,0 +1,55 @@
+"""The unit of lint output: one :class:`Finding` per violated invariant.
+
+A finding is a value object — frozen, ordered, and hashable — so the
+runner can sort, deduplicate and diff findings against a baseline
+without any identity bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        path: POSIX-style path of the offending file, relative to the
+            lint invocation root when possible.
+        line: 1-indexed line of the violation.
+        col: 0-indexed column of the violation.
+        rule_id: Identifier of the rule that fired (e.g. ``DET003``).
+        message: Human-readable description of what is wrong and how to
+            fix it.
+        snippet: The stripped source line, used for location-independent
+            baseline matching (line numbers shift; source lines rarely do).
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    snippet: str = ""
+
+    @property
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Location-independent identity used for baseline matching."""
+        return (self.rule_id, self.path, self.snippet)
+
+    def location(self) -> str:
+        """``path:line:col`` — the clickable prefix of every report line."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_json(self) -> dict[str, Any]:
+        """Stable JSON form (see the reporter schema)."""
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+        }

@@ -1,0 +1,95 @@
+"""Rule base class and registry.
+
+Adding a rule is a ~30-line affair:
+
+1. subclass :class:`Rule` in a module under ``repro.devtools.lint.rules``
+   (set ``rule_id``, ``title``, ``invariant``, ``suggestion``; implement
+   ``check``);
+2. decorate it with :func:`register`;
+3. add a positive + negative fixture to ``tests/devtools/test_lint_rules.py``.
+
+The registry is import-driven: :func:`all_rules` triggers the import of
+``repro.devtools.lint.rules``, whose ``__init__`` pulls in every rule
+module.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+from typing import TYPE_CHECKING, Iterator, Type, TypeVar
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.devtools.lint.context import ModuleContext
+    from repro.devtools.lint.findings import Finding
+
+
+class Rule(abc.ABC):
+    """One statically checkable invariant.
+
+    Class attributes:
+        rule_id: Stable identifier (``DET001`` ...), unique in the registry.
+        title: Short name for listings.
+        invariant: The property the rule protects (shown in ``--list-rules``
+            and the docs table).
+        suggestion: How to fix a finding.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    invariant: str = ""
+    suggestion: str = ""
+
+    @abc.abstractmethod
+    def check(self, module: "ModuleContext") -> Iterator["Finding"]:
+        """Yield findings for ``module``."""
+
+    def finding(
+        self, module: "ModuleContext", node: ast.AST, message: str
+    ) -> "Finding":
+        """Shorthand: a finding of this rule at ``node``."""
+        return module.finding(self.rule_id, node, message)
+
+
+_RULES: dict[str, Rule] = {}
+
+R = TypeVar("R", bound=Type[Rule])
+
+
+def register(rule_class: R) -> R:
+    """Class decorator placing one instance of ``rule_class`` in the registry."""
+    rule = rule_class()
+    if not rule.rule_id:
+        raise ValueError(f"{rule_class.__name__} has no rule_id")
+    if rule.rule_id in _RULES:
+        raise ValueError(f"duplicate rule id {rule.rule_id!r}")
+    _RULES[rule.rule_id] = rule
+    return rule_class
+
+
+def _ensure_loaded() -> None:
+    # Importing the rules package runs every @register decorator.
+    import repro.devtools.lint.rules  # noqa: F401  (import for side effect)
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, sorted by id."""
+    _ensure_loaded()
+    return [_RULES[rule_id] for rule_id in sorted(_RULES)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up one rule by id (raises ``KeyError`` on unknown ids)."""
+    _ensure_loaded()
+    return _RULES[rule_id]
+
+
+#: Framework-level pseudo-rules reported by the runner itself (they have
+#: no ``Rule`` subclass: suppression hygiene is checked while matching
+#: suppressions, not by visiting the AST).
+FRAMEWORK_RULES: dict[str, str] = {
+    "SUP001": "suppression comment has no justification "
+    "(write `# repro: noqa[RULE] why it is safe`)",
+    "SUP002": "suppression comment no longer matches any finding "
+    "(delete it)",
+}

@@ -1,0 +1,99 @@
+"""Report renderers: human text and machine JSON.
+
+The JSON schema (version 1) is a contract tested by
+``tests/devtools/test_lint_reporters.py``::
+
+    {
+      "version": 1,
+      "tool": "repro-lint",
+      "summary": {
+        "files_checked": int,
+        "findings": int,
+        "baselined": int,
+        "suppressed": int,
+        "expired_baseline": int,
+        "unused_suppressions": int,
+        "parse_errors": int,
+        "failed": bool
+      },
+      "findings": [{rule, path, line, col, message, snippet}, ...],
+      "baselined": [...same shape...],
+      "unused_suppressions": [...same shape...],
+      "expired_baseline": [{rule, path, snippet, count}, ...],
+      "parse_errors": ["path: error", ...]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.devtools.lint.runner import LintReport
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(report: LintReport, strict: bool = False) -> str:
+    """One ``path:line:col RULE message`` line per finding, plus a summary."""
+    lines: list[str] = []
+    for finding in report.findings:
+        lines.append(
+            f"{finding.location()}: {finding.rule_id} {finding.message}"
+        )
+        if finding.snippet:
+            lines.append(f"    {finding.snippet}")
+    for finding in report.baselined:
+        lines.append(
+            f"{finding.location()}: {finding.rule_id} {finding.message} "
+            "[baselined]"
+        )
+    for finding in report.unused_suppressions:
+        marker = "" if strict else " [warning]"
+        lines.append(
+            f"{finding.location()}: {finding.rule_id} {finding.message}{marker}"
+        )
+    for entry in report.expired_baseline:
+        lines.append(
+            f"baseline: {entry['count']}x {entry['rule']} in {entry['path']} "
+            f"no longer found — run `repro lint --update-baseline` "
+            f"({entry['snippet']!r})"
+        )
+    for error in report.parse_errors:
+        lines.append(f"parse error: {error}")
+    verdict = "FAILED" if report.failed(strict) else "ok"
+    lines.append(
+        f"{verdict}: {len(report.findings)} finding(s), "
+        f"{len(report.baselined)} baselined, "
+        f"{report.suppressed_count} suppressed, "
+        f"{len(report.expired_baseline)} expired baseline entr(ies), "
+        f"{len(report.unused_suppressions)} unused suppression(s) "
+        f"across {report.files_checked} file(s)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport, strict: bool = False) -> str:
+    """Stable machine-readable report (schema above)."""
+    payload: dict[str, Any] = {
+        "version": JSON_SCHEMA_VERSION,
+        "tool": "repro-lint",
+        "summary": {
+            "files_checked": report.files_checked,
+            "findings": len(report.findings),
+            "baselined": len(report.baselined),
+            "suppressed": report.suppressed_count,
+            "expired_baseline": len(report.expired_baseline),
+            "unused_suppressions": len(report.unused_suppressions),
+            "parse_errors": len(report.parse_errors),
+            "failed": report.failed(strict),
+        },
+        "findings": [finding.to_json() for finding in report.findings],
+        "baselined": [finding.to_json() for finding in report.baselined],
+        "unused_suppressions": [
+            finding.to_json() for finding in report.unused_suppressions
+        ],
+        "expired_baseline": report.expired_baseline,
+        "parse_errors": list(report.parse_errors),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,7 @@
+"""Rule modules; importing this package populates the registry."""
+
+from __future__ import annotations
+
+from repro.devtools.lint.rules import api, determinism, simsafety
+
+__all__ = ["api", "determinism", "simsafety"]

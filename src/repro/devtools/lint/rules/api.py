@@ -1,0 +1,97 @@
+"""API-hygiene rules (API001).
+
+Broad exception handlers and mutable default arguments are the two
+failure-hiding idioms that have actually bitten this repo: a broad
+``except`` around an experiment swallowed programming errors until the
+result protocol (PR 2) made them typed, and mutable defaults alias state
+across calls in ways that masquerade as nondeterminism.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.context import ModuleContext
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.registry import Rule, register
+
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+_MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set"})
+
+
+def _is_broad(node: ast.expr | None) -> bool:
+    if node is None:
+        return True  # bare except
+    if isinstance(node, ast.Name):
+        return node.id in _BROAD_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in _BROAD_NAMES
+    if isinstance(node, ast.Tuple):
+        return any(_is_broad(element) for element in node.elts)
+    return False
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """True when the handler re-raises (converts) rather than swallows."""
+    return any(
+        isinstance(stmt, ast.Raise)
+        for body_stmt in handler.body
+        for stmt in ast.walk(body_stmt)
+    )
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CONSTRUCTORS
+    )
+
+
+@register
+class ApiHygieneRule(Rule):
+    """API001 — no swallowed-everything handlers, no mutable defaults."""
+
+    rule_id = "API001"
+    title = "broad except / mutable default argument"
+    invariant = (
+        "programming errors propagate (only ReproError subclasses are "
+        "handled), and call signatures never share mutable state"
+    )
+    suggestion = (
+        "catch the specific ReproError subclass; default mutable "
+        "parameters to None and allocate inside the function"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler):
+                if _is_broad(node.type) and not _reraises(node):
+                    what = (
+                        "bare except"
+                        if node.type is None
+                        else "except over Exception/BaseException"
+                    )
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{what} swallows programming errors — catch the "
+                        "specific ReproError subclass (or re-raise)",
+                    )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                defaults = [
+                    *node.args.defaults,
+                    *(d for d in node.args.kw_defaults if d is not None),
+                ]
+                for default in defaults:
+                    if _is_mutable_default(default):
+                        yield self.finding(
+                            module,
+                            default,
+                            f"mutable default argument in {node.name}() is "
+                            "shared across calls — default to None and "
+                            "allocate per call",
+                        )

@@ -1,0 +1,279 @@
+"""Determinism rules (DET001–DET004).
+
+Byte-identical campaigns from a seed are the repo's core guarantee
+(DESIGN.md §5c, the fleet pins workers to sequential output).  Each rule
+here bans one way real nondeterminism has crept — or could creep — into
+simulation code: the wall clock, ambient RNG state, and unordered
+iteration feeding order-sensitive computation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.devtools.lint.context import ModuleContext
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.registry import Rule, register
+
+#: Wall-clock callables, as fully dotted paths.
+_WALLCLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: ``numpy.random`` attributes that are *not* the legacy global-state API.
+_NUMPY_RANDOM_OK = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "BitGenerator",
+        "SeedSequence",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: Builtins that materialise an iteration order from their argument.
+_ORDER_MATERIALISERS = frozenset({"list", "tuple", "iter", "enumerate"})
+
+
+def _import_aliases(tree: ast.Module, *roots: str) -> dict[str, str]:
+    """Map local names to the dotted module paths they denote.
+
+    Only names rooted at one of ``roots`` are tracked, e.g. with roots
+    ``("time", "datetime")``: ``import time as t`` → ``{"t": "time"}``,
+    ``from datetime import datetime`` →
+    ``{"datetime": "datetime.datetime"}``.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".", 1)[0]
+                if root in roots:
+                    aliases[alias.asname or root] = (
+                        alias.name if alias.asname else root
+                    )
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            root = node.module.split(".", 1)[0]
+            if root in roots:
+                for alias in node.names:
+                    aliases[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+    return aliases
+
+
+def _dotted_path(node: ast.expr, aliases: dict[str, str]) -> Optional[str]:
+    """Resolve ``node`` to a dotted path through the alias map, if possible."""
+    parts: list[str] = []
+    cursor = node
+    while isinstance(cursor, ast.Attribute):
+        parts.append(cursor.attr)
+        cursor = cursor.value
+    if not isinstance(cursor, ast.Name):
+        return None
+    head = aliases.get(cursor.id)
+    if head is None:
+        return None
+    parts.append(head)
+    return ".".join(reversed(parts))
+
+
+@register
+class WallClockRule(Rule):
+    """DET001 — simulation code must read ``Simulator.now``, never the host clock."""
+
+    rule_id = "DET001"
+    title = "wall-clock read in simulation code"
+    invariant = (
+        "simulated behaviour depends only on the seed, never on how fast "
+        "the host happens to execute"
+    )
+    suggestion = (
+        "use Simulator.now / simulated timestamps; wall-clock throughput "
+        "instrumentation belongs in the allowlisted profiling modules"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if module.config.wallclock_exempt(module.relpath):
+            return
+        aliases = _import_aliases(module.tree, "time", "datetime")
+        if not aliases:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            path = _dotted_path(node.func, aliases)
+            if path in _WALLCLOCK_CALLS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"wall-clock call {path}() in simulation code — "
+                    "use Simulator.now (or add the module to the "
+                    "wall-clock allowlist if it measures real throughput)",
+                )
+
+
+@register
+class AmbientRngRule(Rule):
+    """DET002 — all randomness flows from the seeded, namespaced registry."""
+
+    rule_id = "DET002"
+    title = "ambient RNG instead of the injected generator"
+    invariant = (
+        "every random draw is attributable to the root seed via a named "
+        "RngRegistry stream"
+    )
+    suggestion = (
+        "take an np.random.Generator parameter, or draw from "
+        "simulator.rng.stream('<namespace>')"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".", 1)[0] == "random":
+                        yield self.finding(
+                            module,
+                            node,
+                            "stdlib `random` uses hidden global state — "
+                            "draw from the injected np.random.Generator",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and node.module.split(".", 1)[0] == "random":
+                    yield self.finding(
+                        module,
+                        node,
+                        "stdlib `random` uses hidden global state — "
+                        "draw from the injected np.random.Generator",
+                    )
+        aliases = _import_aliases(module.tree, "numpy")
+        if not aliases:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            path = _dotted_path(node.func, aliases)
+            if path is None or not path.startswith("numpy.random"):
+                continue
+            tail = path.rsplit(".", 1)[-1]
+            if tail == "default_rng":
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        module,
+                        node,
+                        "default_rng() without a seed is entropy-seeded — "
+                        "pass a seed derived from the root seed "
+                        "(see repro.sim.rng.derive_seed)",
+                    )
+            elif tail not in _NUMPY_RANDOM_OK:
+                yield self.finding(
+                    module,
+                    node,
+                    f"legacy numpy.random.{tail}() mutates global RNG "
+                    "state — use a seeded np.random.Generator",
+                )
+
+
+@register
+class UnorderedIterationRule(Rule):
+    """DET003 — never iterate a set where order can reach behaviour."""
+
+    rule_id = "DET003"
+    title = "iteration over an unordered set"
+    invariant = (
+        "loop order is a function of the program, not of hash seeding or "
+        "interning accidents"
+    )
+    suggestion = (
+        "wrap the iterable in sorted(...), or keep an insertion-ordered "
+        "dict[key, None] instead of a set"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        sets = module.set_types
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.For):
+                if sets.is_set_expr(node.iter):
+                    yield self.finding(
+                        module,
+                        node.iter,
+                        "for-loop over a set iterates in hash order — "
+                        "sort it or use an insertion-ordered structure",
+                    )
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+            ):
+                for generator in node.generators:
+                    if sets.is_set_expr(generator.iter):
+                        yield self.finding(
+                            module,
+                            generator.iter,
+                            "comprehension over a set materialises hash "
+                            "order — sort the iterable",
+                        )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id in _ORDER_MATERIALISERS
+                    and node.args
+                    and sets.is_set_expr(node.args[0])
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{func.id}() over a set freezes hash order into a "
+                        "sequence — use sorted(...)",
+                    )
+
+
+@register
+class UnorderedFloatSumRule(Rule):
+    """DET004 — float accumulation over a set depends on visit order."""
+
+    rule_id = "DET004"
+    title = "sum() over an unordered collection"
+    invariant = (
+        "floating-point reductions are computed in one canonical order "
+        "(fp addition is not associative)"
+    )
+    suggestion = "sum(sorted(values)) or math.fsum(values)"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        sets = module.set_types
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Name)
+                and func.id == "sum"
+                and node.args
+                and sets.is_set_expr(node.args[0])
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "sum() over a set accumulates in hash order; float "
+                    "addition is order-sensitive — sum(sorted(...)) or "
+                    "math.fsum(...)",
+                )

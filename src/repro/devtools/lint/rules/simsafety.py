@@ -1,0 +1,69 @@
+"""Sim-safety rules (SIM001).
+
+The event queue breaks timestamp ties by insertion sequence, so the
+*order in which events are scheduled* is part of simulated behaviour.
+Feeding that order from an unordered source is the one nondeterminism
+the engine itself cannot detect — it sees a perfectly valid schedule
+either way.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.context import ModuleContext
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.registry import Rule, register
+
+#: Methods whose call order becomes simulated behaviour: message
+#: delivery scheduling and direct event scheduling.
+_ORDER_SENSITIVE_METHODS = frozenset({"send", "schedule", "call_later"})
+
+
+@register
+class UnorderedSchedulingRule(Rule):
+    """SIM001 — sends/schedules must not be ordered by set iteration."""
+
+    rule_id = "SIM001"
+    title = "event scheduling ordered by a set"
+    invariant = (
+        "the sequence of Network.send / Simulator.schedule calls — and "
+        "hence event-queue tie-breaking — is reproducible from the seed"
+    )
+    suggestion = (
+        "iterate a sorted or insertion-ordered collection when the loop "
+        "body sends messages or schedules events"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        sets = module.set_types
+        for node in ast.walk(module.tree):
+            bodies: list[ast.AST]
+            if isinstance(node, ast.For) and sets.is_set_expr(node.iter):
+                bodies = list(node.body)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)
+            ) and any(
+                sets.is_set_expr(generator.iter)
+                for generator in node.generators
+            ):
+                bodies = [node.elt]
+            else:
+                continue
+            for body in bodies:
+                for call in ast.walk(body):
+                    if not isinstance(call, ast.Call):
+                        continue
+                    func = call.func
+                    if (
+                        isinstance(func, ast.Attribute)
+                        and func.attr in _ORDER_SENSITIVE_METHODS
+                    ):
+                        yield self.finding(
+                            module,
+                            call,
+                            f".{func.attr}() inside a loop over an "
+                            "unordered set: event order would vary run to "
+                            "run — sort the iterable",
+                        )

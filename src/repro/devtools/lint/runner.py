@@ -1,0 +1,147 @@
+"""Lint orchestration: walk files, run rules, apply suppressions and baseline.
+
+The runner is itself held to the determinism bar it enforces: files are
+visited in sorted order, rules run in id order, and findings are sorted
+before reporting — two runs over the same tree produce byte-identical
+reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Optional
+
+from repro.devtools.lint.baseline import Baseline
+from repro.devtools.lint.config import LintConfig
+from repro.devtools.lint.context import ModuleContext
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.registry import all_rules
+from repro.devtools.lint.suppressions import SuppressionIndex
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run.
+
+    Attributes:
+        findings: Live findings (not suppressed, not baselined) —
+            any of these fails the run.
+        baselined: Findings matched by the baseline (reported, non-fatal).
+        suppressed_count: Findings silenced by justified inline noqa.
+        expired_baseline: Baseline entries matching nothing any more
+            (fatal under ``--strict`` until the baseline is regenerated).
+        unused_suppressions: SUP002 findings (fatal under ``--strict``).
+        files_checked: Number of files linted.
+        parse_errors: ``path: error`` strings for unparseable files
+            (always fatal).
+    """
+
+    findings: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    suppressed_count: int = 0
+    expired_baseline: list[dict[str, object]] = field(default_factory=list)
+    unused_suppressions: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: list[str] = field(default_factory=list)
+
+    def failed(self, strict: bool) -> bool:
+        """True when this run should exit non-zero."""
+        if self.findings or self.parse_errors:
+            return True
+        if strict and (self.expired_baseline or self.unused_suppressions):
+            return True
+        return False
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths``, sorted, without duplicates.
+
+    Raises:
+        FileNotFoundError: when a requested path does not exist.
+    """
+    seen: dict[Path, None] = {}
+    for path in paths:
+        if path.is_file():
+            seen.setdefault(path, None)
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                seen.setdefault(candidate, None)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    yield from sorted(seen)
+
+
+def _relpath(path: Path) -> str:
+    """Path as reported in findings: cwd-relative POSIX when possible."""
+    try:
+        return path.resolve().relative_to(Path.cwd().resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_module(module: ModuleContext) -> tuple[list[Finding], SuppressionIndex]:
+    """Run every enabled rule over one parsed module.
+
+    Returns the raw (pre-suppression) findings plus the module's
+    suppression index; :func:`lint_paths` applies suppressions and the
+    baseline, but tests can also call this directly.
+    """
+    findings: list[Finding] = []
+    for rule in all_rules():
+        if module.config.rule_enabled(rule.rule_id):
+            findings.extend(rule.check(module))
+    suppressions = SuppressionIndex.from_source(module.source, module.relpath)
+    return findings, suppressions
+
+
+def lint_source(
+    source: str,
+    relpath: str = "<string>",
+    config: Optional[LintConfig] = None,
+) -> list[Finding]:
+    """Lint a source string; suppressions applied, no baseline.
+
+    The test-fixture entry point: SUP001 hygiene findings are included,
+    SUP002 (unused) are not — a fixture snippet legitimately exercises
+    suppressions that its own rules never fire.
+    """
+    module = ModuleContext.from_source(source, relpath, config)
+    findings, suppressions = lint_module(module)
+    kept, _ = suppressions.filter(findings)
+    kept.extend(suppressions.malformed)
+    return sorted(kept)
+
+
+def lint_paths(
+    paths: Iterable[Path], config: Optional[LintConfig] = None
+) -> LintReport:
+    """Lint files/directories and assemble the full :class:`LintReport`."""
+    config = config or LintConfig()
+    report = LintReport()
+    survivors: list[Finding] = []
+    for path in iter_python_files(paths):
+        relpath = _relpath(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+            module = ModuleContext.from_source(source, relpath, config)
+        except (SyntaxError, UnicodeDecodeError) as error:
+            report.parse_errors.append(f"{relpath}: {error}")
+            continue
+        report.files_checked += 1
+        findings, suppressions = lint_module(module)
+        kept, suppressed = suppressions.filter(findings)
+        report.suppressed_count += suppressed
+        survivors.extend(kept)
+        survivors.extend(suppressions.malformed)
+        if config.select is None:
+            # Only meaningful when every rule ran: under --select a
+            # suppression for an unselected rule is not "unused".
+            report.unused_suppressions.extend(suppressions.unused(relpath))
+    baseline = Baseline.load(config.baseline_path)
+    new, baselined, expired = baseline.partition(sorted(survivors))
+    report.findings = new
+    report.baselined = baselined
+    report.expired_baseline = expired
+    report.unused_suppressions.sort()
+    return report

@@ -1,0 +1,152 @@
+"""Lightweight set-type inference for one module.
+
+The ordering rules (DET003/DET004/SIM001) need to answer one question:
+*is this expression a ``set``/``frozenset``?*  Full type inference is out
+of scope; instead :class:`SetTypeIndex` runs a small abstract pass over
+the module AST that tracks the three ways sets are named in this
+codebase:
+
+* names assigned from a set expression (literal, comprehension,
+  ``set(...)`` call, set algebra) or annotated ``set[...]``;
+* ``self.<attr>`` attributes assigned/annotated the same way anywhere in
+  the module;
+* calls to module-local functions whose return annotation is a set.
+
+The pass is module-local and flow-insensitive by design: it never sees
+across imports, and a name counts as a set everywhere once it is bound
+to one anywhere.  That trades a few theoretical false positives (which
+inline ``# repro: noqa[...]`` handles) for zero false negatives on the
+patterns that actually perturb simulations.
+"""
+
+from __future__ import annotations
+
+import ast
+
+#: Annotation heads that denote an unordered set type.
+_SET_TYPE_NAMES = frozenset(
+    {"set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet"}
+)
+
+#: Constructor calls producing a set.
+_SET_CONSTRUCTORS = frozenset({"set", "frozenset"})
+
+#: ``set`` methods returning another set.
+_SET_PRODUCING_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+
+#: Binary operators under which set-ness propagates (set algebra).
+_SET_BINOPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+#: Fixpoint cap for alias propagation (``a = b`` chains).
+_MAX_PASSES = 5
+
+
+def _annotation_is_set(node: ast.expr | None) -> bool:
+    """True when the annotation AST names a set type (incl. strings)."""
+    if node is None:
+        return False
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return False
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id in _SET_TYPE_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in _SET_TYPE_NAMES
+    return False
+
+
+class SetTypeIndex:
+    """Which names/attributes/calls in a module are set-typed.
+
+    Args:
+        tree: Parsed module AST.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.names: set[str] = set()
+        self.self_attrs: set[str] = set()
+        self.set_returning_funcs: set[str] = set()
+        self._collect(tree)
+
+    # ------------------------------------------------------------------ #
+    # Collection
+    # ------------------------------------------------------------------ #
+
+    def _collect(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _annotation_is_set(node.returns):
+                    self.set_returning_funcs.add(node.name)
+                for arg in [
+                    *node.args.posonlyargs,
+                    *node.args.args,
+                    *node.args.kwonlyargs,
+                ]:
+                    if _annotation_is_set(arg.annotation):
+                        self.names.add(arg.arg)
+            elif isinstance(node, ast.AnnAssign):
+                if _annotation_is_set(node.annotation):
+                    self._bind(node.target)
+        # Alias propagation needs a fixpoint: ``b = set(); a = b`` may be
+        # visited in either order by ast.walk.
+        for _ in range(_MAX_PASSES):
+            before = (len(self.names), len(self.self_attrs))
+            for node in ast.walk(tree):
+                if isinstance(node, ast.Assign) and self.is_set_expr(node.value):
+                    for target in node.targets:
+                        self._bind(target)
+                elif isinstance(node, ast.AnnAssign):
+                    if node.value is not None and self.is_set_expr(node.value):
+                        self._bind(node.target)
+            if (len(self.names), len(self.self_attrs)) == before:
+                break
+
+    def _bind(self, target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            self.names.add(target.id)
+        elif isinstance(target, ast.Attribute):
+            if isinstance(target.value, ast.Name) and target.value.id == "self":
+                self.self_attrs.add(target.attr)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def is_set_expr(self, node: ast.expr) -> bool:
+        """True when ``node`` statically looks like a set/frozenset."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.names
+        if isinstance(node, ast.Attribute):
+            return (
+                isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and node.attr in self.self_attrs
+            )
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_BINOPS):
+            return self.is_set_expr(node.left) or self.is_set_expr(node.right)
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                return (
+                    func.id in _SET_CONSTRUCTORS
+                    or func.id in self.set_returning_funcs
+                )
+            if isinstance(func, ast.Attribute):
+                if func.attr in _SET_PRODUCING_METHODS and self.is_set_expr(
+                    func.value
+                ):
+                    return True
+                return (
+                    isinstance(func.value, ast.Name)
+                    and func.value.id == "self"
+                    and func.attr in self.set_returning_funcs
+                )
+        return False

@@ -1,0 +1,144 @@
+"""Inline suppression comments: ``# repro: noqa[RULE] reason``.
+
+A suppression silences the named rules on its own line, or — when it is
+the only thing on its line — on the next line (for statements too long
+to share a line with a justification).  The justification is mandatory:
+a reason-less suppression is itself reported (SUP001), and a suppression
+that no longer matches anything is reported in strict mode (SUP002) so
+stale exemptions cannot linger.
+
+Comments are found with :mod:`tokenize`, not a regex over raw lines, so
+string literals that merely *contain* the marker are never mistaken for
+suppressions.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from repro.devtools.lint.findings import Finding
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\[(?P<rules>[A-Z0-9_,\s]+)\]\s*:?\s*(?P<reason>.*)"
+)
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# repro: noqa[...]`` comment."""
+
+    line: int
+    col: int
+    rules: tuple[str, ...]
+    reason: str
+    standalone: bool  #: comment is the whole line → also covers line+1
+    used: bool = field(default=False)
+
+    def covers(self, line: int, rule_id: str) -> bool:
+        """True when this suppression silences ``rule_id`` at ``line``."""
+        if rule_id not in self.rules:
+            return False
+        if line == self.line:
+            return True
+        return self.standalone and line == self.line + 1
+
+
+@dataclass
+class SuppressionIndex:
+    """All suppressions of one module, plus their hygiene findings."""
+
+    suppressions: list[Suppression]
+    #: SUP001 findings (missing justification), emitted unconditionally.
+    malformed: list[Finding]
+
+    @classmethod
+    def from_source(cls, source: str, relpath: str) -> "SuppressionIndex":
+        """Tokenize ``source`` and collect every suppression comment."""
+        suppressions: list[Suppression] = []
+        malformed: list[Finding] = []
+        lines = source.splitlines()
+        try:
+            tokens = list(
+                tokenize.generate_tokens(io.StringIO(source).readline)
+            )
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return cls([], [])
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _NOQA_RE.search(token.string)
+            if match is None:
+                continue
+            line, col = token.start
+            rules = tuple(
+                rule.strip()
+                for rule in match.group("rules").split(",")
+                if rule.strip()
+            )
+            reason = match.group("reason").strip()
+            prefix = lines[line - 1][:col] if line <= len(lines) else ""
+            suppression = Suppression(
+                line=line,
+                col=col,
+                rules=rules,
+                reason=reason,
+                standalone=not prefix.strip(),
+            )
+            suppressions.append(suppression)
+            if not reason or not rules:
+                snippet = lines[line - 1].strip() if line <= len(lines) else ""
+                malformed.append(
+                    Finding(
+                        path=relpath,
+                        line=line,
+                        col=col,
+                        rule_id="SUP001",
+                        message=(
+                            "suppression without justification — write "
+                            "`# repro: noqa[RULE] <why this is safe>`"
+                        ),
+                        snippet=snippet,
+                    )
+                )
+        return cls(suppressions, malformed)
+
+    def filter(self, findings: list[Finding]) -> tuple[list[Finding], int]:
+        """Drop suppressed findings; return (kept, suppressed_count)."""
+        kept: list[Finding] = []
+        suppressed = 0
+        for finding in findings:
+            hit = next(
+                (
+                    s
+                    for s in self.suppressions
+                    if s.reason and s.covers(finding.line, finding.rule_id)
+                ),
+                None,
+            )
+            if hit is None:
+                kept.append(finding)
+            else:
+                hit.used = True
+                suppressed += 1
+        return kept, suppressed
+
+    def unused(self, relpath: str) -> list[Finding]:
+        """SUP002 findings for suppressions that matched nothing."""
+        return [
+            Finding(
+                path=relpath,
+                line=s.line,
+                col=s.col,
+                rule_id="SUP002",
+                message=(
+                    f"unused suppression for {', '.join(s.rules)} — "
+                    "no finding matches; delete the comment"
+                ),
+                snippet="",
+            )
+            for s in self.suppressions
+            if s.reason and s.rules and not s.used
+        ]

@@ -233,7 +233,7 @@ class FleetResult:
         return merge_datasets(self.datasets(), allow_disjoint_worlds=True)
 
 
-def _write_json_atomic(path: Path, payload: dict) -> None:
+def _write_json_atomic(path: Path, payload: dict[str, object]) -> None:
     tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
     tmp.write_text(json.dumps(payload), encoding="utf-8")
     os.replace(tmp, path)
@@ -430,7 +430,7 @@ class CampaignPool:
         """Absorb one finished worker; return True when the job must retry."""
         outcome.attempts += 1
         out_path, meta_path = self._job_paths(index, outcome.job, spool)
-        meta: dict = {}
+        meta: dict[str, object] = {}
         if meta_path.exists():
             try:
                 meta = json.loads(meta_path.read_text(encoding="utf-8"))
@@ -442,8 +442,14 @@ class CampaignPool:
             if dataset is not None:
                 outcome.dataset = dataset
                 outcome.error = None
-                outcome.events_processed = int(meta.get("events_processed", 0))
-                outcome.wall_seconds = float(meta.get("wall_seconds", 0.0))
+                events = meta.get("events_processed", 0)
+                wall = meta.get("wall_seconds", 0.0)
+                outcome.events_processed = (
+                    int(events) if isinstance(events, (int, float)) else 0
+                )
+                outcome.wall_seconds = (
+                    float(wall) if isinstance(wall, (int, float)) else 0.0
+                )
                 outcome.path = out_path if self.use_disk else None
                 self._adopt(outcome.job, dataset)
                 return False

@@ -88,10 +88,12 @@ class ProtocolNode:
         self.peers: dict[int, Peer] = {}
         #: blocks waiting for their parent, keyed by the missing parent hash
         self._orphans: dict[str, list[Block]] = {}
-        #: hashes currently being validated/imported
-        self._importing: set[str] = set()
+        #: hashes currently being validated/imported (insertion-ordered
+        #: membership dicts, not sets: should anything ever iterate these,
+        #: the order is arrival order rather than hash order — DET003)
+        self._importing: dict[str, None] = {}
         #: hashes with an outstanding header/body fetch
-        self._fetching: set[str] = set()
+        self._fetching: dict[str, None] = {}
         #: per-hash count of duplicate-triggered re-propagations
         self._reprop_counts: dict[str, int] = {}
         #: per-peer queue of txs awaiting the next gossip flush
@@ -248,7 +250,7 @@ class ProtocolNode:
             self._observe_block_message(peer, block_hash, height, direct=False)
             if self._is_known(block_hash) or block_hash in self._fetching:
                 continue
-            self._fetching.add(block_hash)
+            self._fetching[block_hash] = None
             self.network.send(
                 self.node_id, peer.remote_id, GetBlockHeadersMessage(block_hash)
             )
@@ -258,7 +260,7 @@ class ProtocolNode:
         def expire() -> None:
             # If the fetch is still outstanding, give up; a later announce
             # or direct push will retrigger it.
-            self._fetching.discard(block_hash)
+            self._fetching.pop(block_hash, None)
 
         self.simulator.call_later(self.config.fetch_timeout, expire)
 
@@ -270,7 +272,7 @@ class ProtocolNode:
     def _handle_headers(self, peer: Peer, message: BlockHeadersMessage) -> None:
         block = message.block
         if self._is_known(block.block_hash):
-            self._fetching.discard(block.block_hash)
+            self._fetching.pop(block.block_hash, None)
             return
         # Header looks new: pull the body from the same peer.
         self.network.send(
@@ -283,7 +285,7 @@ class ProtocolNode:
             self.network.send(self.node_id, peer.remote_id, BlockBodiesMessage(block))
 
     def _handle_bodies(self, peer: Peer, message: BlockBodiesMessage) -> None:
-        self._fetching.discard(message.block.block_hash)
+        self._fetching.pop(message.block.block_hash, None)
         peer.mark_block(message.block.block_hash)
         self._consider_block(message.block)
 
@@ -293,7 +295,7 @@ class ProtocolNode:
             message.head_hash
         ):
             if message.head_hash not in self._fetching:
-                self._fetching.add(message.head_hash)
+                self._fetching[message.head_hash] = None
                 self.network.send(
                     self.node_id,
                     peer.remote_id,
@@ -330,7 +332,7 @@ class ProtocolNode:
             self._orphans.setdefault(block.parent_hash, []).append(block)
             self._request_missing_parent(block)
             return
-        self._importing.add(block.block_hash)
+        self._importing[block.block_hash] = None
         self.simulator.call_later(
             HEADER_CHECK_DELAY, lambda: self._propagate_direct(block)
         )
@@ -344,7 +346,7 @@ class ProtocolNode:
         # Ask any peer believed to know the child (hence likely the parent).
         for peer in self.peers.values():
             if peer.knows_block(block.block_hash):
-                self._fetching.add(parent_hash)
+                self._fetching[parent_hash] = None
                 self.network.send(
                     self.node_id, peer.remote_id, GetBlockHeadersMessage(parent_hash)
                 )
@@ -352,7 +354,7 @@ class ProtocolNode:
                 return
 
     def _finish_import(self, block: Block) -> None:
-        self._importing.discard(block.block_hash)
+        self._importing.pop(block.block_hash, None)
         self._reprop_counts.pop(block.block_hash, None)
         if block.block_hash in self.tree:
             return
@@ -474,6 +476,8 @@ class ProtocolNode:
     ) -> None:
         tx_queue = self._tx_queue
         dirty = self._tx_dirty
+        # self.peers is a plain dict, so this walks peers in connection
+        # order — deterministic under a fixed seed (DET003-safe).
         for peer_id, peer in self.peers.items():
             if peer_id == exclude:
                 continue

@@ -212,7 +212,7 @@ def test_referenced_uncle_hashes_from_main_chain():
     tree.add(uncle)
     citing = _child(main[-1], miner="A", uncles=[uncle.block_hash])
     tree.add(citing)
-    assert tree.referenced_uncle_hashes() == {uncle.block_hash}
+    assert tree.referenced_uncle_hashes() == (uncle.block_hash,)
 
 
 def test_blocks_at_height():

@@ -1,0 +1,122 @@
+"""Baseline lifecycle: grandfathered findings pass, new findings fail,
+fixed findings expire their entries, and update regenerates the file."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.devtools.lint import Baseline, LintConfig, lint_paths
+
+HAZARD = textwrap.dedent(
+    """
+    def loop(peers: set[int]):
+        return [p for p in peers]
+    """
+)
+
+CLEAN = textwrap.dedent(
+    """
+    def loop(peers: set[int]):
+        return sorted(peers)
+    """
+)
+
+
+def _write(tmp_path, name, source):
+    path = tmp_path / name
+    path.write_text(source, encoding="utf-8")
+    return path
+
+
+def test_empty_baseline_reports_all_findings(tmp_path):
+    target = _write(tmp_path, "mod.py", HAZARD)
+    report = lint_paths([target], LintConfig())
+    assert [f.rule_id for f in report.findings] == ["DET003"]
+    assert report.baselined == []
+    assert report.failed(strict=False)
+
+
+def test_baselined_finding_is_non_fatal(tmp_path):
+    target = _write(tmp_path, "mod.py", HAZARD)
+    first = lint_paths([target], LintConfig())
+    baseline_path = tmp_path / "lint-baseline.json"
+    Baseline.from_findings(first.findings).save(baseline_path)
+
+    report = lint_paths([target], LintConfig(baseline_path=baseline_path))
+    assert report.findings == []
+    assert [f.rule_id for f in report.baselined] == ["DET003"]
+    assert not report.failed(strict=False)
+    assert not report.failed(strict=True)
+
+
+def test_new_finding_fails_despite_baseline(tmp_path):
+    target = _write(tmp_path, "mod.py", HAZARD)
+    baseline_path = tmp_path / "lint-baseline.json"
+    Baseline.from_findings(
+        lint_paths([target], LintConfig()).findings
+    ).save(baseline_path)
+
+    _write(
+        tmp_path,
+        "mod.py",
+        HAZARD + "\n\ndef more(extra: set[str]):\n    return list(extra)\n",
+    )
+    report = lint_paths([target], LintConfig(baseline_path=baseline_path))
+    assert len(report.baselined) == 1
+    assert [f.rule_id for f in report.findings] == ["DET003"]
+    assert report.failed(strict=False)
+
+
+def test_baseline_matching_survives_line_shifts(tmp_path):
+    target = _write(tmp_path, "mod.py", HAZARD)
+    baseline_path = tmp_path / "lint-baseline.json"
+    Baseline.from_findings(
+        lint_paths([target], LintConfig()).findings
+    ).save(baseline_path)
+
+    _write(tmp_path, "mod.py", "\n\nX = 1\n" + HAZARD)  # shift lines down
+    report = lint_paths([target], LintConfig(baseline_path=baseline_path))
+    assert report.findings == []
+    assert len(report.baselined) == 1
+
+
+def test_fixed_finding_expires_entry_and_strict_fails(tmp_path):
+    target = _write(tmp_path, "mod.py", HAZARD)
+    baseline_path = tmp_path / "lint-baseline.json"
+    Baseline.from_findings(
+        lint_paths([target], LintConfig()).findings
+    ).save(baseline_path)
+
+    _write(tmp_path, "mod.py", CLEAN)
+    report = lint_paths([target], LintConfig(baseline_path=baseline_path))
+    assert report.findings == [] and report.baselined == []
+    assert len(report.expired_baseline) == 1
+    assert report.expired_baseline[0]["rule"] == "DET003"
+    assert not report.failed(strict=False)
+    assert report.failed(strict=True)  # baseline may only shrink
+
+
+def test_baseline_file_roundtrip_is_stable(tmp_path):
+    target = _write(tmp_path, "mod.py", HAZARD)
+    baseline_path = tmp_path / "lint-baseline.json"
+    findings = lint_paths([target], LintConfig()).findings
+    Baseline.from_findings(findings).save(baseline_path)
+    payload = json.loads(baseline_path.read_text())
+    assert payload["version"] == 1
+    (entry,) = payload["entries"]
+    assert entry["rule"] == "DET003" and entry["count"] == 1
+    reloaded = Baseline.load(baseline_path)
+    assert reloaded.counts == Baseline.from_findings(findings).counts
+
+
+def test_missing_baseline_is_empty_and_corrupt_baseline_raises(tmp_path):
+    assert Baseline.load(tmp_path / "absent.json").counts == {}
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json", encoding="utf-8")
+    try:
+        Baseline.load(bad)
+    except ValueError as error:
+        assert "bad.json" in str(error)
+    else:  # pragma: no cover - defends the assertion
+        raise AssertionError("corrupt baseline must raise ValueError")

@@ -1,0 +1,177 @@
+"""CLI contract for `repro lint` — including the acceptance scenario:
+the shipped tree lints clean with the committed (empty) baseline, and a
+deliberately introduced hazard fails with the right rule id and
+file:line."""
+
+from __future__ import annotations
+
+import json
+import shutil
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.devtools.lint import main as lint_main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+HAZARD = textwrap.dedent(
+    """
+    def loop(peers: set[int]):
+        return [p for p in peers]
+    """
+)
+
+
+def test_clean_file_exits_zero(tmp_path, capsys):
+    target = tmp_path / "clean.py"
+    target.write_text("def ok() -> int:\n    return 1\n", encoding="utf-8")
+    assert repro_main(["lint", str(target)]) == 0
+    assert "ok: 0 finding(s)" in capsys.readouterr().out
+
+
+def test_findings_exit_one_with_rule_and_location(tmp_path, capsys):
+    target = tmp_path / "mod.py"
+    target.write_text(HAZARD, encoding="utf-8")
+    assert repro_main(["lint", str(target)]) == 1
+    out = capsys.readouterr().out
+    assert "DET003" in out
+    assert "mod.py:3:" in out
+
+
+def test_missing_path_is_usage_error(tmp_path, capsys):
+    assert repro_main(["lint", str(tmp_path / "nope")]) == 2
+    assert "repro lint:" in capsys.readouterr().err
+
+
+def test_corrupt_baseline_is_usage_error(tmp_path, capsys):
+    target = tmp_path / "clean.py"
+    target.write_text("X = 1\n", encoding="utf-8")
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text("[]", encoding="utf-8")  # valid JSON, wrong shape
+    code = repro_main(["lint", str(target), "--baseline", str(baseline)])
+    assert code == 2
+    assert "entries" in capsys.readouterr().err
+
+
+def test_update_baseline_then_clean_then_strict_expiry(tmp_path, capsys):
+    target = tmp_path / "mod.py"
+    target.write_text(HAZARD, encoding="utf-8")
+    baseline = tmp_path / "baseline.json"
+
+    # 1. grandfather the existing finding
+    assert (
+        repro_main(
+            ["lint", str(target), "--baseline", str(baseline), "--update-baseline"]
+        )
+        == 0
+    )
+    assert baseline.exists()
+    capsys.readouterr()
+
+    # 2. baselined finding no longer fails
+    assert repro_main(["lint", str(target), "--baseline", str(baseline)]) == 0
+    assert "[baselined]" in capsys.readouterr().out
+
+    # 3. fixing the finding expires the entry: plain run passes,
+    #    strict run demands the baseline shrink
+    target.write_text("def ok() -> int:\n    return 1\n", encoding="utf-8")
+    assert repro_main(["lint", str(target), "--baseline", str(baseline)]) == 0
+    capsys.readouterr()
+    assert (
+        repro_main(["lint", str(target), "--baseline", str(baseline), "--strict"])
+        == 1
+    )
+    assert "--update-baseline" in capsys.readouterr().out
+
+
+def test_json_format_flag(tmp_path, capsys):
+    target = tmp_path / "mod.py"
+    target.write_text(HAZARD, encoding="utf-8")
+    assert repro_main(["lint", str(target), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["tool"] == "repro-lint"
+    assert payload["summary"]["findings"] == 1
+
+
+def test_select_flag_limits_rules(tmp_path, capsys):
+    target = tmp_path / "mod.py"
+    target.write_text("import random\n" + HAZARD, encoding="utf-8")
+    assert repro_main(["lint", str(target), "--select", "DET002"]) == 1
+    out = capsys.readouterr().out
+    assert "DET002" in out and "DET003" not in out
+
+
+def test_list_rules_describes_every_rule(capsys):
+    assert repro_main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("DET001", "DET002", "DET003", "DET004", "SIM001", "API001",
+                    "SUP001", "SUP002"):
+        assert rule_id in out
+    assert "noqa" in out
+
+
+def test_module_entry_point_matches_subcommand(tmp_path, capsys):
+    target = tmp_path / "mod.py"
+    target.write_text(HAZARD, encoding="utf-8")
+    assert lint_main([str(target)]) == 1
+    direct = capsys.readouterr().out
+    assert repro_main(["lint", str(target)]) == 1
+    assert capsys.readouterr().out == direct
+
+
+# --------------------------------------------------------------------- #
+# Acceptance: the shipped tree is clean; a planted hazard is caught
+# --------------------------------------------------------------------- #
+
+
+def test_shipped_tree_lints_clean_with_committed_baseline(capsys):
+    baseline = REPO_ROOT / "lint-baseline.json"
+    assert baseline.exists(), "committed baseline missing"
+    assert json.loads(baseline.read_text())["entries"] == []
+    code = repro_main(
+        [
+            "lint",
+            str(REPO_ROOT / "src" / "repro"),
+            "--baseline",
+            str(baseline),
+            "--strict",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0, out
+
+
+@pytest.mark.parametrize(
+    "snippet, expected_rule",
+    [
+        ("\ndef _planted(rng=None):\n    import random\n    return random.random()\n", "DET002"),
+        (
+            "\ndef _planted(network, peers: set[int]):\n"
+            "    for p in peers:\n"
+            "        network.send(0, p, None)\n",
+            "SIM001",
+        ),
+    ],
+)
+def test_planted_hazard_fails_with_rule_and_location(
+    tmp_path, capsys, snippet, expected_rule
+):
+    """Copy a real module, plant a hazard, expect rule id + file:line."""
+    victim = tmp_path / "gossip.py"
+    shutil.copy(REPO_ROOT / "src" / "repro" / "p2p" / "gossip.py", victim)
+    original_lines = len(victim.read_text().splitlines())
+    victim.write_text(victim.read_text() + snippet, encoding="utf-8")
+    assert repro_main(["lint", str(victim)]) == 1
+    out = capsys.readouterr().out
+    assert expected_rule in out
+    # The reported location points into the planted lines.
+    reported = [
+        line for line in out.splitlines() if line.count(":") >= 3 and "gossip.py" in line
+    ]
+    assert reported, out
+    assert any(
+        int(line.split(":")[1]) > original_lines for line in reported
+    ), out

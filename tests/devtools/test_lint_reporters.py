@@ -1,0 +1,111 @@
+"""Reporter contracts: the JSON schema is stable and the text report is
+one clickable ``path:line:col`` line per finding plus a verdict."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.devtools.lint import (
+    LintConfig,
+    lint_paths,
+    render_json,
+    render_text,
+)
+
+HAZARD = textwrap.dedent(
+    """
+    import random
+
+    def loop(peers: set[int]):
+        return [p for p in peers]
+    """
+)
+
+
+def _report(tmp_path, source=HAZARD):
+    target = tmp_path / "mod.py"
+    target.write_text(source, encoding="utf-8")
+    return lint_paths([target], LintConfig())
+
+
+def test_json_schema_top_level(tmp_path):
+    payload = json.loads(render_json(_report(tmp_path)))
+    assert payload["version"] == 1
+    assert payload["tool"] == "repro-lint"
+    assert set(payload) == {
+        "version",
+        "tool",
+        "summary",
+        "findings",
+        "baselined",
+        "unused_suppressions",
+        "expired_baseline",
+        "parse_errors",
+    }
+    assert set(payload["summary"]) == {
+        "files_checked",
+        "findings",
+        "baselined",
+        "suppressed",
+        "expired_baseline",
+        "unused_suppressions",
+        "parse_errors",
+        "failed",
+    }
+
+
+def test_json_finding_shape_and_counts(tmp_path):
+    payload = json.loads(render_json(_report(tmp_path)))
+    assert payload["summary"]["files_checked"] == 1
+    assert payload["summary"]["findings"] == 2
+    assert payload["summary"]["failed"] is True
+    for finding in payload["findings"]:
+        assert set(finding) == {
+            "rule",
+            "path",
+            "line",
+            "col",
+            "message",
+            "snippet",
+        }
+        assert isinstance(finding["line"], int)
+    assert sorted(f["rule"] for f in payload["findings"]) == [
+        "DET002",
+        "DET003",
+    ]
+
+
+def test_json_is_deterministic(tmp_path):
+    report = _report(tmp_path)
+    assert render_json(report) == render_json(report)
+
+
+def test_text_report_lines_and_verdict(tmp_path):
+    report = _report(tmp_path)
+    text = render_text(report)
+    lines = text.splitlines()
+    assert any(
+        line.endswith("mod.py:2:0: DET002 stdlib `random` uses hidden global "
+                      "state — draw from the injected np.random.Generator")
+        or "mod.py:2:0: DET002" in line
+        for line in lines
+    )
+    assert lines[-1].startswith("FAILED: 2 finding(s)")
+
+
+def test_text_report_clean_verdict(tmp_path):
+    target = tmp_path / "clean.py"
+    target.write_text("def ok() -> int:\n    return 1\n", encoding="utf-8")
+    report = lint_paths([target], LintConfig())
+    assert render_text(report).splitlines()[-1].startswith("ok: 0 finding(s)")
+
+
+def test_parse_error_is_fatal_and_reported(tmp_path):
+    target = tmp_path / "broken.py"
+    target.write_text("def broken(:\n", encoding="utf-8")
+    report = lint_paths([target], LintConfig())
+    assert report.failed(strict=False)
+    payload = json.loads(render_json(report))
+    assert payload["summary"]["parse_errors"] == 1
+    assert "broken.py" in payload["parse_errors"][0]

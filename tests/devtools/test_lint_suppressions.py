@@ -1,0 +1,122 @@
+"""Suppression comments: justified noqa silences, unjustified noqa is
+itself a finding, and stale noqa is reported so exemptions cannot rot."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.devtools.lint import LintConfig, lint_source
+from repro.devtools.lint.context import ModuleContext
+from repro.devtools.lint.runner import lint_module
+from repro.devtools.lint.suppressions import SuppressionIndex
+
+
+def _lint(source: str, relpath: str = "mod.py"):
+    return lint_source(textwrap.dedent(source), relpath)
+
+
+def test_same_line_suppression_with_reason():
+    findings = _lint(
+        """
+        def loop(peers: set[int]):
+            return [p for p in peers]  # repro: noqa[DET003] output feeds len() only
+        """
+    )
+    assert findings == []
+
+
+def test_preceding_line_suppression_covers_next_line():
+    findings = _lint(
+        """
+        def loop(peers: set[int]):
+            # repro: noqa[DET003] order-insensitive aggregation
+            return [p for p in peers]
+        """
+    )
+    assert findings == []
+
+
+def test_suppression_is_per_rule():
+    findings = _lint(
+        """
+        def gossip(network, targets: set[int]):
+            for target in targets:  # repro: noqa[DET003] justified elsewhere
+                network.send(0, target, None)
+        """
+    )
+    # DET003 on the loop line is silenced; SIM001 on the send line is not.
+    assert [f.rule_id for f in findings] == ["SIM001"]
+
+
+def test_multiple_rules_in_one_comment():
+    findings = _lint(
+        """
+        def total(delays: set[float]):
+            return sum(delays), list(delays)  # repro: noqa[DET003, DET004] snapshot for debugging only
+        """
+    )
+    assert findings == []
+
+
+def test_reasonless_suppression_reports_sup001_and_does_not_silence():
+    findings = _lint(
+        """
+        def loop(peers: set[int]):
+            return [p for p in peers]  # repro: noqa[DET003]
+        """
+    )
+    assert [f.rule_id for f in findings] == ["DET003", "SUP001"]
+
+
+def test_marker_inside_string_literal_is_not_a_suppression():
+    findings = _lint(
+        """
+        def loop(peers: set[int]):
+            note = "# repro: noqa[DET003] not a comment"
+            return [p for p in peers], note
+        """
+    )
+    assert [f.rule_id for f in findings] == ["DET003"]
+
+
+def test_suppression_does_not_leak_to_unrelated_lines():
+    findings = _lint(
+        """
+        def loop(peers: set[int]):
+            first = [p for p in peers]  # repro: noqa[DET003] benchmark scratch
+            second = [p for p in peers]
+            return first, second
+        """
+    )
+    assert [f.rule_id for f in findings] == ["DET003"]
+    assert findings[0].line == 4
+
+
+def test_unused_suppressions_are_tracked():
+    source = textwrap.dedent(
+        """
+        def clean():  # repro: noqa[DET003] historical, loop removed
+            return 1
+        """
+    )
+    module = ModuleContext.from_source(source, "mod.py", LintConfig())
+    findings, suppressions = lint_module(module)
+    kept, suppressed = suppressions.filter(findings)
+    assert kept == [] and suppressed == 0
+    unused = suppressions.unused("mod.py")
+    assert [f.rule_id for f in unused] == ["SUP002"]
+    assert "DET003" in unused[0].message
+
+
+def test_used_suppressions_are_not_reported_unused():
+    source = textwrap.dedent(
+        """
+        def loop(peers: set[int]):
+            return [p for p in peers]  # repro: noqa[DET003] order irrelevant here
+        """
+    )
+    index = SuppressionIndex.from_source(source, "mod.py")
+    module = ModuleContext.from_source(source, "mod.py", LintConfig())
+    findings, index = lint_module(module)
+    index.filter(findings)
+    assert index.unused("mod.py") == []

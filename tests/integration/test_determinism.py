@@ -52,3 +52,26 @@ def test_different_seed_different_campaign():
     a = Campaign(small_campaign(seed=56)).run()
     b = Campaign(small_campaign(seed=57)).run()
     assert _fingerprint(a) != _fingerprint(b)
+
+
+def test_canonical_chain_pinned_for_seed_55():
+    """Cross-revision regression pin for the DET003 ordering fixes.
+
+    Same-process determinism (above) cannot catch a change that is
+    *consistently* different — e.g. membership structures switched from
+    sets to insertion-ordered dicts, or a set iteration feeding the
+    chain.  This pins the exact canonical chain for one seed; it may
+    only change when a PR deliberately alters RNG draw order, and such a
+    PR must say so (and regenerate EXPERIMENTS.md, as PR 1 did).
+    """
+    import hashlib
+
+    dataset = Campaign(small_campaign(seed=55)).run()
+    hashes = dataset.chain.canonical_hashes
+    digest = hashlib.sha256(",".join(hashes).encode()).hexdigest()
+    assert len(hashes) == 42
+    assert hashes[-1] == "0x11a3922b4d81ede15e19105f48671269"
+    assert (
+        digest
+        == "aff2ea94748b9462f59cc134da366767120cfe31d5a30d8cf79bd20909e4c609"
+    )
