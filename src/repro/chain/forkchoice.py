@@ -39,6 +39,10 @@ class BlockTree:
         self._arrival_order: dict[str, int] = {self.genesis.block_hash: 0}
         self._arrivals = 0
         self.head: Block = self.genesis
+        #: head switches that extended the old head (depth-0 advances)
+        self.head_advances = 0
+        #: head switches that orphaned at least one block
+        self.reorg_count = 0
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -118,9 +122,41 @@ class BlockTree:
         head_td = self._total_difficulty[self.head.block_hash]
         cand_td = self._total_difficulty[candidate.block_hash]
         if cand_td > head_td:
+            if candidate.parent_hash == self.head.block_hash:
+                self.head_advances += 1
+            else:
+                self.reorg_count += 1
             self.head = candidate
             return True
         return False
+
+    def branch_diff(
+        self, old_head: Block, new_head: Block
+    ) -> tuple[list[Block], list[Block]]:
+        """Blocks leaving/joining the canonical chain on a head switch.
+
+        Walks both heads down to their lowest common ancestor, so the
+        cost is proportional to the reorg depth (almost always 1), not
+        the chain length.  Returns ``(old_branch, new_branch)``, each
+        ordered head first; ``old_branch`` is empty when ``new_head``
+        simply extends ``old_head``, and its length is the reorg depth.
+        """
+        old_branch: list[Block] = []  # fell off the canonical chain
+        new_branch: list[Block] = []  # newly canonical
+        a: Optional[Block] = old_head
+        b: Optional[Block] = new_head
+        while a is not None and b is not None and a.height > b.height:
+            old_branch.append(a)
+            a = self._blocks.get(a.parent_hash)
+        while b is not None and a is not None and b.height > a.height:
+            new_branch.append(b)
+            b = self._blocks.get(b.parent_hash)
+        while a is not None and b is not None and a is not b:
+            old_branch.append(a)
+            a = self._blocks.get(a.parent_hash)
+            new_branch.append(b)
+            b = self._blocks.get(b.parent_hash)
+        return old_branch, new_branch
 
     # ------------------------------------------------------------------ #
     # Canonical chain

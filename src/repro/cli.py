@@ -5,6 +5,7 @@ Subcommands::
     repro run       — run a campaign and save the data set as JSONL
     repro sweep     — run a multi-seed campaign fleet in parallel
     repro analyze   — run experiments against a saved (or fresh) data set
+    repro trace     — inspect a ground-truth trace (propagation trees)
     repro list      — list available experiments and presets
     repro history   — §III-D whole-history streak lookback (no campaign)
     repro lint      — determinism & sim-safety static analysis (CI gate)
@@ -17,13 +18,14 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.analysis.sequences import simulate_history_epochs
 from repro.devtools.lint import add_lint_arguments
 from repro.devtools.lint import execute as execute_lint
-from repro.errors import AnalysisError, DatasetError, ExperimentError
+from repro.errors import AnalysisError, DatasetError, ExperimentError, TraceError
 from repro.experiments.cache import DEFAULT_CACHE_DIR, campaign_dataset
 from repro.experiments.fleet import run_seed_sweep
 from repro.experiments.presets import preset
@@ -36,6 +38,15 @@ from repro.experiments.result import ensure_renderable
 from repro.measurement.campaign import Campaign
 from repro.measurement.dataset import MeasurementDataset
 from repro.measurement.merge import merge_datasets
+from repro.obs.blocktrace import (
+    build_propagation_tree,
+    render_campaign_summary,
+    render_delta_report,
+    render_propagation_tree,
+    resolve_block_hash,
+    vantage_deltas,
+)
+from repro.obs.export import Trace
 from repro.stats import format_fleet_profile
 
 
@@ -51,6 +62,10 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--preset", default="small", choices=("small", "standard", "large"))
     run.add_argument("--seed", type=int, default=1)
     run.add_argument("--out", type=Path, default=None, help="save data set as JSONL")
+    run.add_argument(
+        "--trace-out", type=Path, default=None,
+        help="enable ground-truth tracing and save the trace as JSONL",
+    )
 
     sweep = sub.add_parser(
         "sweep", help="run a multi-seed campaign fleet in parallel"
@@ -73,6 +88,33 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--merged-out", type=Path, default=None,
         help="also save the merged multi-seed data set as JSONL",
+    )
+    sweep.add_argument(
+        "--trace", action="store_true",
+        help="export a ground-truth trace per seed next to the dataset cache",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="inspect a ground-truth trace file"
+    )
+    trace.add_argument("trace_file", type=Path, help="trace JSONL file")
+    trace.add_argument(
+        "block", nargs="?", default=None,
+        help="block to reconstruct: 'head' or an unambiguous hash prefix "
+        "(omit for a per-canonical-block summary table)",
+    )
+    trace.add_argument(
+        "--dataset", type=Path, default=None,
+        help="same-run data set JSONL; adds the ground-truth vs measured "
+        "per-vantage delta report",
+    )
+    trace.add_argument(
+        "--max-nodes", type=int, default=0,
+        help="cap the propagation-tree rendering (0 = all nodes)",
+    )
+    trace.add_argument(
+        "--limit", type=int, default=0,
+        help="summary mode: keep only the last N canonical blocks (0 = all)",
     )
 
     analyze = sub.add_parser("analyze", help="run experiments on a data set")
@@ -99,7 +141,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     config = preset(args.preset, args.seed)
-    dataset = Campaign(config).run()
+    if args.trace_out is not None:
+        config = replace(
+            config, scenario=replace(config.scenario, trace=True)
+        )
+    campaign = Campaign(config)
+    dataset = campaign.run()
     main_blocks = len(dataset.chain.canonical_hashes) - 1
     print(
         f"campaign complete: {main_blocks} main blocks, "
@@ -109,6 +156,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.out is not None:
         dataset.save(args.out)
         print(f"data set saved to {args.out}")
+    if args.trace_out is not None:
+        campaign.save_trace(args.trace_out, preset=args.preset)
+        print(f"trace saved to {args.trace_out}")
     return 0
 
 
@@ -123,8 +173,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         use_disk=True,
         progress=print,
+        trace=args.trace,
     )
-    print(format_fleet_profile(result.metrics))
+    print(format_fleet_profile(result.metrics, result.outcomes))
     for outcome in result.outcomes:
         if outcome.ok:
             blocks = len(outcome.dataset.chain.canonical_hashes) - 1
@@ -133,6 +184,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 f"  seed {outcome.job.seed}: {blocks} main blocks "
                 f"({origin}, {outcome.path})"
             )
+            if outcome.trace_path is not None:
+                print(f"    trace: {outcome.trace_path}")
         else:
             print(f"  seed {outcome.job.seed}: FAILED — {outcome.error}")
     if args.merged_out is not None and result.datasets():
@@ -169,6 +222,29 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    try:
+        trace = Trace.load(args.trace_file)
+    except TraceError as error:
+        print(f"cannot load trace: {error}")
+        return 2
+    if args.block is None:
+        print(render_campaign_summary(trace, limit=args.limit))
+        return 0
+    try:
+        block_hash = resolve_block_hash(trace, args.block)
+        tree = build_propagation_tree(trace, block_hash)
+    except TraceError as error:
+        print(str(error))
+        return 2
+    print(render_propagation_tree(tree, max_nodes=args.max_nodes))
+    if args.dataset is not None:
+        dataset = MeasurementDataset.load(args.dataset)
+        print()
+        print(render_delta_report(vantage_deltas(trace, dataset, block_hash)))
+    return 0
+
+
 def _cmd_list(_: argparse.Namespace) -> int:
     print("experiments:")
     for experiment in EXPERIMENTS:
@@ -187,6 +263,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
     "analyze": _cmd_analyze,
+    "trace": _cmd_trace,
     "list": _cmd_list,
     "history": _cmd_history,
     "lint": execute_lint,

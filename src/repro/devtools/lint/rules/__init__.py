@@ -2,6 +2,6 @@
 
 from __future__ import annotations
 
-from repro.devtools.lint.rules import api, determinism, simsafety
+from repro.devtools.lint.rules import api, determinism, observability, simsafety
 
-__all__ = ["api", "determinism", "simsafety"]
+__all__ = ["api", "determinism", "observability", "simsafety"]

@@ -1,0 +1,80 @@
+"""Observability rules (OBS001).
+
+The simulation hot layers (``repro/sim``, ``repro/p2p``, ``repro/node``,
+``repro/chain``) report through the ground-truth trace and metrics layer
+(:mod:`repro.obs`): a :class:`~repro.obs.recorder.TraceRecorder` call is
+typed, timestamped with simulated time, and exportable — an ad-hoc
+``print`` or ``logging`` call is none of those, interleaves
+nondeterministically under the multiprocess fleet, and bypasses the
+JSONL trace entirely.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.context import ModuleContext
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.registry import Rule, register
+
+#: Path fragments naming the simulation hot layers the rule covers.
+_HOT_LAYERS = (
+    "repro/sim/",
+    "repro/p2p/",
+    "repro/node/",
+    "repro/chain/",
+)
+
+
+def _in_hot_layer(relpath: str) -> bool:
+    return any(layer in relpath for layer in _HOT_LAYERS)
+
+
+@register
+class AdHocOutputRule(Rule):
+    """OBS001 — hot-layer reporting goes through ``repro.obs``."""
+
+    rule_id = "OBS001"
+    title = "ad-hoc print/logging in simulation code"
+    invariant = (
+        "every observation out of the sim/p2p/node/chain layers is a "
+        "typed, sim-timestamped trace record or metric, never loose text"
+    )
+    suggestion = (
+        "emit through simulator.trace (TraceRecorder) or a registry "
+        "metric; human-facing output belongs in the CLI/experiment layers"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not _in_hot_layer(module.relpath):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Name) and func.id == "print":
+                    yield self.finding(
+                        module,
+                        node,
+                        "print() in a simulation hot layer — emit a trace "
+                        "record or metric via simulator.trace instead",
+                    )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".", 1)[0] == "logging":
+                        yield self.finding(
+                            module,
+                            node,
+                            "`logging` in a simulation hot layer carries no "
+                            "simulated timestamp and interleaves across "
+                            "fleet workers — use simulator.trace",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and node.module.split(".", 1)[0] == "logging":
+                    yield self.finding(
+                        module,
+                        node,
+                        "`logging` in a simulation hot layer carries no "
+                        "simulated timestamp and interleaves across "
+                        "fleet workers — use simulator.trace",
+                    )

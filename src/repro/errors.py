@@ -54,3 +54,8 @@ class ExperimentError(ReproError):
 class FleetError(ReproError):
     """The parallel campaign fleet was misused (bad job spec, zero
     workers) or could not complete a sweep."""
+
+
+class TraceError(ReproError):
+    """A trace file or metrics registry was used incorrectly (unknown
+    record type, malformed trace JSONL, duplicate metric registration)."""

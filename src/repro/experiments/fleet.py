@@ -57,6 +57,7 @@ from repro.experiments.presets import preset
 from repro.measurement.campaign import Campaign, CampaignConfig
 from repro.measurement.dataset import MeasurementDataset
 from repro.measurement.merge import merge_datasets
+from repro.sim.profile import SimMetrics
 
 _LABEL_PATTERN = re.compile(r"[A-Za-z0-9._-]+")
 
@@ -91,12 +92,18 @@ class CampaignJob:
         label: Display + cache label; required for ``config`` jobs,
             optional override for preset jobs.  Filesystem-friendly
             (letters, digits, ``._-``).
+        trace: Record a ground-truth trace alongside the dataset (the
+            worker exports it next to the dataset cache as
+            ``<dataset stem>.trace.jsonl``).  The dataset itself is
+            bit-identical with or without tracing, so traced and
+            untraced jobs share one dataset cache entry.
     """
 
     preset_name: Optional[str] = None
     config: Optional[CampaignConfig] = None
     seed: int = 1
     label: Optional[str] = None
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if (self.preset_name is None) == (self.config is None):
@@ -123,18 +130,41 @@ class CampaignJob:
     def resolved_config(self) -> CampaignConfig:
         """The concrete campaign configuration this job runs."""
         if self.preset_name is not None:
-            return preset(self.preset_name, self.seed)
-        assert self.config is not None
-        return replace(
-            self.config, scenario=replace(self.config.scenario, seed=self.seed)
-        )
+            config = preset(self.preset_name, self.seed)
+        else:
+            assert self.config is not None
+            config = replace(
+                self.config, scenario=replace(self.config.scenario, seed=self.seed)
+            )
+        if self.trace and not config.scenario.trace:
+            config = replace(config, scenario=replace(config.scenario, trace=True))
+        return config
 
     def cache_filename(self) -> str:
-        """Disk-cache filename; preset jobs share :func:`cache_key`'s."""
+        """Disk-cache filename; preset jobs share :func:`cache_key`'s.
+
+        Deliberately independent of :attr:`trace` — a traced run's
+        dataset is bit-identical to an untraced one's, so both share the
+        same cache entry (only the ``.trace.jsonl`` sibling differs).
+        """
         if self.preset_name is not None and self.label is None:
             return cache_key(self.preset_name, self.seed)
-        digest = config_digest(self.resolved_config())
+        digest = config_digest(self._untraced_config())
         return f"campaign-{self.name}-{digest}-seed{self.seed}.jsonl"
+
+    def _untraced_config(self) -> CampaignConfig:
+        """The resolved config with tracing stripped (cache identity)."""
+        config = self.resolved_config()
+        if config.scenario.trace:
+            config = replace(config, scenario=replace(config.scenario, trace=False))
+        return config
+
+    def trace_filename(self) -> str:
+        """Trace-file sibling of :meth:`cache_filename`."""
+        stem = self.cache_filename()
+        if stem.endswith(".jsonl"):
+            stem = stem[: -len(".jsonl")]
+        return f"{stem}.trace.jsonl"
 
 
 @dataclass
@@ -151,6 +181,13 @@ class JobOutcome:
         wall_seconds: Worker-side campaign wall time.
         path: Disk-cache path holding the dataset (``None`` unless the
             fleet ran with ``use_disk``).
+        sim_metrics: The worker simulator's full
+            :class:`~repro.sim.profile.SimMetrics` snapshot (``None``
+            for cache hits and failures) — what lets
+            :func:`repro.stats.format_fleet_profile` report per-seed
+            events/s rather than just job wall time.
+        trace_path: Ground-truth trace file the worker exported
+            (``None`` unless the job ran with ``trace=True``).
     """
 
     job: CampaignJob
@@ -161,10 +198,21 @@ class JobOutcome:
     events_processed: int = 0
     wall_seconds: float = 0.0
     path: Optional[Path] = None
+    sim_metrics: Optional[SimMetrics] = None
+    trace_path: Optional[Path] = None
 
     @property
     def ok(self) -> bool:
         return self.dataset is not None
+
+    @property
+    def events_per_second(self) -> float:
+        """Worker-side simulator throughput (0.0 when unknown)."""
+        if self.sim_metrics is not None:
+            return self.sim_metrics.events_per_second
+        if self.wall_seconds > 0:
+            return self.events_processed / self.wall_seconds
+        return 0.0
 
 
 @dataclass(frozen=True)
@@ -239,14 +287,18 @@ def _write_json_atomic(path: Path, payload: dict[str, object]) -> None:
     os.replace(tmp, path)
 
 
-def _fleet_worker(job: CampaignJob, out_path: str, meta_path: str) -> None:
+def _fleet_worker(
+    job: CampaignJob, out_path: str, meta_path: str, trace_path: str
+) -> None:
     """Run one campaign in a child process.
 
     The dataset travels through the disk (atomic JSONL write at
     ``out_path``) rather than a pickle pipe so that it takes exactly the
     same serialization path as the cache, and a crash mid-write can never
     corrupt a previously complete file.  ``meta_path`` carries the
-    throughput counters (or the traceback on failure).
+    per-job :class:`~repro.sim.profile.SimMetrics` snapshot (or the
+    traceback on failure); ``trace_path`` receives the ground-truth
+    trace for ``trace=True`` jobs (empty string otherwise).
     """
     try:
         started = time.perf_counter()
@@ -254,23 +306,54 @@ def _fleet_worker(job: CampaignJob, out_path: str, meta_path: str) -> None:
         dataset = campaign.run()
         wall = time.perf_counter() - started
         store_dataset(dataset, Path(out_path))
+        if job.trace and trace_path:
+            campaign.save_trace(trace_path, preset=job.name)
         metrics = campaign.metrics
-        _write_json_atomic(
-            Path(meta_path),
-            {
-                "ok": True,
-                "events_processed": (
-                    metrics.events_processed if metrics is not None else 0
-                ),
-                "wall_seconds": wall,
-            },
-        )
+        payload: dict[str, object] = {
+            "ok": True,
+            "events_processed": (
+                metrics.events_processed if metrics is not None else 0
+            ),
+            "wall_seconds": wall,
+        }
+        if metrics is not None:
+            payload["sim_metrics"] = dataclasses.asdict(metrics)
+        _write_json_atomic(Path(meta_path), payload)
     except BaseException:
         _write_json_atomic(
             Path(meta_path),
             {"ok": False, "error": traceback.format_exc(limit=8)},
         )
         raise SystemExit(1)
+
+
+def _parse_sim_metrics(payload: object) -> Optional[SimMetrics]:
+    """Rebuild a worker's :class:`SimMetrics` from its meta JSON."""
+    if not isinstance(payload, dict):
+        return None
+    try:
+        return SimMetrics(
+            events_processed=int(payload["events_processed"]),
+            simulated_seconds=float(payload["simulated_seconds"]),
+            run_wall_seconds=float(payload["run_wall_seconds"]),
+            events_per_second=float(payload["events_per_second"]),
+            profiled=bool(payload["profiled"]),
+            event_counts={
+                str(k): int(v)
+                for k, v in dict(payload.get("event_counts", {})).items()
+            },
+            event_seconds={
+                str(k): float(v)
+                for k, v in dict(payload.get("event_seconds", {})).items()
+            },
+            queue_high_water=(
+                int(payload["queue_high_water"])
+                if payload.get("queue_high_water") is not None
+                else None
+            ),
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
 
 
 class CampaignPool:
@@ -325,6 +408,12 @@ class CampaignPool:
         jobs = list(jobs)
         if not jobs:
             raise FleetError("no jobs to run")
+        if not self.use_disk and any(job.trace for job in jobs):
+            raise FleetError(
+                "traced jobs need use_disk=True: trace files live next to "
+                "the dataset cache, and the in-memory spool is deleted when "
+                "the sweep ends"
+            )
         started = time.perf_counter()
         outcomes = [JobOutcome(job=job) for job in jobs]
         state = _SweepState(total=len(jobs))
@@ -381,30 +470,46 @@ class CampaignPool:
         if not self.use_disk:
             return False
         path = self.cache_dir / outcome.job.cache_filename()
+        trace_path = self.cache_dir / outcome.job.trace_filename()
+        if outcome.job.trace and not trace_path.exists():
+            # The dataset may be cached, but the trace sibling is not:
+            # the job must still run so the worker can export it.
+            return False
         dataset = load_cached_dataset(path)
         if dataset is None:
             return False
         outcome.dataset = dataset
         outcome.from_cache = True
         outcome.path = path
+        if outcome.job.trace:
+            outcome.trace_path = trace_path
         self._adopt(outcome.job, dataset)
         return True
 
-    def _job_paths(self, index: int, job: CampaignJob, spool: Path) -> tuple[Path, Path]:
+    def _job_paths(
+        self, index: int, job: CampaignJob, spool: Path
+    ) -> tuple[Path, Path, Path]:
         if self.use_disk:
             out_path = self.cache_dir / job.cache_filename()
+            trace_path = self.cache_dir / job.trace_filename()
         else:
             out_path = spool / f"job-{index}.jsonl"
-        return out_path, spool / f"job-{index}.meta.json"
+            trace_path = spool / f"job-{index}.trace.jsonl"
+        return out_path, spool / f"job-{index}.meta.json", trace_path
 
     def _spawn(
         self, index: int, job: CampaignJob, spool: Path
     ) -> multiprocessing.process.BaseProcess:
-        out_path, meta_path = self._job_paths(index, job, spool)
+        out_path, meta_path, trace_path = self._job_paths(index, job, spool)
         meta_path.unlink(missing_ok=True)  # clear a previous attempt's report
         process = self._context.Process(
             target=_fleet_worker,
-            args=(job, str(out_path), str(meta_path)),
+            args=(
+                job,
+                str(out_path),
+                str(meta_path),
+                str(trace_path) if job.trace else "",
+            ),
             name=f"fleet-{job.name}-seed{job.seed}",
         )
         process.start()
@@ -429,7 +534,9 @@ class CampaignPool:
     ) -> bool:
         """Absorb one finished worker; return True when the job must retry."""
         outcome.attempts += 1
-        out_path, meta_path = self._job_paths(index, outcome.job, spool)
+        out_path, meta_path, trace_path = self._job_paths(
+            index, outcome.job, spool
+        )
         meta: dict[str, object] = {}
         if meta_path.exists():
             try:
@@ -451,6 +558,11 @@ class CampaignPool:
                     float(wall) if isinstance(wall, (int, float)) else 0.0
                 )
                 outcome.path = out_path if self.use_disk else None
+                outcome.sim_metrics = _parse_sim_metrics(
+                    meta.get("sim_metrics")
+                )
+                if outcome.job.trace and trace_path.exists():
+                    outcome.trace_path = trace_path
                 self._adopt(outcome.job, dataset)
                 return False
             error = f"worker wrote an unreadable dataset at {out_path}"
@@ -507,10 +619,17 @@ def seed_sweep_jobs(
     seeds: Sequence[int] = (),
     config: Optional[CampaignConfig] = None,
     label: Optional[str] = None,
+    trace: bool = False,
 ) -> list[CampaignJob]:
     """One job per seed for a preset or an explicit config variant."""
     return [
-        CampaignJob(preset_name=preset_name, config=config, seed=seed, label=label)
+        CampaignJob(
+            preset_name=preset_name,
+            config=config,
+            seed=seed,
+            label=label,
+            trace=trace,
+        )
         for seed in seeds
     ]
 
@@ -523,8 +642,14 @@ def run_seed_sweep(
     use_disk: bool = False,
     retries: int = 1,
     progress: Optional[Callable[[str], None]] = None,
+    trace: bool = False,
 ) -> FleetResult:
-    """Run a multi-seed sweep of a named preset across worker processes."""
+    """Run a multi-seed sweep of a named preset across worker processes.
+
+    ``trace=True`` additionally exports a ground-truth trace per job
+    (requires ``use_disk``; the files land next to the dataset cache as
+    ``<dataset stem>.trace.jsonl``).
+    """
     pool = CampaignPool(
         jobs=jobs,
         cache_dir=cache_dir,
@@ -532,4 +657,6 @@ def run_seed_sweep(
         retries=retries,
         progress=progress,
     )
-    return pool.run(seed_sweep_jobs(preset_name=preset_name, seeds=seeds))
+    return pool.run(
+        seed_sweep_jobs(preset_name=preset_name, seeds=seeds, trace=trace)
+    )

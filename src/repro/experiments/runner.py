@@ -59,7 +59,7 @@ def sweep_dataset(
         progress=print,
     )
     result.raise_on_failure()
-    print(format_fleet_profile(result.metrics))
+    print(format_fleet_profile(result.metrics, result.outcomes))
     print()
     return merge_datasets(result.datasets(), allow_disjoint_worlds=True)
 

@@ -15,15 +15,17 @@ A :class:`Campaign` reproduces the paper's §II methodology end-to-end:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Optional
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, TraceError
 from repro.geo.clock import NtpModelConfig
 from repro.geo.regions import VANTAGE_REGIONS, Region
 from repro.measurement.dataset import ChainSnapshot, MeasurementDataset
 from repro.measurement.instrumented import InstrumentedNode
 from repro.measurement.records import ChainBlockRecord
 from repro.node.config import measurement_node_config
+from repro.obs.export import Trace
 from repro.workload.scenarios import Scenario, ScenarioConfig, build_scenario
 
 #: Duration (simulated seconds) equivalent to the paper's one-month window,
@@ -153,6 +155,54 @@ class Campaign:
         measurement_start = self.scenario.simulator.now
         self.scenario.run_for(self.config.duration)
         return self._collect(measurement_start)
+
+    # ------------------------------------------------------------------ #
+    # Tracing
+    # ------------------------------------------------------------------ #
+
+    def build_trace(self) -> Trace:
+        """Assemble the run's ground-truth :class:`Trace`.
+
+        Requires the campaign's scenario to have been built with
+        ``ScenarioConfig(trace=True)``; call after :meth:`run` so the
+        header can carry the final canonical chain.
+
+        Raises:
+            TraceError: when the scenario was not built or tracing was
+                never enabled.
+        """
+        if self.scenario is None:
+            raise TraceError("campaign has not been deployed; nothing to trace")
+        recorder = self.scenario.simulator.trace
+        if not recorder.enabled:
+            raise TraceError(
+                "tracing was not enabled; build the campaign with "
+                "ScenarioConfig(trace=True)"
+            )
+        reference = (
+            self.vantages.get(self._reference_name()) if self.vantages else None
+        )
+        if reference is not None:
+            tree = reference.tree
+        else:  # vantage-less campaigns: fall back to the primary gateway
+            tree = self.scenario.pools[0].primary.tree
+        return Trace(
+            seed=self.config.scenario.seed,
+            canonical_hashes=tuple(
+                block.block_hash for block in tree.canonical_chain()
+            ),
+            head_hash=tree.head.block_hash,
+            records=list(recorder.events),
+        )
+
+    def save_trace(self, path: str | Path, preset: str = "") -> Path:
+        """Write the run's trace as JSONL at ``path`` (atomic); see
+        :meth:`build_trace` for preconditions."""
+        trace = self.build_trace()
+        trace.preset = preset
+        path = Path(path)
+        trace.save(path)
+        return path
 
     def _reference_name(self) -> str:
         if self.config.reference_vantage:

@@ -93,6 +93,13 @@ class MiningCoordinator:
         self.wins.append(
             WinRecord(time=self.simulator.now, pool_name=pool.name, blocks=tuple(blocks))
         )
+        trace = self.simulator.trace
+        if trace.enabled:
+            trace.lottery_win(
+                time=self.simulator.now,
+                pool=pool.name,
+                block_hashes=tuple(block.block_hash for block in blocks),
+            )
 
     # ------------------------------------------------------------------ #
     # Introspection helpers

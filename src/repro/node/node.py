@@ -76,6 +76,9 @@ class ProtocolNode:
     ) -> None:
         self.network = network
         self.simulator = network.simulator
+        # Stable for the simulator's lifetime; hook sites guard on
+        # `_trace.enabled` so the disabled path costs one attribute check.
+        self._trace = self.simulator.trace
         self.region = region
         self.config = config or NodeConfig()
         self._rng: np.random.Generator = self.simulator.rng.stream(
@@ -229,6 +232,15 @@ class ProtocolNode:
         self._observe_block_message(
             peer, block.block_hash, block.height, direct=True, miner=block.miner
         )
+        if self._trace.enabled:
+            self._trace.block_received(
+                time=self.simulator.now,
+                node=self.name,
+                block_hash=block.block_hash,
+                height=block.height,
+                peer_id=peer.remote_id,
+                direct=True,
+            )
         if block.block_hash in self._importing:
             # Geth 1.8 re-propagates on NewBlock receptions while the
             # block's TD still exceeds the local head's — i.e. until the
@@ -248,9 +260,25 @@ class ProtocolNode:
         for block_hash, height in message.entries:
             peer.mark_block(block_hash)
             self._observe_block_message(peer, block_hash, height, direct=False)
+            if self._trace.enabled:
+                self._trace.block_received(
+                    time=self.simulator.now,
+                    node=self.name,
+                    block_hash=block_hash,
+                    height=height,
+                    peer_id=peer.remote_id,
+                    direct=False,
+                )
             if self._is_known(block_hash) or block_hash in self._fetching:
                 continue
             self._fetching[block_hash] = None
+            if self._trace.enabled:
+                self._trace.fetch_started(
+                    time=self.simulator.now,
+                    node=self.name,
+                    block_hash=block_hash,
+                    peer_id=peer.remote_id,
+                )
             self.network.send(
                 self.node_id, peer.remote_id, GetBlockHeadersMessage(block_hash)
             )
@@ -333,6 +361,13 @@ class ProtocolNode:
             self._request_missing_parent(block)
             return
         self._importing[block.block_hash] = None
+        if self._trace.enabled:
+            self._trace.validation_started(
+                time=self.simulator.now,
+                node=self.name,
+                block_hash=block.block_hash,
+                height=block.height,
+            )
         self.simulator.call_later(
             HEADER_CHECK_DELAY, lambda: self._propagate_direct(block)
         )
@@ -368,6 +403,14 @@ class ProtocolNode:
         old_head = self.tree.head
         head_changed = self.tree.add(block)
         self._observe_block_import(block)
+        if self._trace.enabled:
+            self._trace.block_imported(
+                time=self.simulator.now,
+                node=self.name,
+                block_hash=block.block_hash,
+                height=block.height,
+                head_changed=head_changed,
+            )
         self._announce_rest(block)
         if head_changed:
             self._on_head_changed(old_head, self.tree.head)
@@ -383,29 +426,23 @@ class ProtocolNode:
     def _on_head_changed(self, old_head: Block, new_head: Block) -> None:
         """Settle the mempool after a head switch (including reorgs).
 
-        The fork point is found by walking both heads down to their
-        common ancestor, so the cost is proportional to the reorg depth
-        (almost always 1) rather than the full chain length.
+        The fork point is found by :meth:`BlockTree.branch_diff`, whose
+        cost is proportional to the reorg depth (almost always 1) rather
+        than the full chain length.
         """
-        tree = self.tree
-        old_branch: list[Block] = []  # fell off the canonical chain
-        new_branch: list[Block] = []  # newly canonical
-        a: Optional[Block] = old_head
-        b: Optional[Block] = new_head
-        while a is not None and b is not None and a.height > b.height:
-            old_branch.append(a)
-            a = tree.get(a.parent_hash)
-        while b is not None and a is not None and b.height > a.height:
-            new_branch.append(b)
-            b = tree.get(b.parent_hash)
-        while a is not None and b is not None and a is not b:
-            old_branch.append(a)
-            a = tree.get(a.parent_hash)
-            new_branch.append(b)
-            b = tree.get(b.parent_hash)
+        old_branch, new_branch = self.tree.branch_diff(old_head, new_head)
+        if self._trace.enabled:
+            self._trace.head_changed(
+                time=self.simulator.now,
+                node=self.name,
+                old_head=old_head.block_hash,
+                new_head=new_head.block_hash,
+                height=new_head.height,
+                reorg_depth=len(old_branch),
+            )
         # Reorged-out transactions return to the pool; newly included
         # ones leave it — in the same head-to-fork-point order as the
-        # walks above.
+        # branch walk.
         for block in old_branch:
             self.mempool.reinject(block.transactions)
         for block in new_branch:
@@ -463,12 +500,27 @@ class ProtocolNode:
                 continue
             if self.mempool.add(tx):
                 fresh.append(tx)
+                if self._trace.enabled:
+                    self._trace.tx_first_seen(
+                        time=self.simulator.now,
+                        node=self.name,
+                        tx_hash=tx.tx_hash,
+                        peer_id=peer.remote_id,
+                    )
         if fresh:
             self._enqueue_tx_gossip(fresh, exclude=peer.remote_id)
 
     def submit_transaction(self, tx: Transaction) -> None:
         """Accept a locally submitted transaction (wallet/RPC path)."""
         if self.mempool.add(tx):
+            if self._trace.enabled:
+                # peer_id -1 marks the local wallet/RPC origin.
+                self._trace.tx_first_seen(
+                    time=self.simulator.now,
+                    node=self.name,
+                    tx_hash=tx.tx_hash,
+                    peer_id=-1,
+                )
             self._enqueue_tx_gossip([tx], exclude=None)
 
     def _enqueue_tx_gossip(

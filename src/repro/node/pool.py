@@ -195,6 +195,20 @@ class MiningPool:
             variants = self._draw_tuple_size()
         blocks = self._seal_variants(variants)
         base_gateway = self._draw_preferred_gateway()
+        trace = self._simulator.trace
+        if trace.enabled:
+            now = self._simulator.now
+            for index, block in enumerate(blocks):
+                trace.block_sealed(
+                    time=now,
+                    block_hash=block.block_hash,
+                    parent_hash=block.parent_hash,
+                    height=block.height,
+                    pool=self.name,
+                    variant=index,
+                    variants=len(blocks),
+                    tx_count=len(block.transactions),
+                )
         for index, block in enumerate(blocks):
             self._publish(
                 block,

@@ -1,0 +1,401 @@
+"""Propagation-tree reconstruction from ground-truth traces.
+
+Given a :class:`~repro.obs.export.Trace`, this module rebuilds the full
+propagation tree of any block: which gateway injected it, which peer
+each node first heard it from, and when each node validated and imported
+it — the per-hop structure the paper's four vantages could only sample
+the leaves of.
+
+When a :class:`~repro.measurement.dataset.MeasurementDataset` from the
+same run is supplied, :func:`vantage_deltas` lines the NTP-stamped
+vantage observations up against the true simulated reception times,
+turning the paper's analytically bounded measurement error into a
+directly reported per-vantage delta.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import TraceError
+from repro.measurement.dataset import MeasurementDataset
+from repro.obs.export import Trace
+from repro.obs.records import (
+    BlockImported,
+    BlockReceived,
+    BlockSealed,
+    NodeRegistered,
+    ValidationStarted,
+)
+from repro.stats.tables import format_table
+
+
+@dataclass
+class PropagationNode:
+    """One node's place in a block's propagation tree.
+
+    Attributes:
+        node: Node name.
+        first_seen: True simulated time the node first learned of the
+            block (first reception; injection time for origins).
+        via_peer: Name of the peer it first heard from ("" for origins).
+        direct: Whether the first exposure was a full-block push (True)
+            or a hash announcement (False); origins report False.
+        validated: Time validation began locally, if it did.
+        imported: Time the block entered the local tree, if it did.
+        children: Nodes that first heard of the block from *this* node,
+            in first-seen order.
+    """
+
+    node: str
+    first_seen: float
+    via_peer: str = ""
+    direct: bool = False
+    validated: Optional[float] = None
+    imported: Optional[float] = None
+    children: list["PropagationNode"] = field(default_factory=list)
+
+
+@dataclass
+class PropagationTree:
+    """A block's full propagation history.
+
+    Attributes:
+        block_hash: The block.
+        height: Block height (0 when never observed).
+        pool: Sealing pool name ("" when the seal predates the trace).
+        sealed_time: True seal time, if the trace saw it.
+        roots: Origin nodes (gateway injections), in injection order.
+        nodes: Every :class:`PropagationNode`, keyed by node name.
+    """
+
+    block_hash: str
+    height: int = 0
+    pool: str = ""
+    sealed_time: Optional[float] = None
+    roots: list[PropagationNode] = field(default_factory=list)
+    nodes: dict[str, PropagationNode] = field(default_factory=dict)
+
+    @property
+    def reach(self) -> int:
+        """Number of nodes that learned of the block."""
+        return len(self.nodes)
+
+    @property
+    def origin_time(self) -> float:
+        """The tree's time zero: seal time, else the earliest sighting."""
+        if self.sealed_time is not None:
+            return self.sealed_time
+        if not self.nodes:
+            return 0.0
+        return min(entry.first_seen for entry in self.nodes.values())
+
+    def spread_seconds(self, fraction: float) -> float:
+        """Seconds from time zero until ``fraction`` of the final reach
+        had seen the block (``1.0`` = full propagation)."""
+        if not self.nodes:
+            return 0.0
+        times = sorted(entry.first_seen for entry in self.nodes.values())
+        index = max(0, min(len(times) - 1, int(round(fraction * len(times))) - 1))
+        return times[index] - self.origin_time
+
+
+def node_directory(trace: Trace) -> dict[int, str]:
+    """Map wire node ids to human-readable names from the trace."""
+    names: dict[int, str] = {}
+    for record in trace.records:
+        if isinstance(record, NodeRegistered):
+            names[record.node_id] = record.node
+    return names
+
+
+def resolve_block_hash(trace: Trace, query: str) -> str:
+    """Resolve ``query`` to a full block hash.
+
+    ``head`` (case-insensitive) resolves to the canonical head; anything
+    else is treated as an unambiguous hash prefix (``0x`` optional).
+
+    Raises:
+        TraceError: when nothing (or more than one block) matches.
+    """
+    if query.lower() == "head":
+        if not trace.head_hash:
+            raise TraceError("trace header carries no canonical head")
+        return trace.head_hash
+    needle = query if query.startswith("0x") else f"0x{query}"
+    seen: dict[str, None] = {}
+    for record in trace.records:
+        block_hash = getattr(record, "block_hash", "")
+        if isinstance(block_hash, str) and block_hash.startswith(needle):
+            seen[block_hash] = None
+    for block_hash in trace.canonical_hashes:
+        if block_hash.startswith(needle):
+            seen[block_hash] = None
+    if not seen:
+        raise TraceError(f"no block matching {query!r} in trace")
+    if len(seen) > 1:
+        sample = ", ".join(list(seen)[:4])
+        raise TraceError(
+            f"hash prefix {query!r} is ambiguous ({len(seen)} matches: {sample} ...)"
+        )
+    return next(iter(seen))
+
+
+def build_propagation_tree(trace: Trace, block_hash: str) -> PropagationTree:
+    """Reconstruct ``block_hash``'s propagation tree from ``trace``.
+
+    Raises:
+        TraceError: when the trace never saw the block at all.
+    """
+    names = node_directory(trace)
+    tree = PropagationTree(block_hash=block_hash)
+
+    first_seen: dict[str, BlockReceived] = {}
+    validated: dict[str, float] = {}
+    imported: dict[str, float] = {}
+    for record in trace.records:
+        if isinstance(record, BlockSealed) and record.block_hash == block_hash:
+            if tree.sealed_time is None:
+                tree.sealed_time = record.time
+                tree.pool = record.pool
+                tree.height = record.height
+        elif isinstance(record, BlockReceived) and record.block_hash == block_hash:
+            if record.node not in first_seen:
+                first_seen[record.node] = record
+            if tree.height == 0:
+                tree.height = record.height
+        elif (
+            isinstance(record, ValidationStarted)
+            and record.block_hash == block_hash
+        ):
+            if record.node not in validated:
+                validated[record.node] = record.time
+            if tree.height == 0:
+                tree.height = record.height
+        elif isinstance(record, BlockImported) and record.block_hash == block_hash:
+            if record.node not in imported:
+                imported[record.node] = record.time
+
+    if not first_seen and not validated:
+        raise TraceError(f"trace contains no events for block {block_hash!r}")
+
+    # Origins: nodes whose validation began strictly before any reception
+    # — i.e. gateways the pool injected the block into locally.  (A push
+    # reception and the validation it triggers share one sim timestamp,
+    # so ties mean "received then validated", not "injected".)
+    for node, time in validated.items():
+        reception = first_seen.get(node)
+        if reception is None or time < reception.time:
+            tree.nodes[node] = PropagationNode(
+                node=node,
+                first_seen=time,
+                validated=time,
+                imported=imported.get(node),
+            )
+    for node, reception in first_seen.items():
+        if node in tree.nodes:
+            continue
+        tree.nodes[node] = PropagationNode(
+            node=node,
+            first_seen=reception.time,
+            via_peer=names.get(
+                reception.peer_id, f"node-{reception.peer_id & 0xFFFF:04x}"
+            ),
+            direct=reception.direct,
+            validated=validated.get(node),
+            imported=imported.get(node),
+        )
+
+    # Attach children to the peer they first heard from; unknown parents
+    # (e.g. a sender that predates a truncated trace) become roots.
+    for entry in tree.nodes.values():
+        parent = tree.nodes.get(entry.via_peer) if entry.via_peer else None
+        if parent is None or parent is entry:
+            tree.roots.append(entry)
+        else:
+            parent.children.append(entry)
+    for entry in tree.nodes.values():
+        entry.children.sort(key=lambda child: (child.first_seen, child.node))
+    tree.roots.sort(key=lambda root: (root.first_seen, root.node))
+    return tree
+
+
+# --------------------------------------------------------------------- #
+# Ground truth vs measurement
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class VantageDelta:
+    """Ground-truth vs measured first reception at one vantage.
+
+    Attributes:
+        vantage: Vantage name.
+        truth: True simulated first-reception time (``None`` when the
+            trace shows the vantage never saw the block).
+        measured: NTP-stamped first observation from the vantage log
+            (``None`` when the log has no record for the block).
+        delta: ``measured - truth`` in seconds, when both exist — the
+            per-observation measurement error the paper could only
+            bound via NTP accuracy.
+    """
+
+    vantage: str
+    truth: Optional[float]
+    measured: Optional[float]
+
+    @property
+    def delta(self) -> Optional[float]:
+        if self.truth is None or self.measured is None:
+            return None
+        return self.measured - self.truth
+
+
+def vantage_deltas(
+    trace: Trace, dataset: MeasurementDataset, block_hash: str
+) -> list[VantageDelta]:
+    """Per-vantage ground-truth vs measured deltas for ``block_hash``."""
+    truth: dict[str, float] = {}
+    for record in trace.records:
+        if (
+            isinstance(record, BlockReceived)
+            and record.block_hash == block_hash
+            and record.node not in truth
+        ):
+            truth[record.node] = record.time
+    measured: dict[str, float] = {}
+    for message in dataset.block_messages:
+        if message.block_hash != block_hash:
+            continue
+        known = measured.get(message.vantage)
+        if known is None or message.time < known:
+            measured[message.vantage] = message.time
+    return [
+        VantageDelta(
+            vantage=vantage,
+            truth=truth.get(vantage),
+            measured=measured.get(vantage),
+        )
+        for vantage in dataset.vantage_regions
+    ]
+
+
+# --------------------------------------------------------------------- #
+# Rendering
+# --------------------------------------------------------------------- #
+
+
+def render_campaign_summary(trace: Trace, limit: int = 0) -> str:
+    """Per-canonical-block propagation summary table.
+
+    Args:
+        trace: The loaded trace.
+        limit: Keep only the last ``limit`` canonical blocks (0 = all).
+    """
+    hashes = [h for h in trace.canonical_hashes]
+    if hashes:
+        hashes = hashes[1:]  # genesis never propagates
+    if limit > 0:
+        hashes = hashes[-limit:]
+    rows: list[list[str]] = []
+    for block_hash in hashes:
+        try:
+            tree = build_propagation_tree(trace, block_hash)
+        except TraceError:
+            continue  # sealed before the trace window opened
+        rows.append(
+            [
+                str(tree.height),
+                _short_hash(block_hash),
+                tree.pool or "?",
+                f"{tree.origin_time:.2f}",
+                str(tree.reach),
+                f"{tree.spread_seconds(0.5):.3f}",
+                f"{tree.spread_seconds(1.0):.3f}",
+            ]
+        )
+    title = f"canonical blocks · seed {trace.seed}"
+    if trace.preset:
+        title += f" · preset {trace.preset}"
+    return format_table(
+        ["height", "block", "pool", "sealed", "reach", "t50 (s)", "t100 (s)"],
+        rows,
+        title=title,
+    )
+
+
+def render_propagation_tree(tree: PropagationTree, max_nodes: int = 0) -> str:
+    """ASCII rendering of a propagation tree with relative timestamps."""
+    origin = tree.origin_time
+    lines: list[str] = []
+    header = f"block {_short_hash(tree.block_hash)} · height {tree.height}"
+    if tree.pool:
+        header += f" · sealed by {tree.pool}"
+    if tree.sealed_time is not None:
+        header += f" at {tree.sealed_time:.3f}s"
+    lines.append(header)
+    lines.append(
+        f"reached {tree.reach} nodes · t50 {tree.spread_seconds(0.5):.3f}s"
+        f" · t100 {tree.spread_seconds(1.0):.3f}s"
+    )
+    budget = max_nodes if max_nodes > 0 else tree.reach
+    emitted = 0
+
+    def walk(
+        entry: PropagationNode, prefix: str, is_last: bool, is_root: bool
+    ) -> None:
+        nonlocal emitted
+        if emitted >= budget:
+            return
+        emitted += 1
+        connector = "" if is_root else ("└─ " if is_last else "├─ ")
+        offset = entry.first_seen - origin
+        detail = f"+{offset:.3f}s"
+        if entry.via_peer:
+            detail += " push" if entry.direct else " announce"
+        else:
+            detail += " injected"
+        if entry.imported is not None:
+            detail += f", imported +{entry.imported - origin:.3f}s"
+        lines.append(f"{prefix}{connector}{entry.node}  ({detail})")
+        if is_root:
+            child_prefix = prefix
+        else:
+            child_prefix = prefix + ("   " if is_last else "│  ")
+        for index, child in enumerate(entry.children):
+            walk(
+                child,
+                child_prefix,
+                index == len(entry.children) - 1,
+                is_root=False,
+            )
+
+    for index, root in enumerate(tree.roots):
+        walk(root, "", index == len(tree.roots) - 1, is_root=True)
+    if emitted < tree.reach:
+        lines.append(f"... {tree.reach - emitted} more nodes (raise --max-nodes)")
+    return "\n".join(lines)
+
+
+def render_delta_report(deltas: list[VantageDelta]) -> str:
+    """Table of per-vantage ground-truth vs measured reception times."""
+    rows: list[list[str]] = []
+    for entry in deltas:
+        rows.append(
+            [
+                entry.vantage,
+                "-" if entry.truth is None else f"{entry.truth:.4f}",
+                "-" if entry.measured is None else f"{entry.measured:.4f}",
+                "-" if entry.delta is None else f"{entry.delta * 1000.0:+.1f}",
+            ]
+        )
+    return format_table(
+        ["vantage", "truth (s)", "measured (s)", "delta (ms)"],
+        rows,
+        title="ground truth vs measured first reception",
+    )
+
+
+def _short_hash(block_hash: str) -> str:
+    return block_hash[:12] + "…" if len(block_hash) > 13 else block_hash

@@ -1,0 +1,108 @@
+"""Trace persistence: atomic JSONL save / tolerant load.
+
+A trace file is a header line followed by one type-tagged record per
+line — the same shape as :class:`~repro.measurement.dataset.MeasurementDataset`
+files, and written with the same atomic ``.tmp`` + ``os.replace``
+protocol so the campaign fleet can drop traces into the shared disk
+cache without readers ever seeing a truncated file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import TraceError
+from repro.obs.records import TraceRecord, trace_from_json, trace_to_json
+
+#: Bumped whenever a record's field set changes incompatibly.
+TRACE_SCHEMA_VERSION = 1
+
+
+@dataclass
+class Trace:
+    """A loaded (or about-to-be-saved) trace: header context + records.
+
+    Attributes:
+        seed: Scenario seed the trace was recorded under.
+        preset: Preset label, when the campaign came from one (else "").
+        canonical_hashes: The run's final canonical chain, genesis first,
+            captured at collection time so ``repro trace`` can tell
+            canonical blocks from uncles without the dataset.
+        head_hash: Final canonical head.
+        records: Trace records in emission (= simulated time) order.
+    """
+
+    seed: int = 0
+    preset: str = ""
+    canonical_hashes: tuple[str, ...] = ()
+    head_hash: str = ""
+    records: list[TraceRecord] = field(default_factory=list)
+
+    def save(self, path: str | Path) -> None:
+        """Write the trace as JSONL, atomically (see module docstring)."""
+        path = Path(path)
+        header: dict[str, Any] = {
+            "_type": "TraceHeader",
+            "schema": TRACE_SCHEMA_VERSION,
+            "seed": self.seed,
+            "preset": self.preset,
+            "canonical_hashes": list(self.canonical_hashes),
+            "head_hash": self.head_hash,
+        }
+        tmp_path = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            with tmp_path.open("w", encoding="utf-8") as fh:
+                fh.write(json.dumps(header) + "\n")
+                for record in self.records:
+                    fh.write(json.dumps(trace_to_json(record)) + "\n")
+            os.replace(tmp_path, path)
+        finally:
+            tmp_path.unlink(missing_ok=True)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        """Inverse of :meth:`save`.
+
+        Raises:
+            TraceError: when the file is missing, empty, has no trace
+                header, or was written by a newer schema.
+        """
+        path = Path(path)
+        if not path.exists():
+            raise TraceError(f"no trace file at {path}")
+        trace = cls()
+        with path.open("r", encoding="utf-8") as fh:
+            header_line = fh.readline()
+            if not header_line.strip():
+                raise TraceError(f"{path} is empty")
+            try:
+                header = json.loads(header_line)
+            except json.JSONDecodeError as exc:
+                raise TraceError(f"{path} header is not valid JSON") from exc
+            if header.get("_type") != "TraceHeader":
+                raise TraceError(f"{path} missing trace header")
+            schema = int(header.get("schema", 0))
+            if schema > TRACE_SCHEMA_VERSION:
+                raise TraceError(
+                    f"{path} uses trace schema {schema}; this build reads "
+                    f"<= {TRACE_SCHEMA_VERSION}"
+                )
+            trace.seed = int(header.get("seed", 0))
+            trace.preset = str(header.get("preset", ""))
+            trace.canonical_hashes = tuple(header.get("canonical_hashes", ()))
+            trace.head_hash = str(header.get("head_hash", ""))
+            for lineno, line in enumerate(fh, start=2):
+                if not line.strip():
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise TraceError(
+                        f"{path}:{lineno} is not valid JSON"
+                    ) from exc
+                trace.records.append(trace_from_json(payload))
+        return trace

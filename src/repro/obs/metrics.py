@@ -1,0 +1,265 @@
+"""Labeled metrics primitives: counters, gauges, fixed-bucket histograms.
+
+The registry is deliberately minimal and deterministic:
+
+* metric + sorted-label-set identify a *series*, canonically rendered as
+  ``name{k=v,...}`` (or bare ``name`` with no labels);
+* histograms use **fixed bucket edges** declared at registration, so two
+  runs of the same scenario produce identical snapshot shapes;
+* ``snapshot()`` emits a flat ``{series: value}`` dict of plain floats,
+  ready for :class:`repro.obs.records.MetricsSample` and JSON.
+
+Nothing here touches wall clocks, RNGs, or the event queue — updating a
+metric from a simulation hook can never perturb determinism.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Mapping, Optional, Sequence
+
+from repro.errors import TraceError
+
+#: Default latency bucket edges (seconds).  Spans intra-region gossip
+#: (~10 ms) through the multi-second tail the paper's CDFs flatten into.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+def series_key(name: str, labels: Optional[Mapping[str, str]] = None) -> str:
+    """Canonical series identity: ``name{k=v,...}`` with sorted keys."""
+    if not labels:
+        return name
+    inner = ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing set of labeled series."""
+
+    __slots__ = ("name", "help", "_series")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._series: dict[str, float] = {}
+
+    def inc(
+        self,
+        amount: float = 1.0,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        """Add ``amount`` (must be >= 0) to the labeled series."""
+        if amount < 0:
+            raise TraceError(f"counter {self.name!r} cannot decrease")
+        key = series_key(self.name, labels)
+        self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, labels: Optional[Mapping[str, str]] = None) -> float:
+        """Current value of the labeled series (0.0 if never incremented)."""
+        return self._series.get(series_key(self.name, labels), 0.0)
+
+    def collect(self) -> dict[str, float]:
+        """All series as ``{canonical_key: value}``."""
+        return dict(self._series)
+
+
+class Gauge:
+    """A labeled value that can move both ways (queue depths, heights)."""
+
+    __slots__ = ("name", "help", "_series")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._series: dict[str, float] = {}
+
+    def set(
+        self,
+        value: float,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        """Set the labeled series to ``value``."""
+        self._series[series_key(self.name, labels)] = float(value)
+
+    def value(self, labels: Optional[Mapping[str, str]] = None) -> float:
+        """Current value of the labeled series (0.0 if never set)."""
+        return self._series.get(series_key(self.name, labels), 0.0)
+
+    def collect(self) -> dict[str, float]:
+        """All series as ``{canonical_key: value}``."""
+        return dict(self._series)
+
+
+class Histogram:
+    """Fixed-edge cumulative histogram with count and sum per label set.
+
+    Buckets are cumulative ("observations <= edge"), plus an implicit
+    ``+Inf`` bucket equal to the count — the conventional exposition
+    shape, which keeps quantile math downstream straightforward.
+    """
+
+    __slots__ = ("name", "help", "edges", "_buckets", "_count", "_sum")
+
+    def __init__(
+        self,
+        name: str,
+        edges: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        help: str = "",
+    ) -> None:
+        ordered = tuple(float(edge) for edge in edges)
+        if not ordered:
+            raise TraceError(f"histogram {name!r} needs >= 1 bucket edge")
+        if list(ordered) != sorted(set(ordered)):
+            raise TraceError(
+                f"histogram {name!r} edges must be strictly increasing"
+            )
+        self.name = name
+        self.help = help
+        self.edges = ordered
+        self._buckets: dict[str, list[int]] = {}
+        self._count: dict[str, int] = {}
+        self._sum: dict[str, float] = {}
+
+    def observe(
+        self,
+        value: float,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        """Record one observation into the labeled series."""
+        key = series_key(self.name, labels)
+        buckets = self._buckets.get(key)
+        if buckets is None:
+            buckets = [0] * len(self.edges)
+            self._buckets[key] = buckets
+        index = bisect_left(self.edges, value)
+        for i in range(index, len(buckets)):
+            buckets[i] += 1
+        self._count[key] = self._count.get(key, 0) + 1
+        self._sum[key] = self._sum.get(key, 0.0) + float(value)
+
+    def count(self, labels: Optional[Mapping[str, str]] = None) -> int:
+        """Total observations for the labeled series."""
+        return self._count.get(series_key(self.name, labels), 0)
+
+    def total(self, labels: Optional[Mapping[str, str]] = None) -> float:
+        """Sum of observations for the labeled series."""
+        return self._sum.get(series_key(self.name, labels), 0.0)
+
+    def collect(self) -> dict[str, float]:
+        """Flatten to exposition series: per-edge buckets, count, sum.
+
+        A labeled key ``h{kind=block}`` expands into
+        ``h_bucket{kind=block,le=0.05}`` ..., ``h_count{...}``,
+        ``h_sum{...}`` — label order inside the braces stays sorted so
+        snapshots compare bytewise across runs.
+        """
+        out: dict[str, float] = {}
+        for key, buckets in self._buckets.items():
+            base, labels_part = _split_series_key(key)
+            for edge, cumulative in zip(self.edges, buckets):
+                out[_rejoin(base + "_bucket", labels_part, ("le", _fmt(edge)))] = float(
+                    cumulative
+                )
+            out[_rejoin(base + "_bucket", labels_part, ("le", "+Inf"))] = float(
+                self._count[key]
+            )
+            out[_rejoin(base + "_count", labels_part)] = float(self._count[key])
+            out[_rejoin(base + "_sum", labels_part)] = self._sum[key]
+        return out
+
+
+def _fmt(edge: float) -> str:
+    """Render a bucket edge without float noise (0.05, 1, 2.5 ...)."""
+    text = f"{edge:g}"
+    return text
+
+
+def _split_series_key(key: str) -> tuple[str, str]:
+    """Split ``name{a=b}`` into ``("name", "a=b")`` (empty when bare)."""
+    if key.endswith("}") and "{" in key:
+        base, _, rest = key.partition("{")
+        return base, rest[:-1]
+    return key, ""
+
+
+def _rejoin(base: str, labels_part: str, extra: Optional[tuple[str, str]] = None) -> str:
+    """Reassemble a canonical series key, keeping label keys sorted."""
+    pairs = [pair for pair in labels_part.split(",") if pair]
+    if extra is not None:
+        pairs.append(f"{extra[0]}={extra[1]}")
+    if not pairs:
+        return base
+    pairs.sort()
+    return f"{base}{{{','.join(pairs)}}}"
+
+
+class MetricsRegistry:
+    """Named home for every metric a recorder owns.
+
+    Registration is idempotent-by-name-and-kind: asking for the same
+    counter twice returns the same object; asking for a name already
+    held by a different kind raises :class:`TraceError`.
+    """
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the counter called ``name``."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = Counter(name, help=help)
+            self._metrics[name] = metric
+        elif not isinstance(metric, Counter):
+            raise TraceError(f"metric {name!r} already registered as another kind")
+        return metric
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create the gauge called ``name``."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = Gauge(name, help=help)
+            self._metrics[name] = metric
+        elif not isinstance(metric, Gauge):
+            raise TraceError(f"metric {name!r} already registered as another kind")
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        edges: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        help: str = "",
+    ) -> Histogram:
+        """Get or create the histogram called ``name``.
+
+        Re-registration must use identical edges.
+        """
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = Histogram(name, edges=edges, help=help)
+            self._metrics[name] = metric
+        elif not isinstance(metric, Histogram):
+            raise TraceError(f"metric {name!r} already registered as another kind")
+        elif metric.edges != tuple(float(edge) for edge in edges):
+            raise TraceError(f"histogram {name!r} re-registered with different edges")
+        return metric
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat, sorted ``{series: value}`` view of every metric."""
+        merged: dict[str, float] = {}
+        for metric in self._metrics.values():
+            merged.update(metric.collect())
+        return dict(sorted(merged.items()))

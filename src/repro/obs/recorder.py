@@ -1,0 +1,339 @@
+"""The trace recorder every simulation component emits into.
+
+One concrete class, always present as ``Simulator.trace``, created
+*disabled*.  Components bind the recorder object once at construction
+(it never gets swapped out), and hot paths guard with
+``if trace.enabled:`` — when tracing is off, the cost per hook site is a
+single attribute check, which is what keeps the no-op default within
+the <2% throughput budget.
+
+Determinism contract: no method here draws randomness, schedules
+events, or reads wall clocks.  Enabling tracing therefore cannot change
+RNG draw order or event order — only the amount of bookkeeping done
+while each event runs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
+from repro.obs.records import (
+    BlockImported,
+    BlockReceived,
+    BlockSealed,
+    DeliveryDropped,
+    FetchStarted,
+    GossipSend,
+    HeadChanged,
+    LotteryWin,
+    MetricsSample,
+    NodeRegistered,
+    TraceRecord,
+    TxFirstSeen,
+    ValidationStarted,
+)
+
+
+class TraceRecorder:
+    """Collects typed trace records and feeds the metrics registry.
+
+    Attributes:
+        enabled: Master switch.  ``False`` (the default) makes every
+            hook site a no-op behind a single boolean check.
+        events: Every record emitted so far, in emission order — which,
+            because hooks run inside event callbacks, is simulated-time
+            order.
+        registry: The labeled metrics the emit methods maintain.
+    """
+
+    __slots__ = (
+        "enabled",
+        "events",
+        "registry",
+        "_gossip_total",
+        "_gossip_bytes",
+        "_gossip_latency",
+        "_deliveries_dropped",
+        "_blocks_sealed",
+        "_block_receptions",
+        "_fetches",
+        "_validations",
+        "_imports",
+        "_head_changes",
+        "_reorgs",
+        "_reorg_depth",
+        "_tx_first_seen",
+        "_head_height",
+        "_nodes",
+    )
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.events: list[TraceRecord] = []
+        self.registry = MetricsRegistry()
+        reg = self.registry
+        self._gossip_total = reg.counter(
+            "gossip_messages_total", help="Routed wire messages by kind."
+        )
+        self._gossip_bytes = reg.counter(
+            "gossip_bytes_total", help="Routed wire bytes by kind."
+        )
+        self._gossip_latency = reg.histogram(
+            "gossip_latency_seconds",
+            edges=DEFAULT_LATENCY_BUCKETS,
+            help="Sampled per-hop link latency by message kind.",
+        )
+        self._deliveries_dropped = reg.counter(
+            "deliveries_dropped_total",
+            help="In-flight messages whose link was torn down.",
+        )
+        self._blocks_sealed = reg.counter(
+            "blocks_sealed_total", help="Blocks sealed, labeled by pool."
+        )
+        self._block_receptions = reg.counter(
+            "block_receptions_total",
+            help="Block-bearing message arrivals (duplicates included).",
+        )
+        self._fetches = reg.counter(
+            "block_fetches_total", help="Header/body fetches triggered."
+        )
+        self._validations = reg.counter(
+            "block_validations_total", help="Block validations started."
+        )
+        self._imports = reg.counter(
+            "blocks_imported_total", help="Blocks imported into local trees."
+        )
+        self._head_changes = reg.counter(
+            "head_changes_total", help="Canonical head switches."
+        )
+        self._reorgs = reg.counter(
+            "reorgs_total", help="Head switches that orphaned >= 1 block."
+        )
+        self._reorg_depth = reg.histogram(
+            "reorg_depth_blocks",
+            edges=(1.0, 2.0, 3.0, 5.0, 8.0),
+            help="Blocks dropped from a node's canonical chain per reorg.",
+        )
+        self._tx_first_seen = reg.counter(
+            "tx_first_seen_total", help="Transactions entering mempools."
+        )
+        self._head_height = reg.gauge(
+            "node_head_height", help="Best head height, labeled by node."
+        )
+        self._nodes = reg.gauge(
+            "nodes_registered", help="Nodes registered on the fabric."
+        )
+
+    # ----------------------------------------------------------------- #
+    # Emit methods.  Call sites guard with `if trace.enabled:` so the
+    # disabled path never pays for argument packing.
+    # ----------------------------------------------------------------- #
+
+    def node_registered(
+        self, time: float, node: str, node_id: int, region: str
+    ) -> None:
+        """A node joined the network fabric."""
+        self.events.append(
+            NodeRegistered(time=time, node=node, node_id=node_id, region=region)
+        )
+        self._nodes.set(self._nodes.value() + 1.0)
+
+    def lottery_win(
+        self, time: float, pool: str, block_hashes: tuple[str, ...]
+    ) -> None:
+        """The global PoW lottery assigned a win to ``pool``."""
+        self.events.append(
+            LotteryWin(time=time, pool=pool, block_hashes=block_hashes)
+        )
+
+    def block_sealed(
+        self,
+        time: float,
+        block_hash: str,
+        parent_hash: str,
+        height: int,
+        pool: str,
+        variant: int,
+        variants: int,
+        tx_count: int,
+    ) -> None:
+        """A pool sealed a block (one call per one-miner-fork variant)."""
+        self.events.append(
+            BlockSealed(
+                time=time,
+                block_hash=block_hash,
+                parent_hash=parent_hash,
+                height=height,
+                pool=pool,
+                variant=variant,
+                variants=variants,
+                tx_count=tx_count,
+            )
+        )
+        self._blocks_sealed.inc(labels={"pool": pool})
+
+    def gossip_send(
+        self,
+        time: float,
+        kind: str,
+        sender: str,
+        recipient: str,
+        sender_region: str,
+        recipient_region: str,
+        size: int,
+        latency: float,
+        block_hash: str = "",
+        tx_count: int = 0,
+    ) -> None:
+        """The fabric routed one message with a freshly sampled latency."""
+        self.events.append(
+            GossipSend(
+                time=time,
+                kind=kind,
+                sender=sender,
+                recipient=recipient,
+                sender_region=sender_region,
+                recipient_region=recipient_region,
+                size=size,
+                latency=latency,
+                block_hash=block_hash,
+                tx_count=tx_count,
+            )
+        )
+        labels = {"kind": kind}
+        self._gossip_total.inc(labels=labels)
+        self._gossip_bytes.inc(float(size), labels=labels)
+        self._gossip_latency.observe(latency, labels=labels)
+
+    def delivery_dropped(
+        self,
+        time: float,
+        kind: str,
+        sender: str,
+        recipient: str,
+        block_hash: str = "",
+    ) -> None:
+        """An in-flight message arrived after its link was torn down."""
+        self.events.append(
+            DeliveryDropped(
+                time=time,
+                kind=kind,
+                sender=sender,
+                recipient=recipient,
+                block_hash=block_hash,
+            )
+        )
+        self._deliveries_dropped.inc(labels={"kind": kind})
+
+    def block_received(
+        self,
+        time: float,
+        node: str,
+        block_hash: str,
+        height: int,
+        peer_id: int,
+        direct: bool,
+    ) -> None:
+        """A block-bearing message (full block or announcement) arrived."""
+        self.events.append(
+            BlockReceived(
+                time=time,
+                node=node,
+                block_hash=block_hash,
+                height=height,
+                peer_id=peer_id,
+                direct=direct,
+            )
+        )
+        self._block_receptions.inc(
+            labels={"direct": "true" if direct else "false"}
+        )
+
+    def fetch_started(
+        self, time: float, node: str, block_hash: str, peer_id: int
+    ) -> None:
+        """An announcement triggered a header/body fetch round-trip."""
+        self.events.append(
+            FetchStarted(time=time, node=node, block_hash=block_hash, peer_id=peer_id)
+        )
+        self._fetches.inc()
+
+    def validation_started(
+        self, time: float, node: str, block_hash: str, height: int
+    ) -> None:
+        """A node began the header-check + import path for a block."""
+        self.events.append(
+            ValidationStarted(
+                time=time, node=node, block_hash=block_hash, height=height
+            )
+        )
+        self._validations.inc()
+
+    def block_imported(
+        self,
+        time: float,
+        node: str,
+        block_hash: str,
+        height: int,
+        head_changed: bool,
+    ) -> None:
+        """A block finished import into a node's local tree."""
+        self.events.append(
+            BlockImported(
+                time=time,
+                node=node,
+                block_hash=block_hash,
+                height=height,
+                head_changed=head_changed,
+            )
+        )
+        self._imports.inc()
+
+    def head_changed(
+        self,
+        time: float,
+        node: str,
+        old_head: str,
+        new_head: str,
+        height: int,
+        reorg_depth: int,
+    ) -> None:
+        """A node's canonical head switched; depth 0 is a plain advance."""
+        self.events.append(
+            HeadChanged(
+                time=time,
+                node=node,
+                old_head=old_head,
+                new_head=new_head,
+                height=height,
+                reorg_depth=reorg_depth,
+            )
+        )
+        self._head_changes.inc()
+        self._head_height.set(float(height), labels={"node": node})
+        if reorg_depth > 0:
+            self._reorgs.inc()
+            self._reorg_depth.observe(float(reorg_depth))
+
+    def tx_first_seen(
+        self, time: float, node: str, tx_hash: str, peer_id: int
+    ) -> None:
+        """A transaction entered a node's mempool for the first time."""
+        self.events.append(
+            TxFirstSeen(time=time, node=node, tx_hash=tx_hash, peer_id=peer_id)
+        )
+        self._tx_first_seen.inc()
+
+    def snapshot_metrics(self, time: float) -> Optional[MetricsSample]:
+        """Append a :class:`MetricsSample` of the registry at ``time``.
+
+        Returns the sample (or ``None`` when tracing is disabled — the
+        snapshotter process keeps running regardless, so the guard lives
+        here too).
+        """
+        if not self.enabled:
+            return None
+        sample = MetricsSample(time=time, metrics=self.registry.snapshot())
+        self.events.append(sample)
+        return sample

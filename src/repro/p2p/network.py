@@ -50,13 +50,59 @@ class DeliveryEvent:
 
     @property
     def profile_label(self) -> str:
-        return f"Network.deliver:{self.message.kind}"
+        # Per-kind label strings are interned in a module dict: the
+        # profiled loop asks for this once per delivered message, and
+        # the set of message kinds is tiny and fixed.
+        kind = self.message.kind
+        label = _DELIVERY_LABELS.get(kind)
+        if label is None:
+            label = f"Network.deliver:{kind}"
+            _DELIVERY_LABELS[kind] = label
+        return label
 
     def __call__(self) -> None:
         # The link may have been torn down while the message was in flight.
         network = self.network
         if self.link_key in network._links:
             network._members[self.recipient_id].deliver(self.sender_id, self.message)
+        elif network._trace.enabled:
+            members = network._members
+            message = self.message
+            network._trace.delivery_dropped(
+                time=network.simulator.now,
+                kind=message.kind,
+                sender=_member_name(members.get(self.sender_id), self.sender_id),
+                recipient=_member_name(
+                    members.get(self.recipient_id), self.recipient_id
+                ),
+                block_hash=_message_block_hash(message),
+            )
+
+
+#: profile_label cache: message kind -> rendered label (see above).
+_DELIVERY_LABELS: dict[str, str] = {}
+
+
+def _member_name(member: Optional["NetworkMember"], node_id: int) -> str:
+    """Best human-readable name for a fabric member."""
+    name = getattr(member, "name", None)
+    if isinstance(name, str):
+        return name
+    return f"node-{node_id & 0xFFFF:04x}"
+
+
+def _message_block_hash(message: Message) -> str:
+    """Block hash a wire message refers to, if any ("" otherwise)."""
+    block = getattr(message, "block", None)
+    if block is not None:
+        return str(block.block_hash)
+    block_hash = getattr(message, "block_hash", None)
+    if isinstance(block_hash, str):
+        return block_hash
+    entries = getattr(message, "entries", None)
+    if entries:
+        return str(entries[0][0])
+    return ""
 
 
 class NetworkMember(Protocol):
@@ -96,6 +142,9 @@ class Network:
     ) -> None:
         self.simulator = simulator
         self.latency = latency or LatencyModel(simulator.rng.stream("network.latency"))
+        # The recorder object is stable for the simulator's lifetime, so
+        # binding it once here is safe even if tracing is enabled later.
+        self._trace = simulator.trace
         self.discovery = DiscoveryService()
         self._members: dict[int, NetworkMember] = {}
         self._links: set[tuple[int, int]] = set()
@@ -112,6 +161,13 @@ class Network:
             raise ConfigurationError(f"node {member.node_id!r} already on network")
         self._members[member.node_id] = member
         self.discovery.register(member.node_id, member)
+        if self._trace.enabled:
+            self._trace.node_registered(
+                time=self.simulator.now,
+                node=_member_name(member, member.node_id),
+                node_id=member.node_id,
+                region=member.region.value,
+            )
 
     def member(self, node_id: int) -> NetworkMember:
         node = self._members.get(node_id)
@@ -192,4 +248,18 @@ class Network:
         self.simulator.call_later(
             delay, DeliveryEvent(self, key, sender_id, recipient_id, message)
         )
+        if self._trace.enabled:
+            transactions = getattr(message, "transactions", None)
+            self._trace.gossip_send(
+                time=self.simulator.now,
+                kind=message.kind,
+                sender=_member_name(sender, sender_id),
+                recipient=_member_name(recipient, recipient_id),
+                sender_region=sender.region.value,
+                recipient_region=recipient.region.value,
+                size=size,
+                latency=delay,
+                block_hash=_message_block_hash(message),
+                tx_count=len(transactions) if transactions is not None else 0,
+            )
         return delay

@@ -9,6 +9,12 @@ budget is exhausted.
 Pass ``profile=True`` (or call :meth:`Simulator.enable_profiling`) to
 collect per-event-type counters, callback timings and the queue-depth
 high-water mark; read them back through :attr:`Simulator.metrics`.
+
+Every simulator also carries a :class:`~repro.obs.recorder.TraceRecorder`
+at :attr:`Simulator.trace`, created disabled.  Components bind it once at
+construction and guard hook sites with ``if trace.enabled:`` — call
+:meth:`Simulator.enable_tracing` *before* building the network to record
+ground-truth block-lifecycle and gossip events.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ import time
 from typing import Callable, Optional
 
 from repro.errors import SimulationError
+from repro.obs.recorder import TraceRecorder
 from repro.sim.events import DEFAULT_PRIORITY, Event, EventQueue
 from repro.sim.profile import SimMetrics, SimProfile, event_label
 from repro.sim.rng import RngRegistry
@@ -33,6 +40,7 @@ class Simulator:
     Attributes:
         now: Current simulated time in seconds.
         rng: Namespaced RNG registry rooted at ``seed``.
+        trace: The run's :class:`TraceRecorder` (disabled by default).
         events_processed: Number of events fired so far.
         budget_exhausted: True when the most recent :meth:`run` stopped
             because it hit its ``max_events`` budget (the run was
@@ -46,6 +54,7 @@ class Simulator:
         self.events_processed: int = 0
         self.budget_exhausted: bool = False
         self.profile: Optional[SimProfile] = SimProfile() if profile else None
+        self.trace = TraceRecorder()
         self._run_wall_seconds: float = 0.0
         self._queue = EventQueue()
         self._running = False
@@ -55,6 +64,17 @@ class Simulator:
         """Turn on per-event-type profiling (idempotent)."""
         if self.profile is None:
             self.profile = SimProfile()
+
+    def enable_tracing(self) -> None:
+        """Turn on ground-truth trace recording (idempotent).
+
+        The recorder object itself never changes — components that bound
+        :attr:`trace` before this call start emitting immediately.
+        Tracing never perturbs the simulation: hooks draw no randomness
+        and schedule nothing, so the event and RNG order of a traced run
+        is identical to an untraced one.
+        """
+        self.trace.enabled = True
 
     # ------------------------------------------------------------------ #
     # Scheduling

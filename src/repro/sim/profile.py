@@ -22,20 +22,40 @@ from dataclasses import dataclass, field
 from typing import Callable, Mapping, Optional
 
 
+#: qualname-derived labels keyed by the callback's code object.  A fresh
+#: lambda/bound method is created per scheduling, but they all share one
+#: ``__code__`` per source location, so the cache is bounded by source
+#: size while hitting on every event after the first of its kind.
+_LABEL_CACHE: dict[object, str] = {}
+
+
 def event_label(callback: Callable[[], None]) -> str:
     """Classify a scheduled callback into a stable event-type label.
 
     Typed callables (e.g. the network's delivery events) advertise a
     ``profile_label``; plain functions and bound methods fall back to
-    their qualified name with any ``<locals>`` noise stripped.
+    their qualified name with any ``<locals>`` noise stripped.  The
+    qualname derivation is cached per code object: the profiled loop
+    calls this once per event, and re-deriving the label for every
+    delivery lambda showed up in event-loop profiles itself.
     """
     label = getattr(callback, "profile_label", None)
     if label is not None:
-        return label
+        return str(label)
+    func = getattr(callback, "__func__", callback)  # unwrap bound methods
+    code = getattr(func, "__code__", None)
+    if code is not None:
+        cached = _LABEL_CACHE.get(code)
+        if cached is not None:
+            return cached
     qualname = getattr(callback, "__qualname__", None)
     if qualname is None:
-        return type(callback).__name__
-    return qualname.replace(".<locals>.", ".")
+        derived = type(callback).__name__
+    else:
+        derived = qualname.replace(".<locals>.", ".")
+    if code is not None:
+        _LABEL_CACHE[code] = derived
+    return derived
 
 
 class SimProfile:

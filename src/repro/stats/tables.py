@@ -103,12 +103,15 @@ def format_event_profile(metrics) -> str:
     return "\n".join(lines)
 
 
-def format_fleet_profile(metrics) -> str:
+def format_fleet_profile(metrics, outcomes=None) -> str:
     """Render a :class:`~repro.experiments.fleet.FleetMetrics` snapshot.
 
     The sweep-level sibling of :func:`format_event_profile`: jobs done,
     campaign throughput, and the aggregate simulator events/second across
-    every worker process.
+    every worker process.  Pass the sweep's
+    :class:`~repro.experiments.fleet.JobOutcome` list to additionally get
+    one row per job with the worker's own simulator throughput (from its
+    :class:`~repro.sim.profile.SimMetrics` snapshot).
     """
     lines = [
         "Fleet profile",
@@ -122,4 +125,34 @@ def format_fleet_profile(metrics) -> str:
         f"events / second  : {metrics.events_per_second:,.0f} "
         "(aggregate across workers)",
     ]
+    if outcomes:
+        rows = []
+        for outcome in outcomes:
+            if not outcome.ok:
+                status = "failed"
+            elif outcome.from_cache:
+                status = "cached"
+            else:
+                status = "ok"
+            eps = outcome.events_per_second
+            rows.append(
+                (
+                    f"{outcome.job.name} seed {outcome.job.seed}",
+                    status,
+                    f"{outcome.events_processed:,}" if outcome.ok else "-",
+                    f"{outcome.wall_seconds:,.2f}"
+                    if outcome.wall_seconds > 0
+                    else "-",
+                    f"{eps:,.0f}" if eps > 0 else "-",
+                    "yes" if outcome.trace_path is not None else "-",
+                )
+            )
+        lines.append("")
+        lines.append(
+            format_table(
+                ("job", "status", "events", "wall s", "events/s", "trace"),
+                rows,
+                title="Per-job throughput",
+            )
+        )
     return "\n".join(lines)

@@ -26,6 +26,7 @@ from repro.node.config import NodeConfig
 from repro.node.miner import MAINNET_INTER_BLOCK_TIME, MiningCoordinator
 from repro.node.node import ProtocolNode
 from repro.node.pool import MiningPool, PoolSpec
+from repro.obs.snapshot import DEFAULT_SNAPSHOT_PERIOD, MetricsSnapshotter
 from repro.p2p.network import Network
 from repro.sim.engine import Simulator
 from repro.workload.mainnet import mainnet_pool_specs
@@ -66,6 +67,13 @@ class ScenarioConfig:
             queue-depth high-water mark on the simulator (see
             :mod:`repro.sim.profile`); read back via
             ``scenario.simulator.metrics``.
+        trace: Record ground-truth trace events (block lifecycle, gossip
+            hops, tx first-seen) plus periodic metrics snapshots via the
+            simulator's :class:`~repro.obs.recorder.TraceRecorder`.
+            Tracing never perturbs the simulation — the canonical chain
+            is byte-identical with it on or off.
+        trace_snapshot_period: Simulated seconds between metrics
+            snapshots while tracing.
     """
 
     seed: int = 1
@@ -79,6 +87,8 @@ class ScenarioConfig:
     latency: LatencyModelConfig = field(default_factory=LatencyModelConfig)
     warmup: float = 30.0
     profile: bool = False
+    trace: bool = False
+    trace_snapshot_period: float = DEFAULT_SNAPSHOT_PERIOD
 
     def __post_init__(self) -> None:
         if self.n_nodes < 2:
@@ -91,6 +101,8 @@ class ScenarioConfig:
             raise ConfigurationError("warmup must be non-negative")
         if not self.pool_specs:
             raise ConfigurationError("a scenario needs at least one pool")
+        if self.trace_snapshot_period <= 0:
+            raise ConfigurationError("trace_snapshot_period must be positive")
 
 
 class Scenario:
@@ -117,6 +129,7 @@ class Scenario:
         pools: list[MiningPool],
         coordinator: MiningCoordinator,
         workload: Optional[TransactionWorkload],
+        snapshotter: Optional[MetricsSnapshotter] = None,
     ) -> None:
         self.config = config
         self.simulator = simulator
@@ -125,6 +138,7 @@ class Scenario:
         self.pools = pools
         self.coordinator = coordinator
         self.workload = workload
+        self.snapshotter = snapshotter
         self._started = False
 
     @property
@@ -151,6 +165,8 @@ class Scenario:
         self.coordinator.start()
         if self.workload is not None:
             self.workload.start()
+        if self.snapshotter is not None:
+            self.snapshotter.start()
 
     def run_for(self, duration: float) -> None:
         """Advance the simulation by ``duration`` simulated seconds."""
@@ -179,6 +195,10 @@ def build_scenario(config: ScenarioConfig | None = None) -> Scenario:
     """Construct (but do not start) a scenario from ``config``."""
     cfg = config or ScenarioConfig()
     simulator = Simulator(seed=cfg.seed, profile=cfg.profile)
+    # Tracing is switched on before any component exists so constructors
+    # (node registration, etc.) are captured from the very first event.
+    if cfg.trace:
+        simulator.enable_tracing()
     network = Network(
         simulator,
         latency=LatencyModel(simulator.rng.stream("network.latency"), cfg.latency),
@@ -222,6 +242,17 @@ def build_scenario(config: ScenarioConfig | None = None) -> Scenario:
     if cfg.workload is not None:
         workload = TransactionWorkload(simulator, regular_nodes, cfg.workload)
 
+    snapshotter = None
+    if cfg.trace:
+        snapshotter = MetricsSnapshotter(simulator, period=cfg.trace_snapshot_period)
+
     return Scenario(
-        cfg, simulator, network, regular_nodes, pools, coordinator, workload
+        cfg,
+        simulator,
+        network,
+        regular_nodes,
+        pools,
+        coordinator,
+        workload,
+        snapshotter=snapshotter,
     )

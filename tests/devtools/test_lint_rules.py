@@ -248,6 +248,51 @@ def test_sim001_quiet_when_loop_is_sorted():
 
 
 # --------------------------------------------------------------------- #
+# OBS001 — ad-hoc output in simulation hot layers
+# --------------------------------------------------------------------- #
+
+
+def test_obs001_flags_print_in_hot_layers():
+    source = """
+        def deliver(node, block):
+            print(f"delivered {block} to {node}")
+        """
+    findings = _lint(source, "src/repro/p2p/network.py")
+    assert _rule_ids(findings) == ["OBS001"]
+    assert "simulator.trace" in findings[0].message
+
+
+def test_obs001_flags_logging_imports_in_hot_layers():
+    findings = _lint(
+        """
+        import logging
+        from logging import getLogger
+        """,
+        "src/repro/node/node.py",
+    )
+    assert _rule_ids(findings) == ["OBS001", "OBS001"]
+
+
+def test_obs001_ignores_other_layers_and_trace_emission():
+    noisy = """
+        def report(result):
+            print(result)
+        """
+    # The CLI/experiment layers are exactly where print() belongs.
+    assert _lint(noisy, "src/repro/cli.py") == []
+    assert _lint(noisy, "src/repro/experiments/runner.py") == []
+    clean = """
+        def deliver(self, node, block):
+            if self._trace.enabled:
+                self._trace.block_received(
+                    time=self.simulator.now, node=node.name,
+                    block_hash=block, height=1, peer_id=0, direct=True,
+                )
+        """
+    assert _lint(clean, "src/repro/node/node.py") == []
+
+
+# --------------------------------------------------------------------- #
 # API001 — broad except / mutable defaults
 # --------------------------------------------------------------------- #
 

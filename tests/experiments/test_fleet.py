@@ -90,6 +90,30 @@ def test_pool_rejects_zero_workers_and_empty_sweeps():
         CampaignPool(jobs=1).run([])
 
 
+def test_traced_and_untraced_jobs_share_a_cache_entry():
+    plain = CampaignJob(preset_name="small", seed=7)
+    traced = CampaignJob(preset_name="small", seed=7, trace=True)
+    assert traced.resolved_config().scenario.trace is True
+    assert plain.resolved_config().scenario.trace is False
+    # The dataset is bit-identical with tracing on, so the cache entry
+    # is shared; only the .trace.jsonl sibling differs.
+    assert traced.cache_filename() == plain.cache_filename()
+    assert traced.trace_filename().endswith(".trace.jsonl")
+    labeled = CampaignJob(
+        config=small_campaign(seed=1), label="variant", seed=1
+    )
+    labeled_traced = CampaignJob(
+        config=small_campaign(seed=1), label="variant", seed=1, trace=True
+    )
+    assert labeled.cache_filename() == labeled_traced.cache_filename()
+
+
+def test_traced_jobs_require_the_disk_cache():
+    pool = CampaignPool(jobs=1, use_disk=False)
+    with pytest.raises(FleetError, match="use_disk"):
+        pool.run([CampaignJob(preset_name="small", seed=1, trace=True)])
+
+
 # ---------------------------------------------------------------------- #
 # Parallel/sequential equivalence + cache-aware scheduling
 # ---------------------------------------------------------------------- #
@@ -124,6 +148,44 @@ def test_parallel_sweep_bit_identical_and_cache_aware(tmp_path):
     assert [
         d.chain.canonical_hashes for d in rerun.datasets()
     ] == [d.chain.canonical_hashes for d in result.datasets()]
+
+
+@pytest.mark.slow
+def test_traced_sweep_exports_trace_and_sim_metrics(tmp_path):
+    """A traced job ships a loadable trace next to its cache entry and a
+    full per-worker SimMetrics snapshot; a cached-dataset job without a
+    trace sibling still spawns a worker to produce one."""
+    from repro.obs.export import Trace
+
+    cache_dir = tmp_path / "cache"
+    pool = CampaignPool(jobs=1, cache_dir=cache_dir, use_disk=True)
+
+    # Warm the dataset cache WITHOUT a trace.
+    first = pool.run([CampaignJob(preset_name="small", seed=3)])
+    first.raise_on_failure()
+    assert first.outcomes[0].trace_path is None
+    assert first.outcomes[0].sim_metrics is not None
+    assert first.outcomes[0].sim_metrics.events_processed > 0
+    assert first.outcomes[0].events_per_second > 0
+
+    # Same job traced: the dataset is cached, but the missing trace
+    # sibling forces a worker run.
+    traced = pool.run([CampaignJob(preset_name="small", seed=3, trace=True)])
+    traced.raise_on_failure()
+    outcome = traced.outcomes[0]
+    assert not outcome.from_cache
+    assert outcome.trace_path is not None and outcome.trace_path.exists()
+    assert outcome.trace_path.parent == cache_dir
+    trace = Trace.load(outcome.trace_path)
+    assert trace.seed == 3
+    assert trace.preset == "small"
+    assert trace.canonical_hashes == outcome.dataset.chain.canonical_hashes
+    assert len(trace.records) > 0
+
+    # Rerun: now both dataset and trace are cached — pure cache hit.
+    rerun = pool.run([CampaignJob(preset_name="small", seed=3, trace=True)])
+    assert rerun.metrics.cache_hits == 1
+    assert rerun.outcomes[0].trace_path == outcome.trace_path
 
 
 # ---------------------------------------------------------------------- #

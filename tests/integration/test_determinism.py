@@ -75,3 +75,30 @@ def test_canonical_chain_pinned_for_seed_55():
         digest
         == "aff2ea94748b9462f59cc134da366767120cfe31d5a30d8cf79bd20909e4c609"
     )
+
+
+def test_tracing_does_not_perturb_the_seed_55_pin():
+    """Ground-truth tracing must be a pure observer.
+
+    Trace hooks draw no randomness and schedule nothing; the metrics
+    snapshotter adds events but preserves the relative sequence order of
+    everything else.  The proof obligation is the same digest as the
+    untraced pin above — with tracing ON.
+    """
+    import hashlib
+
+    config = small_campaign(seed=55)
+    config = replace(config, scenario=replace(config.scenario, trace=True))
+    campaign = Campaign(config)
+    dataset = campaign.run()
+    hashes = dataset.chain.canonical_hashes
+    digest = hashlib.sha256(",".join(hashes).encode()).hexdigest()
+    assert (
+        digest
+        == "aff2ea94748b9462f59cc134da366767120cfe31d5a30d8cf79bd20909e4c609"
+    )
+    # And the trace actually observed the run.
+    trace = campaign.build_trace()
+    assert trace.seed == 55
+    assert trace.canonical_hashes == tuple(hashes)
+    assert len(trace.records) > 0

@@ -1,0 +1,157 @@
+"""Propagation-tree reconstruction from synthetic traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TraceError
+from repro.measurement.dataset import MeasurementDataset
+from repro.measurement.records import BlockMessageRecord
+from repro.obs.blocktrace import (
+    build_propagation_tree,
+    node_directory,
+    render_campaign_summary,
+    render_delta_report,
+    render_propagation_tree,
+    resolve_block_hash,
+    vantage_deltas,
+)
+from repro.obs.export import Trace
+from repro.obs.records import (
+    BlockImported,
+    BlockReceived,
+    BlockSealed,
+    NodeRegistered,
+    ValidationStarted,
+)
+
+BLOCK = "0xaabbccddeeff00112233"
+
+
+def _synthetic_trace() -> Trace:
+    """gw injects BLOCK; n1 gets a push from gw; n2 an announce from n1."""
+    records = [
+        NodeRegistered(time=0.0, node="gw", node_id=10, region="WE"),
+        NodeRegistered(time=0.0, node="n1", node_id=11, region="NA"),
+        NodeRegistered(time=0.0, node="n2", node_id=12, region="EA"),
+        BlockSealed(
+            time=5.0,
+            block_hash=BLOCK,
+            parent_hash="0x00",
+            height=1,
+            pool="Ethermine",
+            variant=0,
+            variants=1,
+            tx_count=2,
+        ),
+        # Origin: the gateway validates before ever "receiving".
+        ValidationStarted(time=5.0, node="gw", block_hash=BLOCK, height=1),
+        BlockImported(
+            time=5.05, node="gw", block_hash=BLOCK, height=1, head_changed=True
+        ),
+        BlockReceived(
+            time=5.1, node="n1", block_hash=BLOCK, height=1, peer_id=10,
+            direct=True,
+        ),
+        # A push reception and its validation share one timestamp: n1 is
+        # NOT an origin (strict < in the origin test).
+        ValidationStarted(time=5.1, node="n1", block_hash=BLOCK, height=1),
+        BlockImported(
+            time=5.15, node="n1", block_hash=BLOCK, height=1, head_changed=True
+        ),
+        BlockReceived(
+            time=5.2, node="n2", block_hash=BLOCK, height=1, peer_id=11,
+            direct=False,
+        ),
+        # Duplicate reception later — must not re-parent n2.
+        BlockReceived(
+            time=5.4, node="n2", block_hash=BLOCK, height=1, peer_id=10,
+            direct=True,
+        ),
+    ]
+    return Trace(
+        seed=1,
+        preset="unit",
+        canonical_hashes=("0x00", BLOCK),
+        head_hash=BLOCK,
+        records=records,
+    )
+
+
+def test_node_directory_maps_ids_to_names():
+    assert node_directory(_synthetic_trace()) == {10: "gw", 11: "n1", 12: "n2"}
+
+
+def test_resolve_block_hash_head_prefix_and_errors():
+    trace = _synthetic_trace()
+    assert resolve_block_hash(trace, "head") == BLOCK
+    assert resolve_block_hash(trace, "aabb") == BLOCK
+    assert resolve_block_hash(trace, BLOCK) == BLOCK
+    with pytest.raises(TraceError, match="no block"):
+        resolve_block_hash(trace, "dead")
+    with pytest.raises(TraceError, match="ambiguous"):
+        # Both genesis and BLOCK start with "0x".
+        resolve_block_hash(trace, "0x")
+
+
+def test_tree_structure_origins_and_parents():
+    tree = build_propagation_tree(_synthetic_trace(), BLOCK)
+    assert tree.height == 1
+    assert tree.pool == "Ethermine"
+    assert tree.sealed_time == 5.0
+    assert tree.reach == 3
+    assert [root.node for root in tree.roots] == ["gw"]
+    gw = tree.nodes["gw"]
+    assert gw.via_peer == ""  # injected, not received
+    assert [child.node for child in gw.children] == ["n1"]
+    n1 = tree.nodes["n1"]
+    assert n1.direct is True and n1.via_peer == "gw"
+    n2 = tree.nodes["n2"]
+    # First reception wins: announce from n1, not the later push from gw.
+    assert n2.via_peer == "n1" and n2.direct is False
+    assert n2.first_seen == 5.2
+    assert tree.origin_time == 5.0
+    assert tree.spread_seconds(1.0) == pytest.approx(0.2)
+
+
+def test_unknown_block_raises():
+    with pytest.raises(TraceError, match="no events"):
+        build_propagation_tree(_synthetic_trace(), "0xdeadbeef")
+
+
+def test_renderings_contain_the_structure():
+    trace = _synthetic_trace()
+    tree = build_propagation_tree(trace, BLOCK)
+    art = render_propagation_tree(tree)
+    assert "sealed by Ethermine" in art
+    assert "injected" in art  # gw
+    assert "push" in art  # n1
+    assert "announce" in art  # n2
+    capped = render_propagation_tree(tree, max_nodes=1)
+    assert "2 more nodes" in capped
+    summary = render_campaign_summary(trace)
+    assert "seed 1" in summary and "preset unit" in summary
+    assert "Ethermine" in summary
+
+
+def test_vantage_deltas_against_a_dataset():
+    trace = _synthetic_trace()
+    dataset = MeasurementDataset(
+        vantage_regions={"n1": "NA", "n2": "EA", "cold": "WE"}
+    )
+    dataset.block_messages = [
+        BlockMessageRecord(
+            vantage="n1", time=5.16, block_hash=BLOCK, height=1,
+            direct=True, miner="", peer_id=10,
+        ),
+        BlockMessageRecord(
+            vantage="n2", time=5.18, block_hash=BLOCK, height=1,
+            direct=False, miner="", peer_id=11,
+        ),
+    ]
+    deltas = {d.vantage: d for d in vantage_deltas(trace, dataset, BLOCK)}
+    assert deltas["n1"].delta == pytest.approx(0.06)
+    assert deltas["n2"].delta == pytest.approx(-0.02)  # NTP error went early
+    assert deltas["cold"].truth is None and deltas["cold"].delta is None
+    report = render_delta_report(sorted(deltas.values(), key=lambda d: d.vantage))
+    assert "+60.0" in report and "-20.0" in report and "-" in report

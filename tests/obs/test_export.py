@@ -1,0 +1,90 @@
+"""Trace JSONL persistence: atomic save, tolerant load, failure modes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import TraceError
+from repro.obs.export import TRACE_SCHEMA_VERSION, Trace
+from repro.obs.records import BlockReceived, BlockSealed, MetricsSample
+
+
+def _sample_trace() -> Trace:
+    return Trace(
+        seed=55,
+        preset="small",
+        canonical_hashes=("0x00", "0xaa"),
+        head_hash="0xaa",
+        records=[
+            BlockSealed(
+                time=1.0,
+                block_hash="0xaa",
+                parent_hash="0x00",
+                height=1,
+                pool="Ethermine",
+                variant=0,
+                variants=1,
+                tx_count=3,
+            ),
+            BlockReceived(
+                time=1.1, node="reg-0001", block_hash="0xaa", height=1,
+                peer_id=4, direct=True,
+            ),
+            MetricsSample(time=4.0, metrics={"blocks_imported_total": 1.0}),
+        ],
+    )
+
+
+def test_save_load_round_trip(tmp_path):
+    path = tmp_path / "run.trace.jsonl"
+    original = _sample_trace()
+    original.save(path)
+    loaded = Trace.load(path)
+    assert loaded.seed == original.seed
+    assert loaded.preset == original.preset
+    assert loaded.canonical_hashes == original.canonical_hashes
+    assert loaded.head_hash == original.head_hash
+    assert loaded.records == original.records
+    # No stray tmp files left behind.
+    assert list(tmp_path.iterdir()) == [path]
+
+
+def test_header_line_is_first_and_typed(tmp_path):
+    path = tmp_path / "run.trace.jsonl"
+    _sample_trace().save(path)
+    first = json.loads(path.read_text(encoding="utf-8").splitlines()[0])
+    assert first["_type"] == "TraceHeader"
+    assert first["schema"] == TRACE_SCHEMA_VERSION
+    assert first["seed"] == 55
+
+
+def test_load_failure_modes(tmp_path):
+    with pytest.raises(TraceError, match="no trace file"):
+        Trace.load(tmp_path / "missing.jsonl")
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("", encoding="utf-8")
+    with pytest.raises(TraceError, match="empty"):
+        Trace.load(empty)
+    headerless = tmp_path / "headerless.jsonl"
+    headerless.write_text('{"_type": "BlockSealed"}\n', encoding="utf-8")
+    with pytest.raises(TraceError, match="header"):
+        Trace.load(headerless)
+    future = tmp_path / "future.jsonl"
+    future.write_text(
+        json.dumps(
+            {"_type": "TraceHeader", "schema": TRACE_SCHEMA_VERSION + 1}
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    with pytest.raises(TraceError, match="schema"):
+        Trace.load(future)
+    garbled = tmp_path / "garbled.jsonl"
+    garbled.write_text(
+        json.dumps({"_type": "TraceHeader", "schema": 1}) + "\nnot json\n",
+        encoding="utf-8",
+    )
+    with pytest.raises(TraceError, match=":2"):
+        Trace.load(garbled)

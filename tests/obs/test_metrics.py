@@ -1,0 +1,90 @@
+"""Labeled metrics primitives and the registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TraceError
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    series_key,
+)
+
+
+def test_series_key_is_canonical():
+    assert series_key("events_total") == "events_total"
+    assert (
+        series_key("events_total", {"kind": "block", "dir": "in"})
+        == "events_total{dir=in,kind=block}"
+    )
+    # Label insertion order never leaks into the key.
+    assert series_key("m", {"b": "2", "a": "1"}) == series_key(
+        "m", {"a": "1", "b": "2"}
+    )
+
+
+def test_counter_accumulates_per_label_set():
+    counter = Counter("gossip_messages_total")
+    counter.inc(labels={"kind": "NewBlock"})
+    counter.inc(2.0, labels={"kind": "NewBlock"})
+    counter.inc(labels={"kind": "Transactions"})
+    assert counter.value({"kind": "NewBlock"}) == 3.0
+    assert counter.value({"kind": "Transactions"}) == 1.0
+    assert counter.value({"kind": "Never"}) == 0.0
+    with pytest.raises(TraceError):
+        counter.inc(-1.0)
+
+
+def test_gauge_moves_both_ways():
+    gauge = Gauge("head_height")
+    gauge.set(5, labels={"node": "reg-0001"})
+    gauge.set(3, labels={"node": "reg-0001"})
+    assert gauge.value({"node": "reg-0001"}) == 3.0
+
+
+def test_histogram_buckets_are_cumulative_with_inf():
+    hist = Histogram("latency", edges=(0.1, 0.5, 1.0))
+    for value in (0.05, 0.05, 0.3, 2.0):
+        hist.observe(value, labels={"kind": "block"})
+    series = hist.collect()
+    assert series["latency_bucket{kind=block,le=0.1}"] == 2.0
+    assert series["latency_bucket{kind=block,le=0.5}"] == 3.0
+    assert series["latency_bucket{kind=block,le=1}"] == 3.0
+    assert series["latency_bucket{kind=block,le=+Inf}"] == 4.0
+    assert series["latency_count{kind=block}"] == 4.0
+    assert series["latency_sum{kind=block}"] == pytest.approx(2.4)
+    assert hist.count({"kind": "block"}) == 4
+
+
+def test_histogram_rejects_bad_edges():
+    with pytest.raises(TraceError):
+        Histogram("h", edges=())
+    with pytest.raises(TraceError):
+        Histogram("h", edges=(1.0, 0.5))
+    with pytest.raises(TraceError):
+        Histogram("h", edges=(1.0, 1.0))
+
+
+def test_registry_is_idempotent_by_name_and_kind():
+    registry = MetricsRegistry()
+    counter = registry.counter("jobs_total")
+    assert registry.counter("jobs_total") is counter
+    with pytest.raises(TraceError):
+        registry.gauge("jobs_total")
+    hist = registry.histogram("lat", edges=(0.1, 1.0))
+    assert registry.histogram("lat", edges=(0.1, 1.0)) is hist
+    with pytest.raises(TraceError):
+        registry.histogram("lat", edges=(0.2, 1.0))
+
+
+def test_snapshot_is_flat_and_sorted():
+    registry = MetricsRegistry()
+    registry.counter("b_total").inc()
+    registry.gauge("a_gauge").set(7)
+    snap = registry.snapshot()
+    assert list(snap) == sorted(snap)
+    assert snap["a_gauge"] == 7.0
+    assert snap["b_total"] == 1.0

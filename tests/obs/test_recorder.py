@@ -1,0 +1,79 @@
+"""TraceRecorder unit behaviour: emission, metrics, the disabled guard."""
+
+from __future__ import annotations
+
+from repro.obs.records import GossipSend, HeadChanged, MetricsSample
+from repro.obs.recorder import TraceRecorder
+
+
+def test_recorder_starts_disabled_and_empty():
+    recorder = TraceRecorder()
+    assert recorder.enabled is False
+    assert recorder.events == []
+    # Disabled snapshotting is a no-op returning None (the snapshotter
+    # process runs unconditionally; the guard lives in the recorder).
+    assert recorder.snapshot_metrics(1.0) is None
+    assert recorder.events == []
+
+
+def test_emits_append_records_and_feed_metrics():
+    recorder = TraceRecorder()
+    recorder.enabled = True
+    recorder.gossip_send(
+        time=1.0,
+        kind="NewBlock",
+        sender="a",
+        recipient="b",
+        sender_region="WE",
+        recipient_region="NA",
+        size=1000,
+        latency=0.08,
+        block_hash="0xaa",
+    )
+    recorder.gossip_send(
+        time=1.1,
+        kind="Transactions",
+        sender="b",
+        recipient="a",
+        sender_region="NA",
+        recipient_region="WE",
+        size=300,
+        latency=0.04,
+        tx_count=3,
+    )
+    assert [type(r) for r in recorder.events] == [GossipSend, GossipSend]
+    snap = recorder.registry.snapshot()
+    assert snap["gossip_messages_total{kind=NewBlock}"] == 1.0
+    assert snap["gossip_bytes_total{kind=NewBlock}"] == 1000.0
+    assert snap["gossip_latency_seconds_count{kind=NewBlock}"] == 1.0
+    assert snap["gossip_messages_total{kind=Transactions}"] == 1.0
+
+
+def test_head_changed_tracks_reorgs_and_height():
+    recorder = TraceRecorder()
+    recorder.enabled = True
+    recorder.head_changed(
+        time=1.0, node="n", old_head="0x00", new_head="0xaa", height=1,
+        reorg_depth=0,
+    )
+    recorder.head_changed(
+        time=2.0, node="n", old_head="0xaa", new_head="0xbb", height=2,
+        reorg_depth=1,
+    )
+    assert [type(r) for r in recorder.events] == [HeadChanged, HeadChanged]
+    snap = recorder.registry.snapshot()
+    assert snap["head_changes_total"] == 2.0
+    assert snap["reorgs_total"] == 1.0
+    assert snap["reorg_depth_blocks_count"] == 1.0
+    assert snap["node_head_height{node=n}"] == 2.0
+
+
+def test_snapshot_metrics_captures_registry_state():
+    recorder = TraceRecorder()
+    recorder.enabled = True
+    recorder.fetch_started(time=1.0, node="n", block_hash="0xaa", peer_id=3)
+    sample = recorder.snapshot_metrics(4.0)
+    assert isinstance(sample, MetricsSample)
+    assert sample.time == 4.0
+    assert sample.metrics["block_fetches_total"] == 1.0
+    assert recorder.events[-1] is sample

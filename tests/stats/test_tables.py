@@ -59,3 +59,62 @@ def test_left_alignment_mode():
 def test_empty_rows_render_header_only():
     rendered = format_table(headers=["A"], rows=[])
     assert len(rendered.splitlines()) == 2  # header + rule
+
+
+def test_fleet_profile_per_job_rows():
+    from pathlib import Path
+
+    from repro.experiments.fleet import (
+        CampaignJob,
+        FleetMetrics,
+        JobOutcome,
+    )
+    from repro.sim.profile import SimMetrics
+    from repro.stats.tables import format_fleet_profile
+
+    metrics = FleetMetrics(
+        jobs_total=2,
+        jobs_succeeded=2,
+        jobs_failed=0,
+        cache_hits=1,
+        retries=0,
+        workers=2,
+        wall_seconds=10.0,
+        total_events=150_000,
+    )
+    worker = JobOutcome(
+        job=CampaignJob(preset_name="small", seed=1, trace=True),
+        dataset=object(),
+        events_processed=150_000,
+        wall_seconds=12.5,
+        sim_metrics=SimMetrics(
+            events_processed=150_000,
+            simulated_seconds=500.0,
+            run_wall_seconds=12.0,
+            events_per_second=12_500.0,
+            profiled=False,
+        ),
+        trace_path=Path("x.trace.jsonl"),
+    )
+    cached = JobOutcome(
+        job=CampaignJob(preset_name="small", seed=2),
+        dataset=object(),
+        from_cache=True,
+    )
+    # Without outcomes: summary lines only.
+    assert "Per-job throughput" not in format_fleet_profile(metrics)
+    rendered = format_fleet_profile(metrics, [worker, cached])
+    assert "Per-job throughput" in rendered
+    assert "small seed 1" in rendered
+    assert "12,500" in rendered  # SimMetrics throughput, not events/wall
+    assert "yes" in rendered  # trace column
+    assert "cached" in rendered
+    assert worker.events_per_second == 12_500.0
+    # Fallback when the meta payload lacked SimMetrics.
+    no_metrics = JobOutcome(
+        job=CampaignJob(preset_name="small", seed=3),
+        dataset=object(),
+        events_processed=100,
+        wall_seconds=4.0,
+    )
+    assert no_metrics.events_per_second == 25.0

@@ -87,3 +87,50 @@ def test_sweep_command_runs_parallel_fleet(tmp_path, capsys):
 
 def test_sweep_command_rejects_nonpositive_seeds(capsys):
     assert main(["sweep", "--preset", "small", "--seeds", "0"]) == 2
+
+
+def test_trace_lifecycle(tmp_path, capsys):
+    """run --trace-out → repro trace: summary, tree, and delta report."""
+    ds_path = tmp_path / "ds.jsonl"
+    tr_path = tmp_path / "tr.jsonl"
+    assert (
+        main(
+            [
+                "run",
+                "--preset", "small",
+                "--seed", "95",
+                "--out", str(ds_path),
+                "--trace-out", str(tr_path),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert f"trace saved to {tr_path}" in out
+    assert tr_path.exists()
+
+    # Summary mode: one row per canonical block.
+    assert main(["trace", str(tr_path), "--limit", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "canonical blocks" in out
+    assert "seed 95" in out and "preset small" in out
+
+    # Tree mode on the head, capped.
+    assert main(["trace", str(tr_path), "head", "--max-nodes", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "block 0x" in out
+    assert "injected" in out
+    assert "more nodes" in out
+
+    # Delta report against the same run's dataset.
+    assert (
+        main(["trace", str(tr_path), "head", "--dataset", str(ds_path)]) == 0
+    )
+    out = capsys.readouterr().out
+    assert "ground truth vs measured" in out
+    assert "WE-default" in out
+
+
+def test_trace_command_failure_modes(tmp_path, capsys):
+    assert main(["trace", str(tmp_path / "missing.jsonl")]) == 2
+    assert "cannot load trace" in capsys.readouterr().out
