@@ -1,0 +1,97 @@
+"""Ablation — network dynamics: propagation delay and fork rate vs churn.
+
+The paper measures a *live* network: peers leave and rejoin, links
+misbehave.  Our baseline campaigns model a static mesh, so this bench
+quantifies how much that idealisation flatters the headline numbers.
+A fixed fault plan (peer churn plus mild link faults) is swept over
+intensity multipliers; every grid point runs the same seed, so any
+degradation is attributable to the faults alone (the fault layer's
+dedicated RNG streams guarantee the fault-free draws are untouched —
+the x0 point reproduces the clean campaign byte-for-byte).
+
+Reported per grid point: median/p95 block-propagation delay (Figure 1's
+statistic) and the non-main-chain block share (Table III's fork rate).
+
+Sized via ``REPRO_CHURN_PRESET`` (default ``small``) and
+``REPRO_CHURN_INTENSITIES`` (default ``0,0.5,1``).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+
+from conftest import print_artifact
+
+from repro.analysis.forks import fork_analysis
+from repro.analysis.propagation import block_propagation_delays
+from repro.experiments.presets import preset
+from repro.faults import ChurnSpec, FaultPlan, LinkFaultSpec
+from repro.measurement.campaign import Campaign
+
+_CHURN_PRESET = os.environ.get("REPRO_CHURN_PRESET", "small")
+_CHURN_SEED = 7
+_INTENSITIES = tuple(
+    float(part)
+    for part in os.environ.get("REPRO_CHURN_INTENSITIES", "0,0.5,1").split(",")
+    if part.strip()
+)
+
+#: At x1: sessions average 10 simulated minutes, 30 s offline between
+#: them, plus a lightly lossy gossip fabric.
+_PLAN = FaultPlan(
+    churn=ChurnSpec(session_mean=600.0, downtime_mean=30.0),
+    links=LinkFaultSpec(
+        drop_prob=0.01, duplicate_prob=0.01, jitter_prob=0.1, jitter_mean=0.15
+    ),
+)
+
+
+def _grid_point(intensity: float) -> dict:
+    config = replace(
+        preset(_CHURN_PRESET, _CHURN_SEED), faults=_PLAN.scaled(intensity)
+    )
+    dataset = Campaign(config).run()
+    propagation = block_propagation_delays(dataset)
+    forks = fork_analysis(dataset)
+    return {
+        "intensity": intensity,
+        "median_delay": propagation.summary.median,
+        "p95_delay": propagation.summary.p95,
+        "fork_share": 1.0 - forks.main_share,
+        "blocks": forks.total_blocks,
+    }
+
+
+def _run_grid() -> list[dict]:
+    return [_grid_point(intensity) for intensity in sorted(_INTENSITIES)]
+
+
+def test_ablation_churn_degradation(benchmark):
+    grid = benchmark.pedantic(_run_grid, rounds=1, iterations=1)
+    baseline = grid[0]
+    rendered = "\n".join(
+        f"x{point['intensity']:<4g} median delay {point['median_delay']:.3f} s  "
+        f"p95 {point['p95_delay']:.3f} s  "
+        f"fork share {100 * point['fork_share']:.2f}%  "
+        f"({point['blocks']} blocks)"
+        for point in grid
+    )
+    print_artifact(
+        f"Ablation — churn & link faults vs propagation and forks "
+        f"({_CHURN_PRESET} preset, seed {_CHURN_SEED})",
+        rendered,
+        {"claim": "static-mesh baselines understate delay and fork rate"},
+    )
+    # Perf-trajectory record: degradation factors at the top grid point.
+    top = grid[-1]
+    benchmark.extra_info["churn_intensities"] = list(sorted(_INTENSITIES))
+    benchmark.extra_info["median_delay_x0"] = baseline["median_delay"]
+    benchmark.extra_info["median_delay_top"] = top["median_delay"]
+    benchmark.extra_info["fork_share_x0"] = baseline["fork_share"]
+    benchmark.extra_info["fork_share_top"] = top["fork_share"]
+
+    assert all(point["blocks"] > 0 for point in grid)
+    if len(grid) > 1 and baseline["intensity"] == 0.0:
+        # Faults can only slow propagation down, never speed it up.
+        assert top["median_delay"] >= 0.9 * baseline["median_delay"]

@@ -67,6 +67,10 @@ def test_tracing_noop_overhead(benchmark):
         if traced.events_per_second
         else 0.0
     )
+    # Perf-trajectory record consumed by tools/benchtrack.py (CI bench job).
+    benchmark.extra_info["plain_events_per_second"] = plain.events_per_second
+    benchmark.extra_info["traced_events_per_second"] = traced.events_per_second
+    benchmark.extra_info["tracing_overhead"] = overhead
     print_artifact(
         f"Tracing overhead ({_OBS_PRESET} preset, seed {_OBS_SEED})",
         f"disabled (default): {plain.events_per_second:,.0f} events/s "

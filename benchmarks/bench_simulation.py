@@ -71,6 +71,9 @@ def test_standard_campaign_events_per_second(benchmark):
     """The headline engine number: standard-preset events/second."""
     campaign = benchmark.pedantic(_run_standard_campaign, rounds=1, iterations=1)
     metrics = campaign.metrics
+    # Perf-trajectory record consumed by tools/benchtrack.py (CI bench job).
+    benchmark.extra_info["events_processed"] = metrics.events_processed
+    benchmark.extra_info["events_per_second"] = metrics.events_per_second
     print_artifact(
         "Standard campaign throughput",
         f"events processed: {metrics.events_processed:,}\n"
@@ -157,6 +160,10 @@ def test_parallel_sweep_speedup(benchmark):
     """
     outcome = benchmark.pedantic(_sweep_both_ways, rounds=1, iterations=1)
     cores = os.cpu_count() or 1
+    # Perf-trajectory record consumed by tools/benchtrack.py (CI bench job).
+    benchmark.extra_info["sequential_wall"] = outcome["sequential_wall"]
+    benchmark.extra_info["parallel_wall"] = outcome["parallel_wall"]
+    benchmark.extra_info["speedup"] = outcome["speedup"]
     print_artifact(
         f"Parallel sweep speedup ({len(_SWEEP_SEEDS)}-seed {_SWEEP_PRESET} "
         f"preset, {_SWEEP_JOBS} workers, {cores} cores)",

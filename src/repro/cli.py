@@ -27,7 +27,8 @@ from repro.devtools.lint import add_lint_arguments
 from repro.devtools.lint import execute as execute_lint
 from repro.errors import AnalysisError, DatasetError, ExperimentError, TraceError
 from repro.experiments.cache import DEFAULT_CACHE_DIR, campaign_dataset
-from repro.experiments.fleet import run_seed_sweep
+from repro.experiments.fleet import run_fault_grid, run_seed_sweep
+from repro.faults.plan import FaultPlan
 from repro.experiments.presets import preset
 from repro.experiments.registry import (
     EXPERIMENTS,
@@ -66,6 +67,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--trace-out", type=Path, default=None,
         help="enable ground-truth tracing and save the trace as JSONL",
     )
+    run.add_argument(
+        "--faults", type=Path, default=None, metavar="PLAN.json",
+        help="inject the fault plan (churn/link faults/partitions/crashes) "
+        "loaded from this JSON file",
+    )
 
     sweep = sub.add_parser(
         "sweep", help="run a multi-seed campaign fleet in parallel"
@@ -92,6 +98,16 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--trace", action="store_true",
         help="export a ground-truth trace per seed next to the dataset cache",
+    )
+    sweep.add_argument(
+        "--faults", type=Path, default=None, metavar="PLAN.json",
+        help="fault plan for an ablation grid over fault intensity "
+        "(see --fault-intensities)",
+    )
+    sweep.add_argument(
+        "--fault-intensities", default="0,0.5,1",
+        help="comma-separated intensity multipliers applied to the --faults "
+        "plan; each grid point runs every seed (default: 0,0.5,1)",
     )
 
     trace = sub.add_parser(
@@ -145,6 +161,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         config = replace(
             config, scenario=replace(config.scenario, trace=True)
         )
+    if args.faults is not None:
+        config = replace(config, faults=FaultPlan.load(args.faults))
     campaign = Campaign(config)
     dataset = campaign.run()
     main_blocks = len(dataset.chain.canonical_hashes) - 1
@@ -162,32 +180,63 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_intensities(raw: str) -> Optional[list[float]]:
+    try:
+        values = [float(part) for part in raw.split(",") if part.strip()]
+    except ValueError:
+        return None
+    return values if values and all(v >= 0 for v in values) else None
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.seeds < 1:
         print("--seeds must be >= 1")
         return 2
-    result = run_seed_sweep(
-        args.preset,
-        seeds=range(args.seed, args.seed + args.seeds),
-        jobs=args.jobs,
-        cache_dir=args.cache_dir,
-        use_disk=True,
-        progress=print,
-        trace=args.trace,
-    )
+    seeds = range(args.seed, args.seed + args.seeds)
+    if args.faults is not None:
+        intensities = _parse_intensities(args.fault_intensities)
+        if intensities is None:
+            print("--fault-intensities must be comma-separated numbers >= 0")
+            return 2
+        result = run_fault_grid(
+            args.preset,
+            FaultPlan.load(args.faults),
+            intensities=intensities,
+            seeds=seeds,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            use_disk=True,
+            progress=print,
+            trace=args.trace,
+        )
+    else:
+        result = run_seed_sweep(
+            args.preset,
+            seeds=seeds,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            use_disk=True,
+            progress=print,
+            trace=args.trace,
+        )
     print(format_fleet_profile(result.metrics, result.outcomes))
     for outcome in result.outcomes:
         if outcome.ok:
             blocks = len(outcome.dataset.chain.canonical_hashes) - 1
             origin = "cache" if outcome.from_cache else "worker"
             print(
-                f"  seed {outcome.job.seed}: {blocks} main blocks "
-                f"({origin}, {outcome.path})"
+                f"  {outcome.job.name} seed {outcome.job.seed}: "
+                f"{blocks} main blocks ({origin}, {outcome.path})"
             )
             if outcome.trace_path is not None:
-                print(f"    trace: {outcome.trace_path}")
+                # Machine-consumable (column 0): CI's trace-smoke step
+                # scrapes these lines instead of globbing the cache dir.
+                print(f"trace: {outcome.trace_path}")
         else:
-            print(f"  seed {outcome.job.seed}: FAILED — {outcome.error}")
+            print(
+                f"  {outcome.job.name} seed {outcome.job.seed}: "
+                f"FAILED — {outcome.error}"
+            )
     if args.merged_out is not None and result.datasets():
         merged = merge_datasets(result.datasets(), allow_disjoint_worlds=True)
         merged.save(args.merged_out)

@@ -2,6 +2,12 @@
 
 from __future__ import annotations
 
-from repro.devtools.lint.rules import api, determinism, observability, simsafety
+from repro.devtools.lint.rules import (
+    api,
+    determinism,
+    faults,
+    observability,
+    simsafety,
+)
 
-__all__ = ["api", "determinism", "observability", "simsafety"]
+__all__ = ["api", "determinism", "faults", "observability", "simsafety"]

@@ -1,0 +1,155 @@
+"""Fault-injection rules (FLT001).
+
+The fault layer's determinism contract (DESIGN.md §5f) hinges on stream
+discipline: every fault decision draws from a dedicated ``faults.*``
+child stream.  Drawing from the engine's root registry (``self.rng`` /
+``simulator.rng``), from a generically named stream, or from
+module-level RNG would entangle fault draws with placement, mining,
+workload or latency draws — and a changed fault plan would then perturb
+the *fault-free* parts of the run, breaking the all-zeros pin and every
+cross-plan comparison.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.devtools.lint.context import ModuleContext
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.registry import Rule, register
+
+#: Path fragment naming the fault layer this rule covers.
+_FAULT_LAYER = "repro/faults/"
+
+#: Required namespace prefix for fault-layer child streams.
+_STREAM_PREFIX = "faults."
+
+#: Module paths whose RNG state is ambient (process-global, seed-free).
+_AMBIENT_RNG_MODULES = ("random", "numpy.random")
+
+
+def _dotted_path(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Local name -> imported dotted module path."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".", 1)[0]] = (
+                    alias.name if alias.asname else alias.name.split(".", 1)[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                aliases[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+    return aliases
+
+
+@register
+class FaultStreamRule(Rule):
+    """FLT001 — fault injectors draw only from dedicated child streams."""
+
+    rule_id = "FLT001"
+    title = "fault code drawing outside its dedicated RNG stream"
+    invariant = (
+        "every random draw in repro/faults comes from a faults.* child "
+        "stream, so a fault plan can never perturb non-fault draws"
+    )
+    suggestion = (
+        "obtain a generator via simulator.rng.stream('faults.<name>'), "
+        "bind it to a descriptively named attribute (e.g. _churn_rng), "
+        "and draw only from that"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if _FAULT_LAYER not in module.relpath:
+            return
+        aliases = _import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr == "stream":
+                yield from self._check_stream_namespace(module, node)
+                continue
+            yield from self._check_receiver(module, node, func, aliases)
+
+    def _check_stream_namespace(
+        self, module: ModuleContext, node: ast.Call
+    ) -> Iterator[Finding]:
+        """``.stream(...)`` calls must name a literal ``faults.*`` space."""
+        arg = node.args[0] if node.args else None
+        if (
+            isinstance(arg, ast.Constant)
+            and isinstance(arg.value, str)
+            and arg.value.startswith(_STREAM_PREFIX)
+        ):
+            return
+        namespace = (
+            repr(arg.value)
+            if isinstance(arg, ast.Constant)
+            else "a computed namespace"
+        )
+        yield self.finding(
+            module,
+            node,
+            f"fault code requests stream {namespace} — fault-layer child "
+            f"streams must be literal '{_STREAM_PREFIX}*' namespaces",
+        )
+
+    def _check_receiver(
+        self,
+        module: ModuleContext,
+        node: ast.Call,
+        func: ast.Attribute,
+        aliases: dict[str, str],
+    ) -> Iterator[Finding]:
+        """Flag draws from the engine registry or ambient RNG modules."""
+        receiver = func.value
+        receiver_name: Optional[str] = None
+        if isinstance(receiver, ast.Attribute):
+            receiver_name = receiver.attr
+        elif isinstance(receiver, ast.Name):
+            receiver_name = receiver.id
+        if receiver_name in ("rng", "_rng"):
+            yield self.finding(
+                module,
+                node,
+                f"draw from generically named RNG '{receiver_name}' — the "
+                "engine registry and shared streams are off-limits in fault "
+                "code; use a dedicated faults.* child stream",
+            )
+            return
+        dotted = _dotted_path(receiver)
+        if dotted is None:
+            return
+        head, _, rest = dotted.partition(".")
+        resolved = aliases.get(head)
+        if resolved is None:
+            return
+        full = f"{resolved}.{rest}" if rest else resolved
+        if full in _AMBIENT_RNG_MODULES or any(
+            full.startswith(f"{mod}.") for mod in _AMBIENT_RNG_MODULES
+        ):
+            yield self.finding(
+                module,
+                node,
+                f"module-level RNG call via '{dotted}' — ambient generators "
+                "are process-global and seed-free; use a faults.* child "
+                "stream",
+            )

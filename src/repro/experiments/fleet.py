@@ -46,6 +46,7 @@ from pathlib import Path
 from typing import Callable, Optional, Sequence
 
 from repro.errors import FleetError
+from repro.faults.plan import FaultPlan
 from repro.experiments.cache import (
     DEFAULT_CACHE_DIR,
     cache_key,
@@ -632,6 +633,64 @@ def seed_sweep_jobs(
         )
         for seed in seeds
     ]
+
+
+def fault_grid_jobs(
+    preset_name: str,
+    plan: FaultPlan,
+    intensities: Sequence[float],
+    seeds: Sequence[int],
+    trace: bool = False,
+) -> list[CampaignJob]:
+    """An ablation grid over fault intensity: one job per (intensity, seed).
+
+    Each grid point runs the named preset with ``plan.scaled(intensity)``
+    as the campaign-level fault plan; intensity ``0`` is the clean
+    baseline (the scaled plan is all-zeros, so no injector is built and
+    the dataset is bit-identical to the plain preset run).  Labels are
+    ``faults-x<intensity>`` so grid points cache separately per config
+    digest.
+    """
+    if not intensities:
+        raise FleetError("a fault grid needs at least one intensity")
+    if not seeds:
+        raise FleetError("a fault grid needs at least one seed")
+    grid: list[CampaignJob] = []
+    for intensity in intensities:
+        config = replace(preset(preset_name, seed=1), faults=plan.scaled(intensity))
+        label = f"faults-x{intensity:g}"
+        grid.extend(
+            CampaignJob(config=config, seed=seed, label=label, trace=trace)
+            for seed in seeds
+        )
+    return grid
+
+
+def run_fault_grid(
+    preset_name: str,
+    plan: FaultPlan,
+    intensities: Sequence[float],
+    seeds: Sequence[int],
+    jobs: Optional[int] = None,
+    cache_dir: Optional[Path] = None,
+    use_disk: bool = False,
+    retries: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
+    trace: bool = False,
+) -> FleetResult:
+    """Run a fault-intensity ablation grid across worker processes."""
+    pool = CampaignPool(
+        jobs=jobs,
+        cache_dir=cache_dir,
+        use_disk=use_disk,
+        retries=retries,
+        progress=progress,
+    )
+    return pool.run(
+        fault_grid_jobs(
+            preset_name, plan, intensities=intensities, seeds=seeds, trace=trace
+        )
+    )
 
 
 def run_seed_sweep(

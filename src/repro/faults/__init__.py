@@ -1,0 +1,28 @@
+"""Deterministic, seeded fault injection for simulated networks.
+
+The plan model (:mod:`repro.faults.plan`) says *what* adversity exists;
+the injector (:mod:`repro.faults.injector`) drives it through the
+engine from dedicated ``faults.*`` RNG streams.  An all-zeros plan is
+byte-identical to no plan at all — see DESIGN.md §5f for the contract.
+"""
+
+from repro.faults.injector import FaultInjector, LinkFaultHooks
+from repro.faults.plan import (
+    FAULT_PLAN_SCHEMA_VERSION,
+    ChurnSpec,
+    CrashSpec,
+    FaultPlan,
+    LinkFaultSpec,
+    PartitionSpec,
+)
+
+__all__ = [
+    "FAULT_PLAN_SCHEMA_VERSION",
+    "ChurnSpec",
+    "CrashSpec",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkFaultHooks",
+    "LinkFaultSpec",
+    "PartitionSpec",
+]

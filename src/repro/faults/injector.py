@@ -1,0 +1,378 @@
+"""Injector processes that drive a :class:`FaultPlan` through the engine.
+
+Two cooperating pieces:
+
+* :class:`LinkFaultHooks` — the per-message fast path.  The network
+  fabric consults it once per routed message (only when installed) to
+  decide drop / duplicate / jitter and to enforce active regional
+  partitions.
+* :class:`FaultInjector` — the scheduler.  It owns the churn and crash
+  lifecycles of the regular-node population and the partition timeline,
+  all driven by ``call_later`` callbacks.
+
+Determinism contract (DESIGN.md §5f):
+
+* Every random draw comes from a dedicated child stream —
+  ``faults.churn``, ``faults.crashes`` or ``faults.links`` — derived
+  from the root seed.  The engine's other streams are untouched, so a
+  fault plan cannot perturb placement, mining, workload or latency
+  draws (lint rule FLT001 enforces the stream discipline).
+* An all-zeros plan builds **no injector at all**: zero extra events,
+  zero extra draws, zero new RNG streams.  This is what keeps the
+  seed-55 canonical chain byte-identical (scheduling even a no-op event
+  would advance the engine's tie-break sequence counter).
+* Streams are created only for the subsystems a plan enables, in a
+  fixed order, so equal plans with equal seeds replay identically —
+  sequentially or under the multiprocess fleet.
+
+Only *regular* nodes (``reg-*``) churn and crash; pool gateways and
+measurement vantages stay up, mirroring the paper's setting where the
+instrumented clients and major pools were stable while the ambient peer
+population was not.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.faults.plan import FaultPlan, LinkFaultSpec, PartitionSpec
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:
+    from repro.node.node import ProtocolNode
+    from repro.p2p.network import Network
+
+
+class LinkFaultHooks:
+    """Per-message fault decisions, consulted by :meth:`Network.send`.
+
+    Partition enforcement is deterministic (pure set membership, no
+    randomness); probabilistic link faults draw exclusively from the
+    ``faults.links`` stream.
+
+    Attributes:
+        drops: Messages lost to random link faults.
+        duplicates: Extra deliveries injected.
+        jitters: Deliveries that received extra exponential delay.
+        partition_drops: Messages dropped crossing an active partition.
+    """
+
+    __slots__ = (
+        "spec",
+        "_link_rng",
+        "_trace",
+        "_simulator",
+        "_islands",
+        "drops",
+        "duplicates",
+        "jitters",
+        "partition_drops",
+    )
+
+    def __init__(self, simulator: Simulator, spec: LinkFaultSpec) -> None:
+        self.spec = spec
+        self._simulator = simulator
+        self._trace = simulator.trace
+        # Created even for a partitions-only plan: the stream is derived
+        # by namespace, so materialising it never perturbs any other
+        # stream, and it keeps the creation order plan-independent.
+        self._link_rng: np.random.Generator = simulator.rng.stream("faults.links")
+        #: Active partition islands (each a frozenset of region codes).
+        self._islands: list[frozenset[str]] = []
+        self.drops = 0
+        self.duplicates = 0
+        self.jitters = 0
+        self.partition_drops = 0
+
+    # ------------------------------------------------------------------ #
+    # Partition state (mutated by FaultInjector's timeline callbacks)
+    # ------------------------------------------------------------------ #
+
+    def begin_partition(self, regions: frozenset[str]) -> None:
+        self._islands.append(regions)
+
+    def heal_partition(self, regions: frozenset[str]) -> None:
+        if regions in self._islands:
+            self._islands.remove(regions)
+
+    def partitioned(self, region_a: str, region_b: str) -> bool:
+        """True when a message between the two regions crosses an island
+        boundary of any active partition."""
+        for island in self._islands:
+            if (region_a in island) != (region_b in island):
+                return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # The per-message fast path
+    # ------------------------------------------------------------------ #
+
+    def route(
+        self,
+        kind: str,
+        sender: str,
+        recipient: str,
+        sender_region: str,
+        recipient_region: str,
+        base_delay: float,
+    ) -> tuple[float, ...]:
+        """Delivery delays for one routed message.
+
+        Returns an empty tuple when the message is lost (random drop or
+        partition crossing), one delay for a normal delivery, two when a
+        duplicate is injected.  Each surviving copy is independently
+        jitter-eligible.
+        """
+        trace = self._trace
+        if self._islands and self.partitioned(sender_region, recipient_region):
+            self.partition_drops += 1
+            if trace.enabled:
+                trace.link_fault(
+                    time=self._simulator.now,
+                    kind=kind,
+                    fault="partition",
+                    sender=sender,
+                    recipient=recipient,
+                )
+            return ()
+        spec = self.spec
+        if spec.is_zero():  # partitions-only plan: nothing probabilistic
+            return (base_delay,)
+        link_rng = self._link_rng
+        if spec.drop_prob > 0.0 and link_rng.random() < spec.drop_prob:
+            self.drops += 1
+            if trace.enabled:
+                trace.link_fault(
+                    time=self._simulator.now,
+                    kind=kind,
+                    fault="drop",
+                    sender=sender,
+                    recipient=recipient,
+                )
+            return ()
+        first = self._jittered(kind, sender, recipient, base_delay)
+        if spec.duplicate_prob > 0.0 and link_rng.random() < spec.duplicate_prob:
+            self.duplicates += 1
+            second = self._jittered(kind, sender, recipient, base_delay)
+            if trace.enabled:
+                trace.link_fault(
+                    time=self._simulator.now,
+                    kind=kind,
+                    fault="duplicate",
+                    sender=sender,
+                    recipient=recipient,
+                    extra_delay=second - base_delay,
+                )
+            return (first, second)
+        return (first,)
+
+    def _jittered(
+        self, kind: str, sender: str, recipient: str, base_delay: float
+    ) -> float:
+        spec = self.spec
+        if spec.jitter_prob <= 0.0:
+            return base_delay
+        link_rng = self._link_rng
+        if link_rng.random() >= spec.jitter_prob:
+            return base_delay
+        extra = float(link_rng.exponential(spec.jitter_mean))
+        self.jitters += 1
+        if self._trace.enabled:
+            self._trace.link_fault(
+                time=self._simulator.now,
+                kind=kind,
+                fault="jitter",
+                sender=sender,
+                recipient=recipient,
+                extra_delay=extra,
+            )
+        return base_delay + extra
+
+
+class FaultInjector:
+    """Drives a nonzero :class:`FaultPlan` through a built scenario.
+
+    Construct only for plans where ``plan.is_zero()`` is false (the
+    scenario builder enforces this); :meth:`start` is called by
+    :meth:`Scenario.start` after the peer mesh has dialed.
+
+    Attributes:
+        churn_sessions: Graceful churn disconnects performed.
+        churn_rejoins: Churned nodes brought back online.
+        crashes: Abrupt crashes performed.
+        restarts: Crashed nodes restarted.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        network: "Network",
+        plan: FaultPlan,
+        nodes: list["ProtocolNode"],
+    ) -> None:
+        self.simulator = simulator
+        self.network = network
+        self.plan = plan
+        self.nodes = list(nodes)
+        self._trace = simulator.trace
+        self.churn_sessions = 0
+        self.churn_rejoins = 0
+        self.crashes = 0
+        self.restarts = 0
+        self.partitions_started = 0
+        # Streams are created here, in a fixed order, only for enabled
+        # subsystems — creation is side-effect-free for every other
+        # stream (namespaced derivation), but keeping the order fixed
+        # makes replay reasoning trivial.
+        self._churn_rng: np.random.Generator | None = (
+            simulator.rng.stream("faults.churn") if not plan.churn.is_zero() else None
+        )
+        self._crash_rng: np.random.Generator | None = (
+            simulator.rng.stream("faults.crashes")
+            if not plan.crashes.is_zero()
+            else None
+        )
+        self.link_hooks: LinkFaultHooks | None = None
+        if not plan.links.is_zero() or any(
+            not partition.is_zero() for partition in plan.partitions
+        ):
+            self.link_hooks = LinkFaultHooks(simulator, plan.links)
+            network.faults = self.link_hooks
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        """Schedule the first wave of fault events (idempotence is the
+        caller's concern — :meth:`Scenario.start` guards re-entry)."""
+        if self._churn_rng is not None:
+            for node in self.nodes:
+                self._schedule_churn_offline(node)
+        if self._crash_rng is not None:
+            for node in self.nodes:
+                self._schedule_crash(node)
+        for spec in self.plan.partitions:
+            if not spec.is_zero():
+                self._schedule_partition(spec)
+
+    def stats(self) -> dict[str, int]:
+        """Always-on fault counters (cheap ints, independent of tracing)."""
+        counters = {
+            "churn_sessions": self.churn_sessions,
+            "churn_rejoins": self.churn_rejoins,
+            "crashes": self.crashes,
+            "restarts": self.restarts,
+            "partitions_started": self.partitions_started,
+        }
+        hooks = self.link_hooks
+        if hooks is not None:
+            counters.update(
+                link_drops=hooks.drops,
+                link_duplicates=hooks.duplicates,
+                link_jitters=hooks.jitters,
+                partition_drops=hooks.partition_drops,
+            )
+        return counters
+
+    # ------------------------------------------------------------------ #
+    # Churn (graceful leave / rejoin)
+    # ------------------------------------------------------------------ #
+
+    def _session_delay(self, node: "ProtocolNode") -> float:
+        assert self._churn_rng is not None
+        churn = self.plan.churn
+        mean = churn.session_mean * churn.session_factor(node.region.value)
+        return float(self._churn_rng.exponential(mean))
+
+    def _schedule_churn_offline(self, node: "ProtocolNode") -> None:
+        self.simulator.call_later(
+            self._session_delay(node), lambda: self._churn_offline(node)
+        )
+
+    def _churn_offline(self, node: "ProtocolNode") -> None:
+        assert self._churn_rng is not None
+        if not node.online:
+            # A crash got there first; try again after a fresh session.
+            self._schedule_churn_offline(node)
+            return
+        node.go_offline()
+        self.churn_sessions += 1
+        if self._trace.enabled:
+            self._trace.node_offline(
+                time=self.simulator.now, node=node.name, crash=False
+            )
+        downtime = float(self._churn_rng.exponential(self.plan.churn.downtime_mean))
+        self.simulator.call_later(downtime, lambda: self._churn_online(node))
+
+    def _churn_online(self, node: "ProtocolNode") -> None:
+        if not node.online:
+            node.go_online()
+            self.churn_rejoins += 1
+            if self._trace.enabled:
+                self._trace.node_online(time=self.simulator.now, node=node.name)
+        self._schedule_churn_offline(node)
+
+    # ------------------------------------------------------------------ #
+    # Crashes (abrupt failure + resync on restart)
+    # ------------------------------------------------------------------ #
+
+    def _schedule_crash(self, node: "ProtocolNode") -> None:
+        assert self._crash_rng is not None
+        delay = float(self._crash_rng.exponential(self.plan.crashes.mtbf))
+        self.simulator.call_later(delay, lambda: self._crash(node))
+
+    def _crash(self, node: "ProtocolNode") -> None:
+        assert self._crash_rng is not None
+        if node.online:
+            node.go_offline(crash=True)
+            self.crashes += 1
+            if self._trace.enabled:
+                self._trace.node_offline(
+                    time=self.simulator.now, node=node.name, crash=True
+                )
+            downtime = float(
+                self._crash_rng.exponential(self.plan.crashes.downtime_mean)
+            )
+            self.simulator.call_later(downtime, lambda: self._restart(node))
+        self._schedule_crash(node)
+
+    def _restart(self, node: "ProtocolNode") -> None:
+        if node.online:
+            return  # a churn rejoin raced the restart; nothing to do
+        node.go_online()
+        self.restarts += 1
+        if self._trace.enabled:
+            self._trace.node_online(time=self.simulator.now, node=node.name)
+
+    # ------------------------------------------------------------------ #
+    # Partitions (deterministic timeline, no randomness)
+    # ------------------------------------------------------------------ #
+
+    def _schedule_partition(self, spec: PartitionSpec) -> None:
+        island = frozenset(spec.regions)
+        self.simulator.call_later(spec.start, lambda: self._begin_partition(spec, island))
+        self.simulator.call_later(
+            spec.start + spec.duration, lambda: self._heal_partition(spec, island)
+        )
+
+    def _begin_partition(self, spec: PartitionSpec, island: frozenset[str]) -> None:
+        assert self.link_hooks is not None
+        self.link_hooks.begin_partition(island)
+        self.partitions_started += 1
+        if self._trace.enabled:
+            self._trace.partition_started(
+                time=self.simulator.now,
+                regions=tuple(sorted(island)),
+                duration=spec.duration,
+            )
+
+    def _heal_partition(self, spec: PartitionSpec, island: frozenset[str]) -> None:
+        assert self.link_hooks is not None
+        self.link_hooks.heal_partition(island)
+        if self._trace.enabled:
+            self._trace.partition_healed(
+                time=self.simulator.now, regions=tuple(sorted(island))
+            )

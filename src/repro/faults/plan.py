@@ -1,0 +1,337 @@
+"""The fault-plan model: a declarative description of network adversity.
+
+The paper's measurements were shaped by a hostile real network — vantage
+connections churned with short session lifetimes, links across oceans
+jittered, and gossip was lossy and redundant — while the simulator's
+default overlay is static and fault-free.  A :class:`FaultPlan` closes
+that gap declaratively: it says *what* adversity exists (churn
+session-length distributions per region, per-message link faults,
+regional partitions, node crashes) without touching *how* it is driven
+through the engine (:mod:`repro.faults.injector` does that).
+
+Design rules:
+
+* **Plain frozen dataclasses, JSON-round-trippable.**  Plans embed in
+  :class:`~repro.workload.scenarios.ScenarioConfig` (so they participate
+  in cache digests) and load from ``repro run --faults plan.json``.
+* **All-zeros means "not there".**  A default-constructed plan is
+  indistinguishable from no plan at all: no injector is built, no RNG
+  stream is created, no event is scheduled — the canonical chain is
+  byte-identical to a run without the fault layer (pinned by test).
+* **Scalable intensity.**  :meth:`FaultPlan.scaled` multiplies every
+  fault intensity by one knob, which is what ``repro sweep``'s
+  fault-intensity ablation grids sweep over.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import ConfigurationError
+
+#: Schema tag written into saved plans; bumped on incompatible changes.
+FAULT_PLAN_SCHEMA_VERSION = 1
+
+
+def _require_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def _require_non_negative(name: str, value: float) -> None:
+    if value < 0:
+        raise ConfigurationError(f"{name} must be non-negative, got {value!r}")
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """Peer churn: nodes leave and rejoin with exponential session lengths.
+
+    A churned node disconnects *gracefully* — it keeps its chain and
+    mempool, tears down every link, and later rejoins, re-dials peers
+    and resyncs from their status handshakes (the same late-join path a
+    fresh node uses).
+
+    Attributes:
+        session_mean: Mean online session length in simulated seconds;
+            ``0`` disables churn entirely.
+        downtime_mean: Mean offline gap before a node rejoins.
+        region_scale: Optional per-region multipliers on the session
+            length as ``(region code, factor)`` pairs — e.g.
+            ``(("EA", 0.5),)`` halves Eastern-Asia session lengths to
+            model the paper's observation that connection lifetimes vary
+            by geography.  Regions not listed use factor 1.0.
+    """
+
+    session_mean: float = 0.0
+    downtime_mean: float = 30.0
+    region_scale: tuple[tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        _require_non_negative("session_mean", self.session_mean)
+        if self.session_mean > 0 and self.downtime_mean <= 0:
+            raise ConfigurationError(
+                "downtime_mean must be positive when churn is enabled"
+            )
+        for region, factor in self.region_scale:
+            if factor <= 0:
+                raise ConfigurationError(
+                    f"region_scale factor for {region!r} must be positive"
+                )
+
+    def is_zero(self) -> bool:
+        return self.session_mean == 0.0
+
+    def session_factor(self, region_code: str) -> float:
+        """Session-length multiplier for ``region_code`` (default 1.0)."""
+        for region, factor in self.region_scale:
+            if region == region_code:
+                return factor
+        return 1.0
+
+
+@dataclass(frozen=True)
+class LinkFaultSpec:
+    """Per-message link faults applied by the network fabric.
+
+    Attributes:
+        drop_prob: Probability a routed message is silently lost.
+        duplicate_prob: Probability a surviving message is delivered
+            twice (with an independently jittered second copy).
+        jitter_prob: Probability a delivered copy receives extra delay.
+        jitter_mean: Mean of the exponential extra delay in seconds.
+    """
+
+    drop_prob: float = 0.0
+    duplicate_prob: float = 0.0
+    jitter_prob: float = 0.0
+    jitter_mean: float = 0.1
+
+    def __post_init__(self) -> None:
+        _require_probability("drop_prob", self.drop_prob)
+        _require_probability("duplicate_prob", self.duplicate_prob)
+        _require_probability("jitter_prob", self.jitter_prob)
+        if self.jitter_prob > 0 and self.jitter_mean <= 0:
+            raise ConfigurationError(
+                "jitter_mean must be positive when jitter is enabled"
+            )
+
+    def is_zero(self) -> bool:
+        return (
+            self.drop_prob == 0.0
+            and self.duplicate_prob == 0.0
+            and self.jitter_prob == 0.0
+        )
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """A regional partition: an island of regions cut off, then healed.
+
+    While active, every message between an island region and the rest of
+    the world is dropped deterministically (no randomness involved).
+    Connections survive — devp2p sessions outlive brief outages — so the
+    mesh resumes without re-dialing when the partition heals.
+
+    Attributes:
+        start: Simulated time (seconds from scenario start, warm-up
+            included) at which the partition begins.
+        duration: Seconds until it heals.
+        regions: Region codes forming the isolated island (e.g.
+            ``("EA", "OC")``).
+    """
+
+    start: float = 0.0
+    duration: float = 0.0
+    regions: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        _require_non_negative("start", self.start)
+        _require_non_negative("duration", self.duration)
+        if self.duration > 0 and not self.regions:
+            raise ConfigurationError("a partition needs at least one region")
+
+    def is_zero(self) -> bool:
+        return self.duration == 0.0 or not self.regions
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """Node crash/restart: an abrupt failure with resync on rejoin.
+
+    Unlike churn, a crash is *not* graceful: the node loses its mempool,
+    transaction queues and every in-flight import/fetch (the chain
+    itself persists, as on disk).  On restart it re-dials peers and
+    resyncs through the status handshake.
+
+    Attributes:
+        mtbf: Mean time between failures per node in simulated seconds;
+            ``0`` disables crashes.
+        downtime_mean: Mean restart delay.
+    """
+
+    mtbf: float = 0.0
+    downtime_mean: float = 60.0
+
+    def __post_init__(self) -> None:
+        _require_non_negative("mtbf", self.mtbf)
+        if self.mtbf > 0 and self.downtime_mean <= 0:
+            raise ConfigurationError(
+                "downtime_mean must be positive when crashes are enabled"
+            )
+
+    def is_zero(self) -> bool:
+        return self.mtbf == 0.0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything the fault layer injects into one scenario.
+
+    A default-constructed plan is all-zeros: building a scenario with it
+    is byte-identical to building one with ``faults=None`` (no injector,
+    no RNG streams, no events — pinned by the seed-55 regression test).
+
+    Attributes:
+        churn: Peer-churn model (graceful leave/rejoin).
+        links: Per-message link faults (drop/duplicate/jitter).
+        partitions: Scheduled regional partitions.
+        crashes: Abrupt node crash/restart cycles.
+    """
+
+    churn: ChurnSpec = field(default_factory=ChurnSpec)
+    links: LinkFaultSpec = field(default_factory=LinkFaultSpec)
+    partitions: tuple[PartitionSpec, ...] = ()
+    crashes: CrashSpec = field(default_factory=CrashSpec)
+
+    def is_zero(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return (
+            self.churn.is_zero()
+            and self.links.is_zero()
+            and all(partition.is_zero() for partition in self.partitions)
+            and self.crashes.is_zero()
+        )
+
+    # ------------------------------------------------------------------ #
+    # Intensity scaling (ablation grids)
+    # ------------------------------------------------------------------ #
+
+    def scaled(self, intensity: float) -> "FaultPlan":
+        """A plan with every fault intensity multiplied by ``intensity``.
+
+        ``0`` yields an all-zeros plan; ``1`` returns the plan unchanged;
+        values in between shorten churn sessions (``session_mean`` is
+        *divided* by the intensity — more churn per simulated hour),
+        scale fault probabilities (clamped to 1), crash rates and
+        partition durations.  This is the one knob ``repro sweep``'s
+        fault-intensity grids turn.
+        """
+        _require_non_negative("intensity", intensity)
+        if intensity == 0.0:
+            return FaultPlan()
+        if intensity == 1.0:
+            return self
+        churn = self.churn
+        if not churn.is_zero():
+            churn = replace(churn, session_mean=churn.session_mean / intensity)
+        links = replace(
+            self.links,
+            drop_prob=min(self.links.drop_prob * intensity, 1.0),
+            duplicate_prob=min(self.links.duplicate_prob * intensity, 1.0),
+            jitter_prob=min(self.links.jitter_prob * intensity, 1.0),
+        )
+        crashes = self.crashes
+        if not crashes.is_zero():
+            crashes = replace(crashes, mtbf=crashes.mtbf / intensity)
+        partitions = tuple(
+            replace(partition, duration=partition.duration * intensity)
+            for partition in self.partitions
+        )
+        return FaultPlan(
+            churn=churn, links=links, partitions=partitions, crashes=crashes
+        )
+
+    # ------------------------------------------------------------------ #
+    # JSON round trip
+    # ------------------------------------------------------------------ #
+
+    def to_json(self) -> dict[str, Any]:
+        """A JSON-compatible dict (inverse of :meth:`from_json`)."""
+        payload = asdict(self)
+        payload["schema"] = FAULT_PLAN_SCHEMA_VERSION
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_json` output.
+
+        Raises:
+            ConfigurationError: on malformed payloads or a newer schema.
+        """
+        data = dict(payload)
+        schema = int(data.pop("schema", FAULT_PLAN_SCHEMA_VERSION))
+        if schema > FAULT_PLAN_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"fault plan uses schema {schema}; this build reads "
+                f"<= {FAULT_PLAN_SCHEMA_VERSION}"
+            )
+        try:
+            churn_data = dict(data.get("churn", {}))
+            if "region_scale" in churn_data:
+                churn_data["region_scale"] = tuple(
+                    (str(region), float(factor))
+                    for region, factor in churn_data["region_scale"]
+                )
+            return cls(
+                churn=ChurnSpec(**churn_data),
+                links=LinkFaultSpec(**dict(data.get("links", {}))),
+                partitions=tuple(
+                    PartitionSpec(
+                        start=float(entry.get("start", 0.0)),
+                        duration=float(entry.get("duration", 0.0)),
+                        regions=tuple(
+                            str(region) for region in entry.get("regions", ())
+                        ),
+                    )
+                    for entry in data.get("partitions", ())
+                ),
+                crashes=CrashSpec(**dict(data.get("crashes", {}))),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(f"malformed fault plan: {exc}") from exc
+
+    def save(self, path: str | Path) -> None:
+        """Write the plan as pretty JSON, atomically."""
+        path = Path(path)
+        tmp_path = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            tmp_path.write_text(
+                json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+            os.replace(tmp_path, path)
+        finally:
+            tmp_path.unlink(missing_ok=True)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FaultPlan":
+        """Load a plan saved by :meth:`save`.
+
+        Raises:
+            ConfigurationError: when the file is missing or malformed.
+        """
+        path = Path(path)
+        if not path.exists():
+            raise ConfigurationError(f"no fault plan at {path}")
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"{path} is not valid JSON") from exc
+        if not isinstance(payload, dict):
+            raise ConfigurationError(f"{path} must hold a JSON object")
+        return cls.from_json(payload)

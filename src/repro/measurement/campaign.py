@@ -14,11 +14,12 @@ A :class:`Campaign` reproduces the paper's §II methodology end-to-end:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Optional
 
 from repro.errors import ConfigurationError, TraceError
+from repro.faults.plan import FaultPlan
 from repro.geo.clock import NtpModelConfig
 from repro.geo.regions import VANTAGE_REGIONS, Region
 from repro.measurement.dataset import ChainSnapshot, MeasurementDataset
@@ -49,6 +50,10 @@ class CampaignConfig:
             fork/empty-block/sequence analyses; defaults to the WE node.
         ntp: NTP clock model; ``None`` uses the defaults from §II.
         perfect_clocks: Disable clock error (ground-truth runs in tests).
+        faults: Campaign-level fault plan (see :mod:`repro.faults`).
+            When set, it overrides ``scenario.faults`` at deploy time —
+            the convenient top-level knob ``repro run --faults`` and the
+            sweep ablation grids use.
     """
 
     scenario: ScenarioConfig = field(default_factory=ScenarioConfig)
@@ -58,6 +63,7 @@ class CampaignConfig:
     reference_vantage: str = ""
     ntp: Optional[NtpModelConfig] = None
     perfect_clocks: bool = False
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.duration <= 0:
@@ -102,7 +108,10 @@ class Campaign:
         if self._deployed:
             return
         self._deployed = True
-        self.scenario = build_scenario(self.config.scenario)
+        scenario_config = self.config.scenario
+        if self.config.faults is not None:
+            scenario_config = replace(scenario_config, faults=self.config.faults)
+        self.scenario = build_scenario(scenario_config)
         network = self.scenario.network
         for region in self.config.vantage_regions:
             name = vantage_name(region)

@@ -88,6 +88,10 @@ class ProtocolNode:
         self.name = name or f"node-{self.node_id & 0xFFFF:04x}"
         self.tree = BlockTree(genesis)
         self.mempool = Mempool()
+        #: False while the fault layer holds the node offline (churn or
+        #: crash); offline nodes accept no connections, deliver nothing
+        #: and drop locally submitted transactions.
+        self.online = True
         self.peers: dict[int, Peer] = {}
         #: blocks waiting for their parent, keyed by the missing parent hash
         self._orphans: dict[str, list[Block]] = {}
@@ -136,6 +140,42 @@ class ProtocolNode:
 
     def stop(self) -> None:
         self._flush_pending = True  # swallow any in-flight flush callbacks
+
+    def go_offline(self, crash: bool = False) -> None:
+        """Leave the network (fault layer): tear down every link.
+
+        A graceful leave (``crash=False``, churn) keeps the chain and
+        mempool, like a client shutting down cleanly.  A ``crash``
+        additionally loses the mempool, transaction queues and all
+        in-flight import/fetch state — only the persisted chain
+        survives, as it would on disk.  Idempotent while offline.
+        """
+        if not self.online:
+            return
+        self.online = False
+        for peer_id in list(self.peers):
+            self.network.disconnect(self.node_id, peer_id)
+        if crash:
+            self.mempool = Mempool(capacity=self.mempool.capacity)
+            self._orphans.clear()
+            self._importing.clear()
+            self._fetching.clear()
+            self._reprop_counts.clear()
+            self._tx_queue.clear()
+            self._tx_dirty.clear()
+
+    def go_online(self) -> None:
+        """Rejoin the network after churn or a crash restart.
+
+        Re-dials peers via discovery; the status handshakes exchanged on
+        each new connection trigger the ordinary late-join resync (fetch
+        the advertised head, walk back missing parents).  Idempotent
+        while online.
+        """
+        if self.online:
+            return
+        self.online = True
+        self.dial_peers()
 
     def dial_peers(self) -> None:
         """Dial random peers via discovery until the outbound target."""
@@ -512,6 +552,8 @@ class ProtocolNode:
 
     def submit_transaction(self, tx: Transaction) -> None:
         """Accept a locally submitted transaction (wallet/RPC path)."""
+        if not self.online:
+            return  # the wallet's node is down; the submission is lost
         if self.mempool.add(tx):
             if self._trace.enabled:
                 # peer_id -1 marks the local wallet/RPC origin.

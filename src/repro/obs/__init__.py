@@ -34,9 +34,14 @@ from repro.obs.records import (
     FetchStarted,
     GossipSend,
     HeadChanged,
+    LinkFault,
     LotteryWin,
     MetricsSample,
+    NodeOffline,
+    NodeOnline,
     NodeRegistered,
+    PartitionHealed,
+    PartitionStarted,
     TraceRecord,
     TxFirstSeen,
     ValidationStarted,
@@ -87,11 +92,16 @@ __all__ = [
     "GossipSend",
     "HeadChanged",
     "Histogram",
+    "LinkFault",
     "LotteryWin",
     "MetricsRegistry",
     "MetricsSample",
     "MetricsSnapshotter",
+    "NodeOffline",
+    "NodeOnline",
     "NodeRegistered",
+    "PartitionHealed",
+    "PartitionStarted",
     "PropagationNode",
     "PropagationTree",
     "TRACE_RECORD_TYPES",

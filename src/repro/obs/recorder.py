@@ -26,9 +26,14 @@ from repro.obs.records import (
     FetchStarted,
     GossipSend,
     HeadChanged,
+    LinkFault,
     LotteryWin,
     MetricsSample,
+    NodeOffline,
+    NodeOnline,
     NodeRegistered,
+    PartitionHealed,
+    PartitionStarted,
     TraceRecord,
     TxFirstSeen,
     ValidationStarted,
@@ -66,6 +71,11 @@ class TraceRecorder:
         "_tx_first_seen",
         "_head_height",
         "_nodes",
+        "_faults_offline",
+        "_faults_online",
+        "_faults_nodes_offline",
+        "_faults_partitions",
+        "_faults_link",
     )
 
     def __init__(self) -> None:
@@ -123,6 +133,25 @@ class TraceRecorder:
         )
         self._nodes = reg.gauge(
             "nodes_registered", help="Nodes registered on the fabric."
+        )
+        self._faults_offline = reg.counter(
+            "faults_node_offline_total",
+            help="Nodes taken offline by the fault layer, by cause.",
+        )
+        self._faults_online = reg.counter(
+            "faults_node_online_total",
+            help="Fault-layer rejoins and restarts.",
+        )
+        self._faults_nodes_offline = reg.gauge(
+            "faults_nodes_offline",
+            help="Nodes currently offline due to injected faults.",
+        )
+        self._faults_partitions = reg.counter(
+            "faults_partitions_total", help="Partition windows started."
+        )
+        self._faults_link = reg.counter(
+            "faults_link_faults_total",
+            help="Per-message link faults, by fault kind.",
         )
 
     # ----------------------------------------------------------------- #
@@ -324,6 +353,55 @@ class TraceRecorder:
             TxFirstSeen(time=time, node=node, tx_hash=tx_hash, peer_id=peer_id)
         )
         self._tx_first_seen.inc()
+
+    def node_offline(self, time: float, node: str, crash: bool) -> None:
+        """The fault layer took ``node`` offline (churn or crash)."""
+        self.events.append(NodeOffline(time=time, node=node, crash=crash))
+        self._faults_offline.inc(
+            labels={"cause": "crash" if crash else "churn"}
+        )
+        self._faults_nodes_offline.set(self._faults_nodes_offline.value() + 1.0)
+
+    def node_online(self, time: float, node: str) -> None:
+        """A churned or crashed node came back online."""
+        self.events.append(NodeOnline(time=time, node=node))
+        self._faults_online.inc()
+        self._faults_nodes_offline.set(self._faults_nodes_offline.value() - 1.0)
+
+    def partition_started(
+        self, time: float, regions: tuple[str, ...], duration: float
+    ) -> None:
+        """A regional partition began."""
+        self.events.append(
+            PartitionStarted(time=time, regions=regions, duration=duration)
+        )
+        self._faults_partitions.inc()
+
+    def partition_healed(self, time: float, regions: tuple[str, ...]) -> None:
+        """A regional partition healed."""
+        self.events.append(PartitionHealed(time=time, regions=regions))
+
+    def link_fault(
+        self,
+        time: float,
+        kind: str,
+        fault: str,
+        sender: str,
+        recipient: str,
+        extra_delay: float = 0.0,
+    ) -> None:
+        """A per-message link fault fired on a routed message."""
+        self.events.append(
+            LinkFault(
+                time=time,
+                kind=kind,
+                fault=fault,
+                sender=sender,
+                recipient=recipient,
+                extra_delay=extra_delay,
+            )
+        )
+        self._faults_link.inc(labels={"fault": fault})
 
     def snapshot_metrics(self, time: float) -> Optional[MetricsSample]:
         """Append a :class:`MetricsSample` of the registry at ``time``.

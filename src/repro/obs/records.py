@@ -173,6 +173,60 @@ class TxFirstSeen:
 
 
 @dataclass(frozen=True, slots=True)
+class NodeOffline:
+    """The fault layer took a node offline.
+
+    ``crash`` distinguishes an abrupt crash (mempool and in-flight state
+    lost) from graceful churn (state kept, links torn down).
+    """
+
+    time: float
+    node: str
+    crash: bool
+
+
+@dataclass(frozen=True, slots=True)
+class NodeOnline:
+    """A churned or crashed node came back online (re-dial + resync)."""
+
+    time: float
+    node: str
+
+
+@dataclass(frozen=True, slots=True)
+class PartitionStarted:
+    """A regional partition began: the listed island is cut off."""
+
+    time: float
+    regions: tuple[str, ...]
+    duration: float
+
+
+@dataclass(frozen=True, slots=True)
+class PartitionHealed:
+    """A regional partition healed; cross-island routing resumed."""
+
+    time: float
+    regions: tuple[str, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class LinkFault:
+    """A per-message link fault fired (drop/duplicate/jitter/partition).
+
+    ``extra_delay`` is the injected additional latency for ``jitter``
+    (and the duplicate copy's offset for ``duplicate``); 0 otherwise.
+    """
+
+    time: float
+    kind: str
+    fault: str
+    sender: str
+    recipient: str
+    extra_delay: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
 class MetricsSample:
     """A point-in-time snapshot of the metrics registry on the sim clock."""
 
@@ -193,6 +247,11 @@ TraceRecord = (
     | BlockImported
     | HeadChanged
     | TxFirstSeen
+    | NodeOffline
+    | NodeOnline
+    | PartitionStarted
+    | PartitionHealed
+    | LinkFault
     | MetricsSample
 )
 
@@ -211,12 +270,17 @@ TRACE_RECORD_TYPES: dict[str, type[Any]] = {
         BlockImported,
         HeadChanged,
         TxFirstSeen,
+        NodeOffline,
+        NodeOnline,
+        PartitionStarted,
+        PartitionHealed,
+        LinkFault,
         MetricsSample,
     )
 }
 
 #: Fields deserialised back into tuples (JSON arrays otherwise load as lists).
-_TUPLE_FIELDS = ("block_hashes",)
+_TUPLE_FIELDS = ("block_hashes", "regions")
 
 
 def trace_to_json(record: TraceRecord) -> dict[str, Any]:

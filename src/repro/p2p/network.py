@@ -12,7 +12,7 @@ Connection management is symmetric: :meth:`Network.connect` installs a
 
 from __future__ import annotations
 
-from typing import Optional, Protocol
+from typing import TYPE_CHECKING, Optional, Protocol
 
 from repro.errors import ConfigurationError
 from repro.geo.latency import LatencyModel
@@ -20,6 +20,9 @@ from repro.geo.regions import Region
 from repro.p2p.discovery import DiscoveryService
 from repro.p2p.messages import Message
 from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:
+    from repro.faults.injector import LinkFaultHooks
 
 
 class DeliveryEvent:
@@ -150,6 +153,11 @@ class Network:
         self._links: set[tuple[int, int]] = set()
         self.messages_sent = 0
         self.bytes_sent = 0
+        #: Per-message fault hooks, installed by the fault injector when
+        #: a scenario carries a nonzero plan.  ``None`` (the default)
+        #: keeps the send path byte-identical to the fault-free build:
+        #: one attribute check, no extra draws, no extra events.
+        self.faults: Optional["LinkFaultHooks"] = None
 
     # ------------------------------------------------------------------ #
     # Membership
@@ -193,7 +201,8 @@ class Network:
         return self._link_key(a, b) in self._links
 
     def connect(self, dialer_id: int, listener_id: int) -> bool:
-        """Establish a connection; returns False if it already exists."""
+        """Establish a connection; returns False if it already exists
+        or either endpoint is offline (fault-layer churn/crash)."""
         if dialer_id == listener_id:
             raise ConfigurationError("a node cannot connect to itself")
         key = self._link_key(dialer_id, listener_id)
@@ -201,6 +210,10 @@ class Network:
             return False
         dialer = self.member(dialer_id)
         listener = self.member(listener_id)
+        if not (
+            getattr(dialer, "online", True) and getattr(listener, "online", True)
+        ):
+            return False
         self._links.add(key)
         dialer.on_peer_connected(listener_id, inbound=False)
         listener.on_peer_connected(dialer_id, inbound=True)
@@ -245,9 +258,26 @@ class Network:
         delay = self.latency.delay(sender.region, recipient.region, size)
         self.messages_sent += 1
         self.bytes_sent += size
-        self.simulator.call_later(
-            delay, DeliveryEvent(self, key, sender_id, recipient_id, message)
-        )
+        if self.faults is None:
+            self.simulator.call_later(
+                delay, DeliveryEvent(self, key, sender_id, recipient_id, message)
+            )
+        else:
+            # Fault layer installed: it decides drop / duplicate / extra
+            # delay per surviving copy (partitions drop deterministically,
+            # probabilistic faults draw only from the faults.links stream).
+            for copy_delay in self.faults.route(
+                message.kind,
+                _member_name(sender, sender_id),
+                _member_name(recipient, recipient_id),
+                sender.region.value,
+                recipient.region.value,
+                delay,
+            ):
+                self.simulator.call_later(
+                    copy_delay,
+                    DeliveryEvent(self, key, sender_id, recipient_id, message),
+                )
         if self._trace.enabled:
             transactions = getattr(message, "transactions", None)
             self._trace.gossip_send(

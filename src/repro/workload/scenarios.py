@@ -15,6 +15,8 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.geo.latency import LatencyModel, LatencyModelConfig
 from repro.geo.regions import (
     DEFAULT_NODE_DISTRIBUTION,
@@ -74,6 +76,10 @@ class ScenarioConfig:
             is byte-identical with it on or off.
         trace_snapshot_period: Simulated seconds between metrics
             snapshots while tracing.
+        faults: Fault plan to inject (churn, link faults, partitions,
+            crashes; see :mod:`repro.faults`).  ``None`` — or an
+            all-zeros plan — builds no injector at all, so the scenario
+            is byte-identical to a fault-free build of the same seed.
     """
 
     seed: int = 1
@@ -89,6 +95,7 @@ class ScenarioConfig:
     profile: bool = False
     trace: bool = False
     trace_snapshot_period: float = DEFAULT_SNAPSHOT_PERIOD
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.n_nodes < 2:
@@ -130,6 +137,7 @@ class Scenario:
         coordinator: MiningCoordinator,
         workload: Optional[TransactionWorkload],
         snapshotter: Optional[MetricsSnapshotter] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self.config = config
         self.simulator = simulator
@@ -139,6 +147,7 @@ class Scenario:
         self.coordinator = coordinator
         self.workload = workload
         self.snapshotter = snapshotter
+        self.faults = faults
         self._started = False
 
     @property
@@ -167,6 +176,9 @@ class Scenario:
             self.workload.start()
         if self.snapshotter is not None:
             self.snapshotter.start()
+        if self.faults is not None:
+            # After the mesh dials, so first churn tears down real links.
+            self.faults.start()
 
     def run_for(self, duration: float) -> None:
         """Advance the simulation by ``duration`` simulated seconds."""
@@ -246,6 +258,13 @@ def build_scenario(config: ScenarioConfig | None = None) -> Scenario:
     if cfg.trace:
         snapshotter = MetricsSnapshotter(simulator, period=cfg.trace_snapshot_period)
 
+    # An all-zeros plan builds no injector: no faults.* streams, no
+    # scheduled events, so the run is byte-identical to faults=None
+    # (even a no-op event would advance the engine's tie-break counter).
+    faults = None
+    if cfg.faults is not None and not cfg.faults.is_zero():
+        faults = FaultInjector(simulator, network, cfg.faults, regular_nodes)
+
     return Scenario(
         cfg,
         simulator,
@@ -255,4 +274,5 @@ def build_scenario(config: ScenarioConfig | None = None) -> Scenario:
         coordinator,
         workload,
         snapshotter=snapshotter,
+        faults=faults,
     )

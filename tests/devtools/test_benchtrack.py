@@ -1,0 +1,111 @@
+"""benchtrack: raw pytest-benchmark dumps -> trajectory records -> gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.devtools.benchtrack import (
+    compare_records,
+    main,
+    reduce_benchmarks,
+)
+
+
+def _raw(events_per_second: float = 14_000.0) -> dict:
+    return {
+        "benchmarks": [
+            {
+                "name": (
+                    "benchmarks/bench_simulation.py::"
+                    "test_standard_campaign_events_per_second"
+                ),
+                "stats": {"mean": 60.2},
+                "extra_info": {
+                    "events_per_second": events_per_second,
+                    "events_processed": 1_200_000,
+                    "note": "not numeric, must be dropped",
+                    "flag": True,
+                },
+            },
+            {
+                "name": "benchmarks/bench_simulation.py::test_parallel_sweep_speedup",
+                "stats": {"mean": 30.0},
+                "extra_info": {"speedup": 3.1},
+            },
+        ]
+    }
+
+
+def test_reduce_keeps_wall_and_numeric_extra_info_only():
+    record = reduce_benchmarks(_raw(), date="2026-08-07")
+    assert record["schema"] == 1
+    assert record["date"] == "2026-08-07"
+    bench = record["benchmarks"]["test_standard_campaign_events_per_second"]
+    assert bench["wall_seconds"] == 60.2
+    assert bench["events_per_second"] == 14_000.0
+    assert "note" not in bench
+    assert "flag" not in bench  # bools are not metrics
+
+
+def test_reduce_rejects_empty_dumps():
+    with pytest.raises(ValueError):
+        reduce_benchmarks({"benchmarks": []}, date="2026-08-07")
+
+
+def test_compare_passes_within_threshold_and_ignores_missing_metrics():
+    baseline = reduce_benchmarks(_raw(14_000.0), date="2026-01-01")
+    record = reduce_benchmarks(_raw(11_000.0), date="2026-08-07")
+    # 21% drop < 30% threshold; obs metrics absent from both -> no gate.
+    assert compare_records(record, baseline) == []
+
+
+def test_compare_fails_on_throughput_regression():
+    baseline = reduce_benchmarks(_raw(14_000.0), date="2026-01-01")
+    record = reduce_benchmarks(_raw(9_000.0), date="2026-08-07")
+    failures = compare_records(record, baseline)
+    assert len(failures) == 1
+    assert "events_per_second" in failures[0]
+    assert "drop" in failures[0]
+    # A tighter threshold catches the smaller drop too.
+    record = reduce_benchmarks(_raw(13_000.0), date="2026-08-07")
+    assert compare_records(record, baseline, threshold=0.05)
+
+
+def test_cli_reduce_then_compare_round_trip(tmp_path, capsys):
+    raw_path = tmp_path / "bench-raw.json"
+    raw_path.write_text(json.dumps(_raw()))
+    out_path = tmp_path / "BENCH_2026-08-07.json"
+    assert main([
+        "reduce", "--input", str(raw_path),
+        "--date", "2026-08-07", "--out", str(out_path),
+    ]) == 0
+    assert json.loads(out_path.read_text())["date"] == "2026-08-07"
+
+    assert main([
+        "compare", "--record", str(out_path), "--baseline", str(out_path),
+    ]) == 0
+    assert "no perf regression" in capsys.readouterr().out
+
+    slow = tmp_path / "slow.json"
+    slow_raw = _raw(events_per_second=5_000.0)
+    slow_record = tmp_path / "BENCH_slow.json"
+    slow.write_text(json.dumps(slow_raw))
+    assert main([
+        "reduce", "--input", str(slow), "--date", "2026-08-08",
+        "--out", str(slow_record),
+    ]) == 0
+    assert main([
+        "compare", "--record", str(slow_record), "--baseline", str(out_path),
+    ]) == 1
+    assert "perf regression" in capsys.readouterr().out
+
+
+def test_cli_compare_reports_missing_files(tmp_path):
+    with pytest.raises(SystemExit):
+        main([
+            "compare",
+            "--record", str(tmp_path / "nope.json"),
+            "--baseline", str(tmp_path / "nope.json"),
+        ])

@@ -352,6 +352,70 @@ def test_api001_flags_mutable_defaults():
 
 
 # --------------------------------------------------------------------- #
+# FLT001 — fault code outside dedicated RNG streams
+# --------------------------------------------------------------------- #
+
+
+def test_flt001_flags_generic_rng_receivers_in_fault_code():
+    source = """
+        class Injector:
+            def decide(self):
+                if self.rng.random() < 0.5:
+                    return True
+                return self._rng.exponential(2.0)
+        """
+    findings = _lint(source, "src/repro/faults/injector.py")
+    assert _rule_ids(findings) == ["FLT001", "FLT001"]
+    assert "faults.* child stream" in findings[0].message
+
+
+def test_flt001_flags_non_faults_stream_namespaces():
+    source = """
+        class Injector:
+            def __init__(self, simulator):
+                self._churn_rng = simulator.rng.stream("workload.churn")
+                self._link_rng = simulator.rng.stream(prefix + "links")
+        """
+    findings = _lint(source, "src/repro/faults/injector.py")
+    assert _rule_ids(findings) == ["FLT001", "FLT001"]
+    assert "'workload.churn'" in findings[0].message
+    assert "computed namespace" in findings[1].message
+
+
+def test_flt001_flags_ambient_module_rng():
+    source = """
+        import random
+        import numpy.random as npr
+
+        def jitter():
+            return random.random() + npr.exponential(0.1)
+        """
+    findings = _lint(
+        source, "src/repro/faults/injector.py", select=frozenset({"FLT001"})
+    )
+    assert _rule_ids(findings) == ["FLT001", "FLT001"]
+    assert all("ambient" in finding.message for finding in findings)
+
+
+def test_flt001_allows_dedicated_streams_and_other_layers():
+    clean = """
+        class Injector:
+            def __init__(self, simulator):
+                self._churn_rng = simulator.rng.stream("faults.churn")
+
+            def decide(self):
+                return self._churn_rng.exponential(120.0)
+        """
+    assert _lint(clean, "src/repro/faults/injector.py") == []
+    # Outside the fault layer, generically named receivers are fine.
+    generic = """
+        def draw(self):
+            return self.rng.random()
+        """
+    assert _lint(generic, "src/repro/p2p/network.py") == []
+
+
+# --------------------------------------------------------------------- #
 # Framework behaviour
 # --------------------------------------------------------------------- #
 

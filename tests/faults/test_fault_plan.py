@@ -1,0 +1,130 @@
+"""FaultPlan model: validation, JSON round trip, intensity scaling."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    ChurnSpec,
+    CrashSpec,
+    FaultPlan,
+    LinkFaultSpec,
+    PartitionSpec,
+)
+
+
+def _nonzero_plan() -> FaultPlan:
+    return FaultPlan(
+        churn=ChurnSpec(
+            session_mean=300.0,
+            downtime_mean=45.0,
+            region_scale=(("EA", 0.5), ("OC", 2.0)),
+        ),
+        links=LinkFaultSpec(
+            drop_prob=0.02, duplicate_prob=0.05, jitter_prob=0.3, jitter_mean=0.25
+        ),
+        partitions=(PartitionSpec(start=60.0, duration=30.0, regions=("EA", "OC")),),
+        crashes=CrashSpec(mtbf=1800.0, downtime_mean=90.0),
+    )
+
+
+def test_default_plan_is_zero():
+    assert FaultPlan().is_zero()
+    assert ChurnSpec().is_zero()
+    assert LinkFaultSpec().is_zero()
+    assert PartitionSpec().is_zero()
+    assert CrashSpec().is_zero()
+
+
+def test_any_nonzero_component_makes_the_plan_nonzero():
+    assert not FaultPlan(churn=ChurnSpec(session_mean=10.0)).is_zero()
+    assert not FaultPlan(links=LinkFaultSpec(drop_prob=0.1)).is_zero()
+    assert not FaultPlan(
+        partitions=(PartitionSpec(start=0.0, duration=5.0, regions=("EA",)),)
+    ).is_zero()
+    assert not FaultPlan(crashes=CrashSpec(mtbf=100.0)).is_zero()
+    # A degenerate partition (no duration) stays zero.
+    assert FaultPlan(partitions=(PartitionSpec(),)).is_zero()
+
+
+def test_validation_rejects_bad_values():
+    with pytest.raises(ConfigurationError):
+        LinkFaultSpec(drop_prob=1.5)
+    with pytest.raises(ConfigurationError):
+        LinkFaultSpec(jitter_prob=0.5, jitter_mean=0.0)
+    with pytest.raises(ConfigurationError):
+        ChurnSpec(session_mean=-1.0)
+    with pytest.raises(ConfigurationError):
+        ChurnSpec(session_mean=10.0, downtime_mean=0.0)
+    with pytest.raises(ConfigurationError):
+        ChurnSpec(session_mean=10.0, region_scale=(("EA", 0.0),))
+    with pytest.raises(ConfigurationError):
+        PartitionSpec(start=10.0, duration=5.0, regions=())
+    with pytest.raises(ConfigurationError):
+        CrashSpec(mtbf=100.0, downtime_mean=-1.0)
+
+
+def test_region_scale_lookup():
+    churn = ChurnSpec(session_mean=100.0, region_scale=(("EA", 0.5),))
+    assert churn.session_factor("EA") == 0.5
+    assert churn.session_factor("WE") == 1.0
+
+
+def test_json_round_trip_preserves_the_plan():
+    plan = _nonzero_plan()
+    payload = plan.to_json()
+    # The payload must be plain JSON (tuples flattened to lists).
+    restored = FaultPlan.from_json(json.loads(json.dumps(payload)))
+    assert restored == plan
+
+
+def test_save_load_round_trip(tmp_path):
+    plan = _nonzero_plan()
+    path = tmp_path / "plan.json"
+    plan.save(path)
+    assert FaultPlan.load(path) == plan
+
+
+def test_load_rejects_missing_and_malformed_files(tmp_path):
+    with pytest.raises(ConfigurationError):
+        FaultPlan.load(tmp_path / "missing.json")
+    bad = tmp_path / "bad.json"
+    bad.write_text("not json", encoding="utf-8")
+    with pytest.raises(ConfigurationError):
+        FaultPlan.load(bad)
+    arr = tmp_path / "arr.json"
+    arr.write_text("[1, 2]", encoding="utf-8")
+    with pytest.raises(ConfigurationError):
+        FaultPlan.load(arr)
+
+
+def test_from_json_rejects_newer_schema_and_bad_fields():
+    with pytest.raises(ConfigurationError):
+        FaultPlan.from_json({"schema": 99})
+    with pytest.raises(ConfigurationError):
+        FaultPlan.from_json({"links": {"no_such_field": 1}})
+
+
+def test_scaled_zero_and_identity():
+    plan = _nonzero_plan()
+    assert plan.scaled(0.0).is_zero()
+    assert plan.scaled(1.0) is plan
+
+
+def test_scaled_intensity_moves_every_knob():
+    plan = _nonzero_plan()
+    double = plan.scaled(2.0)
+    # More churn: sessions half as long, downtime unchanged.
+    assert double.churn.session_mean == pytest.approx(150.0)
+    assert double.churn.downtime_mean == plan.churn.downtime_mean
+    # Link fault probabilities double (clamped at 1).
+    assert double.links.drop_prob == pytest.approx(0.04)
+    assert double.links.jitter_prob == pytest.approx(0.6)
+    assert plan.scaled(100.0).links.drop_prob == 1.0
+    # Crashes twice as frequent; partitions twice as long.
+    assert double.crashes.mtbf == pytest.approx(900.0)
+    assert double.partitions[0].duration == pytest.approx(60.0)
+    assert double.partitions[0].start == plan.partitions[0].start

@@ -79,6 +79,6 @@ def test_missing_and_unknown_type_tags_raise():
 
 
 def test_registry_covers_every_record_type():
-    assert len(TRACE_RECORD_TYPES) == 12
+    assert len(TRACE_RECORD_TYPES) == 17
     for name, cls in TRACE_RECORD_TYPES.items():
         assert cls.__name__ == name
