@@ -15,8 +15,9 @@ Four segments:
 
 The sweep segment scales via environment variables so CI smoke and
 full-size runs share one bench: ``REPRO_SWEEP_PRESET`` (default
-``standard``), ``REPRO_SWEEP_SEEDS`` (default ``4``), and
-``REPRO_SWEEP_JOBS`` (default ``4``).
+``standard``), ``REPRO_SWEEP_SEEDS`` (default ``4``),
+``REPRO_SWEEP_JOBS`` (default ``4``), and ``REPRO_SWEEP_BATCH``
+(seeds per warm-worker dispatch; default auto).
 """
 
 from __future__ import annotations
@@ -113,6 +114,11 @@ _SWEEP_SEEDS = tuple(
     range(1, 1 + int(os.environ.get("REPRO_SWEEP_SEEDS", "4")))
 )
 _SWEEP_JOBS = int(os.environ.get("REPRO_SWEEP_JOBS", "4"))
+_SWEEP_BATCH = (
+    int(os.environ["REPRO_SWEEP_BATCH"])
+    if os.environ.get("REPRO_SWEEP_BATCH")
+    else None
+)
 
 
 def _sweep_both_ways() -> dict:
@@ -131,7 +137,12 @@ def _sweep_both_ways() -> dict:
         sequential_wall = time.perf_counter() - sequential_start
 
         fleet_dir = Path(tmp) / "fleet"
-        pool = CampaignPool(jobs=_SWEEP_JOBS, cache_dir=fleet_dir, use_disk=True)
+        pool = CampaignPool(
+            jobs=_SWEEP_JOBS,
+            cache_dir=fleet_dir,
+            use_disk=True,
+            batch_size=_SWEEP_BATCH,
+        )
         parallel_start = time.perf_counter()
         result = pool.run(seed_sweep_jobs(_SWEEP_PRESET, _SWEEP_SEEDS))
         parallel_wall = time.perf_counter() - parallel_start
@@ -152,18 +163,22 @@ def _sweep_both_ways() -> dict:
 
 
 def test_parallel_sweep_speedup(benchmark):
-    """Fleet vs. sequential: the multiprocess scaling record.
+    """Fleet vs. sequential: the warm-pool scaling record.
 
-    The ≥2.5× wall-clock assertion only applies where it can physically
-    hold (4+ cores and 4+ workers); smaller hosts still check machinery
-    and bit-identity and record the measured ratio.
+    On any host with 2+ cores (and 2+ workers/seeds) the warm pool must
+    beat sequential outright (speedup > 1.0); with 4+ cores the bar
+    rises to ≥2.5×.  Single-core hosts cannot physically beat sequential
+    — they still check machinery and bit-identity and record the ratio
+    (the benchtrack floor gate is guarded on the recorded core count).
     """
     outcome = benchmark.pedantic(_sweep_both_ways, rounds=1, iterations=1)
     cores = os.cpu_count() or 1
-    # Perf-trajectory record consumed by tools/benchtrack.py (CI bench job).
+    # Perf-trajectory record consumed by repro.devtools.benchtrack (CI
+    # bench job); `cores` guards the speedup floor gate.
     benchmark.extra_info["sequential_wall"] = outcome["sequential_wall"]
     benchmark.extra_info["parallel_wall"] = outcome["parallel_wall"]
     benchmark.extra_info["speedup"] = outcome["speedup"]
+    benchmark.extra_info["cores"] = cores
     print_artifact(
         f"Parallel sweep speedup ({len(_SWEEP_SEEDS)}-seed {_SWEEP_PRESET} "
         f"preset, {_SWEEP_JOBS} workers, {cores} cores)",
@@ -175,6 +190,11 @@ def test_parallel_sweep_speedup(benchmark):
         {"note": "infrastructure bench, no paper analogue"},
     )
     assert outcome["identical"], "fleet datasets diverged from sequential runs"
+    if cores >= 2 and _SWEEP_JOBS >= 2 and len(_SWEEP_SEEDS) >= 2:
+        assert outcome["speedup"] > 1.0, (
+            f"warm fleet slower than sequential on {cores} cores "
+            f"({outcome['speedup']:.2f}x)"
+        )
     if cores >= 4 and _SWEEP_JOBS >= 4 and len(_SWEEP_SEEDS) >= 4:
         assert outcome["speedup"] >= 2.5
 

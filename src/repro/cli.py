@@ -85,7 +85,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--jobs", type=int, default=None,
-        help="worker processes (default: all cores)",
+        help="warm worker processes (default: all cores)",
+    )
+    sweep.add_argument(
+        "--batch-size", type=int, default=None,
+        help="seeds per worker dispatch — one batch amortizes process "
+        "spawn and interpreter warm-up over many campaigns (default: "
+        "auto, about four dispatch waves per worker)",
     )
     sweep.add_argument(
         "--cache-dir", type=Path, default=DEFAULT_CACHE_DIR,
@@ -208,6 +214,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             use_disk=True,
             progress=print,
             trace=args.trace,
+            batch_size=args.batch_size,
         )
     else:
         result = run_seed_sweep(
@@ -218,6 +225,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             use_disk=True,
             progress=print,
             trace=args.trace,
+            batch_size=args.batch_size,
         )
     print(format_fleet_profile(result.metrics, result.outcomes))
     for outcome in result.outcomes:

@@ -18,7 +18,9 @@ baseline: a gated metric may not regress by more than ``--threshold``
 (default 30 %).  Only the metrics named in :data:`GATES` are enforced —
 wall-clock means of the remaining benches are recorded for trend
 reading but not gated, because shared CI runners make raw wall time
-too noisy for a hard gate.
+too noisy for a hard gate.  :data:`FLOORS` additionally pins
+baseline-independent minimums (the fleet-speedup > 1 promotion, guarded
+on the runner's core count so single-core hosts are exempt).
 
 The run date is passed in by the caller (CI uses ``date -u +%F``)
 instead of being read from the wall clock, keeping this module inside
@@ -47,6 +49,17 @@ GATES: tuple[tuple[str, str, str], ...] = (
     ("test_parallel_sweep_speedup", "speedup", "higher"),
     ("test_tracing_noop_overhead", "plain_events_per_second", "higher"),
     ("test_tracing_noop_overhead", "traced_events_per_second", "higher"),
+)
+
+#: Absolute floor gates: ``(bench, metric, floor, guard_key, guard_min)``.
+#: Unlike :data:`GATES` these are baseline-independent — the record fails
+#: whenever the metric sits below the floor, regardless of what the
+#: baseline says.  The floor only applies when the record's same bench
+#: carries ``guard_key >= guard_min``: the fleet-speedup floor is a
+#: physical claim about parallel hardware, so a single-core runner
+#: (which cannot beat sequential) records the ratio without being gated.
+FLOORS: tuple[tuple[str, str, float, str, float], ...] = (
+    ("test_parallel_sweep_speedup", "speedup", 1.0, "cores", 2.0),
 )
 
 
@@ -104,6 +117,17 @@ def compare_records(
                 f"({100 * (ratio - 1):.1f}% rise > {100 * threshold:.0f}% "
                 "allowed)"
             )
+    for bench, metric, floor, guard_key, guard_min in FLOORS:
+        entry = record_benches.get(bench, {})
+        new = entry.get(metric)
+        guard = entry.get(guard_key)
+        if new is None or guard is None or guard < guard_min:
+            continue  # metric absent, or the guard says the floor can't hold
+        if new < floor:
+            failures.append(
+                f"{bench}.{metric}: {new:,.2f} below the hard floor "
+                f"{floor:,.2f} ({guard_key}={guard:g})"
+            )
     return failures
 
 
@@ -149,10 +173,16 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         for failure in failures:
             print(f"  {failure}")
         return 1
+    floors = [
+        (bench, metric)
+        for bench, metric, _, guard_key, guard_min in FLOORS
+        if record.get("benchmarks", {}).get(bench, {}).get(guard_key, 0)
+        >= guard_min
+    ]
     print(
         f"no perf regression vs {args.baseline} "
         f"({len(gated)} gated metrics, threshold "
-        f"{100 * args.threshold:.0f}%)"
+        f"{100 * args.threshold:.0f}%; {len(floors)} hard floors active)"
     )
     return 0
 

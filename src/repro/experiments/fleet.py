@@ -3,8 +3,8 @@
 The paper's workloads that matter statistically — multi-seed confidence
 intervals, ablation benches, pool-share sweeps — are grids of *independent*
 campaigns.  Run sequentially they scale linearly with variant count while
-every core but one idles; the fleet fans them out over a
-:mod:`multiprocessing` worker pool instead.
+every core but one idles; the fleet fans them out over a pool of
+long-lived worker processes instead.
 
 Design (see DESIGN.md §"Parallel campaign fleet"):
 
@@ -12,16 +12,26 @@ Design (see DESIGN.md §"Parallel campaign fleet"):
   (``preset_name`` + ``seed``) or an arbitrary
   :class:`~repro.measurement.campaign.CampaignConfig` ablation variant
   (``config`` + ``label`` + ``seed``).
+* **Warm workers** — workers start once per sweep (``fork``-preferred,
+  inheriting parent state bit-exactly) and pull *batches* of job indices
+  over a pipe, so one process spawn and one interpreter warm-up amortize
+  over many seeds.  Completion is event-driven: the parent blocks on the
+  workers' result pipes and process sentinels, never on a poll timeout.
 * **Determinism** — a worker runs exactly the code a sequential
   ``Campaign(config).run()`` would, and ships its dataset back through the
   existing JSONL serialization, so per-job datasets are bit-identical to
   sequential execution for the same seeds.
 * **Cache interplay** — with ``use_disk`` the workers write *straight into*
   the shared disk cache (atomically, tmp + ``os.replace``); jobs already on
-  disk are served by the parent without spawning a worker at all.
-* **Fault tolerance** — a worker that raises (or is killed) is retried
-  ``retries`` times; a job that keeps failing becomes a per-job failure in
-  the :class:`FleetResult` instead of sinking the sweep.
+  disk are served by the parent without dispatching a batch at all, and a
+  ``.meta.json`` sibling persists each run's event counts so cache hits
+  still report real throughput.  Duplicate ``(config, seed)`` jobs in one
+  sweep are deduplicated: one runs, the rest adopt its outcome.
+* **Fault tolerance** — a job that raises is retried ``retries`` times; a
+  worker that *dies* (OOM kill, segfault) is respawned and its in-flight
+  batch requeued, charging an attempt only to the job that was actually
+  running.  A job that keeps failing becomes a per-job failure in the
+  :class:`FleetResult` instead of sinking the sweep.
 * **Observability** — throughput counters surface as
   :class:`FleetMetrics`, rendered by
   :func:`repro.stats.format_fleet_profile`, mirroring
@@ -40,7 +50,7 @@ import tempfile
 import time
 import traceback
 from collections import deque
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from multiprocessing import connection
 from pathlib import Path
 from typing import Callable, Optional, Sequence
@@ -160,31 +170,59 @@ class CampaignJob:
             config = replace(config, scenario=replace(config.scenario, trace=False))
         return config
 
-    def trace_filename(self) -> str:
-        """Trace-file sibling of :meth:`cache_filename`."""
+    def _cache_stem(self) -> str:
         stem = self.cache_filename()
         if stem.endswith(".jsonl"):
             stem = stem[: -len(".jsonl")]
-        return f"{stem}.trace.jsonl"
+        return stem
+
+    def trace_filename(self) -> str:
+        """Trace-file sibling of :meth:`cache_filename`."""
+        return f"{self._cache_stem()}.trace.jsonl"
+
+    def meta_filename(self) -> str:
+        """Run-report sibling of :meth:`cache_filename`.
+
+        With ``use_disk`` the worker's per-run report (event counts, wall
+        time, :class:`~repro.sim.profile.SimMetrics`) lands here, so a
+        later sweep serving the dataset from cache can still report the
+        run's real event counts instead of zero.
+        """
+        return f"{self._cache_stem()}.meta.json"
+
+    def dedup_key(self) -> tuple[str, bool]:
+        """Identity for in-sweep deduplication.
+
+        Two jobs with the same key would run the same campaign and write
+        the same cache file, so only one runs; the others adopt its
+        outcome.  Trace is part of the key — a traced twin still has to
+        run to export the ``.trace.jsonl`` sibling.
+        """
+        return (self.cache_filename(), self.trace)
 
 
 @dataclass
 class JobOutcome:
-    """Result of one fleet job (success, cache hit, or failure).
+    """Result of one fleet job (success, cache hit, failure, or duplicate).
 
     Attributes:
         job: The job spec.
         dataset: The campaign dataset (``None`` on failure).
         error: Failure description after all retries (``None`` on success).
-        attempts: Worker attempts consumed (0 for a pure cache hit).
-        from_cache: Served from the disk cache without spawning a worker.
-        events_processed: Simulator events the worker processed.
+        attempts: Worker attempts consumed (0 for a pure cache hit or a
+            deduplicated job).
+        from_cache: Served from the disk cache without running a worker.
+        deduped: Adopted the outcome of an identical job in the same
+            sweep instead of running (see :meth:`CampaignJob.dedup_key`).
+        events_processed: Simulator events the producing run processed
+            (for cache hits: read back from the ``.meta.json`` sibling
+            persisted by the run that filled the cache, 0 if unknown).
         wall_seconds: Worker-side campaign wall time.
         path: Disk-cache path holding the dataset (``None`` unless the
             fleet ran with ``use_disk``).
-        sim_metrics: The worker simulator's full
+        sim_metrics: The producing simulator's full
             :class:`~repro.sim.profile.SimMetrics` snapshot (``None``
-            for cache hits and failures) — what lets
+            when unknown) — what lets
             :func:`repro.stats.format_fleet_profile` report per-seed
             events/s rather than just job wall time.
         trace_path: Ground-truth trace file the worker exported
@@ -196,6 +234,7 @@ class JobOutcome:
     error: Optional[str] = None
     attempts: int = 0
     from_cache: bool = False
+    deduped: bool = False
     events_processed: int = 0
     wall_seconds: float = 0.0
     path: Optional[Path] = None
@@ -208,7 +247,7 @@ class JobOutcome:
 
     @property
     def events_per_second(self) -> float:
-        """Worker-side simulator throughput (0.0 when unknown)."""
+        """Producing-run simulator throughput (0.0 when unknown)."""
         if self.sim_metrics is not None:
             return self.sim_metrics.events_per_second
         if self.wall_seconds > 0:
@@ -222,13 +261,23 @@ class FleetMetrics:
 
     Attributes:
         jobs_total: Jobs submitted.
-        jobs_succeeded: Jobs that produced a dataset (cache hits included).
+        jobs_succeeded: Jobs that produced a dataset (cache hits and
+            deduplicated jobs included).
         jobs_failed: Jobs that failed after all retries.
         cache_hits: Jobs served from the disk cache without a worker.
-        retries: Worker re-launches after a failed attempt.
+        retries: Job re-dispatches after a failed attempt.
         workers: Concurrent worker-process cap the sweep ran with.
         wall_seconds: Sweep wall-clock time in the parent.
-        total_events: Simulator events across all workers.
+        total_events: Simulator events actually executed by this sweep's
+            workers.  Cache hits and deduplicated jobs are excluded so
+            :attr:`events_per_second` states real executed throughput —
+            a warm-cache sweep reports the events it ran, not the events
+            it remembered.
+        deduped: Jobs that adopted an identical job's outcome instead of
+            running (in-sweep duplicate dedup).
+        cached_events: Events behind the served cache hits (read from
+            the ``.meta.json`` cache siblings; informational, excluded
+            from :attr:`events_per_second`).
     """
 
     jobs_total: int
@@ -239,6 +288,8 @@ class FleetMetrics:
     workers: int
     wall_seconds: float
     total_events: int
+    deduped: int = 0
+    cached_events: int = 0
 
     @property
     def campaigns_per_second(self) -> float:
@@ -248,7 +299,7 @@ class FleetMetrics:
 
     @property
     def events_per_second(self) -> float:
-        """Aggregate simulator throughput across the whole fleet."""
+        """Aggregate *executed* simulator throughput across the fleet."""
         if self.wall_seconds <= 0:
             return 0.0
         return self.total_events / self.wall_seconds
@@ -288,19 +339,33 @@ def _write_json_atomic(path: Path, payload: dict[str, object]) -> None:
     os.replace(tmp, path)
 
 
-def _fleet_worker(
-    job: CampaignJob, out_path: str, meta_path: str, trace_path: str
-) -> None:
-    """Run one campaign in a child process.
+def _read_json_tolerant(path: Path) -> dict[str, object]:
+    """Read a meta report, treating absence or corruption as empty."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+    return payload if isinstance(payload, dict) else {}
 
-    The dataset travels through the disk (atomic JSONL write at
-    ``out_path``) rather than a pickle pipe so that it takes exactly the
-    same serialization path as the cache, and a crash mid-write can never
-    corrupt a previously complete file.  ``meta_path`` carries the
-    per-job :class:`~repro.sim.profile.SimMetrics` snapshot (or the
-    traceback on failure); ``trace_path`` receives the ground-truth
-    trace for ``trace=True`` jobs (empty string otherwise).
+
+#: Per-job spool/cache paths: (dataset, meta report, trace).
+_JobPaths = tuple[str, str, str]
+
+
+def _run_one_campaign(job: CampaignJob, paths: _JobPaths) -> None:
+    """Run one campaign inside a worker, reporting through the disk.
+
+    The dataset travels through an atomic JSONL write rather than a
+    pickle pipe so that it takes exactly the same serialization path as
+    the cache, and a crash mid-write can never corrupt a previously
+    complete file.  The meta report carries the per-job
+    :class:`~repro.sim.profile.SimMetrics` snapshot (or the traceback on
+    failure).  Exceptions are contained — the warm worker survives a
+    failing campaign and moves on to the next batch entry — but
+    ``SystemExit``/``KeyboardInterrupt`` still kill the worker after the
+    report is written, preserving process-fatal semantics.
     """
+    out_path, meta_path, trace_path = paths
     try:
         started = time.perf_counter()
         campaign = Campaign(job.resolved_config())
@@ -320,12 +385,38 @@ def _fleet_worker(
         if metrics is not None:
             payload["sim_metrics"] = dataclasses.asdict(metrics)
         _write_json_atomic(Path(meta_path), payload)
-    except BaseException:
+    except BaseException as error:
         _write_json_atomic(
             Path(meta_path),
             {"ok": False, "error": traceback.format_exc(limit=8)},
         )
-        raise SystemExit(1)
+        if not isinstance(error, Exception):
+            raise  # process-fatal (SystemExit, KeyboardInterrupt)
+
+
+def _pool_worker(
+    jobs: Sequence[CampaignJob],
+    paths: Sequence[_JobPaths],
+    tasks: connection.Connection,
+    results: connection.Connection,
+) -> None:
+    """Warm-worker main loop: pull index batches until the ``None`` pill.
+
+    One completion message per *job* (not per batch) flows back over
+    ``results`` after the job's meta report is on disk, so the parent
+    can harvest, retry, and account batches at job granularity — and so
+    a worker death loses at most the one job that was actually running.
+    """
+    try:
+        while True:
+            batch = tasks.recv()
+            if batch is None:
+                return
+            for index in batch:
+                _run_one_campaign(jobs[index], paths[index])
+                results.send(index)
+    except (EOFError, KeyboardInterrupt):
+        return  # parent went away / interactive interrupt: quiet exit
 
 
 def _parse_sim_metrics(payload: object) -> Optional[SimMetrics]:
@@ -357,20 +448,45 @@ def _parse_sim_metrics(payload: object) -> Optional[SimMetrics]:
         return None
 
 
+def _auto_batch_size(pending: int, workers: int) -> int:
+    """Four dispatch waves per worker — the classic ``Pool`` chunking
+    trade-off between amortizing dispatch cost and load balancing."""
+    return max(1, -(-pending // (workers * 4)))
+
+
+@dataclass
+class _Worker:
+    """One live warm worker and its in-flight batch bookkeeping."""
+
+    process: multiprocessing.process.BaseProcess
+    tasks: connection.Connection  # parent -> worker: batches / None pill
+    results: connection.Connection  # worker -> parent: completed indices
+    inflight: deque[int] = field(default_factory=deque)
+
+
 class CampaignPool:
-    """Fans independent :class:`CampaignJob`\\ s out over worker processes.
+    """Fans independent :class:`CampaignJob`\\ s over warm worker processes.
+
+    Workers are started once per :meth:`run` and stay alive for the whole
+    sweep, pulling job-index batches over a pipe — one process spawn and
+    one interpreter warm-up amortized over many seeds.  The parent
+    multiplexes on result pipes and process sentinels (event-driven, no
+    poll timeout), so completions and worker deaths are noticed the
+    moment they happen.
 
     Args:
         jobs: Concurrent worker cap; defaults to ``os.cpu_count()``.
         cache_dir: Disk-cache directory (default ``.repro-cache``).
         use_disk: Serve cached jobs from / persist results to the disk
             cache (workers write straight into it).
-        retries: Worker re-launches per job after a failed attempt.
+        retries: Job re-dispatches after a failed attempt.
         progress: Callback for one-line progress reports (e.g. ``print``);
             ``None`` keeps the sweep silent.
         start_method: ``multiprocessing`` start method; defaults to
             ``fork`` where available (bit-exact inheritance of the parent
             interpreter state), else the platform default.
+        batch_size: Jobs per dispatched batch; ``None`` auto-sizes to
+            about four dispatch waves per worker.
     """
 
     def __init__(
@@ -381,12 +497,15 @@ class CampaignPool:
         retries: int = 1,
         progress: Optional[Callable[[str], None]] = None,
         start_method: Optional[str] = None,
+        batch_size: Optional[int] = None,
     ) -> None:
         workers = jobs if jobs is not None else (os.cpu_count() or 1)
         if workers < 1:
             raise FleetError("a fleet needs at least one worker")
         if retries < 0:
             raise FleetError("retries must be >= 0")
+        if batch_size is not None and batch_size < 1:
+            raise FleetError("batch_size must be >= 1 (or None for auto)")
         self.workers = workers
         self.cache_dir = (
             Path(cache_dir) if cache_dir is not None else DEFAULT_CACHE_DIR
@@ -394,6 +513,7 @@ class CampaignPool:
         self.use_disk = use_disk
         self.retries = retries
         self.progress = progress
+        self.batch_size = batch_size
         if start_method is None and (
             "fork" in multiprocessing.get_all_start_methods()
         ):
@@ -421,8 +541,23 @@ class CampaignPool:
 
         with tempfile.TemporaryDirectory(prefix="repro-fleet-") as spool_dir:
             spool = Path(spool_dir)
+            paths = [
+                self._job_paths(index, job, spool)
+                for index, job in enumerate(jobs)
+            ]
+            # In-sweep dedup: identical (config, seed) jobs would race on
+            # one cache file and waste a worker each; only the first runs.
+            primary_for: dict[tuple[str, bool], int] = {}
+            duplicates: dict[int, int] = {}  # duplicate index -> primary
             pending: deque[int] = deque()
             for index, job in enumerate(jobs):
+                key = job.dedup_key()
+                primary = primary_for.get(key)
+                if primary is not None:
+                    duplicates[index] = primary
+                    state.deduped += 1
+                    continue
+                primary_for[key] = index
                 if self._serve_from_cache(outcomes[index]):
                     state.cache_hits += 1
                     state.done += 1
@@ -430,25 +565,15 @@ class CampaignPool:
                 else:
                     pending.append(index)
 
-            running: dict[int, multiprocessing.process.BaseProcess] = {}
-            while pending or running:
-                while pending and len(running) < self.workers:
-                    index = pending.popleft()
-                    running[index] = self._spawn(index, jobs[index], spool)
-                self._wait_any(running)
-                for index in [
-                    i for i, p in running.items() if not p.is_alive()
-                ]:
-                    process = running.pop(index)
-                    process.join()
-                    retry = self._harvest(
-                        outcomes[index], process.exitcode, spool, index, state
-                    )
-                    if retry:
-                        pending.append(index)
-                    else:
-                        state.done += 1
-                        self._report(state, started)
+            if pending:
+                self._run_warm_pool(
+                    jobs, paths, pending, outcomes, state, started
+                )
+
+            for index, primary in duplicates.items():
+                self._adopt_duplicate(outcomes[index], outcomes[primary])
+                state.done += 1
+                self._report(state, started)
 
         metrics = FleetMetrics(
             jobs_total=len(jobs),
@@ -458,9 +583,202 @@ class CampaignPool:
             retries=state.retries,
             workers=self.workers,
             wall_seconds=time.perf_counter() - started,
-            total_events=sum(o.events_processed for o in outcomes),
+            total_events=sum(
+                o.events_processed
+                for o in outcomes
+                if not o.from_cache and not o.deduped
+            ),
+            deduped=state.deduped,
+            cached_events=sum(
+                o.events_processed
+                for o in outcomes
+                if o.from_cache and not o.deduped
+            ),
         )
         return FleetResult(outcomes=outcomes, metrics=metrics)
+
+    # ------------------------------------------------------------------ #
+    # Warm worker pool
+    # ------------------------------------------------------------------ #
+
+    def _run_warm_pool(
+        self,
+        jobs: list[CampaignJob],
+        paths: list[_JobPaths],
+        pending: deque[int],
+        outcomes: list[JobOutcome],
+        state: "_SweepState",
+        started: float,
+    ) -> None:
+        """Drive the sweep's worker pool until every pending job resolves."""
+        batch_size = self.batch_size or _auto_batch_size(
+            len(pending), min(self.workers, len(pending))
+        )
+        workers: list[_Worker] = []
+        try:
+            while pending or any(w.inflight for w in workers):
+                self._top_up(workers, len(pending), batch_size, jobs, paths)
+                for worker in workers:
+                    if not worker.inflight and pending:
+                        self._dispatch(worker, pending, batch_size, paths)
+                if not pending and not any(w.inflight for w in workers):
+                    break
+                # Event-driven: wake on any completion message or worker
+                # death — no poll timeout (connection.wait multiplexes
+                # result pipes and process sentinels in one syscall).
+                connection.wait(
+                    [w.results for w in workers]
+                    + [w.process.sentinel for w in workers]
+                )
+                for worker in list(workers):
+                    self._absorb(worker, paths, pending, outcomes, state, started)
+                    if not worker.process.is_alive():
+                        # Completions can land in the pipe right before
+                        # death; drain again now that liveness is settled,
+                        # then requeue whatever the corpse still held.
+                        self._absorb(
+                            worker, paths, pending, outcomes, state, started
+                        )
+                        self._reap(
+                            worker, paths, pending, outcomes, state, started
+                        )
+                        workers.remove(worker)
+        finally:
+            self._shutdown(workers)
+
+    def _top_up(
+        self,
+        workers: list[_Worker],
+        pending: int,
+        batch_size: int,
+        jobs: list[CampaignJob],
+        paths: list[_JobPaths],
+    ) -> None:
+        """Keep exactly as many live workers as undispatched batches need."""
+        busy = sum(1 for w in workers if w.inflight)
+        batches_waiting = -(-pending // batch_size) if pending else 0
+        target = min(self.workers, busy + batches_waiting)
+        while len(workers) < target:
+            workers.append(self._spawn_worker(jobs, paths))
+
+    def _spawn_worker(
+        self, jobs: list[CampaignJob], paths: list[_JobPaths]
+    ) -> _Worker:
+        task_recv, task_send = self._context.Pipe(duplex=False)
+        result_recv, result_send = self._context.Pipe(duplex=False)
+        process = self._context.Process(
+            target=_pool_worker,
+            args=(jobs, paths, task_recv, result_send),
+            name="fleet-worker",
+        )
+        process.start()
+        # Close the parent's copies of the worker-side pipe ends so EOF
+        # propagates when the worker dies.
+        task_recv.close()
+        result_send.close()
+        return _Worker(process=process, tasks=task_send, results=result_recv)
+
+    def _dispatch(
+        self,
+        worker: _Worker,
+        pending: deque[int],
+        batch_size: int,
+        paths: list[_JobPaths],
+    ) -> None:
+        batch = [pending.popleft() for _ in range(min(batch_size, len(pending)))]
+        for index in batch:
+            # Clear a previous attempt's report so a stale meta can never
+            # masquerade as this attempt's result.
+            Path(paths[index][1]).unlink(missing_ok=True)
+        try:
+            worker.tasks.send(batch)
+        except (OSError, ValueError):
+            # Worker already dead: put the batch back untouched (no
+            # attempt consumed); the reap path collects the corpse.
+            pending.extendleft(reversed(batch))
+            return
+        worker.inflight.extend(batch)
+
+    def _absorb(
+        self,
+        worker: _Worker,
+        paths: list[_JobPaths],
+        pending: deque[int],
+        outcomes: list[JobOutcome],
+        state: "_SweepState",
+        started: float,
+    ) -> None:
+        """Harvest every completion message the worker has sent so far."""
+        while True:
+            try:
+                if not worker.results.poll():
+                    return
+                index = worker.results.recv()
+            except (EOFError, OSError):
+                return  # pipe closed by a dead worker; _reap handles it
+            if worker.inflight and worker.inflight[0] == index:
+                worker.inflight.popleft()
+            elif index in worker.inflight:
+                worker.inflight.remove(index)
+            if self._harvest(outcomes[index], index, paths, state):
+                pending.append(index)
+            else:
+                state.done += 1
+                self._report(state, started)
+
+    def _reap(
+        self,
+        worker: _Worker,
+        paths: list[_JobPaths],
+        pending: deque[int],
+        outcomes: list[JobOutcome],
+        state: "_SweepState",
+        started: float,
+    ) -> None:
+        """Absorb a dead worker: account the crashed job, requeue the rest.
+
+        The worker processes its batch in order and acknowledges each job
+        only after its meta report is on disk, so the first unacknowledged
+        in-flight job is the one that was running when the process died —
+        it is charged an attempt (with a synthesized error if it left no
+        report).  Later batch entries never started and are requeued
+        without consuming an attempt.
+        """
+        worker.process.join()
+        exitcode = worker.process.exitcode
+        if worker.inflight:
+            crashed = worker.inflight.popleft()
+            retry = self._harvest(
+                outcomes[crashed],
+                crashed,
+                paths,
+                state,
+                exitcode=exitcode,
+                died=True,
+            )
+            if retry:
+                pending.append(crashed)
+            else:
+                state.done += 1
+                self._report(state, started)
+            pending.extend(worker.inflight)
+            worker.inflight.clear()
+        worker.tasks.close()
+        worker.results.close()
+
+    def _shutdown(self, workers: list[_Worker]) -> None:
+        for worker in workers:
+            try:
+                worker.tasks.send(None)  # poison pill: clean worker exit
+            except (OSError, ValueError):
+                pass
+        for worker in workers:
+            worker.tasks.close()
+            worker.results.close()
+            worker.process.join(timeout=10)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join()
 
     # ------------------------------------------------------------------ #
     # Internals
@@ -484,98 +802,99 @@ class CampaignPool:
         outcome.path = path
         if outcome.job.trace:
             outcome.trace_path = trace_path
+        # The run that filled the cache persisted its event counts in a
+        # .meta.json sibling; read them back so warm-cache sweeps report
+        # real per-job throughput instead of zero events.
+        meta = _read_json_tolerant(
+            self.cache_dir / outcome.job.meta_filename()
+        )
+        if meta.get("ok"):
+            self._fill_throughput(outcome, meta)
         self._adopt(outcome.job, dataset)
         return True
 
+    @staticmethod
+    def _fill_throughput(
+        outcome: JobOutcome, meta: dict[str, object]
+    ) -> None:
+        events = meta.get("events_processed", 0)
+        wall = meta.get("wall_seconds", 0.0)
+        outcome.events_processed = (
+            int(events) if isinstance(events, (int, float)) else 0
+        )
+        outcome.wall_seconds = (
+            float(wall) if isinstance(wall, (int, float)) else 0.0
+        )
+        outcome.sim_metrics = _parse_sim_metrics(meta.get("sim_metrics"))
+
     def _job_paths(
         self, index: int, job: CampaignJob, spool: Path
-    ) -> tuple[Path, Path, Path]:
+    ) -> _JobPaths:
         if self.use_disk:
             out_path = self.cache_dir / job.cache_filename()
+            meta_path = self.cache_dir / job.meta_filename()
             trace_path = self.cache_dir / job.trace_filename()
         else:
             out_path = spool / f"job-{index}.jsonl"
+            meta_path = spool / f"job-{index}.meta.json"
             trace_path = spool / f"job-{index}.trace.jsonl"
-        return out_path, spool / f"job-{index}.meta.json", trace_path
-
-    def _spawn(
-        self, index: int, job: CampaignJob, spool: Path
-    ) -> multiprocessing.process.BaseProcess:
-        out_path, meta_path, trace_path = self._job_paths(index, job, spool)
-        meta_path.unlink(missing_ok=True)  # clear a previous attempt's report
-        process = self._context.Process(
-            target=_fleet_worker,
-            args=(
-                job,
-                str(out_path),
-                str(meta_path),
-                str(trace_path) if job.trace else "",
-            ),
-            name=f"fleet-{job.name}-seed{job.seed}",
-        )
-        process.start()
-        return process
-
-    @staticmethod
-    def _wait_any(
-        running: dict[int, multiprocessing.process.BaseProcess]
-    ) -> None:
-        if running:
-            connection.wait(
-                [p.sentinel for p in running.values()], timeout=1.0
-            )
+        return (str(out_path), str(meta_path), str(trace_path))
 
     def _harvest(
         self,
         outcome: JobOutcome,
-        exitcode: Optional[int],
-        spool: Path,
         index: int,
+        paths: list[_JobPaths],
         state: "_SweepState",
+        exitcode: Optional[int] = None,
+        died: bool = False,
     ) -> bool:
-        """Absorb one finished worker; return True when the job must retry."""
+        """Absorb one finished attempt; return True when the job must retry."""
         outcome.attempts += 1
-        out_path, meta_path, trace_path = self._job_paths(
-            index, outcome.job, spool
-        )
-        meta: dict[str, object] = {}
-        if meta_path.exists():
-            try:
-                meta = json.loads(meta_path.read_text(encoding="utf-8"))
-            except ValueError:
-                meta = {}
-        error: Optional[str] = None
-        if exitcode == 0 and meta.get("ok"):
-            dataset = load_cached_dataset(out_path)
+        out_path, meta_path, trace_path = paths[index]
+        meta = _read_json_tolerant(Path(meta_path))
+        error: str
+        if meta.get("ok"):
+            dataset = load_cached_dataset(Path(out_path))
             if dataset is not None:
                 outcome.dataset = dataset
                 outcome.error = None
-                events = meta.get("events_processed", 0)
-                wall = meta.get("wall_seconds", 0.0)
-                outcome.events_processed = (
-                    int(events) if isinstance(events, (int, float)) else 0
-                )
-                outcome.wall_seconds = (
-                    float(wall) if isinstance(wall, (int, float)) else 0.0
-                )
-                outcome.path = out_path if self.use_disk else None
-                outcome.sim_metrics = _parse_sim_metrics(
-                    meta.get("sim_metrics")
-                )
-                if outcome.job.trace and trace_path.exists():
-                    outcome.trace_path = trace_path
+                self._fill_throughput(outcome, meta)
+                outcome.path = Path(out_path) if self.use_disk else None
+                if outcome.job.trace and Path(trace_path).exists():
+                    outcome.trace_path = Path(trace_path)
                 self._adopt(outcome.job, dataset)
                 return False
             error = f"worker wrote an unreadable dataset at {out_path}"
-        elif meta.get("error"):
+        elif str(meta.get("error") or "").strip():
             error = str(meta["error"]).strip().splitlines()[-1]
+        elif died:
+            # Killed before it could write any report (OOM kill, SIGKILL,
+            # segfault): synthesize a diagnosis instead of an empty error.
+            error = (
+                f"worker died with exitcode {exitcode}, no report "
+                "(killed mid-job, e.g. out-of-memory)"
+            )
         else:
-            error = f"worker died with exit code {exitcode}"
+            error = "worker acknowledged the job but left no meta report"
         if outcome.attempts <= self.retries:
             state.retries += 1
             return True
         outcome.error = error
         return False
+
+    @staticmethod
+    def _adopt_duplicate(outcome: JobOutcome, primary: JobOutcome) -> None:
+        """A deduplicated job adopts its primary's outcome wholesale."""
+        outcome.dataset = primary.dataset
+        outcome.error = primary.error
+        outcome.deduped = True
+        outcome.from_cache = primary.from_cache
+        outcome.events_processed = primary.events_processed
+        outcome.wall_seconds = primary.wall_seconds
+        outcome.path = primary.path
+        outcome.sim_metrics = primary.sim_metrics
+        outcome.trace_path = primary.trace_path
 
     def _adopt(self, job: CampaignJob, dataset: MeasurementDataset) -> None:
         """Feed a worker-produced preset dataset through the shared cache
@@ -595,7 +914,8 @@ class CampaignPool:
         elapsed = max(time.perf_counter() - started, 1e-9)
         self.progress(
             f"[fleet] {state.done}/{state.total} jobs "
-            f"({state.cache_hits} cached, {state.retries} retried) | "
+            f"({state.cache_hits} cached, {state.deduped} deduped, "
+            f"{state.retries} retried) | "
             f"{state.done / elapsed:.2f} campaigns/s"
         )
 
@@ -608,6 +928,7 @@ class _SweepState:
     done: int = 0
     cache_hits: int = 0
     retries: int = 0
+    deduped: int = 0
 
 
 # ---------------------------------------------------------------------- #
@@ -677,14 +998,16 @@ def run_fault_grid(
     retries: int = 1,
     progress: Optional[Callable[[str], None]] = None,
     trace: bool = False,
+    batch_size: Optional[int] = None,
 ) -> FleetResult:
-    """Run a fault-intensity ablation grid across worker processes."""
+    """Run a fault-intensity ablation grid across warm worker processes."""
     pool = CampaignPool(
         jobs=jobs,
         cache_dir=cache_dir,
         use_disk=use_disk,
         retries=retries,
         progress=progress,
+        batch_size=batch_size,
     )
     return pool.run(
         fault_grid_jobs(
@@ -702,12 +1025,14 @@ def run_seed_sweep(
     retries: int = 1,
     progress: Optional[Callable[[str], None]] = None,
     trace: bool = False,
+    batch_size: Optional[int] = None,
 ) -> FleetResult:
-    """Run a multi-seed sweep of a named preset across worker processes.
+    """Run a multi-seed sweep of a named preset across warm worker processes.
 
     ``trace=True`` additionally exports a ground-truth trace per job
     (requires ``use_disk``; the files land next to the dataset cache as
-    ``<dataset stem>.trace.jsonl``).
+    ``<dataset stem>.trace.jsonl``).  ``batch_size`` controls how many
+    seeds one worker dispatch amortizes over (``None`` = auto).
     """
     pool = CampaignPool(
         jobs=jobs,
@@ -715,6 +1040,7 @@ def run_seed_sweep(
         use_disk=use_disk,
         retries=retries,
         progress=progress,
+        batch_size=batch_size,
     )
     return pool.run(
         seed_sweep_jobs(preset_name=preset_name, seeds=seeds, trace=trace)

@@ -49,7 +49,11 @@ def run_experiment(
 
 
 def sweep_dataset(
-    preset_name: str, first_seed: int, seeds: int, jobs: int | None
+    preset_name: str,
+    first_seed: int,
+    seeds: int,
+    jobs: int | None,
+    batch_size: int | None = None,
 ) -> MeasurementDataset:
     """Run a multi-seed fleet sweep and merge the per-seed datasets."""
     result = run_seed_sweep(
@@ -57,6 +61,7 @@ def sweep_dataset(
         seeds=range(first_seed, first_seed + seeds),
         jobs=jobs,
         progress=print,
+        batch_size=batch_size,
     )
     result.raise_on_failure()
     print(format_fleet_profile(result.metrics, result.outcomes))
@@ -94,6 +99,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="fleet worker processes for --seeds (default: all cores)",
     )
     parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="seeds per fleet worker dispatch for --seeds (default: auto)",
+    )
+    parser.add_argument(
         "--disk-cache",
         action="store_true",
         help="persist/reuse the campaign dataset under .repro-cache/",
@@ -122,7 +133,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(format_event_profile(campaign.metrics))
         print()
     elif args.seeds > 1:
-        dataset = sweep_dataset(args.preset, args.seed, args.seeds, args.jobs)
+        dataset = sweep_dataset(
+            args.preset, args.seed, args.seeds, args.jobs, args.batch_size
+        )
     else:
         dataset = campaign_dataset(args.preset, args.seed, use_disk=args.disk_cache)
     for experiment_id in ids:

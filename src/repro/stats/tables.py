@@ -117,19 +117,26 @@ def format_fleet_profile(metrics, outcomes=None) -> str:
         "Fleet profile",
         f"jobs             : {metrics.jobs_total:,} "
         f"({metrics.jobs_succeeded:,} ok, {metrics.jobs_failed:,} failed, "
-        f"{metrics.cache_hits:,} cached)",
+        f"{metrics.cache_hits:,} cached, {metrics.deduped:,} deduped)",
         f"workers          : {metrics.workers:,} "
         f"(retries: {metrics.retries:,})",
         f"sweep wall       : {metrics.wall_seconds:,.2f} s",
         f"campaigns / s    : {metrics.campaigns_per_second:,.3f}",
         f"events / second  : {metrics.events_per_second:,.0f} "
-        "(aggregate across workers)",
+        "(executed this sweep; cache hits excluded)",
     ]
+    if metrics.cached_events:
+        lines.append(
+            f"cached events    : {metrics.cached_events:,} "
+            "(served from the disk cache, not re-executed)"
+        )
     if outcomes:
         rows = []
         for outcome in outcomes:
             if not outcome.ok:
                 status = "failed"
+            elif outcome.deduped:
+                status = "dedup"
             elif outcome.from_cache:
                 status = "cached"
             else:

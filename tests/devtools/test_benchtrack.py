@@ -73,6 +73,43 @@ def test_compare_fails_on_throughput_regression():
     assert compare_records(record, baseline, threshold=0.05)
 
 
+def _sweep_record(speedup: float, cores: float | None) -> dict:
+    entry: dict = {"wall_seconds": 30.0, "speedup": speedup}
+    if cores is not None:
+        entry["cores"] = cores
+    return {
+        "schema": 1,
+        "date": "2026-08-08",
+        "benchmarks": {"test_parallel_sweep_speedup": entry},
+    }
+
+
+def test_speedup_floor_fails_below_one_on_multicore_runners():
+    baseline = _sweep_record(0.53, cores=1)  # slow baseline can't mask it
+    record = _sweep_record(0.81, cores=4)
+    failures = compare_records(record, baseline)
+    assert len(failures) == 1
+    assert "below the hard floor" in failures[0]
+    assert "cores=4" in failures[0]
+    # Above the floor the same record passes.
+    assert compare_records(_sweep_record(1.7, cores=4), baseline) == []
+
+
+def test_speedup_floor_is_skipped_on_single_core_or_unrecorded_runners():
+    baseline = _sweep_record(2.0, cores=4)
+    # Single-core hosts cannot beat sequential: floor exempt (the
+    # relative gate still applies, hence the generous baseline check).
+    assert all(
+        "hard floor" not in failure
+        for failure in compare_records(_sweep_record(0.6, cores=1), baseline)
+    )
+    # No cores recorded at all -> guard absent -> floor skipped.
+    assert all(
+        "hard floor" not in failure
+        for failure in compare_records(_sweep_record(0.6, cores=None), baseline)
+    )
+
+
 def test_cli_reduce_then_compare_round_trip(tmp_path, capsys):
     raw_path = tmp_path / "bench-raw.json"
     raw_path.write_text(json.dumps(_raw()))

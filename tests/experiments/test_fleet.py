@@ -1,14 +1,18 @@
 """Tests for the parallel campaign fleet.
 
-The load-bearing guarantees: job specs validate eagerly, a parallel sweep
-is *bit-identical* to sequential execution for the same seeds, a flaky
-worker is retried, a persistently failing job becomes a per-job failure
-without sinking the sweep, and jobs already in the disk cache are served
-without spawning a worker.
+The load-bearing guarantees: job specs validate eagerly, a warm-pool
+sweep is *bit-identical* to sequential execution for the same seeds
+(including across batch boundaries), a raising job is retried, a worker
+that *dies* mid-batch is respawned with its batch requeued, duplicate
+jobs are deduplicated, a persistently failing job becomes a per-job
+failure without sinking the sweep, and jobs already in the disk cache
+are served — with their persisted event counts — without running a
+worker.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import replace
 
 import pytest
@@ -18,6 +22,7 @@ from repro.experiments import cache
 from repro.experiments.fleet import (
     CampaignJob,
     CampaignPool,
+    _auto_batch_size,
     config_digest,
     seed_sweep_jobs,
 )
@@ -88,6 +93,34 @@ def test_pool_rejects_zero_workers_and_empty_sweeps():
         CampaignPool(jobs=0)
     with pytest.raises(FleetError):
         CampaignPool(jobs=1).run([])
+    with pytest.raises(FleetError):
+        CampaignPool(jobs=1, batch_size=0)
+
+
+def test_meta_filename_is_a_cache_sibling():
+    job = CampaignJob(preset_name="small", seed=7)
+    assert job.meta_filename() == "campaign-small-seed7.meta.json"
+    traced = CampaignJob(preset_name="small", seed=7, trace=True)
+    # The meta sibling is shared with the untraced twin, like the dataset.
+    assert traced.meta_filename() == job.meta_filename()
+
+
+def test_dedup_key_separates_trace_but_not_labels():
+    plain = CampaignJob(preset_name="small", seed=7)
+    twin = CampaignJob(preset_name="small", seed=7)
+    traced = CampaignJob(preset_name="small", seed=7, trace=True)
+    other_seed = CampaignJob(preset_name="small", seed=8)
+    assert plain.dedup_key() == twin.dedup_key()
+    # A traced twin still has to run to export the .trace.jsonl sibling.
+    assert plain.dedup_key() != traced.dedup_key()
+    assert plain.dedup_key() != other_seed.dedup_key()
+
+
+def test_auto_batch_size_targets_four_waves_per_worker():
+    assert _auto_batch_size(4, 4) == 1
+    assert _auto_batch_size(64, 4) == 4
+    assert _auto_batch_size(1, 1) == 1
+    assert _auto_batch_size(100, 2) == 13
 
 
 def test_traced_and_untraced_jobs_share_a_cache_entry():
@@ -121,11 +154,13 @@ def test_traced_jobs_require_the_disk_cache():
 
 @pytest.mark.slow
 def test_parallel_sweep_bit_identical_and_cache_aware(tmp_path):
-    """A 2-worker sweep over seeds {1, 2} of the small preset produces
-    datasets byte-identical (after the JSONL round-trip) to sequential
-    ``Campaign(...).run()`` — and a rerun over the warm cache spawns no
-    workers at all."""
-    seeds = (1, 2)
+    """A 2-worker warm-pool sweep over seeds {1, 2, 3} with batch_size=2
+    (so one worker runs two campaigns back-to-back in one process)
+    produces datasets byte-identical (after the JSONL round-trip) to
+    sequential ``Campaign(...).run()`` — and a rerun over the warm cache
+    runs no workers at all while still reporting the persisted per-seed
+    event counts."""
+    seeds = (1, 2, 3)
     sequential_dir = tmp_path / "sequential"
     sequential_dir.mkdir()
     for seed in seeds:
@@ -133,21 +168,57 @@ def test_parallel_sweep_bit_identical_and_cache_aware(tmp_path):
         dataset.save(sequential_dir / f"seed{seed}.jsonl")
 
     fleet_dir = tmp_path / "fleet"
-    pool = CampaignPool(jobs=2, cache_dir=fleet_dir, use_disk=True)
+    pool = CampaignPool(jobs=2, cache_dir=fleet_dir, use_disk=True, batch_size=2)
     result = pool.run(seed_sweep_jobs("small", seeds))
     result.raise_on_failure()
-    assert result.metrics.jobs_succeeded == 2
+    assert result.metrics.jobs_succeeded == 3
+    assert result.metrics.total_events > 0
     for seed, outcome in zip(seeds, result.outcomes):
         assert outcome.job.seed == seed
         sequential_bytes = (sequential_dir / f"seed{seed}.jsonl").read_bytes()
         assert outcome.path.read_bytes() == sequential_bytes
 
     rerun = pool.run(seed_sweep_jobs("small", seeds))
-    assert rerun.metrics.cache_hits == 2
+    assert rerun.metrics.cache_hits == 3
     assert all(o.from_cache and o.attempts == 0 for o in rerun.outcomes)
     assert [
         d.chain.canonical_hashes for d in rerun.datasets()
     ] == [d.chain.canonical_hashes for d in result.datasets()]
+    # Event counts survive the cache round-trip via the .meta.json
+    # sibling, but don't inflate the sweep's *executed* throughput.
+    for fresh, cached in zip(result.outcomes, rerun.outcomes):
+        assert cached.events_processed == fresh.events_processed > 0
+        assert cached.sim_metrics is not None
+    assert rerun.metrics.total_events == 0
+    assert rerun.metrics.cached_events == result.metrics.total_events
+
+
+@pytest.mark.slow
+def test_duplicate_jobs_dedup_to_one_worker_run(tmp_path):
+    """Identical (config, seed) jobs in one sweep run once; the
+    duplicates adopt the primary's outcome instead of racing on the
+    same cache file."""
+    pool = CampaignPool(jobs=2, cache_dir=tmp_path / "cache", use_disk=True)
+    result = pool.run(
+        [
+            CampaignJob(preset_name="small", seed=41),
+            CampaignJob(preset_name="small", seed=41),
+            CampaignJob(preset_name="small", seed=41),
+        ]
+    )
+    result.raise_on_failure()
+    primary, *dups = result.outcomes
+    assert result.metrics.deduped == 2
+    assert result.metrics.jobs_succeeded == 3
+    assert not primary.deduped and primary.attempts == 1
+    for dup in dups:
+        assert dup.deduped
+        assert dup.attempts == 0
+        assert dup.dataset is primary.dataset
+        assert dup.events_processed == primary.events_processed
+        assert dup.path == primary.path
+    # Executed events counted once, not three times.
+    assert result.metrics.total_events == primary.events_processed
 
 
 @pytest.mark.slow
@@ -218,6 +289,68 @@ def test_flaky_worker_is_retried_and_sweep_completes(tmp_path, monkeypatch):
     assert result.metrics.retries == 1
     assert result.metrics.jobs_failed == 0
     assert not marker.exists()
+
+
+@pytest.mark.slow
+def test_mid_batch_worker_crash_requeues_rest_of_batch(tmp_path, monkeypatch):
+    """A worker killed partway through a two-job batch charges an attempt
+    only to the job it died on; the untouched rest of the batch is
+    requeued for free and the respawned worker finishes the sweep."""
+    marker = tmp_path / "kill-once"
+    marker.touch()
+    original_run = Campaign.run
+
+    def killer_run(self):
+        # Die hard (no exception, no meta report) on the second batch
+        # job's first attempt — simulating an OOM kill mid-batch.
+        if self.config.scenario.seed == 35 and marker.exists():
+            marker.unlink()
+            os._exit(9)
+        return original_run(self)
+
+    monkeypatch.setattr(Campaign, "run", killer_run)
+    pool = CampaignPool(
+        jobs=1,
+        retries=1,
+        cache_dir=tmp_path / "cache",
+        use_disk=True,
+        start_method="fork",
+        batch_size=2,
+    )
+    result = pool.run(
+        [
+            CampaignJob(preset_name="small", seed=34),
+            CampaignJob(preset_name="small", seed=35),
+        ]
+    )
+    result.raise_on_failure()
+    survivor, crashed = result.outcomes
+    assert survivor.ok and crashed.ok
+    assert crashed.attempts == 2  # in flight when the worker died
+    assert survivor.attempts == 1  # requeued without an attempt charge
+    assert result.metrics.retries == 1
+    assert not marker.exists()
+
+
+@pytest.mark.slow
+def test_worker_killed_without_report_synthesizes_a_clear_error(
+    tmp_path, monkeypatch
+):
+    """A worker that dies before writing its meta report (every attempt)
+    surfaces as a per-job failure naming the exitcode, not a silent hang
+    or an unexplained empty error."""
+
+    def always_die(self):
+        os._exit(9)
+
+    monkeypatch.setattr(Campaign, "run", always_die)
+    pool = CampaignPool(jobs=1, retries=0, start_method="fork")
+    result = pool.run([CampaignJob(preset_name="small", seed=36)])
+    outcome = result.outcomes[0]
+    assert not outcome.ok
+    assert "exitcode 9" in outcome.error
+    assert "no report" in outcome.error
+    assert result.metrics.jobs_failed == 1
 
 
 def test_persistent_failure_is_reported_without_sinking_the_sweep(tmp_path):

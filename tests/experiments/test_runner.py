@@ -44,7 +44,10 @@ def test_main_multi_seed_sweep_aggregates_over_the_fleet(capsys):
     """--seeds N runs the campaigns as a parallel fleet and the analyses
     consume the merged multi-seed dataset."""
     code = main(
-        ["summary", "--preset", "small", "--seed", "96", "--seeds", "2", "--jobs", "2"]
+        [
+            "summary", "--preset", "small", "--seed", "96",
+            "--seeds", "2", "--jobs", "2", "--batch-size", "1",
+        ]
     )
     out = capsys.readouterr().out
     assert code == 0

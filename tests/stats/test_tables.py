@@ -73,14 +73,16 @@ def test_fleet_profile_per_job_rows():
     from repro.stats.tables import format_fleet_profile
 
     metrics = FleetMetrics(
-        jobs_total=2,
-        jobs_succeeded=2,
+        jobs_total=3,
+        jobs_succeeded=3,
         jobs_failed=0,
         cache_hits=1,
         retries=0,
         workers=2,
         wall_seconds=10.0,
         total_events=150_000,
+        deduped=1,
+        cached_events=90_000,
     )
     worker = JobOutcome(
         job=CampaignJob(preset_name="small", seed=1, trace=True),
@@ -101,14 +103,24 @@ def test_fleet_profile_per_job_rows():
         dataset=object(),
         from_cache=True,
     )
-    # Without outcomes: summary lines only.
-    assert "Per-job throughput" not in format_fleet_profile(metrics)
-    rendered = format_fleet_profile(metrics, [worker, cached])
+    deduped = JobOutcome(
+        job=CampaignJob(preset_name="small", seed=1),
+        dataset=worker.dataset,
+        deduped=True,
+    )
+    # Without outcomes: summary lines only — but deduped jobs and the
+    # persisted cache-hit event counts still show up in the summary.
+    summary = format_fleet_profile(metrics)
+    assert "Per-job throughput" not in summary
+    assert "1 deduped" in summary
+    assert "cached events" in summary and "90,000" in summary
+    rendered = format_fleet_profile(metrics, [worker, cached, deduped])
     assert "Per-job throughput" in rendered
     assert "small seed 1" in rendered
     assert "12,500" in rendered  # SimMetrics throughput, not events/wall
     assert "yes" in rendered  # trace column
     assert "cached" in rendered
+    assert "dedup" in rendered
     assert worker.events_per_second == 12_500.0
     # Fallback when the meta payload lacked SimMetrics.
     no_metrics = JobOutcome(

@@ -70,6 +70,7 @@ def test_sweep_command_runs_parallel_fleet(tmp_path, capsys):
                 "--seed", "93",
                 "--seeds", "2",
                 "--jobs", "2",
+                "--batch-size", "1",
                 "--cache-dir", str(tmp_path / "cache"),
                 "--merged-out", str(merged_out),
             ]
