@@ -1,0 +1,84 @@
+"""Peer-count scaling of the batched delivery path.
+
+The ``mainnet`` preset exists to answer one question — can the engine
+push a 15,000-peer network? — and this bench records the scaling curve
+behind the answer: events/second at 1k, 4k and 15k peers, each point a
+scaled-down window of the real preset (identical degree distribution,
+pool shares and propagation-only workload; only the population and the
+chain-time window change).
+
+The simulated window shrinks as the population grows so the whole sweep
+stays a few minutes of wall clock; events/second is wall-normalised, so
+the points remain comparable.  The 15k point is the gated one
+(``events_per_second_15k`` in :data:`repro.devtools.benchtrack.GATES`):
+it covers the full-population topology build *and* event loop, so a
+regression in either shows up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from conftest import print_artifact
+
+from repro.experiments.presets import mainnet_campaign
+from repro.measurement.campaign import Campaign
+from repro.node.miner import MAINNET_INTER_BLOCK_TIME
+
+#: (population, simulated chain-time window in mean block intervals).
+#: Windows shrink with N: the per-point event budget stays roughly flat,
+#: so no single point dominates the bench's wall clock.
+_SWEEP: tuple[tuple[int, float], ...] = (
+    (1_000, 60 * MAINNET_INTER_BLOCK_TIME),
+    (4_000, 30 * MAINNET_INTER_BLOCK_TIME),
+    (15_000, 15 * MAINNET_INTER_BLOCK_TIME),
+)
+
+
+def _run_point(n_nodes: int, duration: float) -> dict:
+    config = mainnet_campaign(seed=1)
+    config = replace(
+        config,
+        duration=duration,
+        scenario=replace(config.scenario, n_nodes=n_nodes),
+    )
+    campaign = Campaign(config)
+    campaign.run()
+    metrics = campaign.metrics
+    return {
+        "n_nodes": n_nodes,
+        "events_processed": metrics.events_processed,
+        "events_per_second": metrics.events_per_second,
+        "run_wall_seconds": metrics.run_wall_seconds,
+    }
+
+
+def _run_sweep() -> list[dict]:
+    return [_run_point(n, duration) for n, duration in _SWEEP]
+
+
+def test_mainnet_peer_scaling(benchmark):
+    """Events/second vs population on the mainnet (batched) code path."""
+    points = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    # Perf-trajectory record consumed by repro.devtools.benchtrack (CI
+    # bench job); the 15k point carries the regression gate.
+    for point in points:
+        suffix = f"{point['n_nodes'] // 1000}k"
+        benchmark.extra_info[f"events_per_second_{suffix}"] = point[
+            "events_per_second"
+        ]
+    lines = [
+        f"{point['n_nodes']:>6,} peers: "
+        f"{point['events_processed']:>10,} events, "
+        f"{point['events_per_second']:>9,.0f} events/s "
+        f"({point['run_wall_seconds']:.1f} s event-loop wall)"
+        for point in points
+    ]
+    print_artifact(
+        "Mainnet peer-count scaling (batched delivery path)",
+        "\n".join(lines),
+        {"note": "infrastructure bench behind the 15k-peer feasibility claim"},
+    )
+    for point in points:
+        assert point["events_processed"] > 0
+        assert point["events_per_second"] > 0

@@ -45,13 +45,15 @@ class Mempool:
         self._queued: dict[str, dict[int, Transaction]] = {}
         # sender -> next nonce that would be executable
         self._next_nonce: dict[str, int] = {}
-        self._known_hashes: set[str] = set()
+        #: Every hash currently tracked (pending + queued).  Hot gossip
+        #: loops probe this set directly; mutate only via the pool's methods.
+        self.known_hashes: set[str] = set()
 
     def __len__(self) -> int:
         return len(self.pending)
 
     def __contains__(self, tx_hash: str) -> bool:
-        return tx_hash in self._known_hashes
+        return tx_hash in self.known_hashes
 
     @property
     def queued_count(self) -> int:
@@ -77,12 +79,12 @@ class Mempool:
         """
         if tx.gas_used <= 0:
             raise ValidationError(f"{tx!r}: gas_used must be positive")
-        if tx.tx_hash in self._known_hashes:
+        if tx.tx_hash in self.known_hashes:
             return False
         expected = self._next_nonce.get(tx.sender, 0)
         if tx.nonce < expected:
             return False  # stale: already executable/executed
-        self._known_hashes.add(tx.tx_hash)
+        self.known_hashes.add(tx.tx_hash)
         if tx.nonce == expected:
             self.pending[tx.tx_hash] = tx
             self._next_nonce[tx.sender] = expected + 1
@@ -121,7 +123,7 @@ class Mempool:
                 if len(self.pending) <= target:
                     break
                 del self.pending[tx.tx_hash]
-                self._known_hashes.discard(tx.tx_hash)
+                self.known_hashes.discard(tx.tx_hash)
                 self._next_nonce[tx.sender] = tx.nonce
                 evicted_any = True
             if not evicted_any:  # pragma: no cover - defensive
@@ -221,5 +223,5 @@ class Mempool:
             expected = self._next_nonce.get(tx.sender, 0)
             if tx.nonce < expected:
                 self._next_nonce[tx.sender] = tx.nonce
-            self._known_hashes.discard(tx.tx_hash)
+            self.known_hashes.discard(tx.tx_hash)
             self.add(tx)

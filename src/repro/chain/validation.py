@@ -89,6 +89,10 @@ def validate_block(block: Block, tree: BlockTree) -> None:
 
 
 def _validate_uncles(block: Block, parent: Block, tree: BlockTree) -> None:
+    if not block.uncle_hashes:
+        # The ancestor walk below exists only to reject uncles; blocks
+        # without uncle references (the overwhelming majority) skip it.
+        return
     ancestor_hashes = {parent.block_hash}
     min_height = max(block.height - MAX_UNCLE_DEPTH, 0)
     for ancestor in tree.ancestors(parent.block_hash, MAX_UNCLE_DEPTH):

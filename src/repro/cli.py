@@ -60,7 +60,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="run a measurement campaign")
-    run.add_argument("--preset", default="small", choices=("small", "standard", "large"))
+    run.add_argument("--preset", default="small", choices=("small", "standard", "large", "mainnet"))
     run.add_argument("--seed", type=int, default=1)
     run.add_argument("--out", type=Path, default=None, help="save data set as JSONL")
     run.add_argument(
@@ -77,7 +77,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "sweep", help="run a multi-seed campaign fleet in parallel"
     )
     sweep.add_argument(
-        "--preset", default="small", choices=("small", "standard", "large")
+        "--preset", default="small", choices=("small", "standard", "large", "mainnet")
     )
     sweep.add_argument("--seed", type=int, default=1, help="first seed")
     sweep.add_argument(
@@ -143,7 +143,7 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("experiments", nargs="*", help="experiment ids (default: all)")
     analyze.add_argument("--dataset", type=Path, default=None, help="saved JSONL data set")
     analyze.add_argument(
-        "--preset", default="small", choices=("small", "standard", "large"),
+        "--preset", default="small", choices=("small", "standard", "large", "mainnet"),
         help="campaign preset when no --dataset is given",
     )
     analyze.add_argument("--seed", type=int, default=1)
@@ -306,7 +306,7 @@ def _cmd_list(_: argparse.Namespace) -> int:
     print("experiments:")
     for experiment in EXPERIMENTS:
         print(f"  {experiment.experiment_id:<10} {experiment.title}")
-    print("presets: small, standard, large")
+    print("presets: small, standard, large, mainnet")
     return 0
 
 

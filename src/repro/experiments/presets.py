@@ -10,6 +10,10 @@ relative to the inter-block time, pool shares, peer-degree shape).
 * ``standard``— the default benchmark campaign (≈ 500 blocks).
 * ``large``   — the flagship campaign (≈ 1,000 blocks), closest to the
   paper's ratios; used by the examples and EXPERIMENTS.md numbers.
+* ``mainnet`` — the full-population preset: 15,000 peers at the paper's
+  pool shares with a Gencer-style heavy-tailed degree distribution,
+  propagation-only (no transaction workload), one hour of chain time.
+  This is the scale the batched delivery path exists for.
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ from repro.errors import ConfigurationError
 from repro.measurement.campaign import CampaignConfig
 from repro.node.config import NodeConfig
 from repro.node.miner import MAINNET_INTER_BLOCK_TIME
+from repro.p2p.degrees import DegreeDistribution
 from repro.workload.scenarios import ScenarioConfig
 from repro.workload.transactions import WorkloadConfig
 
@@ -77,10 +82,35 @@ def large_campaign(seed: int = 1) -> CampaignConfig:
     )
 
 
+def mainnet_campaign(seed: int = 1) -> CampaignConfig:
+    """The full-population preset: 15k peers, one hour of chain time.
+
+    Matches the paper's measured network in the dimensions that bind:
+    node count (≈ 15,000 reachable peers in April 2019), pool shares
+    (the default :func:`~repro.workload.mainnet.mainnet_pool_specs`
+    calibration) and a heavy-tailed peer-degree distribution.  The
+    transaction workload is disabled — at this scale the interesting
+    questions are block propagation and fork statistics, and a 15k-node
+    transaction flood would swamp them (and the event budget).
+    """
+    return CampaignConfig(
+        scenario=ScenarioConfig(
+            seed=seed,
+            n_nodes=15_000,
+            node_config=NodeConfig(max_peers=25, target_outbound=13),
+            degrees=DegreeDistribution(),
+            workload=None,
+            warmup=120.0,
+        ),
+        duration=3600.0,
+    )
+
+
 _PRESETS = {
     "small": small_campaign,
     "standard": standard_campaign,
     "large": large_campaign,
+    "mainnet": mainnet_campaign,
 }
 
 

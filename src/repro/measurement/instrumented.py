@@ -10,7 +10,7 @@ local NTP-disciplined clock rather than true simulation time.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.chain.block import Block
 from repro.chain.transaction import Transaction
@@ -98,7 +98,7 @@ class InstrumentedNode(ProtocolNode):
             peer_id=peer.remote_id,
         )
 
-    def _observe_transactions(self, peer: Peer, txs: tuple[Transaction, ...]) -> None:
+    def _observe_transactions(self, peer: Peer, txs: Sequence[Transaction]) -> None:
         stamp = self._stamp()
         for tx in txs:
             self.log.log_transaction(

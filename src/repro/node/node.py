@@ -19,7 +19,7 @@ measurement client be indistinguishable from a regular client.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -31,7 +31,7 @@ from repro.chain.validation import validate_block, validation_delay
 from repro.errors import ValidationError
 from repro.geo.regions import Region
 from repro.node.config import NodeConfig
-from repro.p2p.gossip import split_targets
+from repro.p2p.gossip import sample_targets
 from repro.p2p.messages import (
     BlockBodiesMessage,
     BlockHeadersMessage,
@@ -46,6 +46,7 @@ from repro.p2p.messages import (
 from repro.p2p.network import Network
 from repro.p2p.node_id import random_node_id
 from repro.p2p.peer import Peer
+from repro.sim.events import Event as SimEvent
 
 
 #: Cheap PoW/header sanity check performed before pre-import propagation.
@@ -53,6 +54,46 @@ HEADER_CHECK_DELAY = 0.003
 
 #: Duplicate-triggered direct-push rounds allowed while a block imports.
 MAX_REPROPAGATIONS = 2
+
+
+class _ImportPhaseEvent:
+    """Pooled raw event for one phase of a block import.
+
+    Scheduled through :meth:`Simulator.schedule_raw`: import phases are
+    never cancelled, so the entry needs no cancellable
+    :class:`~repro.sim.events.Event` handle — ``cancelled`` is pinned as
+    a class constant, exactly like the network's delivery events.
+    """
+
+    __slots__ = ("node", "block")
+
+    cancelled = False
+
+    def __init__(self, node: ProtocolNode, block: Block) -> None:
+        self.node = node
+        self.block = block
+
+
+class _PropagateDirectEvent(_ImportPhaseEvent):
+    """Header check done: push the full block to ``ceil(sqrt(peers))``."""
+
+    __slots__ = ()
+
+    profile_label = "ProtocolNode._propagate_direct"
+
+    def callback(self) -> None:
+        self.node._propagate_direct(self.block)
+
+
+class _FinishImportEvent(_ImportPhaseEvent):
+    """Full validation done: import and announce to the remaining peers."""
+
+    __slots__ = ()
+
+    profile_label = "ProtocolNode._finish_import"
+
+    def callback(self) -> None:
+        self.node._finish_import(self.block)
 
 
 class ProtocolNode:
@@ -99,8 +140,11 @@ class ProtocolNode:
         #: membership dicts, not sets: should anything ever iterate these,
         #: the order is arrival order rather than hash order — DET003)
         self._importing: dict[str, None] = {}
-        #: hashes with an outstanding header/body fetch
-        self._fetching: dict[str, None] = {}
+        #: hashes with an outstanding header/body fetch, mapped to the
+        #: fetch-timeout Event (cancelled when the fetch completes, so
+        #: completed fetches stop occupying the heap for the full nominal
+        #: timeout); ``None`` only transiently while the fetch is being set up
+        self._fetching: dict[str, Optional[SimEvent]] = {}
         #: per-hash count of duplicate-triggered re-propagations
         self._reprop_counts: dict[str, int] = {}
         #: per-peer queue of txs awaiting the next gossip flush
@@ -113,6 +157,23 @@ class ProtocolNode:
         self.head_listeners: list[Callable[[Block], None]] = []
         #: True while a debounced transaction-gossip flush is scheduled
         self._flush_pending = False
+        # Observation hooks are no-ops on the base class but fire once per
+        # received message; regular (uninstrumented) nodes cache ``None``
+        # here so the hot handlers pay one attribute check instead of a
+        # no-op method call.  Subclass overrides are detected per class.
+        cls = type(self)
+        self._observe_txs_hook: Optional[
+            Callable[[Peer, Sequence[Transaction]], None]
+        ] = (
+            self._observe_transactions
+            if cls._observe_transactions is not ProtocolNode._observe_transactions
+            else None
+        )
+        self._observe_block_hook = (
+            self._observe_block_message
+            if cls._observe_block_message is not ProtocolNode._observe_block_message
+            else None
+        )
         #: concrete message type -> bound handler; one dict lookup per
         #: delivered message instead of an isinstance ladder
         self._handlers: dict[type, Callable[[Peer, Message], None]] = {
@@ -253,7 +314,7 @@ class ProtocolNode:
     ) -> None:
         """Called for every incoming NewBlock / announcement entry."""
 
-    def _observe_transactions(self, peer: Peer, txs: tuple[Transaction, ...]) -> None:
+    def _observe_transactions(self, peer: Peer, txs: Sequence[Transaction]) -> None:
         """Called for every incoming Transactions batch."""
 
     def _observe_block_import(self, block: Block) -> None:
@@ -268,10 +329,19 @@ class ProtocolNode:
 
     def _handle_new_block(self, peer: Peer, message: NewBlockMessage) -> None:
         block = message.block
-        peer.mark_block(block.block_hash)
-        self._observe_block_message(
-            peer, block.block_hash, block.height, direct=True, miner=block.miner
-        )
+        # Inlined peer.mark_block: this handler runs once per delivered
+        # NewBlock copy, so the known-cache insert goes straight at the
+        # backing dict (KnownCache.add semantics, capacity check included).
+        cache = peer.known_blocks
+        items = cache.items
+        if block.block_hash not in items:
+            items[block.block_hash] = None
+            if len(items) > cache.capacity:
+                del items[next(iter(items))]
+        if self._observe_block_hook is not None:
+            self._observe_block_hook(
+                peer, block.block_hash, block.height, direct=True, miner=block.miner
+            )
         if self._trace.enabled:
             self._trace.block_received(
                 time=self.simulator.now,
@@ -297,9 +367,22 @@ class ProtocolNode:
         self._consider_block(block)
 
     def _handle_announcement(self, peer: Peer, message: NewBlockHashesMessage) -> None:
+        # Announcements are the most frequent block message; the
+        # known-cache insert and the known-block test are inlined as in
+        # _handle_transactions (direct dict probes, no method dispatch).
+        cache = peer.known_blocks
+        items = cache.items
+        capacity = cache.capacity
+        tree_blocks = self.tree._blocks  # read-only bind, as _is_known probes
+        importing = self._importing
+        fetching = self._fetching
         for block_hash, height in message.entries:
-            peer.mark_block(block_hash)
-            self._observe_block_message(peer, block_hash, height, direct=False)
+            if block_hash not in items:
+                items[block_hash] = None
+                if len(items) > capacity:
+                    del items[next(iter(items))]
+            if self._observe_block_hook is not None:
+                self._observe_block_hook(peer, block_hash, height, direct=False)
             if self._trace.enabled:
                 self._trace.block_received(
                     time=self.simulator.now,
@@ -309,7 +392,12 @@ class ProtocolNode:
                     peer_id=peer.remote_id,
                     direct=False,
                 )
-            if self._is_known(block_hash) or block_hash in self._fetching:
+            if (
+                block_hash in tree_blocks
+                or block_hash in importing
+                or block_hash in fetching
+                or (self._orphans and self._is_known(block_hash))
+            ):
                 continue
             self._fetching[block_hash] = None
             if self._trace.enabled:
@@ -327,10 +415,19 @@ class ProtocolNode:
     def _schedule_fetch_timeout(self, block_hash: str) -> None:
         def expire() -> None:
             # If the fetch is still outstanding, give up; a later announce
-            # or direct push will retrigger it.
+            # or direct push will retrigger it.  (No cancel here: the
+            # popped handle is this very event, already fired.)
             self._fetching.pop(block_hash, None)
 
-        self.simulator.call_later(self.config.fetch_timeout, expire)
+        self._fetching[block_hash] = self.simulator.call_later(
+            self.config.fetch_timeout, expire
+        )
+
+    def _finish_fetch(self, block_hash: str) -> None:
+        """Mark a fetch complete and cancel its pending timeout event."""
+        handle = self._fetching.pop(block_hash, None)
+        if handle is not None:
+            handle.cancel()
 
     def _handle_get_headers(self, peer: Peer, message: GetBlockHeadersMessage) -> None:
         block = self.tree.get(message.block_hash)
@@ -340,7 +437,7 @@ class ProtocolNode:
     def _handle_headers(self, peer: Peer, message: BlockHeadersMessage) -> None:
         block = message.block
         if self._is_known(block.block_hash):
-            self._fetching.pop(block.block_hash, None)
+            self._finish_fetch(block.block_hash)
             return
         # Header looks new: pull the body from the same peer.
         self.network.send(
@@ -353,7 +450,7 @@ class ProtocolNode:
             self.network.send(self.node_id, peer.remote_id, BlockBodiesMessage(block))
 
     def _handle_bodies(self, peer: Peer, message: BlockBodiesMessage) -> None:
-        self._fetching.pop(message.block.block_hash, None)
+        self._finish_fetch(message.block.block_hash)
         peer.mark_block(message.block.block_hash)
         self._consider_block(message.block)
 
@@ -376,14 +473,15 @@ class ProtocolNode:
     # ------------------------------------------------------------------ #
 
     def _is_known(self, block_hash: str) -> bool:
-        return (
-            block_hash in self.tree
-            or block_hash in self._importing
-            or any(
-                block.block_hash == block_hash
-                for orphans in self._orphans.values()
-                for block in orphans
-            )
+        if block_hash in self.tree or block_hash in self._importing:
+            return True
+        if not self._orphans:
+            # Common case: no orphans pending, skip the generator setup.
+            return False
+        return any(
+            block.block_hash == block_hash
+            for orphans in self._orphans.values()
+            for block in orphans
         )
 
     def _consider_block(self, block: Block) -> None:
@@ -408,11 +506,17 @@ class ProtocolNode:
                 block_hash=block.block_hash,
                 height=block.height,
             )
-        self.simulator.call_later(
-            HEADER_CHECK_DELAY, lambda: self._propagate_direct(block)
+        # Import-phase events are never cancelled, so they skip the
+        # cancellable Event handle (and the closures two `call_later`
+        # lambdas would allocate) — this pair runs once per import on
+        # every node, the hottest scheduling site after deliveries.
+        simulator = self.simulator
+        now = simulator.now
+        simulator.schedule_raw(
+            now + HEADER_CHECK_DELAY, _PropagateDirectEvent(self, block)
         )
         delay = HEADER_CHECK_DELAY + validation_delay(block, self.config.validation)
-        self.simulator.call_later(delay, lambda: self._finish_import(block))
+        simulator.schedule_raw(now + delay, _FinishImportEvent(self, block))
 
     def _request_missing_parent(self, block: Block) -> None:
         parent_hash = block.parent_hash
@@ -495,32 +599,45 @@ class ProtocolNode:
     # ------------------------------------------------------------------ #
 
     def _propagate_direct(self, block: Block) -> None:
-        """Push the full block to ``ceil(sqrt(peers))`` peers (pre-import)."""
+        """Push the full block to ``ceil(sqrt(peers))`` peers (pre-import).
+
+        The whole push wave goes out through one :meth:`Network.send_many`
+        call — one vectorized delay draw and one pooled batch record
+        instead of a scalar send per target.
+        """
+        block_hash = block.block_hash
         candidates = [
             peer
             for peer in self.peers.values()
-            if not peer.knows_block(block.block_hash)
+            if block_hash not in peer.known_blocks.items
         ]
-        direct, _ = split_targets(candidates, self._rng, self.config.gossip)
-        parent_td = (
-            self.tree.total_difficulty(block.parent_hash)
-            if block.parent_hash in self.tree
-            else 0.0
-        )
+        direct = sample_targets(candidates, self._rng, self.config.gossip)
+        if not direct:
+            return
+        # One dict probe against the tree's difficulty map (same key set
+        # as `in self.tree` + total_difficulty(), which cost three).
+        parent_td = self.tree._total_difficulty.get(block.parent_hash, 0.0)
         td = parent_td + block.difficulty
+        recipient_ids: list[int] = []
         for peer in direct:
-            peer.mark_block(block.block_hash)
-            self.network.send(self.node_id, peer.remote_id, NewBlockMessage(block, td))
+            peer.known_blocks.add(block_hash)
+            recipient_ids.append(peer.remote_id)
+        self.network.send_many(self.node_id, recipient_ids, NewBlockMessage(block, td))
 
     def _announce_rest(self, block: Block) -> None:
         """Announce the hash to every peer still unaware (post-import)."""
         entries = ((block.block_hash, block.height),)
-        for peer in self.peers.values():
-            if peer.knows_block(block.block_hash):
+        block_hash = block.block_hash
+        recipient_ids: list[int] = []
+        for peer_id, peer in self.peers.items():
+            cache = peer.known_blocks
+            if block_hash in cache.items:
                 continue
-            peer.mark_block(block.block_hash)
-            self.network.send(
-                self.node_id, peer.remote_id, NewBlockHashesMessage(entries)
+            cache.add(block_hash)
+            recipient_ids.append(peer_id)
+        if recipient_ids:
+            self.network.send_many(
+                self.node_id, recipient_ids, NewBlockHashesMessage(entries)
             )
 
     def inject_block(self, block: Block) -> None:
@@ -532,19 +649,34 @@ class ProtocolNode:
     # ------------------------------------------------------------------ #
 
     def _handle_transactions(self, peer: Peer, message: TransactionsMessage) -> None:
-        self._observe_transactions(peer, message.transactions)
+        if self._observe_txs_hook is not None:
+            self._observe_txs_hook(peer, message.transactions)
+        # This loop runs once per received transaction copy — by far the
+        # most frequent unit of work in a gossip-heavy run — so membership
+        # probes and inserts go straight at the backing dict/set (C
+        # lookups, no method dispatch); the insert inlines KnownCache.add,
+        # capacity check included.
+        cache = peer.known_txs
+        known = cache.items
+        capacity = cache.capacity
+        mempool = self.mempool
+        pool_known = mempool.known_hashes
         fresh: list[Transaction] = []
         for tx in message.transactions:
-            peer.mark_tx(tx.tx_hash)
-            if tx.tx_hash in self.mempool:
+            tx_hash = tx.tx_hash
+            if tx_hash not in known:
+                known[tx_hash] = None
+                if len(known) > capacity:
+                    del known[next(iter(known))]
+            if tx_hash in pool_known:
                 continue
-            if self.mempool.add(tx):
+            if mempool.add(tx):
                 fresh.append(tx)
                 if self._trace.enabled:
                     self._trace.tx_first_seen(
                         time=self.simulator.now,
                         node=self.name,
-                        tx_hash=tx.tx_hash,
+                        tx_hash=tx_hash,
                         peer_id=peer.remote_id,
                     )
         if fresh:
@@ -572,18 +704,35 @@ class ProtocolNode:
         dirty = self._tx_dirty
         # self.peers is a plain dict, so this walks peers in connection
         # order — deterministic under a fixed seed (DET003-safe).
-        for peer_id, peer in self.peers.items():
-            if peer_id == exclude:
-                continue
-            queue = tx_queue.setdefault(peer_id, [])
-            knows = peer.knows_tx
-            appended = False
-            for tx in txs:
-                if not knows(tx.tx_hash):
-                    queue.append(tx)
-                    appended = True
-            if appended:
+        if len(txs) == 1:
+            # Overwhelmingly the common case: one fresh transaction fans
+            # out to every peer, so the hash is hoisted out of the walk.
+            tx = txs[0]
+            tx_hash = tx.tx_hash
+            for peer_id, peer in self.peers.items():
+                if peer_id == exclude or tx_hash in peer.known_txs.items:
+                    continue
+                queue = tx_queue.get(peer_id)
+                if queue is None:
+                    queue = tx_queue[peer_id] = []
+                queue.append(tx)
                 dirty[peer_id] = None
+        else:
+            pairs = [(tx.tx_hash, tx) for tx in txs]
+            for peer_id, peer in self.peers.items():
+                if peer_id == exclude:
+                    continue
+                queue = tx_queue.get(peer_id)
+                if queue is None:
+                    queue = tx_queue[peer_id] = []
+                known = peer.known_txs.items
+                appended = False
+                for tx_hash, tx in pairs:
+                    if tx_hash not in known:
+                        queue.append(tx)
+                        appended = True
+                if appended:
+                    dirty[peer_id] = None
         if dirty and not self._flush_pending:
             # Debounced flush: batch whatever accumulates over the next
             # flush interval into one Transactions message per peer.
@@ -598,27 +747,38 @@ class ProtocolNode:
         if not dirty:
             return
         self._tx_dirty = {}
+        tx_queue = self._tx_queue
+        peers = self.peers
+        recipient_ids: list[int] = []
+        messages: list[Message] = []
         for peer_id in dirty:
-            queue = self._tx_queue.get(peer_id)
+            queue = tx_queue.get(peer_id)
             if not queue:
                 continue
-            peer = self.peers.get(peer_id)
+            peer = peers.get(peer_id)
             if peer is None:
                 queue.clear()
                 continue
             # Single pass: marking while filtering also collapses a tx
             # queued twice (learned from two different peers between
-            # flushes) into one send.
-            knows = peer.knows_tx
-            mark = peer.mark_tx
+            # flushes) into one send.  The insert inlines KnownCache.add.
+            cache = peer.known_txs
+            known = cache.items
+            capacity = cache.capacity
             batch: list[Transaction] = []
             for tx in queue:
                 tx_hash = tx.tx_hash
-                if not knows(tx_hash):
-                    mark(tx_hash)
+                if tx_hash not in known:
+                    known[tx_hash] = None
+                    if len(known) > capacity:
+                        del known[next(iter(known))]
                     batch.append(tx)
             queue.clear()
             if batch:
-                self.network.send(
-                    self.node_id, peer_id, TransactionsMessage(tuple(batch))
-                )
+                recipient_ids.append(peer_id)
+                # `batch` is freshly built and never touched again, so the
+                # message takes the list itself — no defensive tuple copy.
+                messages.append(TransactionsMessage(batch))
+        if recipient_ids:
+            # One wave, one vectorized delay draw, per-peer payload sizes.
+            self.network.send_each(self.node_id, recipient_ids, messages)

@@ -1,8 +1,14 @@
 """P2P substrate: identifiers, discovery, wire messages, peers, gossip
 policy and the latency-aware network fabric."""
 
+from repro.p2p.degrees import DegreeDistribution
 from repro.p2p.discovery import BUCKET_SIZE, DiscoveryService
-from repro.p2p.gossip import GossipConfig, direct_push_count, split_targets
+from repro.p2p.gossip import (
+    GossipConfig,
+    direct_push_count,
+    sample_targets,
+    split_targets,
+)
 from repro.p2p.messages import (
     BlockBodiesMessage,
     BlockHeadersMessage,
@@ -29,6 +35,7 @@ __all__ = [
     "BUCKET_SIZE",
     "BlockBodiesMessage",
     "BlockHeadersMessage",
+    "DegreeDistribution",
     "DiscoveryService",
     "GetBlockBodiesMessage",
     "GetBlockHeadersMessage",
@@ -50,6 +57,7 @@ __all__ = [
     "direct_push_count",
     "format_node_id",
     "random_node_id",
+    "sample_targets",
     "split_targets",
     "xor_distance",
     "analyze_topology",

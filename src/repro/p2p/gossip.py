@@ -43,6 +43,36 @@ def direct_push_count(peer_count: int, config: GossipConfig | None = None) -> in
     return min(peer_count, math.ceil(peer_count**cfg.direct_push_fraction_exponent))
 
 
+def sample_targets(
+    candidates: Sequence[T],
+    rng: np.random.Generator,
+    config: GossipConfig | None = None,
+) -> list[T]:
+    """Direct-push half of :func:`split_targets`, skipping the remainder.
+
+    Draw-for-draw identical to :func:`split_targets` (one vectorised
+    uniform draw of ``count`` values feeding the same partial
+    Fisher–Yates), but never materialises the announce remainder — the
+    pre-import push wave ignores it, and building the ``n - count``
+    leftover list once per relayed block copy was measurable at 15k
+    peers.  Keep the sampling loop in lockstep with
+    :func:`split_targets`.
+    """
+    cfg = config or GossipConfig()
+    n = len(candidates)
+    if n <= 0:
+        return []
+    count = math.ceil(n**cfg.direct_push_fraction_exponent)
+    if count >= n:
+        return list(candidates)
+    draws = rng.random(count)
+    indices = list(range(n))
+    for i in range(count):
+        j = i + int(draws[i] * (n - i))
+        indices[i], indices[j] = indices[j], indices[i]
+    return [candidates[i] for i in indices[:count]]
+
+
 def split_targets(
     candidates: Sequence[T],
     rng: np.random.Generator,

@@ -16,8 +16,8 @@ penalise full blocks relative to announcements.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import ClassVar
+from dataclasses import dataclass
+from typing import ClassVar, Sequence
 
 from repro.chain.block import EMPTY_BLOCK_SIZE, Block
 from repro.chain.transaction import Transaction
@@ -139,27 +139,32 @@ class BlockBodiesMessage(Message):
         return self.block.block_hash
 
 
-@dataclass(frozen=True, slots=True)
 class TransactionsMessage(Message):
     """A batch of pending transactions.
 
     The wire size is summed once at construction: every routed message
     reads it (bandwidth model + byte counters), and transaction batches
-    are by far the most numerous message kind in a loaded campaign.
+    are by far the most numerous message kind in a loaded campaign —
+    which is why this is a handwritten class rather than a frozen
+    dataclass (the generated ``object.__setattr__``-based ``__init__``
+    was measurable at this call volume).  Treat instances as immutable.
     """
 
-    kind: ClassVar[str] = "Transactions"
-    transactions: tuple[Transaction, ...] = field(default=())
-    _size_bytes: int = field(
-        init=False, repr=False, compare=False, default=MESSAGE_OVERHEAD
-    )
+    __slots__ = ("transactions", "_size_bytes")
 
-    def __post_init__(self) -> None:
-        object.__setattr__(
-            self,
-            "_size_bytes",
-            MESSAGE_OVERHEAD + sum(tx.size_bytes for tx in self.transactions),
-        )
+    kind: ClassVar[str] = "Transactions"
+
+    def __init__(self, transactions: Sequence[Transaction] = ()) -> None:
+        self.transactions = transactions
+        # Explicit loop: batches are typically 1-5 transactions, where a
+        # generator-expression sum costs more than it saves.
+        size = MESSAGE_OVERHEAD
+        for tx in transactions:
+            size += tx.size_bytes
+        self._size_bytes = size
+
+    def __repr__(self) -> str:
+        return f"TransactionsMessage({len(self.transactions)} txs)"
 
     @property
     def size_bytes(self) -> int:

@@ -2,9 +2,19 @@
 
 :class:`Network` couples the discrete-event simulator, the latency model
 and the discovery service.  Nodes send messages through
-:meth:`Network.send`; the fabric samples a delivery delay from the
-origin/destination regions and the message size, then schedules
-``destination.deliver(sender_id, message)``.
+:meth:`Network.send` (one recipient) or :meth:`Network.send_many` /
+:meth:`Network.send_each` (a whole gossip wave); the fabric samples
+delivery delays from the origin/destination regions and the message
+size, then schedules ``destination.deliver(sender_id, message)``.
+
+The wave paths are the hot ones: delays for all recipients come from one
+vectorized draw (:meth:`LatencyModel.delays`, bitwise-identical to the
+scalar draws), and the fault-free case schedules the whole wave against
+a single pooled :class:`BatchDeliveryEvent` through
+:meth:`Simulator.schedule_batch` — no per-message delivery object, no
+per-message ``heappush`` call.  Scalar sends skip the
+:class:`~repro.sim.events.Event` handle too: a :class:`DeliveryEvent`
+enters the heap directly via :meth:`Simulator.schedule_raw`.
 
 Connection management is symmetric: :meth:`Network.connect` installs a
 :class:`~repro.p2p.peer.Peer` record on both endpoints.
@@ -12,7 +22,7 @@ Connection management is symmetric: :meth:`Network.connect` installs a
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Protocol
+from typing import TYPE_CHECKING, Optional, Protocol, Sequence
 
 from repro.errors import ConfigurationError
 from repro.geo.latency import LatencyModel
@@ -28,14 +38,28 @@ if TYPE_CHECKING:
 class DeliveryEvent:
     """A preallocated in-flight message delivery.
 
-    One of these is scheduled per routed message; a typed ``__slots__``
-    callable is cheaper than the lambda closure it replaced (no function
-    object + cell allocations on the hottest path in the simulator) and
-    lets the profiler attribute event-loop time to concrete wire message
-    kinds instead of one anonymous ``<lambda>`` bucket.
+    One of these is scheduled per *scalar-routed* message (single sends
+    and fault-layer copies); it sits in the event heap directly — the
+    class-level ``cancelled = False`` satisfies the queue's entry
+    protocol without a per-instance flag, and :meth:`callback` is what
+    the run loop invokes.  The recipient *member object* is resolved at
+    send time, so firing costs one set probe and one ``deliver`` call —
+    no per-delivery ``_members`` lookup.  There is no back-reference
+    cycle because the heap entry is dropped as it fires.
     """
 
-    __slots__ = ("network", "link_key", "sender_id", "recipient_id", "message")
+    __slots__ = (
+        "network",
+        "link_key",
+        "sender_id",
+        "recipient_id",
+        "recipient",
+        "message",
+    )
+
+    #: Raw heap entries cannot be cancelled; the run loop checks this
+    #: attribute on every entry, so it is pinned as a class constant.
+    cancelled = False
 
     def __init__(
         self,
@@ -43,12 +67,14 @@ class DeliveryEvent:
         link_key: tuple[int, int],
         sender_id: int,
         recipient_id: int,
+        recipient: "NetworkMember",
         message: Message,
     ) -> None:
         self.network = network
         self.link_key = link_key
         self.sender_id = sender_id
         self.recipient_id = recipient_id
+        self.recipient = recipient
         self.message = message
 
     @property
@@ -56,34 +82,133 @@ class DeliveryEvent:
         # Per-kind label strings are interned in a module dict: the
         # profiled loop asks for this once per delivered message, and
         # the set of message kinds is tiny and fixed.
-        kind = self.message.kind
-        label = _DELIVERY_LABELS.get(kind)
-        if label is None:
-            label = f"Network.deliver:{kind}"
-            _DELIVERY_LABELS[kind] = label
-        return label
+        return _delivery_label(self.message.kind)
 
-    def __call__(self) -> None:
+    def callback(self) -> None:
         # The link may have been torn down while the message was in flight.
         network = self.network
         if self.link_key in network._links:
-            network._members[self.recipient_id].deliver(self.sender_id, self.message)
+            self.recipient.deliver(self.sender_id, self.message)
         elif network._trace.enabled:
-            members = network._members
-            message = self.message
-            network._trace.delivery_dropped(
-                time=network.simulator.now,
-                kind=message.kind,
-                sender=_member_name(members.get(self.sender_id), self.sender_id),
-                recipient=_member_name(
-                    members.get(self.recipient_id), self.recipient_id
-                ),
-                block_hash=_message_block_hash(message),
+            network._record_drop(self.sender_id, self.recipient_id, self.message)
+
+
+class BatchDeliveryEvent:
+    """One gossip wave's deliveries, pooled into a single record.
+
+    ``fire(i)`` delivers the shared message to recipient ``i``.  A wave
+    of N recipients costs one of these objects plus N small heap tuples —
+    versus N :class:`DeliveryEvent` + N :class:`Event` objects on the old
+    scalar path.  The recipient member objects and the network's live
+    ``_links`` set are captured at send time (both survive unchanged for
+    the wave's lifetime — ``_links`` is mutated in place, never rebound),
+    so each fire is two list indexes, one set probe and the ``deliver``
+    call.
+    """
+
+    __slots__ = (
+        "network",
+        "links",
+        "sender_id",
+        "recipient_ids",
+        "recipients",
+        "link_keys",
+        "message",
+    )
+
+    cancelled = False
+
+    def __init__(
+        self,
+        network: "Network",
+        sender_id: int,
+        recipient_ids: Sequence[int],
+        recipients: list["NetworkMember"],
+        link_keys: list[tuple[int, int]],
+        message: Message,
+    ) -> None:
+        self.network = network
+        self.links = network._links
+        self.sender_id = sender_id
+        self.recipient_ids = recipient_ids
+        self.recipients = recipients
+        self.link_keys = link_keys
+        self.message = message
+
+    @property
+    def profile_label(self) -> str:
+        return _delivery_label(self.message.kind)
+
+    def fire(self, index: int) -> None:
+        if self.link_keys[index] in self.links:
+            self.recipients[index].deliver(self.sender_id, self.message)
+        elif self.network._trace.enabled:
+            self.network._record_drop(
+                self.sender_id, self.recipient_ids[index], self.message
+            )
+
+
+class EachDeliveryEvent:
+    """A pooled wave with a distinct message per recipient.
+
+    Used by transaction flushes, where every peer receives its own
+    ``Transactions`` batch in the same wave.  Resolution mirrors
+    :class:`BatchDeliveryEvent`: members and the live link set are
+    captured once at send time.
+    """
+
+    __slots__ = (
+        "network",
+        "links",
+        "sender_id",
+        "recipient_ids",
+        "recipients",
+        "link_keys",
+        "messages",
+    )
+
+    cancelled = False
+
+    def __init__(
+        self,
+        network: "Network",
+        sender_id: int,
+        recipient_ids: Sequence[int],
+        recipients: list["NetworkMember"],
+        link_keys: list[tuple[int, int]],
+        messages: Sequence[Message],
+    ) -> None:
+        self.network = network
+        self.links = network._links
+        self.sender_id = sender_id
+        self.recipient_ids = recipient_ids
+        self.recipients = recipients
+        self.link_keys = link_keys
+        self.messages = messages
+
+    @property
+    def profile_label(self) -> str:
+        return _delivery_label(self.messages[0].kind)
+
+    def fire(self, index: int) -> None:
+        if self.link_keys[index] in self.links:
+            self.recipients[index].deliver(self.sender_id, self.messages[index])
+        elif self.network._trace.enabled:
+            self.network._record_drop(
+                self.sender_id, self.recipient_ids[index], self.messages[index]
             )
 
 
 #: profile_label cache: message kind -> rendered label (see above).
 _DELIVERY_LABELS: dict[str, str] = {}
+
+
+def _delivery_label(kind: str) -> str:
+    label = _DELIVERY_LABELS.get(kind)
+    if label is None:
+        label = f"Network.deliver:{kind}"
+        _DELIVERY_LABELS[kind] = label
+    return label
 
 
 def _member_name(member: Optional["NetworkMember"], node_id: int) -> str:
@@ -148,8 +273,20 @@ class Network:
         # The recorder object is stable for the simulator's lifetime, so
         # binding it once here is safe even if tracing is enabled later.
         self._trace = simulator.trace
+        # Fault-free deliveries push straight into the event queue.  The
+        # simulator's schedule wrappers only re-validate that each time is
+        # not in the past, and sampled delays are clamped to >= 1e-6 s —
+        # ``now + delay`` can never precede ``now`` — so the wrapper is
+        # pure per-wave overhead here.  Fault-layer copies keep going
+        # through :meth:`Simulator.schedule_raw`, which still validates.
+        self._push_raw = simulator._queue.push_raw
+        self._push_batch = simulator._queue.push_batch
         self.discovery = DiscoveryService()
         self._members: dict[int, NetworkMember] = {}
+        #: Display names resolved once at registration — the fault and
+        #: trace paths need them per message, and recomputing the
+        #: getattr/format fallback per send was measurable.
+        self._names: dict[int, str] = {}
         self._links: set[tuple[int, int]] = set()
         self.messages_sent = 0
         self.bytes_sent = 0
@@ -168,11 +305,12 @@ class Network:
         if member.node_id in self._members:
             raise ConfigurationError(f"node {member.node_id!r} already on network")
         self._members[member.node_id] = member
+        self._names[member.node_id] = _member_name(member, member.node_id)
         self.discovery.register(member.node_id, member)
         if self._trace.enabled:
             self._trace.node_registered(
                 time=self.simulator.now,
-                node=_member_name(member, member.node_id),
+                node=self._names[member.node_id],
                 node_id=member.node_id,
                 region=member.region.value,
             )
@@ -258,38 +396,242 @@ class Network:
         delay = self.latency.delay(sender.region, recipient.region, size)
         self.messages_sent += 1
         self.bytes_sent += size
+        simulator = self.simulator
         if self.faults is None:
-            self.simulator.call_later(
-                delay, DeliveryEvent(self, key, sender_id, recipient_id, message)
+            self._push_raw(
+                simulator.now + delay,
+                DeliveryEvent(self, key, sender_id, recipient_id, recipient, message),
             )
         else:
             # Fault layer installed: it decides drop / duplicate / extra
             # delay per surviving copy (partitions drop deterministically,
             # probabilistic faults draw only from the faults.links stream).
+            names = self._names
             for copy_delay in self.faults.route(
                 message.kind,
-                _member_name(sender, sender_id),
-                _member_name(recipient, recipient_id),
+                names[sender_id],
+                names[recipient_id],
                 sender.region.value,
                 recipient.region.value,
                 delay,
             ):
-                self.simulator.call_later(
-                    copy_delay,
-                    DeliveryEvent(self, key, sender_id, recipient_id, message),
+                simulator.schedule_raw(
+                    simulator.now + copy_delay,
+                    DeliveryEvent(
+                        self, key, sender_id, recipient_id, recipient, message
+                    ),
                 )
         if self._trace.enabled:
-            transactions = getattr(message, "transactions", None)
-            self._trace.gossip_send(
-                time=self.simulator.now,
-                kind=message.kind,
-                sender=_member_name(sender, sender_id),
-                recipient=_member_name(recipient, recipient_id),
-                sender_region=sender.region.value,
-                recipient_region=recipient.region.value,
-                size=size,
-                latency=delay,
-                block_hash=_message_block_hash(message),
-                tx_count=len(transactions) if transactions is not None else 0,
-            )
+            self._record_send(sender_id, recipient_id, message, size, delay)
         return delay
+
+    def send_many(
+        self, sender_id: int, recipient_ids: Sequence[int], message: Message
+    ) -> list[float]:
+        """Route one ``message`` to every recipient in a single wave.
+
+        Behaviourally identical to calling :meth:`send` once per
+        recipient in order — same RNG draw order, same delays, same
+        counters, same trace records, same fault decisions — but the
+        delays come from one vectorized draw and the fault-free path
+        schedules the whole wave against one pooled
+        :class:`BatchDeliveryEvent`.  The wave takes ownership of
+        ``recipient_ids`` (callers hand over freshly built lists; do not
+        mutate afterwards).  Returns the per-recipient delays.
+        """
+        count = len(recipient_ids)
+        if count == 0:
+            return []
+        if count == 1:
+            return [self.send(sender_id, recipient_ids[0], message)]
+        links = self._links
+        members = self._members
+        sender = members[sender_id]
+        link_keys: list[tuple[int, int]] = []
+        recipients: list[NetworkMember] = []
+        for recipient_id in recipient_ids:
+            key = (
+                (sender_id, recipient_id)
+                if sender_id < recipient_id
+                else (recipient_id, sender_id)
+            )
+            if key not in links:
+                raise ConfigurationError(
+                    f"no connection between {sender_id!r} and {recipient_id!r}"
+                )
+            link_keys.append(key)
+            recipients.append(members[recipient_id])
+        size = message.size_bytes
+        delays = self.latency.delays(
+            sender.region, [member.region for member in recipients], size
+        )
+        self.messages_sent += count
+        self.bytes_sent += size * count
+        now = self.simulator.now
+        if self.faults is None:
+            batch = BatchDeliveryEvent(
+                self, sender_id, recipient_ids, recipients, link_keys, message
+            )
+            self._push_batch([now + delay for delay in delays], batch)
+        else:
+            self._route_faulted(
+                sender_id, recipient_ids, link_keys, [message] * count, delays
+            )
+        if self._trace.enabled:
+            for index, recipient_id in enumerate(recipient_ids):
+                self._record_send(
+                    sender_id, recipient_id, message, size, delays[index]
+                )
+        return delays
+
+    def send_each(
+        self,
+        sender_id: int,
+        recipient_ids: Sequence[int],
+        messages: Sequence[Message],
+    ) -> list[float]:
+        """Route a distinct message to each recipient in a single wave.
+
+        ``messages[i]`` goes to ``recipient_ids[i]``; serialisation
+        delays honour each message's own size.  Equivalent to the scalar
+        :meth:`send` loop, like :meth:`send_many`, and takes ownership of
+        ``recipient_ids`` / ``messages`` the same way.  Returns the
+        per-recipient delays.
+        """
+        count = len(recipient_ids)
+        if count == 0:
+            return []
+        if count == 1:
+            return [self.send(sender_id, recipient_ids[0], messages[0])]
+        links = self._links
+        members = self._members
+        sender = members[sender_id]
+        link_keys: list[tuple[int, int]] = []
+        recipients: list[NetworkMember] = []
+        for recipient_id in recipient_ids:
+            key = (
+                (sender_id, recipient_id)
+                if sender_id < recipient_id
+                else (recipient_id, sender_id)
+            )
+            if key not in links:
+                raise ConfigurationError(
+                    f"no connection between {sender_id!r} and {recipient_id!r}"
+                )
+            link_keys.append(key)
+            recipients.append(members[recipient_id])
+        sizes = [message.size_bytes for message in messages]
+        delays = self.latency.delays(
+            sender.region, [member.region for member in recipients], sizes
+        )
+        self.messages_sent += count
+        self.bytes_sent += sum(sizes)
+        now = self.simulator.now
+        if self.faults is None:
+            batch = EachDeliveryEvent(
+                self, sender_id, recipient_ids, recipients, link_keys, messages
+            )
+            self._push_batch([now + delay for delay in delays], batch)
+        else:
+            self._route_faulted(
+                sender_id, recipient_ids, link_keys, messages, delays
+            )
+        if self._trace.enabled:
+            for index, recipient_id in enumerate(recipient_ids):
+                self._record_send(
+                    sender_id,
+                    recipient_id,
+                    messages[index],
+                    sizes[index],
+                    delays[index],
+                )
+        return delays
+
+    def _route_faulted(
+        self,
+        sender_id: int,
+        recipient_ids: Sequence[int],
+        link_keys: list[tuple[int, int]],
+        messages: Sequence[Message],
+        delays: list[float],
+    ) -> None:
+        """Per-recipient fault routing for a wave (slow path).
+
+        Consults ``faults.route`` in recipient order with the
+        batch-sampled delays, so the ``faults.links`` stream sees exactly
+        the draws the scalar loop would make.
+        """
+        faults = self.faults
+        assert faults is not None
+        members = self._members
+        names = self._names
+        simulator = self.simulator
+        now = simulator.now
+        sender_name = names[sender_id]
+        sender_region = members[sender_id].region.value
+        for index, recipient_id in enumerate(recipient_ids):
+            message = messages[index]
+            recipient = members[recipient_id]
+            for copy_delay in faults.route(
+                message.kind,
+                sender_name,
+                names[recipient_id],
+                sender_region,
+                recipient.region.value,
+                delays[index],
+            ):
+                simulator.schedule_raw(
+                    now + copy_delay,
+                    DeliveryEvent(
+                        self,
+                        link_keys[index],
+                        sender_id,
+                        recipient_id,
+                        recipient,
+                        message,
+                    ),
+                )
+
+    # ------------------------------------------------------------------ #
+    # Trace emission
+    # ------------------------------------------------------------------ #
+
+    def _record_send(
+        self,
+        sender_id: int,
+        recipient_id: int,
+        message: Message,
+        size: int,
+        delay: float,
+    ) -> None:
+        members = self._members
+        names = self._names
+        transactions = getattr(message, "transactions", None)
+        self._trace.gossip_send(
+            time=self.simulator.now,
+            kind=message.kind,
+            sender=names.get(sender_id) or _member_name(members.get(sender_id), sender_id),
+            recipient=names.get(recipient_id)
+            or _member_name(members.get(recipient_id), recipient_id),
+            sender_region=members[sender_id].region.value,
+            recipient_region=members[recipient_id].region.value,
+            size=size,
+            latency=delay,
+            block_hash=_message_block_hash(message),
+            tx_count=len(transactions) if transactions is not None else 0,
+        )
+
+    def _record_drop(
+        self, sender_id: int, recipient_id: int, message: Message
+    ) -> None:
+        members = self._members
+        names = self._names
+        self._trace.delivery_dropped(
+            time=self.simulator.now,
+            kind=message.kind,
+            sender=names.get(sender_id)
+            or _member_name(members.get(sender_id), sender_id),
+            recipient=names.get(recipient_id)
+            or _member_name(members.get(recipient_id), recipient_id),
+            block_hash=_message_block_hash(message),
+        )

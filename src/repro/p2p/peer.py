@@ -22,25 +22,29 @@ class KnownCache:
     """A bounded set with FIFO eviction.
 
     Backed by a plain insertion-ordered dict: membership tests on these
-    caches are one of the hottest operations in a gossip-heavy run.
+    caches are one of the hottest operations in a gossip-heavy run.  Hot
+    loops may bind :attr:`items` directly and probe it with ``in`` (a
+    pure C dict lookup, no method dispatch) — but must only *mutate*
+    through :meth:`add`, which enforces the capacity.
     """
 
-    __slots__ = ("capacity", "_items")
+    __slots__ = ("capacity", "items")
 
     def __init__(self, capacity: int) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity!r}")
         self.capacity = capacity
-        self._items: dict[str, None] = {}
+        #: The backing insertion-ordered dict; treat as read-only.
+        self.items: dict[str, None] = {}
 
     def __contains__(self, item: str) -> bool:
-        return item in self._items
+        return item in self.items
 
     def __len__(self) -> int:
-        return len(self._items)
+        return len(self.items)
 
     def add(self, item: str) -> None:
-        items = self._items
+        items = self.items
         if item in items:
             return
         items[item] = None

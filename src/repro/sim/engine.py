@@ -6,6 +6,14 @@ registry.  Components schedule callbacks with :meth:`Simulator.schedule`
 engine drives them in deterministic order until a time horizon or event
 budget is exhausted.
 
+Hot senders bypass the :class:`~repro.sim.events.Event` handle entirely:
+:meth:`Simulator.schedule_raw` enqueues a pooled event-like object (one
+per message delivery) and :meth:`Simulator.schedule_batch` enqueues a
+whole gossip wave against a single shared batch record — see
+:mod:`repro.sim.events` for the entry layouts.  The run loops below
+operate directly on the heap so both layouts dispatch without an
+intermediate wrapper.
+
 Pass ``profile=True`` (or call :meth:`Simulator.enable_profiling`) to
 collect per-event-type counters, callback timings and the queue-depth
 high-water mark; read them back through :attr:`Simulator.metrics`.
@@ -19,8 +27,10 @@ ground-truth block-lifecycle and gossip events.
 
 from __future__ import annotations
 
+import math
 import time
-from typing import Callable, Optional
+from heapq import heappop
+from typing import Any, Callable, Optional, Sequence
 
 from repro.errors import SimulationError
 from repro.obs.recorder import TraceRecorder
@@ -108,6 +118,46 @@ class Simulator:
             raise SimulationError(f"delay must be non-negative, got {delay!r}")
         return self._queue.push(self.now + delay, callback, priority)
 
+    def schedule_raw(
+        self, time: float, event: Any, priority: int = DEFAULT_PRIORITY
+    ) -> None:
+        """Schedule a pooled event-like object at absolute ``time``.
+
+        ``event`` must expose ``cancelled`` (fixed ``False``) and a
+        zero-argument ``callback()`` method.  No :class:`Event` handle is
+        allocated, so the entry cannot be cancelled — this is the
+        fire-and-forget path for message deliveries.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at {time:.6f}s; current time is {self.now:.6f}s"
+            )
+        self._queue.push_raw(time, event, priority)
+
+    def schedule_batch(
+        self,
+        times: Sequence[float],
+        batch: Any,
+        priority: int = DEFAULT_PRIORITY,
+    ) -> None:
+        """Schedule a whole wave against one shared ``batch`` record.
+
+        Entry ``i`` fires ``batch.fire(i)`` at ``times[i]``; sequence
+        numbers are assigned in index order, so the wave fires exactly as
+        the equivalent scalar :meth:`schedule_raw` loop would.  ``times``
+        must hold plain Python floats (``ndarray.tolist()`` them first):
+        numpy scalars would slow every heap comparison for the entry's
+        whole queue lifetime.
+        """
+        if times:
+            earliest = min(times)
+            if earliest < self.now:
+                raise SimulationError(
+                    f"cannot schedule event at {earliest:.6f}s; "
+                    f"current time is {self.now:.6f}s"
+                )
+        self._queue.push_batch(times, batch, priority)
+
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
@@ -154,63 +204,98 @@ class Simulator:
             self.now = until
 
     def _run_fast(self, until: Optional[float], max_events: Optional[int]) -> bool:
-        """Tight event loop (profiling off); returns True on natural drain."""
+        """Tight event loop (profiling off); returns True on natural drain.
+
+        Operates directly on the queue's heap: one ``heappop`` per entry,
+        no handle indirection.  Batch entries (arity 5) dispatch through
+        ``batch.fire(index)``; everything else through ``callback()``.
+        The heap list is bound once — the queue only ever mutates it in
+        place, including compaction.
+        """
         queue = self._queue
+        heap = queue._heap
+        horizon = math.inf if until is None else until
+        budget = math.inf if max_events is None else max_events
         fired = 0
-        while True:
-            if self._stopped:
-                return False
-            if max_events is not None and fired >= max_events:
-                self.budget_exhausted = True
-                return False
-            next_time = queue.peek_time()
-            if next_time is None:
-                return True
-            if until is not None and next_time > until:
-                self.now = until
-                return False
-            event = queue.pop()
-            if event is None:  # races only with cancel(); keep looping
-                continue
-            self.now = event.time
-            event.callback()
-            fired += 1
-            self.events_processed += 1
+        # `events_processed` is only read between runs (metrics, reports),
+        # so the counter accumulates in a local and lands in one store —
+        # the per-event attribute load/store pair was measurable.
+        try:
+            while True:
+                if self._stopped:
+                    return False
+                if fired >= budget:
+                    self.budget_exhausted = True
+                    return False
+                if not heap:
+                    return True
+                entry = heap[0]
+                event_time = entry[0]
+                if event_time > horizon:
+                    self.now = horizon
+                    return False
+                heappop(heap)
+                obj = entry[3]
+                if obj.cancelled:
+                    queue._cancelled -= 1
+                    continue
+                self.now = event_time
+                if len(entry) == 5:
+                    obj.fire(entry[4])
+                else:
+                    obj.callback()
+                fired += 1
+        finally:
+            self.events_processed += fired
 
     def _run_profiled(
         self, until: Optional[float], max_events: Optional[int]
     ) -> bool:
         """Instrumented event loop; same semantics as :meth:`_run_fast`."""
         queue = self._queue
+        heap = queue._heap
         profile = self.profile
         assert profile is not None
         counts = profile.event_counts
         seconds = profile.event_seconds
+        horizon = math.inf if until is None else until
+        budget = math.inf if max_events is None else max_events
         fired = 0
         while True:
             if self._stopped:
                 return False
-            if max_events is not None and fired >= max_events:
+            if fired >= budget:
                 self.budget_exhausted = True
                 return False
-            depth = len(queue)
+            depth = len(heap)
             if depth > profile.queue_high_water:
                 profile.queue_high_water = depth
-            next_time = queue.peek_time()
-            if next_time is None:
+            if not heap:
                 return True
-            if until is not None and next_time > until:
-                self.now = until
+            entry = heap[0]
+            event_time = entry[0]
+            if event_time > horizon:
+                self.now = horizon
                 return False
-            event = queue.pop()
-            if event is None:
+            heappop(heap)
+            obj = entry[3]
+            if obj.cancelled:
+                queue._cancelled -= 1
                 continue
-            self.now = event.time
-            callback = event.callback
-            label = event_label(callback)
-            t0 = time.perf_counter()
-            callback()
-            elapsed = time.perf_counter() - t0
+            self.now = event_time
+            if len(entry) == 5:
+                label = obj.profile_label
+                t0 = time.perf_counter()
+                obj.fire(entry[4])
+                elapsed = time.perf_counter() - t0
+            else:
+                callback = obj.callback
+                label = getattr(obj, "profile_label", None)
+                if label is None:
+                    label = event_label(callback)
+                t0 = time.perf_counter()
+                callback()
+                elapsed = time.perf_counter() - t0
             counts[label] = counts.get(label, 0) + 1
             seconds[label] = seconds.get(label, 0.0) + elapsed
             fired += 1
@@ -222,8 +307,8 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return len(self._queue)
+        """Number of *live* events still queued (cancelled ones excluded)."""
+        return self._queue.live_count
 
     @property
     def metrics(self) -> SimMetrics:

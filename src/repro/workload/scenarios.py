@@ -9,7 +9,7 @@ transaction workload.  Measurement vantages are layered on top by
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 import numpy as np
@@ -29,6 +29,7 @@ from repro.node.miner import MAINNET_INTER_BLOCK_TIME, MiningCoordinator
 from repro.node.node import ProtocolNode
 from repro.node.pool import MiningPool, PoolSpec
 from repro.obs.snapshot import DEFAULT_SNAPSHOT_PERIOD, MetricsSnapshotter
+from repro.p2p.degrees import DegreeDistribution
 from repro.p2p.network import Network
 from repro.sim.engine import Simulator
 from repro.workload.mainnet import mainnet_pool_specs
@@ -56,6 +57,13 @@ class ScenarioConfig:
         n_nodes: Regular (non-gateway) node count.
         node_distribution: Geographic distribution of regular nodes.
         node_config: Configuration of regular nodes.
+        degrees: Optional peer-degree distribution.  When set, each
+            regular node's ``max_peers`` (and a proportional
+            ``target_outbound``) is sampled from it — one draw per node
+            from the ``scenario.degrees`` stream — giving the mesh the
+            heavy-tailed degree shape measured on the real overlay.
+            ``None`` (the default) keeps the homogeneous ``node_config``
+            caps and builds byte-identically to earlier versions.
         pool_specs: Mining pools; defaults to the April-2019 calibration.
         inter_block_time: Network-wide mean block interval in seconds.
         gas_limit: Block gas limit (scaled down by default, see
@@ -86,6 +94,7 @@ class ScenarioConfig:
     n_nodes: int = 60
     node_distribution: tuple[RegionProfile, ...] = DEFAULT_NODE_DISTRIBUTION
     node_config: NodeConfig = field(default_factory=NodeConfig)
+    degrees: Optional[DegreeDistribution] = None
     pool_specs: tuple[PoolSpec, ...] = field(default_factory=mainnet_pool_specs)
     inter_block_time: float = MAINNET_INTER_BLOCK_TIME
     gas_limit: int = SCALED_GAS_LIMIT
@@ -216,12 +225,27 @@ def build_scenario(config: ScenarioConfig | None = None) -> Scenario:
         latency=LatencyModel(simulator.rng.stream("network.latency"), cfg.latency),
     )
     placement_rng = simulator.rng.stream("scenario.placement")
+    regions = _sample_regions(cfg.node_distribution, cfg.n_nodes, placement_rng)
+
+    if cfg.degrees is None:
+        node_configs = [cfg.node_config] * cfg.n_nodes
+    else:
+        # Heterogeneous caps: one draw per node, in node-index order, from
+        # a stream touched only when a degree distribution is configured —
+        # existing homogeneous presets build byte-identically.
+        degree_rng = simulator.rng.stream("scenario.degrees")
+        node_configs = [
+            replace(
+                cfg.node_config,
+                max_peers=degree,
+                target_outbound=max(2, degree // 2),
+            )
+            for degree in cfg.degrees.sample(cfg.n_nodes, degree_rng)
+        ]
 
     regular_nodes = [
-        ProtocolNode(network, region, config=cfg.node_config, name=f"reg-{index:04d}")
-        for index, region in enumerate(
-            _sample_regions(cfg.node_distribution, cfg.n_nodes, placement_rng)
-        )
+        ProtocolNode(network, region, config=node_configs[index], name=f"reg-{index:04d}")
+        for index, region in enumerate(regions)
     ]
 
     pools: list[MiningPool] = []

@@ -95,3 +95,49 @@ def test_node_for_unknown_raises():
 def test_all_ids_lists_registered():
     service, ids = _service(4)
     assert sorted(service.all_ids()) == ids
+
+
+def test_lookup_matches_brute_force_on_random_ids():
+    """The trie walk is exactly the sorted-by-distance order.
+
+    Identifiers are unique, so XOR distances to any target are unique and
+    the nearest-k set/order is unambiguous — the fast path must reproduce
+    it bit for bit (peer sampling draws depend on it).
+    """
+    rng = np.random.default_rng(11)
+    from repro.p2p.node_id import random_node_id
+
+    service = DiscoveryService()
+    ids = [random_node_id(rng) for _ in range(257)]
+    for node_id in ids:
+        service.register(node_id, object())
+    for trial in range(50):
+        target = random_node_id(rng) if trial % 2 else ids[trial]
+        for k in (1, 3, 16, 257, 300):
+            for exclude in (None, ids[trial]):
+                expected = sorted(
+                    (i for i in ids if i != exclude),
+                    key=lambda i: xor_distance(i, target),
+                )[:k]
+                assert service.lookup(target, k=k, exclude=exclude) == expected
+
+
+def test_lookup_tracks_churn():
+    """Register/unregister after a lookup invalidates the sorted index."""
+    service, ids = _service(32)
+    target = 21
+    before = service.lookup(target, k=32)
+    service.unregister(ids[3])
+    service.register(1000, object())
+    after = service.lookup(target, k=40)
+    assert ids[3] not in after
+    assert 1000 in after
+    assert len(after) == 32
+    remaining = [i for i in ids if i != ids[3]] + [1000]
+    assert after == sorted(remaining, key=lambda i: xor_distance(i, target))
+    assert before != after
+
+
+def test_lookup_zero_k_is_empty():
+    service, _ = _service(4)
+    assert service.lookup(2, k=0) == []

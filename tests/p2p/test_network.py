@@ -7,7 +7,7 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.geo.latency import LatencyModel, LatencyModelConfig
 from repro.geo.regions import Region
-from repro.p2p.messages import Message, StatusMessage
+from repro.p2p.messages import Message, NewBlockHashesMessage, StatusMessage
 from repro.p2p.network import Network
 from repro.sim.engine import Simulator
 
@@ -142,3 +142,140 @@ def test_member_lookup(fabric):
     assert network.member(a.node_id) is a
     with pytest.raises(ConfigurationError):
         network.member(999)
+
+
+# --------------------------------------------------------------------- #
+# Batched waves (send_many / send_each)
+# --------------------------------------------------------------------- #
+
+_WAVE_REGIONS = (
+    Region.NORTH_AMERICA,
+    Region.EASTERN_ASIA,
+    Region.WESTERN_EUROPE,
+    Region.SOUTH_AMERICA,
+    Region.OCEANIA,
+    Region.CENTRAL_EUROPE,
+    Region.EASTERN_EUROPE,
+    Region.SOUTH_ASIA,
+    Region.NORTH_AMERICA,
+    Region.EASTERN_ASIA,
+)
+
+
+def _wave_world(n: int = 10, jitter: float = 0.35):
+    """A hub node connected to ``n`` spokes, jitter enabled."""
+    simulator = Simulator(seed=123)
+    latency = LatencyModel(
+        simulator.rng.stream("latency"), LatencyModelConfig(jitter_sigma=jitter)
+    )
+    network = Network(simulator, latency)
+    hub = StubNode(100)
+    network.register(hub)
+    spokes = [StubNode(i, _WAVE_REGIONS[i % len(_WAVE_REGIONS)]) for i in range(n)]
+    for spoke in spokes:
+        network.register(spoke)
+        network.connect(hub.node_id, spoke.node_id)
+    return simulator, network, hub, spokes
+
+
+def test_send_many_matches_scalar_sends_exactly():
+    """One wave draws the same delays as a scalar send loop.
+
+    Both worlds share a seed, so the jitter stream starts identically;
+    batched sampling must consume it in scalar order and produce
+    bit-identical delays — that is what keeps pinned runs stable.
+    """
+    message = StatusMessage("0xh", 1.0, 0)
+    _, net_a, hub_a, spokes_a = _wave_world()
+    scalar = [net_a.send(hub_a.node_id, s.node_id, message) for s in spokes_a]
+    _, net_b, hub_b, spokes_b = _wave_world()
+    batched = net_b.send_many(
+        hub_b.node_id, [s.node_id for s in spokes_b], message
+    )
+    assert batched == scalar
+    assert net_b.messages_sent == net_a.messages_sent
+    assert net_b.bytes_sent == net_a.bytes_sent
+
+
+def test_send_many_delivers_like_scalar_sends():
+    message = StatusMessage("0xh", 1.0, 0)
+    sim_a, net_a, hub_a, spokes_a = _wave_world()
+    for s in spokes_a:
+        net_a.send(hub_a.node_id, s.node_id, message)
+    sim_a.run()
+    sim_b, net_b, hub_b, spokes_b = _wave_world()
+    net_b.send_many(hub_b.node_id, [s.node_id for s in spokes_b], message)
+    sim_b.run()
+    assert sim_b.now == sim_a.now
+    assert sim_b.events_processed == sim_a.events_processed
+    for sa, sb in zip(spokes_a, spokes_b):
+        assert sb.inbox == [(hub_a.node_id, message)]
+        assert sb.inbox == sa.inbox
+
+
+def test_send_each_honours_per_message_sizes():
+    """Each recipient's delay reflects its own payload size."""
+    sim, net, hub, spokes = _wave_world(n=2, jitter=0.0)
+    small = StatusMessage("0xh", 1.0, 0)
+    # NewBlockHashes with many entries is much larger than Status.
+    big = NewBlockHashesMessage(tuple((f"0x{i}", i) for i in range(200)))
+    ids = [s.node_id for s in spokes]
+    delays = net.send_each(hub.node_id, ids, [small, big])
+    assert delays[1] > delays[0]
+    sim.run()
+    assert spokes[0].inbox == [(hub.node_id, small)]
+    assert spokes[1].inbox == [(hub.node_id, big)]
+    assert net.bytes_sent == small.size_bytes + big.size_bytes
+
+
+def test_send_each_matches_scalar_sends_exactly():
+    messages = [
+        NewBlockHashesMessage(tuple((f"0x{i}", i) for i in range(count)))
+        for count in (1, 40, 3, 17, 9, 2, 55, 4, 21, 8)
+    ]
+    _, net_a, hub_a, spokes_a = _wave_world()
+    scalar = [
+        net_a.send(hub_a.node_id, s.node_id, m)
+        for s, m in zip(spokes_a, messages)
+    ]
+    _, net_b, hub_b, spokes_b = _wave_world()
+    batched = net_b.send_each(
+        hub_b.node_id, [s.node_id for s in spokes_b], messages
+    )
+    assert batched == scalar
+    assert net_b.bytes_sent == net_a.bytes_sent
+
+
+def test_send_many_single_recipient_falls_back_to_send():
+    sim, net, hub, spokes = _wave_world(n=3)
+    message = StatusMessage("0xh", 1.0, 0)
+    delays = net.send_many(hub.node_id, [spokes[0].node_id], message)
+    assert len(delays) == 1
+    sim.run()
+    assert spokes[0].inbox == [(hub.node_id, message)]
+    assert spokes[1].inbox == []
+
+
+def test_send_many_empty_wave_is_noop():
+    sim, net, hub, _ = _wave_world(n=2)
+    assert net.send_many(hub.node_id, [], StatusMessage("0xh", 1.0, 0)) == []
+    assert net.messages_sent == 0
+    assert sim.pending_events == 0
+
+
+def test_send_many_requires_connections():
+    _, net, hub, _ = _wave_world(n=2)
+    with pytest.raises(ConfigurationError):
+        net.send_many(hub.node_id, [999, 1000], StatusMessage("0xh", 1.0, 0))
+
+
+def test_send_many_drops_on_torn_down_link():
+    """A wave entry whose link died in flight is dropped, like send()."""
+    sim, net, hub, spokes = _wave_world(n=4)
+    message = StatusMessage("0xh", 1.0, 0)
+    net.send_many(hub.node_id, [s.node_id for s in spokes], message)
+    net.disconnect(hub.node_id, spokes[1].node_id)
+    sim.run()
+    assert spokes[0].inbox == [(hub.node_id, message)]
+    assert spokes[1].inbox == []
+    assert spokes[2].inbox == [(hub.node_id, message)]

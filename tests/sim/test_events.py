@@ -5,7 +5,8 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim.events import DEFAULT_PRIORITY, EventQueue
+from repro.sim.engine import Simulator
+from repro.sim.events import COMPACT_MIN_HEAP, DEFAULT_PRIORITY, EventQueue
 
 
 def test_pop_returns_events_in_time_order():
@@ -104,3 +105,108 @@ def test_event_repr_mentions_state():
     assert "pending" in repr(event)
     event.cancel()
     assert "cancelled" in repr(event)
+
+
+# --------------------------------------------------------------------- #
+# Batched entries and cancelled-event compaction
+# --------------------------------------------------------------------- #
+
+
+class _Batch:
+    """Minimal batch record implementing the 5-tuple entry protocol."""
+
+    cancelled = False
+
+    def __init__(self, log: list, tag: str = "batch") -> None:
+        self.log = log
+        self.tag = tag
+
+    def fire(self, index: int) -> None:
+        self.log.append((self.tag, index))
+
+
+def test_schedule_batch_fires_in_time_order():
+    sim = Simulator()
+    log: list = []
+    sim.schedule_batch([3.0, 1.0, 2.0], _Batch(log))
+    sim.run()
+    assert log == [("batch", 1), ("batch", 2), ("batch", 0)]
+    assert sim.events_processed == 3
+    assert sim.now == 3.0
+
+
+def test_schedule_batch_ties_fire_in_index_order():
+    sim = Simulator()
+    log: list = []
+    sim.schedule_batch([1.0] * 5, _Batch(log))
+    sim.run()
+    assert log == [("batch", i) for i in range(5)]
+
+
+def test_schedule_batch_interleaves_with_scalar_events():
+    """Sequence numbers are global: a wave scheduled before a scalar event
+    at the same time fires first, and vice versa."""
+    sim = Simulator()
+    log: list = []
+    sim.schedule(1.0, lambda: log.append("scalar-first"))
+    sim.schedule_batch([1.0, 1.0], _Batch(log))
+    sim.schedule(1.0, lambda: log.append("scalar-last"))
+    sim.run()
+    assert log == ["scalar-first", ("batch", 0), ("batch", 1), "scalar-last"]
+
+
+def test_schedule_batch_rejects_past_times():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_batch([2.0, 0.5], _Batch([]))
+
+
+def test_push_batch_empty_is_noop():
+    queue = EventQueue()
+    queue.push_batch([], _Batch([]))
+    assert len(queue) == 0
+
+
+def test_live_count_excludes_cancelled():
+    queue = EventQueue()
+    handle = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    assert queue.live_count == 2
+    handle.cancel()
+    assert queue.live_count == 1
+    assert len(queue) == 2  # raw heap size still includes the corpse
+
+
+def test_compaction_reclaims_cancelled_majority():
+    """Once cancelled entries dominate a large heap, a push compacts it."""
+    queue = EventQueue()
+    keep = [queue.push(float(i), lambda: None) for i in range(COMPACT_MIN_HEAP)]
+    doomed = [
+        queue.push(1000.0 + i, lambda: None) for i in range(COMPACT_MIN_HEAP + 2)
+    ]
+    for handle in doomed:
+        handle.cancel()
+    assert len(queue) == 2 * COMPACT_MIN_HEAP + 2
+    queue.push(5000.0, lambda: None)
+    # The cancelled majority is gone; only live entries remain.
+    assert len(queue) == COMPACT_MIN_HEAP + 1
+    assert queue.live_count == COMPACT_MIN_HEAP + 1
+    # And the survivors still drain in time order.
+    times = []
+    while (event := queue.pop()) is not None:
+        times.append(event.time)
+    assert times == sorted(times)
+    assert len(times) == COMPACT_MIN_HEAP + 1
+    assert len(keep) == COMPACT_MIN_HEAP
+
+
+def test_small_heaps_are_never_compacted():
+    """Below the size floor, lazy removal is observable via len()."""
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    first.cancel()
+    queue.push(3.0, lambda: None)
+    assert len(queue) == 3
