@@ -1,0 +1,45 @@
+"""Whole-program lint runtime bench.
+
+The v2 cross-module pass (symbol table, call graph, dataflow summaries,
+STR/OBS1xx/PERF rule families) runs on every CI push over all of
+``src/repro``; it is only viable as a gate if it stays interactive.
+DESIGN.md §5d budgets the full pass at **under 10 seconds** — asserted
+here as a hard bound, with the measured wall time published to
+``benchtrack`` (gated ``lower``: a >30% slowdown vs the committed
+baseline fails the bench job before the lint job becomes a drag).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.devtools.lint import LintConfig, lint_paths
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+_LINT_TARGET = _REPO_ROOT / "src" / "repro"
+_LINT_BUDGET_SECONDS = 10.0
+
+
+def _lint_tree():
+    report = lint_paths([_LINT_TARGET], LintConfig(strict=True))
+    assert report.internal_errors == [], report.internal_errors
+    assert report.parse_errors == [], report.parse_errors
+    return report
+
+
+def test_whole_program_lint_runtime(benchmark):
+    """Full strict lint of src/repro — every rule family, one process."""
+    report = benchmark.pedantic(_lint_tree, rounds=3, iterations=1)
+    elapsed = benchmark.stats.stats.max
+    assert elapsed < _LINT_BUDGET_SECONDS, (
+        f"whole-program lint took {elapsed:.1f}s "
+        f"(budget {_LINT_BUDGET_SECONDS:.0f}s)"
+    )
+    project = report.project
+    assert project is not None
+    benchmark.extra_info["lint_seconds"] = float(benchmark.stats.stats.mean)
+    benchmark.extra_info["files_checked"] = float(report.files_checked)
+    benchmark.extra_info["graph_functions"] = float(
+        len(project.index.functions)
+    )
+    benchmark.extra_info["graph_edges"] = float(project.graph.edge_count)

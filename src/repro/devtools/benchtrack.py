@@ -50,6 +50,7 @@ GATES: tuple[tuple[str, str, str], ...] = (
     ("test_parallel_sweep_speedup", "speedup", "higher"),
     ("test_tracing_noop_overhead", "plain_events_per_second", "higher"),
     ("test_tracing_noop_overhead", "traced_events_per_second", "higher"),
+    ("test_whole_program_lint_runtime", "lint_seconds", "lower"),
 )
 
 #: Absolute floor gates: ``(bench, metric, floor, guard_key, guard_min)``.

@@ -5,18 +5,21 @@ interprets the parsed namespace.  ``repro.cli`` mounts these on its
 ``lint`` subcommand so both entry points stay in lockstep.
 
 Exit codes: 0 clean, 1 findings (or strict-mode hygiene failures),
-2 usage errors (missing path, corrupt baseline).
+2 usage or analyzer-internal errors (missing path, corrupt baseline,
+unparseable source file, crashed rule).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.devtools.lint.baseline import Baseline
 from repro.devtools.lint.config import LintConfig
+from repro.devtools.lint.graph.export import render_graph
 from repro.devtools.lint.registry import FRAMEWORK_RULES, all_rules
 from repro.devtools.lint.reporters import render_json, render_text
 from repro.devtools.lint.runner import lint_paths
@@ -66,6 +69,14 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="describe every rule and exit",
     )
+    parser.add_argument(
+        "--graph-out",
+        type=Path,
+        default=None,
+        metavar="GRAPH_JSON",
+        help="export the whole-program call graph + summaries "
+        "(versioned JSON) to this path",
+    )
 
 
 def _list_rules() -> int:
@@ -103,6 +114,21 @@ def execute(args: argparse.Namespace) -> int:
         return 2
     except ValueError as error:  # corrupt baseline
         print(f"repro lint: {error}", file=sys.stderr)
+        return 2
+    if args.graph_out is not None and report.project is not None:
+        args.graph_out.write_text(
+            json.dumps(render_graph(report.project), indent=2, sort_keys=True)
+            + "\n",
+            encoding="utf-8",
+        )
+        print(f"call graph written to {args.graph_out}", file=sys.stderr)
+    if report.parse_errors or report.internal_errors:
+        # Analyzer-internal failure: report the offending paths and exit
+        # 2 so CI distinguishes "lint found problems" from "lint broke".
+        for error in report.parse_errors:
+            print(f"repro lint: parse error: {error}", file=sys.stderr)
+        for error in report.internal_errors:
+            print(f"repro lint: internal error: {error}", file=sys.stderr)
         return 2
     if args.update_baseline:
         Baseline.from_findings(report.findings + report.baselined).save(

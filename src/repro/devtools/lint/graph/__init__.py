@@ -1,0 +1,57 @@
+"""Whole-program analysis for the lint pass (`repro lint` v2).
+
+The per-file rules (DET/SIM/API/OBS001/FLT001) see one
+:class:`~repro.devtools.lint.context.ModuleContext` at a time; the rule
+families introduced with this package (STR0xx stream provenance, OBS1xx
+hook purity, PERF0xx hot-path hygiene) need to see *across* call
+boundaries.  This package supplies the shared machinery:
+
+* :mod:`symbols` — project symbol table: every module, class, function
+  and method in the linted tree, with import resolution and a
+  flow-insensitive receiver-type index (the ``settypes.py`` philosophy
+  scaled from "is this a set?" to "which class is this?");
+* :mod:`callgraph` — call-edge extraction over the symbol table, with
+  cold-edge tagging (calls behind ``trace.enabled`` guards or inside
+  ``raise`` error paths);
+* :mod:`dataflow` — per-function effect summaries (draws RNG, schedules
+  events, allocates closures, formats strings) closed transitively over
+  the call graph, plus RNG stream-provenance propagation;
+* :mod:`project` — :class:`ProjectContext`, the lazily built bundle the
+  runner hands to every project rule;
+* :mod:`export` — the versioned ``--graph-out`` JSON schema.
+
+Analysis limits (also documented in DESIGN.md §5d): resolution is
+static and best-effort.  Dynamic dispatch through heap-stored objects
+(the engine's ``entry[3].callback()``), ``getattr`` access, and
+receivers whose type never appears in an annotation or constructor
+assignment produce *no* call edge — the analyzer never guesses.  The
+rules built on top are therefore tuned so that a missing edge can only
+hide a finding, never invent one.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.lint.graph.callgraph import CallEdge, CallGraph
+from repro.devtools.lint.graph.dataflow import FunctionSummary, SummaryIndex
+from repro.devtools.lint.graph.export import GRAPH_SCHEMA_VERSION, render_graph
+from repro.devtools.lint.graph.project import ProjectContext
+from repro.devtools.lint.graph.symbols import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleSymbols,
+    ProjectIndex,
+)
+
+__all__ = [
+    "CallEdge",
+    "CallGraph",
+    "ClassInfo",
+    "FunctionInfo",
+    "FunctionSummary",
+    "GRAPH_SCHEMA_VERSION",
+    "ModuleSymbols",
+    "ProjectContext",
+    "ProjectIndex",
+    "SummaryIndex",
+    "render_graph",
+]

@@ -1,0 +1,643 @@
+"""Call-edge extraction and per-function local facts.
+
+One visitor pass per function computes everything the interprocedural
+rules need locally, sharing a single receiver-type environment:
+
+* resolved call edges (module functions, methods through receiver
+  types, ``self`` dispatch through the project-visible MRO,
+  constructors), each tagged *guarded* when it sits behind a
+  trace-enabled check or inside an error path;
+* effect sites: RNG draws, stream requests, registry draws, event
+  scheduling, closure construction, string formatting, scalar sends
+  and container allocations inside loops, RNG values stored into
+  provenance-erasing containers;
+* RNG argument bindings: which stream families (or caller parameters)
+  flow into each rng-typed parameter at each call site — the raw
+  material for the STR0xx fixpoint.
+
+Resolution is deliberately conservative: a call whose receiver type is
+unknown produces no edge and is counted in ``dynamic_calls``.  The
+engine's heap dispatch (``entry[3].callback()``) is the canonical
+example — the analyzer stops at the heap boundary instead of guessing.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.devtools.lint.graph.symbols import (
+    GENERATOR_TYPE,
+    ClassInfo,
+    FunctionInfo,
+    ProjectIndex,
+    annotation_text,
+    is_stream_call,
+    stream_family,
+    stream_namespace,
+)
+
+#: Scheduling entry points by bare name.  These names are unique to the
+#: engine/queue layer in this codebase, so a name match is meaningful
+#: even when the receiver type cannot be resolved (e.g. bound-method
+#: aliases like ``self._push_batch``).
+_SCHEDULE_NAMES = frozenset(
+    {"schedule", "call_later", "schedule_raw", "schedule_batch", "push_raw", "push_batch"}
+)
+
+#: ``push`` is too generic for a bare-name match; require a queue-typed
+#: or queue-named receiver.
+_QUEUE_PUSH = "push"
+
+#: Methods that are registry *operations*, not draws.
+_REGISTRY_OPS = frozenset({"stream", "fork"})
+
+#: Receiver names treated as RNG generators when no type is known.
+def _rng_named(name: str) -> bool:
+    return name == "rng" or name == "_rng" or name.endswith("_rng")
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """One resolved call site.
+
+    Attributes:
+        caller: Qualname of the calling function.
+        callee: Qualname of the resolved callee.
+        lineno: 1-indexed line of the call.
+        guarded: True when the call sits behind a ``...enabled`` check
+            or inside a ``raise``/``assert`` error path — cold edges the
+            PERF traversal skips.
+    """
+
+    caller: str
+    callee: str
+    lineno: int
+    guarded: bool
+
+
+@dataclass(frozen=True)
+class Site:
+    """One effect site inside a function body."""
+
+    lineno: int
+    col: int
+    detail: str = ""
+    guarded: bool = False
+
+
+@dataclass(frozen=True)
+class RngBinding:
+    """One rng-typed argument flowing into a callee parameter.
+
+    Attributes:
+        callee: Qualname of the called function.
+        param: Callee parameter name receiving the value.
+        families: Stream families known to flow here directly.
+        param_refs: Caller parameter names whose own (yet unknown)
+            families flow here — resolved by the dataflow fixpoint.
+        lineno: Call-site line.
+    """
+
+    callee: str
+    param: str
+    families: tuple[str, ...]
+    param_refs: tuple[str, ...]
+    lineno: int
+
+
+@dataclass
+class FunctionFacts:
+    """Local analysis results for one function."""
+
+    info: FunctionInfo
+    edges: list[CallEdge] = field(default_factory=list)
+    dynamic_calls: int = 0
+    rng_draws: list[Site] = field(default_factory=list)
+    stream_requests: list[Site] = field(default_factory=list)
+    registry_draws: list[Site] = field(default_factory=list)
+    schedules: list[Site] = field(default_factory=list)
+    closures: list[Site] = field(default_factory=list)
+    fstrings: list[Site] = field(default_factory=list)
+    scalar_sends_in_loop: list[Site] = field(default_factory=list)
+    allocs_in_loop: list[Site] = field(default_factory=list)
+    container_rng: list[Site] = field(default_factory=list)
+    rng_params: tuple[str, ...] = ()
+    rng_bindings: list[RngBinding] = field(default_factory=list)
+
+
+def _parameters(node: ast.FunctionDef | ast.AsyncFunctionDef) -> list[ast.arg]:
+    args = node.args
+    return [*args.posonlyargs, *args.args, *args.kwonlyargs]
+
+
+class _FunctionVisitor(ast.NodeVisitor):
+    """Single-pass extraction of :class:`FunctionFacts` for one function."""
+
+    def __init__(self, index: ProjectIndex, info: FunctionInfo) -> None:
+        self.index = index
+        self.info = info
+        self.module = info.module
+        self.facts = FunctionFacts(info=info)
+        self.enclosing_class: Optional[ClassInfo] = (
+            index.classes.get(info.class_qualname)
+            if info.class_qualname
+            else None
+        )
+        #: Local name -> type text (settypes.py doctrine: flow-insensitive,
+        #: annotation/constructor driven).
+        self.local_types: dict[str, Optional[str]] = {}
+        #: Local name -> stream families bound via `x = registry.stream(...)`.
+        self.local_streams: dict[str, tuple[str, ...]] = {}
+        self.rng_params: set[str] = set()
+        self._loop_depth = 0
+        self._guard_depth = 0
+        self._lambda_depth = 0
+        self._seed_parameter_types()
+        self._prebind_locals(info.node)
+
+    # ------------------------------------------------------------------ #
+    # Environment
+    # ------------------------------------------------------------------ #
+
+    def _seed_parameter_types(self) -> None:
+        params = _parameters(self.info.node)
+        for position, arg in enumerate(params):
+            text = annotation_text(arg.annotation)
+            if position == 0 and arg.arg == "self" and self.enclosing_class:
+                self.local_types["self"] = self.enclosing_class.qualname
+                continue
+            if text is not None:
+                self.local_types[arg.arg] = text
+            if self.index.is_generator_type(self.module, text) or (
+                text is None and _rng_named(arg.arg)
+            ):
+                self.rng_params.add(arg.arg)
+        self.facts.rng_params = tuple(
+            arg.arg for arg in params if arg.arg in self.rng_params
+        )
+
+    def _prebind_locals(self, node: ast.AST) -> None:
+        """Flow-insensitive binding pass (two sweeps for alias chains)."""
+        for _ in range(2):
+            for child in ast.walk(node):
+                if isinstance(child, ast.Assign) and len(child.targets) == 1:
+                    target = child.targets[0]
+                    if isinstance(target, ast.Name):
+                        self._bind_local(target.id, child.value)
+                elif isinstance(child, ast.AnnAssign) and isinstance(
+                    child.target, ast.Name
+                ):
+                    text = annotation_text(child.annotation)
+                    if text is not None:
+                        self.local_types.setdefault(child.target.id, text)
+
+    def _bind_local(self, name: str, value: ast.expr) -> None:
+        if is_stream_call(value):
+            assert isinstance(value, ast.Call)
+            namespace = stream_namespace(value)
+            family = stream_family(namespace) if namespace else "<dynamic>"
+            existing = self.local_streams.get(name, ())
+            if family not in existing:
+                self.local_streams[name] = existing + (family,)
+            self.local_types.setdefault(name, GENERATOR_TYPE)
+            return
+        if isinstance(value, ast.Call):
+            ctor = annotation_text(value.func)
+            if ctor is not None:
+                resolved = self.index.resolve_class(self.module, ctor)
+                if resolved is not None:
+                    self.local_types.setdefault(name, resolved.qualname)
+                    return
+                callee = self._resolve_callee_info(value)
+                if callee is not None:
+                    returns = annotation_text(callee.node.returns)
+                    if returns is not None:
+                        self.local_types.setdefault(name, returns)
+            return
+        inferred = self.typeof(value)
+        if inferred is not None:
+            self.local_types.setdefault(name, inferred)
+
+    def typeof(self, node: ast.expr) -> Optional[str]:
+        """Best-effort receiver type of ``node``, as a canonical tag.
+
+        Project classes resolve to their qualname; RNG generators to
+        :data:`GENERATOR_TYPE`; everything unknown to ``None``.
+        """
+        if isinstance(node, ast.Name):
+            text = self.local_types.get(node.id)
+            return self._canonical(text)
+        if isinstance(node, ast.Attribute):
+            base = self.typeof(node.value)
+            if base is not None and base in self.index.classes:
+                attr_text = self.index.attr_type(
+                    self.index.classes[base], node.attr
+                )
+                if attr_text is not None:
+                    owner = self.index.classes[base]
+                    return self._canonical(attr_text, module=owner.module)
+            return None
+        if isinstance(node, ast.Call):
+            if is_stream_call(node):
+                assert isinstance(node.func, ast.Attribute)
+                if node.func.attr == "fork":
+                    return self._canonical("RngRegistry")
+                return GENERATOR_TYPE
+            callee = self._resolve_callee_info(node)
+            if callee is not None:
+                return self._canonical(
+                    annotation_text(callee.node.returns), module=callee.module
+                )
+        return None
+
+    def _canonical(
+        self, text: Optional[str], module: Optional[str] = None
+    ) -> Optional[str]:
+        if text is None:
+            return None
+        module = module or self.module
+        if self.index.is_generator_type(module, text):
+            return GENERATOR_TYPE
+        if text in self.index.classes:
+            return text
+        resolved = self.index.resolve_class(module, text)
+        if resolved is not None:
+            return resolved.qualname
+        return text
+
+    # ------------------------------------------------------------------ #
+    # Guards and loops
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _is_cold_guard(test: ast.expr) -> bool:
+        """True for ``if <...>.enabled``-style tracing guards."""
+        for node in ast.walk(test):
+            if isinstance(node, ast.Attribute) and node.attr == "enabled":
+                return True
+        return False
+
+    def visit_If(self, node: ast.If) -> None:
+        self.visit(node.test)
+        cold = self._is_cold_guard(node.test)
+        if cold:
+            self._guard_depth += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        if cold:
+            self._guard_depth -= 1
+        for stmt in node.orelse:
+            self.visit(stmt)
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        self._guard_depth += 1
+        self.generic_visit(node)
+        self._guard_depth -= 1
+
+    def visit_Assert(self, node: ast.Assert) -> None:
+        self._guard_depth += 1
+        self.generic_visit(node)
+        self._guard_depth -= 1
+
+    def _visit_loop(self, node: ast.For | ast.While) -> None:
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    visit_For = _visit_loop
+    visit_While = _visit_loop
+
+    # ------------------------------------------------------------------ #
+    # Effect sites
+    # ------------------------------------------------------------------ #
+
+    def _site(self, node: ast.AST, detail: str = "") -> Site:
+        return Site(
+            lineno=getattr(node, "lineno", self.info.lineno),
+            col=getattr(node, "col_offset", 0),
+            detail=detail,
+            guarded=self._guard_depth > 0,
+        )
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self.facts.closures.append(self._site(node, "lambda"))
+        self._lambda_depth += 1
+        self.generic_visit(node)
+        self._lambda_depth -= 1
+
+    def _visit_nested_def(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        # Nested bodies stay part of the parent's facts (a closure built
+        # in a hook may run anywhere; conservatively the effects belong
+        # to whoever constructs it).
+        self.facts.closures.append(self._site(node, f"def {node.name}"))
+        self.generic_visit(node)
+
+    visit_FunctionDef = _visit_nested_def
+    visit_AsyncFunctionDef = _visit_nested_def
+
+    def visit_JoinedStr(self, node: ast.JoinedStr) -> None:
+        if any(isinstance(value, ast.FormattedValue) for value in node.values):
+            self.facts.fstrings.append(self._site(node, "f-string"))
+        self.generic_visit(node)
+
+    def _note_alloc(self, node: ast.expr, label: str) -> None:
+        if self._loop_depth > 0:
+            self.facts.allocs_in_loop.append(self._site(node, label))
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._note_alloc(node, "list comprehension")
+        self._check_container_rng(node.elt)
+        self.generic_visit(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._note_alloc(node, "set comprehension")
+        self.generic_visit(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._note_alloc(node, "dict comprehension")
+        self.generic_visit(node)
+
+    def visit_List(self, node: ast.List) -> None:
+        for element in node.elts:
+            self._check_container_rng(element)
+        self.generic_visit(node)
+
+    def visit_Tuple(self, node: ast.Tuple) -> None:
+        if isinstance(node.ctx, ast.Load):
+            for element in node.elts:
+                self._check_container_rng(element)
+        self.generic_visit(node)
+
+    def visit_Set(self, node: ast.Set) -> None:
+        for element in node.elts:
+            self._check_container_rng(element)
+        self.generic_visit(node)
+
+    def visit_Dict(self, node: ast.Dict) -> None:
+        for value in node.values:
+            if value is not None:
+                self._check_container_rng(value)
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Subscript):
+                self._check_container_rng(node.value)
+        self.generic_visit(node)
+
+    def _is_rng_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Name):
+            if node.id in self.rng_params or node.id in self.local_streams:
+                return True
+            return self.typeof(node) == GENERATOR_TYPE or _rng_named(node.id)
+        if isinstance(node, ast.Attribute):
+            if self.typeof(node) == GENERATOR_TYPE:
+                return True
+            return _rng_named(node.attr)
+        if is_stream_call(node):
+            assert isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            )
+            return node.func.attr == "stream"
+        return False
+
+    def _check_container_rng(self, node: ast.expr) -> None:
+        if self._is_rng_expr(node):
+            self.facts.container_rng.append(
+                self._site(node, "generator stored in container")
+            )
+
+    # ------------------------------------------------------------------ #
+    # Calls
+    # ------------------------------------------------------------------ #
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            self._attribute_call(node, func)
+        elif isinstance(func, ast.Name):
+            self._name_call(node, func)
+        self.generic_visit(node)
+
+    def _name_call(self, node: ast.Call, func: ast.Name) -> None:
+        name = func.id
+        if name == "print":
+            self.facts.fstrings.append(self._site(node, "print()"))
+            return
+        resolved = self.index.resolve_name(self.module, name)
+        if resolved is None:
+            return
+        if resolved in self.index.classes:
+            init = self.index.lookup_method(
+                self.index.classes[resolved], "__init__"
+            )
+            if init is not None:
+                self._add_edge(node, init)
+            return
+        callee = self.index.functions.get(resolved)
+        if callee is not None:
+            self._add_edge(node, callee)
+        else:
+            self.facts.dynamic_calls += 1
+
+    def _attribute_call(self, node: ast.Call, func: ast.Attribute) -> None:
+        attr = func.attr
+        receiver = func.value
+        receiver_type = self.typeof(receiver)
+
+        if attr in _REGISTRY_OPS:
+            namespace = stream_namespace(node) if attr == "stream" else None
+            self.facts.stream_requests.append(
+                self._site(node, namespace or "<dynamic>")
+            )
+            return
+
+        if receiver_type is not None and receiver_type.endswith("RngRegistry"):
+            self.facts.registry_draws.append(self._site(node, attr))
+            return
+
+        if receiver_type == GENERATOR_TYPE or (
+            receiver_type is None and self._rng_receiver(receiver)
+        ):
+            self.facts.rng_draws.append(self._site(node, attr))
+            return
+
+        if attr in _SCHEDULE_NAMES or (
+            attr == _QUEUE_PUSH
+            and (
+                (receiver_type or "").endswith("EventQueue")
+                or self._queue_named(receiver)
+            )
+        ):
+            self.facts.schedules.append(self._site(node, attr))
+            # The call may still resolve (Simulator.schedule etc.) so the
+            # edge is recorded too — purity propagation needs both.
+
+        if attr == "send" and self._loop_depth > 0:
+            if (receiver_type or "").endswith(".Network") or self._network_named(
+                receiver
+            ):
+                self.facts.scalar_sends_in_loop.append(self._site(node, "send"))
+
+        if attr == "format":
+            self.facts.fstrings.append(self._site(node, "str.format()"))
+
+        if receiver_type is not None and receiver_type in self.index.classes:
+            method = self.index.lookup_method(
+                self.index.classes[receiver_type], attr
+            )
+            if method is not None:
+                self._add_edge(node, method)
+                return
+        # Module-function call through an imported module alias.
+        dotted = annotation_text(func)
+        if dotted is not None:
+            resolved = self.index.resolve_name(self.module, dotted)
+            if resolved is not None and resolved in self.index.functions:
+                self._add_edge(node, self.index.functions[resolved])
+                return
+        self.facts.dynamic_calls += 1
+
+    @staticmethod
+    def _rng_receiver(node: ast.expr) -> bool:
+        if isinstance(node, ast.Name):
+            return _rng_named(node.id)
+        if isinstance(node, ast.Attribute):
+            return _rng_named(node.attr)
+        return False
+
+    @staticmethod
+    def _queue_named(node: ast.expr) -> bool:
+        name = node.attr if isinstance(node, ast.Attribute) else (
+            node.id if isinstance(node, ast.Name) else ""
+        )
+        return "queue" in name
+
+    @staticmethod
+    def _network_named(node: ast.expr) -> bool:
+        name = node.attr if isinstance(node, ast.Attribute) else (
+            node.id if isinstance(node, ast.Name) else ""
+        )
+        return name == "network"
+
+    def _resolve_callee_info(self, node: ast.Call) -> Optional[FunctionInfo]:
+        func = node.func
+        if isinstance(func, ast.Name):
+            resolved = self.index.resolve_name(self.module, func.id)
+            if resolved is not None:
+                return self.index.functions.get(resolved)
+            return None
+        if isinstance(func, ast.Attribute):
+            receiver_type = self.typeof(func.value)
+            if receiver_type is not None and receiver_type in self.index.classes:
+                return self.index.lookup_method(
+                    self.index.classes[receiver_type], func.attr
+                )
+            dotted = annotation_text(func)
+            if dotted is not None:
+                resolved = self.index.resolve_name(self.module, dotted)
+                if resolved is not None:
+                    return self.index.functions.get(resolved)
+        return None
+
+    def _add_edge(self, node: ast.Call, callee: FunctionInfo) -> None:
+        self.facts.edges.append(
+            CallEdge(
+                caller=self.info.qualname,
+                callee=callee.qualname,
+                lineno=getattr(node, "lineno", self.info.lineno),
+                guarded=self._guard_depth > 0,
+            )
+        )
+        self._bind_rng_arguments(node, callee)
+
+    def _bind_rng_arguments(self, node: ast.Call, callee: FunctionInfo) -> None:
+        """Record stream provenance flowing into rng-typed parameters."""
+        params = [arg.arg for arg in _parameters(callee.node)]
+        if params and params[0] == "self":
+            params = params[1:]
+        pairs: list[tuple[str, ast.expr]] = []
+        for position, arg in enumerate(node.args):
+            if isinstance(arg, ast.Starred):
+                break
+            if position < len(params):
+                pairs.append((params[position], arg))
+        for keyword in node.keywords:
+            if keyword.arg is not None:
+                pairs.append((keyword.arg, keyword.value))
+        for param, arg in pairs:
+            families, refs = self._provenance(arg)
+            if families or refs:
+                self.facts.rng_bindings.append(
+                    RngBinding(
+                        callee=callee.qualname,
+                        param=param,
+                        families=tuple(sorted(families)),
+                        param_refs=tuple(sorted(refs)),
+                        lineno=getattr(node, "lineno", self.info.lineno),
+                    )
+                )
+
+    def _provenance(self, node: ast.expr) -> tuple[set[str], set[str]]:
+        """Stream families / caller-parameter refs carried by ``node``."""
+        families: set[str] = set()
+        refs: set[str] = set()
+        if is_stream_call(node):
+            assert isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            )
+            if node.func.attr == "stream":
+                namespace = stream_namespace(node)
+                families.add(
+                    stream_family(namespace) if namespace else "<dynamic>"
+                )
+        elif isinstance(node, ast.Name):
+            if node.id in self.rng_params:
+                refs.add(node.id)
+            elif node.id in self.local_streams:
+                families.update(self.local_streams[node.id])
+        elif isinstance(node, ast.Attribute):
+            base_type = self.typeof(node.value)
+            if base_type is not None and base_type in self.index.classes:
+                owner = self.index.classes[base_type]
+                for klass in self.index.class_mro(owner):
+                    bound = klass.attr_streams.get(node.attr)
+                    if bound:
+                        families.update(bound)
+                        break
+        return families, refs
+
+
+def _collect(index: ProjectIndex, info: FunctionInfo) -> FunctionFacts:
+    visitor = _FunctionVisitor(index, info)
+    # Visit the body, not the def itself (the def would register as a
+    # nested-closure site and re-walk everything).
+    for stmt in info.node.body:
+        visitor.visit(stmt)
+    return visitor.facts
+
+
+class CallGraph:
+    """Call edges plus local facts for every function in the project."""
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self.index = index
+        self.facts: dict[str, FunctionFacts] = {}
+        self.callers: dict[str, list[CallEdge]] = {}
+        for qualname in sorted(index.functions):
+            facts = _collect(index, index.functions[qualname])
+            self.facts[qualname] = facts
+            for edge in facts.edges:
+                self.callers.setdefault(edge.callee, []).append(edge)
+
+    def callees(self, qualname: str) -> list[CallEdge]:
+        facts = self.facts.get(qualname)
+        return facts.edges if facts is not None else []
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(facts.edges) for facts in self.facts.values())

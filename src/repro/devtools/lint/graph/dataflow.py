@@ -1,0 +1,210 @@
+"""Interprocedural summaries over the call graph.
+
+Two fixpoint computations, both simple worklists over a finite lattice
+(sets only ever grow, so termination is by inclusion):
+
+* **Effect closure** — per-function booleans (``may_draw_rng``,
+  ``may_schedule``) seeded from direct sites and propagated backwards
+  over call edges: if ``f`` calls ``g`` and ``g`` may draw, ``f`` may
+  draw.  Guarded edges propagate too (a cold path still violates hook
+  purity if it draws), but the *hot-path* traversal in the PERF rules
+  asks for unguarded reachability separately.
+
+* **Stream-family fixpoint** — for every rng-typed parameter, the set
+  of named stream families (``scenario``, ``faults``, ``node``, …)
+  that can be bound to it at any call site, resolved through chains of
+  parameter-to-parameter forwarding.  ``<dynamic>`` (an f-string
+  namespace whose leading segment is not a literal) is excluded from
+  aliasing verdicts — unknown provenance never convicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.devtools.lint.graph.callgraph import CallGraph, FunctionFacts, Site
+
+#: Family tag for stream namespaces that could not be resolved to a
+#: literal prefix.  Never participates in aliasing verdicts.
+DYNAMIC_FAMILY = "<dynamic>"
+
+
+@dataclass
+class FunctionSummary:
+    """Transitive effect summary for one function.
+
+    ``draw_sites``/``schedule_sites`` hold the *direct* sites only; the
+    booleans are transitive.  ``via`` maps each transitive effect to the
+    first callee on a shortest path that exhibits it, for report text.
+    """
+
+    qualname: str
+    may_draw_rng: bool = False
+    may_schedule: bool = False
+    draw_sites: tuple[Site, ...] = ()
+    schedule_sites: tuple[Site, ...] = ()
+    draw_via: Optional[str] = None
+    schedule_via: Optional[str] = None
+    param_families: dict[str, frozenset[str]] = field(default_factory=dict)
+
+
+class SummaryIndex:
+    """All function summaries plus reachability helpers."""
+
+    def __init__(self, graph: CallGraph) -> None:
+        self.graph = graph
+        self.summaries: dict[str, FunctionSummary] = {}
+        self._build_effects()
+        self._build_family_fixpoint()
+
+    # ------------------------------------------------------------------ #
+    # Effect closure
+    # ------------------------------------------------------------------ #
+
+    def _build_effects(self) -> None:
+        for qualname, facts in self.graph.facts.items():
+            draws = tuple(facts.rng_draws) + tuple(facts.stream_requests) + tuple(
+                facts.registry_draws
+            )
+            self.summaries[qualname] = FunctionSummary(
+                qualname=qualname,
+                may_draw_rng=bool(draws),
+                may_schedule=bool(facts.schedules),
+                draw_sites=draws,
+                schedule_sites=tuple(facts.schedules),
+            )
+        self._propagate(
+            lambda summary: summary.may_draw_rng,
+            self._mark_draw,
+        )
+        self._propagate(
+            lambda summary: summary.may_schedule,
+            self._mark_schedule,
+        )
+
+    def _mark_draw(self, summary: FunctionSummary, via: str) -> bool:
+        if summary.may_draw_rng:
+            return False
+        summary.may_draw_rng = True
+        summary.draw_via = via
+        return True
+
+    def _mark_schedule(self, summary: FunctionSummary, via: str) -> bool:
+        if summary.may_schedule:
+            return False
+        summary.may_schedule = True
+        summary.schedule_via = via
+        return True
+
+    def _propagate(
+        self,
+        has_effect: Callable[[FunctionSummary], bool],
+        mark: Callable[[FunctionSummary, str], bool],
+    ) -> None:
+        worklist = [
+            qualname
+            for qualname, summary in self.summaries.items()
+            if has_effect(summary)
+        ]
+        while worklist:
+            callee = worklist.pop()
+            for edge in self.graph.callers.get(callee, ()):
+                caller_summary = self.summaries.get(edge.caller)
+                if caller_summary is not None and mark(caller_summary, callee):
+                    worklist.append(edge.caller)
+
+    # ------------------------------------------------------------------ #
+    # Stream-family fixpoint
+    # ------------------------------------------------------------------ #
+
+    def _build_family_fixpoint(self) -> None:
+        # families[(callee, param)] grows monotonically.
+        families: dict[tuple[str, str], set[str]] = {}
+        # forwards[(caller, caller_param)] -> {(callee, callee_param)}
+        forwards: dict[tuple[str, str], set[tuple[str, str]]] = {}
+        for qualname, facts in self.graph.facts.items():
+            for binding in facts.rng_bindings:
+                key = (binding.callee, binding.param)
+                families.setdefault(key, set()).update(binding.families)
+                for ref in binding.param_refs:
+                    forwards.setdefault((qualname, ref), set()).add(key)
+        changed = True
+        while changed:
+            changed = False
+            for source, targets in forwards.items():
+                source_families = families.get(source)
+                if not source_families:
+                    continue
+                for target in targets:
+                    bucket = families.setdefault(target, set())
+                    before = len(bucket)
+                    bucket.update(source_families)
+                    if len(bucket) != before:
+                        changed = True
+        for (qualname, param), bucket in families.items():
+            summary = self.summaries.get(qualname)
+            if summary is not None:
+                summary.param_families[param] = frozenset(bucket)
+
+    # ------------------------------------------------------------------ #
+    # Reachability
+    # ------------------------------------------------------------------ #
+
+    def reachable(
+        self, roots: Iterable[str], include_guarded: bool = True
+    ) -> dict[str, tuple[str, ...]]:
+        """BFS from ``roots``; returns ``{qualname: path_from_root}``.
+
+        The path includes the root and the function itself.  With
+        ``include_guarded=False``, edges tagged guarded (trace guards,
+        error paths) are skipped — the hot-path view.
+        """
+        paths: dict[str, tuple[str, ...]] = {}
+        queue: list[str] = []
+        for root in roots:
+            if root in self.graph.facts and root not in paths:
+                paths[root] = (root,)
+                queue.append(root)
+        head = 0
+        while head < len(queue):
+            current = queue[head]
+            head += 1
+            for edge in self.graph.callees(current):
+                if not include_guarded and edge.guarded:
+                    continue
+                if edge.callee not in paths and edge.callee in self.graph.facts:
+                    paths[edge.callee] = paths[current] + (edge.callee,)
+                    queue.append(edge.callee)
+        return paths
+
+    def facts_for(self, qualname: str) -> Optional[FunctionFacts]:
+        return self.graph.facts.get(qualname)
+
+    def summary_for(self, qualname: str) -> Optional[FunctionSummary]:
+        return self.summaries.get(qualname)
+
+    def draw_trail(self, qualname: str, limit: int = 6) -> tuple[str, ...]:
+        """Chain of ``via`` hops from ``qualname`` to a direct draw."""
+        return self._trail(qualname, lambda s: s.draw_via, limit)
+
+    def schedule_trail(self, qualname: str, limit: int = 6) -> tuple[str, ...]:
+        return self._trail(qualname, lambda s: s.schedule_via, limit)
+
+    def _trail(
+        self,
+        qualname: str,
+        via: Callable[[FunctionSummary], Optional[str]],
+        limit: int,
+    ) -> tuple[str, ...]:
+        trail = [qualname]
+        seen = {qualname}
+        current = self.summaries.get(qualname)
+        while current is not None and len(trail) < limit:
+            step = via(current)
+            if step is None or step in seen:
+                break
+            trail.append(step)
+            seen.add(step)
+            current = self.summaries.get(step)
+        return tuple(trail)

@@ -1,0 +1,81 @@
+"""Versioned JSON export of the call graph and summaries.
+
+``repro lint --graph-out graph.json`` writes this document so external
+tooling (editor overlays, the CI artifact, future topology-inference
+work) can consume the whole-program view without re-running the
+analysis.  The schema is versioned exactly like the lint report schema:
+any key change bumps :data:`GRAPH_SCHEMA_VERSION` and the golden test.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.devtools.lint.graph.project import ProjectContext
+
+#: Schema version of the ``--graph-out`` document.  Bump on any key
+#: change and update ``tests/devtools/test_lint_graph_export.py``.
+GRAPH_SCHEMA_VERSION = 1
+
+
+def render_graph(project: ProjectContext) -> dict[str, Any]:
+    """Render the project's call graph + summaries as a JSON document.
+
+    Keys are sorted and content is deterministic for a given source
+    tree, so the document diffs cleanly between runs.
+    """
+    index = project.index
+    graph = project.graph
+    summaries = project.summaries
+
+    functions: list[dict[str, Any]] = []
+    for qualname in sorted(index.functions):
+        info = index.functions[qualname]
+        summary = summaries.summary_for(qualname)
+        facts = graph.facts.get(qualname)
+        functions.append(
+            {
+                "qualname": qualname,
+                "module": info.module,
+                "path": info.relpath,
+                "line": info.lineno,
+                "class": info.class_qualname,
+                "hot_marked": info.hot_marked,
+                "may_draw_rng": bool(summary and summary.may_draw_rng),
+                "may_schedule": bool(summary and summary.may_schedule),
+                "direct_draw_sites": len(facts.rng_draws) if facts else 0,
+                "direct_schedule_sites": len(facts.schedules) if facts else 0,
+                "dynamic_calls": facts.dynamic_calls if facts else 0,
+                "rng_params": {
+                    param: sorted(families)
+                    for param, families in sorted(
+                        (summary.param_families if summary else {}).items()
+                    )
+                },
+            }
+        )
+
+    edges: list[dict[str, Any]] = []
+    for qualname in sorted(graph.facts):
+        for edge in graph.facts[qualname].edges:
+            edges.append(
+                {
+                    "caller": edge.caller,
+                    "callee": edge.callee,
+                    "line": edge.lineno,
+                    "guarded": edge.guarded,
+                }
+            )
+
+    return {
+        "version": GRAPH_SCHEMA_VERSION,
+        "modules": sorted(index.modules),
+        "functions": functions,
+        "edges": edges,
+        "stats": {
+            "modules": len(index.modules),
+            "functions": len(index.functions),
+            "classes": len(index.classes),
+            "edges": len(edges),
+        },
+    }

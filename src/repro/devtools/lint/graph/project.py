@@ -1,0 +1,79 @@
+"""Project-wide analysis bundle handed to cross-module rules.
+
+The runner builds one :class:`ProjectContext` per lint invocation from
+the modules that parsed cleanly.  Everything heavy — symbol table, call
+graph, dataflow summaries — is built lazily on first access, so runs
+that only use per-file rules pay nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.devtools.lint.context import ModuleContext
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.graph.callgraph import CallGraph
+from repro.devtools.lint.graph.dataflow import SummaryIndex
+from repro.devtools.lint.graph.symbols import FunctionInfo, ProjectIndex
+
+
+class ProjectContext:
+    """All parsed modules of one lint run plus lazy whole-program passes."""
+
+    def __init__(self, modules: list[ModuleContext]) -> None:
+        self.modules = modules
+        self.by_relpath = {module.relpath: module for module in modules}
+        self._index: Optional[ProjectIndex] = None
+        self._graph: Optional[CallGraph] = None
+        self._summaries: Optional[SummaryIndex] = None
+
+    @property
+    def index(self) -> ProjectIndex:
+        if self._index is None:
+            self._index = ProjectIndex(self.modules)
+        return self._index
+
+    @property
+    def graph(self) -> CallGraph:
+        if self._graph is None:
+            self._graph = CallGraph(self.index)
+        return self._graph
+
+    @property
+    def summaries(self) -> SummaryIndex:
+        if self._summaries is None:
+            self._summaries = SummaryIndex(self.graph)
+        return self._summaries
+
+    def functions_matching(self, suffix: str) -> list[FunctionInfo]:
+        """Functions whose qualname is ``suffix`` or ends with ``.suffix``.
+
+        The hot-entry registry names entry points as ``Class.method``
+        (``Simulator.run``); matching by suffix keeps the registry
+        stable across fixture copies living outside the real tree.
+        """
+        matches = []
+        for qualname in sorted(self.index.functions):
+            if qualname == suffix or qualname.endswith("." + suffix):
+                matches.append(self.index.functions[qualname])
+        return matches
+
+    def finding(
+        self,
+        rule_id: str,
+        relpath: str,
+        line: int,
+        col: int,
+        message: str,
+    ) -> Finding:
+        """Build a finding located in whichever module owns ``relpath``."""
+        module = self.by_relpath.get(relpath)
+        snippet = module.snippet(line) if module is not None else ""
+        return Finding(
+            path=relpath,
+            line=line,
+            col=col,
+            rule_id=rule_id,
+            message=message,
+            snippet=snippet,
+        )

@@ -1,0 +1,470 @@
+"""Project-wide symbol table and receiver-type hints.
+
+:class:`ProjectIndex` walks every linted module once and records the
+symbols cross-module rules need to resolve calls:
+
+* modules, keyed by their dotted import path (derived from the file
+  path, so ``src/repro/p2p/network.py`` indexes as
+  ``repro.p2p.network``);
+* classes with their base names, methods, and an attribute-type map
+  built from ``self.x = ClassName(...)`` / ``self.x: T = ...`` /
+  ``self.x = annotated_param`` assignments anywhere in the class body;
+* functions and methods as :class:`FunctionInfo` records, including the
+  ``# repro: hotpath`` marker the PERF rules honour.
+
+Type inference follows the ``settypes.py`` doctrine: module-local facts,
+flow-insensitive, annotation-and-constructor driven, and silent when
+unsure.  A name resolves to a class exactly when an annotation, a
+constructor call, or a project function's return annotation says so;
+everything else stays untyped and produces no call edges.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.devtools.lint.context import ModuleContext
+
+#: Inline marker extending the PERF hot-entry registry: placed on (or
+#: directly above) a ``def`` line, it declares the function a hot entry
+#: point whose transitive callees must stay allocation-clean.
+HOTPATH_MARKER = "# repro: hotpath"
+
+#: Canonical type tag for ``numpy.random.Generator`` receivers.  Stream
+#: provenance and draw detection key on this tag rather than on the
+#: numpy class object — the analyzer never imports the linted code.
+GENERATOR_TYPE = "numpy.random.Generator"
+
+#: Annotation spellings that denote an RNG generator parameter/attribute.
+_GENERATOR_ANNOTATIONS = frozenset(
+    {
+        "np.random.Generator",
+        "numpy.random.Generator",
+        "Generator",
+        "random.Generator",
+    }
+)
+
+
+def module_name_for(relpath: str) -> str:
+    """Dotted import path for ``relpath``.
+
+    Paths inside a ``repro/`` tree map onto the real package
+    (``src/repro/p2p/network.py`` -> ``repro.p2p.network``); anything
+    else (tmp-dir fixtures, standalone files) indexes by its stem so
+    single-file projects still resolve module-local calls.
+    """
+    posix = relpath.replace("\\", "/")
+    parts = posix.split("/")
+    if "repro" in parts:
+        parts = parts[parts.index("repro") :]
+    else:
+        parts = parts[-1:]
+    tail = parts[-1]
+    if tail.endswith(".py"):
+        tail = tail[: -len(".py")]
+    parts[-1] = tail
+    if tail == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else tail
+
+
+def annotation_text(node: Optional[ast.expr]) -> Optional[str]:
+    """Dotted source text of an annotation head (strings unwrapped).
+
+    ``Optional[Foo]`` / ``"Foo"`` / ``Foo[int]`` all yield ``Foo``;
+    unions and anything non-dotted yield ``None``.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.Subscript):
+        head = annotation_text(node.value)
+        if head in {"Optional", "typing.Optional"}:
+            inner = node.slice
+            return annotation_text(inner)
+        return head
+    parts: list[str] = []
+    cursor: ast.expr = node
+    while isinstance(cursor, ast.Attribute):
+        parts.append(cursor.attr)
+        cursor = cursor.value
+    if not isinstance(cursor, ast.Name):
+        return None
+    parts.append(cursor.id)
+    return ".".join(reversed(parts))
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method in the project.
+
+    Attributes:
+        qualname: Fully qualified name, e.g.
+            ``repro.p2p.network.Network.send``.
+        name: Bare function name.
+        module: Dotted module path.
+        relpath: Path reported in findings.
+        lineno: 1-indexed ``def`` line.
+        node: The function's AST (body is analyzed by the call-graph
+            and dataflow passes).
+        class_qualname: Enclosing class, or ``None`` for module-level
+            functions.
+        hot_marked: True when a ``# repro: hotpath`` marker sits on or
+            directly above the ``def`` line.
+    """
+
+    qualname: str
+    name: str
+    module: str
+    relpath: str
+    lineno: int
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    class_qualname: Optional[str] = None
+    hot_marked: bool = False
+
+
+@dataclass
+class ClassInfo:
+    """One class in the project, with receiver-type hints.
+
+    Attributes:
+        qualname: Fully qualified class name.
+        name: Bare class name.
+        module: Dotted module path.
+        relpath: Path of the defining file.
+        lineno: 1-indexed ``class`` line.
+        base_names: Base classes as written (resolved lazily by the
+            index, so forward references cost nothing).
+        methods: Bare method name -> :class:`FunctionInfo`.
+        attr_types: ``self.<attr>`` -> type name as written at the
+            binding site (resolved through the defining module's
+            imports on lookup).
+        attr_streams: ``self.<attr>`` -> RNG stream namespaces bound to
+            that attribute anywhere in the class
+            (``self._rng = simulator.rng.stream("mining.lottery")``).
+    """
+
+    qualname: str
+    name: str
+    module: str
+    relpath: str
+    lineno: int
+    base_names: tuple[str, ...] = ()
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    attr_types: dict[str, str] = field(default_factory=dict)
+    attr_streams: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleSymbols:
+    """Everything the resolver knows about one module.
+
+    Attributes:
+        name: Dotted module path.
+        relpath: Path reported in findings.
+        imports: Local name -> dotted target
+            (``from repro.sim.engine import Simulator`` ->
+            ``{"Simulator": "repro.sim.engine.Simulator"}``).
+        functions: Module-level functions by bare name.
+        classes: Classes by bare name.
+    """
+
+    name: str
+    relpath: str
+    imports: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+
+
+def stream_namespace(call: ast.Call) -> Optional[str]:
+    """Literal namespace of a ``.stream(...)`` request, if recoverable.
+
+    Plain string literals return as-is; f-strings return their leading
+    constant prefix (``f"node.{n}"`` -> ``node.``); anything else is
+    ``None`` (a computed namespace the analyzer will not guess at).
+    """
+    arg = call.args[0] if call.args else None
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+        return arg.value
+    if isinstance(arg, ast.JoinedStr) and arg.values:
+        head = arg.values[0]
+        if isinstance(head, ast.Constant) and isinstance(head.value, str):
+            return head.value
+    return None
+
+
+def stream_family(namespace: str) -> str:
+    """Stream family of a namespace: the segment before the first dot."""
+    return namespace.split(".", 1)[0]
+
+
+def is_stream_call(node: ast.expr) -> bool:
+    """True for ``<expr>.stream(...)`` / ``<expr>.fork(...)`` requests."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in ("stream", "fork")
+    )
+
+
+def _is_generator_annotation(text: Optional[str]) -> bool:
+    return text is not None and (
+        text in _GENERATOR_ANNOTATIONS or text.endswith(".random.Generator")
+    )
+
+
+class ProjectIndex:
+    """Symbol table over every module handed to one lint run.
+
+    Args:
+        modules: The run's parsed modules (the runner passes its
+            :class:`ModuleContext` list; order does not matter).
+    """
+
+    def __init__(self, modules: list["ModuleContext"]) -> None:
+        self.modules: dict[str, ModuleSymbols] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        #: Bare class name -> qualnames (for base-class resolution when
+        #: the import map cannot place a name).
+        self._class_names: dict[str, list[str]] = {}
+        for module in modules:
+            self._index_module(module)
+
+    # ------------------------------------------------------------------ #
+    # Collection
+    # ------------------------------------------------------------------ #
+
+    def _index_module(self, module: "ModuleContext") -> None:
+        name = module_name_for(module.relpath)
+        symbols = ModuleSymbols(name=name, relpath=module.relpath)
+        self.modules[name] = symbols
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    symbols.imports[alias.asname or alias.name.split(".", 1)[0]] = (
+                        alias.name if alias.asname else alias.name.split(".", 1)[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    symbols.imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+        for stmt in module.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = self._function_info(module, symbols, stmt, None)
+                symbols.functions[stmt.name] = info
+                self.functions[info.qualname] = info
+            elif isinstance(stmt, ast.ClassDef):
+                self._index_class(module, symbols, stmt)
+
+    def _index_class(
+        self,
+        module: "ModuleContext",
+        symbols: ModuleSymbols,
+        node: ast.ClassDef,
+    ) -> None:
+        qualname = f"{symbols.name}.{node.name}"
+        info = ClassInfo(
+            qualname=qualname,
+            name=node.name,
+            module=symbols.name,
+            relpath=symbols.relpath,
+            lineno=node.lineno,
+            base_names=tuple(
+                text
+                for base in node.bases
+                if (text := annotation_text(base)) is not None
+            ),
+        )
+        symbols.classes[node.name] = info
+        self.classes[qualname] = info
+        self._class_names.setdefault(node.name, []).append(qualname)
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                method = self._function_info(module, symbols, stmt, qualname)
+                info.methods[stmt.name] = method
+                self.functions[method.qualname] = method
+                self._collect_self_bindings(info, stmt)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                text = annotation_text(stmt.annotation)
+                if text is not None:
+                    info.attr_types.setdefault(stmt.target.id, text)
+
+    def _collect_self_bindings(
+        self,
+        info: ClassInfo,
+        method: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> None:
+        """Record ``self.<attr>`` types and stream bindings in ``method``."""
+        param_types: dict[str, Optional[str]] = {}
+        args = method.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            param_types[arg.arg] = annotation_text(arg.annotation)
+        for node in ast.walk(method):
+            target: Optional[ast.expr] = None
+            value: Optional[ast.expr] = None
+            annotation: Optional[str] = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign):
+                target, value = node.target, node.value
+                annotation = annotation_text(node.annotation)
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            attr = target.attr
+            if annotation is not None:
+                info.attr_types.setdefault(attr, annotation)
+            if isinstance(value, ast.Call):
+                if is_stream_call(value):
+                    namespace = stream_namespace(value)
+                    family = (
+                        stream_family(namespace)
+                        if namespace is not None
+                        else "<dynamic>"
+                    )
+                    existing = info.attr_streams.get(attr, ())
+                    if family not in existing:
+                        info.attr_streams[attr] = existing + (family,)
+                    info.attr_types.setdefault(attr, GENERATOR_TYPE)
+                else:
+                    ctor = annotation_text(value.func)
+                    if ctor is not None:
+                        info.attr_types.setdefault(attr, ctor)
+            elif isinstance(value, ast.Name):
+                param_annotation = param_types.get(value.id)
+                if param_annotation is not None:
+                    info.attr_types.setdefault(attr, param_annotation)
+
+    def _function_info(
+        self,
+        module: "ModuleContext",
+        symbols: ModuleSymbols,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        class_qualname: Optional[str],
+    ) -> FunctionInfo:
+        prefix = class_qualname or symbols.name
+        lineno = node.lineno
+        # Decorators push the def line down; the marker belongs to `def`.
+        def_line = getattr(node, "lineno", lineno)
+        hot = False
+        for candidate in (def_line, def_line - 1):
+            if 1 <= candidate <= len(module.lines) and HOTPATH_MARKER in (
+                module.lines[candidate - 1]
+            ):
+                hot = True
+                break
+        return FunctionInfo(
+            qualname=f"{prefix}.{node.name}",
+            name=node.name,
+            module=symbols.name,
+            relpath=symbols.relpath,
+            lineno=def_line,
+            node=node,
+            class_qualname=class_qualname,
+            hot_marked=hot,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Resolution
+    # ------------------------------------------------------------------ #
+
+    def resolve_name(self, module: str, name: str) -> Optional[str]:
+        """Resolve ``name`` as written in ``module`` to a qualname.
+
+        Checks module-local classes and functions first, then the import
+        map, then (for dotted names) the import map of the head segment.
+        Returns ``None`` for builtins and external libraries.
+        """
+        symbols = self.modules.get(module)
+        if symbols is None:
+            return None
+        if name in symbols.classes:
+            return symbols.classes[name].qualname
+        if name in symbols.functions:
+            return symbols.functions[name].qualname
+        imported = symbols.imports.get(name)
+        if imported is not None:
+            return imported if self._known(imported) else imported
+        if "." in name:
+            head, _, rest = name.partition(".")
+            resolved_head = symbols.imports.get(head)
+            if resolved_head is not None:
+                return f"{resolved_head}.{rest}"
+        return None
+
+    def _known(self, qualname: str) -> bool:
+        return qualname in self.classes or qualname in self.functions
+
+    def resolve_class(self, module: str, name: str) -> Optional[ClassInfo]:
+        """Class named ``name`` as seen from ``module``, if in the project."""
+        resolved = self.resolve_name(module, name)
+        if resolved is not None and resolved in self.classes:
+            return self.classes[resolved]
+        # Fall back to a unique bare-name match: fixtures and tmp-dir
+        # copies reference classes the import map cannot place.
+        bare = name.rsplit(".", 1)[-1]
+        candidates = self._class_names.get(bare, [])
+        if len(candidates) == 1:
+            return self.classes[candidates[0]]
+        return None
+
+    def class_mro(self, info: ClassInfo) -> list[ClassInfo]:
+        """Project-visible linearisation: the class, then its bases.
+
+        Diamonds and external bases are out of scope — bases outside
+        the project simply end the walk on that branch.
+        """
+        seen: dict[str, None] = {info.qualname: None}
+        order: list[ClassInfo] = [info]
+        frontier = [info]
+        while frontier:
+            current = frontier.pop(0)
+            for base_name in current.base_names:
+                base = self.resolve_class(current.module, base_name)
+                if base is not None and base.qualname not in seen:
+                    seen[base.qualname] = None
+                    order.append(base)
+                    frontier.append(base)
+        return order
+
+    def lookup_method(
+        self, info: ClassInfo, method: str
+    ) -> Optional[FunctionInfo]:
+        """Resolve ``method`` through the project-visible MRO."""
+        for klass in self.class_mro(info):
+            found = klass.methods.get(method)
+            if found is not None:
+                return found
+        return None
+
+    def attr_type(self, info: ClassInfo, attr: str) -> Optional[str]:
+        """Type of ``self.<attr>`` through the project-visible MRO."""
+        for klass in self.class_mro(info):
+            found = klass.attr_types.get(attr)
+            if found is not None:
+                return found
+        return None
+
+    def is_generator_type(self, module: str, text: Optional[str]) -> bool:
+        """True when annotation/constructor text denotes an RNG Generator."""
+        if text is None:
+            return False
+        if text == GENERATOR_TYPE or _is_generator_annotation(text):
+            return True
+        resolved = self.resolve_name(module, text)
+        return resolved is not None and resolved.endswith(".random.Generator")

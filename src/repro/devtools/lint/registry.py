@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Iterator, Type, TypeVar
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.devtools.lint.context import ModuleContext
     from repro.devtools.lint.findings import Finding
+    from repro.devtools.lint.graph.project import ProjectContext
 
 
 class Rule(abc.ABC):
@@ -49,6 +50,28 @@ class Rule(abc.ABC):
     ) -> "Finding":
         """Shorthand: a finding of this rule at ``node``."""
         return module.finding(self.rule_id, node, message)
+
+
+class ProjectRule(Rule):
+    """A cross-module rule: runs once per lint run over the whole project.
+
+    Subclasses implement :meth:`check_project` against a
+    :class:`~repro.devtools.lint.graph.project.ProjectContext` (symbol
+    table, call graph, dataflow summaries) and may yield findings in any
+    module.  The per-module :meth:`check` hook is a no-op — the runner
+    invokes project rules in a separate whole-program phase, after every
+    file has parsed.  Suppressions and the baseline apply to project
+    findings exactly as to per-file ones (findings are bucketed back to
+    their module before filtering).
+    """
+
+    def check(self, module: "ModuleContext") -> Iterator["Finding"]:
+        """Per-module hook; intentionally empty for project rules."""
+        return iter(())
+
+    @abc.abstractmethod
+    def check_project(self, project: "ProjectContext") -> Iterator["Finding"]:
+        """Yield findings across the whole project."""
 
 
 _RULES: dict[str, Rule] = {}

@@ -1,10 +1,10 @@
 """Report renderers: human text and machine JSON.
 
-The JSON schema (version 1) is a contract tested by
+The JSON schema (version 2) is a contract tested by
 ``tests/devtools/test_lint_reporters.py``::
 
     {
-      "version": 1,
+      "version": 2,
       "tool": "repro-lint",
       "summary": {
         "files_checked": int,
@@ -14,14 +14,19 @@ The JSON schema (version 1) is a contract tested by
         "expired_baseline": int,
         "unused_suppressions": int,
         "parse_errors": int,
+        "internal_errors": int,
         "failed": bool
       },
       "findings": [{rule, path, line, col, message, snippet}, ...],
       "baselined": [...same shape...],
       "unused_suppressions": [...same shape...],
       "expired_baseline": [{rule, path, snippet, count}, ...],
-      "parse_errors": ["path: error", ...]
+      "parse_errors": ["path: error", ...],
+      "internal_errors": ["path: rule RULE crashed: ...", ...]
     }
+
+Version history: v2 added ``internal_errors`` (crashed rules surface as
+exit 2 with the offending path instead of a traceback).
 """
 
 from __future__ import annotations
@@ -31,7 +36,7 @@ from typing import Any
 
 from repro.devtools.lint.runner import LintReport
 
-JSON_SCHEMA_VERSION = 1
+JSON_SCHEMA_VERSION = 2
 
 
 def render_text(report: LintReport, strict: bool = False) -> str:
@@ -61,6 +66,8 @@ def render_text(report: LintReport, strict: bool = False) -> str:
         )
     for error in report.parse_errors:
         lines.append(f"parse error: {error}")
+    for error in report.internal_errors:
+        lines.append(f"internal error: {error}")
     verdict = "FAILED" if report.failed(strict) else "ok"
     lines.append(
         f"{verdict}: {len(report.findings)} finding(s), "
@@ -86,6 +93,7 @@ def render_json(report: LintReport, strict: bool = False) -> str:
             "expired_baseline": len(report.expired_baseline),
             "unused_suppressions": len(report.unused_suppressions),
             "parse_errors": len(report.parse_errors),
+            "internal_errors": len(report.internal_errors),
             "failed": report.failed(strict),
         },
         "findings": [finding.to_json() for finding in report.findings],
@@ -95,5 +103,6 @@ def render_json(report: LintReport, strict: bool = False) -> str:
         ],
         "expired_baseline": report.expired_baseline,
         "parse_errors": list(report.parse_errors),
+        "internal_errors": list(report.internal_errors),
     }
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -6,8 +6,20 @@ from repro.devtools.lint.rules import (
     api,
     determinism,
     faults,
+    hookpurity,
+    hotpath,
     observability,
     simsafety,
+    streams,
 )
 
-__all__ = ["api", "determinism", "faults", "observability", "simsafety"]
+__all__ = [
+    "api",
+    "determinism",
+    "faults",
+    "hookpurity",
+    "hotpath",
+    "observability",
+    "simsafety",
+    "streams",
+]

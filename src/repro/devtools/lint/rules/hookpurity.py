@@ -1,0 +1,127 @@
+"""Trace-hook purity rules (OBS101/OBS102), cross-module.
+
+The PR 4 determinism contract: observability is *free* to turn on —
+``TraceRecorder`` hooks and metrics snapshots may observe state but must
+never draw RNG or schedule events, so a traced run is draw-for-draw and
+event-for-event identical to an untraced one (the seed-55 pin holds
+with tracing on and off).  Until now that contract was enforced by
+review and by the seed pin after the fact; these rules enforce it
+statically, over the *transitive* call graph: a hook that calls a
+helper that calls something that draws is flagged even though the hook
+itself looks pure.
+
+Hook roots are found structurally, not by path, so fixture copies and
+subclasses are covered: every method of a class named (or deriving
+from) ``TraceRecorder``, and the ``_sample`` hook of
+``MetricsSnapshotter`` (``start``/``stop`` legitimately schedule — they
+run outside the hook path).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.graph.project import ProjectContext
+from repro.devtools.lint.graph.symbols import FunctionInfo
+from repro.devtools.lint.registry import ProjectRule, register
+
+#: Class names whose every method is a trace hook.
+_HOOK_CLASSES = frozenset({"TraceRecorder"})
+
+#: Class name -> methods that are hooks (others may schedule).
+_HOOK_METHODS = {"MetricsSnapshotter": frozenset({"_sample"})}
+
+
+def _hook_roots(project: ProjectContext) -> list[FunctionInfo]:
+    roots: list[FunctionInfo] = []
+    index = project.index
+    for qualname in sorted(index.classes):
+        info = index.classes[qualname]
+        mro_names = {klass.name for klass in index.class_mro(info)}
+        if mro_names & _HOOK_CLASSES:
+            roots.extend(
+                info.methods[name] for name in sorted(info.methods)
+            )
+            continue
+        for class_name, methods in _HOOK_METHODS.items():
+            if class_name in mro_names:
+                roots.extend(
+                    info.methods[name]
+                    for name in sorted(info.methods)
+                    if name in methods
+                )
+    return roots
+
+
+def _trail_text(trail: tuple[str, ...]) -> str:
+    if len(trail) <= 1:
+        return "directly"
+    return "via " + " -> ".join(trail[1:])
+
+
+@register
+class HookDrawsRngRule(ProjectRule):
+    """OBS101 — no RNG reachable from a trace hook."""
+
+    rule_id = "OBS101"
+    title = "trace/metrics hook may draw RNG"
+    invariant = (
+        "tracing is free to enable: no path out of a TraceRecorder hook "
+        "or metrics snapshot draws from any RNG stream, so traced and "
+        "untraced runs are draw-for-draw identical"
+    )
+    suggestion = (
+        "move the draw out of the hook path — hooks observe state that "
+        "the simulation already computed; they never generate it"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        summaries = project.summaries
+        for root in _hook_roots(project):
+            summary = summaries.summary_for(root.qualname)
+            if summary is not None and summary.may_draw_rng:
+                trail = summaries.draw_trail(root.qualname)
+                yield project.finding(
+                    self.rule_id,
+                    root.relpath,
+                    root.lineno,
+                    0,
+                    f"hook {root.qualname} may draw RNG "
+                    f"({_trail_text(trail)}) — trace hooks must be pure "
+                    "so traced runs stay draw-for-draw identical",
+                )
+
+
+@register
+class HookSchedulesRule(ProjectRule):
+    """OBS102 — no event scheduling reachable from a trace hook."""
+
+    rule_id = "OBS102"
+    title = "trace/metrics hook may schedule events"
+    invariant = (
+        "tracing is free to enable: no path out of a TraceRecorder hook "
+        "or metrics snapshot pushes events, so traced and untraced runs "
+        "execute the same event sequence"
+    )
+    suggestion = (
+        "hooks record, they never cause — move the schedule out of the "
+        "hook path (periodic sampling belongs to the snapshotter's "
+        "start/stop lifecycle, not the hook body)"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        summaries = project.summaries
+        for root in _hook_roots(project):
+            summary = summaries.summary_for(root.qualname)
+            if summary is not None and summary.may_schedule:
+                trail = summaries.schedule_trail(root.qualname)
+                yield project.finding(
+                    self.rule_id,
+                    root.relpath,
+                    root.lineno,
+                    0,
+                    f"hook {root.qualname} may schedule events "
+                    f"({_trail_text(trail)}) — trace hooks must not "
+                    "perturb the event sequence",
+                )

@@ -1,0 +1,140 @@
+"""RNG stream-provenance rules (STR001–STR003), cross-module.
+
+The determinism contract gives every stochastic subsystem its own named
+child stream (``mining.*``, ``faults.*``, ``scenario.*``, ``node.*``,
+…) so draw-order changes in one subsystem never perturb another.  That
+contract is only as strong as the provenance of each ``Generator``
+flowing through the code:
+
+* a parameter bound to streams of *different* families at different
+  call sites aliases two subsystems onto one draw sequence (STR001);
+* a draw on the :class:`~repro.sim.rng.RngRegistry` itself — the
+  parent — would perturb every child derived after it (STR002; the
+  registry intentionally has no draw methods, so any non-``stream``/
+  ``fork`` call on one is a latent runtime error too);
+* a generator stored into a list/dict/tuple loses its name — code
+  pulling it back out can no longer be audited for family discipline
+  (STR003).
+
+All three rules run on the whole-program dataflow pass: families are
+propagated through parameter-to-parameter forwarding to a fixpoint, and
+``<dynamic>`` (non-literal namespaces) never convicts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.graph.dataflow import DYNAMIC_FAMILY
+from repro.devtools.lint.graph.project import ProjectContext
+from repro.devtools.lint.registry import ProjectRule, register
+
+
+@register
+class CrossFamilyAliasRule(ProjectRule):
+    """STR001 — one rng parameter, one stream family."""
+
+    rule_id = "STR001"
+    title = "rng parameter bound to multiple stream families"
+    invariant = (
+        "every Generator parameter is fed from a single named stream "
+        "family across all call sites, so no subsystem's draws can "
+        "perturb another's"
+    )
+    suggestion = (
+        "split the helper per family, or derive a dedicated child "
+        "stream (`registry.stream(\"<family>.<name>\")`) at each call "
+        "site; suppress only when instances provably never share a "
+        "generator"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        summaries = project.summaries
+        for qualname in sorted(summaries.summaries):
+            summary = summaries.summaries[qualname]
+            info = project.index.functions.get(qualname)
+            if info is None:
+                continue
+            for param in sorted(summary.param_families):
+                families = sorted(
+                    summary.param_families[param] - {DYNAMIC_FAMILY}
+                )
+                if len(families) > 1:
+                    yield project.finding(
+                        self.rule_id,
+                        info.relpath,
+                        info.lineno,
+                        0,
+                        f"parameter `{param}` of {qualname} is bound to "
+                        f"streams from {len(families)} families at call "
+                        f"sites: {', '.join(families)} — cross-family "
+                        "aliasing breaks per-subsystem draw isolation",
+                    )
+
+
+@register
+class ParentRegistryDrawRule(ProjectRule):
+    """STR002 — never draw from the registry (parent) itself."""
+
+    rule_id = "STR002"
+    title = "draw on the RNG registry instead of a named child stream"
+    invariant = (
+        "the root registry only derives children; all draws happen on "
+        "named child streams, so spawning a new child never shifts "
+        "existing sequences"
+    )
+    suggestion = (
+        "replace `registry.<draw>()` with "
+        "`registry.stream(\"<family>.<name>\").<draw>()`"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        graph = project.graph
+        for qualname in sorted(graph.facts):
+            facts = graph.facts[qualname]
+            info = facts.info
+            for site in facts.registry_draws:
+                yield project.finding(
+                    self.rule_id,
+                    info.relpath,
+                    site.lineno,
+                    site.col,
+                    f"`.{site.detail}(...)` on an RngRegistry receiver in "
+                    f"{qualname} — the registry is a stream *factory*; "
+                    "draw from a named child stream",
+                )
+
+
+@register
+class ContainerProvenanceRule(ProjectRule):
+    """STR003 — generators do not travel through anonymous containers."""
+
+    rule_id = "STR003"
+    title = "RNG generator stored in a container"
+    invariant = (
+        "a Generator is always reachable under its stream name (an "
+        "attribute or parameter), never fished out of a list/dict/tuple "
+        "where its family can no longer be audited"
+    )
+    suggestion = (
+        "hold the generator in a named attribute, or store the stream "
+        "*namespace* and re-request it via `registry.stream(name)` "
+        "(streams are memoised, so this is free)"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        graph = project.graph
+        for qualname in sorted(graph.facts):
+            facts = graph.facts[qualname]
+            info = facts.info
+            for site in facts.container_rng:
+                yield project.finding(
+                    self.rule_id,
+                    info.relpath,
+                    site.lineno,
+                    site.col,
+                    f"RNG generator stored into a container in {qualname} "
+                    "— provenance (stream family) is erased; keep it in a "
+                    "named attribute or store the namespace string",
+                )

@@ -4,6 +4,18 @@ The runner is itself held to the determinism bar it enforces: files are
 visited in sorted order, rules run in id order, and findings are sorted
 before reporting — two runs over the same tree produce byte-identical
 reports.
+
+Runs are two-phase since the v2 cross-module pass: every file parses
+first, per-module rules run file by file, then :class:`ProjectRule`
+instances run once over the assembled
+:class:`~repro.devtools.lint.graph.project.ProjectContext` and their
+findings are bucketed back to the owning module so inline suppressions
+and the baseline apply uniformly.
+
+Analyzer *internal* errors — an unparseable file, a rule that raises —
+never escape as tracebacks: they are collected on
+``LintReport.parse_errors`` / ``LintReport.internal_errors`` with the
+offending path, and the CLI turns them into exit code 2.
 """
 
 from __future__ import annotations
@@ -16,7 +28,8 @@ from repro.devtools.lint.baseline import Baseline
 from repro.devtools.lint.config import LintConfig
 from repro.devtools.lint.context import ModuleContext
 from repro.devtools.lint.findings import Finding
-from repro.devtools.lint.registry import all_rules
+from repro.devtools.lint.graph.project import ProjectContext
+from repro.devtools.lint.registry import ProjectRule, Rule, all_rules
 from repro.devtools.lint.suppressions import SuppressionIndex
 
 
@@ -34,7 +47,11 @@ class LintReport:
         unused_suppressions: SUP002 findings (fatal under ``--strict``).
         files_checked: Number of files linted.
         parse_errors: ``path: error`` strings for unparseable files
-            (always fatal).
+            (analyzer internal error: exit 2).
+        internal_errors: Crashed rules, as ``path: rule RULE crashed:
+            ...`` strings (analyzer internal error: exit 2).
+        project: The whole-program context of this run (``--graph-out``
+            renders it); ``None`` when nothing parsed.
     """
 
     findings: list[Finding] = field(default_factory=list)
@@ -44,10 +61,12 @@ class LintReport:
     unused_suppressions: list[Finding] = field(default_factory=list)
     files_checked: int = 0
     parse_errors: list[str] = field(default_factory=list)
+    internal_errors: list[str] = field(default_factory=list)
+    project: Optional[ProjectContext] = field(default=None, repr=False)
 
     def failed(self, strict: bool) -> bool:
         """True when this run should exit non-zero."""
-        if self.findings or self.parse_errors:
+        if self.findings or self.parse_errors or self.internal_errors:
             return True
         if strict and (self.expired_baseline or self.unused_suppressions):
             return True
@@ -80,15 +99,29 @@ def _relpath(path: Path) -> str:
         return path.as_posix()
 
 
+def _split_rules() -> tuple[list[Rule], list[ProjectRule]]:
+    module_rules: list[Rule] = []
+    project_rules: list[ProjectRule] = []
+    for rule in all_rules():
+        if isinstance(rule, ProjectRule):
+            project_rules.append(rule)
+        else:
+            module_rules.append(rule)
+    return module_rules, project_rules
+
+
 def lint_module(module: ModuleContext) -> tuple[list[Finding], SuppressionIndex]:
-    """Run every enabled rule over one parsed module.
+    """Run every enabled per-module rule over one parsed module.
 
     Returns the raw (pre-suppression) findings plus the module's
     suppression index; :func:`lint_paths` applies suppressions and the
-    baseline, but tests can also call this directly.
+    baseline, but tests can also call this directly.  Project rules do
+    not run here — use :func:`lint_source` or :func:`lint_paths` for
+    the cross-module families.
     """
     findings: list[Finding] = []
-    for rule in all_rules():
+    module_rules, _ = _split_rules()
+    for rule in module_rules:
         if module.config.rule_enabled(rule.rule_id):
             findings.extend(rule.check(module))
     suppressions = SuppressionIndex.from_source(module.source, module.relpath)
@@ -102,13 +135,20 @@ def lint_source(
 ) -> list[Finding]:
     """Lint a source string; suppressions applied, no baseline.
 
-    The test-fixture entry point: SUP001 hygiene findings are included,
-    SUP002 (unused) are not — a fixture snippet legitimately exercises
-    suppressions that its own rules never fire.
+    The test-fixture entry point: per-module *and* project rules run
+    (the project is just this one module), SUP001 hygiene findings are
+    included, SUP002 (unused) are not — a fixture snippet legitimately
+    exercises suppressions that its own rules never fire.  Rule crashes
+    propagate so fixture tests surface analyzer bugs loudly.
     """
     module = ModuleContext.from_source(source, relpath, config)
     findings, suppressions = lint_module(module)
-    kept, _ = suppressions.filter(findings)
+    _, project_rules = _split_rules()
+    project = ProjectContext([module])
+    for rule in project_rules:
+        if module.config.rule_enabled(rule.rule_id):
+            findings.extend(rule.check_project(project))
+    kept, _ = suppressions.filter(sorted(findings))
     kept.extend(suppressions.malformed)
     return sorted(kept)
 
@@ -119,29 +159,76 @@ def lint_paths(
     """Lint files/directories and assemble the full :class:`LintReport`."""
     config = config or LintConfig()
     report = LintReport()
-    survivors: list[Finding] = []
+    modules: list[ModuleContext] = []
     for path in iter_python_files(paths):
         relpath = _relpath(path)
         try:
             source = path.read_text(encoding="utf-8")
-            module = ModuleContext.from_source(source, relpath, config)
+            modules.append(ModuleContext.from_source(source, relpath, config))
         except (SyntaxError, UnicodeDecodeError) as error:
             report.parse_errors.append(f"{relpath}: {error}")
             continue
         report.files_checked += 1
-        findings, suppressions = lint_module(module)
-        kept, suppressed = suppressions.filter(findings)
+
+    module_rules, project_rules = _split_rules()
+    raw_by_path: dict[str, list[Finding]] = {
+        module.relpath: [] for module in modules
+    }
+
+    # Phase 1: per-module rules.
+    for module in modules:
+        for rule in module_rules:
+            if not config.rule_enabled(rule.rule_id):
+                continue
+            try:
+                raw_by_path[module.relpath].extend(rule.check(module))
+            # repro: noqa[API001] analyzer boundary: contain any rule crash as an internal error (exit 2)
+            except Exception as error:
+                report.internal_errors.append(
+                    f"{module.relpath}: rule {rule.rule_id} crashed: "
+                    f"{type(error).__name__}: {error}"
+                )
+
+    # Phase 2: whole-program rules over every module that parsed.
+    if modules:
+        project = ProjectContext(modules)
+        report.project = project
+        for rule in project_rules:
+            if not config.rule_enabled(rule.rule_id):
+                continue
+            try:
+                for finding in rule.check_project(project):
+                    raw_by_path.setdefault(finding.path, []).append(finding)
+            # repro: noqa[API001] analyzer boundary: contain any rule crash as an internal error (exit 2)
+            except Exception as error:
+                report.internal_errors.append(
+                    f"rule {rule.rule_id} crashed: "
+                    f"{type(error).__name__}: {error}"
+                )
+
+    # Phase 3: suppressions + baseline, per module.
+    survivors: list[Finding] = []
+    for module in modules:
+        suppressions = SuppressionIndex.from_source(
+            module.source, module.relpath
+        )
+        kept, suppressed = suppressions.filter(
+            sorted(raw_by_path.get(module.relpath, []))
+        )
         report.suppressed_count += suppressed
         survivors.extend(kept)
         survivors.extend(suppressions.malformed)
         if config.select is None:
             # Only meaningful when every rule ran: under --select a
             # suppression for an unselected rule is not "unused".
-            report.unused_suppressions.extend(suppressions.unused(relpath))
+            report.unused_suppressions.extend(
+                suppressions.unused(module.relpath)
+            )
     baseline = Baseline.load(config.baseline_path)
     new, baselined, expired = baseline.partition(sorted(survivors))
     report.findings = new
     report.baselined = baselined
     report.expired_baseline = expired
     report.unused_suppressions.sort()
+    report.internal_errors.sort()
     return report

@@ -92,6 +92,7 @@ class PoissonProcess(RecurringProcess):
         rng: Random stream used for interval draws.
     """
 
+    # repro: noqa[STR001] generic process helper: each instance stores exactly one stream; families never share a generator object
     def __init__(
         self,
         simulator: Simulator,

@@ -1,0 +1,93 @@
+"""Golden-file pin of the versioned lint JSON report.
+
+Downstream tooling consumes ``repro lint --format json``; this test
+freezes the full rendered document — schema version 2, summary keys,
+finding shapes — over a fixture that fires per-file *and* cross-module
+(STR/OBS1xx/PERF) rules.  Regenerate the golden with::
+
+    REGEN_LINT_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/devtools/test_lint_golden.py
+
+and review the diff like any schema change.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import textwrap
+from pathlib import Path
+
+from repro.devtools.lint import LintConfig, lint_paths
+from repro.devtools.lint.reporters import render_json
+
+GOLDEN = Path(__file__).parent / "golden" / "lint_report.json"
+
+#: One fixture, many findings: DET002 (stdlib random), STR001 (cross-
+#: family aliasing), OBS101 (hook transitively draws), PERF002
+#: (f-string on a marked hot path).
+FIXTURE = textwrap.dedent(
+    '''
+    import random
+
+    import numpy as np
+
+    from repro.sim.rng import RngRegistry
+
+
+    def legacy() -> float:
+        return random.random()
+
+
+    def helper(rng: np.random.Generator) -> float:
+        return float(rng.random())
+
+
+    def mining_site(registry: RngRegistry) -> float:
+        return helper(registry.stream("mining.lottery"))
+
+
+    def faults_site(registry: RngRegistry) -> float:
+        return helper(registry.stream("faults.churn"))
+
+
+    class TraceRecorder:
+        enabled = False
+
+        def block_seen(self, rng: np.random.Generator) -> None:
+            helper(rng)
+
+
+    # repro: hotpath
+    def dispatch(items) -> None:
+        for item in items:
+            text = f"evt-{item}"
+    '''
+)
+
+
+def _rendered(tmp_path) -> str:
+    target = tmp_path / "fixture_mod.py"
+    target.write_text(FIXTURE, encoding="utf-8")
+    report = lint_paths([target], LintConfig())
+    rendered = render_json(report)
+    # The tmp dir varies per run; the golden uses a stable placeholder.
+    return rendered.replace(str(target), "<fixture>/fixture_mod.py")
+
+
+def test_lint_json_report_matches_golden(tmp_path):
+    rendered = _rendered(tmp_path)
+    if os.environ.get("REGEN_LINT_GOLDEN"):
+        GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN.write_text(rendered + "\n", encoding="utf-8")
+    assert GOLDEN.exists(), (
+        "golden file missing — regenerate with REGEN_LINT_GOLDEN=1"
+    )
+    assert rendered + "\n" == GOLDEN.read_text(encoding="utf-8")
+
+
+def test_golden_covers_every_new_rule_family(tmp_path):
+    payload = json.loads(_rendered(tmp_path))
+    assert payload["version"] == 2
+    rules = {finding["rule"] for finding in payload["findings"]}
+    assert {"DET002", "STR001", "OBS101", "PERF002"} <= rules

@@ -1,0 +1,307 @@
+"""Unit tests for the whole-program analysis layer (symbol table, call
+graph, dataflow summaries) — the machinery under the STR/OBS1xx/PERF
+rule families."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.devtools.lint.context import ModuleContext
+from repro.devtools.lint.graph import ProjectContext
+from repro.devtools.lint.graph.symbols import (
+    annotation_text,
+    module_name_for,
+    stream_family,
+    stream_namespace,
+)
+
+import ast
+
+
+def _project(*sources: tuple[str, str]) -> ProjectContext:
+    modules = [
+        ModuleContext.from_source(textwrap.dedent(source), relpath)
+        for relpath, source in sources
+    ]
+    return ProjectContext(modules)
+
+
+# --------------------------------------------------------------------- #
+# Symbols
+# --------------------------------------------------------------------- #
+
+
+def test_module_name_for_maps_src_tree_and_fixtures():
+    assert module_name_for("src/repro/p2p/network.py") == "repro.p2p.network"
+    assert module_name_for("src/repro/sim/__init__.py") == "repro.sim"
+    assert module_name_for("/tmp/x/fixture_mod.py") == "fixture_mod"
+
+
+def test_annotation_text_unwraps_strings_optionals_and_subscripts():
+    def head(expr: str) -> str:
+        return annotation_text(ast.parse(expr, mode="eval").body)
+
+    assert head("Simulator") == "Simulator"
+    assert head("np.random.Generator") == "np.random.Generator"
+    assert head("Optional[Network]") == "Network"
+    assert head("'Network'") == "Network"
+    assert head("dict[str, int]") == "dict"
+
+
+def test_stream_namespace_literal_and_fstring_prefix():
+    call = ast.parse('r.stream("mining.lottery")', mode="eval").body
+    assert stream_namespace(call) == "mining.lottery"
+    call = ast.parse('r.stream(f"node.{i}")', mode="eval").body
+    assert stream_namespace(call) == "node."
+    call = ast.parse("r.stream(name)", mode="eval").body
+    assert stream_namespace(call) is None
+    assert stream_family("mining.lottery") == "mining"
+    assert stream_family("node.") == "node"
+
+
+def test_index_binds_classes_methods_and_attr_types():
+    project = _project(
+        (
+            "src/repro/demo/engine.py",
+            """
+            class Simulator:
+                def __init__(self) -> None:
+                    self.queue = EventQueue()
+
+                def run(self) -> None:
+                    self.queue.push(1)
+
+            class EventQueue:
+                def push(self, item) -> None:
+                    pass
+            """,
+        )
+    )
+    index = project.index
+    assert "repro.demo.engine.Simulator" in index.classes
+    info = index.classes["repro.demo.engine.Simulator"]
+    assert index.attr_type(info, "queue") == "EventQueue"
+    method = index.lookup_method(info, "run")
+    assert method is not None and method.qualname.endswith("Simulator.run")
+
+
+def test_method_resolution_walks_project_visible_mro():
+    project = _project(
+        (
+            "mod.py",
+            """
+            class Base:
+                def helper(self) -> None:
+                    pass
+
+            class Child(Base):
+                def caller(self) -> None:
+                    self.helper()
+            """,
+        )
+    )
+    edges = project.graph.facts["mod.Child.caller"].edges
+    assert [edge.callee for edge in edges] == ["mod.Base.helper"]
+
+
+# --------------------------------------------------------------------- #
+# Call graph
+# --------------------------------------------------------------------- #
+
+
+def test_cross_module_call_resolution_through_imports():
+    project = _project(
+        (
+            "src/repro/demo/util.py",
+            """
+            def helper() -> int:
+                return 1
+            """,
+        ),
+        (
+            "src/repro/demo/caller.py",
+            """
+            from repro.demo.util import helper
+
+            def entry() -> int:
+                return helper()
+            """,
+        ),
+    )
+    edges = project.graph.facts["repro.demo.caller.entry"].edges
+    assert [edge.callee for edge in edges] == ["repro.demo.util.helper"]
+
+
+def test_constructor_call_resolves_to_init_and_types_local():
+    project = _project(
+        (
+            "mod.py",
+            """
+            class Widget:
+                def __init__(self) -> None:
+                    pass
+
+                def spin(self) -> None:
+                    pass
+
+            def build() -> None:
+                w = Widget()
+                w.spin()
+            """,
+        )
+    )
+    callees = [e.callee for e in project.graph.facts["mod.build"].edges]
+    assert callees == ["mod.Widget.__init__", "mod.Widget.spin"]
+
+
+def test_trace_guard_and_raise_edges_are_guarded():
+    project = _project(
+        (
+            "mod.py",
+            """
+            def cold() -> None:
+                pass
+
+            def hot() -> None:
+                pass
+
+            class Runner:
+                def __init__(self, trace) -> None:
+                    self._trace = trace
+
+                def step(self) -> None:
+                    hot()
+                    if self._trace.enabled:
+                        cold()
+            """,
+        )
+    )
+    edges = {e.callee: e.guarded for e in project.graph.facts["mod.Runner.step"].edges}
+    assert edges == {"mod.hot": False, "mod.cold": True}
+
+
+def test_dynamic_dispatch_produces_no_edge_but_is_counted():
+    project = _project(
+        (
+            "mod.py",
+            """
+            def run(entry) -> None:
+                entry[3].callback()
+            """,
+        )
+    )
+    facts = project.graph.facts["mod.run"]
+    assert facts.edges == []
+    assert facts.dynamic_calls == 1
+
+
+# --------------------------------------------------------------------- #
+# Dataflow
+# --------------------------------------------------------------------- #
+
+
+def test_transitive_may_draw_and_trail():
+    project = _project(
+        (
+            "mod.py",
+            """
+            import numpy as np
+
+            def leaf(rng: np.random.Generator) -> float:
+                return float(rng.random())
+
+            def mid(rng: np.random.Generator) -> float:
+                return leaf(rng)
+
+            def top(rng: np.random.Generator) -> float:
+                return mid(rng)
+            """,
+        )
+    )
+    summaries = project.summaries
+    assert summaries.summary_for("mod.leaf").may_draw_rng
+    assert summaries.summary_for("mod.top").may_draw_rng
+    assert summaries.draw_trail("mod.top") == ("mod.top", "mod.mid", "mod.leaf")
+
+
+def test_family_fixpoint_propagates_through_forwarding():
+    project = _project(
+        (
+            "mod.py",
+            """
+            import numpy as np
+            from repro.sim.rng import RngRegistry
+
+            def inner(rng: np.random.Generator) -> float:
+                return float(rng.random())
+
+            def outer(rng: np.random.Generator) -> float:
+                return inner(rng)
+
+            def site_a(registry: RngRegistry) -> float:
+                return outer(registry.stream("mining.lottery"))
+
+            def site_b(registry: RngRegistry) -> float:
+                return outer(registry.stream("faults.churn"))
+            """,
+        )
+    )
+    summaries = project.summaries
+    assert summaries.summary_for("mod.outer").param_families["rng"] == frozenset(
+        {"mining", "faults"}
+    )
+    # ...and the fixpoint pushes the same families one hop further down.
+    assert summaries.summary_for("mod.inner").param_families["rng"] == frozenset(
+        {"mining", "faults"}
+    )
+
+
+def test_unguarded_reachability_skips_cold_edges():
+    project = _project(
+        (
+            "mod.py",
+            """
+            def cold() -> None:
+                pass
+
+            def warm() -> None:
+                pass
+
+            class Runner:
+                def __init__(self, trace) -> None:
+                    self._trace = trace
+
+                def step(self) -> None:
+                    warm()
+                    if self._trace.enabled:
+                        cold()
+            """,
+        )
+    )
+    summaries = project.summaries
+    hot = summaries.reachable(["mod.Runner.step"], include_guarded=False)
+    assert set(hot) == {"mod.Runner.step", "mod.warm"}
+    full = summaries.reachable(["mod.Runner.step"], include_guarded=True)
+    assert set(full) == {"mod.Runner.step", "mod.warm", "mod.cold"}
+    assert full["mod.cold"] == ("mod.Runner.step", "mod.cold")
+
+
+def test_real_tree_analysis_is_fast_and_covers_hot_core():
+    import pathlib
+    import time
+
+    root = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+    modules = [
+        ModuleContext.from_source(path.read_text(encoding="utf-8"), str(path))
+        for path in sorted(root.rglob("*.py"))
+    ]
+    started = time.perf_counter()
+    project = ProjectContext(modules)
+    summaries = project.summaries
+    elapsed = time.perf_counter() - started
+    assert elapsed < 10.0, f"whole-program pass took {elapsed:.1f}s"
+    send_many = summaries.summary_for("repro.p2p.network.Network.send_many")
+    assert send_many is not None and send_many.may_draw_rng
+    hooks = summaries.summary_for("repro.obs.recorder.TraceRecorder.gossip_send")
+    assert hooks is not None
+    assert not hooks.may_draw_rng and not hooks.may_schedule

@@ -1,0 +1,94 @@
+"""Schema contract for ``repro lint --graph-out``: the exported call
+graph + summaries JSON is versioned, deterministic, and key-stable so
+downstream tooling (CI artifact consumers, editor overlays) can rely
+on it."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.cli import main as repro_main
+from repro.devtools.lint.context import ModuleContext
+from repro.devtools.lint.graph import (
+    GRAPH_SCHEMA_VERSION,
+    ProjectContext,
+    render_graph,
+)
+
+FIXTURE = textwrap.dedent(
+    """
+    import numpy as np
+
+    def draw(rng: np.random.Generator) -> float:
+        return float(rng.random())
+
+    class Simulator:
+        def run(self, rng: np.random.Generator) -> float:
+            return draw(rng)
+    """
+)
+
+
+def _doc():
+    module = ModuleContext.from_source(FIXTURE, "fixture_mod.py")
+    return render_graph(ProjectContext([module]))
+
+
+def test_graph_schema_version_and_top_level_keys():
+    doc = _doc()
+    assert doc["version"] == GRAPH_SCHEMA_VERSION == 1
+    assert set(doc) == {"version", "modules", "functions", "edges", "stats"}
+    assert set(doc["stats"]) == {"modules", "functions", "classes", "edges"}
+
+
+def test_graph_function_and_edge_shapes():
+    doc = _doc()
+    assert doc["modules"] == ["fixture_mod"]
+    by_name = {entry["qualname"]: entry for entry in doc["functions"]}
+    assert set(by_name) == {"fixture_mod.draw", "fixture_mod.Simulator.run"}
+    for entry in doc["functions"]:
+        assert set(entry) == {
+            "qualname",
+            "module",
+            "path",
+            "line",
+            "class",
+            "hot_marked",
+            "may_draw_rng",
+            "may_schedule",
+            "direct_draw_sites",
+            "direct_schedule_sites",
+            "dynamic_calls",
+            "rng_params",
+        }
+    assert by_name["fixture_mod.draw"]["may_draw_rng"] is True
+    assert by_name["fixture_mod.Simulator.run"]["may_draw_rng"] is True
+    assert by_name["fixture_mod.Simulator.run"]["direct_draw_sites"] == 0
+    assert doc["edges"] == [
+        {
+            "caller": "fixture_mod.Simulator.run",
+            "callee": "fixture_mod.draw",
+            "line": 9,
+            "guarded": False,
+        }
+    ]
+
+
+def test_graph_export_is_deterministic():
+    assert json.dumps(_doc(), sort_keys=True) == json.dumps(
+        _doc(), sort_keys=True
+    )
+
+
+def test_cli_graph_out_writes_versioned_document(tmp_path, capsys):
+    target = tmp_path / "fixture_mod.py"
+    target.write_text(FIXTURE, encoding="utf-8")
+    out = tmp_path / "graph.json"
+    code = repro_main(["lint", str(target), "--graph-out", str(out)])
+    assert code == 0
+    capsys.readouterr()
+    doc = json.loads(out.read_text(encoding="utf-8"))
+    assert doc["version"] == GRAPH_SCHEMA_VERSION
+    assert doc["stats"]["functions"] == 2
+    assert doc["stats"]["edges"] == 1

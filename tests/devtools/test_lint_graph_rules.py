@@ -1,0 +1,379 @@
+"""Fixtures for the cross-module rule families (STR0xx stream
+provenance, OBS1xx hook purity, PERF0xx hot-path hygiene).
+
+Each rule fires on its hazard and stays quiet on the idiomatic fix —
+the executable specification, same contract as ``test_lint_rules.py``
+for the per-file rules."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.devtools.lint import LintConfig, lint_source
+
+
+def _lint(source: str, relpath: str = "mod.py", **kwargs) -> list:
+    return lint_source(textwrap.dedent(source), relpath, LintConfig(**kwargs))
+
+
+def _rule_ids(findings) -> list[str]:
+    return [finding.rule_id for finding in findings]
+
+
+# --------------------------------------------------------------------- #
+# STR001 — cross-family aliasing
+# --------------------------------------------------------------------- #
+
+
+def test_str001_flags_parameter_bound_to_two_families():
+    findings = _lint(
+        """
+        import numpy as np
+        from repro.sim.rng import RngRegistry
+
+        def helper(rng: np.random.Generator) -> float:
+            return float(rng.random())
+
+        def mining_site(registry: RngRegistry) -> float:
+            return helper(registry.stream("mining.lottery"))
+
+        def faults_site(registry: RngRegistry) -> float:
+            return helper(registry.stream("faults.churn"))
+        """,
+        select=frozenset({"STR001"}),
+    )
+    assert _rule_ids(findings) == ["STR001"]
+    assert "faults" in findings[0].message and "mining" in findings[0].message
+    assert "helper" in findings[0].message
+
+
+def test_str001_transitive_forwarding_is_flagged_too():
+    findings = _lint(
+        """
+        import numpy as np
+        from repro.sim.rng import RngRegistry
+
+        def inner(rng: np.random.Generator) -> float:
+            return float(rng.random())
+
+        def outer(rng: np.random.Generator) -> float:
+            return inner(rng)
+
+        def a(registry: RngRegistry) -> float:
+            return outer(registry.stream("mining.lottery"))
+
+        def b(registry: RngRegistry) -> float:
+            return outer(registry.stream("scenario.jitter"))
+        """,
+        select=frozenset({"STR001"}),
+    )
+    # Both the directly-called helper and the one it forwards to.
+    assert _rule_ids(findings) == ["STR001", "STR001"]
+
+
+def test_str001_single_family_and_dynamic_namespaces_stay_quiet():
+    findings = _lint(
+        """
+        import numpy as np
+        from repro.sim.rng import RngRegistry
+
+        def helper(rng: np.random.Generator) -> float:
+            return float(rng.random())
+
+        def site_a(registry: RngRegistry) -> float:
+            return helper(registry.stream("mining.lottery"))
+
+        def site_b(registry: RngRegistry, name: str) -> float:
+            return helper(registry.stream(name))
+        """,
+        select=frozenset({"STR001"}),
+    )
+    assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# STR002 — draws on the registry itself
+# --------------------------------------------------------------------- #
+
+
+def test_str002_flags_draw_on_registry():
+    findings = _lint(
+        """
+        from repro.sim.rng import RngRegistry
+
+        def bad(registry: RngRegistry) -> float:
+            return float(registry.normal())
+        """,
+        select=frozenset({"STR002"}),
+    )
+    assert _rule_ids(findings) == ["STR002"]
+    assert "child stream" in findings[0].message
+
+
+def test_str002_stream_and_fork_are_fine():
+    findings = _lint(
+        """
+        from repro.sim.rng import RngRegistry
+
+        def good(registry: RngRegistry) -> float:
+            child = registry.fork("node.7")
+            return float(registry.stream("mining.lottery").random())
+        """,
+        select=frozenset({"STR002"}),
+    )
+    assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# STR003 — provenance-erasing containers
+# --------------------------------------------------------------------- #
+
+
+def test_str003_flags_generators_stored_in_list():
+    findings = _lint(
+        """
+        from repro.sim.rng import RngRegistry
+
+        def bad(registry: RngRegistry):
+            return [registry.stream("mining.a"), registry.stream("faults.b")]
+        """,
+        select=frozenset({"STR003"}),
+    )
+    assert _rule_ids(findings) == ["STR003", "STR003"]
+
+
+def test_str003_storing_namespaces_is_the_fix():
+    findings = _lint(
+        """
+        from repro.sim.rng import RngRegistry
+
+        def good(registry: RngRegistry):
+            names = ["mining.a", "faults.b"]
+            return [registry.stream(n).random() for n in names]
+        """,
+        select=frozenset({"STR003"}),
+    )
+    assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# OBS101/OBS102 — hook purity (the PR 4 contract, statically)
+# --------------------------------------------------------------------- #
+
+#: The acceptance fixture: a trace hook that *transitively* calls a
+#: function that draws RNG must be flagged.
+TRANSITIVE_DRAW_HOOK = """
+import numpy as np
+
+def jitter(rng: np.random.Generator) -> float:
+    return float(rng.random())
+
+def observe(payload, rng: np.random.Generator) -> float:
+    return jitter(rng)
+
+class TraceRecorder:
+    enabled = False
+
+    def block_seen(self, payload, rng: np.random.Generator) -> None:
+        observe(payload, rng)
+"""
+
+
+def test_obs101_flags_hook_that_transitively_draws():
+    findings = _lint(TRANSITIVE_DRAW_HOOK, select=frozenset({"OBS101"}))
+    assert _rule_ids(findings) == ["OBS101"]
+    assert "block_seen" in findings[0].message
+    assert "observe" in findings[0].message  # the trail names the path
+
+
+def test_obs101_covers_trace_recorder_subclasses():
+    findings = _lint(
+        """
+        import numpy as np
+
+        class TraceRecorder:
+            enabled = False
+
+        class FancyRecorder(TraceRecorder):
+            def gossip_send(self, rng: np.random.Generator) -> None:
+                rng.random()
+        """,
+        select=frozenset({"OBS101"}),
+    )
+    assert _rule_ids(findings) == ["OBS101"]
+
+
+def test_obs102_flags_hook_that_schedules():
+    findings = _lint(
+        """
+        class TraceRecorder:
+            enabled = False
+
+        class BadRecorder(TraceRecorder):
+            def block_seen(self, simulator) -> None:
+                simulator.call_later(1.0, lambda: None)
+        """,
+        select=frozenset({"OBS102"}),
+    )
+    assert _rule_ids(findings) == ["OBS102"]
+
+
+def test_pure_hook_and_snapshotter_lifecycle_stay_quiet():
+    findings = _lint(
+        """
+        class TraceRecorder:
+            enabled = False
+            def __init__(self) -> None:
+                self.records = []
+            def block_seen(self, now, payload) -> None:
+                self.records.append((now, payload))
+
+        class MetricsSnapshotter:
+            def _sample(self) -> None:
+                self.last = 1
+            def start(self, simulator) -> None:
+                simulator.call_later(1.0, self._sample)
+        """,
+        select=frozenset({"OBS101", "OBS102"}),
+    )
+    # start/stop legitimately schedule; the _sample hook is pure.
+    assert findings == []
+
+
+def test_obs102_flags_snapshot_hook_that_schedules():
+    findings = _lint(
+        """
+        class MetricsSnapshotter:
+            def _sample(self) -> None:
+                self.simulator.call_later(1.0, self._sample)
+        """,
+        select=frozenset({"OBS102"}),
+    )
+    assert _rule_ids(findings) == ["OBS102"]
+
+
+# --------------------------------------------------------------------- #
+# PERF001/002/003 — hot-path hygiene
+# --------------------------------------------------------------------- #
+
+
+def test_perf001_flags_closure_in_hot_entry():
+    findings = _lint(
+        """
+        class EventQueue:
+            def push_batch(self, items):
+                for item in items:
+                    cb = lambda: item
+        """,
+        select=frozenset({"PERF001"}),
+    )
+    assert _rule_ids(findings) == ["PERF001"]
+    assert "EventQueue.push_batch" in findings[0].message
+
+
+def test_perf002_flags_fstring_reached_transitively():
+    findings = _lint(
+        """
+        def label(item) -> str:
+            return f"evt-{item}"
+
+        class Simulator:
+            def run(self, items) -> None:
+                for item in items:
+                    label(item)
+        """,
+        select=frozenset({"PERF002"}),
+    )
+    assert _rule_ids(findings) == ["PERF002"]
+    assert "hot path" in findings[0].message
+    assert "Simulator.run" in findings[0].message
+
+
+def test_perf002_raise_path_and_trace_guard_are_exempt():
+    findings = _lint(
+        """
+        class Simulator:
+            def __init__(self, trace) -> None:
+                self._trace = trace
+
+            def run(self, items) -> None:
+                if not items:
+                    raise ValueError(f"empty batch: {items!r}")
+                if self._trace.enabled:
+                    banner = f"run of {len(items)}"
+        """,
+        select=frozenset({"PERF002"}),
+    )
+    assert findings == []
+
+
+def test_perf003_flags_scalar_send_in_loop_on_marked_hotpath():
+    findings = _lint(
+        """
+        # repro: hotpath
+        def fan_out(network, peers, payload) -> None:
+            for peer in peers:
+                network.send(0, peer, payload)
+        """,
+        select=frozenset({"PERF003"}),
+    )
+    assert _rule_ids(findings) == ["PERF003"]
+    assert "send_many" in findings[0].message or "wave" in findings[0].message
+
+
+def test_perf_rules_ignore_cold_functions():
+    findings = _lint(
+        """
+        def report(results) -> str:
+            lines = [f"{name}: {value}" for name, value in results]
+            return "\\n".join(lines)
+        """,
+        select=frozenset({"PERF001", "PERF002", "PERF003"}),
+    )
+    assert findings == []
+
+
+def test_mutating_a_real_obs_hook_to_draw_rng_fails_lint(tmp_path):
+    """Acceptance: inject an RNG draw into a shipped TraceRecorder hook
+    and the lint run over the mutated module fails with OBS101 — the
+    check the CI lint job (strict, whole tree) relies on."""
+    import ast as ast_mod
+    from pathlib import Path
+
+    from repro.cli import main as repro_main
+
+    repo_root = Path(__file__).resolve().parents[2]
+    source = (repo_root / "src" / "repro" / "obs" / "recorder.py").read_text(
+        encoding="utf-8"
+    )
+    tree = ast_mod.parse(source)
+    recorder = next(
+        node
+        for node in tree.body
+        if isinstance(node, ast_mod.ClassDef) and node.name == "TraceRecorder"
+    )
+    hook = next(
+        node
+        for node in recorder.body
+        if isinstance(node, ast_mod.FunctionDef) and node.name == "gossip_send"
+    )
+    first = hook.body[0]
+    lines = source.splitlines(keepends=True)
+    injected = " " * first.col_offset + "self._hook_rng.random()\n"
+    lines.insert(first.lineno - 1, injected)
+    mutated = tmp_path / "recorder.py"
+    mutated.write_text("".join(lines), encoding="utf-8")
+    assert repro_main(["lint", str(mutated), "--select", "OBS101"]) == 1
+
+
+def test_hotpath_marker_extends_the_registry():
+    findings = _lint(
+        """
+        # repro: hotpath
+        def dispatch(items) -> None:
+            for item in items:
+                text = f"evt-{item}"
+        """,
+        select=frozenset({"PERF002"}),
+    )
+    assert _rule_ids(findings) == ["PERF002"]

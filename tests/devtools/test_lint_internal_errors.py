@@ -1,0 +1,89 @@
+"""Analyzer internal errors surface as exit 2 with the offending path —
+never as a traceback.  Covers both failure classes: an unparseable
+source file and a rule that raises mid-run."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import main as repro_main
+from repro.devtools.lint import LintConfig, lint_paths
+from repro.devtools.lint.registry import get_rule
+from repro.devtools.lint.reporters import render_json
+
+
+def test_broken_fixture_exits_two_with_path(tmp_path, capsys):
+    target = tmp_path / "broken.py"
+    target.write_text("def broken(:\n", encoding="utf-8")
+    code = repro_main(["lint", str(target)])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "broken.py" in err
+    assert "Traceback" not in err
+
+
+def test_broken_file_does_not_hide_other_findings(tmp_path, capsys):
+    (tmp_path / "broken.py").write_text("def broken(:\n", encoding="utf-8")
+    (tmp_path / "hazard.py").write_text(
+        "def loop(peers: set[int]):\n    return [p for p in peers]\n",
+        encoding="utf-8",
+    )
+    report = lint_paths([tmp_path], LintConfig())
+    assert len(report.parse_errors) == 1
+    assert [f.rule_id for f in report.findings] == ["DET003"]
+
+
+def test_crashed_rule_is_internal_error_not_traceback(tmp_path, capsys, monkeypatch):
+    target = tmp_path / "mod.py"
+    target.write_text("X = 1\n", encoding="utf-8")
+
+    def boom(module):
+        raise RuntimeError("rule exploded")
+
+    monkeypatch.setattr(get_rule("DET002"), "check", boom)
+    code = repro_main(["lint", str(target)])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "DET002" in err and "mod.py" in err
+    assert "rule exploded" in err
+    assert "Traceback" not in err
+
+
+def test_crashed_rule_lands_in_json_report(tmp_path, monkeypatch):
+    target = tmp_path / "mod.py"
+    target.write_text("X = 1\n", encoding="utf-8")
+
+    def boom(module):
+        raise RuntimeError("rule exploded")
+
+    monkeypatch.setattr(get_rule("DET002"), "check", boom)
+    report = lint_paths([target], LintConfig())
+    assert report.failed(strict=False)
+    payload = json.loads(render_json(report))
+    assert payload["summary"]["internal_errors"] == 1
+    assert "DET002" in payload["internal_errors"][0]
+
+
+def test_crashed_project_rule_is_contained(tmp_path, monkeypatch):
+    target = tmp_path / "mod.py"
+    target.write_text("X = 1\n", encoding="utf-8")
+
+    def boom(project):
+        raise RuntimeError("graph pass exploded")
+
+    monkeypatch.setattr(get_rule("OBS101"), "check_project", boom)
+    report = lint_paths([target], LintConfig())
+    assert any("OBS101" in error for error in report.internal_errors)
+    # Other rules still ran to completion.
+    assert report.files_checked == 1
+
+
+def test_update_baseline_refused_on_internal_errors(tmp_path, capsys):
+    (tmp_path / "broken.py").write_text("def broken(:\n", encoding="utf-8")
+    baseline = tmp_path / "baseline.json"
+    code = repro_main(
+        ["lint", str(tmp_path), "--baseline", str(baseline), "--update-baseline"]
+    )
+    assert code == 2
+    assert not baseline.exists()

@@ -31,7 +31,7 @@ def _report(tmp_path, source=HAZARD):
 
 def test_json_schema_top_level(tmp_path):
     payload = json.loads(render_json(_report(tmp_path)))
-    assert payload["version"] == 1
+    assert payload["version"] == 2
     assert payload["tool"] == "repro-lint"
     assert set(payload) == {
         "version",
@@ -42,6 +42,7 @@ def test_json_schema_top_level(tmp_path):
         "unused_suppressions",
         "expired_baseline",
         "parse_errors",
+        "internal_errors",
     }
     assert set(payload["summary"]) == {
         "files_checked",
@@ -51,6 +52,7 @@ def test_json_schema_top_level(tmp_path):
         "expired_baseline",
         "unused_suppressions",
         "parse_errors",
+        "internal_errors",
         "failed",
     }
 
