@@ -47,7 +47,7 @@ from repro.obs.blocktrace import (
     resolve_block_hash,
     vantage_deltas,
 )
-from repro.obs.export import Trace
+from repro.obs.export import Trace, convert_trace
 from repro.stats import format_fleet_profile
 
 
@@ -65,7 +65,8 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--out", type=Path, default=None, help="save data set as JSONL")
     run.add_argument(
         "--trace-out", type=Path, default=None,
-        help="enable ground-truth tracing and save the trace as JSONL",
+        help="enable ground-truth tracing and save the trace (a .bin "
+        "path streams the columnar container, anything else JSONL)",
     )
     run.add_argument(
         "--faults", type=Path, default=None, metavar="PLAN.json",
@@ -117,26 +118,46 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     trace = sub.add_parser(
-        "trace", help="inspect a ground-truth trace file"
+        "trace", help="inspect or convert a ground-truth trace file"
     )
-    trace.add_argument("trace_file", type=Path, help="trace JSONL file")
-    trace.add_argument(
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    show = trace_sub.add_parser(
+        "show",
+        help="propagation trees and per-block summaries "
+        "(default subcommand: `repro trace FILE` works too)",
+    )
+    show.add_argument(
+        "trace_file", type=Path, help="trace file (.trace.bin or JSONL)"
+    )
+    show.add_argument(
         "block", nargs="?", default=None,
         help="block to reconstruct: 'head' or an unambiguous hash prefix "
         "(omit for a per-canonical-block summary table)",
     )
-    trace.add_argument(
+    show.add_argument(
         "--dataset", type=Path, default=None,
         help="same-run data set JSONL; adds the ground-truth vs measured "
         "per-vantage delta report",
     )
-    trace.add_argument(
+    show.add_argument(
         "--max-nodes", type=int, default=0,
         help="cap the propagation-tree rendering (0 = all nodes)",
     )
-    trace.add_argument(
+    show.add_argument(
         "--limit", type=int, default=0,
         help="summary mode: keep only the last N canonical blocks (0 = all)",
+    )
+    convert = trace_sub.add_parser(
+        "convert",
+        help="convert a trace between the columnar container and JSONL",
+    )
+    convert.add_argument(
+        "trace_file", type=Path, help="source trace (.trace.bin or JSONL)"
+    )
+    convert.add_argument(
+        "out_file", type=Path,
+        help="destination; a .bin suffix writes the columnar container, "
+        "anything else JSONL",
     )
 
     analyze = sub.add_parser("analyze", help="run experiments on a data set")
@@ -170,6 +191,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.faults is not None:
         config = replace(config, faults=FaultPlan.load(args.faults))
     campaign = Campaign(config)
+    if args.trace_out is not None and args.trace_out.suffix == ".bin":
+        # Columnar traces stream to disk as blocks seal — the run never
+        # retains the whole trace in memory.
+        campaign.stream_trace_to(args.trace_out)
     dataset = campaign.run()
     main_blocks = len(dataset.chain.canonical_hashes) - 1
     print(
@@ -280,8 +305,19 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "convert":
+        try:
+            convert_trace(args.trace_file, args.out_file)
+        except TraceError as error:
+            print(f"cannot convert trace: {error}")
+            return 2
+        print(f"trace converted to {args.out_file}")
+        return 0
     try:
-        trace = Trace.load(args.trace_file)
+        # Binary containers open as a streaming scan: analysis reads
+        # column blocks straight off disk instead of materializing the
+        # whole trace in memory.
+        trace = Trace.scan(args.trace_file)
     except TraceError as error:
         print(f"cannot load trace: {error}")
         return 2
@@ -328,7 +364,16 @@ _COMMANDS = {
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = _build_parser().parse_args(argv)
+    arg_list = list(sys.argv[1:] if argv is None else argv)
+    if (
+        arg_list
+        and arg_list[0] == "trace"
+        and len(arg_list) > 1
+        and arg_list[1] not in ("show", "convert", "-h", "--help")
+    ):
+        # Back-compat: `repro trace FILE ...` means `repro trace show`.
+        arg_list.insert(1, "show")
+    args = _build_parser().parse_args(arg_list)
     return _COMMANDS[args.command](args)
 
 

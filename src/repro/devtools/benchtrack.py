@@ -20,7 +20,12 @@ wall-clock means of the remaining benches are recorded for trend
 reading but not gated, because shared CI runners make raw wall time
 too noisy for a hard gate.  :data:`FLOORS` additionally pins
 baseline-independent minimums (the fleet-speedup > 1 promotion, guarded
-on the runner's core count so single-core hosts are exempt).
+on the runner's core count so single-core hosts are exempt), and
+:data:`CEILINGS` pins baseline-independent maximums — most notably the
+always-on tracing overhead ratio, which DESIGN.md §5e budgets at 1.20×
+a plain run and which the observability bench measures as a min over
+interleaved plain/traced pairs precisely so this ceiling can be
+enforced absolutely rather than relative to a drifting baseline.
 
 The run date is passed in by the caller (CI uses ``date -u +%F``)
 instead of being read from the wall clock, keeping this module inside
@@ -62,6 +67,17 @@ GATES: tuple[tuple[str, str, str], ...] = (
 #: (which cannot beat sequential) records the ratio without being gated.
 FLOORS: tuple[tuple[str, str, float, str, float], ...] = (
     ("test_parallel_sweep_speedup", "speedup", 1.0, "cores", 2.0),
+)
+
+#: Absolute ceiling gates: ``(bench, metric, ceiling)``.  Like
+#: :data:`FLOORS` these are baseline-independent — the record fails
+#: whenever the metric rises above the ceiling.  ``tracing_overhead``
+#: is the traced-vs-plain cost *ratio* (1.0 = free), reported by the
+#: observability bench as the minimum over interleaved pairs so a noisy
+#: co-tenant can only push the measurement up, never sneak a regression
+#: under the bar.
+CEILINGS: tuple[tuple[str, str, float], ...] = (
+    ("test_tracing_noop_overhead", "tracing_overhead", 1.20),
 )
 
 
@@ -130,6 +146,15 @@ def compare_records(
                 f"{bench}.{metric}: {new:,.2f} below the hard floor "
                 f"{floor:,.2f} ({guard_key}={guard:g})"
             )
+    for bench, metric, ceiling in CEILINGS:
+        new = record_benches.get(bench, {}).get(metric)
+        if new is None:
+            continue  # ceiling applies only where the record carries it
+        if new > ceiling:
+            failures.append(
+                f"{bench}.{metric}: {new:,.2f} above the hard ceiling "
+                f"{ceiling:,.2f}"
+            )
     return failures
 
 
@@ -181,10 +206,16 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         if record.get("benchmarks", {}).get(bench, {}).get(guard_key, 0)
         >= guard_min
     ]
+    ceilings = [
+        (bench, metric)
+        for bench, metric, _ in CEILINGS
+        if metric in record.get("benchmarks", {}).get(bench, {})
+    ]
     print(
         f"no perf regression vs {args.baseline} "
         f"({len(gated)} gated metrics, threshold "
-        f"{100 * args.threshold:.0f}%; {len(floors)} hard floors active)"
+        f"{100 * args.threshold:.0f}%; {len(floors)} hard floors and "
+        f"{len(ceilings)} hard ceilings active)"
     )
     return 0
 

@@ -104,8 +104,8 @@ class CampaignJob:
             optional override for preset jobs.  Filesystem-friendly
             (letters, digits, ``._-``).
         trace: Record a ground-truth trace alongside the dataset (the
-            worker exports it next to the dataset cache as
-            ``<dataset stem>.trace.jsonl``).  The dataset itself is
+            worker streams it next to the dataset cache as a columnar
+            ``<dataset stem>.trace.bin`` container).  The dataset is
             bit-identical with or without tracing, so traced and
             untraced jobs share one dataset cache entry.
     """
@@ -156,7 +156,7 @@ class CampaignJob:
 
         Deliberately independent of :attr:`trace` — a traced run's
         dataset is bit-identical to an untraced one's, so both share the
-        same cache entry (only the ``.trace.jsonl`` sibling differs).
+        same cache entry (only the ``.trace.bin`` sibling differs).
         """
         if self.preset_name is not None and self.label is None:
             return cache_key(self.preset_name, self.seed)
@@ -178,7 +178,7 @@ class CampaignJob:
 
     def trace_filename(self) -> str:
         """Trace-file sibling of :meth:`cache_filename`."""
-        return f"{self._cache_stem()}.trace.jsonl"
+        return f"{self._cache_stem()}.trace.bin"
 
     def meta_filename(self) -> str:
         """Run-report sibling of :meth:`cache_filename`.
@@ -196,7 +196,7 @@ class CampaignJob:
         Two jobs with the same key would run the same campaign and write
         the same cache file, so only one runs; the others adopt its
         outcome.  Trace is part of the key — a traced twin still has to
-        run to export the ``.trace.jsonl`` sibling.
+        run to export the ``.trace.bin`` sibling.
         """
         return (self.cache_filename(), self.trace)
 
@@ -334,6 +334,10 @@ class FleetResult:
 
 
 def _write_json_atomic(path: Path, payload: dict[str, object]) -> None:
+    # Failure reports can be the first write into a fresh cache dir; a
+    # missing directory must not escalate a job failure into a dead
+    # worker with no report.
+    path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
     tmp.write_text(json.dumps(payload), encoding="utf-8")
     os.replace(tmp, path)
@@ -366,9 +370,14 @@ def _run_one_campaign(job: CampaignJob, paths: _JobPaths) -> None:
     report is written, preserving process-fatal semantics.
     """
     out_path, meta_path, trace_path = paths
+    campaign: Optional[Campaign] = None
     try:
         started = time.perf_counter()
         campaign = Campaign(job.resolved_config())
+        if job.trace and trace_path:
+            # Stream trace blocks to disk as they seal, so a traced
+            # mainnet-scale job costs bounded memory, not a record list.
+            campaign.stream_trace_to(trace_path)
         dataset = campaign.run()
         wall = time.perf_counter() - started
         store_dataset(dataset, Path(out_path))
@@ -386,6 +395,8 @@ def _run_one_campaign(job: CampaignJob, paths: _JobPaths) -> None:
             payload["sim_metrics"] = dataclasses.asdict(metrics)
         _write_json_atomic(Path(meta_path), payload)
     except BaseException as error:
+        if campaign is not None:
+            campaign.abort_trace_stream()
         _write_json_atomic(
             Path(meta_path),
             {"ok": False, "error": traceback.format_exc(limit=8)},
@@ -837,7 +848,7 @@ class CampaignPool:
         else:
             out_path = spool / f"job-{index}.jsonl"
             meta_path = spool / f"job-{index}.meta.json"
-            trace_path = spool / f"job-{index}.trace.jsonl"
+            trace_path = spool / f"job-{index}.trace.bin"
         return (str(out_path), str(meta_path), str(trace_path))
 
     def _harvest(
@@ -1031,7 +1042,7 @@ def run_seed_sweep(
 
     ``trace=True`` additionally exports a ground-truth trace per job
     (requires ``use_disk``; the files land next to the dataset cache as
-    ``<dataset stem>.trace.jsonl``).  ``batch_size`` controls how many
+    ``<dataset stem>.trace.bin``).  ``batch_size`` controls how many
     seeds one worker dispatch amortizes over (``None`` = auto).
     """
     pool = CampaignPool(

@@ -26,7 +26,9 @@ from repro.measurement.dataset import ChainSnapshot, MeasurementDataset
 from repro.measurement.instrumented import InstrumentedNode
 from repro.measurement.records import ChainBlockRecord
 from repro.node.config import measurement_node_config
-from repro.obs.export import Trace
+from repro.obs.binio import TraceBinWriter
+from repro.obs.export import TRACE_SCHEMA_VERSION, Trace
+from repro.obs.recorder import TraceRecorder
 from repro.workload.scenarios import Scenario, ScenarioConfig, build_scenario
 
 #: Duration (simulated seconds) equivalent to the paper's one-month window,
@@ -98,6 +100,7 @@ class Campaign:
         self.scenario: Optional[Scenario] = None
         self.vantages: dict[str, InstrumentedNode] = {}
         self._deployed = False
+        self._trace_writer: Optional[TraceBinWriter] = None
 
     # ------------------------------------------------------------------ #
     # Deployment
@@ -180,6 +183,95 @@ class Campaign:
             TraceError: when the scenario was not built or tracing was
                 never enabled.
         """
+        recorder = self._traced_recorder()
+        if recorder.columns.sink is not None:
+            raise TraceError(
+                "trace blocks are streaming to disk; finish with "
+                "save_trace() and analyze the written container"
+            )
+        recorder.sync_metrics()
+        canonical_hashes, head_hash = self._chain_context()
+        return Trace(
+            seed=self.config.scenario.seed,
+            canonical_hashes=canonical_hashes,
+            head_hash=head_hash,
+            columns=recorder.columns,
+        )
+
+    def stream_trace_to(self, path: str | Path) -> None:
+        """Stream trace blocks to a ``.trace.bin`` at ``path`` as they seal.
+
+        Call between :meth:`deploy` and :meth:`run`: every sealed column
+        block is written straight to disk instead of retained, so an
+        arbitrarily long traced run holds at most one staging buffer per
+        record kind in memory.  :meth:`save_trace` (with the same path)
+        finalizes the container.
+        """
+        self.deploy()
+        recorder = self._traced_recorder()
+        if self._trace_writer is not None:
+            raise TraceError("a trace stream is already attached")
+        writer = TraceBinWriter(path, TRACE_SCHEMA_VERSION)
+        # Deployment already emitted records (node registrations); hand
+        # any blocks sealed so far to the writer so nothing is lost.
+        for store in recorder.columns.stores.values():
+            for block in store.blocks:
+                writer.write_block(block)
+            store.blocks.clear()
+        self._trace_writer = writer
+        recorder.columns.sink = writer
+
+    def abort_trace_stream(self) -> None:
+        """Drop an attached trace stream and its partial temp file."""
+        writer = self._trace_writer
+        if writer is None:
+            return
+        self._trace_writer = None
+        if self.scenario is not None:
+            self.scenario.simulator.trace.columns.sink = None
+        writer.abort()
+
+    def save_trace(self, path: str | Path, preset: str = "") -> Path:
+        """Write the run's trace at ``path`` (atomic); the suffix picks
+        the format (``.bin`` = columnar container, else JSONL).  See
+        :meth:`build_trace` for preconditions.
+
+        With a stream attached (:meth:`stream_trace_to`), this seals the
+        remaining staging buffers and finalizes the container — ``path``
+        must then match the streaming path.
+        """
+        path = Path(path)
+        writer = self._trace_writer
+        if writer is not None:
+            if path != writer.path:
+                raise TraceError(
+                    f"trace is streaming to {writer.path}; cannot save to "
+                    f"{path}"
+                )
+            recorder = self._traced_recorder()
+            recorder.sync_metrics()  # drain before seal resets counters
+            recorder.columns.seal_all()
+            canonical_hashes, head_hash = self._chain_context()
+            self._trace_writer = None
+            try:
+                writer.finalize(
+                    recorder.columns,
+                    seed=self.config.scenario.seed,
+                    preset=preset,
+                    canonical_hashes=canonical_hashes,
+                    head_hash=head_hash,
+                )
+            except BaseException:
+                writer.abort()
+                raise
+            recorder.columns.sink = None
+            return path
+        trace = self.build_trace()
+        trace.preset = preset
+        trace.save(path)
+        return path
+
+    def _traced_recorder(self) -> TraceRecorder:
         if self.scenario is None:
             raise TraceError("campaign has not been deployed; nothing to trace")
         recorder = self.scenario.simulator.trace
@@ -188,6 +280,11 @@ class Campaign:
                 "tracing was not enabled; build the campaign with "
                 "ScenarioConfig(trace=True)"
             )
+        return recorder
+
+    def _chain_context(self) -> tuple[tuple[str, ...], str]:
+        """Final canonical chain + head from the reference vantage."""
+        assert self.scenario is not None
         reference = (
             self.vantages.get(self._reference_name()) if self.vantages else None
         )
@@ -195,23 +292,10 @@ class Campaign:
             tree = reference.tree
         else:  # vantage-less campaigns: fall back to the primary gateway
             tree = self.scenario.pools[0].primary.tree
-        return Trace(
-            seed=self.config.scenario.seed,
-            canonical_hashes=tuple(
-                block.block_hash for block in tree.canonical_chain()
-            ),
-            head_hash=tree.head.block_hash,
-            records=list(recorder.events),
+        return (
+            tuple(block.block_hash for block in tree.canonical_chain()),
+            tree.head.block_hash,
         )
-
-    def save_trace(self, path: str | Path, preset: str = "") -> Path:
-        """Write the run's trace as JSONL at ``path`` (atomic); see
-        :meth:`build_trace` for preconditions."""
-        trace = self.build_trace()
-        trace.preset = preset
-        path = Path(path)
-        trace.save(path)
-        return path
 
     def _reference_name(self) -> str:
         if self.config.reference_vantage:

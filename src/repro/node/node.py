@@ -344,12 +344,12 @@ class ProtocolNode:
             )
         if self._trace.enabled:
             self._trace.block_received(
-                time=self.simulator.now,
-                node=self.name,
-                block_hash=block.block_hash,
-                height=block.height,
-                peer_id=peer.remote_id,
-                direct=True,
+                self.simulator.now,
+                self.name,
+                block.block_hash,
+                block.height,
+                peer.remote_id,
+                True,
             )
         if block.block_hash in self._importing:
             # Geth 1.8 re-propagates on NewBlock receptions while the
@@ -385,12 +385,12 @@ class ProtocolNode:
                 self._observe_block_hook(peer, block_hash, height, direct=False)
             if self._trace.enabled:
                 self._trace.block_received(
-                    time=self.simulator.now,
-                    node=self.name,
-                    block_hash=block_hash,
-                    height=height,
-                    peer_id=peer.remote_id,
-                    direct=False,
+                    self.simulator.now,
+                    self.name,
+                    block_hash,
+                    height,
+                    peer.remote_id,
+                    False,
                 )
             if (
                 block_hash in tree_blocks
@@ -402,10 +402,7 @@ class ProtocolNode:
             self._fetching[block_hash] = None
             if self._trace.enabled:
                 self._trace.fetch_started(
-                    time=self.simulator.now,
-                    node=self.name,
-                    block_hash=block_hash,
-                    peer_id=peer.remote_id,
+                    self.simulator.now, self.name, block_hash, peer.remote_id
                 )
             self.network.send(
                 self.node_id, peer.remote_id, GetBlockHeadersMessage(block_hash)
@@ -501,10 +498,7 @@ class ProtocolNode:
         self._importing[block.block_hash] = None
         if self._trace.enabled:
             self._trace.validation_started(
-                time=self.simulator.now,
-                node=self.name,
-                block_hash=block.block_hash,
-                height=block.height,
+                self.simulator.now, self.name, block.block_hash, block.height
             )
         # Import-phase events are never cancelled, so they skip the
         # cancellable Event handle (and the closures two `call_later`
@@ -549,11 +543,11 @@ class ProtocolNode:
         self._observe_block_import(block)
         if self._trace.enabled:
             self._trace.block_imported(
-                time=self.simulator.now,
-                node=self.name,
-                block_hash=block.block_hash,
-                height=block.height,
-                head_changed=head_changed,
+                self.simulator.now,
+                self.name,
+                block.block_hash,
+                block.height,
+                head_changed,
             )
         self._announce_rest(block)
         if head_changed:
@@ -577,12 +571,12 @@ class ProtocolNode:
         old_branch, new_branch = self.tree.branch_diff(old_head, new_head)
         if self._trace.enabled:
             self._trace.head_changed(
-                time=self.simulator.now,
-                node=self.name,
-                old_head=old_head.block_hash,
-                new_head=new_head.block_hash,
-                height=new_head.height,
-                reorg_depth=len(old_branch),
+                self.simulator.now,
+                self.name,
+                old_head.block_hash,
+                new_head.block_hash,
+                new_head.height,
+                len(old_branch),
             )
         # Reorged-out transactions return to the pool; newly included
         # ones leave it — in the same head-to-fork-point order as the
@@ -674,10 +668,7 @@ class ProtocolNode:
                 fresh.append(tx)
                 if self._trace.enabled:
                     self._trace.tx_first_seen(
-                        time=self.simulator.now,
-                        node=self.name,
-                        tx_hash=tx_hash,
-                        peer_id=peer.remote_id,
+                        self.simulator.now, self.name, tx_hash, peer.remote_id
                     )
         if fresh:
             self._enqueue_tx_gossip(fresh, exclude=peer.remote_id)
@@ -690,10 +681,7 @@ class ProtocolNode:
             if self._trace.enabled:
                 # peer_id -1 marks the local wallet/RPC origin.
                 self._trace.tx_first_seen(
-                    time=self.simulator.now,
-                    node=self.name,
-                    tx_hash=tx.tx_hash,
-                    peer_id=-1,
+                    self.simulator.now, self.name, tx.tx_hash, -1
                 )
             self._enqueue_tx_gossip([tx], exclude=None)
 

@@ -15,7 +15,13 @@ and are therefore loaded lazily via PEP 562 on first attribute access.
 
 from typing import Any
 
-from repro.obs.export import TRACE_SCHEMA_VERSION, Trace
+from repro.obs.columns import KindBlock, TraceColumns, TraceSource
+from repro.obs.export import (
+    TRACE_SCHEMA_VERSION,
+    Trace,
+    TraceScan,
+    convert_trace,
+)
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
@@ -104,15 +110,20 @@ __all__ = [
     "PartitionStarted",
     "PropagationNode",
     "PropagationTree",
+    "KindBlock",
     "TRACE_RECORD_TYPES",
     "TRACE_SCHEMA_VERSION",
     "Trace",
+    "TraceColumns",
     "TraceRecord",
     "TraceRecorder",
+    "TraceScan",
+    "TraceSource",
     "TxFirstSeen",
     "ValidationStarted",
     "VantageDelta",
     "build_propagation_tree",
+    "convert_trace",
     "node_directory",
     "render_campaign_summary",
     "render_delta_report",

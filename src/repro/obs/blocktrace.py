@@ -1,10 +1,18 @@
 """Propagation-tree reconstruction from ground-truth traces.
 
-Given a :class:`~repro.obs.export.Trace`, this module rebuilds the full
-propagation tree of any block: which gateway injected it, which peer
-each node first heard it from, and when each node validated and imported
-it — the per-hop structure the paper's four vantages could only sample
-the leaves of.
+Given a trace source (an in-memory :class:`~repro.obs.export.Trace` or
+a file-backed streaming :class:`~repro.obs.export.TraceScan`), this
+module rebuilds the full propagation tree of any block: which gateway
+injected it, which peer each node first heard it from, and when each
+node validated and imported it — the per-hop structure the paper's four
+vantages could only sample the leaves of.
+
+Analysis runs directly over the columnar form: per-kind column blocks
+are scanned with the target block hash as an interned symbol index, so
+matching is float comparison against an ``array('d')`` column and no
+record dataclasses are ever materialized.  Combined with block-at-a-time
+reads from :class:`~repro.obs.export.TraceScan`, a 15k-peer trace is
+analyzed in bounded memory.
 
 When a :class:`~repro.measurement.dataset.MeasurementDataset` from the
 same run is supplied, :func:`vantage_deltas` lines the NTP-stamped
@@ -20,15 +28,30 @@ from typing import Optional
 
 from repro.errors import TraceError
 from repro.measurement.dataset import MeasurementDataset
-from repro.obs.export import Trace
+from repro.obs.columns import TraceSource
 from repro.obs.records import (
     BlockImported,
     BlockReceived,
     BlockSealed,
+    DeliveryDropped,
+    FetchStarted,
+    GossipSend,
     NodeRegistered,
     ValidationStarted,
 )
 from repro.stats.tables import format_table
+
+#: Record kinds carrying a scalar ``block_hash`` column — the haystack
+#: :func:`resolve_block_hash` matches prefixes against.
+_BLOCK_HASH_KINDS = (
+    BlockSealed,
+    GossipSend,
+    DeliveryDropped,
+    BlockReceived,
+    FetchStarted,
+    ValidationStarted,
+    BlockImported,
+)
 
 
 @dataclass
@@ -101,16 +124,18 @@ class PropagationTree:
         return times[index] - self.origin_time
 
 
-def node_directory(trace: Trace) -> dict[int, str]:
+def node_directory(source: TraceSource) -> dict[int, str]:
     """Map wire node ids to human-readable names from the trace."""
     names: dict[int, str] = {}
-    for record in trace.records:
-        if isinstance(record, NodeRegistered):
-            names[record.node_id] = record.node
+    for block in source.iter_kind_blocks(NodeRegistered):
+        for node_sym, id_index in zip(block.col("node"), block.col("node_id")):
+            names[source.resolve_id(int(id_index))] = source.resolve_symbol(
+                int(node_sym)
+            )
     return names
 
 
-def resolve_block_hash(trace: Trace, query: str) -> str:
+def resolve_block_hash(source: TraceSource, query: str) -> str:
     """Resolve ``query`` to a full block hash.
 
     ``head`` (case-insensitive) resolves to the canonical head; anything
@@ -120,16 +145,20 @@ def resolve_block_hash(trace: Trace, query: str) -> str:
         TraceError: when nothing (or more than one block) matches.
     """
     if query.lower() == "head":
-        if not trace.head_hash:
+        if not source.head_hash:
             raise TraceError("trace header carries no canonical head")
-        return trace.head_hash
+        return source.head_hash
     needle = query if query.startswith("0x") else f"0x{query}"
+    hash_syms: set[int] = set()
+    for kind in _BLOCK_HASH_KINDS:
+        for block in source.iter_kind_blocks(kind):
+            hash_syms.update(int(v) for v in block.col("block_hash"))
     seen: dict[str, None] = {}
-    for record in trace.records:
-        block_hash = getattr(record, "block_hash", "")
-        if isinstance(block_hash, str) and block_hash.startswith(needle):
-            seen[block_hash] = None
-    for block_hash in trace.canonical_hashes:
+    for sym in sorted(hash_syms):
+        value = source.resolve_symbol(sym)
+        if value.startswith(needle):
+            seen[value] = None
+    for block_hash in source.canonical_hashes:
         if block_hash.startswith(needle):
             seen[block_hash] = None
     if not seen:
@@ -142,69 +171,106 @@ def resolve_block_hash(trace: Trace, query: str) -> str:
     return next(iter(seen))
 
 
-def build_propagation_tree(trace: Trace, block_hash: str) -> PropagationTree:
-    """Reconstruct ``block_hash``'s propagation tree from ``trace``.
+def build_propagation_tree(
+    source: TraceSource, block_hash: str
+) -> PropagationTree:
+    """Reconstruct ``block_hash``'s propagation tree from ``source``.
+
+    Pure column scans: the target hash becomes an interned symbol index
+    once, then every kind's ``block_hash`` column is filtered by float
+    equality.  Per-kind blocks arrive in emission order, so "first"
+    always means earliest simulated time.
 
     Raises:
         TraceError: when the trace never saw the block at all.
     """
-    names = node_directory(trace)
     tree = PropagationTree(block_hash=block_hash)
+    target_sym = source.symbol_id(block_hash)
+    if target_sym is None:
+        raise TraceError(f"trace contains no events for block {block_hash!r}")
+    target = float(target_sym)
 
-    first_seen: dict[str, BlockReceived] = {}
-    validated: dict[str, float] = {}
-    imported: dict[str, float] = {}
-    for record in trace.records:
-        if isinstance(record, BlockSealed) and record.block_hash == block_hash:
-            if tree.sealed_time is None:
-                tree.sealed_time = record.time
-                tree.pool = record.pool
-                tree.height = record.height
-        elif isinstance(record, BlockReceived) and record.block_hash == block_hash:
-            if record.node not in first_seen:
-                first_seen[record.node] = record
-            if tree.height == 0:
-                tree.height = record.height
-        elif (
-            isinstance(record, ValidationStarted)
-            and record.block_hash == block_hash
+    for block in source.iter_kind_blocks(BlockSealed):
+        if tree.sealed_time is not None:
+            break
+        hashes = block.col("block_hash")
+        for time, bh, height, pool_sym in zip(
+            block.col("time"), hashes, block.col("height"), block.col("pool")
         ):
-            if record.node not in validated:
-                validated[record.node] = record.time
-            if tree.height == 0:
-                tree.height = record.height
-        elif isinstance(record, BlockImported) and record.block_hash == block_hash:
-            if record.node not in imported:
-                imported[record.node] = record.time
+            if bh == target:
+                tree.sealed_time = time
+                tree.pool = source.resolve_symbol(int(pool_sym))
+                tree.height = int(height)
+                break
+
+    # Per-node firsts, keyed by node symbol index.
+    first_seen: dict[float, tuple[float, float, float]] = {}
+    validated: dict[float, float] = {}
+    imported: dict[float, float] = {}
+    for block in source.iter_kind_blocks(BlockReceived):
+        for time, node, bh, height, peer, direct in zip(
+            block.col("time"),
+            block.col("node"),
+            block.col("block_hash"),
+            block.col("height"),
+            block.col("peer_id"),
+            block.col("direct"),
+        ):
+            if bh == target:
+                if node not in first_seen:
+                    first_seen[node] = (time, peer, direct)
+                if tree.height == 0:
+                    tree.height = int(height)
+    for block in source.iter_kind_blocks(ValidationStarted):
+        for time, node, bh, height in zip(
+            block.col("time"),
+            block.col("node"),
+            block.col("block_hash"),
+            block.col("height"),
+        ):
+            if bh == target:
+                if node not in validated:
+                    validated[node] = time
+                if tree.height == 0:
+                    tree.height = int(height)
+    for block in source.iter_kind_blocks(BlockImported):
+        for time, node, bh in zip(
+            block.col("time"), block.col("node"), block.col("block_hash")
+        ):
+            if bh == target and node not in imported:
+                imported[node] = time
 
     if not first_seen and not validated:
         raise TraceError(f"trace contains no events for block {block_hash!r}")
+
+    names = node_directory(source)
 
     # Origins: nodes whose validation began strictly before any reception
     # — i.e. gateways the pool injected the block into locally.  (A push
     # reception and the validation it triggers share one sim timestamp,
     # so ties mean "received then validated", not "injected".)
-    for node, time in validated.items():
-        reception = first_seen.get(node)
-        if reception is None or time < reception.time:
+    for node_sym, time in validated.items():
+        reception = first_seen.get(node_sym)
+        if reception is None or time < reception[0]:
+            node = source.resolve_symbol(int(node_sym))
             tree.nodes[node] = PropagationNode(
                 node=node,
                 first_seen=time,
                 validated=time,
-                imported=imported.get(node),
+                imported=imported.get(node_sym),
             )
-    for node, reception in first_seen.items():
+    for node_sym, (time, peer, direct) in first_seen.items():
+        node = source.resolve_symbol(int(node_sym))
         if node in tree.nodes:
             continue
+        peer_id = source.resolve_id(int(peer))
         tree.nodes[node] = PropagationNode(
             node=node,
-            first_seen=reception.time,
-            via_peer=names.get(
-                reception.peer_id, f"node-{reception.peer_id & 0xFFFF:04x}"
-            ),
-            direct=reception.direct,
-            validated=validated.get(node),
-            imported=imported.get(node),
+            first_seen=time,
+            via_peer=names.get(peer_id, f"node-{peer_id & 0xFFFF:04x}"),
+            direct=direct != 0.0,
+            validated=validated.get(node_sym),
+            imported=imported.get(node_sym),
         )
 
     # Attach children to the peer they first heard from; unknown parents
@@ -253,17 +319,24 @@ class VantageDelta:
 
 
 def vantage_deltas(
-    trace: Trace, dataset: MeasurementDataset, block_hash: str
+    source: TraceSource, dataset: MeasurementDataset, block_hash: str
 ) -> list[VantageDelta]:
     """Per-vantage ground-truth vs measured deltas for ``block_hash``."""
     truth: dict[str, float] = {}
-    for record in trace.records:
-        if (
-            isinstance(record, BlockReceived)
-            and record.block_hash == block_hash
-            and record.node not in truth
-        ):
-            truth[record.node] = record.time
+    target_sym = source.symbol_id(block_hash)
+    if target_sym is not None:
+        target = float(target_sym)
+        first: dict[float, float] = {}
+        for block in source.iter_kind_blocks(BlockReceived):
+            for time, node, bh in zip(
+                block.col("time"), block.col("node"), block.col("block_hash")
+            ):
+                if bh == target and node not in first:
+                    first[node] = time
+        truth = {
+            source.resolve_symbol(int(node_sym)): time
+            for node_sym, time in first.items()
+        }
     measured: dict[str, float] = {}
     for message in dataset.block_messages:
         if message.block_hash != block_hash:
@@ -286,38 +359,115 @@ def vantage_deltas(
 # --------------------------------------------------------------------- #
 
 
-def render_campaign_summary(trace: Trace, limit: int = 0) -> str:
+def render_campaign_summary(source: TraceSource, limit: int = 0) -> str:
     """Per-canonical-block propagation summary table.
 
+    One pass over each relevant kind's columns covers *every* canonical
+    block at once (the tree-per-block approach re-scanned the trace per
+    block, quadratic over a campaign).
+
     Args:
-        trace: The loaded trace.
+        source: The trace (in-memory or streaming scan).
         limit: Keep only the last ``limit`` canonical blocks (0 = all).
     """
-    hashes = [h for h in trace.canonical_hashes]
+    hashes = list(source.canonical_hashes)
     if hashes:
         hashes = hashes[1:]  # genesis never propagates
     if limit > 0:
         hashes = hashes[-limit:]
+    wanted: dict[float, str] = {}
+    for block_hash in hashes:
+        sym = source.symbol_id(block_hash)
+        if sym is not None:
+            wanted[float(sym)] = block_hash
+
+    sealed: dict[float, tuple[float, str, int]] = {}
+    for block in source.iter_kind_blocks(BlockSealed):
+        for time, bh, height, pool_sym in zip(
+            block.col("time"),
+            block.col("block_hash"),
+            block.col("height"),
+            block.col("pool"),
+        ):
+            if bh in wanted and bh not in sealed:
+                sealed[bh] = (
+                    time,
+                    source.resolve_symbol(int(pool_sym)),
+                    int(height),
+                )
+
+    # (block, node) firsts for reach + spread, per canonical block.
+    receptions: dict[float, dict[float, float]] = {bh: {} for bh in wanted}
+    heights: dict[float, int] = {}
+    for block in source.iter_kind_blocks(BlockReceived):
+        for time, node, bh, height in zip(
+            block.col("time"),
+            block.col("node"),
+            block.col("block_hash"),
+            block.col("height"),
+        ):
+            per_block = receptions.get(bh)
+            if per_block is not None:
+                if node not in per_block:
+                    per_block[node] = time
+                if bh not in heights:
+                    heights[bh] = int(height)
+    validations: dict[float, dict[float, float]] = {bh: {} for bh in wanted}
+    for block in source.iter_kind_blocks(ValidationStarted):
+        for time, node, bh, height in zip(
+            block.col("time"),
+            block.col("node"),
+            block.col("block_hash"),
+            block.col("height"),
+        ):
+            per_block = validations.get(bh)
+            if per_block is not None:
+                if node not in per_block:
+                    per_block[node] = time
+                if bh not in heights:
+                    heights[bh] = int(height)
+
     rows: list[list[str]] = []
     for block_hash in hashes:
-        try:
-            tree = build_propagation_tree(trace, block_hash)
-        except TraceError:
+        sym = source.symbol_id(block_hash)
+        if sym is None:
             continue  # sealed before the trace window opened
+        bh = float(sym)
+        first_times = dict(receptions[bh])
+        for node, time in validations[bh].items():
+            known = first_times.get(node)
+            if known is None or time < known:
+                first_times[node] = time
+        if not first_times:
+            continue
+        seal = sealed.get(bh)
+        if seal is not None:
+            origin, pool, height = seal
+        else:
+            origin = min(first_times.values())
+            pool = ""
+            height = heights.get(bh, 0)
+        times = sorted(first_times.values())
+        reach = len(times)
+
+        def spread(fraction: float) -> float:
+            index = max(0, min(reach - 1, int(round(fraction * reach)) - 1))
+            return times[index] - origin
+
         rows.append(
             [
-                str(tree.height),
+                str(height),
                 _short_hash(block_hash),
-                tree.pool or "?",
-                f"{tree.origin_time:.2f}",
-                str(tree.reach),
-                f"{tree.spread_seconds(0.5):.3f}",
-                f"{tree.spread_seconds(1.0):.3f}",
+                pool or "?",
+                f"{origin:.2f}",
+                str(reach),
+                f"{spread(0.5):.3f}",
+                f"{spread(1.0):.3f}",
             ]
         )
-    title = f"canonical blocks · seed {trace.seed}"
-    if trace.preset:
-        title += f" · preset {trace.preset}"
+    title = f"canonical blocks · seed {source.seed}"
+    if source.preset:
+        title += f" · preset {source.preset}"
     return format_table(
         ["height", "block", "pool", "sealed", "reach", "t50 (s)", "t100 (s)"],
         rows,

@@ -1,30 +1,45 @@
-"""Trace persistence: atomic JSONL save / tolerant load.
+"""Trace persistence: the binary columnar container + legacy JSONL.
 
-A trace file is a header line followed by one type-tagged record per
-line — the same shape as :class:`~repro.measurement.dataset.MeasurementDataset`
-files, and written with the same atomic ``.tmp`` + ``os.replace``
-protocol so the campaign fleet can drop traces into the shared disk
-cache without readers ever seeing a truncated file.
+Two on-disk forms round-trip through this module:
+
+* ``.trace.bin`` — the columnar container (:mod:`repro.obs.binio`):
+  per-kind column blocks, interned symbol tables, written atomically
+  and streamable both ways.  This is what the fleet emits.
+* ``.trace.jsonl`` — the legacy line-per-record form: a header line
+  followed by one type-tagged record per line, same shape as
+  :class:`~repro.measurement.dataset.MeasurementDataset` files.  Kept
+  for interchange; ``repro trace convert`` moves between the two.
+
+:meth:`Trace.load` sniffs the format from the file magic, so every
+consumer keeps working on either.  For analysis over big traces use
+:meth:`Trace.scan`, which returns a file-backed streaming view
+(:class:`TraceScan`) instead of materializing records in memory — both
+it and :class:`Trace` satisfy :class:`~repro.obs.columns.TraceSource`,
+the protocol :mod:`repro.obs.blocktrace` consumes.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterable, Iterator, Optional
 
 from repro.errors import TraceError
+from repro.obs.binio import TraceBinReader, TraceBinWriter, is_binary_trace
+from repro.obs.columns import (
+    KindBlock,
+    TraceColumns,
+    merge_kind_streams,
+)
 from repro.obs.records import TraceRecord, trace_from_json, trace_to_json
 
 #: Bumped whenever a record's field set changes incompatibly.
-TRACE_SCHEMA_VERSION = 1
+TRACE_SCHEMA_VERSION = 2
 
 
-@dataclass
 class Trace:
-    """A loaded (or about-to-be-saved) trace: header context + records.
+    """An in-memory trace: header context + columnar record store.
 
     Attributes:
         seed: Scenario seed the trace was recorded under.
@@ -33,47 +48,175 @@ class Trace:
             captured at collection time so ``repro trace`` can tell
             canonical blocks from uncles without the dataset.
         head_hash: Final canonical head.
-        records: Trace records in emission (= simulated time) order.
+        columns: The columnar record store (see
+            :class:`~repro.obs.columns.TraceColumns`).
     """
 
-    seed: int = 0
-    preset: str = ""
-    canonical_hashes: tuple[str, ...] = ()
-    head_hash: str = ""
-    records: list[TraceRecord] = field(default_factory=list)
+    __slots__ = ("seed", "preset", "canonical_hashes", "head_hash", "columns")
+
+    def __init__(
+        self,
+        seed: int = 0,
+        preset: str = "",
+        canonical_hashes: tuple[str, ...] = (),
+        head_hash: str = "",
+        records: Optional[Iterable[TraceRecord]] = None,
+        columns: Optional[TraceColumns] = None,
+    ) -> None:
+        self.seed = seed
+        self.preset = preset
+        self.canonical_hashes = tuple(canonical_hashes)
+        self.head_hash = head_hash
+        self.columns = columns if columns is not None else TraceColumns()
+        if records is not None:
+            for record in records:
+                self.columns.append_record(record)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return (
+            self.seed == other.seed
+            and self.preset == other.preset
+            and self.canonical_hashes == other.canonical_hashes
+            and self.head_hash == other.head_hash
+            and self.records == other.records
+        )
+
+    # ------------------------------------------------------------------ #
+    # TraceSource surface (what blocktrace analysis consumes)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def records(self) -> list[TraceRecord]:
+        """All records materialized as dataclasses, in time order.
+
+        A convenience for tests and small traces — each access decodes
+        the columns.  Streaming consumers use :meth:`iter_records` or
+        :meth:`iter_kind_blocks`.
+        """
+        return list(self.iter_records())
+
+    def iter_records(self) -> Iterator[TraceRecord]:
+        """Stream records in chronological order (block-at-a-time)."""
+        return self.columns.iter_records()
+
+    def iter_kind_blocks(self, kind: type[Any]) -> Iterator[KindBlock]:
+        return self.columns.iter_kind_blocks(kind)
+
+    def symbol_id(self, value: str) -> Optional[int]:
+        return self.columns.symbol_id(value)
+
+    def resolve_symbol(self, index: int) -> str:
+        return self.columns.resolve_symbol(index)
+
+    def resolve_id(self, index: int) -> int:
+        return self.columns.resolve_id(index)
+
+    def record_count(self) -> int:
+        return self.columns.record_count()
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
 
     def save(self, path: str | Path) -> None:
-        """Write the trace as JSONL, atomically (see module docstring)."""
+        """Write the trace, atomically; format follows the suffix.
+
+        Paths ending in ``.bin`` get the binary columnar container,
+        anything else the legacy JSONL form.
+        """
         path = Path(path)
-        header: dict[str, Any] = {
-            "_type": "TraceHeader",
-            "schema": TRACE_SCHEMA_VERSION,
-            "seed": self.seed,
-            "preset": self.preset,
-            "canonical_hashes": list(self.canonical_hashes),
-            "head_hash": self.head_hash,
-        }
-        tmp_path = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        if path.suffix == ".bin":
+            self._save_binary(path)
+        else:
+            self._save_jsonl(path)
+
+    def _save_binary(self, path: Path) -> None:
+        writer = TraceBinWriter(path, TRACE_SCHEMA_VERSION)
         try:
-            with tmp_path.open("w", encoding="utf-8") as fh:
-                fh.write(json.dumps(header) + "\n")
-                for record in self.records:
-                    fh.write(json.dumps(trace_to_json(record)) + "\n")
-            os.replace(tmp_path, path)
-        finally:
-            tmp_path.unlink(missing_ok=True)
+            for store in self.columns.stores.values():
+                for block in store.blocks:
+                    writer.write_block(block)
+                tail = store.staging_block()
+                if tail is not None:
+                    writer.write_block(tail)
+            writer.finalize(
+                self.columns,
+                seed=self.seed,
+                preset=self.preset,
+                canonical_hashes=self.canonical_hashes,
+                head_hash=self.head_hash,
+            )
+        except BaseException:
+            writer.abort()
+            raise
+
+    def _save_jsonl(self, path: Path) -> None:
+        _write_jsonl(
+            path,
+            seed=self.seed,
+            preset=self.preset,
+            canonical_hashes=self.canonical_hashes,
+            head_hash=self.head_hash,
+            records=self.iter_records(),
+        )
 
     @classmethod
     def load(cls, path: str | Path) -> "Trace":
-        """Inverse of :meth:`save`.
+        """Load a trace fully into memory; format sniffed from the file.
 
         Raises:
-            TraceError: when the file is missing, empty, has no trace
-                header, or was written by a newer schema.
+            TraceError: when the file is missing, empty, truncated,
+                corrupt, or written by a newer schema.
         """
         path = Path(path)
         if not path.exists():
             raise TraceError(f"no trace file at {path}")
+        if is_binary_trace(path):
+            return cls._load_binary(path)
+        return cls._load_jsonl(path)
+
+    @classmethod
+    def scan(cls, path: str | Path) -> "Trace | TraceScan":
+        """Open ``path`` for streaming analysis.
+
+        Binary containers get a :class:`TraceScan` (block-at-a-time
+        reads straight off disk — a 15k-peer trace never needs to fit
+        in RAM); JSONL falls back to a full in-memory load.  Both
+        returns satisfy :class:`~repro.obs.columns.TraceSource`.
+        """
+        path = Path(path)
+        if path.exists() and is_binary_trace(path):
+            return TraceScan(path)
+        return cls.load(path)
+
+    @classmethod
+    def _load_binary(cls, path: Path) -> "Trace":
+        # Adopt the container's blocks and intern tables wholesale —
+        # no per-record decode on the load path.
+        reader = TraceBinReader(path, TRACE_SCHEMA_VERSION)
+        columns = TraceColumns()
+        columns.symbols.values_list = list(reader.symbols)
+        columns.symbols.update(
+            (symbol, index) for index, symbol in enumerate(reader.symbols)
+        )
+        columns.ids.values_list = list(reader.ids)
+        columns.ids.update(
+            (value, index) for index, value in enumerate(reader.ids)
+        )
+        for block in reader.iter_blocks():
+            columns.stores[block.kind].blocks.append(block)
+        return cls(
+            seed=reader.seed,
+            preset=reader.preset,
+            canonical_hashes=reader.canonical_hashes,
+            head_hash=reader.head_hash,
+            columns=columns,
+        )
+
+    @classmethod
+    def _load_jsonl(cls, path: Path) -> "Trace":
         trace = cls()
         with path.open("r", encoding="utf-8") as fh:
             header_line = fh.readline()
@@ -104,5 +247,131 @@ class Trace:
                     raise TraceError(
                         f"{path}:{lineno} is not valid JSON"
                     ) from exc
-                trace.records.append(trace_from_json(payload))
+                trace.columns.append_record(trace_from_json(payload))
         return trace
+
+
+class TraceScan:
+    """A file-backed streaming view of a binary trace container.
+
+    Satisfies :class:`~repro.obs.columns.TraceSource`: per-kind block
+    iteration seeks straight to matching sections and decodes one block
+    at a time, so analysis over mainnet-scale traces runs in bounded
+    memory.  Header context and the intern tables (loaded from the
+    container trailer) live in memory; the columns stay on disk.
+    """
+
+    __slots__ = ("path", "_reader", "_symbol_ids")
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._reader = TraceBinReader(self.path, TRACE_SCHEMA_VERSION)
+        self._symbol_ids: Optional[dict[str, int]] = None
+
+    @property
+    def seed(self) -> int:
+        return self._reader.seed
+
+    @property
+    def preset(self) -> str:
+        return self._reader.preset
+
+    @property
+    def canonical_hashes(self) -> tuple[str, ...]:
+        return self._reader.canonical_hashes
+
+    @property
+    def head_hash(self) -> str:
+        return self._reader.head_hash
+
+    def iter_kind_blocks(self, kind: type[Any]) -> Iterator[KindBlock]:
+        return self._reader.iter_kind_blocks(kind)
+
+    def symbol_id(self, value: str) -> Optional[int]:
+        if self._symbol_ids is None:
+            self._symbol_ids = {
+                symbol: index
+                for index, symbol in enumerate(self._reader.symbols)
+            }
+        return self._symbol_ids.get(value)
+
+    def resolve_symbol(self, index: int) -> str:
+        try:
+            return self._reader.symbols[index]
+        except IndexError:
+            raise TraceError(f"symbol index {index} out of range") from None
+
+    def resolve_id(self, index: int) -> int:
+        try:
+            return self._reader.ids[index]
+        except IndexError:
+            raise TraceError(f"id index {index} out of range") from None
+
+    def record_count(self) -> int:
+        return self._reader.record_count
+
+    def iter_records(self) -> Iterator[TraceRecord]:
+        """Stream all records in chronological order, bounded memory."""
+        return merge_kind_streams(
+            self, self._reader.symbols, self._reader.ids
+        )
+
+    def to_trace(self) -> Trace:
+        """Materialize the scan into a full in-memory :class:`Trace`."""
+        return Trace.load(self.path)
+
+
+def convert_trace(src: str | Path, dst: str | Path) -> Path:
+    """Convert a trace between the binary container and JSONL.
+
+    Direction follows the destination suffix (``.bin`` = columnar
+    container, else JSONL).  Binary-to-JSONL streams record-at-a-time,
+    so converting a mainnet-scale container never materializes the
+    whole trace.
+    """
+    dst = Path(dst)
+    source = Trace.scan(src)
+    if isinstance(source, TraceScan):
+        if dst.suffix == ".bin":
+            source.to_trace().save(dst)
+        else:
+            _write_jsonl(
+                dst,
+                seed=source.seed,
+                preset=source.preset,
+                canonical_hashes=source.canonical_hashes,
+                head_hash=source.head_hash,
+                records=source.iter_records(),
+            )
+    else:
+        source.save(dst)
+    return dst
+
+
+def _write_jsonl(
+    path: Path,
+    *,
+    seed: int,
+    preset: str,
+    canonical_hashes: tuple[str, ...],
+    head_hash: str,
+    records: Iterable[TraceRecord],
+) -> None:
+    """Write header + records as JSONL, atomically (tmp + replace)."""
+    header: dict[str, Any] = {
+        "_type": "TraceHeader",
+        "schema": TRACE_SCHEMA_VERSION,
+        "seed": seed,
+        "preset": preset,
+        "canonical_hashes": list(canonical_hashes),
+        "head_hash": head_hash,
+    }
+    tmp_path = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    try:
+        with tmp_path.open("w", encoding="utf-8") as fh:
+            fh.write(json.dumps(header) + "\n")
+            for record in records:
+                fh.write(json.dumps(trace_to_json(record)) + "\n")
+        os.replace(tmp_path, path)
+    finally:
+        tmp_path.unlink(missing_ok=True)

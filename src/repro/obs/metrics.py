@@ -109,7 +109,15 @@ class Histogram:
     shape, which keeps quantile math downstream straightforward.
     """
 
-    __slots__ = ("name", "help", "edges", "_buckets", "_count", "_sum")
+    __slots__ = (
+        "name",
+        "help",
+        "edges",
+        "_buckets",
+        "_count",
+        "_sum",
+        "_rendered",
+    )
 
     def __init__(
         self,
@@ -130,6 +138,9 @@ class Histogram:
         self._buckets: dict[str, list[int]] = {}
         self._count: dict[str, int] = {}
         self._sum: dict[str, float] = {}
+        #: series key -> rendered exposition keys (buckets..., +Inf,
+        #: count, sum) — string assembly cached across snapshots.
+        self._rendered: dict[str, tuple[str, ...]] = {}
 
     def observe(
         self,
@@ -147,6 +158,39 @@ class Histogram:
             buckets[i] += 1
         self._count[key] = self._count.get(key, 0) + 1
         self._sum[key] = self._sum.get(key, 0.0) + float(value)
+
+    def merge_bucket_counts(
+        self,
+        counts: Sequence[int],
+        total_sum: float,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        """Merge pre-binned observations into the labeled series.
+
+        ``counts`` holds *non-cumulative* per-bucket tallies — one entry
+        per edge plus a final overflow entry for values above the last
+        edge — as produced by binning values with
+        ``bisect_left(edges, value)``.  Equivalent to calling
+        :meth:`observe` once per underlying value (with ``total_sum``
+        being their sum), but one call per drained batch instead of one
+        per record.
+        """
+        if len(counts) != len(self.edges) + 1:
+            raise TraceError(
+                f"histogram {self.name!r} expects {len(self.edges) + 1}"
+                f" bucket counts, got {len(counts)}"
+            )
+        key = series_key(self.name, labels)
+        buckets = self._buckets.get(key)
+        if buckets is None:
+            buckets = [0] * len(self.edges)
+            self._buckets[key] = buckets
+        running = 0
+        for i in range(len(buckets)):
+            running += counts[i]
+            buckets[i] += running
+        self._count[key] = self._count.get(key, 0) + running + counts[-1]
+        self._sum[key] = self._sum.get(key, 0.0) + float(total_sum)
 
     def count(self, labels: Optional[Mapping[str, str]] = None) -> int:
         """Total observations for the labeled series."""
@@ -166,16 +210,25 @@ class Histogram:
         """
         out: dict[str, float] = {}
         for key, buckets in self._buckets.items():
-            base, labels_part = _split_series_key(key)
-            for edge, cumulative in zip(self.edges, buckets):
-                out[_rejoin(base + "_bucket", labels_part, ("le", _fmt(edge)))] = float(
-                    cumulative
+            rendered = self._rendered.get(key)
+            if rendered is None:
+                base, labels_part = _split_series_key(key)
+                names = [
+                    _rejoin(base + "_bucket", labels_part, ("le", _fmt(edge)))
+                    for edge in self.edges
+                ]
+                names.append(
+                    _rejoin(base + "_bucket", labels_part, ("le", "+Inf"))
                 )
-            out[_rejoin(base + "_bucket", labels_part, ("le", "+Inf"))] = float(
-                self._count[key]
-            )
-            out[_rejoin(base + "_count", labels_part)] = float(self._count[key])
-            out[_rejoin(base + "_sum", labels_part)] = self._sum[key]
+                names.append(_rejoin(base + "_count", labels_part))
+                names.append(_rejoin(base + "_sum", labels_part))
+                rendered = self._rendered[key] = tuple(names)
+            for name, cumulative in zip(rendered, buckets):
+                out[name] = float(cumulative)
+            count = float(self._count[key])
+            out[rendered[-3]] = count
+            out[rendered[-2]] = count
+            out[rendered[-1]] = self._sum[key]
         return out
 
 

@@ -47,6 +47,15 @@ class Message:
     def size_bytes(self) -> int:
         return MESSAGE_OVERHEAD
 
+    def trace_meta(self) -> tuple[str, int]:
+        """(block hash, tx count) this message refers to, for tracing.
+
+        One virtual call the trace hooks make per routed message —
+        subclasses that carry a block or transactions override it, so
+        the hook site never probes attributes that do not exist.
+        """
+        return ("", 0)
+
 
 @dataclass(frozen=True, slots=True)
 class StatusMessage(Message):
@@ -74,6 +83,9 @@ class NewBlockMessage(Message):
     def size_bytes(self) -> int:
         return MESSAGE_OVERHEAD + self.block.size_bytes
 
+    def trace_meta(self) -> tuple[str, int]:
+        return (self.block.block_hash, 0)
+
 
 @dataclass(frozen=True, slots=True)
 class NewBlockHashesMessage(Message):
@@ -85,6 +97,9 @@ class NewBlockHashesMessage(Message):
     @property
     def size_bytes(self) -> int:
         return MESSAGE_OVERHEAD + ANNOUNCEMENT_ENTRY_SIZE * len(self.entries)
+
+    def trace_meta(self) -> tuple[str, int]:
+        return (self.entries[0][0] if self.entries else "", 0)
 
 
 @dataclass(frozen=True, slots=True)
@@ -98,6 +113,9 @@ class GetBlockHeadersMessage(Message):
     def size_bytes(self) -> int:
         return MESSAGE_OVERHEAD + 40
 
+    def trace_meta(self) -> tuple[str, int]:
+        return (self.block_hash, 0)
+
 
 @dataclass(frozen=True, slots=True)
 class BlockHeadersMessage(Message):
@@ -110,6 +128,9 @@ class BlockHeadersMessage(Message):
     def size_bytes(self) -> int:
         return MESSAGE_OVERHEAD + EMPTY_BLOCK_SIZE
 
+    def trace_meta(self) -> tuple[str, int]:
+        return (self.block.block_hash, 0)
+
 
 @dataclass(frozen=True, slots=True)
 class GetBlockBodiesMessage(Message):
@@ -121,6 +142,9 @@ class GetBlockBodiesMessage(Message):
     @property
     def size_bytes(self) -> int:
         return MESSAGE_OVERHEAD + 40
+
+    def trace_meta(self) -> tuple[str, int]:
+        return (self.block_hash, 0)
 
 
 @dataclass(frozen=True, slots=True)
@@ -137,6 +161,9 @@ class BlockBodiesMessage(Message):
     @property
     def block_hash(self) -> str:
         return self.block.block_hash
+
+    def trace_meta(self) -> tuple[str, int]:
+        return (self.block.block_hash, 0)
 
 
 class TransactionsMessage(Message):
@@ -169,3 +196,6 @@ class TransactionsMessage(Message):
     @property
     def size_bytes(self) -> int:
         return self._size_bytes
+
+    def trace_meta(self) -> tuple[str, int]:
+        return ("", len(self.transactions))

@@ -219,20 +219,6 @@ def _member_name(member: Optional["NetworkMember"], node_id: int) -> str:
     return f"node-{node_id & 0xFFFF:04x}"
 
 
-def _message_block_hash(message: Message) -> str:
-    """Block hash a wire message refers to, if any ("" otherwise)."""
-    block = getattr(message, "block", None)
-    if block is not None:
-        return str(block.block_hash)
-    block_hash = getattr(message, "block_hash", None)
-    if isinstance(block_hash, str):
-        return block_hash
-    entries = getattr(message, "entries", None)
-    if entries:
-        return str(entries[0][0])
-    return ""
-
-
 class NetworkMember(Protocol):
     """Interface a node must implement to live on the network."""
 
@@ -287,6 +273,10 @@ class Network:
         #: trace paths need them per message, and recomputing the
         #: getattr/format fallback per send was measurable.
         self._names: dict[int, str] = {}
+        #: Region value strings resolved once at registration, for the
+        #: same reason — the enum ``.value`` descriptor per traced send
+        #: was measurable at gossip volume.
+        self._regions: dict[int, str] = {}
         self._links: set[tuple[int, int]] = set()
         self.messages_sent = 0
         self.bytes_sent = 0
@@ -306,13 +296,14 @@ class Network:
             raise ConfigurationError(f"node {member.node_id!r} already on network")
         self._members[member.node_id] = member
         self._names[member.node_id] = _member_name(member, member.node_id)
+        self._regions[member.node_id] = member.region.value
         self.discovery.register(member.node_id, member)
         if self._trace.enabled:
             self._trace.node_registered(
                 time=self.simulator.now,
                 node=self._names[member.node_id],
                 node_id=member.node_id,
-                region=member.region.value,
+                region=self._regions[member.node_id],
             )
 
     def member(self, node_id: int) -> NetworkMember:
@@ -478,10 +469,25 @@ class Network:
                 sender_id, recipient_ids, link_keys, [message] * count, delays
             )
         if self._trace.enabled:
-            for index, recipient_id in enumerate(recipient_ids):
-                self._record_send(
-                    sender_id, recipient_id, message, size, delays[index]
-                )
+            # One batched emit per wave: the per-message context (kind,
+            # sender, block hash, tx count) is resolved once instead of
+            # once per recipient.
+            names = self._names
+            regions = self._regions
+            block_hash, tx_count = message.trace_meta()
+            self._trace.gossip_wave(
+                now,
+                message.kind,
+                names[sender_id],
+                regions[sender_id],
+                recipient_ids,
+                names,
+                regions,
+                size,
+                delays,
+                block_hash,
+                tx_count,
+            )
         return delays
 
     def send_each(
@@ -537,14 +543,19 @@ class Network:
                 sender_id, recipient_ids, link_keys, messages, delays
             )
         if self._trace.enabled:
-            for index, recipient_id in enumerate(recipient_ids):
-                self._record_send(
-                    sender_id,
-                    recipient_id,
-                    messages[index],
-                    sizes[index],
-                    delays[index],
-                )
+            names = self._names
+            regions = self._regions
+            self._trace.gossip_each(
+                now,
+                names[sender_id],
+                regions[sender_id],
+                recipient_ids,
+                names,
+                regions,
+                messages,
+                sizes,
+                delays,
+            )
         return delays
 
     def _route_faulted(
@@ -604,34 +615,32 @@ class Network:
         size: int,
         delay: float,
     ) -> None:
-        members = self._members
+        # Members never leave the fabric, so the name/region caches
+        # built at registration are authoritative — no fallbacks here.
         names = self._names
-        transactions = getattr(message, "transactions", None)
+        regions = self._regions
+        block_hash, tx_count = message.trace_meta()
         self._trace.gossip_send(
-            time=self.simulator.now,
-            kind=message.kind,
-            sender=names.get(sender_id) or _member_name(members.get(sender_id), sender_id),
-            recipient=names.get(recipient_id)
-            or _member_name(members.get(recipient_id), recipient_id),
-            sender_region=members[sender_id].region.value,
-            recipient_region=members[recipient_id].region.value,
-            size=size,
-            latency=delay,
-            block_hash=_message_block_hash(message),
-            tx_count=len(transactions) if transactions is not None else 0,
+            self.simulator.now,
+            message.kind,
+            names[sender_id],
+            names[recipient_id],
+            regions[sender_id],
+            regions[recipient_id],
+            size,
+            delay,
+            block_hash,
+            tx_count,
         )
 
     def _record_drop(
         self, sender_id: int, recipient_id: int, message: Message
     ) -> None:
-        members = self._members
         names = self._names
         self._trace.delivery_dropped(
             time=self.simulator.now,
             kind=message.kind,
-            sender=names.get(sender_id)
-            or _member_name(members.get(sender_id), sender_id),
-            recipient=names.get(recipient_id)
-            or _member_name(members.get(recipient_id), recipient_id),
-            block_hash=_message_block_hash(message),
+            sender=names[sender_id],
+            recipient=names[recipient_id],
+            block_hash=message.trace_meta()[0],
         )

@@ -110,6 +110,35 @@ def test_speedup_floor_is_skipped_on_single_core_or_unrecorded_runners():
     )
 
 
+def _obs_record(overhead: float | None) -> dict:
+    entry: dict = {"wall_seconds": 12.0, "plain_events_per_second": 90_000.0}
+    if overhead is not None:
+        entry["tracing_overhead"] = overhead
+    return {
+        "schema": 1,
+        "date": "2026-08-08",
+        "benchmarks": {"test_tracing_noop_overhead": entry},
+    }
+
+
+def test_tracing_overhead_ceiling_fails_above_budget():
+    # Ceilings are baseline-independent: a generous baseline can't mask
+    # the overhead ratio creeping past the DESIGN §5e budget.
+    baseline = _obs_record(1.50)
+    failures = compare_records(_obs_record(1.35), baseline)
+    assert len(failures) == 1
+    assert "above the hard ceiling" in failures[0]
+    assert "tracing_overhead" in failures[0]
+
+
+def test_tracing_overhead_ceiling_passes_at_or_below_budget():
+    baseline = _obs_record(1.05)
+    assert compare_records(_obs_record(1.20), baseline) == []
+    assert compare_records(_obs_record(1.08), baseline) == []
+    # Records that never measured the ratio are not gated on it.
+    assert compare_records(_obs_record(None), baseline) == []
+
+
 def test_cli_reduce_then_compare_round_trip(tmp_path, capsys):
     raw_path = tmp_path / "bench-raw.json"
     raw_path.write_text(json.dumps(_raw()))

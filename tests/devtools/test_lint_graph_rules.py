@@ -203,6 +203,36 @@ def test_obs101_covers_trace_recorder_subclasses():
     assert _rule_ids(findings) == ["OBS101"]
 
 
+def test_obs101_flags_columnar_seal_helper_that_draws():
+    """The columnar pipeline's internal helpers are inside the contract.
+
+    Emit hooks call seal/drain helpers on the hot path; a helper that
+    draws RNG perturbs the simulation exactly like a hook that draws
+    directly, and the transitive walk must catch it.
+    """
+    findings = _lint(
+        """
+        import numpy as np
+
+        class TraceRecorder:
+            enabled = False
+
+        class ColumnarRecorder(TraceRecorder):
+            def _seal(self, rng: np.random.Generator) -> None:
+                rng.shuffle([3, 1, 2])
+
+            def gossip_wave(self, rng: np.random.Generator) -> None:
+                self._seal(rng)
+        """,
+        select=frozenset({"OBS101"}),
+    )
+    # Both the emitting hook and the helper itself are recorder methods,
+    # so each carries a finding; the hook's trail names the helper.
+    assert set(_rule_ids(findings)) == {"OBS101"}
+    wave = [f for f in findings if "gossip_wave" in f.message]
+    assert wave and "_seal" in wave[0].message
+
+
 def test_obs102_flags_hook_that_schedules():
     findings = _lint(
         """

@@ -129,9 +129,9 @@ def test_traced_and_untraced_jobs_share_a_cache_entry():
     assert traced.resolved_config().scenario.trace is True
     assert plain.resolved_config().scenario.trace is False
     # The dataset is bit-identical with tracing on, so the cache entry
-    # is shared; only the .trace.jsonl sibling differs.
+    # is shared; only the .trace.bin sibling differs.
     assert traced.cache_filename() == plain.cache_filename()
-    assert traced.trace_filename().endswith(".trace.jsonl")
+    assert traced.trace_filename().endswith(".trace.bin")
     labeled = CampaignJob(
         config=small_campaign(seed=1), label="variant", seed=1
     )
@@ -247,6 +247,11 @@ def test_traced_sweep_exports_trace_and_sim_metrics(tmp_path):
     assert not outcome.from_cache
     assert outcome.trace_path is not None and outcome.trace_path.exists()
     assert outcome.trace_path.parent == cache_dir
+    # The worker streams the columnar container, block by block.
+    from repro.obs.binio import is_binary_trace
+
+    assert outcome.trace_path.name.endswith(".trace.bin")
+    assert is_binary_trace(outcome.trace_path)
     trace = Trace.load(outcome.trace_path)
     assert trace.seed == 3
     assert trace.preset == "small"

@@ -1,0 +1,204 @@
+"""Columnar staging: per-kind stores, interning, seal semantics.
+
+The fidelity fixture below holds one record of **every** kind; the
+coverage test pins that, so adding a record kind without extending the
+fixture (and thereby the pack → seal → materialize round trip) fails
+loudly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TraceError
+from repro.obs.columns import (
+    BLOCK_ROWS,
+    KIND_ORDER,
+    InternTable,
+    KindBlock,
+    TraceColumns,
+    materialize_block,
+)
+from repro.obs.records import (
+    BlockImported,
+    BlockReceived,
+    BlockSealed,
+    DeliveryDropped,
+    FetchStarted,
+    GossipSend,
+    HeadChanged,
+    LinkFault,
+    LotteryWin,
+    MetricsSample,
+    NodeOffline,
+    NodeOnline,
+    NodeRegistered,
+    PartitionHealed,
+    PartitionStarted,
+    TraceRecord,
+    TxFirstSeen,
+    ValidationStarted,
+)
+
+#: A 256-bit wire identifier — far beyond exact double range, so any
+#: path that stored it as f64 instead of interning would corrupt it.
+_WIRE_ID = (1 << 255) + 12345
+
+
+def sample_records() -> tuple[TraceRecord, ...]:
+    """One record per kind, times strictly increasing across kinds."""
+    return (
+        NodeRegistered(time=0.5, node="reg-0001", node_id=_WIRE_ID, region="EU"),
+        LotteryWin(time=1.0, pool="Ethermine", block_hashes=("0xaa", "0xbb")),
+        BlockSealed(
+            time=1.5, block_hash="0xaa", parent_hash="0x00", height=1,
+            pool="Ethermine", variant=0, variants=2, tx_count=3,
+        ),
+        GossipSend(
+            time=2.0, kind="NewBlock", sender="reg-0001", recipient="reg-0002",
+            sender_region="EU", recipient_region="US", size=412,
+            latency=0.081, block_hash="0xaa", tx_count=0,
+        ),
+        DeliveryDropped(
+            time=2.2, kind="NewBlock", sender="reg-0001",
+            recipient="reg-0003", block_hash="0xaa",
+        ),
+        BlockReceived(
+            time=2.4, node="reg-0002", block_hash="0xaa", height=1,
+            peer_id=_WIRE_ID, direct=True,
+        ),
+        FetchStarted(
+            time=2.5, node="reg-0003", block_hash="0xaa", peer_id=_WIRE_ID
+        ),
+        ValidationStarted(time=2.6, node="reg-0002", block_hash="0xaa", height=1),
+        BlockImported(
+            time=2.8, node="reg-0002", block_hash="0xaa", height=1,
+            head_changed=True,
+        ),
+        HeadChanged(
+            time=2.9, node="reg-0002", old_head="0x00", new_head="0xaa",
+            height=1, reorg_depth=0,
+        ),
+        TxFirstSeen(time=3.0, node="reg-0002", tx_hash="0xt1", peer_id=-1),
+        NodeOffline(time=3.5, node="reg-0003", crash=False),
+        NodeOnline(time=4.0, node="reg-0003"),
+        PartitionStarted(time=4.5, regions=("EU", "US"), duration=30.0),
+        PartitionHealed(time=5.0, regions=("EU", "US")),
+        LinkFault(
+            time=5.5, kind="Transactions", fault="jitter", sender="reg-0001",
+            recipient="reg-0002", extra_delay=0.25,
+        ),
+        MetricsSample(time=6.0, metrics={"a": 1.0, "b": 2.5}),
+    )
+
+
+def test_sample_fixture_covers_every_record_kind():
+    assert {type(r) for r in sample_records()} == set(KIND_ORDER)
+
+
+def test_every_kind_round_trips_through_staging():
+    columns = TraceColumns()
+    originals = sample_records()
+    for record in originals:
+        columns.append_record(record)
+    # Unsealed staging is readable as a block view; records come back as
+    # the exact dataclasses (merge order = time order here).
+    assert tuple(columns.iter_records()) == originals
+    assert columns.record_count() == len(originals)
+
+
+def test_every_kind_round_trips_through_sealed_blocks():
+    columns = TraceColumns()
+    originals = sample_records()
+    for record in originals:
+        columns.append_record(record)
+    columns.seal_all()
+    for store in columns.stores.values():
+        assert store.staged_rows == 0
+    assert tuple(columns.iter_records()) == originals
+
+
+def test_wire_ids_survive_interning_exactly():
+    columns = TraceColumns()
+    record = BlockReceived(
+        time=1.0, node="n", block_hash="0xaa", height=1,
+        peer_id=_WIRE_ID, direct=False,
+    )
+    columns.append_record(record)
+    (back,) = tuple(columns.iter_records())
+    assert back.peer_id == _WIRE_ID  # not round-tripped through f64
+
+
+def test_seal_clears_staging_in_place_keeping_bindings():
+    columns = TraceColumns()
+    store = columns.stores[GossipSend]
+    rows = store.rows  # an emit site binds this list once, up front
+    columns.append_record(sample_records()[3])
+    assert store.staged_rows == 1
+    columns.seal_kind(GossipSend)
+    assert store.rows is rows  # cleared in place, never reallocated
+    assert store.staged_rows == 0 and len(rows) == 0
+    assert store.blocks[0].count == 1
+
+
+def test_staging_block_is_a_view_not_a_drain():
+    columns = TraceColumns()
+    columns.append_record(sample_records()[3])
+    store = columns.stores[GossipSend]
+    block = store.staging_block()
+    assert block is not None and block.count == 1
+    assert store.staged_rows == 1  # unchanged
+
+
+def test_append_record_seals_at_block_rows():
+    columns = TraceColumns()
+    record = NodeOnline(time=1.0, node="n")
+    for _ in range(BLOCK_ROWS):
+        columns.append_record(record)
+    store = columns.stores[NodeOnline]
+    assert len(store.blocks) == 1
+    assert store.blocks[0].count == BLOCK_ROWS
+    assert store.staged_rows == 0
+
+
+def test_intern_table_interns_each_value_once():
+    table = InternTable()
+    assert table["a"] == 0
+    assert table["b"] == 1
+    assert table["a"] == 0  # stable on re-query
+    assert table.values_list == ["a", "b"]
+    assert table.get("c") is None  # lookups never intern
+
+
+def test_sink_streaming_forbids_in_memory_reads():
+    columns = TraceColumns()
+
+    class Sink:
+        def __init__(self) -> None:
+            self.blocks: list[KindBlock] = []
+
+        def write_block(self, block: KindBlock) -> None:
+            self.blocks.append(block)
+
+    sink = Sink()
+    columns.sink = sink
+    columns.append_record(NodeOnline(time=1.0, node="n"))
+    columns.seal_kind(NodeOnline)
+    assert len(sink.blocks) == 1  # handed off, not retained
+    assert columns.stores[NodeOnline].blocks == []
+    with pytest.raises(TraceError, match="streamed to a sink"):
+        list(columns.iter_kind_blocks(NodeOnline))
+
+
+def test_materialize_rejects_out_of_range_symbol_indices():
+    block = KindBlock(
+        NodeOnline, 1, {"time": [1.0], "node": [99.0]}  # symbol 99 unknown
+    )
+    with pytest.raises(TraceError, match="corrupted NodeOnline block"):
+        list(materialize_block(block, symbols=["only-one"], ids=[]))
+
+
+def test_unknown_record_kind_is_rejected():
+    columns = TraceColumns()
+    with pytest.raises(TraceError, match="unknown trace record kind"):
+        columns.append_record(object())  # type: ignore[arg-type]

@@ -42,6 +42,7 @@ def test_emits_append_records_and_feed_metrics():
         tx_count=3,
     )
     assert [type(r) for r in recorder.events] == [GossipSend, GossipSend]
+    recorder.sync_metrics()  # metrics are batch-drained, not per-record
     snap = recorder.registry.snapshot()
     assert snap["gossip_messages_total{kind=NewBlock}"] == 1.0
     assert snap["gossip_bytes_total{kind=NewBlock}"] == 1000.0
@@ -61,6 +62,7 @@ def test_head_changed_tracks_reorgs_and_height():
         reorg_depth=1,
     )
     assert [type(r) for r in recorder.events] == [HeadChanged, HeadChanged]
+    recorder.sync_metrics()
     snap = recorder.registry.snapshot()
     assert snap["head_changes_total"] == 2.0
     assert snap["reorgs_total"] == 1.0
@@ -76,4 +78,6 @@ def test_snapshot_metrics_captures_registry_state():
     assert isinstance(sample, MetricsSample)
     assert sample.time == 4.0
     assert sample.metrics["block_fetches_total"] == 1.0
-    assert recorder.events[-1] is sample
+    # The sample is recorded columnar like everything else; the trailing
+    # record materializes equal (not identical) to the returned object.
+    assert recorder.events[-1] == sample

@@ -132,6 +132,43 @@ def test_trace_lifecycle(tmp_path, capsys):
     assert "WE-default" in out
 
 
+def test_columnar_trace_convert_round_trip(tmp_path, capsys):
+    """run → .trace.bin → JSONL → .trace.bin: same analysis either way."""
+    bin_path = tmp_path / "tr.trace.bin"
+    assert (
+        main(
+            [
+                "run",
+                "--preset", "small",
+                "--seed", "95",
+                "--trace-out", str(bin_path),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+
+    def summary(path) -> str:
+        assert main(["trace", str(path), "--limit", "3"]) == 0
+        return capsys.readouterr().out
+
+    columnar_summary = summary(bin_path)
+    assert "seed 95" in columnar_summary
+
+    # Columnar -> JSONL: the analysis output must not change with the
+    # storage format.
+    jsonl_path = tmp_path / "tr.trace.jsonl"
+    assert main(["trace", "convert", str(bin_path), str(jsonl_path)]) == 0
+    assert f"trace converted to {jsonl_path}" in capsys.readouterr().out
+    assert summary(jsonl_path) == columnar_summary
+
+    # JSONL -> columnar again: still the same report.
+    back_path = tmp_path / "back.trace.bin"
+    assert main(["trace", "convert", str(jsonl_path), str(back_path)]) == 0
+    capsys.readouterr()
+    assert summary(back_path) == columnar_summary
+
+
 def test_trace_command_failure_modes(tmp_path, capsys):
     assert main(["trace", str(tmp_path / "missing.jsonl")]) == 2
     assert "cannot load trace" in capsys.readouterr().out
