@@ -1,0 +1,123 @@
+"""Queue-backend microbenchmark: steady-state churn at fixed depth.
+
+The end-to-end mainnet bench (``bench_mainnet.py``) measures the whole
+engine, where the event queue is only ~20-25% of the per-event budget;
+this bench isolates the queue itself so backend work shows up at full
+scale instead of diluted 4×.  Each point holds the queue at a constant
+depth and measures hold-state churn — pop the earliest entry, push a
+replacement a deterministic gap into the future — which is exactly the
+access pattern the simulation's timer/delivery traffic produces.
+
+Depths cover the regimes that matter: 1k (the small-campaign steady
+state, where the heap's log n is tiny and the calendar's cursor is pure
+overhead), 100k (mainnet burst mid-drain) and 300k (the 15k-peer preset
+peak cited in ROADMAP's "the next 2× is structural").
+
+The ``queue_events_per_second`` extra_info entry (calendar backend at
+300k depth, the headline structural claim) feeds the benchtrack
+regression gate; the per-point ``queue_eps_<backend>_<depth>`` entries
+record the full surface for trend reading.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import print_artifact
+
+from repro.sim.calqueue import CalendarQueue
+from repro.sim.events import EventQueue
+
+#: (label, queue factory) — the two backends behind ScenarioConfig.queue_backend.
+_BACKENDS = (
+    ("heap", EventQueue),
+    ("calendar", CalendarQueue),
+)
+
+_DEPTHS = (1_000, 100_000, 300_000)
+
+#: Churn operations per point: enough for the calendar's lazy resizing
+#: to reach steady state at every depth, small enough that the whole
+#: matrix stays well under a minute.
+_OPS = 200_000
+
+
+def _lcg(state: int):
+    """Tiny deterministic gap generator (no RNG imports in benches)."""
+    while True:
+        state = (state * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+        yield (state >> 11) / float(1 << 53)
+
+
+def _noop() -> None:
+    return None
+
+
+def _churn_point(factory, depth: int) -> dict:
+    """Hold ``depth`` entries; measure pop-earliest/push-replacement churn."""
+    gaps = _lcg(depth)
+    queue = factory()
+    now = 0.0
+    # Mean inter-event gap of 10 simulated ms at every depth, so the
+    # backends see the same time density regardless of population.
+    for _ in range(depth):
+        now += next(gaps) * 0.02
+        queue.push(now, _noop)
+    horizon = now
+    push = queue.push
+    # Drive each backend the way the engine does: the calendar exposes
+    # the raw-entry ``pop_entry`` (the engine inlines its cursor walk),
+    # the heap its native ``pop``.  One bound call per op either way.
+    start = time.perf_counter()
+    if hasattr(queue, "pop_entry"):
+        pop_entry = queue.pop_entry
+        for _ in range(_OPS):
+            entry = pop_entry()
+            push(entry[0] + horizon * next(gaps), _noop)
+    else:
+        pop = queue.pop
+        for _ in range(_OPS):
+            event = pop()
+            push(event.time + horizon * next(gaps), _noop)
+    wall = time.perf_counter() - start
+    # One op is a pop *and* a push; count both, matching the engine's
+    # events/s accounting (every processed event was also once pushed).
+    return {"depth": depth, "wall": wall, "eps": 2 * _OPS / wall}
+
+
+def _run_matrix() -> dict[str, list[dict]]:
+    return {
+        label: [_churn_point(factory, depth) for depth in _DEPTHS]
+        for label, factory in _BACKENDS
+    }
+
+
+def test_queue_churn_throughput(benchmark):
+    """Pop/push churn throughput per backend and depth."""
+    matrix = benchmark.pedantic(_run_matrix, rounds=1, iterations=1)
+    for label, points in matrix.items():
+        for point in points:
+            suffix = f"{point['depth'] // 1000}k"
+            benchmark.extra_info[f"queue_eps_{label}_{suffix}"] = point["eps"]
+    # Headline gated metric: the calendar backend at the 300k mainnet
+    # peak — the depth the backend exists for.
+    benchmark.extra_info["queue_events_per_second"] = matrix["calendar"][-1][
+        "eps"
+    ]
+    lines = []
+    for label, points in matrix.items():
+        for point in points:
+            lines.append(
+                f"{label:>8} @ {point['depth']:>7,} depth: "
+                f"{point['eps']:>12,.0f} ops/s"
+            )
+    for heap_point, cal_point in zip(matrix["heap"], matrix["calendar"]):
+        lines.append(
+            f"calendar/heap @ {heap_point['depth']:>7,}: "
+            f"{cal_point['eps'] / heap_point['eps']:.2f}x"
+        )
+    print_artifact(
+        "Queue backend churn throughput (pop+push at held depth)",
+        "\n".join(lines),
+        {"note": "isolates the O(log n) vs O(1) amortised structural claim"},
+    )

@@ -1,4 +1,4 @@
-"""Hot-path hygiene rules (PERF001–PERF003), cross-module.
+"""Hot-path hygiene rules (PERF001–PERF004), cross-module.
 
 The event loop dispatches tens of millions of events per run (54.3M in
 the 15k-peer mainnet hour); a single stray allocation, closure, or
@@ -13,7 +13,12 @@ the hot code itself was written to (PR 1/PR 7 profiling):
   the ``raise`` path (which is exempt);
 * PERF003 — no scalar ``Network.send`` inside a loop where the wave
   API (``send_many``/``send_each``) prices the whole fan-out in one
-  vectorized draw.
+  vectorized draw;
+* PERF004 — no direct ``heapq`` imports outside ``repro.sim``: event
+  ordering is the queue backends' contract (heap vs calendar, selected
+  at run time), and a hand-rolled heap elsewhere silently bypasses both
+  the backend selector and the ``(time, priority, sequence)``
+  tie-ordering argument.
 
 The registry of hot entry points lives in :data:`HOT_ENTRIES`; mark
 additional entry points with a ``# repro: hotpath`` comment on (or
@@ -24,12 +29,14 @@ only: calls behind ``...enabled`` trace guards or inside
 
 from __future__ import annotations
 
+import ast
 from typing import Iterator
 
+from repro.devtools.lint.context import ModuleContext
 from repro.devtools.lint.findings import Finding
 from repro.devtools.lint.graph.callgraph import Site
 from repro.devtools.lint.graph.project import ProjectContext
-from repro.devtools.lint.registry import ProjectRule, register
+from repro.devtools.lint.registry import ProjectRule, Rule, register
 
 #: Qualname suffixes of the hot entry points.  Extend in source with a
 #: ``# repro: hotpath`` marker rather than here — the marker keeps the
@@ -151,3 +158,50 @@ class HotScalarSendRule(_HotSiteRule):
 
     def sites(self, project: ProjectContext, qualname: str) -> list[Site]:
         return list(project.graph.facts[qualname].scalar_sends_in_loop)
+
+
+#: The one layer allowed to touch ``heapq`` directly: the queue backends
+#: themselves (and the engine loop that inlines them).
+_QUEUE_LAYER = "repro/sim/"
+
+
+@register
+class DirectHeapqImportRule(Rule):
+    """PERF004 — priority-queue access goes through the queue backends."""
+
+    rule_id = "PERF004"
+    title = "direct heapq import outside repro.sim"
+    invariant = (
+        "event ordering lives in the repro.sim queue backends "
+        "(EventQueue/CalendarQueue behind the backend selector); no "
+        "other layer hand-rolls a heap, so the (time, priority, "
+        "sequence) tie-ordering contract has exactly one home"
+    )
+    suggestion = (
+        "schedule through Simulator/EventQueue (or CalendarQueue) "
+        "instead; for non-event priority work justify the import with "
+        "`# repro: noqa[PERF004] <why>`"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if _QUEUE_LAYER in module.relpath:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "heapq" or alias.name.startswith("heapq."):
+                        yield self.finding(
+                            module,
+                            node,
+                            "direct `import heapq` outside repro.sim — "
+                            "event ordering belongs to the queue backends",
+                        )
+                        break
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module == "heapq":
+                    yield self.finding(
+                        module,
+                        node,
+                        "direct `from heapq import ...` outside repro.sim — "
+                        "event ordering belongs to the queue backends",
+                    )

@@ -37,7 +37,7 @@ graph).  Appending and sealing are pure bookkeeping.
 
 from __future__ import annotations
 
-import heapq
+import heapq  # repro: noqa[PERF004] cold-path k-way merge of trace streams, not event scheduling
 from array import array
 from dataclasses import dataclass, fields
 from typing import Any, Iterator, Optional, Protocol, Sequence

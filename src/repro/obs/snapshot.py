@@ -43,4 +43,8 @@ class MetricsSnapshotter:
         self._process.stop()
 
     def _sample(self) -> None:
-        self.simulator.trace.snapshot_metrics(self.simulator.now)
+        simulator = self.simulator
+        simulator.trace.set_queue_stats(
+            simulator.queue_backend, simulator.queue_stats()
+        )
+        simulator.trace.snapshot_metrics(simulator.now)

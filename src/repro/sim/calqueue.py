@@ -1,0 +1,476 @@
+"""Calendar-queue event backend: O(1) amortised insert at mainnet depth.
+
+The binary heap in :mod:`repro.sim.events` pays O(log n) per push *and*
+per pop; at the ~300k queue depth of the 15k-peer ``mainnet`` preset the
+sift path touches ~18 cache-hostile tuple comparisons per operation and
+dominates the per-event budget (ROADMAP: "the next 2× is structural").
+:class:`CalendarQueue` replaces it with a classic bucketed timing wheel
+(Brown 1988): entries hash into ``floor(time / width) mod n_buckets``
+buckets, a cursor walks the buckets in virtual-time order, and each
+bucket is a *tiny* binary heap whose operations are effectively O(1)
+because occupancy is held near a small constant by lazy resizing.
+
+Determinism contract (the delicate part — argued in DESIGN.md §5g and
+enforced by the differential tests in ``tests/property``):
+
+* Entries are the **same tuples** the heap backend stores —
+  ``(time, priority, sequence, obj)`` and the batched arity-5
+  ``(time, priority, sequence, batch, index)`` — so within a bucket the
+  min-heap orders them by exactly the heap backend's comparison, and the
+  globally unique ``sequence`` (stamped at push, batch entries in index
+  order) resolves every tie before payloads could ever be compared.
+* Two entries with equal ``time`` always land in the same bucket (the
+  bucket index is a pure function of ``time``), so cross-bucket ordering
+  never has to break a time tie: buckets are visited in strictly
+  increasing virtual-time windows.
+* Bucket membership and the drain boundary use the *same* float
+  expression ``int(time * inv_width)``, so rounding can never strand an
+  entry on the wrong side of a window edge — the pop condition is
+  "entry's virtual bucket <= cursor", not a fresh boundary comparison.
+
+Resizing (grow, shrink, or corpse compaction) rebuilds every bucket with
+a new width keyed on the observed inter-pop spacing; the surviving
+entries keep their ``(time, priority, sequence)`` keys, so the drain
+order is unchanged — a resize is invisible to the simulation.
+"""
+
+from __future__ import annotations
+
+import math
+from heapq import heappop, heappush, nsmallest
+from typing import Any, Callable, Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.sim.events import COMPACT_MIN_HEAP, DEFAULT_PRIORITY, Event
+
+#: Bucket-count bounds (powers of two so the index mask is one AND).
+#: The upper bound also caps the scan-jump's worst-case bucket sweep; at
+#: mainnet depth (~300k entries) 2^16 buckets keeps occupancy around 5,
+#: where the within-bucket heaps are effectively O(1).
+MIN_BUCKETS = 64
+MAX_BUCKETS = 1 << 16
+
+#: Shrink eligibility: occupancy below ``n_buckets >> _SHRINK_SHIFT``.
+#: Checked only when a pop has already walked :data:`_SCAN_JUMP` empty
+#: bucket-years — i.e. when the oversized table is *actually costing
+#: scan time* — never eagerly on a count threshold.  Gossip workloads
+#: swing the queue depth by orders of magnitude every block cycle (a
+#: seal enqueues a delivery wave that then drains to a handful of
+#: timers), and an eager count-based shrink re-tuned the table twice
+#: per cycle, hundreds of O(n) rebuilds per run.
+_SHRINK_SHIFT = 5
+
+#: Default bucket width in simulated seconds, used until enough pops have
+#: been observed to key the width on real inter-event spacing.
+DEFAULT_WIDTH = 1e-3
+
+#: Consecutive empty bucket-years scanned before the cursor stops walking
+#: and jumps straight to the globally earliest entry (an O(n_buckets)
+#: scan, amortised over the gap it skips).
+_SCAN_JUMP = 64
+
+#: Target bucket-year occupancy: the rebuilt width is this multiple of
+#: the estimated inter-event gap, so a bucket visit drains a handful of
+#: entries instead of one (fewer cursor steps) while staying far from the
+#: everything-in-one-bucket degenerate case.
+_WIDTH_GAPS = 4.0
+
+#: Entries sampled from the head of the queue to estimate the gap during
+#: a rebuild.  Head spacing is what matters (it predicts the drain rate
+#: the cursor is about to see), but the sample must span *several*
+#: delivery waves, not sit inside one: gossip traffic arrives in dense
+#: ~per-hop clusters separated by link-latency gaps, and a width tuned
+#: to the intra-wave spacing turns every inter-wave gap into thousands
+#: of empty bucket-years — each costing a scan-jump sweep of the table.
+_WIDTH_SAMPLE = 1024
+
+
+class CalendarQueue:
+    """Bucketed timing-wheel event queue, drop-in for :class:`EventQueue`.
+
+    Same public surface as the heap backend — ``push`` / ``push_raw`` /
+    ``push_batch`` / ``pop`` / ``pop_until`` / ``peek_time`` / ``clear``
+    plus the ``live_count`` / ``pending_events`` accounting and lazy
+    cancellation with threshold compaction — and the exact same total
+    order ``(time, priority, sequence)`` over popped entries.
+
+    The engine's run loop drives :meth:`pop_entry` directly; everything
+    else is the cold-path convenience surface shared with the heap.
+    """
+
+    backend = "calendar"
+
+    def __init__(
+        self,
+        n_buckets: int = MIN_BUCKETS,
+        width: float = DEFAULT_WIDTH,
+    ) -> None:
+        if n_buckets < 1 or n_buckets & (n_buckets - 1):
+            raise SimulationError(
+                f"n_buckets must be a power of two, got {n_buckets!r}"
+            )
+        if width <= 0:
+            raise SimulationError(f"bucket width must be positive, got {width!r}")
+        self._nbuckets = n_buckets
+        self._mask = n_buckets - 1
+        self._width = width
+        self._inv_width = 1.0 / width
+        self._buckets: list[list[Any]] = [[] for _ in range(n_buckets)]
+        self._cur_vb = 0  # cursor as a *virtual* (un-wrapped) bucket number
+        self._count = 0  # entries stored, cancelled corpses included
+        self._sequence = 0
+        self._cancelled = 0
+        self._compactions = 0
+        self._resizes = 0
+        self._last_pop_time = 0.0
+        # Deepest the queue has been since the table was last shrunk.
+        # Grow rebuilds size the table for this mark, not the count at
+        # the instant the grow threshold tripped: delivery bursts stream
+        # in, and sizing for the trip point made every burst re-grow the
+        # table through a whole ladder of doubling rebuilds.
+        self._hiwater = 0
+        # Bumped by every rebuild; the engine's inlined run loop rebinds
+        # its local bucket/width/cursor views when it sees a new value.
+        self._gen = 0
+
+    # ------------------------------------------------------------------ #
+    # Shared accounting surface
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        """Entries stored, *including* lazily-removed cancelled ones."""
+        return self._count
+
+    @property
+    def live_count(self) -> int:
+        """Number of scheduled events that will actually fire."""
+        count = self._count - self._cancelled
+        return count if count > 0 else 0
+
+    @property
+    def pending_events(self) -> int:
+        """Alias of :attr:`live_count` (the backend-agnostic name)."""
+        return self.live_count
+
+    def stats(self) -> dict[str, float]:
+        """Backend counters for :mod:`repro.obs` (cold path, derived)."""
+        return {
+            "depth": float(self._count),
+            "live": float(self.live_count),
+            "pushed_total": float(self._sequence),
+            "cancelled_pending": float(self._cancelled),
+            "compactions_total": float(self._compactions),
+            "resizes_total": float(self._resizes),
+            "buckets": float(self._nbuckets),
+            "width": self._width,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Push paths
+    # ------------------------------------------------------------------ #
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        priority: int = DEFAULT_PRIORITY,
+    ) -> Event:
+        """Schedule ``callback`` at simulated ``time`` and return the event."""
+        if time < 0:
+            raise SimulationError(f"cannot schedule event at negative time {time!r}")
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        event = Event(time, priority, sequence, callback, self)
+        vb = int(time * self._inv_width)
+        heappush(self._buckets[vb & self._mask], (time, priority, sequence, event))
+        if vb < self._cur_vb:
+            self._cur_vb = vb  # entry scheduled behind the cursor: pull it back
+        self._count += 1
+        if self._count > self._hiwater:
+            self._hiwater = self._count
+        self._maybe_grow()
+        if self._cancelled * 2 > self._count and self._count >= COMPACT_MIN_HEAP:
+            self._compactions += 1
+            self._rebuild()
+        return event
+
+    def push_raw(
+        self, time: float, event: Any, priority: int = DEFAULT_PRIORITY
+    ) -> None:
+        """Schedule a pooled event-like object without an :class:`Event` handle."""
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        vb = int(time * self._inv_width)
+        heappush(self._buckets[vb & self._mask], (time, priority, sequence, event))
+        if vb < self._cur_vb:
+            self._cur_vb = vb
+        self._count += 1
+        if self._count > self._hiwater:
+            self._hiwater = self._count
+        self._maybe_grow()
+
+    def push_batch(
+        self,
+        times: Sequence[float],
+        batch: Any,
+        priority: int = DEFAULT_PRIORITY,
+    ) -> None:
+        """Schedule one ``(batch, index)`` entry per element of ``times``.
+
+        Sequence numbers are assigned in index order — the wave fires
+        exactly as ``len(times)`` scalar pushes of the same times would,
+        and exactly as the heap backend fires the same batch.
+        """
+        sequence = self._sequence
+        self._sequence = sequence + len(times)
+        buckets = self._buckets
+        mask = self._mask
+        inv_width = self._inv_width
+        cur_vb = self._cur_vb
+        for i, time in enumerate(times):
+            vb = int(time * inv_width)
+            heappush(buckets[vb & mask], (time, priority, sequence + i, batch, i))
+            if vb < cur_vb:
+                cur_vb = vb
+        self._cur_vb = cur_vb
+        self._count += len(times)
+        if self._count > self._hiwater:
+            self._hiwater = self._count
+        self._maybe_grow()
+
+    # ------------------------------------------------------------------ #
+    # Pop paths
+    # ------------------------------------------------------------------ #
+
+    def pop_entry(self, horizon: float = math.inf) -> Optional[tuple[Any, ...]]:
+        """Remove and return the next live entry with ``time <= horizon``.
+
+        Returns ``None`` when the queue holds no live entry at or before
+        ``horizon`` (distinguish drain from horizon-stop through
+        :attr:`live_count`).  Cancelled corpses encountered on the way
+        are dropped and accounted for.  This is the engine's hot path.
+        """
+        if self._count == 0:
+            return None
+        buckets = self._buckets
+        mask = self._mask
+        inv_width = self._inv_width
+        vb = self._cur_vb
+        horizon_vb = None if horizon == math.inf else int(horizon * inv_width)
+        scanned = 0
+        while True:
+            if horizon_vb is not None and vb > horizon_vb:
+                # Every remaining entry sits in a bucket-year > the
+                # horizon's, hence fires strictly after it (placement and
+                # this bound use the same float expression).  The cursor
+                # must not outrun the horizon's own year: the caller may
+                # advance the clock to the horizon and schedule *into*
+                # that year, and a cursor parked past it would strand
+                # those entries for a whole wheel rotation.
+                if horizon_vb > self._cur_vb:
+                    self._cur_vb = horizon_vb
+                return None
+            bucket = buckets[vb & mask]
+            while bucket:
+                entry = bucket[0]
+                time = entry[0]
+                if int(time * inv_width) > vb:
+                    break  # top belongs to a later year of this bucket
+                if time > horizon:
+                    self._cur_vb = vb
+                    return None
+                heappop(bucket)
+                self._count -= 1
+                if entry[3].cancelled:
+                    self._cancelled -= 1
+                    continue
+                self._cur_vb = vb
+                if time > self._last_pop_time:
+                    self._last_pop_time = time
+                return entry
+            if self._count == 0:
+                self._cur_vb = vb
+                return None
+            vb += 1
+            scanned += 1
+            if scanned >= _SCAN_JUMP:
+                if (
+                    self._count < self._nbuckets >> _SHRINK_SHIFT
+                    and self._nbuckets > MIN_BUCKETS
+                ):
+                    # A long empty stretch *and* a near-empty table: the
+                    # tuning is stale for what's left.  Re-tune instead
+                    # of paying the O(n_buckets) jump scan — by the same
+                    # near-empty condition the rebuild is O(live), cheap.
+                    self._resizes += 1
+                    self._rebuild(shrink=True)
+                    buckets = self._buckets
+                    mask = self._mask
+                    inv_width = self._inv_width
+                    vb = self._cur_vb
+                    horizon_vb = (
+                        None if horizon == math.inf else int(horizon * inv_width)
+                    )
+                    scanned = 0
+                    continue
+                # Long empty stretch: jump the cursor straight to the
+                # earliest entry anywhere.  Equal times share a bucket,
+                # so the earliest bucket top is the global minimum.  Only
+                # the logical prefix can hold entries — the physical
+                # table keeps its high-water capacity after a shrink.
+                earliest: Optional[tuple[Any, ...]] = None
+                for candidate in buckets[: mask + 1]:
+                    if candidate and (
+                        earliest is None or candidate[0] < earliest
+                    ):
+                        earliest = candidate[0]
+                assert earliest is not None  # _count > 0 above
+                vb = int(earliest[0] * inv_width)
+                scanned = 0
+
+    def pop(self) -> Optional[Any]:
+        """Remove and return the next non-cancelled event, or ``None``."""
+        entry = self.pop_entry()
+        return entry[3] if entry is not None else None
+
+    def pop_until(self, horizon: float) -> list[tuple[Any, ...]]:
+        """Drain and return every live entry with ``time <= horizon``.
+
+        Cancelled corpses crossed by the drain are dropped with their
+        accounting settled *per entry, as each is removed* — never
+        deferred to the end of the drain — so a compaction or resize
+        triggered mid-drain (by the scan-time shrink in
+        :meth:`pop_entry`) can reset the corpse counter without any
+        batched adjustment double-counting entries the rebuild already
+        reclaimed.
+        """
+        drained: list[tuple[Any, ...]] = []
+        while (entry := self.pop_entry(horizon)) is not None:
+            drained.append(entry)
+        return drained
+
+    def peek_time(self) -> Optional[float]:
+        """Firing time of the next live entry without consuming it.
+
+        Implemented as pop-and-restore: the entry keeps its original
+        ``(time, priority, sequence)`` key, so putting it back cannot
+        change the drain order.
+        """
+        entry = self.pop_entry()
+        if entry is None:
+            return None
+        vb = int(entry[0] * self._inv_width)
+        heappush(self._buckets[vb & self._mask], entry)
+        self._count += 1
+        if vb < self._cur_vb:
+            # The pop may have triggered a rebuild that parked the cursor
+            # ahead of the restored entry; pull it back so the entry is
+            # found again on the next pop.
+            self._cur_vb = vb
+        return float(entry[0])
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        for bucket in self._buckets:
+            bucket.clear()
+        self._count = 0
+        self._cancelled = 0
+        self._cur_vb = 0  # lagging-safe restart; push pulls it back anyway
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+
+    def _estimate_width(self, live: list[tuple[Any, ...]]) -> float:
+        """Bucket width from the spacing of the queue's head entries.
+
+        Samples the :data:`_WIDTH_SAMPLE` earliest firing times (what the
+        cursor drains next — far-future spacing is irrelevant until those
+        entries become the head, by which time another rebuild has run)
+        and spreads :data:`_WIDTH_GAPS` mean gaps per bucket-year.  Width
+        only shapes cost, never order, so the estimate just has to be
+        sane, not precise.
+        """
+        if len(live) < 2:
+            return self._width
+        head = nsmallest(_WIDTH_SAMPLE + 1, (entry[0] for entry in live))
+        span = head[-1] - head[0]
+        if span <= 0.0:
+            return self._width  # simultaneous head: keep the current tuning
+        return min(max(span / (len(head) - 1) * _WIDTH_GAPS, 1e-9), 1e9)
+
+    def _maybe_grow(self) -> None:
+        if self._count > self._nbuckets << 1 and self._nbuckets < MAX_BUCKETS:
+            self._resizes += 1
+            self._rebuild()
+
+    def _rebuild(self, shrink: bool = False) -> None:
+        """Re-bucket every live entry; drop corpses; retune size and width.
+
+        Runs on the growth threshold, on the cancelled-majority
+        compaction trigger, and — with ``shrink=True`` — when a pop's
+        bucket scan found the table near-empty and mistuned.  Survivors
+        keep their sort keys, so a rebuild is order-invisible; the
+        cursor restarts at or before every survivor's bucket-year (see
+        below).
+
+        Grow rebuilds size the table for the high-water mark so a
+        recurring delivery burst pays one cheap rebuild at its onset
+        (when few entries have landed) instead of a ladder of doubling
+        rebuilds as it streams in.  Shrink rebuilds size for the live
+        count alone and decay the mark, so the table tracks the
+        workload down if the bursts stop.
+
+        The physical bucket table is *reused*, never reallocated: the
+        logical size ``_nbuckets`` only narrows the index mask, while
+        the backing list keeps the largest capacity ever reached (a few
+        MB at most).  Allocating a fresh 2^16-list table per rebuild
+        was measured at ~100ms apiece of allocator + GC-tracking time
+        at mainnet depth — an order of magnitude more than moving the
+        surviving entries.
+        """
+        # One pass collects survivors and clears the table in place.
+        buckets = self._buckets
+        live: list[Any] = []
+        collect = live.append
+        for bucket in buckets:
+            if bucket:
+                for entry in bucket:
+                    if not entry[3].cancelled:
+                        collect(entry)
+                bucket.clear()
+        self._cancelled = 0
+        self._count = len(live)
+        self._gen += 1
+
+        if shrink:
+            decayed = self._hiwater - (self._hiwater >> 2)
+            self._hiwater = len(live) if len(live) > decayed else decayed
+            target = len(live)
+        else:
+            target = max(len(live), self._hiwater)
+        n_buckets = self._nbuckets
+        while n_buckets < target and n_buckets < MAX_BUCKETS:
+            n_buckets <<= 1
+        while target < n_buckets >> _SHRINK_SHIFT and n_buckets > MIN_BUCKETS:
+            n_buckets >>= 1
+        width = self._estimate_width(live)
+        self._nbuckets = n_buckets
+        self._mask = mask = n_buckets - 1
+        self._width = width
+        self._inv_width = inv_width = 1.0 / width
+        if n_buckets > len(buckets):
+            buckets.extend([] for _ in range(n_buckets - len(buckets)))
+
+        # Restart the cursor no later than the last *popped* time's year
+        # (the event now firing may schedule at the current instant) and
+        # no later than any survivor's year.  Lagging is always safe (the
+        # scan-jump skips the empty stretch); leading strands entries
+        # behind the wheel for a full rotation.
+        cur_vb = int(self._last_pop_time * inv_width)
+        for entry in live:
+            vb = int(entry[0] * inv_width)
+            heappush(buckets[vb & mask], entry)
+            if vb < cur_vb:
+                cur_vb = vb
+        self._cur_vb = cur_vb

@@ -416,6 +416,51 @@ def test_flt001_allows_dedicated_streams_and_other_layers():
 
 
 # --------------------------------------------------------------------- #
+# PERF004 — direct heapq import outside repro.sim
+# --------------------------------------------------------------------- #
+
+
+def test_perf004_flags_heapq_import_outside_sim():
+    source = """
+        import heapq
+
+        def next_job(jobs):
+            return heapq.heappop(jobs)
+        """
+    findings = _lint(source, "src/repro/workload/jobs.py")
+    assert _rule_ids(findings) == ["PERF004"]
+    assert "queue backends" in findings[0].message
+
+
+def test_perf004_flags_from_import_and_aliases():
+    findings = _lint(
+        """
+        from heapq import heappush
+        import heapq as hq
+        """,
+        "src/repro/stats/rank.py",
+    )
+    assert _rule_ids(findings) == ["PERF004", "PERF004"]
+
+
+def test_perf004_allows_queue_backends_and_justified_uses():
+    backend = """
+        from heapq import heappop, heappush
+
+        def push(bucket, entry):
+            heappush(bucket, entry)
+        """
+    assert _lint(backend, "src/repro/sim/calqueue.py") == []
+    justified = """
+        import heapq  # repro: noqa[PERF004] cold-path k-way merge, not event scheduling
+
+        def merge(streams):
+            return heapq.merge(*streams)
+        """
+    assert _lint(justified, "src/repro/obs/columns.py") == []
+
+
+# --------------------------------------------------------------------- #
 # Framework behaviour
 # --------------------------------------------------------------------- #
 

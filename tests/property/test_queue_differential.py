@@ -1,0 +1,236 @@
+"""Differential proof-by-test: both queue backends drain identically.
+
+The calendar backend is only admissible because it preserves the heap's
+``(time, priority, sequence)`` total order *exactly* (DESIGN.md §5g).
+These tests drive randomized push / push_raw / push_batch / cancel /
+peek / drain workloads through :class:`EventQueue` and
+:class:`CalendarQueue` with identical operation streams and assert the
+pop sequences match entry for entry — times, priorities, sequence
+numbers, payload identity and batch indices.
+
+Two generators feed the same interpreter:
+
+* a committed fuzz corpus (``tests/sim/data/queue_fuzz_seeds.json``)
+  whose seeds were selected for path coverage (bucket growth, shrink,
+  corpse compaction, scan jumps, time ties, batch waves) — these replay
+  identically forever and run on every CI matrix leg;
+* hypothesis, for fresh adversarial workloads on every run.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.calqueue import CalendarQueue
+from repro.sim.events import Event, EventQueue
+
+_CORPUS_PATH = Path(__file__).parent.parent / "sim" / "data" / "queue_fuzz_seeds.json"
+_CORPUS = json.loads(_CORPUS_PATH.read_text())
+
+
+class _Batch:
+    cancelled = False
+
+    def fire(self, index: int) -> None:
+        pass
+
+
+class _Raw:
+    cancelled = False
+
+    def callback(self) -> None:
+        pass
+
+
+def _entry_key(entry: tuple) -> tuple:
+    """Everything observable about a drained entry.
+
+    For shared payloads (raw events, batches) ``id()`` ties the
+    comparison to object identity: the backends must drain *the same*
+    scheduled object at the same position, not merely equal-looking
+    tuples.  :class:`Event` handles are the one per-queue payload (each
+    backend mints its own), so their identity is the globally unique
+    sequence number already in the key.
+    """
+    if len(entry) == 5:
+        return (entry[0], entry[1], entry[2], "batch", id(entry[3]), entry[4])
+    if isinstance(entry[3], Event):
+        return (entry[0], entry[1], entry[2], "event")
+    return (entry[0], entry[1], entry[2], "raw", id(entry[3]))
+
+
+def _run_workload(queues, seed: int, n_ops: int) -> list[list[tuple]]:
+    """Drive every queue through one identical randomized op stream.
+
+    Returns one drained-entry key sequence per queue.  Payload objects
+    are shared across the queues so identity comparison is meaningful.
+    Times mix continuous draws with coarsely rounded ones (tie pressure)
+    and occasional far-future outliers (scan-jump pressure); horizons
+    sometimes precede earlier pushes, exercising pushes behind the
+    cursor.
+    """
+    rng = random.Random(seed)
+    drained: list[list[tuple]] = [[] for _ in queues]
+    handles: list[list] = [[] for _ in queues]
+    # Sequences already drained live.  Cancelling such a handle is legal
+    # but its accounting is backend-timing-dependent: the corpse no
+    # longer exists, so the cancelled counter stays phantom-high until
+    # the next compaction *or rebuild* — and those fire at different
+    # moments per backend (even heap-vs-heap would diverge under a
+    # different compaction schedule).  Drain order is unaffected either
+    # way; the per-op accounting assertion below is only meaningful for
+    # cancellations of entries still in the structure, so the workload
+    # restricts itself to those.
+    drained_sequences: set[int] = set()
+
+    # Per-seed op mix.  Cancel-heavy/batch-light seeds build the queue
+    # from individually-cancellable handles, so a mass cancel can push
+    # the corpse count past the compaction majority; batch-heavy seeds
+    # pile depth on fast, pressuring growth resizes instead.
+    # Cancel-heavy seeds also drain rarely and shallowly, so the depth
+    # can cross ``COMPACT_MIN_HEAP`` while corpses are the majority.
+    cancel_heavy = rng.random() < 0.30
+    if cancel_heavy:
+        t_push, t_raw, t_batch, t_cancel, t_peek = 0.55, 0.60, 0.60, 0.85, 0.95
+        max_horizon = 25.0
+    else:
+        t_push, t_raw, t_batch, t_cancel, t_peek = 0.40, 0.55, 0.70, 0.80, 0.85
+        max_horizon = 150.0
+
+    def draw_time() -> float:
+        kind = rng.random()
+        if kind < 0.45:
+            return rng.uniform(0.0, 100.0)
+        if kind < 0.80:
+            return round(rng.uniform(0.0, 50.0), 1)  # heavy tie pressure
+        if kind < 0.95:
+            return float(rng.randrange(20))  # exact duplicates
+        return rng.uniform(1e4, 1e6)  # far future: scan-jump pressure
+
+    for _ in range(n_ops):
+        op = rng.random()
+        if op < t_push:
+            time = draw_time()
+            priority = rng.choice((0, 100, 100, 100, 200))
+            for i, queue in enumerate(queues):
+                handles[i].append(queue.push(time, lambda: None, priority))
+        elif op < t_raw:
+            time = draw_time()
+            payload = _Raw()
+            priority = rng.choice((50, 100))
+            for queue in queues:
+                queue.push_raw(time, payload, priority)
+        elif op < t_batch:
+            times = [draw_time() for _ in range(rng.randrange(1, 40))]
+            if rng.random() < 0.3:
+                times = [times[0]] * len(times)  # simultaneous wave
+            batch = _Batch()
+            for queue in queues:
+                queue.push_batch(times, batch)
+        elif op < t_cancel and handles[0]:
+            if rng.random() < 0.15:
+                # Mass cancel: drop a majority slice of the undrained
+                # handles in one burst, pressuring the cancelled-majority
+                # compaction trigger before a rebuild can collect the
+                # corpses first.
+                pool = [
+                    j
+                    for j, handle in enumerate(handles[0])
+                    if handle.sequence not in drained_sequences
+                ]
+                victims = pool if cancel_heavy else rng.sample(pool, (len(pool) * 2) // 3)
+            else:
+                victim = rng.randrange(len(handles[0]))
+                if handles[0][victim].sequence in drained_sequences:
+                    victims = []
+                else:
+                    victims = [victim]
+            for j in victims:
+                for i in range(len(queues)):
+                    handles[i][j].cancel()
+        elif op < t_peek:
+            peeks = {queue.peek_time() for queue in queues}
+            assert len(peeks) == 1, f"seed {seed}: peek_time diverged: {peeks}"
+        else:
+            horizon = rng.uniform(0.0, max_horizon)
+            for i, queue in enumerate(queues):
+                batch_drain = queue.pop_until(horizon)
+                drained[i].extend(_entry_key(e) for e in batch_drain)
+                if i == 0:
+                    drained_sequences.update(e[2] for e in batch_drain)
+        # Live accounting is contract; raw ``len()`` is not — it counts
+        # uncollected corpses, and corpse collection timing (heap
+        # compaction vs calendar rebuild) differs across backends.
+        counts = {(queue.live_count, queue.pending_events) for queue in queues}
+        assert len(counts) == 1, f"seed {seed}: accounting diverged: {counts}"
+    for i, queue in enumerate(queues):
+        drained[i].extend(_entry_key(e) for e in queue.pop_until(math.inf))
+        assert queue.pending_events == 0
+    return drained
+
+
+def _assert_identical(seed: int, n_ops: int) -> None:
+    heap_seq, cal_seq = _run_workload((EventQueue(), CalendarQueue()), seed, n_ops)
+    if heap_seq != cal_seq:  # pinpoint the divergence for the report
+        for index, (left, right) in enumerate(zip(heap_seq, cal_seq)):
+            assert left == right, (
+                f"seed {seed}: backends diverged at pop {index}: "
+                f"heap={left} calendar={right}"
+            )
+        raise AssertionError(
+            f"seed {seed}: drain lengths differ: "
+            f"heap={len(heap_seq)} calendar={len(cal_seq)}"
+        )
+
+
+@pytest.mark.parametrize("seed", _CORPUS["seeds"])
+def test_backends_drain_identically_on_fuzz_corpus(seed):
+    _assert_identical(seed, _CORPUS["n_ops"])
+
+
+def test_corpus_documents_its_coverage():
+    """The corpus must keep exercising the paths it was selected for."""
+    coverage = {"resizes": 0, "compactions": 0}
+    for seed in _CORPUS["seeds"]:
+        queue = CalendarQueue()
+        _run_workload((queue,), seed, _CORPUS["n_ops"])
+        stats = queue.stats()
+        coverage["resizes"] += int(stats["resizes_total"] > 0)
+        coverage["compactions"] += int(stats["compactions_total"] > 0)
+    assert coverage["resizes"] >= 3, coverage
+    assert coverage["compactions"] >= 1, coverage
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_backends_drain_identically_on_fresh_workloads(seed):
+    _assert_identical(seed, 150)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=1e9, allow_nan=False),
+            st.integers(min_value=0, max_value=3),
+        ),
+        min_size=1,
+        max_size=80,
+    )
+)
+def test_plain_pushes_pop_in_heap_order(items):
+    """No drains interleaved: the calendar equals one big heapsort."""
+    heap, cal = EventQueue(), CalendarQueue()
+    for time, priority in items:
+        payload = _Raw()
+        heap.push_raw(time, payload, priority)
+        cal.push_raw(time, payload, priority)
+    assert [
+        _entry_key(e) for e in heap.pop_until(math.inf)
+    ] == [_entry_key(e) for e in cal.pop_until(math.inf)]

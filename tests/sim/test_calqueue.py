@@ -1,0 +1,339 @@
+"""Unit tests for the calendar-queue backend.
+
+The delicate property — identical ``(time, priority, sequence)`` drain
+order vs the heap backend — is covered exhaustively by the differential
+property tests in ``tests/property/test_queue_differential.py``; here we
+pin the backend's own mechanics: bucket maintenance, cancellation
+accounting, cursor safety and the engine-facing surface.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.calqueue import MIN_BUCKETS, CalendarQueue
+from repro.sim.engine import Simulator
+from repro.sim.events import (
+    DEFAULT_QUEUE_BACKEND,
+    QUEUE_BACKENDS,
+    EventQueue,
+    resolve_queue_backend,
+)
+
+
+class _Batch:
+    """Batch record for arity-5 entries (mirrors the network's usage)."""
+
+    cancelled = False
+
+    def __init__(self) -> None:
+        self.fired: list[int] = []
+
+    def fire(self, index: int) -> None:
+        self.fired.append(index)
+
+
+class _Raw:
+    """Pooled event-like object for ``push_raw`` entries."""
+
+    cancelled = False
+
+    def callback(self) -> None:
+        pass
+
+
+def test_constructor_validates_shape():
+    with pytest.raises(SimulationError):
+        CalendarQueue(n_buckets=48)  # not a power of two
+    with pytest.raises(SimulationError):
+        CalendarQueue(width=0.0)
+    with pytest.raises(SimulationError):
+        CalendarQueue().push(-1.0, lambda: None)
+
+
+def test_pop_orders_by_time_priority_sequence():
+    q = CalendarQueue()
+    fired: list[str] = []
+    q.push(2.0, lambda: fired.append("late"))
+    q.push(1.0, lambda: fired.append("early-low"), priority=200)
+    q.push(1.0, lambda: fired.append("early-high"), priority=0)
+    q.push(1.0, lambda: fired.append("early-first"), priority=0)
+    # Same time+priority: scheduling order (sequence) breaks the tie —
+    # "early-high" was pushed before "early-first".
+    while (event := q.pop()) is not None:
+        event.callback()
+    assert fired == ["early-high", "early-first", "early-low", "late"]
+
+
+def test_pop_entry_horizon_stops_without_consuming():
+    q = CalendarQueue()
+    q.push(5.0, lambda: None)
+    assert q.pop_entry(horizon=4.0) is None
+    assert q.live_count == 1
+    entry = q.pop_entry(horizon=5.0)
+    assert entry is not None and entry[0] == 5.0
+    assert q.pop_entry() is None
+
+
+def test_push_at_current_instant_after_horizon_stop():
+    """A horizon stop must not strand a subsequent push at the horizon.
+
+    This is the cursor-overrun regression: the scan can overshoot the
+    horizon's bucket-year before noticing, and persisting that cursor
+    would make an entry scheduled *at* the horizon invisible for a whole
+    wheel rotation.
+    """
+    q = CalendarQueue()
+    q.push(1000.0, lambda: None)
+    assert q.pop_entry(horizon=500.0) is None
+    q.push(500.0, lambda: None)  # exactly at the horizon just ruled out
+    entry = q.pop_entry(horizon=500.0)
+    assert entry is not None and entry[0] == 500.0
+
+
+def test_push_behind_cursor_pulls_it_back():
+    """The raw queue tolerates pushes earlier than the last pop."""
+    q = CalendarQueue()
+    q.push(100.0, lambda: None)
+    assert q.pop() is not None
+    q.push(1.0, lambda: None)
+    q.push(50.0, lambda: None)
+    entry = q.pop_entry()
+    assert entry is not None and entry[0] == 1.0
+    entry = q.pop_entry()
+    assert entry is not None and entry[0] == 50.0
+
+
+def test_cancellation_is_lazy_and_accounted():
+    q = CalendarQueue()
+    keep = q.push(1.0, lambda: None)
+    drop = q.push(2.0, lambda: None)
+    drop.cancel()
+    drop.cancel()  # idempotent
+    assert len(q) == 2
+    assert q.live_count == 1
+    assert q.pending_events == 1
+    assert q.pop() is keep
+    assert q.pop() is None
+    assert q.pending_events == 0
+
+
+def test_cancelled_majority_triggers_compaction():
+    q = CalendarQueue()
+    handles = [q.push(float(i), lambda: None) for i in range(200)]
+    for handle in handles[:150]:
+        handle.cancel()
+    before = q.stats()["compactions_total"]
+    q.push(300.0, lambda: None)  # trips the cancelled-majority check
+    stats = q.stats()
+    assert stats["compactions_total"] == before + 1
+    assert stats["cancelled_pending"] == 0
+    assert q.live_count == 51
+    times = [entry[0] for entry in q.pop_until(math.inf)]
+    assert times == sorted(times) and len(times) == 51
+
+
+def test_push_batch_matches_scalar_sequence_order():
+    q = CalendarQueue()
+    batch = _Batch()
+    q.push_batch([3.0, 1.0, 2.0], batch)
+    indices = [entry[4] for entry in q.pop_until(math.inf)]
+    assert indices == [1, 2, 0]  # time order; index = scheduling order
+
+
+def test_simultaneous_batch_fires_in_index_order():
+    q = CalendarQueue()
+    batch = _Batch()
+    q.push_batch([7.0, 7.0, 7.0], batch)
+    for entry in q.pop_until(math.inf):
+        entry[3].fire(entry[4])
+    assert batch.fired == [0, 1, 2]
+
+
+def test_peek_time_does_not_consume_or_reorder():
+    q = CalendarQueue()
+    q.push(4.0, lambda: None)
+    q.push(2.0, lambda: None, priority=5)
+    assert q.peek_time() == 2.0
+    assert q.peek_time() == 2.0
+    assert q.live_count == 2
+    times = [entry[0] for entry in q.pop_until(math.inf)]
+    assert times == [2.0, 4.0]
+    assert q.peek_time() is None
+
+
+def test_growth_and_shrink_resizes_preserve_order():
+    q = CalendarQueue()
+    n = 2000  # > MIN_BUCKETS * 2: forces growth
+    for i in range(n):
+        q.push_raw((i * 37 % n) * 0.01, _Raw())
+    grown = q.stats()
+    assert grown["buckets"] > MIN_BUCKETS
+    assert grown["resizes_total"] > 0
+    times = [entry[0] for entry in q.pop_until(math.inf)]
+    assert times == sorted(times) and len(times) == n
+    # Shrinking is lazy: the drain itself leaves the table at burst size
+    # (re-tuning on every drain is what thrashed recurring workloads).
+    # The first pop that walks a long empty stretch re-tunes instead of
+    # paying the O(buckets) jump scan — sparse follow-up traffic
+    # triggers exactly that.
+    assert q.stats()["buckets"] == grown["buckets"]
+    q.push_raw(1e6, _Raw())
+    q.push_raw(2e6, _Raw())
+    assert [entry[0] for entry in q.pop_until(math.inf)] == [1e6, 2e6]
+    assert q.stats()["buckets"] == MIN_BUCKETS
+
+
+def test_sparse_times_take_the_scan_jump_path():
+    q = CalendarQueue(width=1e-6)  # tiny years: huge empty stretches
+    expected = [float(i * 10_000) for i in range(40)]
+    for t in reversed(expected):
+        q.push_raw(t, _Raw())
+    assert [entry[0] for entry in q.pop_until(math.inf)] == expected
+
+
+def test_pop_until_settles_corpses_per_entry():
+    """Mid-drain compaction must not double-count drained corpses."""
+    q = CalendarQueue()
+    handles = [q.push(float(i), lambda: None) for i in range(100)]
+    for handle in handles[:70]:
+        handle.cancel()
+    drained = q.pop_until(40.0)  # crosses 40 corpses plus 0 live... all <40 cancelled
+    assert drained == []
+    assert q.pending_events == 30
+    rest = q.pop_until(math.inf)
+    assert len(rest) == 30
+    assert q.pending_events == 0
+    assert q.stats()["cancelled_pending"] == 0
+
+
+def test_clear_resets_but_keeps_sequence_monotone():
+    q = CalendarQueue()
+    first = q.push(1.0, lambda: None)
+    q.clear()
+    assert len(q) == 0 and q.live_count == 0 and q.pop() is None
+    second = q.push(1.0, lambda: None)
+    assert second.sequence > first.sequence
+    assert q.pop() is second
+
+
+def test_stats_surface_matches_heap_backend_keys():
+    assert set(CalendarQueue().stats()) == set(EventQueue().stats())
+    assert CalendarQueue.backend == "calendar"
+    assert EventQueue.backend == "heap"
+
+
+# --------------------------------------------------------------------- #
+# Backend resolution
+# --------------------------------------------------------------------- #
+
+
+def test_resolve_queue_backend_precedence(monkeypatch):
+    monkeypatch.delenv("REPRO_QUEUE_BACKEND", raising=False)
+    assert resolve_queue_backend() == DEFAULT_QUEUE_BACKEND
+    monkeypatch.setenv("REPRO_QUEUE_BACKEND", "calendar")
+    assert resolve_queue_backend() == "calendar"
+    # An explicit choice always beats the environment: cross-backend
+    # comparison tests stay meaningful on every CI matrix leg.
+    assert resolve_queue_backend("heap") == "heap"
+    monkeypatch.setenv("REPRO_QUEUE_BACKEND", "bogus")
+    with pytest.raises(ConfigurationError):
+        resolve_queue_backend()
+    with pytest.raises(ConfigurationError):
+        resolve_queue_backend("also-bogus")
+    assert set(QUEUE_BACKENDS) == {"heap", "calendar"}
+
+
+# --------------------------------------------------------------------- #
+# Engine integration (the inlined calendar run loop)
+# --------------------------------------------------------------------- #
+
+
+def _drive(backend: str) -> tuple[list, Simulator]:
+    sim = Simulator(seed=3, queue_backend=backend)
+    log: list = []
+    batch = _Batch()
+
+    def tick(name: str):
+        def _cb() -> None:
+            log.append((name, sim.now))
+
+        return _cb
+
+    sim.schedule(1.0, tick("a"))
+    sim.schedule(1.0, tick("b"), priority=0)
+    sim.call_later(2.5, tick("c"))
+    sim.schedule_batch([0.5, 1.0, 2.0], batch)
+    handle = sim.schedule(1.5, tick("dropped"))
+    handle.cancel()
+    sim.run(until=10.0)
+    log.append(tuple(batch.fired))
+    return log, sim
+
+
+def test_engine_calendar_loop_matches_heap_loop():
+    heap_log, heap_sim = _drive("heap")
+    cal_log, cal_sim = _drive("calendar")
+    assert cal_log == heap_log
+    assert cal_sim.now == heap_sim.now == 10.0
+    assert cal_sim.events_processed == heap_sim.events_processed
+    assert cal_sim.queue_backend == "calendar"
+    assert heap_sim.queue_backend == "heap"
+
+
+def test_engine_calendar_respects_budget_and_resume():
+    for backend in QUEUE_BACKENDS:
+        sim = Simulator(queue_backend=backend)
+        fired: list[float] = []
+        for i in range(10):
+            sim.schedule(float(i), lambda: fired.append(sim.now))
+        sim.run(max_events=4)
+        assert sim.budget_exhausted
+        assert fired == [0.0, 1.0, 2.0, 3.0]
+        sim.run()  # resume drains the rest in order
+        assert fired == [float(i) for i in range(10)]
+
+
+def test_engine_calendar_stop_and_reschedule():
+    sim = Simulator(queue_backend="calendar")
+    fired: list[str] = []
+
+    def stopper() -> None:
+        fired.append("stop")
+        sim.stop()
+        sim.schedule(sim.now, lambda: fired.append("same-instant"))
+
+    sim.schedule(5.0, stopper)
+    sim.run(until=100.0)
+    assert fired == ["stop"]
+    assert sim.now == 5.0  # truncated runs do not advance to the horizon
+    sim.run(until=100.0)
+    assert fired == ["stop", "same-instant"]
+
+
+def test_engine_calendar_schedule_raw_and_past_rejection():
+    sim = Simulator(queue_backend="calendar")
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule(0.5, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule_raw(0.5, _Raw())
+    with pytest.raises(SimulationError):
+        sim.schedule_batch([0.5], _Batch())
+
+
+def test_simulator_queue_stats_exposes_backend_counters():
+    sim = Simulator(queue_backend="calendar")
+    for i in range(500):
+        sim.schedule_raw(float(i), _Raw())
+    sim.run(until=100.0)
+    stats = sim.queue_stats()
+    assert stats["pushed_total"] == 500.0
+    assert stats["live"] == 399.0  # events 101..499 still pending
+    assert stats["buckets"] >= MIN_BUCKETS
+    heap_stats = Simulator(queue_backend="heap").queue_stats()
+    assert set(heap_stats) == set(stats)
